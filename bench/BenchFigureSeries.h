@@ -1,0 +1,29 @@
+//===- bench/BenchFigureSeries.h - Fig. 6/7 series driver ---------*- C++ -*-===//
+//
+// Part of the Qlosure project. Distributed under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Shared driver for the per-depth QUEKO series figures (Fig. 6 on
+/// Sherbrooke, Fig. 7 on Ankaa-3): for each dataset (16/54/81 qubits) and
+/// each initial depth, print every mapper's SWAP count and routed depth.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef QLOSURE_BENCH_BENCHFIGURESERIES_H
+#define QLOSURE_BENCH_BENCHFIGURESERIES_H
+
+#include <string>
+
+namespace qlosure {
+namespace bench {
+
+/// Runs the figure; returns the process exit code.
+int runFigureSeries(int Argc, char **Argv, const std::string &BackendName,
+                    const std::string &Title);
+
+} // namespace bench
+} // namespace qlosure
+
+#endif // QLOSURE_BENCH_BENCHFIGURESERIES_H

@@ -1,0 +1,30 @@
+//===- bench/BenchQasmBenchTable.h - Tables V/VI driver -----------*- C++ -*-===//
+//
+// Part of the Qlosure project. Distributed under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Shared driver for the QASMBench tables (Table V on Sherbrooke, Table VI
+/// on Ankaa-3): per-circuit SWAPs and depth for every mapper on the
+/// spotlight circuits, plus the all-suite average-improvement summary row
+/// of the paper (computed as (VAL_baseline - VAL_Qlosure) / VAL_baseline).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef QLOSURE_BENCH_BENCHQASMBENCHTABLE_H
+#define QLOSURE_BENCH_BENCHQASMBENCHTABLE_H
+
+#include <string>
+
+namespace qlosure {
+namespace bench {
+
+/// Runs the table; returns the process exit code.
+int runQasmBenchTable(int Argc, char **Argv, const std::string &BackendName,
+                      const std::string &Title);
+
+} // namespace bench
+} // namespace qlosure
+
+#endif // QLOSURE_BENCH_BENCHQASMBENCHTABLE_H

@@ -1,0 +1,98 @@
+//===- bench/bench_closure_engines.cpp - omega engine ablation --------------------===//
+//
+// Part of the Qlosure project. Distributed under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Extra ablation (DESIGN.md): compares the two omega engines — the exact
+/// gate-level bitset closure and the paper's scalable affine
+/// (statement-level) closure — on time, lifting compression, and weight
+/// over-approximation. This quantifies what the affine abstraction buys:
+/// near-linear scaling at a bounded loss of weight precision.
+///
+//===----------------------------------------------------------------------===//
+
+#include "bench/BenchCommon.h"
+
+#include "deps/TransitiveWeights.h"
+#include "support/StringUtils.h"
+#include "support/Table.h"
+#include "support/Timer.h"
+#include "topology/Backends.h"
+#include "workloads/QasmBench.h"
+#include "workloads/Queko.h"
+
+#include <algorithm>
+#include <cstdio>
+
+using namespace qlosure;
+using namespace qlosure::bench;
+
+int main(int Argc, char **Argv) {
+  BenchConfig Config = parseArgs(Argc, Argv);
+  printBanner("Ablation: exact vs affine transitive-closure engines",
+              Config);
+
+  std::vector<std::pair<std::string, Circuit>> Cases;
+  // Regular circuits: lifting compresses well, the statement-level
+  // closure is tiny, and the affine engine wins outright at scale.
+  Cases.push_back({"ghz_n64", makeGhz(64)});
+  Cases.push_back({"qugan_n39_l13", makeQugan(39, 13)});
+  Cases.push_back({"qugan_n80_l60", makeQugan(80, 60)});
+  Cases.push_back({"ising_n80_l40", makeIsing(80, 40)});
+  if (Config.Full)
+    Cases.push_back({"ising_n80_l160", makeIsing(80, 160)});
+  // Irregular circuits: lifting degenerates to singletons; below the
+  // saturation threshold the statement-graph path still runs (slower than
+  // the bitset at this scale), above it the engine saturates and returns
+  // the cheap sound bound.
+  Cases.push_back({"qft_n24", makeQft(24)});
+  Cases.push_back({"adder_n32", makeAdder(32)});
+  for (unsigned Depth : {50u, 150u, Config.Full ? 400u : 250u}) {
+    QuekoSpec Spec;
+    Spec.Depth = Depth;
+    Spec.Seed = Config.Seed + Depth;
+    Circuit C = generateQueko(makeSycamore54(), Spec).Circ;
+    Cases.push_back({formatString("queko54_d%u", Depth), C});
+  }
+
+  Table T({"Circuit", "Gates", "Exact ms", "Affine ms", "Speedup",
+           "Gates/stmt", "Mean over-approx"});
+  for (auto &[Name, Circ] : Cases) {
+    WeightOptions Exact;
+    Exact.Engine = WeightEngine::Exact;
+    Timer TE;
+    WeightResult E = computeDependenceWeights(Circ, Exact);
+    double ExactMs = TE.elapsedMilliseconds();
+
+    WeightOptions Affine;
+    Affine.Engine = WeightEngine::Affine;
+    Timer TA;
+    WeightResult A = computeDependenceWeights(Circ, Affine);
+    double AffineMs = TA.elapsedMilliseconds();
+
+    // Mean multiplicative over-approximation of the affine upper bound.
+    double RatioSum = 0;
+    size_t RatioCount = 0;
+    for (size_t I = 0; I < E.Weights.size(); ++I) {
+      if (E.Weights[I] == 0)
+        continue;
+      RatioSum += static_cast<double>(A.Weights[I]) /
+                  static_cast<double>(E.Weights[I]);
+      ++RatioCount;
+    }
+    double MeanRatio = RatioCount ? RatioSum / RatioCount : 1.0;
+
+    T.addRow({Name, formatString("%zu", Circ.size()),
+              formatString("%.2f", ExactMs), formatString("%.2f", AffineMs),
+              formatString("%.1fx", ExactMs / std::max(AffineMs, 1e-6)),
+              formatString("%.1f", A.CompressionRatio),
+              formatString("%.2fx", MeanRatio)});
+  }
+  std::fputs(T.render().c_str(), stdout);
+  std::printf("\nThe affine engine's weights are a sound upper bound "
+              "(over-approx >= 1.0x);\nits advantage grows with circuit "
+              "size and regularity (gates/statement).\n");
+  return 0;
+}

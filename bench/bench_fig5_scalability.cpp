@@ -1,0 +1,94 @@
+//===- bench/bench_fig5_scalability.cpp - Fig. 5 reproduction ---------------------===//
+//
+// Part of the Qlosure project. Distributed under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Regenerates Fig. 5 of the paper: Qlosure's mapping time as a function
+/// of the number of quantum operations (QOPs) on the QUEKO 54-qubit set,
+/// for the Sherbrooke, Ankaa-3 and Sherbrooke-2X backends. The paper's
+/// claim is near-linear growth; we print the series and a least-squares
+/// linearity diagnostic (R^2 of time vs QOPs).
+///
+//===----------------------------------------------------------------------===//
+
+#include "bench/BenchCommon.h"
+
+#include "core/Qlosure.h"
+#include "support/StringUtils.h"
+#include "support/Table.h"
+#include "topology/Backends.h"
+#include "workloads/Queko.h"
+
+#include <cmath>
+#include <cstdio>
+
+using namespace qlosure;
+using namespace qlosure::bench;
+
+namespace {
+
+/// R^2 of the least-squares line through (X, Y).
+double rSquared(const std::vector<double> &X, const std::vector<double> &Y) {
+  size_t N = X.size();
+  double SumX = 0, SumY = 0, SumXY = 0, SumXX = 0;
+  for (size_t I = 0; I < N; ++I) {
+    SumX += X[I];
+    SumY += Y[I];
+    SumXY += X[I] * Y[I];
+    SumXX += X[I] * X[I];
+  }
+  double Den = N * SumXX - SumX * SumX;
+  if (Den == 0)
+    return 0;
+  double Slope = (N * SumXY - SumX * SumY) / Den;
+  double Intercept = (SumY - Slope * SumX) / N;
+  double SsRes = 0, SsTot = 0;
+  double MeanY = SumY / N;
+  for (size_t I = 0; I < N; ++I) {
+    double Fit = Slope * X[I] + Intercept;
+    SsRes += (Y[I] - Fit) * (Y[I] - Fit);
+    SsTot += (Y[I] - MeanY) * (Y[I] - MeanY);
+  }
+  return SsTot == 0 ? 1.0 : 1.0 - SsRes / SsTot;
+}
+
+} // namespace
+
+int main(int Argc, char **Argv) {
+  BenchConfig Config = parseArgs(Argc, Argv);
+  printBanner("Fig. 5: Qlosure mapping time vs quantum operations", Config);
+
+  std::vector<unsigned> Depths =
+      Config.Full
+          ? std::vector<unsigned>{100, 200, 300, 400, 500, 600, 700, 800, 900}
+          : std::vector<unsigned>{50, 100, 200, 300, 450, 600};
+
+  for (const char *Backend : {"sherbrooke", "ankaa3", "sherbrooke2x"}) {
+    CouplingGraph Hw = makeBackendByName(Backend);
+    CouplingGraph Gen = makeSycamore54();
+    std::printf("\nBackend: %s\n", Backend);
+    Table T({"QOPs", "2Q gates", "Mapping seconds", "us per QOP"});
+    std::vector<double> Xs, Ys;
+    for (unsigned Depth : Depths) {
+      QuekoSpec Spec;
+      Spec.Depth = Depth;
+      Spec.Seed = Config.Seed + Depth;
+      QuekoInstance I = generateQueko(Gen, Spec);
+      QlosureRouter Router;
+      RoutingResult R = Router.routeWithIdentity(I.Circ, Hw);
+      double Qops = static_cast<double>(I.Circ.numQuantumOps());
+      Xs.push_back(Qops);
+      Ys.push_back(R.MappingSeconds);
+      T.addRow({formatString("%.0f", Qops),
+                formatString("%zu", I.Circ.numTwoQubitGates()),
+                formatString("%.4f", R.MappingSeconds),
+                formatString("%.2f", R.MappingSeconds * 1e6 / Qops)});
+    }
+    std::fputs(T.render().c_str(), stdout);
+    std::printf("linearity R^2(time ~ QOPs) = %.4f  (paper: near-linear)\n",
+                rSquared(Xs, Ys));
+  }
+  return 0;
+}

@@ -1,0 +1,22 @@
+//===- bench/bench_fig6_sherbrooke.cpp - Fig. 6 reproduction ----------------------===//
+//
+// Part of the Qlosure project. Distributed under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Regenerates Fig. 6 of the paper: SWAP counts (top row) and final
+/// circuit depths (bottom row) per mapper on the Sherbrooke backend, as a
+/// function of the initial QUEKO depth, for the narrow (16qbt), medium
+/// (54qbt) and wide (81qbt) sets. Printed as one series table per set.
+///
+//===----------------------------------------------------------------------===//
+
+#include "bench/BenchFigureSeries.h"
+
+int main(int Argc, char **Argv) {
+  return qlosure::bench::runFigureSeries(
+      Argc, Argv, "sherbrooke",
+      "Fig. 6: QUEKO series on Sherbrooke (swaps and depth vs initial "
+      "depth)");
+}

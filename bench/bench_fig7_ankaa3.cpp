@@ -1,0 +1,19 @@
+//===- bench/bench_fig7_ankaa3.cpp - Fig. 7 reproduction --------------------------===//
+//
+// Part of the Qlosure project. Distributed under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Regenerates Fig. 7 of the paper: the same QUEKO series as Fig. 6 on the
+/// Rigetti Ankaa-3 backend.
+///
+//===----------------------------------------------------------------------===//
+
+#include "bench/BenchFigureSeries.h"
+
+int main(int Argc, char **Argv) {
+  return qlosure::bench::runFigureSeries(
+      Argc, Argv, "ankaa3",
+      "Fig. 7: QUEKO series on Ankaa-3 (swaps and depth vs initial depth)");
+}

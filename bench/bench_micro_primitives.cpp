@@ -1,0 +1,119 @@
+//===- bench/bench_micro_primitives.cpp - google-benchmark microbenches -----------===//
+//
+// Part of the Qlosure project. Distributed under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// google-benchmark microbenchmarks for the library's primitives: APSP,
+/// DAG construction, the two omega engines, affine lifting, the symbolic
+/// transitive closure, and end-to-end routing of a mid-size circuit. These
+/// back the performance claims in EXPERIMENTS.md with reproducible
+/// numbers (run with --benchmark_filter=... as usual).
+///
+//===----------------------------------------------------------------------===//
+
+#include "affine/Lifter.h"
+#include "circuit/Dag.h"
+#include "core/Qlosure.h"
+#include "deps/TransitiveWeights.h"
+#include "presburger/TransitiveClosure.h"
+#include "topology/Backends.h"
+#include "workloads/QasmBench.h"
+#include "workloads/Queko.h"
+
+#include <benchmark/benchmark.h>
+
+using namespace qlosure;
+using namespace qlosure::presburger;
+
+static Circuit mediumQueko() {
+  QuekoSpec Spec;
+  Spec.Depth = 100;
+  Spec.Seed = 7;
+  return generateQueko(makeSycamore54(), Spec).Circ;
+}
+
+static void BM_ApspSherbrooke(benchmark::State &State) {
+  for (auto _ : State) {
+    CouplingGraph G = makeSherbrooke();
+    benchmark::DoNotOptimize(G.distance(0, 126));
+  }
+}
+BENCHMARK(BM_ApspSherbrooke);
+
+static void BM_DagBuild(benchmark::State &State) {
+  Circuit C = mediumQueko();
+  for (auto _ : State) {
+    CircuitDag Dag(C);
+    benchmark::DoNotOptimize(Dag.numGates());
+  }
+  State.SetItemsProcessed(State.iterations() *
+                          static_cast<int64_t>(C.size()));
+}
+BENCHMARK(BM_DagBuild);
+
+static void BM_OmegaExact(benchmark::State &State) {
+  Circuit C = mediumQueko();
+  WeightOptions Opts;
+  Opts.Engine = WeightEngine::Exact;
+  for (auto _ : State) {
+    WeightResult R = computeDependenceWeights(C, Opts);
+    benchmark::DoNotOptimize(R.Weights.data());
+  }
+  State.SetItemsProcessed(State.iterations() *
+                          static_cast<int64_t>(C.size()));
+}
+BENCHMARK(BM_OmegaExact);
+
+static void BM_OmegaAffine(benchmark::State &State) {
+  Circuit C = mediumQueko();
+  WeightOptions Opts;
+  Opts.Engine = WeightEngine::Affine;
+  for (auto _ : State) {
+    WeightResult R = computeDependenceWeights(C, Opts);
+    benchmark::DoNotOptimize(R.Weights.data());
+  }
+  State.SetItemsProcessed(State.iterations() *
+                          static_cast<int64_t>(C.size()));
+}
+BENCHMARK(BM_OmegaAffine);
+
+static void BM_AffineLift(benchmark::State &State) {
+  Circuit C = mediumQueko();
+  for (auto _ : State) {
+    AffineCircuit AC = liftCircuit(C);
+    benchmark::DoNotOptimize(AC.numStatements());
+  }
+  State.SetItemsProcessed(State.iterations() *
+                          static_cast<int64_t>(C.size()));
+}
+BENCHMARK(BM_AffineLift);
+
+static void BM_TranslationClosure(benchmark::State &State) {
+  BasicSet Dom(1);
+  Dom.addBounds(0, 0, 9999);
+  IntegerMap R(BasicMap::translation(Dom, {3}));
+  ClosureOptions Opts;
+  Opts.AllowFiniteFallback = false;
+  for (auto _ : State) {
+    ClosureResult C = transitiveClosure(R, Opts);
+    benchmark::DoNotOptimize(C.IsExact);
+  }
+}
+BENCHMARK(BM_TranslationClosure);
+
+static void BM_RouteQlosureQft(benchmark::State &State) {
+  Circuit C = makeQft(static_cast<unsigned>(State.range(0)));
+  CouplingGraph Hw = makeSherbrooke();
+  for (auto _ : State) {
+    QlosureRouter Router;
+    RoutingResult R = Router.routeWithIdentity(C, Hw);
+    benchmark::DoNotOptimize(R.NumSwaps);
+  }
+  State.SetItemsProcessed(State.iterations() *
+                          static_cast<int64_t>(C.size()));
+}
+BENCHMARK(BM_RouteQlosureQft)->Arg(16)->Arg(32)->Arg(63);
+
+BENCHMARK_MAIN();

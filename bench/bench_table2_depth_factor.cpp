@@ -1,0 +1,59 @@
+//===- bench/bench_table2_depth_factor.cpp - Table II reproduction ---------------===//
+//
+// Part of the Qlosure project. Distributed under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Regenerates Table II of the paper: average QUEKO depth-factor
+/// (post-mapping depth / provably-optimal depth) per mapper, split into
+/// medium (< 550) and large (>= 550) initial depths, on the Sherbrooke,
+/// Ankaa-3 and Sherbrooke-2X backends. Lower is better; the expected shape
+/// is Qlosure lowest everywhere and QMAP timing out on Sherbrooke-2X.
+///
+//===----------------------------------------------------------------------===//
+
+#include "bench/BenchCommon.h"
+
+#include <cstdio>
+
+using namespace qlosure;
+using namespace qlosure::bench;
+
+int main(int Argc, char **Argv) {
+  BenchConfig Config = parseArgs(Argc, Argv);
+  printBanner("Table II: QUEKO average depth-factor (lower is better)",
+              Config);
+
+  // Paper reference values (Table II).
+  std::map<std::string,
+           std::map<std::string, std::pair<double, double>>>
+      Reference;
+  Reference["sherbrooke"] = {{"SABRE", {7.68, 7.18}},
+                             {"QMAP", {6.85, 6.31}},
+                             {"Cirq", {7.64, 7.42}},
+                             {"Pytket", {9.99, 9.03}},
+                             {"Qlosure", {5.72, 5.45}}};
+  Reference["ankaa3"] = {{"SABRE", {6.00, 5.46}},
+                         {"QMAP", {5.15, 4.96}},
+                         {"Cirq", {6.27, 6.12}},
+                         {"Pytket", {6.47, 5.89}},
+                         {"Qlosure", {4.41, 4.08}}};
+  Reference["sherbrooke2x"] = {{"SABRE", {28.16, 24.42}},
+                               {"QMAP", {0, 0}}, // timeout in the paper.
+                               {"Cirq", {16.66, 14.85}},
+                               {"Pytket", {37.21, 30.93}},
+                               {"Qlosure", {14.94, 13.45}}};
+
+  for (const QuekoGridSpec &Grid : paperQuekoGrids(Config)) {
+    std::vector<RunRecord> Records = runQuekoGrid(Grid, Config);
+    auto Summary = depthFactorSummary(Records);
+    printMediumLargeTable("Backend: " + Grid.BackendName,
+                          Summary, Reference[Grid.BackendName]);
+  }
+
+  std::printf("\nShape checks: Qlosure should have the lowest depth-factor "
+              "in every column;\nQMAP should report timeouts on "
+              "sherbrooke2x (as in the paper).\n");
+  return 0;
+}

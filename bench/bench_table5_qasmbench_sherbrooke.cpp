@@ -1,0 +1,20 @@
+//===- bench/bench_table5_qasmbench_sherbrooke.cpp - Table V ----------------------===//
+//
+// Part of the Qlosure project. Distributed under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Regenerates Table V of the paper: QASMBench circuits on Sherbrooke —
+/// per-circuit SWAPs/depth for all five mappers plus the suite-average
+/// improvement row (run with --full for all 41 circuits).
+///
+//===----------------------------------------------------------------------===//
+
+#include "bench/BenchQasmBenchTable.h"
+
+int main(int Argc, char **Argv) {
+  return qlosure::bench::runQasmBenchTable(
+      Argc, Argv, "sherbrooke",
+      "Table V: QASMBench on Sherbrooke");
+}

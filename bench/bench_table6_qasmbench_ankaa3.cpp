@@ -1,0 +1,20 @@
+//===- bench/bench_table6_qasmbench_ankaa3.cpp - Table VI -------------------------===//
+//
+// Part of the Qlosure project. Distributed under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Regenerates Table VI of the paper: QASMBench circuits on Ankaa-3 —
+/// per-circuit SWAPs/depth for all five mappers plus the suite-average
+/// improvement row (run with --full for all 41 circuits).
+///
+//===----------------------------------------------------------------------===//
+
+#include "bench/BenchQasmBenchTable.h"
+
+int main(int Argc, char **Argv) {
+  return qlosure::bench::runQasmBenchTable(
+      Argc, Argv, "ankaa3",
+      "Table VI: QASMBench on Ankaa-3");
+}

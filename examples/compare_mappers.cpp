@@ -1,0 +1,54 @@
+//===- examples/compare_mappers.cpp - Mapper shoot-out ------------------------------===//
+//
+// Part of the Qlosure project. Distributed under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Routes one QFT circuit onto both of the paper's hardware backends with
+/// all five mappers (SABRE, QMAP, Cirq, Pytket-style, Qlosure) and prints
+/// the comparison — a miniature of the paper's Fig. 2.
+///
+/// Build & run:  ./build/examples/compare_mappers [num_qubits]
+///
+//===----------------------------------------------------------------------===//
+
+#include "baselines/RouterRegistry.h"
+#include "route/Verify.h"
+#include "support/StringUtils.h"
+#include "support/Table.h"
+#include "topology/Backends.h"
+#include "workloads/QasmBench.h"
+
+#include <cstdio>
+#include <cstdlib>
+
+using namespace qlosure;
+
+int main(int Argc, char **Argv) {
+  unsigned NumQubits = 24;
+  if (Argc > 1)
+    NumQubits = static_cast<unsigned>(std::strtoul(Argv[1], nullptr, 10));
+  Circuit Circ = makeQft(NumQubits);
+  std::printf("circuit: %s — %zu gates (%zu two-qubit), depth %zu\n",
+              Circ.name().c_str(), Circ.size(), Circ.numTwoQubitGates(),
+              Circ.depth());
+
+  for (const char *BackendName : {"sherbrooke", "ankaa3"}) {
+    CouplingGraph Device = makeBackendByName(BackendName);
+    std::printf("\non %s (%u qubits):\n", BackendName, Device.numQubits());
+    Table T({"Mapper", "SWAPs", "Depth", "Delta depth", "Time (ms)",
+             "Verified"});
+    for (auto &Router : makePaperRouters()) {
+      RoutingResult R = Router->routeWithIdentity(Circ, Device);
+      VerifyResult V = verifyRouting(Circ, Device, R);
+      T.addRow({Router->name(), formatString("%zu", R.NumSwaps),
+                formatString("%zu", R.Routed.depth()),
+                formatString("%zu", R.Routed.depth() - Circ.depth()),
+                formatString("%.2f", R.MappingSeconds * 1000),
+                V.Ok ? "yes" : "NO"});
+    }
+    std::fputs(T.render().c_str(), stdout);
+  }
+  return 0;
+}

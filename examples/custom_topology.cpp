@@ -1,0 +1,77 @@
+//===- examples/custom_topology.cpp - Bring-your-own device -------------------------===//
+//
+// Part of the Qlosure project. Distributed under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Shows how a downstream user targets their own QPU: build a custom
+/// coupling graph (here a 12-qubit ring with two chords), synthesize a
+/// QUEKO circuit with provably optimal depth *for that device*, route it
+/// with Qlosure from the scrambled placement, and compare against the
+/// known optimum.
+///
+/// Build & run:  ./build/examples/custom_topology
+///
+//===----------------------------------------------------------------------===//
+
+#include "core/Qlosure.h"
+#include "route/InitialMapping.h"
+#include "route/Verify.h"
+#include "topology/CouplingGraph.h"
+#include "workloads/Queko.h"
+
+#include <cstdio>
+
+using namespace qlosure;
+
+int main() {
+  // 1. Describe the hardware: a ring with two stabilizing chords.
+  CouplingGraph Device(12, "my-ring");
+  for (unsigned Q = 0; Q < 12; ++Q)
+    Device.addEdge(Q, (Q + 1) % 12);
+  Device.addEdge(0, 6);
+  Device.addEdge(3, 9);
+  Device.computeDistances(); // Required before routing.
+  std::printf("device '%s': %u qubits, %zu couplings, diameter %u\n",
+              Device.name().c_str(), Device.numQubits(), Device.numEdges(),
+              [&Device] {
+                unsigned D = 0;
+                for (unsigned A = 0; A < 12; ++A)
+                  for (unsigned B = 0; B < 12; ++B)
+                    D = std::max(D, Device.distance(A, B));
+                return D;
+              }());
+
+  // 2. Synthesize a depth-40 QUEKO instance for this device: the optimal
+  //    mapped depth is 40 by construction, but the circuit arrives with a
+  //    scrambled qubit labeling.
+  QuekoSpec Spec;
+  Spec.Depth = 40;
+  Spec.TwoQubitDensity = 0.5;
+  Spec.Seed = 7;
+  QuekoInstance Instance = generateQueko(Device, Spec);
+  std::printf("workload: %zu gates (%zu two-qubit), optimal depth %u\n",
+              Instance.Circ.size(), Instance.Circ.numTwoQubitGates(),
+              Instance.OptimalDepth);
+
+  // 3. Route from the identity placement, then with a bidirectional-pass
+  //    initial placement (the paper's ablation variant d).
+  QlosureRouter Router;
+  RoutingResult Plain = Router.routeWithIdentity(Instance.Circ, Device);
+  QubitMapping Derived =
+      deriveBidirectionalMapping(Router, Instance.Circ, Device);
+  RoutingResult Tuned = Router.route(Instance.Circ, Device, Derived);
+
+  for (const auto *R : {&Plain, &Tuned}) {
+    VerifyResult V = verifyRouting(Instance.Circ, Device, *R);
+    std::printf("%s: %zu SWAPs, depth %zu (%.2fx optimal), verified=%s\n",
+                R == &Plain ? "identity placement     "
+                            : "bidirectional placement",
+                R->NumSwaps, R->Routed.depth(),
+                static_cast<double>(R->Routed.depth()) /
+                    Instance.OptimalDepth,
+                V.Ok ? "yes" : "NO");
+  }
+  return 0;
+}

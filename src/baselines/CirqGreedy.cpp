@@ -1,0 +1,21 @@
+//===- baselines/CirqGreedy.cpp - Cirq-style baseline mapper --------------------===//
+//
+// Part of the Qlosure project. Distributed under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "baselines/CirqGreedy.h"
+
+using namespace qlosure;
+
+double CirqGreedyRouter::scoreSwap(const std::vector<unsigned> &FrontDists,
+                                   const std::vector<unsigned> &ExtendedDists,
+                                   double) const {
+  double Score = 0;
+  for (unsigned D : FrontDists)
+    Score += D;
+  double Ext = 0;
+  for (unsigned D : ExtendedDists)
+    Ext += D;
+  return Score + Options.NextSliceWeight * Ext;
+}

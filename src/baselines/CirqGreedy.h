@@ -1,0 +1,51 @@
+//===- baselines/CirqGreedy.h - Cirq-style baseline mapper --------*- C++ -*-===//
+//
+// Part of the Qlosure project. Distributed under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Cirq-style router (Table I of the paper: "time-sliced, qubit
+/// distance"): greedily minimizes the total qubit distance of the current
+/// time slice plus a discounted next slice, without decay — the classic
+/// distance-only strategy the paper contrasts against.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef QLOSURE_BASELINES_CIRQGREEDY_H
+#define QLOSURE_BASELINES_CIRQGREEDY_H
+
+#include "baselines/GreedyRouterBase.h"
+
+namespace qlosure {
+
+/// Cirq-style tuning options.
+struct CirqOptions {
+  /// The next-slice window scales with the current slice size.
+  double SliceWindowFactor = 1.0;
+  double NextSliceWeight = 0.5;
+};
+
+/// The Cirq-style baseline.
+class CirqGreedyRouter : public GreedyRouterBase {
+public:
+  explicit CirqGreedyRouter(CirqOptions Options = {}) : Options(Options) {}
+
+  std::string name() const override { return "Cirq"; }
+
+protected:
+  size_t extendedWindowSize(size_t NumFrontGates) const override {
+    return static_cast<size_t>(
+        Options.SliceWindowFactor * static_cast<double>(NumFrontGates)) + 1;
+  }
+  double scoreSwap(const std::vector<unsigned> &FrontDists,
+                   const std::vector<unsigned> &ExtendedDists,
+                   double MaxDecay) const override;
+
+private:
+  CirqOptions Options;
+};
+
+} // namespace qlosure
+
+#endif // QLOSURE_BASELINES_CIRQGREEDY_H

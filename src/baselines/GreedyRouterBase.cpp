@@ -1,0 +1,213 @@
+//===- baselines/GreedyRouterBase.cpp - Greedy routing skeleton -----------------===//
+//
+// Part of the Qlosure project. Distributed under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "baselines/GreedyRouterBase.h"
+
+#include "circuit/Dag.h"
+#include "route/FrontLayer.h"
+#include "support/Random.h"
+#include "support/Timer.h"
+
+#include <algorithm>
+#include <cassert>
+#include <limits>
+
+using namespace qlosure;
+
+RoutingResult GreedyRouterBase::route(const Circuit &Logical,
+                                      const CouplingGraph &Hw,
+                                      const QubitMapping &Initial) {
+  checkPreconditions(Logical, Hw, Initial);
+  Timer Clock;
+
+  CircuitDag Dag(Logical);
+  FrontLayerTracker Tracker(Dag);
+  QubitMapping Phi = Initial;
+  Rng TieBreaker(seed());
+  std::vector<double> Decay(Logical.numQubits(), 1.0);
+
+  RoutingResult Result;
+  Result.Routed = Circuit(Hw.numQubits(), Logical.name() + ".routed");
+  Result.InitialMapping = Initial;
+  Result.RouterName = name();
+
+  unsigned SwapsSinceProgress = 0;
+
+  auto physOf = [&Phi](int32_t L) { return Phi.physOf(L); };
+
+  auto isExecutable = [&](uint32_t GI) {
+    const Gate &G = Logical.gate(GI);
+    if (!G.isTwoQubit())
+      return true;
+    return Hw.areAdjacent(static_cast<unsigned>(Phi.physOf(G.Qubits[0])),
+                          static_cast<unsigned>(Phi.physOf(G.Qubits[1])));
+  };
+
+  auto emitSwap = [&](unsigned P1, unsigned P2) {
+    Result.Routed.addSwap(static_cast<int32_t>(P1), static_cast<int32_t>(P2));
+    Result.InsertedSwapFlags.push_back(1);
+    ++Result.NumSwaps;
+    int32_t L1 = Phi.logOf(static_cast<int32_t>(P1));
+    int32_t L2 = Phi.logOf(static_cast<int32_t>(P2));
+    Phi.swapPhysical(static_cast<int32_t>(P1), static_cast<int32_t>(P2));
+    if (usesDecay()) {
+      if (L1 >= 0)
+        Decay[static_cast<size_t>(L1)] += decayIncrement();
+      if (L2 >= 0)
+        Decay[static_cast<size_t>(L2)] += decayIncrement();
+    }
+  };
+
+  while (!Tracker.allExecuted()) {
+    // Phase 1: drain every executable gate.
+    bool Progress = false;
+    bool Changed = true;
+    while (Changed) {
+      Changed = false;
+      std::vector<uint32_t> Ready;
+      for (uint32_t G : Tracker.front())
+        if (isExecutable(G))
+          Ready.push_back(G);
+      std::sort(Ready.begin(), Ready.end());
+      for (uint32_t G : Ready) {
+        Result.Routed.addGate(Logical.gate(G).withMappedQubits(physOf));
+        Result.InsertedSwapFlags.push_back(0);
+        Tracker.execute(G);
+        Progress = true;
+        Changed = true;
+      }
+    }
+    if (Progress) {
+      if (usesDecay())
+        std::fill(Decay.begin(), Decay.end(), 1.0);
+      SwapsSinceProgress = 0;
+      continue;
+    }
+    if (Tracker.allExecuted())
+      break;
+
+    // Escape hatch: force the oldest blocked gate along a shortest path.
+    if (SwapsSinceProgress >= maxSwapsWithoutProgress()) {
+      uint32_t Oldest = UINT32_MAX;
+      for (uint32_t G : Tracker.front())
+        if (Logical.gate(G).isTwoQubit())
+          Oldest = std::min(Oldest, G);
+      assert(Oldest != UINT32_MAX && "stuck without a blocked 2Q gate");
+      const Gate &G = Logical.gate(Oldest);
+      std::vector<unsigned> Path = Hw.shortestPath(
+          static_cast<unsigned>(Phi.physOf(G.Qubits[0])),
+          static_cast<unsigned>(Phi.physOf(G.Qubits[1])));
+      for (size_t I = 0; I + 2 < Path.size(); ++I)
+        emitSwap(Path[I], Path[I + 1]);
+      SwapsSinceProgress = 0;
+      continue;
+    }
+
+    // Phase 2: choose one SWAP.
+    std::vector<uint32_t> FrontTwoQ;
+    for (uint32_t G : Tracker.front())
+      if (Logical.gate(G).isTwoQubit())
+        FrontTwoQ.push_back(G);
+    std::sort(FrontTwoQ.begin(), FrontTwoQ.end());
+
+    size_t WantExtended = extendedWindowSize(FrontTwoQ.size());
+    std::vector<uint32_t> Extended;
+    if (WantExtended) {
+      // Topological window includes the front; skip those entries.
+      std::vector<uint32_t> Window =
+          Tracker.topologicalWindow(FrontTwoQ.size() + 4 * WantExtended);
+      for (uint32_t G : Window) {
+        if (Tracker.isInFront(G) || !Logical.gate(G).isTwoQubit())
+          continue;
+        Extended.push_back(G);
+        if (Extended.size() >= WantExtended)
+          break;
+      }
+    }
+
+    // Candidate swaps on front physical qubits.
+    std::vector<std::pair<unsigned, unsigned>> Candidates;
+    {
+      std::vector<unsigned> PFront;
+      std::vector<uint8_t> InFront(Hw.numQubits(), 0);
+      for (uint32_t GI : FrontTwoQ)
+        for (unsigned Q = 0; Q < 2; ++Q) {
+          unsigned P = static_cast<unsigned>(
+              Phi.physOf(Logical.gate(GI).Qubits[Q]));
+          if (!InFront[P]) {
+            InFront[P] = 1;
+            PFront.push_back(P);
+          }
+        }
+      std::sort(PFront.begin(), PFront.end());
+      for (unsigned P1 : PFront)
+        for (unsigned P2 : Hw.neighbors(P1)) {
+          unsigned Lo = std::min(P1, P2), Hi = std::max(P1, P2);
+          bool Dup = false;
+          for (const auto &C : Candidates)
+            if (C.first == Lo && C.second == Hi) {
+              Dup = true;
+              break;
+            }
+          if (!Dup)
+            Candidates.push_back({Lo, Hi});
+        }
+    }
+    assert(!Candidates.empty() && "no candidates on a connected graph");
+
+    double BestScore = std::numeric_limits<double>::infinity();
+    std::vector<size_t> BestIdx;
+    std::vector<unsigned> FrontDists(FrontTwoQ.size());
+    std::vector<unsigned> ExtDists(Extended.size());
+    for (size_t CI = 0; CI < Candidates.size(); ++CI) {
+      auto [P1, P2] = Candidates[CI];
+      auto mapThroughSwap = [&](int32_t L) -> unsigned {
+        unsigned P = static_cast<unsigned>(Phi.physOf(L));
+        if (P == P1)
+          return P2;
+        if (P == P2)
+          return P1;
+        return P;
+      };
+      for (size_t I = 0; I < FrontTwoQ.size(); ++I) {
+        const Gate &G = Logical.gate(FrontTwoQ[I]);
+        FrontDists[I] = Hw.distance(mapThroughSwap(G.Qubits[0]),
+                                    mapThroughSwap(G.Qubits[1]));
+      }
+      for (size_t I = 0; I < Extended.size(); ++I) {
+        const Gate &G = Logical.gate(Extended[I]);
+        ExtDists[I] = Hw.distance(mapThroughSwap(G.Qubits[0]),
+                                  mapThroughSwap(G.Qubits[1]));
+      }
+      double MaxDecay = 1.0;
+      if (usesDecay()) {
+        int32_t L1 = Phi.logOf(static_cast<int32_t>(P1));
+        int32_t L2 = Phi.logOf(static_cast<int32_t>(P2));
+        double D1 = L1 >= 0 ? Decay[static_cast<size_t>(L1)] : 1.0;
+        double D2 = L2 >= 0 ? Decay[static_cast<size_t>(L2)] : 1.0;
+        MaxDecay = std::max(D1, D2);
+      }
+      double Score = scoreSwap(FrontDists, ExtDists, MaxDecay);
+      if (Score < BestScore - 1e-12) {
+        BestScore = Score;
+        BestIdx.clear();
+        BestIdx.push_back(CI);
+      } else if (Score <= BestScore + 1e-12) {
+        BestIdx.push_back(CI);
+      }
+    }
+    size_t Pick = randomTieBreak()
+                      ? BestIdx[static_cast<size_t>(
+                            TieBreaker.nextBounded(BestIdx.size()))]
+                      : BestIdx.front();
+    emitSwap(Candidates[Pick].first, Candidates[Pick].second);
+    ++SwapsSinceProgress;
+  }
+
+  Result.FinalMapping = Phi;
+  Result.MappingSeconds = Clock.elapsedSeconds();
+  return Result;
+}

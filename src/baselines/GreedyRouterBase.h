@@ -1,0 +1,69 @@
+//===- baselines/GreedyRouterBase.h - Greedy routing skeleton -----*- C++ -*-===//
+//
+// Part of the Qlosure project. Distributed under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Template-method skeleton shared by the SABRE-, Cirq- and tket-style
+/// baseline routers: execute every feasible front gate, otherwise generate
+/// candidate SWAPs on front qubits and apply the subclass-scored minimum.
+/// Subclasses only provide the cost function and window sizing — the
+/// differences Table I of the paper identifies.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef QLOSURE_BASELINES_GREEDYROUTERBASE_H
+#define QLOSURE_BASELINES_GREEDYROUTERBASE_H
+
+#include "route/Router.h"
+
+#include <cstdint>
+#include <vector>
+
+namespace qlosure {
+
+class CircuitDag;
+class FrontLayerTracker;
+
+/// Base class for one-swap-at-a-time greedy routers.
+class GreedyRouterBase : public Router {
+public:
+  RoutingResult route(const Circuit &Logical, const CouplingGraph &Hw,
+                      const QubitMapping &Initial) final;
+
+protected:
+  /// Number of look-ahead gates beyond the front layer the subclass wants
+  /// (two-qubit gates only). 0 disables the extended window.
+  virtual size_t extendedWindowSize(size_t NumFrontGates) const = 0;
+
+  /// Scores the candidate SWAP (P1, P2); lower is better. \p FrontDists
+  /// and \p ExtendedDists hold the post-swap distances of the blocked
+  /// front gates and the extended-window gates respectively.
+  /// \p MaxDecay is max(delta_q1, delta_q2) of the swapped logical qubits
+  /// (always 1.0 if the subclass never increments decay).
+  virtual double scoreSwap(const std::vector<unsigned> &FrontDists,
+                           const std::vector<unsigned> &ExtendedDists,
+                           double MaxDecay) const = 0;
+
+  /// Whether to apply SABRE decay bookkeeping.
+  virtual bool usesDecay() const { return false; }
+
+  /// Decay increment per swap (only used when usesDecay()).
+  virtual double decayIncrement() const { return 0.001; }
+
+  /// Deterministic tie-breaking: first minimal candidate wins when false,
+  /// seeded-random selection among ties when true.
+  virtual bool randomTieBreak() const { return false; }
+
+  /// Seed for random tie-breaking.
+  virtual uint64_t seed() const { return 0xBA5EBA11ULL; }
+
+  /// Escape-hatch threshold (swaps without progress before forcing
+  /// shortest-path resolution).
+  virtual unsigned maxSwapsWithoutProgress() const { return 64; }
+};
+
+} // namespace qlosure
+
+#endif // QLOSURE_BASELINES_GREEDYROUTERBASE_H

@@ -1,0 +1,250 @@
+//===- baselines/QmapAstar.cpp - QMAP-style layered A* mapper --------------------===//
+//
+// Part of the Qlosure project. Distributed under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "baselines/QmapAstar.h"
+
+#include "support/Timer.h"
+
+#include <algorithm>
+#include <cassert>
+#include <queue>
+#include <unordered_set>
+
+using namespace qlosure;
+
+namespace {
+
+/// One A* search node: positions of the tracked logical qubits plus the
+/// swap path taken from the root.
+struct SearchNode {
+  std::vector<unsigned> Positions; ///< Phys position per tracked ordinal.
+  std::vector<std::pair<unsigned, unsigned>> Swaps;
+  unsigned CostG = 0;
+  unsigned CostH = 0;
+
+  unsigned costF() const { return CostG + CostH; }
+};
+
+struct NodeCompare {
+  bool operator()(const SearchNode &A, const SearchNode &B) const {
+    if (A.costF() != B.costF())
+      return A.costF() > B.costF();
+    return A.CostG < B.CostG; // Prefer deeper nodes among equal f.
+  }
+};
+
+uint64_t hashPositions(const std::vector<unsigned> &Positions) {
+  uint64_t H = 0xCBF29CE484222325ULL;
+  for (unsigned P : Positions) {
+    H ^= P;
+    H *= 0x100000001B3ULL;
+  }
+  return H;
+}
+
+} // namespace
+
+RoutingResult QmapAstarRouter::route(const Circuit &Logical,
+                                     const CouplingGraph &Hw,
+                                     const QubitMapping &Initial) {
+  checkPreconditions(Logical, Hw, Initial);
+  Timer Clock;
+
+  RoutingResult Result;
+  Result.Routed = Circuit(Hw.numQubits(), Logical.name() + ".routed");
+  Result.InitialMapping = Initial;
+  Result.RouterName = name();
+  QubitMapping Phi = Initial;
+
+  // Time-sliced layer partition: a gate joins the current layer unless one
+  // of its qubits is already busy there.
+  std::vector<std::vector<uint32_t>> Layers;
+  {
+    std::vector<uint8_t> Busy(Logical.numQubits(), 0);
+    std::vector<uint32_t> Current;
+    for (uint32_t GI = 0; GI < Logical.size(); ++GI) {
+      const Gate &G = Logical.gate(GI);
+      unsigned N = G.numQubits();
+      bool Conflict = false;
+      for (unsigned Q = 0; Q < N; ++Q)
+        Conflict |= Busy[static_cast<size_t>(G.Qubits[Q])] != 0;
+      if (Conflict) {
+        Layers.push_back(std::move(Current));
+        Current.clear();
+        std::fill(Busy.begin(), Busy.end(), 0);
+      }
+      Current.push_back(GI);
+      for (unsigned Q = 0; Q < N; ++Q)
+        Busy[static_cast<size_t>(G.Qubits[Q])] = 1;
+    }
+    if (!Current.empty())
+      Layers.push_back(std::move(Current));
+  }
+
+  auto emitSwap = [&](unsigned P1, unsigned P2) {
+    Result.Routed.addSwap(static_cast<int32_t>(P1), static_cast<int32_t>(P2));
+    Result.InsertedSwapFlags.push_back(1);
+    ++Result.NumSwaps;
+    Phi.swapPhysical(static_cast<int32_t>(P1), static_cast<int32_t>(P2));
+  };
+
+  auto emitProgramGate = [&](uint32_t GI) {
+    Result.Routed.addGate(Logical.gate(GI).withMappedQubits(
+        [&Phi](int32_t Q) { return Phi.physOf(Q); }));
+    Result.InsertedSwapFlags.push_back(0);
+  };
+
+  /// Routes one chunk of mutually disjoint 2Q gates with a bounded A*
+  /// search over the joint placement of the chunk's qubits, then emits the
+  /// chunk's gates. Falls back to greedy shortest-path insertion per gate
+  /// when the node budget is exhausted.
+  auto routeChunk = [&](const std::vector<uint32_t> &Chunk) {
+    // Tracked qubits: the chunk's logical operands.
+    std::vector<int32_t> Tracked;
+    for (uint32_t GI : Chunk) {
+      Tracked.push_back(Logical.gate(GI).Qubits[0]);
+      Tracked.push_back(Logical.gate(GI).Qubits[1]);
+    }
+    std::sort(Tracked.begin(), Tracked.end());
+    Tracked.erase(std::unique(Tracked.begin(), Tracked.end()),
+                  Tracked.end());
+    std::vector<std::pair<unsigned, unsigned>> GatePairs;
+    for (uint32_t GI : Chunk) {
+      const Gate &G = Logical.gate(GI);
+      auto OrdinalOf = [&Tracked](int32_t Q) {
+        return static_cast<unsigned>(
+            std::lower_bound(Tracked.begin(), Tracked.end(), Q) -
+            Tracked.begin());
+      };
+      GatePairs.push_back({OrdinalOf(G.Qubits[0]), OrdinalOf(G.Qubits[1])});
+    }
+
+    auto heuristic = [&](const std::vector<unsigned> &Pos) {
+      unsigned H = 0;
+      for (auto [A, B] : GatePairs)
+        H += Hw.distance(Pos[A], Pos[B]) - 1;
+      return H;
+    };
+    auto isGoal = [&](const std::vector<unsigned> &Pos) {
+      for (auto [A, B] : GatePairs)
+        if (!Hw.areAdjacent(Pos[A], Pos[B]))
+          return false;
+      return true;
+    };
+
+    SearchNode Root;
+    Root.Positions.resize(Tracked.size());
+    for (size_t I = 0; I < Tracked.size(); ++I)
+      Root.Positions[I] = static_cast<unsigned>(Phi.physOf(Tracked[I]));
+    Root.CostH = heuristic(Root.Positions);
+
+    std::priority_queue<SearchNode, std::vector<SearchNode>, NodeCompare>
+        Open;
+    std::unordered_set<uint64_t> Closed;
+    Open.push(Root);
+    size_t Expansions = 0;
+    bool Solved = false;
+    SearchNode Goal;
+
+    while (!Open.empty() && Expansions < Options.NodeBudgetPerLayer) {
+      SearchNode Node = Open.top();
+      Open.pop();
+      uint64_t Key = hashPositions(Node.Positions);
+      if (!Closed.insert(Key).second)
+        continue;
+      ++Expansions;
+      if (isGoal(Node.Positions)) {
+        Solved = true;
+        Goal = std::move(Node);
+        break;
+      }
+      for (size_t I = 0; I < Node.Positions.size(); ++I) {
+        unsigned From = Node.Positions[I];
+        for (unsigned To : Hw.neighbors(From)) {
+          SearchNode Next = Node;
+          Next.Positions[I] = To;
+          // If another tracked qubit occupies To, it moves to From.
+          for (size_t J = 0; J < Next.Positions.size(); ++J)
+            if (J != I && Next.Positions[J] == To)
+              Next.Positions[J] = From;
+          Next.Swaps.push_back({From, To});
+          Next.CostG = Node.CostG + 1;
+          Next.CostH = heuristic(Next.Positions);
+          if (!Closed.count(hashPositions(Next.Positions)))
+            Open.push(std::move(Next));
+        }
+      }
+    }
+
+    if (Solved) {
+      for (auto [P1, P2] : Goal.Swaps)
+        emitSwap(P1, P2);
+      for (uint32_t GI : Chunk)
+        emitProgramGate(GI);
+      return;
+    }
+    // Budget exhausted: resolve-and-emit each gate immediately (a later
+    // gate's path may separate an earlier pair, so emission cannot wait).
+    for (uint32_t GI : Chunk) {
+      const Gate &G = Logical.gate(GI);
+      unsigned P1 = static_cast<unsigned>(Phi.physOf(G.Qubits[0]));
+      unsigned P2 = static_cast<unsigned>(Phi.physOf(G.Qubits[1]));
+      if (!Hw.areAdjacent(P1, P2)) {
+        std::vector<unsigned> Path = Hw.shortestPath(P1, P2);
+        for (size_t I = 0; I + 2 < Path.size(); ++I)
+          emitSwap(Path[I], Path[I + 1]);
+      }
+      emitProgramGate(GI);
+    }
+  };
+
+  for (const std::vector<uint32_t> &Layer : Layers) {
+    std::vector<uint32_t> TwoQ;
+    for (uint32_t GI : Layer)
+      if (Logical.gate(GI).isTwoQubit())
+        TwoQ.push_back(GI);
+
+    bool TimedOut = Clock.elapsedSeconds() > Options.TimeBudgetSeconds;
+    if (TimedOut)
+      Result.TimedOut = true;
+
+    if (!TwoQ.empty()) {
+      if (TimedOut) {
+        // Greedy completion so callers still receive a valid circuit.
+        for (uint32_t GI : TwoQ) {
+          const Gate &G = Logical.gate(GI);
+          unsigned P1 = static_cast<unsigned>(Phi.physOf(G.Qubits[0]));
+          unsigned P2 = static_cast<unsigned>(Phi.physOf(G.Qubits[1]));
+          if (!Hw.areAdjacent(P1, P2)) {
+            std::vector<unsigned> Path = Hw.shortestPath(P1, P2);
+            for (size_t I = 0; I + 2 < Path.size(); ++I)
+              emitSwap(Path[I], Path[I + 1]);
+          }
+          emitProgramGate(GI);
+        }
+      } else {
+        // Joint A* over chunks of at most MaxJointGates disjoint gates
+        // (MQT QMAP splits large layers the same way to keep the search
+        // space tractable).
+        for (size_t Begin = 0; Begin < TwoQ.size();
+             Begin += Options.MaxJointGates) {
+          size_t End = std::min(TwoQ.size(), Begin + Options.MaxJointGates);
+          std::vector<uint32_t> Chunk(TwoQ.begin() + Begin,
+                                      TwoQ.begin() + End);
+          routeChunk(Chunk);
+        }
+      }
+    }
+    // Single-qubit gates of the layer execute wherever their qubit sits.
+    for (uint32_t GI : Layer)
+      if (!Logical.gate(GI).isTwoQubit())
+        emitProgramGate(GI);
+  }
+
+  Result.FinalMapping = Phi;
+  Result.MappingSeconds = Clock.elapsedSeconds();
+  return Result;
+}

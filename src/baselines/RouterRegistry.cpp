@@ -1,0 +1,41 @@
+//===- baselines/RouterRegistry.cpp - Mapper factory ------------------------------===//
+//
+// Part of the Qlosure project. Distributed under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "baselines/RouterRegistry.h"
+
+#include "baselines/CirqGreedy.h"
+#include "baselines/QmapAstar.h"
+#include "baselines/Sabre.h"
+#include "baselines/TketBounded.h"
+#include "core/Qlosure.h"
+#include "support/Error.h"
+
+using namespace qlosure;
+
+std::unique_ptr<Router> qlosure::makeRouterByName(const std::string &Name) {
+  if (Name == "qlosure")
+    return std::make_unique<QlosureRouter>();
+  if (Name == "sabre")
+    return std::make_unique<SabreRouter>();
+  if (Name == "qmap")
+    return std::make_unique<QmapAstarRouter>();
+  if (Name == "cirq")
+    return std::make_unique<CirqGreedyRouter>();
+  if (Name == "tket")
+    return std::make_unique<TketBoundedRouter>();
+  reportFatalError("unknown router name: " + Name);
+}
+
+std::vector<std::string> qlosure::paperRouterNames() {
+  return {"sabre", "qmap", "cirq", "tket", "qlosure"};
+}
+
+std::vector<std::unique_ptr<Router>> qlosure::makePaperRouters() {
+  std::vector<std::unique_ptr<Router>> Routers;
+  for (const std::string &Name : paperRouterNames())
+    Routers.push_back(makeRouterByName(Name));
+  return Routers;
+}

@@ -1,0 +1,37 @@
+//===- baselines/RouterRegistry.h - Mapper factory -----------------*- C++ -*-===//
+//
+// Part of the Qlosure project. Distributed under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Factory for the five mappers of the paper's evaluation (Qlosure plus
+/// the four baselines), used by the evaluation harness and the examples.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef QLOSURE_BASELINES_ROUTERREGISTRY_H
+#define QLOSURE_BASELINES_ROUTERREGISTRY_H
+
+#include "route/Router.h"
+
+#include <memory>
+#include <string>
+#include <vector>
+
+namespace qlosure {
+
+/// Creates a mapper by name: "qlosure", "sabre", "qmap", "cirq", "tket".
+/// Aborts on unknown names.
+std::unique_ptr<Router> makeRouterByName(const std::string &Name);
+
+/// The evaluation order used throughout the paper's tables:
+/// SABRE, QMAP, Cirq, Pytket, Qlosure.
+std::vector<std::string> paperRouterNames();
+
+/// Instantiates all five mappers in paper order.
+std::vector<std::unique_ptr<Router>> makePaperRouters();
+
+} // namespace qlosure
+
+#endif // QLOSURE_BASELINES_ROUTERREGISTRY_H

@@ -1,0 +1,28 @@
+//===- baselines/Sabre.cpp - SABRE baseline mapper -------------------------------===//
+//
+// Part of the Qlosure project. Distributed under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "baselines/Sabre.h"
+
+using namespace qlosure;
+
+double SabreRouter::scoreSwap(const std::vector<unsigned> &FrontDists,
+                              const std::vector<unsigned> &ExtendedDists,
+                              double MaxDecay) const {
+  double FrontSum = 0;
+  for (unsigned D : FrontDists)
+    FrontSum += D;
+  double Score = FrontDists.empty()
+                     ? 0.0
+                     : FrontSum / static_cast<double>(FrontDists.size());
+  if (!ExtendedDists.empty()) {
+    double ExtSum = 0;
+    for (unsigned D : ExtendedDists)
+      ExtSum += D;
+    Score += Options.ExtendedWeight * ExtSum /
+             static_cast<double>(ExtendedDists.size());
+  }
+  return MaxDecay * Score;
+}

@@ -1,0 +1,29 @@
+//===- baselines/TketBounded.cpp - tket-style baseline mapper --------------------===//
+//
+// Part of the Qlosure project. Distributed under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "baselines/TketBounded.h"
+
+#include <algorithm>
+
+using namespace qlosure;
+
+double TketBoundedRouter::scoreSwap(const std::vector<unsigned> &FrontDists,
+                                    const std::vector<unsigned> &ExtendedDists,
+                                    double) const {
+  // Lexicographic (max distance, total distance) folded into one value:
+  // the max dominates, the sum breaks ties among equal maxima.
+  unsigned MaxDist = 0;
+  double Sum = 0;
+  for (unsigned D : FrontDists) {
+    MaxDist = std::max(MaxDist, D);
+    Sum += D;
+  }
+  double Ext = 0;
+  for (unsigned D : ExtendedDists)
+    Ext += D;
+  return static_cast<double>(MaxDist) * 1e6 + Sum +
+         Options.LookaheadWeight * Ext;
+}

@@ -1,0 +1,50 @@
+//===- baselines/TketBounded.h - tket-style baseline mapper -------*- C++ -*-===//
+//
+// Part of the Qlosure project. Distributed under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// tket-style router (Cowtan et al., TQC 2019; Table I of the paper:
+/// "time-sliced, bounded longest distance"): candidate SWAPs are ranked by
+/// the *maximum* remaining qubit distance across the frontier slices, with
+/// the distance sum as tie-breaker — bounding the worst pair rather than
+/// the average.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef QLOSURE_BASELINES_TKETBOUNDED_H
+#define QLOSURE_BASELINES_TKETBOUNDED_H
+
+#include "baselines/GreedyRouterBase.h"
+
+namespace qlosure {
+
+/// tket-style tuning options.
+struct TketOptions {
+  size_t LookaheadGates = 8;
+  double LookaheadWeight = 0.25;
+};
+
+/// The tket-style baseline.
+class TketBoundedRouter : public GreedyRouterBase {
+public:
+  explicit TketBoundedRouter(TketOptions Options = {}) : Options(Options) {}
+
+  std::string name() const override { return "Pytket"; }
+
+protected:
+  size_t extendedWindowSize(size_t) const override {
+    return Options.LookaheadGates;
+  }
+  double scoreSwap(const std::vector<unsigned> &FrontDists,
+                   const std::vector<unsigned> &ExtendedDists,
+                   double MaxDecay) const override;
+
+private:
+  TketOptions Options;
+};
+
+} // namespace qlosure
+
+#endif // QLOSURE_BASELINES_TKETBOUNDED_H

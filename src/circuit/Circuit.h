@@ -1,0 +1,117 @@
+//===- circuit/Circuit.h - Quantum circuit IR --------------------*- C++ -*-===//
+//
+// Part of the Qlosure project. Distributed under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The flat quantum-circuit IR: a named sequence of gates over a fixed
+/// number of qubits. The same type represents logical (pre-mapping) and
+/// physical (post-routing) circuits; routers document which they produce.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef QLOSURE_CIRCUIT_CIRCUIT_H
+#define QLOSURE_CIRCUIT_CIRCUIT_H
+
+#include "circuit/Gate.h"
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace qlosure {
+
+/// How SWAP gates are charged when measuring depth and gate counts.
+enum class SwapCostModel : uint8_t {
+  SwapAsOneGate,  ///< A SWAP occupies one time step (QUEKO convention).
+  SwapAsThreeCx   ///< A SWAP is three CX gates (hardware decomposition).
+};
+
+/// A quantum circuit: an ordered gate list over NumQubits qubits.
+class Circuit {
+public:
+  Circuit() = default;
+  explicit Circuit(unsigned NumQubits, std::string Name = "")
+      : NumQubits(NumQubits), Name(std::move(Name)) {}
+
+  unsigned numQubits() const { return NumQubits; }
+  const std::string &name() const { return Name; }
+  void setName(std::string NewName) { Name = std::move(NewName); }
+
+  const std::vector<Gate> &gates() const { return Gates; }
+
+  /// Mutable gate access for passes that rewrite in place (and for fault
+  /// injection in tests). Invariants are the caller's responsibility;
+  /// re-check with verifyInvariants().
+  std::vector<Gate> &gatesMutable() { return Gates; }
+  size_t size() const { return Gates.size(); }
+  bool empty() const { return Gates.empty(); }
+  const Gate &gate(size_t Index) const { return Gates[Index]; }
+
+  /// Appends \p G; asserts its qubit operands are in range and distinct.
+  void addGate(const Gate &G);
+
+  /// Convenience builders.
+  void add1Q(GateKind Kind, int32_t Q) { addGate(Gate(Kind, Q)); }
+  void add1Q(GateKind Kind, int32_t Q, double Theta) {
+    Gate G(Kind, Q);
+    G.Params[0] = Theta;
+    addGate(G);
+  }
+  void add2Q(GateKind Kind, int32_t Q0, int32_t Q1) {
+    addGate(Gate(Kind, Q0, Q1));
+  }
+  void add2Q(GateKind Kind, int32_t Q0, int32_t Q1, double Theta) {
+    Gate G(Kind, Q0, Q1);
+    G.Params[0] = Theta;
+    addGate(G);
+  }
+  void addCx(int32_t Control, int32_t Target) {
+    add2Q(GateKind::CX, Control, Target);
+  }
+  void addSwap(int32_t Q0, int32_t Q1) { add2Q(GateKind::Swap, Q0, Q1); }
+
+  /// Number of gates with exactly two qubit operands (includes SWAPs).
+  size_t numTwoQubitGates() const;
+
+  /// Number of SWAP gates.
+  size_t numSwapGates() const;
+
+  /// Total quantum operations excluding barriers and measurements.
+  size_t numQuantumOps() const;
+
+  /// Circuit depth: length of the longest dependence chain, with SWAPs
+  /// charged per \p Model.
+  size_t depth(SwapCostModel Model = SwapCostModel::SwapAsOneGate) const;
+
+  /// Returns a copy with all qubit operands rewritten through \p Fn
+  /// (e.g. applying an initial logical-to-physical placement).
+  template <typename FnT> Circuit withMappedQubits(FnT Fn) const {
+    Circuit Result(NumQubits, Name);
+    Result.Gates.reserve(Gates.size());
+    for (const Gate &G : Gates)
+      Result.Gates.push_back(G.withMappedQubits(Fn));
+    return Result;
+  }
+
+  /// Returns a copy without barriers and measurements (routers only care
+  /// about unitary gates).
+  Circuit withoutNonUnitaries() const;
+
+  /// Returns a copy where CCX/CSwap are decomposed into 1- and 2-qubit
+  /// gates (standard 6-CX Toffoli construction).
+  Circuit decomposeThreeQubitGates() const;
+
+  /// Asserts structural invariants (operand ranges, distinctness).
+  void verifyInvariants() const;
+
+private:
+  unsigned NumQubits = 0;
+  std::string Name;
+  std::vector<Gate> Gates;
+};
+
+} // namespace qlosure
+
+#endif // QLOSURE_CIRCUIT_CIRCUIT_H

@@ -1,0 +1,80 @@
+//===- circuit/Dag.cpp - Circuit dependence DAG -------------------------------===//
+//
+// Part of the Qlosure project. Distributed under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "circuit/Dag.h"
+
+#include "support/DynamicBitset.h"
+
+#include <algorithm>
+#include <cassert>
+
+using namespace qlosure;
+
+CircuitDag::CircuitDag(const Circuit &C) {
+  size_t N = C.size();
+  Successors.resize(N);
+  Predecessors.resize(N);
+  TwoQubit.resize(N);
+  for (size_t GI = 0; GI < N; ++GI)
+    TwoQubit[GI] = C.gate(GI).isTwoQubit();
+
+  // Last gate seen on each wire.
+  std::vector<int64_t> LastOnWire(C.numQubits(), -1);
+  for (size_t GI = 0; GI < N; ++GI) {
+    const Gate &G = C.gate(GI);
+    unsigned NQ = G.numQubits();
+    bool HasPred = false;
+    for (unsigned Q = 0; Q < NQ; ++Q) {
+      int64_t Prev = LastOnWire[static_cast<size_t>(G.Qubits[Q])];
+      if (Prev >= 0) {
+        // Avoid duplicate edges when both operands last met the same gate.
+        auto &Preds = Predecessors[GI];
+        if (std::find(Preds.begin(), Preds.end(),
+                      static_cast<uint32_t>(Prev)) == Preds.end()) {
+          Successors[static_cast<size_t>(Prev)].push_back(
+              static_cast<uint32_t>(GI));
+          Preds.push_back(static_cast<uint32_t>(Prev));
+        }
+        HasPred = true;
+      }
+      LastOnWire[static_cast<size_t>(G.Qubits[Q])] =
+          static_cast<int64_t>(GI);
+    }
+    if (!HasPred)
+      Roots.push_back(static_cast<uint32_t>(GI));
+  }
+}
+
+std::vector<uint32_t> CircuitDag::asapLevels() const {
+  size_t N = numGates();
+  std::vector<uint32_t> Level(N, 0);
+  // Gates are stored in a topological order (program order), so one forward
+  // sweep suffices.
+  for (size_t GI = 0; GI < N; ++GI)
+    for (uint32_t Succ : Successors[GI])
+      Level[Succ] = std::max(Level[Succ], Level[GI] + 1);
+  return Level;
+}
+
+std::vector<uint64_t> CircuitDag::exactTransitiveSuccessorCounts() const {
+  size_t N = numGates();
+  std::vector<uint64_t> Counts(N, 0);
+  if (N == 0)
+    return Counts;
+
+  // Reverse topological order is just reverse program order.
+  std::vector<DynamicBitset> Reach(N);
+  for (size_t GI = N; GI-- > 0;) {
+    DynamicBitset &Set = Reach[GI];
+    Set.resize(N);
+    for (uint32_t Succ : Successors[GI]) {
+      Set.set(Succ);
+      Set |= Reach[Succ];
+    }
+    Counts[GI] = Set.count();
+  }
+  return Counts;
+}

@@ -1,0 +1,72 @@
+//===- circuit/Dag.h - Circuit dependence DAG --------------------*- C++ -*-===//
+//
+// Part of the Qlosure project. Distributed under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The gate-level dependence DAG of a circuit. An edge g -> h exists when h
+/// is the *next* gate after g sharing one of g's qubits (per-wire nearest
+/// dependence); the transitive closure of these edges equals the full
+/// shared-qubit dependence relation Rdep+ of the paper.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef QLOSURE_CIRCUIT_DAG_H
+#define QLOSURE_CIRCUIT_DAG_H
+
+#include "circuit/Circuit.h"
+
+#include <cstdint>
+#include <vector>
+
+namespace qlosure {
+
+/// Immutable dependence DAG over the gates of one circuit. Gate identity is
+/// the index into Circuit::gates().
+class CircuitDag {
+public:
+  /// Builds the DAG of \p C (barriers/measures participate as ordinary
+  /// nodes so they keep their ordering role; strip them beforehand if
+  /// undesired).
+  explicit CircuitDag(const Circuit &C);
+
+  size_t numGates() const { return Successors.size(); }
+
+  const std::vector<uint32_t> &successors(size_t Gate) const {
+    return Successors[Gate];
+  }
+  const std::vector<uint32_t> &predecessors(size_t Gate) const {
+    return Predecessors[Gate];
+  }
+
+  /// Number of direct predecessors (in-degree).
+  unsigned inDegree(size_t Gate) const {
+    return static_cast<unsigned>(Predecessors[Gate].size());
+  }
+
+  /// Gates with no predecessors (the initial front layer).
+  const std::vector<uint32_t> &roots() const { return Roots; }
+
+  /// Whether gate \p Gate has exactly two qubit operands (cached at
+  /// construction for consumers that no longer hold the circuit).
+  bool isTwoQubitGate(size_t Gate) const { return TwoQubit[Gate] != 0; }
+
+  /// ASAP level of each gate (roots at level 0).
+  std::vector<uint32_t> asapLevels() const;
+
+  /// Number of transitive successors of each gate, computed exactly with
+  /// a reverse-topological bitset sweep. O(V^2/64 + V*E) time, O(V^2/8)
+  /// memory; use the affine engine (deps/TransitiveWeights) for scale.
+  std::vector<uint64_t> exactTransitiveSuccessorCounts() const;
+
+private:
+  std::vector<std::vector<uint32_t>> Successors;
+  std::vector<std::vector<uint32_t>> Predecessors;
+  std::vector<uint32_t> Roots;
+  std::vector<uint8_t> TwoQubit;
+};
+
+} // namespace qlosure
+
+#endif // QLOSURE_CIRCUIT_DAG_H

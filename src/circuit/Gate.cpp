@@ -1,0 +1,156 @@
+//===- circuit/Gate.cpp - Quantum gate representation ------------------------===//
+//
+// Part of the Qlosure project. Distributed under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "circuit/Gate.h"
+
+#include "support/Error.h"
+#include "support/StringUtils.h"
+
+using namespace qlosure;
+
+unsigned qlosure::gateArity(GateKind Kind) {
+  switch (Kind) {
+  case GateKind::I:
+  case GateKind::X:
+  case GateKind::Y:
+  case GateKind::Z:
+  case GateKind::H:
+  case GateKind::S:
+  case GateKind::Sdg:
+  case GateKind::T:
+  case GateKind::Tdg:
+  case GateKind::SX:
+  case GateKind::RX:
+  case GateKind::RY:
+  case GateKind::RZ:
+  case GateKind::P:
+  case GateKind::U1:
+  case GateKind::U2:
+  case GateKind::U3:
+  case GateKind::Measure:
+  case GateKind::Barrier:
+    return 1;
+  case GateKind::CX:
+  case GateKind::CZ:
+  case GateKind::CP:
+  case GateKind::CRZ:
+  case GateKind::RZZ:
+  case GateKind::CH:
+  case GateKind::CY:
+  case GateKind::Swap:
+    return 2;
+  case GateKind::CCX:
+  case GateKind::CSwap:
+    return 3;
+  }
+  QLOSURE_UNREACHABLE("unknown gate kind");
+}
+
+unsigned qlosure::gateNumParams(GateKind Kind) {
+  switch (Kind) {
+  case GateKind::RX:
+  case GateKind::RY:
+  case GateKind::RZ:
+  case GateKind::P:
+  case GateKind::U1:
+  case GateKind::CP:
+  case GateKind::CRZ:
+  case GateKind::RZZ:
+    return 1;
+  case GateKind::U2:
+    return 2;
+  case GateKind::U3:
+    return 3;
+  default:
+    return 0;
+  }
+}
+
+const char *qlosure::gateName(GateKind Kind) {
+  switch (Kind) {
+  case GateKind::I:
+    return "id";
+  case GateKind::X:
+    return "x";
+  case GateKind::Y:
+    return "y";
+  case GateKind::Z:
+    return "z";
+  case GateKind::H:
+    return "h";
+  case GateKind::S:
+    return "s";
+  case GateKind::Sdg:
+    return "sdg";
+  case GateKind::T:
+    return "t";
+  case GateKind::Tdg:
+    return "tdg";
+  case GateKind::SX:
+    return "sx";
+  case GateKind::RX:
+    return "rx";
+  case GateKind::RY:
+    return "ry";
+  case GateKind::RZ:
+    return "rz";
+  case GateKind::P:
+    return "p";
+  case GateKind::U1:
+    return "u1";
+  case GateKind::U2:
+    return "u2";
+  case GateKind::U3:
+    return "u3";
+  case GateKind::CX:
+    return "cx";
+  case GateKind::CZ:
+    return "cz";
+  case GateKind::CP:
+    return "cp";
+  case GateKind::CRZ:
+    return "crz";
+  case GateKind::RZZ:
+    return "rzz";
+  case GateKind::CH:
+    return "ch";
+  case GateKind::CY:
+    return "cy";
+  case GateKind::Swap:
+    return "swap";
+  case GateKind::CCX:
+    return "ccx";
+  case GateKind::CSwap:
+    return "cswap";
+  case GateKind::Measure:
+    return "measure";
+  case GateKind::Barrier:
+    return "barrier";
+  }
+  QLOSURE_UNREACHABLE("unknown gate kind");
+}
+
+std::string Gate::toString() const {
+  std::string Out = gateName(Kind);
+  unsigned NP = numParams();
+  if (NP) {
+    Out += "(";
+    for (unsigned I = 0; I < NP; ++I) {
+      if (I)
+        Out += ", ";
+      Out += formatString("%g", Params[I]);
+    }
+    Out += ")";
+  }
+  Out += " ";
+  unsigned NQ = numQubits();
+  for (unsigned I = 0; I < NQ; ++I) {
+    if (I)
+      Out += ", ";
+    Out += formatString("q[%d]", Qubits[I]);
+  }
+  return Out;
+}

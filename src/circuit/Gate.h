@@ -1,0 +1,124 @@
+//===- circuit/Gate.h - Quantum gate representation --------------*- C++ -*-===//
+//
+// Part of the Qlosure project. Distributed under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A compact value-type quantum gate. Gates reference qubits by index; the
+/// owning Circuit defines whether those indices are logical or physical.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef QLOSURE_CIRCUIT_GATE_H
+#define QLOSURE_CIRCUIT_GATE_H
+
+#include <array>
+#include <cstdint>
+#include <string>
+
+namespace qlosure {
+
+/// The gate alphabet: the OpenQASM 2.0 qelib1 subset the frontend accepts
+/// plus SWAP (inserted by routers) and the 3-qubit gates we can decompose.
+enum class GateKind : uint8_t {
+  // One-qubit gates.
+  I,
+  X,
+  Y,
+  Z,
+  H,
+  S,
+  Sdg,
+  T,
+  Tdg,
+  SX,
+  RX,
+  RY,
+  RZ,
+  P,
+  U1,
+  U2,
+  U3,
+  // Two-qubit gates.
+  CX,
+  CZ,
+  CP,
+  CRZ,
+  RZZ,
+  CH,
+  CY,
+  Swap,
+  // Three-qubit gates (decomposed before routing).
+  CCX,
+  CSwap,
+  // Non-unitary / structural.
+  Measure,
+  Barrier
+};
+
+/// Number of qubit operands \p Kind takes (Barrier is variadic in QASM but
+/// is stored per-qubit after import).
+unsigned gateArity(GateKind Kind);
+
+/// Number of angle parameters \p Kind takes.
+unsigned gateNumParams(GateKind Kind);
+
+/// The lowercase QASM mnemonic, e.g. "cx".
+const char *gateName(GateKind Kind);
+
+/// A single gate application.
+struct Gate {
+  GateKind Kind = GateKind::I;
+  std::array<int32_t, 3> Qubits = {-1, -1, -1};
+  std::array<double, 3> Params = {0, 0, 0};
+
+  Gate() = default;
+
+  /// One-qubit constructor.
+  Gate(GateKind Kind, int32_t Q0) : Kind(Kind) { Qubits[0] = Q0; }
+
+  /// Two-qubit constructor.
+  Gate(GateKind Kind, int32_t Q0, int32_t Q1) : Kind(Kind) {
+    Qubits[0] = Q0;
+    Qubits[1] = Q1;
+  }
+
+  /// Three-qubit constructor.
+  Gate(GateKind Kind, int32_t Q0, int32_t Q1, int32_t Q2) : Kind(Kind) {
+    Qubits[0] = Q0;
+    Qubits[1] = Q1;
+    Qubits[2] = Q2;
+  }
+
+  unsigned numQubits() const { return gateArity(Kind); }
+  unsigned numParams() const { return gateNumParams(Kind); }
+
+  bool isTwoQubit() const { return numQubits() == 2; }
+  bool isSwap() const { return Kind == GateKind::Swap; }
+
+  /// True if the gate touches qubit \p Q.
+  bool usesQubit(int32_t Q) const {
+    unsigned N = numQubits();
+    for (unsigned I = 0; I < N; ++I)
+      if (Qubits[I] == Q)
+        return true;
+    return false;
+  }
+
+  /// Returns a copy with every qubit operand rewritten through \p Fn.
+  template <typename FnT> Gate withMappedQubits(FnT Fn) const {
+    Gate Result = *this;
+    unsigned N = numQubits();
+    for (unsigned I = 0; I < N; ++I)
+      Result.Qubits[I] = Fn(Qubits[I]);
+    return Result;
+  }
+
+  /// Renders e.g. "cx q[0], q[3]" for debugging.
+  std::string toString() const;
+};
+
+} // namespace qlosure
+
+#endif // QLOSURE_CIRCUIT_GATE_H

@@ -1,0 +1,387 @@
+//===- core/Qlosure.cpp - The Qlosure mapping algorithm ------------------------===//
+//
+// Part of the Qlosure project. Distributed under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "core/Qlosure.h"
+
+#include "circuit/Dag.h"
+#include "route/FrontLayer.h"
+#include "support/Random.h"
+#include "support/Timer.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+#include <limits>
+
+using namespace qlosure;
+
+QlosureRouter::QlosureRouter(QlosureOptions OptionsIn)
+    : Options(OptionsIn) {}
+
+std::string QlosureRouter::name() const {
+  if (Options.UseDependencyWeights && Options.UseLayerStructure)
+    return "Qlosure";
+  if (Options.UseLayerStructure)
+    return "Qlosure(layer-only)";
+  return "Qlosure(distance-only)";
+}
+
+namespace {
+
+/// Routing state shared by the helper methods of the main loop.
+class RoutingLoop {
+public:
+  RoutingLoop(const QlosureOptions &Options, const Circuit &Logical,
+              const CouplingGraph &Hw, const QubitMapping &Initial)
+      : Options(Options), Logical(Logical), Hw(Hw), Dag(Logical),
+        Tracker(Dag), Phi(Initial), TieBreaker(Options.Seed),
+        Decay(Logical.numQubits(), 1.0) {
+    LookaheadC = Options.LookaheadConstant
+                     ? Options.LookaheadConstant
+                     : 2 * Hw.maxDegree() + 2;
+    UseWeightedDistance = Options.ErrorAware && Hw.hasErrorModel();
+    WeightResult WR = computeDependenceWeights(Logical, Options.Weights);
+    Weights = std::move(WR.Weights);
+    Result.Routed = Circuit(Hw.numQubits(), Logical.name() + ".routed");
+    Result.InitialMapping = Initial;
+    Result.RouterName = "Qlosure";
+  }
+
+  RoutingResult run() {
+    Timer Clock;
+    while (!Tracker.allExecuted()) {
+      if (executeReadyGates())
+        continue;
+      routeOneSwap();
+    }
+    Result.FinalMapping = Phi;
+    Result.MappingSeconds = Clock.elapsedSeconds();
+    return std::move(Result);
+  }
+
+private:
+  /// Executes every currently feasible front gate. Returns true if at
+  /// least one gate was executed.
+  bool executeReadyGates() {
+    bool Progress = false;
+    bool Changed = true;
+    while (Changed) {
+      Changed = false;
+      // Copy: execute() mutates the front.
+      std::vector<uint32_t> Ready;
+      for (uint32_t G : Tracker.front())
+        if (isExecutable(G))
+          Ready.push_back(G);
+      std::sort(Ready.begin(), Ready.end()); // Deterministic order.
+      for (uint32_t G : Ready) {
+        emitProgramGate(G);
+        Tracker.execute(G);
+        Changed = true;
+        Progress = true;
+      }
+    }
+    if (Progress) {
+      // Algorithm 1 line 9: executing a gate resets the decay vector.
+      std::fill(Decay.begin(), Decay.end(), 1.0);
+      SwapsSinceProgress = 0;
+    }
+    return Progress;
+  }
+
+  bool isExecutable(uint32_t GateId) const {
+    const Gate &G = Logical.gate(GateId);
+    if (!G.isTwoQubit())
+      return true;
+    return Hw.areAdjacent(
+        static_cast<unsigned>(Phi.physOf(G.Qubits[0])),
+        static_cast<unsigned>(Phi.physOf(G.Qubits[1])));
+  }
+
+  void emitProgramGate(uint32_t GateId) {
+    const Gate &G = Logical.gate(GateId);
+    Result.Routed.addGate(G.withMappedQubits(
+        [this](int32_t Q) { return Phi.physOf(Q); }));
+    Result.InsertedSwapFlags.push_back(0);
+  }
+
+  void emitSwap(unsigned P1, unsigned P2) {
+    Result.Routed.addSwap(static_cast<int32_t>(P1),
+                          static_cast<int32_t>(P2));
+    Result.InsertedSwapFlags.push_back(1);
+    ++Result.NumSwaps;
+    // Decay penalizes the *logical* qubits that moved.
+    int32_t L1 = Phi.logOf(static_cast<int32_t>(P1));
+    int32_t L2 = Phi.logOf(static_cast<int32_t>(P2));
+    Phi.swapPhysical(static_cast<int32_t>(P1), static_cast<int32_t>(P2));
+    if (L1 >= 0)
+      Decay[static_cast<size_t>(L1)] += Options.DecayIncrement;
+    if (L2 >= 0)
+      Decay[static_cast<size_t>(L2)] += Options.DecayIncrement;
+  }
+
+  /// Builds the look-ahead window and its dependence-distance layers, then
+  /// applies the best-scoring candidate SWAP.
+  void routeOneSwap() {
+    if (SwapsSinceProgress >= Options.MaxSwapsWithoutProgress) {
+      forceResolveOldestGate();
+      return;
+    }
+
+    buildWindowLayers();
+    std::vector<std::pair<unsigned, unsigned>> Candidates =
+        generateCandidates();
+    assert(!Candidates.empty() && "no candidate SWAPs on a connected graph");
+
+    std::vector<double> Scores(Candidates.size());
+    double BestScore = std::numeric_limits<double>::infinity();
+    for (size_t CI = 0; CI < Candidates.size(); ++CI) {
+      Scores[CI] = scoreSwap(Candidates[CI].first, Candidates[CI].second);
+      BestScore = std::min(BestScore, Scores[CI]);
+    }
+
+    // Error-aware extension: among *exact* cost ties, prefer the
+    // candidate on the least noisy coupler. Refining ties cannot perturb
+    // the greedy descent of Eq. 2 at all (experiments with relaxed
+    // margins, and with folding errors into the distance metric, both
+    // ballooned swap counts on dense circuits — cost slack compounds over
+    // thousands of decisions).
+    double TieMargin = 0.0;
+    std::vector<size_t> BestIndices;
+    for (size_t CI = 0; CI < Candidates.size(); ++CI)
+      if (Scores[CI] <= BestScore + TieMargin + 1e-12)
+        BestIndices.push_back(CI);
+    if (UseWeightedDistance && BestIndices.size() > 1) {
+      double MinError = std::numeric_limits<double>::infinity();
+      for (size_t CI : BestIndices)
+        MinError = std::min(
+            MinError, Hw.edgeError(Candidates[CI].first,
+                                   Candidates[CI].second));
+      std::vector<size_t> Cleanest;
+      for (size_t CI : BestIndices)
+        if (Hw.edgeError(Candidates[CI].first, Candidates[CI].second) <=
+            MinError + 1e-12)
+          Cleanest.push_back(CI);
+      BestIndices = std::move(Cleanest);
+    }
+    size_t Pick = BestIndices[static_cast<size_t>(
+        TieBreaker.nextBounded(BestIndices.size()))];
+    emitSwap(Candidates[Pick].first, Candidates[Pick].second);
+    ++SwapsSinceProgress;
+  }
+
+  /// Termination escape hatch: walk the oldest front 2Q gate's operands
+  /// together along a shortest path.
+  void forceResolveOldestGate() {
+    uint32_t Oldest = UINT32_MAX;
+    for (uint32_t G : Tracker.front())
+      if (Logical.gate(G).isTwoQubit())
+        Oldest = std::min(Oldest, G);
+    assert(Oldest != UINT32_MAX && "stuck without a blocked 2Q gate");
+    const Gate &G = Logical.gate(Oldest);
+    unsigned P1 = static_cast<unsigned>(Phi.physOf(G.Qubits[0]));
+    unsigned P2 = static_cast<unsigned>(Phi.physOf(G.Qubits[1]));
+    std::vector<unsigned> Path = Hw.shortestPath(P1, P2);
+    // Move the first operand down the path until adjacent to the second.
+    for (size_t I = 0; I + 2 < Path.size(); ++I)
+      emitSwap(Path[I], Path[I + 1]);
+    SwapsSinceProgress = 0;
+  }
+
+  /// Populates WindowGates / GateLayer / LayerData for the current front.
+  void buildWindowLayers() {
+    // n_f = distinct physical qubits hosting front-layer gate operands.
+    std::vector<uint8_t> SeenPhys(Hw.numQubits(), 0);
+    unsigned NumFrontQubits = 0;
+    for (uint32_t GI : Tracker.front()) {
+      const Gate &G = Logical.gate(GI);
+      unsigned N = G.numQubits();
+      for (unsigned Q = 0; Q < N; ++Q) {
+        unsigned P = static_cast<unsigned>(Phi.physOf(G.Qubits[Q]));
+        if (!SeenPhys[P]) {
+          SeenPhys[P] = 1;
+          ++NumFrontQubits;
+        }
+      }
+    }
+    size_t WindowSize = static_cast<size_t>(LookaheadC) * NumFrontQubits;
+    // The budget counts two-qubit gates: they are the ones the cost
+    // function scores, so sparse circuits with many interleaved 1Q gates
+    // keep a comparable routing horizon.
+    WindowGates = Tracker.topologicalWindow(std::max<size_t>(WindowSize, 1),
+                                            /*CountTwoQubitOnly=*/true);
+
+    // Dependence-distance levels within the window: level 1 for window
+    // gates with no unexecuted predecessor inside the window, otherwise
+    // the maximum predecessor level, incremented for two-qubit gates.
+    // Single-qubit gates transmit their level without incrementing it —
+    // only routable gates define dependence distance for Eq. 2.
+    GateLevel.assign(Logical.size(), 0);
+    unsigned MaxLevel = 0;
+    if (!Options.UseLayerStructure) {
+      // Distance-only / front-only variants: the window is just L_f.
+      WindowGates.clear();
+      for (uint32_t G : Tracker.front())
+        WindowGates.push_back(G);
+      std::sort(WindowGates.begin(), WindowGates.end());
+      for (uint32_t G : WindowGates)
+        GateLevel[G] = 1;
+      MaxLevel = 1;
+    } else {
+      for (uint32_t G : WindowGates) {
+        unsigned Level = 0;
+        for (uint32_t Pred : Dag.predecessors(G))
+          Level = std::max(Level, GateLevel[Pred]); // 0 if outside window.
+        bool IsTwoQubit = Logical.gate(G).isTwoQubit();
+        GateLevel[G] = Level + (IsTwoQubit ? 1 : 0);
+        if (!IsTwoQubit && GateLevel[G] == 0)
+          GateLevel[G] = 1; // 1Q window roots sit in the front layer.
+        MaxLevel = std::max(MaxLevel, GateLevel[G]);
+      }
+    }
+
+    // Per-layer 2Q-gate membership and base distance sums.
+    LayerGateCount.assign(MaxLevel + 1, 0);
+    LayerBaseSum.assign(MaxLevel + 1, 0.0);
+    TouchingGates.clear();
+    TouchingGates.resize(Hw.numQubits());
+    for (uint32_t G : WindowGates) {
+      const Gate &Gate2 = Logical.gate(G);
+      if (!Gate2.isTwoQubit())
+        continue;
+      unsigned L = GateLevel[G];
+      ++LayerGateCount[L];
+      unsigned PA = static_cast<unsigned>(Phi.physOf(Gate2.Qubits[0]));
+      unsigned PB = static_cast<unsigned>(Phi.physOf(Gate2.Qubits[1]));
+      LayerBaseSum[L] += gateTerm(G, PA, PB);
+      TouchingGates[PA].push_back(G);
+      TouchingGates[PB].push_back(G);
+    }
+  }
+
+  /// The scored term of gate \p G when its operands sit on \p PA / \p PB:
+  /// omega_g * D(PA, PB) (omega forced to 1 without dependency weights).
+  /// D stays the hop metric even in error-aware mode — a weighted metric
+  /// has a per-edge error floor, so swaps toward true adjacency would not
+  /// reduce it and routing would stop converging; error-awareness instead
+  /// penalizes the candidate swap's own edge (see scoreSwap).
+  double gateTerm(uint32_t G, unsigned PA, unsigned PB) const {
+    double Omega = Options.UseDependencyWeights
+                       ? static_cast<double>(Weights[G]) + 1.0
+                       : 1.0;
+    return Omega * static_cast<double>(Hw.distance(PA, PB));
+  }
+
+  std::vector<std::pair<unsigned, unsigned>> generateCandidates() const {
+    // P_front: physical qubits of blocked front-layer 2Q gates.
+    std::vector<uint8_t> InPFront(Hw.numQubits(), 0);
+    std::vector<unsigned> PFront;
+    for (uint32_t GI : Tracker.front()) {
+      const Gate &G = Logical.gate(GI);
+      if (!G.isTwoQubit())
+        continue;
+      for (unsigned Q = 0; Q < 2; ++Q) {
+        unsigned P = static_cast<unsigned>(Phi.physOf(G.Qubits[Q]));
+        if (!InPFront[P]) {
+          InPFront[P] = 1;
+          PFront.push_back(P);
+        }
+      }
+    }
+    std::sort(PFront.begin(), PFront.end());
+    std::vector<std::pair<unsigned, unsigned>> Candidates;
+    for (unsigned P1 : PFront) {
+      for (unsigned P2 : Hw.neighbors(P1)) {
+        unsigned Lo = std::min(P1, P2), Hi = std::max(P1, P2);
+        bool Duplicate = false;
+        for (const auto &C : Candidates)
+          if (C.first == Lo && C.second == Hi) {
+            Duplicate = true;
+            break;
+          }
+        if (!Duplicate)
+          Candidates.push_back({Lo, Hi});
+      }
+    }
+    return Candidates;
+  }
+
+  /// Evaluates Eq. 2 for the candidate SWAP (P1, P2) by adjusting the
+  /// cached per-layer base sums with the terms of affected gates only.
+  double scoreSwap(unsigned P1, unsigned P2) {
+    LayerAdjust.assign(LayerBaseSum.size(), 0.0);
+    ++VisitEpoch;
+    if (VisitStamp.size() < Logical.size())
+      VisitStamp.assign(Logical.size(), 0);
+    auto adjustGatesOn = [&](unsigned P) {
+      for (uint32_t G : TouchingGates[P]) {
+        if (VisitStamp[G] == VisitEpoch)
+          continue; // Gate touches both swapped qubits: visit once.
+        VisitStamp[G] = VisitEpoch;
+        const Gate &Gate2 = Logical.gate(G);
+        unsigned PA = static_cast<unsigned>(Phi.physOf(Gate2.Qubits[0]));
+        unsigned PB = static_cast<unsigned>(Phi.physOf(Gate2.Qubits[1]));
+        unsigned NewPA = PA == P1 ? P2 : (PA == P2 ? P1 : PA);
+        unsigned NewPB = PB == P1 ? P2 : (PB == P2 ? P1 : PB);
+        unsigned L = GateLevel[G];
+        LayerAdjust[L] += gateTerm(G, NewPA, NewPB) - gateTerm(G, PA, PB);
+      }
+    };
+    adjustGatesOn(P1);
+    adjustGatesOn(P2);
+
+    double Sum = 0;
+    for (size_t L = 1; L < LayerBaseSum.size(); ++L) {
+      if (LayerGateCount[L] == 0)
+        continue;
+      double Gamma = (LayerBaseSum[L] + LayerAdjust[L]) /
+                     static_cast<double>(L); // 1/l layer discount.
+      Sum += Gamma / static_cast<double>(LayerGateCount[L]);
+    }
+
+    int32_t L1 = Phi.logOf(static_cast<int32_t>(P1));
+    int32_t L2 = Phi.logOf(static_cast<int32_t>(P2));
+    double D1 = L1 >= 0 ? Decay[static_cast<size_t>(L1)] : 1.0;
+    double D2 = L2 >= 0 ? Decay[static_cast<size_t>(L2)] : 1.0;
+    return std::max(D1, D2) * Sum;
+  }
+
+  const QlosureOptions &Options;
+  const Circuit &Logical;
+  const CouplingGraph &Hw;
+  CircuitDag Dag;
+  FrontLayerTracker Tracker;
+  QubitMapping Phi;
+  Rng TieBreaker;
+  std::vector<double> Decay;
+  std::vector<uint64_t> Weights;
+  unsigned LookaheadC = 0;
+  unsigned SwapsSinceProgress = 0;
+  bool UseWeightedDistance = false;
+
+  // Window scratch state, rebuilt before each swap decision.
+  std::vector<uint32_t> WindowGates;
+  std::vector<unsigned> GateLevel;
+  std::vector<uint32_t> LayerGateCount;
+  std::vector<double> LayerBaseSum;
+  std::vector<double> LayerAdjust;
+  std::vector<std::vector<uint32_t>> TouchingGates;
+  std::vector<uint64_t> VisitStamp;
+  uint64_t VisitEpoch = 0;
+
+  RoutingResult Result;
+};
+
+} // namespace
+
+RoutingResult QlosureRouter::route(const Circuit &Logical,
+                                   const CouplingGraph &Hw,
+                                   const QubitMapping &Initial) {
+  checkPreconditions(Logical, Hw, Initial);
+  RoutingLoop Loop(Options, Logical, Hw, Initial);
+  RoutingResult Result = Loop.run();
+  Result.RouterName = name();
+  return Result;
+}

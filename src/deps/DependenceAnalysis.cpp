@@ -1,0 +1,152 @@
+//===- deps/DependenceAnalysis.cpp - Affine dependence analysis ----------------===//
+//
+// Part of the Qlosure project. Distributed under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "deps/DependenceAnalysis.h"
+
+#include "support/DynamicBitset.h"
+
+#include <algorithm>
+#include <cassert>
+#include <numeric>
+
+using namespace qlosure;
+using namespace qlosure::presburger;
+
+/// Inclusive range of qubit indices operand \p K of \p M can touch.
+static std::pair<int64_t, int64_t> operandQubitRange(const MacroGate &M,
+                                                     unsigned K) {
+  int64_t First = M.Offset[K];
+  int64_t Last = M.Offset[K] + M.Scale[K] * (M.TripCount - 1);
+  return {std::min(First, Last), std::max(First, Last)};
+}
+
+IntegerMap qlosure::buildPairDependence(const AffineCircuit &AC, uint32_t S,
+                                        uint32_t T) {
+  const MacroGate &A = AC.statement(S);
+  const MacroGate &B = AC.statement(T);
+  IntegerMap Result(1, 1);
+
+  // Prune: T's last instance must execute strictly after A's first one.
+  if (B.Start + B.TripCount - 1 <= A.Start)
+    return Result;
+
+  for (unsigned K = 0; K < A.NumOperands; ++K) {
+    auto [ALo, AHi] = operandQubitRange(A, K);
+    for (unsigned L = 0; L < B.NumOperands; ++L) {
+      auto [BLo, BHi] = operandQubitRange(B, L);
+      if (AHi < BLo || BHi < ALo)
+        continue; // Qubit ranges disjoint.
+      // Integer solvability precheck for Scale_A*i - Scale_B*j == Off_B -
+      // Off_A: the gcd of the scales must divide the offset difference.
+      int64_t G = std::gcd(std::abs(A.Scale[K]), std::abs(B.Scale[L]));
+      int64_t Rhs = B.Offset[L] - A.Offset[K];
+      if (G != 0 && Rhs % G != 0)
+        continue;
+      if (G == 0 && Rhs != 0)
+        continue; // Both constant accesses on different qubits.
+
+      // Space: [i, j].
+      BasicSet Set(2);
+      AffineExpr I = AffineExpr::variable(2, 0);
+      AffineExpr J = AffineExpr::variable(2, 1);
+      // Same qubit.
+      Set.addConstraint(makeEqExpr(I * A.Scale[K] +
+                                       AffineExpr::constant(2, A.Offset[K]),
+                                   J * B.Scale[L] +
+                                       AffineExpr::constant(2, B.Offset[L])));
+      // Domains.
+      Set.addConstraint(makeGe(I, AffineExpr::constant(2, 0)));
+      Set.addConstraint(makeLe(I, AffineExpr::constant(2, A.TripCount - 1)));
+      Set.addConstraint(makeGe(J, AffineExpr::constant(2, 0)));
+      Set.addConstraint(makeLe(J, AffineExpr::constant(2, B.TripCount - 1)));
+      // Strict time order: Start_A + i < Start_B + j.
+      Set.addConstraint(makeGe(J + AffineExpr::constant(2, B.Start),
+                               I + AffineExpr::constant(2, A.Start + 1)));
+
+      BasicMap Piece(1, 1, std::move(Set));
+      // Cheap emptiness filter: rational bounds on i must be nonempty.
+      VarBounds Bounds = Piece.set().boundsForVar(0);
+      if (Bounds.HasLower && Bounds.HasUpper && Bounds.Lower > Bounds.Upper)
+        continue;
+      if (!Piece.set().simplify())
+        continue;
+      Result.addPiece(std::move(Piece));
+    }
+  }
+  return Result;
+}
+
+AffineDependences::AffineDependences(const AffineCircuit &AC) {
+  NumStatements = AC.numStatements();
+  Succ.resize(NumStatements);
+  SelfDep.assign(NumStatements, false);
+
+  // Per-statement qubit interval for O(1) pair pruning before the detailed
+  // operand-pair construction.
+  std::vector<std::pair<int64_t, int64_t>> StmtRange(NumStatements);
+  for (size_t S = 0; S < NumStatements; ++S) {
+    const MacroGate &M = AC.statement(S);
+    int64_t Lo = INT64_MAX, Hi = INT64_MIN;
+    for (unsigned K = 0; K < M.NumOperands; ++K) {
+      auto [L, H] = operandQubitRange(M, K);
+      Lo = std::min(Lo, L);
+      Hi = std::max(Hi, H);
+    }
+    StmtRange[S] = {Lo, Hi};
+  }
+
+  for (uint32_t S = 0; S < NumStatements; ++S) {
+    for (uint32_t T = S; T < NumStatements; ++T) {
+      // Statements are in increasing Start order, so dependences only go
+      // from S to T >= S (time must strictly increase).
+      if (StmtRange[S].second < StmtRange[T].first ||
+          StmtRange[T].second < StmtRange[S].first)
+        continue;
+      IntegerMap Rel = buildPairDependence(AC, S, T);
+      if (Rel.isEmptyUnion())
+        continue;
+      Deps.push_back({S, T, std::move(Rel)});
+      if (S == T) {
+        SelfDep[S] = true;
+      } else {
+        Succ[S].push_back(T);
+      }
+    }
+  }
+
+  // Reachability over the statement DAG (edges strictly forward except
+  // self-loops): reverse sweep accumulating bitsets.
+  std::vector<DynamicBitset> ReachBits(NumStatements);
+  Reach.resize(NumStatements);
+  for (size_t S = NumStatements; S-- > 0;) {
+    DynamicBitset &Bits = ReachBits[S];
+    Bits.resize(NumStatements);
+    for (uint32_t T : Succ[S]) {
+      Bits.set(T);
+      Bits |= ReachBits[T];
+    }
+    if (SelfDep[S])
+      Bits.set(static_cast<size_t>(S));
+    Bits.forEachSetBit([&](size_t T) {
+      Reach[S].push_back(static_cast<uint32_t>(T));
+    });
+  }
+}
+
+IntegerMap
+AffineDependences::globalTimeRelation(const AffineCircuit &AC) const {
+  IntegerMap Result(1, 1);
+  for (const StatementDependence &D : Deps) {
+    // time = schedule(S)^-1 applied before, schedule(T) applied after:
+    //   { [t] -> [t'] } = schedS^-1 . Rel . schedT
+    IntegerMap SchedS = AC.schedule(D.From);
+    IntegerMap SchedT = AC.schedule(D.To);
+    IntegerMap TimeRel =
+        SchedS.reverse().composeWith(D.Relation).composeWith(SchedT);
+    Result = Result.unionWith(TimeRel);
+  }
+  return Result;
+}

@@ -1,0 +1,87 @@
+//===- deps/DependenceAnalysis.h - Affine dependence analysis -----*- C++ -*-===//
+//
+// Part of the Qlosure project. Distributed under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Dependence analysis over the lifted affine IR. For every ordered pair of
+/// statements (S, T) sharing a qubit, the instance-wise dependence relation
+///
+///   R_dep(S,T) = { [i] -> [j] : q_S,k(i) == q_T,l(j) for some operands
+///                  k, l, and time_S(i) < time_T(j) }
+///
+/// is built as a presburger BasicMap. The statement-level quotient graph
+/// and its transitive closure drive the scalable omega (dependence weight)
+/// computation in TransitiveWeights.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef QLOSURE_DEPS_DEPENDENCEANALYSIS_H
+#define QLOSURE_DEPS_DEPENDENCEANALYSIS_H
+
+#include "affine/AffineCircuit.h"
+#include "presburger/IntegerMap.h"
+
+#include <vector>
+
+namespace qlosure {
+
+/// One statement-to-statement dependence with its instance-wise relation.
+struct StatementDependence {
+  uint32_t From;
+  uint32_t To;
+  presburger::IntegerMap Relation; ///< 1-D to 1-D instance relation.
+};
+
+/// The full affine dependence structure of a lifted circuit.
+class AffineDependences {
+public:
+  /// Analyzes \p AC, building all pairwise statement dependences. Cost is
+  /// O(numStatements^2) relation constructions with cheap feasibility
+  /// pruning — this is where lifting pays off versus gate-granular analysis.
+  explicit AffineDependences(const AffineCircuit &AC);
+
+  const std::vector<StatementDependence> &dependences() const {
+    return Deps;
+  }
+
+  size_t numStatements() const { return NumStatements; }
+
+  /// Statement-level adjacency: successors()[S] lists statements T with a
+  /// dependence S -> T (deduplicated).
+  const std::vector<std::vector<uint32_t>> &successors() const {
+    return Succ;
+  }
+
+  /// Statement-level reachability closure: reachable()[S] lists every
+  /// statement reachable from S through one or more dependences (excluding
+  /// S unless S has a self-dependence or a cycle through others).
+  const std::vector<std::vector<uint32_t>> &reachable() const {
+    return Reach;
+  }
+
+  /// True if statement \p S has a self-dependence (instance-to-instance).
+  bool hasSelfDependence(uint32_t S) const { return SelfDep[S]; }
+
+  /// The union of all instance-wise dependence relations, expressed over
+  /// the global trace-time space { [t] -> [t'] } (the paper's R_dep mapped
+  /// through the schedule). Intended for small circuits and tests.
+  presburger::IntegerMap globalTimeRelation(const AffineCircuit &AC) const;
+
+private:
+  size_t NumStatements = 0;
+  std::vector<StatementDependence> Deps;
+  std::vector<std::vector<uint32_t>> Succ;
+  std::vector<std::vector<uint32_t>> Reach;
+  std::vector<bool> SelfDep;
+};
+
+/// Builds the instance-wise dependence relation between statements \p S and
+/// \p T of \p AC (empty union if none). Exposed for unit tests.
+presburger::IntegerMap buildPairDependence(const AffineCircuit &AC,
+                                           uint32_t S, uint32_t T);
+
+} // namespace qlosure
+
+#endif // QLOSURE_DEPS_DEPENDENCEANALYSIS_H

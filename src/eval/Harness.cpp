@@ -1,0 +1,144 @@
+//===- eval/Harness.cpp - Evaluation harness --------------------------------------===//
+//
+// Part of the Qlosure project. Distributed under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "eval/Harness.h"
+
+#include "route/Verify.h"
+#include "support/Error.h"
+#include "support/Statistics.h"
+#include "support/StringUtils.h"
+
+using namespace qlosure;
+
+RunRecord qlosure::runOnce(Router &Mapper, const Circuit &Circ,
+                           const CouplingGraph &Backend,
+                           size_t BaselineDepth, const EvalConfig &Config) {
+  RoutingResult Result = Mapper.routeWithIdentity(Circ, Backend);
+  if (Config.Verify) {
+    VerifyResult V = verifyRouting(Circ, Backend, Result);
+    if (!V.Ok)
+      reportFatalError(formatString(
+          "routing verification failed (%s on %s, circuit %s): %s",
+          Mapper.name().c_str(), Backend.name().c_str(),
+          Circ.name().c_str(), V.Message.c_str()));
+  }
+  RunRecord Record;
+  Record.Mapper = Mapper.name();
+  Record.Backend = Backend.name();
+  Record.Workload = Circ.name();
+  Record.CircuitQubits = Circ.numQubits();
+  Record.QuantumOps = Circ.numQuantumOps();
+  Record.TwoQubitGates = Circ.numTwoQubitGates();
+  Record.BaselineDepth = BaselineDepth;
+  Record.RoutedDepth = Result.Routed.depth(Config.DepthModel);
+  Record.Swaps = Result.NumSwaps;
+  Record.Seconds = Result.MappingSeconds;
+  Record.TimedOut = Result.TimedOut;
+  Record.Verified = Config.Verify;
+  return Record;
+}
+
+std::vector<RunRecord>
+qlosure::runQuekoSweep(const CouplingGraph &GenDevice,
+                       const CouplingGraph &Backend,
+                       const std::vector<Router *> &Mappers,
+                       const QuekoSweepConfig &Config) {
+  std::vector<RunRecord> Records;
+  for (unsigned Depth : Config.Depths) {
+    for (unsigned Instance = 0; Instance < Config.CircuitsPerDepth;
+         ++Instance) {
+      QuekoSpec Spec;
+      Spec.Depth = Depth;
+      Spec.TwoQubitDensity = Config.TwoQubitDensity;
+      Spec.OneQubitDensity = Config.OneQubitDensity;
+      Spec.Seed = Config.SeedBase + Depth * 97 + Instance;
+      QuekoInstance Queko = generateQueko(GenDevice, Spec);
+      Queko.Circ.setName(formatString("queko-%uq-d%u-i%u",
+                                      GenDevice.numQubits(), Depth,
+                                      Instance));
+      for (Router *Mapper : Mappers) {
+        Records.push_back(runOnce(*Mapper, Queko.Circ, Backend,
+                                  Queko.OptimalDepth, Config.Eval));
+      }
+    }
+  }
+  return Records;
+}
+
+namespace {
+
+/// Groups records by mapper and feeds (value, isLarge, timedOut) samples.
+template <typename ValueFn>
+std::map<std::string, MediumLargeSummary>
+aggregate(const std::vector<RunRecord> &Records, size_t SplitDepth,
+          ValueFn Value) {
+  struct Buckets {
+    std::vector<double> Medium, Large;
+    bool MediumTimedOut = false, LargeTimedOut = false;
+  };
+  std::map<std::string, Buckets> ByMapper;
+  for (const RunRecord &R : Records) {
+    Buckets &B = ByMapper[R.Mapper];
+    bool Large = R.BaselineDepth >= SplitDepth;
+    if (R.TimedOut) {
+      (Large ? B.LargeTimedOut : B.MediumTimedOut) = true;
+      continue;
+    }
+    (Large ? B.Large : B.Medium).push_back(Value(R));
+  }
+  std::map<std::string, MediumLargeSummary> Out;
+  for (auto &[Mapper, B] : ByMapper) {
+    MediumLargeSummary S;
+    S.Medium = mean(B.Medium);
+    S.Large = mean(B.Large);
+    S.MediumTimedOut = B.MediumTimedOut;
+    S.LargeTimedOut = B.LargeTimedOut;
+    Out[Mapper] = S;
+  }
+  return Out;
+}
+
+} // namespace
+
+std::map<std::string, MediumLargeSummary>
+qlosure::depthFactorSummary(const std::vector<RunRecord> &Records,
+                            size_t SplitDepth) {
+  return aggregate(Records, SplitDepth,
+                   [](const RunRecord &R) { return R.depthFactor(); });
+}
+
+std::map<std::string, MediumLargeSummary>
+qlosure::swapRatioSummary(const std::vector<RunRecord> &Records,
+                          const std::string &ReferenceMapper,
+                          size_t SplitDepth) {
+  // Index the reference mapper's swap counts per workload instance.
+  std::map<std::string, double> ReferenceSwaps;
+  for (const RunRecord &R : Records)
+    if (R.Mapper == ReferenceMapper && !R.TimedOut)
+      ReferenceSwaps[R.Workload + "@" + R.Backend] =
+          static_cast<double>(R.Swaps);
+
+  std::vector<RunRecord> Ratioed;
+  for (const RunRecord &R : Records) {
+    if (R.Mapper == ReferenceMapper)
+      continue;
+    auto It = ReferenceSwaps.find(R.Workload + "@" + R.Backend);
+    if (It == ReferenceSwaps.end() || It->second == 0)
+      continue;
+    Ratioed.push_back(R);
+  }
+  return aggregate(Ratioed, SplitDepth, [&](const RunRecord &R) {
+    double Ref = ReferenceSwaps[R.Workload + "@" + R.Backend];
+    return static_cast<double>(R.Swaps) / Ref;
+  });
+}
+
+std::map<std::string, MediumLargeSummary>
+qlosure::mappingTimeSummary(const std::vector<RunRecord> &Records,
+                            size_t SplitDepth) {
+  return aggregate(Records, SplitDepth,
+                   [](const RunRecord &R) { return R.Seconds; });
+}

@@ -1,0 +1,480 @@
+//===- presburger/SetParser.cpp - ISL-style set/map notation ---------------------===//
+//
+// Part of the Qlosure project. Distributed under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "presburger/SetParser.h"
+
+#include "support/StringUtils.h"
+
+#include <cctype>
+#include <cstdlib>
+#include <map>
+#include <vector>
+
+using namespace qlosure;
+using namespace qlosure::presburger;
+
+namespace {
+
+enum class TokKind : uint8_t {
+  Identifier,
+  Integer,
+  LBrace,
+  RBrace,
+  LBracket,
+  RBracket,
+  Comma,
+  Colon,
+  Arrow,
+  Plus,
+  Minus,
+  Star,
+  Le,
+  Lt,
+  Ge,
+  Gt,
+  Eq,
+  KwAnd,
+  KwOr,
+  End,
+  Bad
+};
+
+struct Tok {
+  TokKind Kind = TokKind::Bad;
+  std::string Text;
+};
+
+std::vector<Tok> lex(const std::string &Text, std::string &Error) {
+  std::vector<Tok> Toks;
+  size_t I = 0;
+  auto push = [&Toks](TokKind Kind, std::string T = "") {
+    Toks.push_back({Kind, std::move(T)});
+  };
+  while (I < Text.size()) {
+    char C = Text[I];
+    if (std::isspace(static_cast<unsigned char>(C))) {
+      ++I;
+      continue;
+    }
+    if (std::isalpha(static_cast<unsigned char>(C)) || C == '_') {
+      std::string Word;
+      while (I < Text.size() &&
+             (std::isalnum(static_cast<unsigned char>(Text[I])) ||
+              Text[I] == '_' || Text[I] == '\''))
+        Word.push_back(Text[I++]);
+      if (Word == "and")
+        push(TokKind::KwAnd);
+      else if (Word == "or")
+        push(TokKind::KwOr);
+      else
+        push(TokKind::Identifier, std::move(Word));
+      continue;
+    }
+    if (std::isdigit(static_cast<unsigned char>(C))) {
+      std::string Num;
+      while (I < Text.size() &&
+             std::isdigit(static_cast<unsigned char>(Text[I])))
+        Num.push_back(Text[I++]);
+      push(TokKind::Integer, std::move(Num));
+      continue;
+    }
+    ++I;
+    switch (C) {
+    case '{':
+      push(TokKind::LBrace);
+      break;
+    case '}':
+      push(TokKind::RBrace);
+      break;
+    case '[':
+      push(TokKind::LBracket);
+      break;
+    case ']':
+      push(TokKind::RBracket);
+      break;
+    case ',':
+      push(TokKind::Comma);
+      break;
+    case ':':
+      push(TokKind::Colon);
+      break;
+    case '+':
+      push(TokKind::Plus);
+      break;
+    case '*':
+      push(TokKind::Star);
+      break;
+    case '-':
+      if (I < Text.size() && Text[I] == '>') {
+        ++I;
+        push(TokKind::Arrow);
+      } else {
+        push(TokKind::Minus);
+      }
+      break;
+    case '<':
+      if (I < Text.size() && Text[I] == '=') {
+        ++I;
+        push(TokKind::Le);
+      } else {
+        push(TokKind::Lt);
+      }
+      break;
+    case '>':
+      if (I < Text.size() && Text[I] == '=') {
+        ++I;
+        push(TokKind::Ge);
+      } else {
+        push(TokKind::Gt);
+      }
+      break;
+    case '=':
+      if (I < Text.size() && Text[I] == '=')
+        ++I; // '==' and '=' are synonyms.
+      push(TokKind::Eq);
+      break;
+    default:
+      Error = formatString("unexpected character '%c'", C);
+      push(TokKind::Bad);
+      return Toks;
+    }
+  }
+  push(TokKind::End);
+  return Toks;
+}
+
+/// Recursive-descent parser over the token stream.
+class NotationParser {
+public:
+  NotationParser(std::vector<Tok> Toks) : Toks(std::move(Toks)) {}
+
+  /// Parses either form; NumIn < 0 encodes "this was a set".
+  bool run(bool ExpectMap) {
+    if (!expect(TokKind::LBrace, "'{'"))
+      return false;
+    if (!parseTuple(/*IsOutput=*/false))
+      return false;
+    NumIn = static_cast<int>(Vars.size());
+    if (ExpectMap) {
+      if (!expect(TokKind::Arrow, "'->'"))
+        return false;
+      if (!parseTuple(/*IsOutput=*/true))
+        return false;
+    }
+    if (peek().Kind == TokKind::Colon) {
+      advance();
+      if (!parseDisjunction())
+        return false;
+    } else {
+      Disjuncts.push_back({}); // Universe.
+    }
+    return expect(TokKind::RBrace, "'}'") &&
+           expect(TokKind::End, "end of input");
+  }
+
+  std::string ErrorMessage;
+  std::vector<std::string> Vars; ///< Tuple variables, inputs then outputs.
+  int NumIn = 0;
+  /// Equality constraints from affine output-tuple entries; these join
+  /// every disjunct.
+  std::vector<Constraint> TupleEqs;
+  std::vector<std::vector<Constraint>> Disjuncts;
+
+  unsigned numVars() const { return static_cast<unsigned>(Vars.size()); }
+
+private:
+  const Tok &peek() const { return Toks[Pos]; }
+  const Tok &advance() { return Toks[Pos < Toks.size() - 1 ? Pos++ : Pos]; }
+
+  bool fail(const std::string &Message) {
+    if (ErrorMessage.empty())
+      ErrorMessage = Message;
+    return false;
+  }
+
+  bool expect(TokKind Kind, const char *What) {
+    if (peek().Kind == Kind) {
+      advance();
+      return true;
+    }
+    return fail(std::string("expected ") + What);
+  }
+
+  int varIndex(const std::string &Name) const {
+    for (size_t I = 0; I < Vars.size(); ++I)
+      if (Vars[I] == Name)
+        return static_cast<int>(I);
+    return -1;
+  }
+
+  /// Parses "[ entry, entry, ... ]". Input entries must be fresh
+  /// identifiers. Output entries may be affine expressions of the inputs,
+  /// which become fresh anonymous variables pinned by an equality.
+  bool parseTuple(bool IsOutput) {
+    if (!expect(TokKind::LBracket, "'['"))
+      return false;
+    if (peek().Kind == TokKind::RBracket) { // Zero-dimensional tuple.
+      advance();
+      return true;
+    }
+    for (;;) {
+      if (!IsOutput) {
+        if (peek().Kind != TokKind::Identifier)
+          return fail("input tuple entries must be identifiers");
+        std::string Name = advance().Text;
+        if (varIndex(Name) >= 0)
+          return fail("duplicate tuple variable '" + Name + "'");
+        Vars.push_back(std::move(Name));
+      } else {
+        // A lone fresh identifier names the output variable; anything else
+        // is an expression over already-bound variables.
+        if (peek().Kind == TokKind::Identifier &&
+            varIndex(peek().Text) < 0 &&
+            (Toks[Pos + 1].Kind == TokKind::Comma ||
+             Toks[Pos + 1].Kind == TokKind::RBracket)) {
+          Vars.push_back(advance().Text);
+        } else {
+          // Parse the expression first over the current space, then widen.
+          PendingExprs.push_back(Pos);
+          // Skip tokens until ',' or ']' at bracket depth 0.
+          int Depth = 0;
+          while (!((peek().Kind == TokKind::Comma ||
+                    peek().Kind == TokKind::RBracket) &&
+                   Depth == 0)) {
+            if (peek().Kind == TokKind::LBracket)
+              ++Depth;
+            if (peek().Kind == TokKind::RBracket)
+              --Depth;
+            if (peek().Kind == TokKind::End)
+              return fail("unterminated output tuple");
+            advance();
+          }
+          Vars.push_back(formatString("$out%zu", Vars.size()));
+        }
+      }
+      if (peek().Kind == TokKind::Comma) {
+        advance();
+        continue;
+      }
+      break;
+    }
+    if (!expect(TokKind::RBracket, "']'"))
+      return false;
+    if (IsOutput && !PendingExprs.empty()) {
+      // Re-parse the recorded expressions now that the full space exists.
+      size_t SavedPos = Pos;
+      size_t OutVar = static_cast<size_t>(NumIn);
+      // Walk output entries again in order; identifiers were bound
+      // directly, expression entries recorded their token start.
+      size_t ExprIdx = 0;
+      for (size_t V = static_cast<size_t>(NumIn); V < Vars.size(); ++V) {
+        if (Vars[V].rfind("$out", 0) != 0) {
+          ++OutVar;
+          continue;
+        }
+        Pos = PendingExprs[ExprIdx++];
+        AffineExpr E(numVars());
+        if (!parseAffine(E))
+          return false;
+        AffineExpr Var = AffineExpr::variable(numVars(), static_cast<unsigned>(V));
+        TupleEqs.push_back(makeEqExpr(std::move(Var), std::move(E)));
+        ++OutVar;
+      }
+      Pos = SavedPos;
+    }
+    return true;
+  }
+
+  bool parseDisjunction() {
+    for (;;) {
+      std::vector<Constraint> Conj;
+      if (!parseConjunction(Conj))
+        return false;
+      Disjuncts.push_back(std::move(Conj));
+      if (peek().Kind == TokKind::KwOr) {
+        advance();
+        continue;
+      }
+      return true;
+    }
+  }
+
+  bool parseConjunction(std::vector<Constraint> &Out) {
+    for (;;) {
+      if (!parseComparisonChain(Out))
+        return false;
+      if (peek().Kind == TokKind::KwAnd) {
+        advance();
+        continue;
+      }
+      return true;
+    }
+  }
+
+  /// affine (relop affine)+ with chaining: "0 <= i <= 9".
+  bool parseComparisonChain(std::vector<Constraint> &Out) {
+    AffineExpr Lhs(numVars());
+    if (!parseAffine(Lhs))
+      return false;
+    bool AnyRelop = false;
+    for (;;) {
+      TokKind Kind = peek().Kind;
+      if (Kind != TokKind::Le && Kind != TokKind::Lt && Kind != TokKind::Ge &&
+          Kind != TokKind::Gt && Kind != TokKind::Eq)
+        break;
+      advance();
+      AnyRelop = true;
+      AffineExpr Rhs(numVars());
+      if (!parseAffine(Rhs))
+        return false;
+      switch (Kind) {
+      case TokKind::Le:
+        Out.push_back(makeLe(Lhs, Rhs));
+        break;
+      case TokKind::Lt:
+        Out.push_back(makeLe(Lhs + AffineExpr::constant(numVars(), 1), Rhs));
+        break;
+      case TokKind::Ge:
+        Out.push_back(makeGe(Lhs, Rhs));
+        break;
+      case TokKind::Gt:
+        Out.push_back(makeGe(Lhs, Rhs + AffineExpr::constant(numVars(), 1)));
+        break;
+      case TokKind::Eq:
+        Out.push_back(makeEqExpr(Lhs, Rhs));
+        break;
+      default:
+        break;
+      }
+      Lhs = std::move(Rhs);
+    }
+    if (!AnyRelop)
+      return fail("expected a comparison");
+    return true;
+  }
+
+  /// term (('+'|'-') term)*.
+  bool parseAffine(AffineExpr &Out) {
+    Out = AffineExpr(numVars());
+    int64_t Sign = 1;
+    if (peek().Kind == TokKind::Minus) {
+      advance();
+      Sign = -1;
+    }
+    if (!parseTerm(Out, Sign))
+      return false;
+    for (;;) {
+      if (peek().Kind == TokKind::Plus) {
+        advance();
+        if (!parseTerm(Out, 1))
+          return false;
+      } else if (peek().Kind == TokKind::Minus) {
+        advance();
+        if (!parseTerm(Out, -1))
+          return false;
+      } else {
+        return true;
+      }
+    }
+  }
+
+  /// INT | ID | INT ['*'] ID | INT '*' INT (folded).
+  bool parseTerm(AffineExpr &Out, int64_t Sign) {
+    if (peek().Kind == TokKind::Integer) {
+      int64_t Value = std::strtoll(advance().Text.c_str(), nullptr, 10);
+      // Optional juxtaposed or starred variable: "2i" / "2 * i".
+      if (peek().Kind == TokKind::Star)
+        advance();
+      if (peek().Kind == TokKind::Identifier) {
+        int Var = varIndex(peek().Text);
+        if (Var < 0)
+          return fail("unknown variable '" + peek().Text + "'");
+        advance();
+        Out.setCoefficient(static_cast<unsigned>(Var),
+                           Out.coefficient(static_cast<unsigned>(Var)) +
+                               Sign * Value);
+        return true;
+      }
+      Out.setConstantTerm(Out.constantTerm() + Sign * Value);
+      return true;
+    }
+    if (peek().Kind == TokKind::Identifier) {
+      int Var = varIndex(peek().Text);
+      if (Var < 0)
+        return fail("unknown variable '" + peek().Text + "'");
+      advance();
+      // Optional "* INT" after the variable.
+      int64_t Scale = 1;
+      if (peek().Kind == TokKind::Star) {
+        advance();
+        if (peek().Kind != TokKind::Integer)
+          return fail("expected an integer after '*'");
+        Scale = std::strtoll(advance().Text.c_str(), nullptr, 10);
+      }
+      Out.setCoefficient(static_cast<unsigned>(Var),
+                         Out.coefficient(static_cast<unsigned>(Var)) +
+                             Sign * Scale);
+      return true;
+    }
+    return fail("expected a term");
+  }
+
+  std::vector<Tok> Toks;
+  size_t Pos = 0;
+  std::vector<size_t> PendingExprs;
+};
+
+} // namespace
+
+SetParseResult presburger::parseIntegerSet(const std::string &Text) {
+  SetParseResult Result;
+  std::string LexError;
+  NotationParser P(lex(Text, LexError));
+  if (!LexError.empty()) {
+    Result.Error = LexError;
+    return Result;
+  }
+  if (!P.run(/*ExpectMap=*/false)) {
+    Result.Error = P.ErrorMessage;
+    return Result;
+  }
+  IntegerSet Set(P.numVars());
+  for (const auto &Conj : P.Disjuncts) {
+    BasicSet Piece(P.numVars());
+    for (const Constraint &C : Conj)
+      Piece.addConstraint(C);
+    Set.addPiece(std::move(Piece));
+  }
+  Result.Set = std::move(Set);
+  return Result;
+}
+
+MapParseResult presburger::parseIntegerMap(const std::string &Text) {
+  MapParseResult Result;
+  std::string LexError;
+  NotationParser P(lex(Text, LexError));
+  if (!LexError.empty()) {
+    Result.Error = LexError;
+    return Result;
+  }
+  if (!P.run(/*ExpectMap=*/true)) {
+    Result.Error = P.ErrorMessage;
+    return Result;
+  }
+  unsigned NumIn = static_cast<unsigned>(P.NumIn);
+  unsigned NumOut = P.numVars() - NumIn;
+  IntegerMap Map(NumIn, NumOut);
+  for (const auto &Conj : P.Disjuncts) {
+    BasicSet Piece(P.numVars());
+    for (const Constraint &C : P.TupleEqs)
+      Piece.addConstraint(C);
+    for (const Constraint &C : Conj)
+      Piece.addConstraint(C);
+    Map.addPiece(BasicMap(NumIn, NumOut, std::move(Piece)));
+  }
+  Result.Map = std::move(Map);
+  return Result;
+}

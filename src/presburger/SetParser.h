@@ -1,0 +1,60 @@
+//===- presburger/SetParser.h - ISL-style set/map notation --------*- C++ -*-===//
+//
+// Part of the Qlosure project. Distributed under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Parser for the ISL-style notation the paper (and the polyhedral
+/// literature) writes sets and relations in:
+///
+///   parseIntegerSet("{ [i, j] : 0 <= i < 10 and j = 2i + 1 }")
+///   parseIntegerMap("{ [i] -> [i + 3] : 0 <= i <= 9 }")
+///
+/// Supported syntax: one tuple (sets) or an input/output tuple pair
+/// (maps); affine terms with integer coefficients ("2i", "3 * j", "-k");
+/// chained comparisons ("0 <= i < n" is not supported — bounds must be
+/// numeric); 'and' conjunctions; 'or' producing unions of disjuncts.
+/// Existential quantifiers are not part of the surface syntax (build those
+/// programmatically via BasicSet).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef QLOSURE_PRESBURGER_SETPARSER_H
+#define QLOSURE_PRESBURGER_SETPARSER_H
+
+#include "presburger/IntegerMap.h"
+#include "presburger/IntegerSet.h"
+
+#include <optional>
+#include <string>
+
+namespace qlosure {
+namespace presburger {
+
+/// Outcome of a notation parse; exactly one of Set/Error is meaningful.
+struct SetParseResult {
+  std::optional<IntegerSet> Set;
+  std::string Error;
+  bool succeeded() const { return Set.has_value(); }
+};
+
+/// Outcome of a map parse.
+struct MapParseResult {
+  std::optional<IntegerMap> Map;
+  std::string Error;
+  bool succeeded() const { return Map.has_value(); }
+};
+
+/// Parses "{ [v0, v1, ...] : constraints }".
+SetParseResult parseIntegerSet(const std::string &Text);
+
+/// Parses "{ [in...] -> [out...] : constraints }". Output coordinates may
+/// be affine expressions of the inputs ("[i] -> [i + 1, 2i]"), which
+/// desugars to fresh output variables plus equality constraints.
+MapParseResult parseIntegerMap(const std::string &Text);
+
+} // namespace presburger
+} // namespace qlosure
+
+#endif // QLOSURE_PRESBURGER_SETPARSER_H

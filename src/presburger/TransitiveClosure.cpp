@@ -1,0 +1,221 @@
+//===- presburger/TransitiveClosure.cpp - Closure of relations ---------------===//
+//
+// Part of the Qlosure project. Distributed under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "presburger/TransitiveClosure.h"
+
+#include <cassert>
+#include <map>
+#include <vector>
+
+using namespace qlosure;
+using namespace qlosure::presburger;
+
+BasicMap presburger::translationClosure(const BasicSet &Domain,
+                                        const std::vector<int64_t> &Delta) {
+  unsigned N = Domain.numDims();
+  assert(Delta.size() == N && "delta arity mismatch");
+  assert(Domain.numExists() == 0 &&
+         "translation closure requires a convex (existential-free) domain");
+
+  // Space layout: [x(N) | y(N) | l(1 existential)].
+  BasicSet Set(2 * N, 1);
+  unsigned Total = Set.numTotalVars();
+  unsigned LVar = 2 * N;
+
+  // l >= 1.
+  Set.addConstraint(makeGe(AffineExpr::variable(Total, LVar),
+                           AffineExpr::constant(Total, 1)));
+  // y_j == x_j + l * d_j.
+  for (unsigned J = 0; J < N; ++J) {
+    AffineExpr E = AffineExpr::variable(Total, N + J) -
+                   AffineExpr::variable(Total, J) -
+                   AffineExpr::variable(Total, LVar) * Delta[J];
+    Set.addConstraint(makeEq(std::move(E)));
+  }
+  // x in Domain, and (y - d) in Domain: substitute into the domain
+  // constraints. A domain constraint c(x) ? 0 over N vars is remapped twice.
+  for (const Constraint &C : Domain.constraints()) {
+    // Over x.
+    {
+      AffineExpr E(Total);
+      for (unsigned V = 0; V < N; ++V)
+        E.setCoefficient(V, C.Expr.coefficient(V));
+      E.setConstantTerm(C.Expr.constantTerm());
+      Set.addConstraint(Constraint(std::move(E), C.Kind));
+    }
+    // Over y - d: substitute x_j := y_j - d_j.
+    {
+      AffineExpr E(Total);
+      int64_t K = C.Expr.constantTerm();
+      for (unsigned V = 0; V < N; ++V) {
+        E.setCoefficient(N + V, C.Expr.coefficient(V));
+        K -= C.Expr.coefficient(V) * Delta[V];
+      }
+      E.setConstantTerm(K);
+      Set.addConstraint(Constraint(std::move(E), C.Kind));
+    }
+  }
+  return BasicMap(N, N, std::move(Set));
+}
+
+/// If \p Piece is a translation over a convex (existential-free) domain,
+/// extracts (domain over inputs, delta). Exact: asTranslation() guarantees
+/// every constraint mentioning outputs is one of the translation
+/// equalities, so the remaining constraints mention inputs only.
+static std::optional<std::pair<BasicSet, std::vector<int64_t>>>
+asConvexTranslation(const BasicMap &Piece) {
+  if (Piece.set().numExists() != 0)
+    return std::nullopt;
+  auto Delta = Piece.asTranslation();
+  if (!Delta)
+    return std::nullopt;
+  unsigned N = Piece.numIn();
+  BasicSet Domain(N);
+  for (const Constraint &C : Piece.set().constraints()) {
+    bool MentionsOut = false;
+    for (unsigned V = N; V < 2 * N; ++V)
+      if (C.Expr.coefficient(V) != 0)
+        MentionsOut = true;
+    if (MentionsOut)
+      continue; // One of the translation equalities.
+    AffineExpr E(N);
+    for (unsigned V = 0; V < N; ++V)
+      E.setCoefficient(V, C.Expr.coefficient(V));
+    E.setConstantTerm(C.Expr.constantTerm());
+    Domain.addConstraint(Constraint(std::move(E), C.Kind));
+  }
+  return std::make_pair(std::move(Domain), std::move(*Delta));
+}
+
+/// Exact finite closure: enumerate the relation, close it over the discovered
+/// points, and return one single-pair piece per closed edge.
+static std::optional<IntegerMap> finiteClosure(const IntegerMap &Relation,
+                                               size_t Budget) {
+  auto Pairs = Relation.enumeratePairs(Budget);
+  if (!Pairs)
+    return std::nullopt;
+
+  // Index points.
+  std::map<Point, unsigned> Index;
+  std::vector<Point> Nodes;
+  auto internPoint = [&](const Point &P) {
+    auto [It, Inserted] = Index.try_emplace(P, Nodes.size());
+    if (Inserted)
+      Nodes.push_back(P);
+    return It->second;
+  };
+  std::vector<std::vector<unsigned>> Succ;
+  for (const auto &[In, Out] : *Pairs) {
+    unsigned A = internPoint(In);
+    unsigned B = internPoint(Out);
+    if (Succ.size() < Nodes.size())
+      Succ.resize(Nodes.size());
+    Succ[A].push_back(B);
+  }
+  Succ.resize(Nodes.size());
+
+  // Reachability per node via iterative DFS; the relation may have cycles
+  // in general even though schedules are acyclic, so use a visited set.
+  IntegerMap Closure(Relation.numIn(), Relation.numOut());
+  size_t EmittedPairs = 0;
+  std::vector<unsigned> Stack;
+  std::vector<bool> Visited(Nodes.size());
+  for (unsigned Start = 0; Start < Nodes.size(); ++Start) {
+    std::fill(Visited.begin(), Visited.end(), false);
+    Stack = Succ[Start];
+    for (unsigned S : Stack)
+      Visited[S] = true;
+    while (!Stack.empty()) {
+      unsigned Node = Stack.back();
+      Stack.pop_back();
+      Closure.addPiece(BasicMap::singlePair(Nodes[Start], Nodes[Node]));
+      if (++EmittedPairs > Budget)
+        return std::nullopt;
+      for (unsigned Next : Succ[Node]) {
+        if (!Visited[Next]) {
+          Visited[Next] = true;
+          Stack.push_back(Next);
+        }
+      }
+    }
+  }
+  return Closure;
+}
+
+ClosureResult presburger::transitiveClosure(const IntegerMap &Relation,
+                                            const ClosureOptions &Options) {
+  ClosureResult Result;
+  if (Relation.isEmptyUnion()) {
+    Result.Closure = IntegerMap(Relation.numIn(), Relation.numOut());
+    Result.IsExact = true;
+    return Result;
+  }
+  assert(Relation.numIn() == Relation.numOut() &&
+         "transitive closure requires an endomorphic relation");
+
+  // Tier 1: one convex translation piece -> exact closed form.
+  if (Relation.pieces().size() == 1) {
+    if (auto DomDelta = asConvexTranslation(Relation.pieces().front())) {
+      Result.Closure = IntegerMap(
+          translationClosure(DomDelta->first, DomDelta->second));
+      Result.IsExact = true;
+      return Result;
+    }
+  }
+
+  // Tier 2: exact finite closure by enumeration.
+  if (Options.AllowFiniteFallback) {
+    if (auto Finite = finiteClosure(Relation, Options.FiniteBudget)) {
+      Result.Closure = std::move(*Finite);
+      Result.IsExact = true;
+      return Result;
+    }
+  }
+
+  // Tier 3: sound over-approximation. Union of the per-piece translation
+  // closures (each exact on its own) plus cross-piece reachability
+  // approximated by domain x range.
+  IntegerMap Approx(Relation.numIn(), Relation.numOut());
+  for (const BasicMap &Piece : Relation.pieces()) {
+    if (auto DomDelta = asConvexTranslation(Piece)) {
+      Approx.addPiece(translationClosure(DomDelta->first, DomDelta->second));
+      continue;
+    }
+    Approx.addPiece(Piece);
+  }
+  if (Relation.pieces().size() > 1) {
+    // Cross-piece paths: any domain point may reach any range point.
+    for (const BasicMap &A : Relation.pieces())
+      for (const BasicMap &B : Relation.pieces()) {
+        if (&A == &B)
+          continue;
+        BasicSet Dom = A.domain();
+        BasicSet Ran = B.range();
+        // Build { x -> y : x in Dom, y in Ran }.
+        unsigned N = Relation.numIn();
+        BasicSet Set(2 * N, Dom.numExists() + Ran.numExists());
+        unsigned Total = Set.numTotalVars();
+        std::vector<unsigned> MapDom(Dom.numTotalVars());
+        for (unsigned V = 0; V < N; ++V)
+          MapDom[V] = V;
+        for (unsigned X = 0; X < Dom.numExists(); ++X)
+          MapDom[N + X] = 2 * N + X;
+        for (const Constraint &C : Dom.constraints())
+          Set.addConstraint(Constraint(C.Expr.remapVars(MapDom, Total), C.Kind));
+        std::vector<unsigned> MapRan(Ran.numTotalVars());
+        for (unsigned V = 0; V < N; ++V)
+          MapRan[V] = N + V;
+        for (unsigned X = 0; X < Ran.numExists(); ++X)
+          MapRan[N + X] = 2 * N + Dom.numExists() + X;
+        for (const Constraint &C : Ran.constraints())
+          Set.addConstraint(Constraint(C.Expr.remapVars(MapRan, Total), C.Kind));
+        Approx.addPiece(BasicMap(N, N, std::move(Set)));
+      }
+  }
+  Result.Closure = std::move(Approx);
+  Result.IsExact = false;
+  return Result;
+}

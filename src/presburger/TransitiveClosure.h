@@ -1,0 +1,58 @@
+//===- presburger/TransitiveClosure.h - Closure of relations -----*- C++ -*-===//
+//
+// Part of the Qlosure project. Distributed under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Transitive closure R+ of integer relations, mirroring
+/// isl_map_transitive_closure (Verdoolaege et al., SAS 2011). Three tiers:
+///
+///  1. Exact closed form for a single convex translation piece
+///     { x -> x + d : x in D }: R+ = { x -> x + l*d : l >= 1, x in D,
+///     x + (l-1)*d in D }, which is exact because intermediate points lie on
+///     the segment between two points of the convex domain.
+///  2. Exact finite closure by enumeration when the relation is small.
+///  3. A sound over-approximation domain(R) x range(R) combined with the
+///     union of per-piece closures otherwise (flagged inexact), matching
+///     ISL's "may over-approximate" contract.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef QLOSURE_PRESBURGER_TRANSITIVECLOSURE_H
+#define QLOSURE_PRESBURGER_TRANSITIVECLOSURE_H
+
+#include "presburger/IntegerMap.h"
+
+namespace qlosure {
+namespace presburger {
+
+/// Result of a transitive-closure computation.
+struct ClosureResult {
+  IntegerMap Closure;
+  /// True when Closure is exactly R+; false when it is a (sound) superset.
+  bool IsExact = false;
+};
+
+/// Options controlling the closure computation.
+struct ClosureOptions {
+  /// Budget for the exact finite-enumeration fallback (number of pairs).
+  size_t FiniteBudget = 50000;
+  /// Skip the finite fallback entirely (used to test the symbolic tiers).
+  bool AllowFiniteFallback = true;
+};
+
+/// Computes R+ (the non-reflexive transitive closure).
+ClosureResult transitiveClosure(const IntegerMap &Relation,
+                                const ClosureOptions &Options = {});
+
+/// Builds the exact closure piece for a convex translation map
+/// { x -> x + Delta : x in Domain } (Domain must have no existentials).
+/// Exposed for direct use by the affine dependence engine and for tests.
+BasicMap translationClosure(const BasicSet &Domain,
+                            const std::vector<int64_t> &Delta);
+
+} // namespace presburger
+} // namespace qlosure
+
+#endif // QLOSURE_PRESBURGER_TRANSITIVECLOSURE_H

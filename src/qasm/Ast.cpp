@@ -1,0 +1,78 @@
+//===- qasm/Ast.cpp - OpenQASM 2.0 abstract syntax tree ----------------------===//
+//
+// Part of the Qlosure project. Distributed under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "qasm/Ast.h"
+
+#include <cmath>
+
+using namespace qlosure;
+using namespace qlosure::qasm;
+
+std::optional<double>
+Expr::evaluate(const std::map<std::string, double> &ParamValues) const {
+  switch (NodeKind) {
+  case Kind::Number:
+    return Number;
+  case Kind::Pi:
+    return M_PI;
+  case Kind::Param: {
+    auto It = ParamValues.find(Name);
+    if (It == ParamValues.end())
+      return std::nullopt;
+    return It->second;
+  }
+  case Kind::Unary: {
+    auto V = Lhs->evaluate(ParamValues);
+    if (!V)
+      return std::nullopt;
+    if (Name == "-")
+      return -*V;
+    if (Name == "sin")
+      return std::sin(*V);
+    if (Name == "cos")
+      return std::cos(*V);
+    if (Name == "tan")
+      return std::tan(*V);
+    if (Name == "exp")
+      return std::exp(*V);
+    if (Name == "ln")
+      return std::log(*V);
+    if (Name == "sqrt")
+      return std::sqrt(*V);
+    return std::nullopt;
+  }
+  case Kind::Binary: {
+    auto L = Lhs->evaluate(ParamValues);
+    auto R = Rhs->evaluate(ParamValues);
+    if (!L || !R)
+      return std::nullopt;
+    if (Name == "+")
+      return *L + *R;
+    if (Name == "-")
+      return *L - *R;
+    if (Name == "*")
+      return *L * *R;
+    if (Name == "/")
+      return *L / *R;
+    if (Name == "^")
+      return std::pow(*L, *R);
+    return std::nullopt;
+  }
+  }
+  return std::nullopt;
+}
+
+std::unique_ptr<Expr> Expr::clone() const {
+  auto Copy = std::make_unique<Expr>();
+  Copy->NodeKind = NodeKind;
+  Copy->Number = Number;
+  Copy->Name = Name;
+  if (Lhs)
+    Copy->Lhs = Lhs->clone();
+  if (Rhs)
+    Copy->Rhs = Rhs->clone();
+  return Copy;
+}

@@ -1,0 +1,295 @@
+//===- qasm/Importer.cpp - AST to circuit IR conversion ------------------------===//
+//
+// Part of the Qlosure project. Distributed under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "qasm/Importer.h"
+
+#include "qasm/Parser.h"
+#include "support/StringUtils.h"
+
+#include <map>
+
+using namespace qlosure;
+using namespace qlosure::qasm;
+
+namespace {
+
+/// A builtin (qelib1) gate descriptor.
+struct BuiltinGate {
+  GateKind Kind;
+  unsigned NumParams;
+  unsigned NumQubits;
+};
+
+const std::map<std::string, BuiltinGate> &builtinGates() {
+  static const std::map<std::string, BuiltinGate> Table = {
+      {"id", {GateKind::I, 0, 1}},      {"x", {GateKind::X, 0, 1}},
+      {"y", {GateKind::Y, 0, 1}},       {"z", {GateKind::Z, 0, 1}},
+      {"h", {GateKind::H, 0, 1}},       {"s", {GateKind::S, 0, 1}},
+      {"sdg", {GateKind::Sdg, 0, 1}},   {"t", {GateKind::T, 0, 1}},
+      {"tdg", {GateKind::Tdg, 0, 1}},   {"sx", {GateKind::SX, 0, 1}},
+      {"rx", {GateKind::RX, 1, 1}},     {"ry", {GateKind::RY, 1, 1}},
+      {"rz", {GateKind::RZ, 1, 1}},     {"p", {GateKind::P, 1, 1}},
+      {"u1", {GateKind::U1, 1, 1}},     {"u2", {GateKind::U2, 2, 1}},
+      {"u3", {GateKind::U3, 3, 1}},     {"u", {GateKind::U3, 3, 1}},
+      {"cx", {GateKind::CX, 0, 2}},     {"CX", {GateKind::CX, 0, 2}},
+      {"cz", {GateKind::CZ, 0, 2}},     {"cp", {GateKind::CP, 1, 2}},
+      {"cu1", {GateKind::CP, 1, 2}},    {"crz", {GateKind::CRZ, 1, 2}},
+      {"rzz", {GateKind::RZZ, 1, 2}},   {"ch", {GateKind::CH, 0, 2}},
+      {"cy", {GateKind::CY, 0, 2}},     {"swap", {GateKind::Swap, 0, 2}},
+      {"ccx", {GateKind::CCX, 0, 3}},   {"cswap", {GateKind::CSwap, 0, 3}},
+  };
+  return Table;
+}
+
+class ImporterImpl {
+public:
+  explicit ImporterImpl(const Program &Prog) : Prog(Prog) {}
+
+  ImportResult run(const std::string &Name) {
+    // Pass 1: collect registers and user gate definitions.
+    unsigned NextQubit = 0;
+    for (const Statement &Stmt : Prog.Statements) {
+      if (Stmt.StmtKind == Statement::Kind::Reg) {
+        if (Stmt.Reg.IsQuantum) {
+          if (QregBase.count(Stmt.Reg.Name))
+            return fail("duplicate qreg '" + Stmt.Reg.Name + "'");
+          QregBase[Stmt.Reg.Name] = NextQubit;
+          QregSize[Stmt.Reg.Name] = Stmt.Reg.Size;
+          NextQubit += Stmt.Reg.Size;
+        }
+        continue;
+      }
+      if (Stmt.StmtKind == Statement::Kind::Gate) {
+        if (Stmt.Gate.IsOpaque)
+          return fail("opaque gate '" + Stmt.Gate.Name +
+                      "' has no definition to inline");
+        UserGates[Stmt.Gate.Name] = &Stmt.Gate;
+      }
+    }
+
+    Circuit Circ(NextQubit, Name);
+
+    // Pass 2: lower statements in order.
+    for (const Statement &Stmt : Prog.Statements) {
+      switch (Stmt.StmtKind) {
+      case Statement::Kind::Reg:
+      case Statement::Kind::Gate:
+        break;
+      case Statement::Kind::Call:
+        if (!lowerCall(Circ, Stmt.Call, {}, {}))
+          return fail(ErrorMessage);
+        break;
+      case Statement::Kind::Measure: {
+        auto Qubits = resolveArg(Stmt.Measure.Src);
+        if (!Qubits)
+          return fail(ErrorMessage);
+        for (int32_t Q : *Qubits)
+          Circ.addGate(Gate(GateKind::Measure, Q));
+        break;
+      }
+      case Statement::Kind::Barrier: {
+        for (const Argument &Arg : Stmt.Barrier.Args) {
+          auto Qubits = resolveArg(Arg);
+          if (!Qubits)
+            return fail(ErrorMessage);
+          for (int32_t Q : *Qubits)
+            Circ.addGate(Gate(GateKind::Barrier, Q));
+        }
+        break;
+      }
+      case Statement::Kind::Reset:
+        // Reset is non-unitary; for mapping purposes it behaves like a
+        // single-qubit op, but we simply ignore it (QASMBench circuits do
+        // not depend on it for routing).
+        break;
+      }
+    }
+
+    ImportResult Result;
+    Result.Circ = std::move(Circ);
+    return Result;
+  }
+
+private:
+  ImportResult fail(const std::string &Message) {
+    ImportResult Result;
+    Result.Error = Message;
+    return Result;
+  }
+
+  bool setError(const std::string &Message) {
+    if (ErrorMessage.empty())
+      ErrorMessage = Message;
+    return false;
+  }
+
+  /// Resolves a top-level argument to flat qubit indices (1 for q[i],
+  /// register-size many for a bare register).
+  std::optional<std::vector<int32_t>> resolveArg(const Argument &Arg) {
+    auto BaseIt = QregBase.find(Arg.Reg);
+    if (BaseIt == QregBase.end()) {
+      setError("unknown quantum register '" + Arg.Reg + "'");
+      return std::nullopt;
+    }
+    unsigned Base = BaseIt->second;
+    unsigned Size = QregSize[Arg.Reg];
+    std::vector<int32_t> Qubits;
+    if (Arg.Index) {
+      if (*Arg.Index >= Size) {
+        setError(formatString("index %u out of range for register %s[%u]",
+                              *Arg.Index, Arg.Reg.c_str(), Size));
+        return std::nullopt;
+      }
+      Qubits.push_back(static_cast<int32_t>(Base + *Arg.Index));
+    } else {
+      for (unsigned I = 0; I < Size; ++I)
+        Qubits.push_back(static_cast<int32_t>(Base + I));
+    }
+    return Qubits;
+  }
+
+  /// Lowers one gate call. Inside user-gate bodies, \p FormalQubits binds
+  /// formal qubit names to flat indices and \p ParamValues binds formal
+  /// parameters.
+  bool lowerCall(Circuit &Circ, const GateCall &Call,
+                 const std::map<std::string, int32_t> &FormalQubits,
+                 const std::map<std::string, double> &ParamValues,
+                 unsigned Depth = 0) {
+    if (Depth > 64)
+      return setError("user gate expansion too deep (recursive definition?)");
+
+    // Evaluate parameters once.
+    std::vector<double> Params;
+    Params.reserve(Call.Params.size());
+    for (const auto &E : Call.Params) {
+      auto V = E->evaluate(ParamValues);
+      if (!V)
+        return setError(formatString(
+            "line %u: cannot evaluate parameter of '%s'", Call.Line,
+            Call.Name.c_str()));
+      Params.push_back(*V);
+    }
+
+    // Resolve each argument to one or more flat qubits (broadcasting).
+    std::vector<std::vector<int32_t>> ArgQubits;
+    size_t BroadcastWidth = 1;
+    for (const Argument &Arg : Call.Args) {
+      // Inside a body, bare identifiers are formals.
+      if (!FormalQubits.empty() && !Arg.Index) {
+        auto It = FormalQubits.find(Arg.Reg);
+        if (It == FormalQubits.end())
+          return setError("unknown formal qubit '" + Arg.Reg + "' in gate '" +
+                          Call.Name + "'");
+        ArgQubits.push_back({It->second});
+        continue;
+      }
+      auto Qubits = resolveArg(Arg);
+      if (!Qubits)
+        return false;
+      if (Qubits->size() > 1) {
+        if (BroadcastWidth != 1 && BroadcastWidth != Qubits->size())
+          return setError(formatString(
+              "line %u: mismatched broadcast widths in '%s'", Call.Line,
+              Call.Name.c_str()));
+        BroadcastWidth = Qubits->size();
+      }
+      ArgQubits.push_back(std::move(*Qubits));
+    }
+
+    for (size_t B = 0; B < BroadcastWidth; ++B) {
+      std::vector<int32_t> Operands;
+      Operands.reserve(ArgQubits.size());
+      for (const auto &Qubits : ArgQubits)
+        Operands.push_back(Qubits.size() == 1 ? Qubits[0] : Qubits[B]);
+      if (!emitOne(Circ, Call, Params, Operands, Depth))
+        return false;
+    }
+    return true;
+  }
+
+  bool emitOne(Circuit &Circ, const GateCall &Call,
+               const std::vector<double> &Params,
+               const std::vector<int32_t> &Operands, unsigned Depth) {
+    auto BI = builtinGates().find(Call.Name);
+    if (BI != builtinGates().end()) {
+      const BuiltinGate &B = BI->second;
+      if (Operands.size() != B.NumQubits)
+        return setError(formatString("line %u: '%s' expects %u qubits, got %zu",
+                                     Call.Line, Call.Name.c_str(), B.NumQubits,
+                                     Operands.size()));
+      if (Params.size() != B.NumParams)
+        return setError(formatString(
+            "line %u: '%s' expects %u parameters, got %zu", Call.Line,
+            Call.Name.c_str(), B.NumParams, Params.size()));
+      Gate G;
+      G.Kind = B.Kind;
+      for (size_t I = 0; I < Operands.size(); ++I)
+        G.Qubits[I] = Operands[I];
+      for (size_t I = 0; I < Params.size(); ++I)
+        G.Params[I] = Params[I];
+      // Distinct-operand check: delegate to the circuit's assertions but
+      // produce a recoverable error for user input.
+      for (size_t I = 0; I < Operands.size(); ++I)
+        for (size_t J = I + 1; J < Operands.size(); ++J)
+          if (Operands[I] == Operands[J])
+            return setError(formatString(
+                "line %u: repeated qubit operand in '%s'", Call.Line,
+                Call.Name.c_str()));
+      Circ.addGate(G);
+      return true;
+    }
+
+    auto UI = UserGates.find(Call.Name);
+    if (UI == UserGates.end())
+      return setError(formatString("line %u: unknown gate '%s'", Call.Line,
+                                   Call.Name.c_str()));
+    const GateDef &Def = *UI->second;
+    if (Operands.size() != Def.QubitNames.size())
+      return setError(formatString("line %u: '%s' expects %zu qubits, got %zu",
+                                   Call.Line, Call.Name.c_str(),
+                                   Def.QubitNames.size(), Operands.size()));
+    if (Params.size() != Def.ParamNames.size())
+      return setError(formatString(
+          "line %u: '%s' expects %zu parameters, got %zu", Call.Line,
+          Call.Name.c_str(), Def.ParamNames.size(), Params.size()));
+
+    std::map<std::string, int32_t> BodyQubits;
+    for (size_t I = 0; I < Operands.size(); ++I)
+      BodyQubits[Def.QubitNames[I]] = Operands[I];
+    std::map<std::string, double> BodyParams;
+    for (size_t I = 0; I < Params.size(); ++I)
+      BodyParams[Def.ParamNames[I]] = Params[I];
+
+    for (const GateCall &Inner : Def.Body)
+      if (!lowerCall(Circ, Inner, BodyQubits, BodyParams, Depth + 1))
+        return false;
+    return true;
+  }
+
+  const Program &Prog;
+  std::map<std::string, unsigned> QregBase;
+  std::map<std::string, unsigned> QregSize;
+  std::map<std::string, const GateDef *> UserGates;
+  std::string ErrorMessage;
+};
+
+} // namespace
+
+ImportResult qasm::importProgram(const Program &Prog,
+                                 const std::string &Name) {
+  return ImporterImpl(Prog).run(Name);
+}
+
+ImportResult qasm::importQasm(const std::string &Source,
+                              const std::string &Name) {
+  ParseResult Parsed = parseQasm(Source);
+  if (!Parsed.succeeded()) {
+    ImportResult Result;
+    Result.Error = Parsed.Error;
+    return Result;
+  }
+  return importProgram(*Parsed.Prog, Name);
+}

@@ -1,0 +1,45 @@
+//===- qasm/Importer.h - AST to circuit IR conversion ------------*- C++ -*-===//
+//
+// Part of the Qlosure project. Distributed under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Lowers a parsed OpenQASM 2.0 program to the flat Circuit IR: flattens
+/// quantum registers into one index space, resolves the qelib1 builtin
+/// gates, inlines user-defined gates recursively, applies whole-register
+/// broadcasting, and evaluates parameter expressions.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef QLOSURE_QASM_IMPORTER_H
+#define QLOSURE_QASM_IMPORTER_H
+
+#include "circuit/Circuit.h"
+#include "qasm/Ast.h"
+
+#include <optional>
+#include <string>
+
+namespace qlosure {
+namespace qasm {
+
+/// Outcome of an import: exactly one of Circ/Error is meaningful.
+struct ImportResult {
+  std::optional<Circuit> Circ;
+  std::string Error;
+
+  bool succeeded() const { return Circ.has_value(); }
+};
+
+/// Lowers \p Prog to a Circuit named \p Name.
+ImportResult importProgram(const Program &Prog, const std::string &Name = "");
+
+/// Convenience: parse + import in one step.
+ImportResult importQasm(const std::string &Source,
+                        const std::string &Name = "");
+
+} // namespace qasm
+} // namespace qlosure
+
+#endif // QLOSURE_QASM_IMPORTER_H

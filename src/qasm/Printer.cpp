@@ -1,0 +1,58 @@
+//===- qasm/Printer.cpp - Circuit to OpenQASM 2.0 export ----------------------===//
+//
+// Part of the Qlosure project. Distributed under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "qasm/Printer.h"
+
+#include "support/StringUtils.h"
+
+using namespace qlosure;
+using namespace qlosure::qasm;
+
+std::string qasm::printQasm(const Circuit &Circ) {
+  std::string Out;
+  Out += "OPENQASM 2.0;\n";
+  Out += "include \"qelib1.inc\";\n";
+  Out += formatString("qreg q[%u];\n", Circ.numQubits());
+
+  bool HasMeasure = false;
+  for (const Gate &G : Circ.gates())
+    if (G.Kind == GateKind::Measure)
+      HasMeasure = true;
+  if (HasMeasure)
+    Out += formatString("creg c[%u];\n", Circ.numQubits());
+
+  for (const Gate &G : Circ.gates()) {
+    if (G.Kind == GateKind::Measure) {
+      Out += formatString("measure q[%d] -> c[%d];\n", G.Qubits[0],
+                          G.Qubits[0]);
+      continue;
+    }
+    if (G.Kind == GateKind::Barrier) {
+      Out += formatString("barrier q[%d];\n", G.Qubits[0]);
+      continue;
+    }
+    Out += gateName(G.Kind);
+    unsigned NP = G.numParams();
+    if (NP) {
+      Out += "(";
+      for (unsigned I = 0; I < NP; ++I) {
+        if (I)
+          Out += ",";
+        Out += formatString("%.17g", G.Params[I]);
+      }
+      Out += ")";
+    }
+    Out += " ";
+    unsigned NQ = G.numQubits();
+    for (unsigned I = 0; I < NQ; ++I) {
+      if (I)
+        Out += ",";
+      Out += formatString("q[%d]", G.Qubits[I]);
+    }
+    Out += ";\n";
+  }
+  return Out;
+}

@@ -1,0 +1,30 @@
+//===- qasm/Printer.h - Circuit to OpenQASM 2.0 export ------------*- C++ -*-===//
+//
+// Part of the Qlosure project. Distributed under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Serializes a Circuit back to OpenQASM 2.0 text, used to emit routed
+/// circuits and in round-trip tests of the frontend.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef QLOSURE_QASM_PRINTER_H
+#define QLOSURE_QASM_PRINTER_H
+
+#include "circuit/Circuit.h"
+
+#include <string>
+
+namespace qlosure {
+namespace qasm {
+
+/// Renders \p Circ as an OpenQASM 2.0 program over a single register "q".
+/// Measures print with a matching classical register "c".
+std::string printQasm(const Circuit &Circ);
+
+} // namespace qasm
+} // namespace qlosure
+
+#endif // QLOSURE_QASM_PRINTER_H

@@ -1,0 +1,28 @@
+//===- route/Fidelity.cpp - Success-probability estimation ---------------------===//
+//
+// Part of the Qlosure project. Distributed under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "route/Fidelity.h"
+
+#include <cmath>
+
+using namespace qlosure;
+
+double qlosure::estimateSuccessProbability(const Circuit &Routed,
+                                           const CouplingGraph &Hw) {
+  // Accumulate in log space for numerical stability on long circuits.
+  double LogSuccess = 0;
+  for (const Gate &G : Routed.gates()) {
+    if (!G.isTwoQubit())
+      continue;
+    double Rate = Hw.edgeError(static_cast<unsigned>(G.Qubits[0]),
+                               static_cast<unsigned>(G.Qubits[1]));
+    if (Rate <= 0)
+      continue;
+    unsigned Applications = G.isSwap() ? 3 : 1; // SWAP = 3 CX on hardware.
+    LogSuccess += Applications * std::log1p(-Rate);
+  }
+  return std::exp(LogSuccess);
+}

@@ -1,0 +1,32 @@
+//===- route/Fidelity.h - Success-probability estimation ----------*- C++ -*-===//
+//
+// Part of the Qlosure project. Distributed under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// NISQ quality proxy for routed circuits: the expected success
+/// probability under an independent-error model, i.e. the product of
+/// (1 - errorRate(edge)) over every two-qubit gate application (SWAPs
+/// charged as three CX). Used by the error-aware mapping extension
+/// (the paper's stated future work) to quantify fidelity gains.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef QLOSURE_ROUTE_FIDELITY_H
+#define QLOSURE_ROUTE_FIDELITY_H
+
+#include "circuit/Circuit.h"
+#include "topology/CouplingGraph.h"
+
+namespace qlosure {
+
+/// Expected success probability of the *physical* circuit \p Routed on
+/// \p Hw under its installed edge-error model. Gates on edges without a
+/// recorded rate contribute no error. Returns a value in (0, 1].
+double estimateSuccessProbability(const Circuit &Routed,
+                                  const CouplingGraph &Hw);
+
+} // namespace qlosure
+
+#endif // QLOSURE_ROUTE_FIDELITY_H

@@ -1,0 +1,86 @@
+//===- route/FrontLayer.cpp - Ready-gate tracking --------------------------------===//
+//
+// Part of the Qlosure project. Distributed under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "route/FrontLayer.h"
+
+#include <algorithm>
+#include <cassert>
+#include <deque>
+
+using namespace qlosure;
+
+FrontLayerTracker::FrontLayerTracker(const CircuitDag &DagIn) : Dag(DagIn) {
+  size_t N = Dag.numGates();
+  PendingPreds.resize(N);
+  Executed.assign(N, 0);
+  InFront.assign(N, 0);
+  for (size_t G = 0; G < N; ++G)
+    PendingPreds[G] = Dag.inDegree(G);
+  for (uint32_t Root : Dag.roots()) {
+    Front.push_back(Root);
+    InFront[Root] = 1;
+  }
+}
+
+void FrontLayerTracker::execute(uint32_t GateId) {
+  assert(InFront[GateId] && "executing a gate that is not ready");
+  assert(!Executed[GateId] && "double execution");
+  Executed[GateId] = 1;
+  InFront[GateId] = 0;
+  ++NumExecuted;
+  auto It = std::find(Front.begin(), Front.end(), GateId);
+  assert(It != Front.end() && "front bookkeeping out of sync");
+  *It = Front.back();
+  Front.pop_back();
+  for (uint32_t Succ : Dag.successors(GateId)) {
+    assert(PendingPreds[Succ] > 0 && "predecessor count underflow");
+    if (--PendingPreds[Succ] == 0) {
+      Front.push_back(Succ);
+      InFront[Succ] = 1;
+    }
+  }
+}
+
+std::vector<uint32_t>
+FrontLayerTracker::topologicalWindow(size_t MaxGates,
+                                     bool CountTwoQubitOnly) const {
+  std::vector<uint32_t> Window;
+  if (MaxGates == 0)
+    return Window;
+  size_t TotalCap = CountTwoQubitOnly ? 8 * MaxGates : MaxGates;
+  size_t Counted = 0;
+  // BFS from the front through unexecuted gates, releasing a gate once all
+  // its unexecuted predecessors have been visited. This yields gates in
+  // topological order of the residual DAG.
+  std::vector<uint32_t> Needed(Dag.numGates(), 0);
+  std::vector<uint8_t> Touched(Dag.numGates(), 0);
+  std::deque<uint32_t> Queue(Front.begin(), Front.end());
+  // Sort the seeds for determinism (Front order depends on history).
+  std::sort(Queue.begin(), Queue.end());
+  while (!Queue.empty() && Counted < MaxGates &&
+         Window.size() < TotalCap) {
+    uint32_t G = Queue.front();
+    Queue.pop_front();
+    Window.push_back(G);
+    if (!CountTwoQubitOnly || Dag.isTwoQubitGate(G))
+      ++Counted;
+    for (uint32_t Succ : Dag.successors(G)) {
+      // Count unexecuted predecessors lazily on first touch.
+      if (!Touched[Succ]) {
+        Touched[Succ] = 1;
+        uint32_t Pending = 0;
+        for (uint32_t Pred : Dag.predecessors(Succ))
+          if (!Executed[Pred])
+            ++Pending;
+        Needed[Succ] = Pending;
+      }
+      assert(Needed[Succ] > 0 && "successor released twice");
+      if (--Needed[Succ] == 0)
+        Queue.push_back(Succ);
+    }
+  }
+  return Window;
+}

@@ -1,0 +1,65 @@
+//===- route/FrontLayer.h - Ready-gate tracking -------------------*- C++ -*-===//
+//
+// Part of the Qlosure project. Distributed under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Maintains the front layer L_f — the set of gates whose dependence
+/// predecessors have all executed — over a CircuitDag, plus a look-ahead
+/// iterator yielding the topologically earliest unexecuted gates. Shared by
+/// Qlosure and all baseline routers.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef QLOSURE_ROUTE_FRONTLAYER_H
+#define QLOSURE_ROUTE_FRONTLAYER_H
+
+#include "circuit/Dag.h"
+
+#include <cstdint>
+#include <vector>
+
+namespace qlosure {
+
+/// Incremental front-layer tracker.
+class FrontLayerTracker {
+public:
+  explicit FrontLayerTracker(const CircuitDag &Dag);
+
+  /// Gates currently ready (unordered).
+  const std::vector<uint32_t> &front() const { return Front; }
+
+  bool allExecuted() const { return NumExecuted == Dag.numGates(); }
+  size_t numExecuted() const { return NumExecuted; }
+
+  /// Marks \p GateId (which must be in the front) as executed, releasing
+  /// its successors into the front when their last dependence clears.
+  void execute(uint32_t GateId);
+
+  /// True if \p GateId is ready but not yet executed.
+  bool isInFront(uint32_t GateId) const { return InFront[GateId]; }
+
+  /// Collects unexecuted gates in topological order starting from the
+  /// front (the paper's look-ahead window candidates, before layer
+  /// formation), until \p MaxGates gates have been gathered. When
+  /// \p CountTwoQubitOnly is set, only two-qubit gates count toward the
+  /// budget (single-qubit gates are still traversed and returned so layer
+  /// construction sees the full dependence structure); the total is then
+  /// capped at 8x MaxGates as a safety bound.
+  std::vector<uint32_t> topologicalWindow(size_t MaxGates,
+                                          bool CountTwoQubitOnly = false)
+      const;
+
+private:
+  const CircuitDag &Dag;
+  std::vector<uint32_t> PendingPreds; ///< Unexecuted predecessor counts.
+  std::vector<uint8_t> Executed;
+  std::vector<uint8_t> InFront;
+  std::vector<uint32_t> Front;
+  size_t NumExecuted = 0;
+};
+
+} // namespace qlosure
+
+#endif // QLOSURE_ROUTE_FRONTLAYER_H

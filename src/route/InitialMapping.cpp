@@ -1,0 +1,31 @@
+//===- route/InitialMapping.cpp - Initial placement strategies -------------------===//
+//
+// Part of the Qlosure project. Distributed under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "route/InitialMapping.h"
+
+using namespace qlosure;
+
+Circuit qlosure::reverseCircuit(const Circuit &Circ) {
+  Circuit Result(Circ.numQubits(), Circ.name() + ".rev");
+  for (size_t GI = Circ.size(); GI-- > 0;)
+    Result.addGate(Circ.gate(GI));
+  return Result;
+}
+
+QubitMapping qlosure::deriveBidirectionalMapping(Router &R,
+                                                 const Circuit &Circ,
+                                                 const CouplingGraph &Hw,
+                                                 unsigned NumPasses) {
+  QubitMapping Mapping =
+      QubitMapping::identity(Circ.numQubits(), Hw.numQubits());
+  Circuit Reversed = reverseCircuit(Circ);
+  for (unsigned Pass = 0; Pass < NumPasses; ++Pass) {
+    RoutingResult Forward = R.route(Circ, Hw, Mapping);
+    RoutingResult Backward = R.route(Reversed, Hw, Forward.FinalMapping);
+    Mapping = Backward.FinalMapping;
+  }
+  return Mapping;
+}

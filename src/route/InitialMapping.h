@@ -1,0 +1,36 @@
+//===- route/InitialMapping.h - Initial placement strategies ------*- C++ -*-===//
+//
+// Part of the Qlosure project. Distributed under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Initial logical-to-physical placement strategies. The paper uses the
+/// identity placement for all mapper comparisons and explores a SABRE-style
+/// bidirectional refinement in the ablation study (Sec. VI-E): route the
+/// circuit forward, route its reverse starting from the produced final
+/// mapping, and use the mapping that pass ends with as the initial
+/// placement of the final forward run.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef QLOSURE_ROUTE_INITIALMAPPING_H
+#define QLOSURE_ROUTE_INITIALMAPPING_H
+
+#include "route/Router.h"
+
+namespace qlosure {
+
+/// Returns a copy of \p Circ with its gate order reversed (the adjoint
+/// structure is irrelevant for mapping; only qubit traffic matters).
+Circuit reverseCircuit(const Circuit &Circ);
+
+/// Derives an initial mapping by \p NumPasses forward/backward routing
+/// passes with \p R (Li et al. ASPLOS'19). One pass = forward + backward.
+QubitMapping deriveBidirectionalMapping(Router &R, const Circuit &Circ,
+                                        const CouplingGraph &Hw,
+                                        unsigned NumPasses = 1);
+
+} // namespace qlosure
+
+#endif // QLOSURE_ROUTE_INITIALMAPPING_H

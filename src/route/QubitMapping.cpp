@@ -1,0 +1,75 @@
+//===- route/QubitMapping.cpp - Logical/physical qubit mapping -----------------===//
+//
+// Part of the Qlosure project. Distributed under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "route/QubitMapping.h"
+
+#include "support/Error.h"
+#include "support/Random.h"
+
+#include <cassert>
+#include <numeric>
+
+using namespace qlosure;
+
+QubitMapping QubitMapping::identity(unsigned NumLogical,
+                                    unsigned NumPhysical) {
+  assert(NumLogical <= NumPhysical &&
+         "more logical than physical qubits");
+  QubitMapping M;
+  M.LogToPhys.resize(NumLogical);
+  M.PhysToLog.assign(NumPhysical, -1);
+  for (unsigned Q = 0; Q < NumLogical; ++Q) {
+    M.LogToPhys[Q] = static_cast<int32_t>(Q);
+    M.PhysToLog[Q] = static_cast<int32_t>(Q);
+  }
+  return M;
+}
+
+QubitMapping QubitMapping::random(unsigned NumLogical, unsigned NumPhysical,
+                                  Rng &Generator) {
+  assert(NumLogical <= NumPhysical &&
+         "more logical than physical qubits");
+  std::vector<int32_t> Slots(NumPhysical);
+  std::iota(Slots.begin(), Slots.end(), 0);
+  Generator.shuffle(Slots);
+  QubitMapping M;
+  M.LogToPhys.resize(NumLogical);
+  M.PhysToLog.assign(NumPhysical, -1);
+  for (unsigned Q = 0; Q < NumLogical; ++Q) {
+    M.LogToPhys[Q] = Slots[Q];
+    M.PhysToLog[Slots[Q]] = static_cast<int32_t>(Q);
+  }
+  return M;
+}
+
+void QubitMapping::swapPhysical(int32_t P1, int32_t P2) {
+  assert(P1 >= 0 && P2 >= 0 && P1 != P2 && "bad physical swap operands");
+  assert(static_cast<size_t>(P1) < PhysToLog.size() &&
+         static_cast<size_t>(P2) < PhysToLog.size() &&
+         "physical qubit out of range");
+  int32_t L1 = PhysToLog[P1];
+  int32_t L2 = PhysToLog[P2];
+  PhysToLog[P1] = L2;
+  PhysToLog[P2] = L1;
+  if (L1 >= 0)
+    LogToPhys[L1] = P2;
+  if (L2 >= 0)
+    LogToPhys[L2] = P1;
+}
+
+void QubitMapping::verifyConsistency() const {
+  for (size_t L = 0; L < LogToPhys.size(); ++L) {
+    int32_t P = LogToPhys[L];
+    if (P < 0 || static_cast<size_t>(P) >= PhysToLog.size() ||
+        PhysToLog[P] != static_cast<int32_t>(L))
+      reportFatalError("qubit mapping inconsistency detected");
+  }
+  for (size_t P = 0; P < PhysToLog.size(); ++P) {
+    int32_t L = PhysToLog[P];
+    if (L >= 0 && LogToPhys[static_cast<size_t>(L)] != static_cast<int32_t>(P))
+      reportFatalError("qubit mapping inverse inconsistency detected");
+  }
+}

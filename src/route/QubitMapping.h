@@ -1,0 +1,66 @@
+//===- route/QubitMapping.h - Logical/physical qubit mapping ------*- C++ -*-===//
+//
+// Part of the Qlosure project. Distributed under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The mapping phi : Q_logical -> Q_phys maintained by every router, with
+/// its inverse. SWAPs act on physical qubits and exchange whatever logical
+/// states they currently host.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef QLOSURE_ROUTE_QUBITMAPPING_H
+#define QLOSURE_ROUTE_QUBITMAPPING_H
+
+#include <cstdint>
+#include <vector>
+
+namespace qlosure {
+
+class Rng;
+
+/// An injective mapping of logical qubits onto physical qubits.
+class QubitMapping {
+public:
+  QubitMapping() = default;
+
+  /// The identity placement: logical i on physical i.
+  static QubitMapping identity(unsigned NumLogical, unsigned NumPhysical);
+
+  /// A uniformly random injective placement.
+  static QubitMapping random(unsigned NumLogical, unsigned NumPhysical,
+                             Rng &Generator);
+
+  unsigned numLogical() const {
+    return static_cast<unsigned>(LogToPhys.size());
+  }
+  unsigned numPhysical() const {
+    return static_cast<unsigned>(PhysToLog.size());
+  }
+
+  /// Physical qubit hosting logical \p Logical.
+  int32_t physOf(int32_t Logical) const { return LogToPhys[Logical]; }
+
+  /// Logical qubit hosted on physical \p Phys, or -1 when free.
+  int32_t logOf(int32_t Phys) const { return PhysToLog[Phys]; }
+
+  /// Applies a SWAP on physical qubits \p P1 and \p P2 (phi := phi . s).
+  void swapPhysical(int32_t P1, int32_t P2);
+
+  bool operator==(const QubitMapping &Other) const {
+    return LogToPhys == Other.LogToPhys && PhysToLog == Other.PhysToLog;
+  }
+
+  /// Checks injectivity and inverse consistency (asserts on violation).
+  void verifyConsistency() const;
+
+private:
+  std::vector<int32_t> LogToPhys;
+  std::vector<int32_t> PhysToLog;
+};
+
+} // namespace qlosure
+
+#endif // QLOSURE_ROUTE_QUBITMAPPING_H

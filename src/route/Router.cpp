@@ -1,0 +1,42 @@
+//===- route/Router.cpp - Router interface --------------------------------------===//
+//
+// Part of the Qlosure project. Distributed under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "route/Router.h"
+
+#include "support/Error.h"
+
+#include <cassert>
+
+using namespace qlosure;
+
+Router::~Router() = default;
+
+RoutingResult Router::routeWithIdentity(const Circuit &Logical,
+                                        const CouplingGraph &Hw) {
+  QubitMapping Initial =
+      QubitMapping::identity(Logical.numQubits(), Hw.numQubits());
+  return route(Logical, Hw, Initial);
+}
+
+void Router::checkPreconditions(const Circuit &Logical,
+                                const CouplingGraph &Hw,
+                                const QubitMapping &Initial) {
+  if (Logical.numQubits() > Hw.numQubits())
+    reportFatalError("circuit has more qubits than the device");
+  if (!Hw.hasDistances())
+    reportFatalError("coupling graph is missing the APSP matrix; call "
+                     "computeDistances()");
+  if (Initial.numLogical() != Logical.numQubits() ||
+      Initial.numPhysical() != Hw.numQubits())
+    reportFatalError("initial mapping arity mismatch");
+  Initial.verifyConsistency();
+  for (const Gate &G : Logical.gates()) {
+    if (G.Kind == GateKind::Barrier || G.Kind == GateKind::Measure)
+      reportFatalError("strip barriers/measures before routing");
+    if (G.numQubits() > 2)
+      reportFatalError("decompose 3-qubit gates before routing");
+  }
+}

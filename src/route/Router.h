@@ -1,0 +1,80 @@
+//===- route/Router.h - Router interface --------------------------*- C++ -*-===//
+//
+// Part of the Qlosure project. Distributed under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The common interface implemented by Qlosure and the four baseline
+/// mappers, plus the RoutingResult bundle the evaluation harness consumes.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef QLOSURE_ROUTE_ROUTER_H
+#define QLOSURE_ROUTE_ROUTER_H
+
+#include "circuit/Circuit.h"
+#include "route/QubitMapping.h"
+#include "topology/CouplingGraph.h"
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace qlosure {
+
+/// Everything a routing run produces.
+struct RoutingResult {
+  /// The physical circuit: original gates rewritten to physical operands,
+  /// interleaved with inserted SWAPs, in execution order.
+  Circuit Routed;
+
+  /// Flags aligned with Routed.gates(): true for router-inserted SWAPs
+  /// (original program SWAPs stay false).
+  std::vector<uint8_t> InsertedSwapFlags;
+
+  QubitMapping InitialMapping;
+  QubitMapping FinalMapping;
+
+  size_t NumSwaps = 0;        ///< Inserted SWAPs only.
+  double MappingSeconds = 0;  ///< Wall-clock routing time.
+  /// Set by budgeted routers (QMAP-style) whose search exceeded its
+  /// wall-clock budget and fell back to greedy completion.
+  bool TimedOut = false;
+  std::string RouterName;
+
+  /// Depth of the routed circuit under \p Model.
+  size_t routedDepth(SwapCostModel Model = SwapCostModel::SwapAsOneGate) const {
+    return Routed.depth(Model);
+  }
+};
+
+/// Abstract qubit mapper. Implementations must accept any connected
+/// coupling graph and any circuit whose gates are unitary with arity <= 2
+/// and numQubits() <= Hw.numQubits().
+class Router {
+public:
+  virtual ~Router();
+
+  /// Human-readable mapper name (used in result tables).
+  virtual std::string name() const = 0;
+
+  /// Routes \p Logical onto \p Hw starting from \p Initial.
+  virtual RoutingResult route(const Circuit &Logical, const CouplingGraph &Hw,
+                              const QubitMapping &Initial) = 0;
+
+  /// Convenience overload starting from the identity placement (the
+  /// paper's default for all mapper comparisons).
+  RoutingResult routeWithIdentity(const Circuit &Logical,
+                                  const CouplingGraph &Hw);
+
+protected:
+  /// Validates the routing preconditions (asserts on violation).
+  static void checkPreconditions(const Circuit &Logical,
+                                 const CouplingGraph &Hw,
+                                 const QubitMapping &Initial);
+};
+
+} // namespace qlosure
+
+#endif // QLOSURE_ROUTE_ROUTER_H

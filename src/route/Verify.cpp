@@ -1,0 +1,129 @@
+//===- route/Verify.cpp - Routed circuit verification ---------------------------===//
+//
+// Part of the Qlosure project. Distributed under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "route/Verify.h"
+
+#include "support/StringUtils.h"
+
+#include <cmath>
+#include <vector>
+
+using namespace qlosure;
+
+namespace {
+
+/// One per-wire event: the gate kind, this wire's operand position, the
+/// logical partner (or -1), and the first parameter (rounded).
+struct WireEvent {
+  GateKind Kind;
+  uint8_t OperandPos;
+  int32_t Partner;
+  int64_t ParamKey;
+
+  bool operator==(const WireEvent &O) const {
+    return Kind == O.Kind && OperandPos == O.OperandPos &&
+           Partner == O.Partner && ParamKey == O.ParamKey;
+  }
+};
+
+int64_t paramKey(const Gate &G) {
+  // Quantize to avoid spurious float-identity issues across rebuilds.
+  return static_cast<int64_t>(std::llround(G.Params[0] * 1e9));
+}
+
+void appendWireEvents(std::vector<std::vector<WireEvent>> &Wires,
+                      const Gate &G) {
+  unsigned N = G.numQubits();
+  for (unsigned I = 0; I < N; ++I) {
+    WireEvent E;
+    E.Kind = G.Kind;
+    E.OperandPos = static_cast<uint8_t>(I);
+    E.Partner = N == 2 ? G.Qubits[1 - I] : -1;
+    E.ParamKey = paramKey(G);
+    Wires[static_cast<size_t>(G.Qubits[I])].push_back(E);
+  }
+}
+
+} // namespace
+
+VerifyResult qlosure::verifyRouting(const Circuit &Logical,
+                                    const CouplingGraph &Hw,
+                                    const RoutingResult &Result) {
+  VerifyResult V;
+  auto fail = [&V](std::string Message) {
+    V.Ok = false;
+    V.Message = std::move(Message);
+    return V;
+  };
+
+  const Circuit &Routed = Result.Routed;
+  if (Result.InsertedSwapFlags.size() != Routed.size())
+    return fail("InsertedSwapFlags length does not match routed circuit");
+
+  // Replay with the initial mapping, recovering the logical circuit.
+  QubitMapping Phi = Result.InitialMapping;
+  Circuit Recovered(Logical.numQubits(), Logical.name());
+  size_t InsertedSwaps = 0;
+  for (size_t GI = 0; GI < Routed.size(); ++GI) {
+    const Gate &G = Routed.gate(GI);
+    // Adjacency of every two-qubit gate on hardware.
+    if (G.isTwoQubit() &&
+        !Hw.areAdjacent(static_cast<unsigned>(G.Qubits[0]),
+                        static_cast<unsigned>(G.Qubits[1])))
+      return fail(formatString(
+          "gate %zu (%s) acts on non-adjacent physical qubits", GI,
+          G.toString().c_str()));
+
+    if (Result.InsertedSwapFlags[GI]) {
+      if (!G.isSwap())
+        return fail(formatString("gate %zu flagged as inserted SWAP is %s",
+                                 GI, G.toString().c_str()));
+      Phi.swapPhysical(G.Qubits[0], G.Qubits[1]);
+      ++InsertedSwaps;
+      continue;
+    }
+    // A program gate: translate back to logical operands.
+    Gate LogicalGate = G;
+    unsigned N = G.numQubits();
+    for (unsigned I = 0; I < N; ++I) {
+      int32_t L = Phi.logOf(G.Qubits[I]);
+      if (L < 0)
+        return fail(formatString(
+            "gate %zu reads physical qubit %d which hosts no logical qubit",
+            GI, G.Qubits[I]));
+      LogicalGate.Qubits[I] = L;
+    }
+    Recovered.addGate(LogicalGate);
+  }
+
+  if (InsertedSwaps != Result.NumSwaps)
+    return fail(formatString("NumSwaps=%zu but %zu inserted SWAPs found",
+                             Result.NumSwaps, InsertedSwaps));
+  if (!(Phi == Result.FinalMapping))
+    return fail("final mapping does not match the replayed mapping");
+  if (Recovered.size() != Logical.size())
+    return fail(formatString("recovered %zu program gates, expected %zu",
+                             Recovered.size(), Logical.size()));
+
+  // Per-wire sequence equality.
+  std::vector<std::vector<WireEvent>> WantWires(Logical.numQubits());
+  std::vector<std::vector<WireEvent>> GotWires(Logical.numQubits());
+  for (const Gate &G : Logical.gates())
+    appendWireEvents(WantWires, G);
+  for (const Gate &G : Recovered.gates())
+    appendWireEvents(GotWires, G);
+  for (unsigned Q = 0; Q < Logical.numQubits(); ++Q) {
+    if (WantWires[Q].size() != GotWires[Q].size())
+      return fail(formatString(
+          "wire q[%u]: %zu gates expected, %zu recovered", Q,
+          WantWires[Q].size(), GotWires[Q].size()));
+    for (size_t I = 0; I < WantWires[Q].size(); ++I)
+      if (!(WantWires[Q][I] == GotWires[Q][I]))
+        return fail(formatString(
+            "wire q[%u]: gate sequence diverges at position %zu", Q, I));
+  }
+  return V;
+}

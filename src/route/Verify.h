@@ -1,0 +1,38 @@
+//===- route/Verify.h - Routed circuit verification ---------------*- C++ -*-===//
+//
+// Part of the Qlosure project. Distributed under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Independent correctness checker for routing results: (1) every 2-qubit
+/// gate in the routed circuit acts on adjacent physical qubits; (2) when
+/// the routed circuit is replayed and inserted SWAPs are folded back into
+/// the tracked mapping, the recovered logical circuit preserves the input's
+/// per-wire gate sequences (the dependence-preservation criterion: equal
+/// per-wire sequences imply the two circuits are equal as partial orders).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef QLOSURE_ROUTE_VERIFY_H
+#define QLOSURE_ROUTE_VERIFY_H
+
+#include "route/Router.h"
+
+#include <string>
+
+namespace qlosure {
+
+/// Verification outcome; Ok == true means the routing is valid.
+struct VerifyResult {
+  bool Ok = true;
+  std::string Message;
+};
+
+/// Verifies \p Result against the original \p Logical circuit and \p Hw.
+VerifyResult verifyRouting(const Circuit &Logical, const CouplingGraph &Hw,
+                           const RoutingResult &Result);
+
+} // namespace qlosure
+
+#endif // QLOSURE_ROUTE_VERIFY_H

@@ -1,0 +1,24 @@
+//===- support/Error.cpp - Fatal error reporting --------------------------===//
+//
+// Part of the Qlosure project. Distributed under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "support/Error.h"
+
+#include <cstdio>
+#include <cstdlib>
+
+using namespace qlosure;
+
+void qlosure::reportFatalError(const std::string &Message) {
+  std::fprintf(stderr, "qlosure fatal error: %s\n", Message.c_str());
+  std::abort();
+}
+
+void qlosure::unreachableInternal(const char *Message, const char *File,
+                                  unsigned Line) {
+  std::fprintf(stderr, "qlosure unreachable at %s:%u: %s\n", File, Line,
+               Message);
+  std::abort();
+}

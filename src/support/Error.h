@@ -1,0 +1,36 @@
+//===- support/Error.h - Fatal error reporting ------------------*- C++ -*-===//
+//
+// Part of the Qlosure project, an open-source reproduction of the CGO 2026
+// paper "Dependence-Driven, Scalable Quantum Circuit Mapping with Affine
+// Abstractions". Distributed under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Error-reporting helpers used across the library. Library code never throws
+/// exceptions; invariant violations abort with a message and recoverable
+/// conditions are surfaced via return values.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef QLOSURE_SUPPORT_ERROR_H
+#define QLOSURE_SUPPORT_ERROR_H
+
+#include <string>
+
+namespace qlosure {
+
+/// Prints \p Message to stderr and aborts. Used for unrecoverable violations
+/// of library invariants (never for malformed user input).
+[[noreturn]] void reportFatalError(const std::string &Message);
+
+/// Marks a point in the code that must never be reached.
+[[noreturn]] void unreachableInternal(const char *Message, const char *File,
+                                      unsigned Line);
+
+} // namespace qlosure
+
+#define QLOSURE_UNREACHABLE(MSG)                                               \
+  ::qlosure::unreachableInternal(MSG, __FILE__, __LINE__)
+
+#endif // QLOSURE_SUPPORT_ERROR_H

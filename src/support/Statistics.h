@@ -1,0 +1,58 @@
+//===- support/Statistics.h - Summary statistics ----------------*- C++ -*-===//
+//
+// Part of the Qlosure project. Distributed under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Small summary-statistics helpers used by the evaluation harness when
+/// aggregating depth factors, SWAP ratios and mapping times.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef QLOSURE_SUPPORT_STATISTICS_H
+#define QLOSURE_SUPPORT_STATISTICS_H
+
+#include <cstddef>
+#include <vector>
+
+namespace qlosure {
+
+/// Arithmetic mean of \p Values; 0 for an empty vector.
+double mean(const std::vector<double> &Values);
+
+/// Geometric mean of \p Values (all must be positive); 0 for an empty vector.
+double geometricMean(const std::vector<double> &Values);
+
+/// Population standard deviation; 0 for fewer than two samples.
+double stddev(const std::vector<double> &Values);
+
+/// Median (average of the two middle elements for even sizes).
+double median(std::vector<double> Values);
+
+/// Minimum; 0 for an empty vector.
+double minOf(const std::vector<double> &Values);
+
+/// Maximum; 0 for an empty vector.
+double maxOf(const std::vector<double> &Values);
+
+/// Incremental accumulator for mean/min/max without storing samples.
+class RunningStat {
+public:
+  void add(double Value);
+  size_t count() const { return Count; }
+  double mean() const { return Count ? Sum / static_cast<double>(Count) : 0; }
+  double min() const { return Count ? Min : 0; }
+  double max() const { return Count ? Max : 0; }
+  double sum() const { return Sum; }
+
+private:
+  size_t Count = 0;
+  double Sum = 0;
+  double Min = 0;
+  double Max = 0;
+};
+
+} // namespace qlosure
+
+#endif // QLOSURE_SUPPORT_STATISTICS_H

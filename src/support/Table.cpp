@@ -1,0 +1,72 @@
+//===- support/Table.cpp - ASCII table printer ------------------------------===//
+//
+// Part of the Qlosure project. Distributed under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "support/Table.h"
+
+#include <algorithm>
+#include <cassert>
+
+using namespace qlosure;
+
+static const char *SeparatorSentinel = "\x01";
+
+Table::Table(std::vector<std::string> HeaderCells)
+    : Header(std::move(HeaderCells)) {
+  assert(!Header.empty() && "a table needs at least one column");
+}
+
+void Table::addRow(std::vector<std::string> Row) {
+  assert(Row.size() == Header.size() && "row width must match header");
+  Rows.push_back(std::move(Row));
+}
+
+void Table::addSeparator() { Rows.push_back({SeparatorSentinel}); }
+
+std::string Table::render() const {
+  std::vector<size_t> Widths(Header.size());
+  for (size_t C = 0; C < Header.size(); ++C)
+    Widths[C] = Header[C].size();
+  for (const auto &Row : Rows) {
+    if (Row.size() == 1 && Row[0] == SeparatorSentinel)
+      continue;
+    for (size_t C = 0; C < Row.size(); ++C)
+      Widths[C] = std::max(Widths[C], Row[C].size());
+  }
+
+  auto renderCell = [&](const std::string &Cell, size_t C) {
+    std::string Out;
+    size_t Pad = Widths[C] - Cell.size();
+    if (C == 0) { // Left align the label column.
+      Out = Cell + std::string(Pad, ' ');
+    } else {
+      Out = std::string(Pad, ' ') + Cell;
+    }
+    return Out;
+  };
+
+  auto renderLine = [&](const std::vector<std::string> &Cells) {
+    std::string Line = "|";
+    for (size_t C = 0; C < Cells.size(); ++C)
+      Line += " " + renderCell(Cells[C], C) + " |";
+    Line += "\n";
+    return Line;
+  };
+
+  std::string Rule = "+";
+  for (size_t W : Widths)
+    Rule += std::string(W + 2, '-') + "+";
+  Rule += "\n";
+
+  std::string Out = Rule + renderLine(Header) + Rule;
+  for (const auto &Row : Rows) {
+    if (Row.size() == 1 && Row[0] == SeparatorSentinel)
+      Out += Rule;
+    else
+      Out += renderLine(Row);
+  }
+  Out += Rule;
+  return Out;
+}

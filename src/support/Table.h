@@ -1,0 +1,46 @@
+//===- support/Table.h - ASCII table printer --------------------*- C++ -*-===//
+//
+// Part of the Qlosure project. Distributed under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A small ASCII table builder used by the benchmark binaries to print the
+/// paper's tables (Tables II-VI) in a readable, diffable form.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef QLOSURE_SUPPORT_TABLE_H
+#define QLOSURE_SUPPORT_TABLE_H
+
+#include <string>
+#include <vector>
+
+namespace qlosure {
+
+/// Collects rows of string cells and renders them with aligned columns.
+class Table {
+public:
+  explicit Table(std::vector<std::string> Header);
+
+  /// Appends a data row; its width must match the header.
+  void addRow(std::vector<std::string> Row);
+
+  /// Appends a horizontal separator line.
+  void addSeparator();
+
+  /// Renders the table. Column widths fit the widest cell; the first column
+  /// is left-aligned and all others right-aligned (numeric convention).
+  std::string render() const;
+
+  size_t numRows() const { return Rows.size(); }
+
+private:
+  std::vector<std::string> Header;
+  // A row with the sentinel single cell "\x01" renders as a separator.
+  std::vector<std::vector<std::string>> Rows;
+};
+
+} // namespace qlosure
+
+#endif // QLOSURE_SUPPORT_TABLE_H

@@ -1,0 +1,43 @@
+//===- support/Timer.h - Wall-clock timing -----------------------*- C++ -*-===//
+//
+// Part of the Qlosure project. Distributed under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Minimal wall-clock stopwatch used to report mapping times in the
+/// evaluation harness (Table IV / Fig. 5 of the paper).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef QLOSURE_SUPPORT_TIMER_H
+#define QLOSURE_SUPPORT_TIMER_H
+
+#include <chrono>
+
+namespace qlosure {
+
+/// A stopwatch that starts at construction.
+class Timer {
+public:
+  Timer() : Start(Clock::now()) {}
+
+  /// Restarts the stopwatch.
+  void reset() { Start = Clock::now(); }
+
+  /// Elapsed wall-clock seconds since construction or the last reset().
+  double elapsedSeconds() const {
+    return std::chrono::duration<double>(Clock::now() - Start).count();
+  }
+
+  /// Elapsed wall-clock milliseconds.
+  double elapsedMilliseconds() const { return elapsedSeconds() * 1000.0; }
+
+private:
+  using Clock = std::chrono::steady_clock;
+  Clock::time_point Start;
+};
+
+} // namespace qlosure
+
+#endif // QLOSURE_SUPPORT_TIMER_H

@@ -1,0 +1,193 @@
+//===- topology/CouplingGraph.cpp - QPU coupling graphs ----------------------===//
+//
+// Part of the Qlosure project. Distributed under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "topology/CouplingGraph.h"
+
+#include "support/Error.h"
+#include "support/Random.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+#include <deque>
+#include <limits>
+#include <queue>
+
+using namespace qlosure;
+
+void CouplingGraph::addEdge(unsigned A, unsigned B) {
+  assert(A < NumQubits && B < NumQubits && "edge endpoint out of range");
+  assert(A != B && "self loops are not allowed");
+  if (areAdjacent(A, B))
+    return;
+  Adjacency[A].push_back(B);
+  Adjacency[B].push_back(A);
+  Distances.clear(); // Invalidate cached APSP.
+}
+
+bool CouplingGraph::areAdjacent(unsigned A, unsigned B) const {
+  assert(A < NumQubits && B < NumQubits && "qubit out of range");
+  const auto &Nbrs = Adjacency[A];
+  return std::find(Nbrs.begin(), Nbrs.end(), B) != Nbrs.end();
+}
+
+std::vector<std::pair<unsigned, unsigned>> CouplingGraph::edges() const {
+  std::vector<std::pair<unsigned, unsigned>> Result;
+  for (unsigned A = 0; A < NumQubits; ++A)
+    for (unsigned B : Adjacency[A])
+      if (A < B)
+        Result.push_back({A, B});
+  return Result;
+}
+
+size_t CouplingGraph::numEdges() const {
+  size_t Twice = 0;
+  for (const auto &Nbrs : Adjacency)
+    Twice += Nbrs.size();
+  return Twice / 2;
+}
+
+unsigned CouplingGraph::maxDegree() const {
+  size_t Max = 0;
+  for (const auto &Nbrs : Adjacency)
+    Max = std::max(Max, Nbrs.size());
+  return static_cast<unsigned>(Max);
+}
+
+bool CouplingGraph::isConnected() const {
+  if (NumQubits == 0)
+    return true;
+  std::vector<bool> Seen(NumQubits, false);
+  std::deque<unsigned> Queue{0};
+  Seen[0] = true;
+  size_t Count = 1;
+  while (!Queue.empty()) {
+    unsigned Q = Queue.front();
+    Queue.pop_front();
+    for (unsigned N : Adjacency[Q]) {
+      if (!Seen[N]) {
+        Seen[N] = true;
+        ++Count;
+        Queue.push_back(N);
+      }
+    }
+  }
+  return Count == NumQubits;
+}
+
+void CouplingGraph::computeDistances() {
+  Distances.assign(static_cast<size_t>(NumQubits) * NumQubits,
+                   UnreachableDistance);
+  std::deque<unsigned> Queue;
+  for (unsigned Source = 0; Source < NumQubits; ++Source) {
+    uint32_t *Row = &Distances[static_cast<size_t>(Source) * NumQubits];
+    Row[Source] = 0;
+    Queue.clear();
+    Queue.push_back(Source);
+    while (!Queue.empty()) {
+      unsigned Q = Queue.front();
+      Queue.pop_front();
+      for (unsigned N : Adjacency[Q]) {
+        if (Row[N] == UnreachableDistance) {
+          Row[N] = Row[Q] + 1;
+          Queue.push_back(N);
+        }
+      }
+    }
+  }
+}
+
+unsigned CouplingGraph::distance(unsigned A, unsigned B) const {
+  assert(hasDistances() && "call computeDistances() first");
+  assert(A < NumQubits && B < NumQubits && "qubit out of range");
+  return Distances[static_cast<size_t>(A) * NumQubits + B];
+}
+
+void CouplingGraph::setEdgeError(unsigned A, unsigned B, double ErrorRate) {
+  assert(areAdjacent(A, B) && "error rates attach to existing edges");
+  assert(ErrorRate >= 0.0 && ErrorRate < 1.0 && "error rate out of range");
+  EdgeErrors[edgeKey(A, B)] = ErrorRate;
+  WeightedDistances.clear(); // Invalidate cached weighted APSP.
+}
+
+double CouplingGraph::edgeError(unsigned A, unsigned B) const {
+  assert(A < NumQubits && B < NumQubits && "qubit out of range");
+  auto It = EdgeErrors.find(edgeKey(A, B));
+  return It == EdgeErrors.end() ? 0.0 : It->second;
+}
+
+void CouplingGraph::computeWeightedDistances(double Penalty) {
+  size_t N = NumQubits;
+  WeightedDistances.assign(N * N, std::numeric_limits<double>::infinity());
+  using Entry = std::pair<double, unsigned>; // (distance, qubit).
+  for (unsigned Source = 0; Source < NumQubits; ++Source) {
+    double *Row = &WeightedDistances[static_cast<size_t>(Source) * N];
+    std::priority_queue<Entry, std::vector<Entry>, std::greater<Entry>>
+        Frontier;
+    Row[Source] = 0;
+    Frontier.push({0.0, Source});
+    while (!Frontier.empty()) {
+      auto [Dist, Q] = Frontier.top();
+      Frontier.pop();
+      if (Dist > Row[Q])
+        continue;
+      for (unsigned Nbr : Adjacency[Q]) {
+        double Cost = 1.0 + Penalty * edgeError(Q, Nbr);
+        if (Row[Q] + Cost < Row[Nbr]) {
+          Row[Nbr] = Row[Q] + Cost;
+          Frontier.push({Row[Nbr], Nbr});
+        }
+      }
+    }
+  }
+}
+
+double CouplingGraph::weightedDistance(unsigned A, unsigned B) const {
+  assert(hasWeightedDistances() &&
+         "call computeWeightedDistances() first");
+  assert(A < NumQubits && B < NumQubits && "qubit out of range");
+  return WeightedDistances[static_cast<size_t>(A) * NumQubits + B];
+}
+
+void qlosure::applySyntheticErrorModel(CouplingGraph &Graph, uint64_t Seed,
+                                       double MinError, double MaxError) {
+  assert(MinError > 0 && MinError <= MaxError && MaxError < 1.0 &&
+         "bad error range");
+  Rng Generator(Seed);
+  double LogMin = std::log(MinError);
+  double LogMax = std::log(MaxError);
+  for (auto [A, B] : Graph.edges()) {
+    double Rate =
+        std::exp(LogMin + (LogMax - LogMin) * Generator.nextDouble());
+    Graph.setEdgeError(A, B, Rate);
+  }
+  Graph.computeWeightedDistances();
+}
+
+std::vector<unsigned> CouplingGraph::shortestPath(unsigned A,
+                                                  unsigned B) const {
+  assert(hasDistances() && "call computeDistances() first");
+  if (distance(A, B) == UnreachableDistance)
+    reportFatalError("shortestPath between disconnected qubits");
+  std::vector<unsigned> Path{A};
+  unsigned Current = A;
+  while (Current != B) {
+    // Greedy descent on distance-to-B is optimal on unweighted graphs.
+    unsigned Best = Current;
+    unsigned BestDist = distance(Current, B);
+    for (unsigned N : Adjacency[Current]) {
+      unsigned D = distance(N, B);
+      if (D < BestDist) {
+        BestDist = D;
+        Best = N;
+      }
+    }
+    assert(Best != Current && "no descent neighbor on a connected graph");
+    Current = Best;
+    Path.push_back(Current);
+  }
+  return Path;
+}

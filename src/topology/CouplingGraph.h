@@ -1,0 +1,117 @@
+//===- topology/CouplingGraph.h - QPU coupling graphs ------------*- C++ -*-===//
+//
+// Part of the Qlosure project. Distributed under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The hardware connectivity abstraction R_hw of the paper: an undirected
+/// graph over physical qubits plus the all-pairs shortest path matrix
+/// D_phys used by every router's cost function.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef QLOSURE_TOPOLOGY_COUPLINGGRAPH_H
+#define QLOSURE_TOPOLOGY_COUPLINGGRAPH_H
+
+#include <algorithm>
+#include <cstdint>
+#include <map>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace qlosure {
+
+/// An undirected coupling graph over physical qubits 0..N-1.
+class CouplingGraph {
+public:
+  CouplingGraph() = default;
+  explicit CouplingGraph(unsigned NumQubits, std::string Name = "")
+      : NumQubits(NumQubits), Adjacency(NumQubits), Name(std::move(Name)) {}
+
+  unsigned numQubits() const { return NumQubits; }
+  const std::string &name() const { return Name; }
+
+  /// Adds the undirected edge (A, B); duplicate additions are ignored.
+  void addEdge(unsigned A, unsigned B);
+
+  bool areAdjacent(unsigned A, unsigned B) const;
+
+  const std::vector<unsigned> &neighbors(unsigned Qubit) const {
+    return Adjacency[Qubit];
+  }
+
+  /// All edges with A < B.
+  std::vector<std::pair<unsigned, unsigned>> edges() const;
+
+  size_t numEdges() const;
+
+  /// Maximum vertex degree (the paper's look-ahead constant c must exceed
+  /// this).
+  unsigned maxDegree() const;
+
+  /// True if every qubit can reach every other.
+  bool isConnected() const;
+
+  /// Computes the all-pairs shortest-path matrix via BFS from each vertex.
+  /// Unreachable pairs get the sentinel UnreachableDistance.
+  void computeDistances();
+
+  /// Shortest-path distance (in edges == minimum SWAP chain length + 1
+  /// relative to adjacency). Requires computeDistances() first.
+  unsigned distance(unsigned A, unsigned B) const;
+
+  bool hasDistances() const { return !Distances.empty(); }
+
+  /// One shortest path from A to B inclusive of both endpoints.
+  std::vector<unsigned> shortestPath(unsigned A, unsigned B) const;
+
+  //===--------------------------------------------------------------------===//
+  // Error model (the paper's future-work extension: error-aware mapping)
+  //===--------------------------------------------------------------------===//
+
+  /// Records the two-qubit gate error rate of the edge (A, B) (must exist).
+  void setEdgeError(unsigned A, unsigned B, double ErrorRate);
+
+  /// Error rate of edge (A, B); 0 when no model was installed.
+  double edgeError(unsigned A, unsigned B) const;
+
+  bool hasErrorModel() const { return !EdgeErrors.empty(); }
+
+  /// Computes fidelity-weighted all-pairs distances by Dijkstra, where an
+  /// edge costs 1 + Penalty * errorRate: routes through noisy couplers
+  /// look "longer" to error-aware cost functions.
+  void computeWeightedDistances(double Penalty = 25.0);
+
+  /// Fidelity-weighted distance; requires computeWeightedDistances().
+  double weightedDistance(unsigned A, unsigned B) const;
+
+  bool hasWeightedDistances() const { return !WeightedDistances.empty(); }
+
+  static constexpr unsigned UnreachableDistance = 0x3FFFFFFF;
+
+private:
+  size_t edgeKey(unsigned A, unsigned B) const {
+    return static_cast<size_t>(std::min(A, B)) * NumQubits + std::max(A, B);
+  }
+
+  unsigned NumQubits = 0;
+  std::vector<std::vector<unsigned>> Adjacency;
+  std::vector<uint32_t> Distances; // Row-major N x N.
+  std::vector<double> WeightedDistances; // Row-major N x N.
+  std::map<size_t, double> EdgeErrors;
+  std::string Name;
+};
+
+/// Installs a synthetic calibration on \p Graph: edge error rates drawn
+/// log-uniformly from [MinError, MaxError] with the given \p Seed, plus
+/// weighted distances. Models the daily calibration data real QPU vendors
+/// publish (which this repo cannot ship).
+void applySyntheticErrorModel(CouplingGraph &Graph, uint64_t Seed,
+                              double MinError = 0.002,
+                              double MaxError = 0.03);
+
+} // namespace qlosure
+
+#endif // QLOSURE_TOPOLOGY_COUPLINGGRAPH_H

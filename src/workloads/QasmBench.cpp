@@ -1,0 +1,353 @@
+//===- workloads/QasmBench.cpp - QASMBench-style circuit families ---------------===//
+//
+// Part of the Qlosure project. Distributed under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "workloads/QasmBench.h"
+
+#include "support/Random.h"
+#include "support/StringUtils.h"
+
+#include <cassert>
+#include <cmath>
+
+using namespace qlosure;
+
+/// cp(theta) a, b decomposed as rz/cx/rz/cx/rz (global phase ignored).
+static void addCpDecomposed(Circuit &C, int32_t A, int32_t B, double Theta) {
+  C.add1Q(GateKind::RZ, A, Theta / 2);
+  C.addCx(A, B);
+  C.add1Q(GateKind::RZ, B, -Theta / 2);
+  C.addCx(A, B);
+  C.add1Q(GateKind::RZ, B, Theta / 2);
+}
+
+Circuit qlosure::makeQft(unsigned NumQubits, bool DecomposeCp) {
+  assert(NumQubits >= 2 && "QFT needs at least two qubits");
+  Circuit C(NumQubits, formatString("qft_n%u", NumQubits));
+  for (unsigned I = 0; I < NumQubits; ++I) {
+    C.add1Q(GateKind::H, static_cast<int32_t>(I));
+    for (unsigned J = I + 1; J < NumQubits; ++J) {
+      double Theta = M_PI / std::pow(2.0, static_cast<double>(J - I));
+      if (DecomposeCp)
+        addCpDecomposed(C, static_cast<int32_t>(J), static_cast<int32_t>(I),
+                        Theta);
+      else
+        C.add2Q(GateKind::CP, static_cast<int32_t>(J),
+                static_cast<int32_t>(I), Theta);
+    }
+  }
+  for (unsigned I = 0; I < NumQubits / 2; ++I)
+    C.addSwap(static_cast<int32_t>(I),
+              static_cast<int32_t>(NumQubits - 1 - I));
+  return C;
+}
+
+/// Appends a decomposed Toffoli (control A, control B, target T).
+static void addToffoli(Circuit &C, int32_t A, int32_t B, int32_t T) {
+  Circuit Holder(C.numQubits());
+  Holder.addGate(Gate(GateKind::CCX, A, B, T));
+  Circuit Decomposed = Holder.decomposeThreeQubitGates();
+  for (const Gate &G : Decomposed.gates())
+    C.addGate(G);
+}
+
+Circuit qlosure::makeAdder(unsigned NumQubits) {
+  assert(NumQubits >= 4 && NumQubits % 2 == 0 &&
+         "adder needs an even qubit count >= 4");
+  unsigned Width = (NumQubits - 2) / 2;
+  Circuit C(NumQubits, formatString("adder_n%u", NumQubits));
+  // Register layout: cin = 0, a[i] = 1 + 2i, b[i] = 2 + 2i, cout = last.
+  auto QA = [](unsigned I) { return static_cast<int32_t>(1 + 2 * I); };
+  auto QB = [](unsigned I) { return static_cast<int32_t>(2 + 2 * I); };
+  int32_t Cin = 0;
+  int32_t Cout = static_cast<int32_t>(NumQubits - 1);
+
+  // MAJ ladder.
+  auto addMaj = [&C](int32_t X, int32_t Y, int32_t Z) {
+    C.addCx(Z, Y);
+    C.addCx(Z, X);
+    addToffoli(C, X, Y, Z);
+  };
+  auto addUma = [&C](int32_t X, int32_t Y, int32_t Z) {
+    addToffoli(C, X, Y, Z);
+    C.addCx(Z, X);
+    C.addCx(X, Y);
+  };
+
+  addMaj(Cin, QB(0), QA(0));
+  for (unsigned I = 1; I < Width; ++I)
+    addMaj(QA(I - 1), QB(I), QA(I));
+  C.addCx(QA(Width - 1), Cout);
+  for (unsigned I = Width; I-- > 1;)
+    addUma(QA(I - 1), QB(I), QA(I));
+  addUma(Cin, QB(0), QA(0));
+  return C;
+}
+
+Circuit qlosure::makeMultiplier(unsigned NumQubits) {
+  assert(NumQubits >= 6 && NumQubits % 3 == 0 &&
+         "multiplier needs a qubit count divisible by 3 (>= 6)");
+  unsigned Width = NumQubits / 3;
+  Circuit C(NumQubits, formatString("multiplier_n%u", NumQubits));
+  // Layout: a[i] = i, b[i] = Width + i, p[i] = 2*Width + i.
+  auto QA = [](unsigned I) { return static_cast<int32_t>(I); };
+  auto QB = [Width](unsigned I) { return static_cast<int32_t>(Width + I); };
+  auto QP = [Width](unsigned I) {
+    return static_cast<int32_t>(2 * Width + I);
+  };
+
+  // Shift-and-add: for every bit a[i], add (b << i) into p controlled on
+  // a[i], using a carry-save Toffoli cascade within the product register.
+  for (unsigned I = 0; I < Width; ++I) {
+    for (unsigned J = 0; J + I < Width; ++J) {
+      unsigned K = I + J;
+      // p[k] ^= a[i] & b[j]  (partial product).
+      addToffoli(C, QA(I), QB(J), QP(K));
+      // Ripple a carry into the next product bit when one exists.
+      if (K + 1 < Width)
+        addToffoli(C, QP(K), QB(J), QP(K + 1));
+    }
+  }
+  return C;
+}
+
+Circuit qlosure::makeQugan(unsigned NumQubits, unsigned Layers) {
+  assert(NumQubits >= 2 && "qugan needs at least two qubits");
+  Circuit C(NumQubits, formatString("qugan_n%u", NumQubits));
+  for (unsigned L = 0; L < Layers; ++L) {
+    for (unsigned Q = 0; Q < NumQubits; ++Q)
+      C.add1Q(GateKind::RY, static_cast<int32_t>(Q),
+              0.1 * static_cast<double>(L * NumQubits + Q + 1));
+    for (unsigned Q = 0; Q + 1 < NumQubits; ++Q)
+      C.addCx(static_cast<int32_t>(Q), static_cast<int32_t>(Q + 1));
+  }
+  return C;
+}
+
+Circuit qlosure::makeQram(unsigned NumQubits) {
+  assert(NumQubits >= 7 && "qram needs at least 7 qubits");
+  Circuit C(NumQubits, formatString("qram_n%u", NumQubits));
+  // A router tree: address qubits steer a bus qubit through levels of
+  // controlled swaps (decomposed Fredkins on qubit triples).
+  unsigned AddrBits = 0;
+  while ((2u << AddrBits) + AddrBits + 1 <= NumQubits)
+    ++AddrBits;
+  if (AddrBits)
+    --AddrBits;
+  unsigned Bus = AddrBits; // Addresses occupy [0, AddrBits).
+  unsigned CellBase = AddrBits + 1;
+  unsigned NumCells = NumQubits - CellBase;
+
+  auto addFredkin = [&C](int32_t Ctl, int32_t X, int32_t Y) {
+    Circuit Holder(C.numQubits());
+    Holder.addGate(Gate(GateKind::CSwap, Ctl, X, Y));
+    Circuit Decomposed = Holder.decomposeThreeQubitGates();
+    for (const Gate &G : Decomposed.gates())
+      C.addGate(G);
+  };
+
+  for (unsigned A = 0; A < AddrBits; ++A)
+    C.add1Q(GateKind::H, static_cast<int32_t>(A));
+  // Route bus through the cells level by level.
+  for (unsigned A = 0; A < AddrBits; ++A) {
+    unsigned Stride = 1u << A;
+    for (unsigned Cell = 0; Cell + Stride < NumCells; Cell += 2 * Stride)
+      addFredkin(static_cast<int32_t>(A),
+                 static_cast<int32_t>(CellBase + Cell),
+                 static_cast<int32_t>(CellBase + Cell + Stride));
+  }
+  // Bus readout couplings.
+  for (unsigned Cell = 0; Cell < NumCells; Cell += 2)
+    C.addCx(static_cast<int32_t>(CellBase + Cell),
+            static_cast<int32_t>(Bus));
+  return C;
+}
+
+Circuit qlosure::makeGhz(unsigned NumQubits) {
+  Circuit C(NumQubits, formatString("ghz_n%u", NumQubits));
+  C.add1Q(GateKind::H, 0);
+  for (unsigned Q = 0; Q + 1 < NumQubits; ++Q)
+    C.addCx(static_cast<int32_t>(Q), static_cast<int32_t>(Q + 1));
+  return C;
+}
+
+Circuit qlosure::makeCat(unsigned NumQubits) {
+  Circuit C(NumQubits, formatString("cat_n%u", NumQubits));
+  C.add1Q(GateKind::H, 0);
+  for (unsigned Q = 0; Q + 1 < NumQubits; ++Q)
+    C.addCx(static_cast<int32_t>(Q), static_cast<int32_t>(Q + 1));
+  for (unsigned Q = 0; Q < NumQubits; ++Q)
+    C.add1Q(GateKind::X, static_cast<int32_t>(Q));
+  return C;
+}
+
+Circuit qlosure::makeBv(unsigned NumQubits, uint64_t Seed) {
+  assert(NumQubits >= 2 && "BV needs at least two qubits");
+  Circuit C(NumQubits, formatString("bv_n%u", NumQubits));
+  Rng Generator(Seed);
+  unsigned Target = NumQubits - 1;
+  for (unsigned Q = 0; Q < NumQubits; ++Q)
+    C.add1Q(GateKind::H, static_cast<int32_t>(Q));
+  C.add1Q(GateKind::Z, static_cast<int32_t>(Target));
+  for (unsigned Q = 0; Q + 1 < NumQubits; ++Q)
+    if (Generator.nextBernoulli(0.5))
+      C.addCx(static_cast<int32_t>(Q), static_cast<int32_t>(Target));
+  for (unsigned Q = 0; Q + 1 < NumQubits; ++Q)
+    C.add1Q(GateKind::H, static_cast<int32_t>(Q));
+  return C;
+}
+
+Circuit qlosure::makeWState(unsigned NumQubits) {
+  assert(NumQubits >= 2 && "W state needs at least two qubits");
+  Circuit C(NumQubits, formatString("wstate_n%u", NumQubits));
+  C.add1Q(GateKind::RY, 0, 2 * std::acos(1.0 / std::sqrt(NumQubits)));
+  for (unsigned Q = 1; Q < NumQubits; ++Q) {
+    double Theta =
+        2 * std::acos(1.0 / std::sqrt(static_cast<double>(NumQubits - Q)));
+    // Controlled-RY approximated by the standard two-CX construction.
+    C.add1Q(GateKind::RY, static_cast<int32_t>(Q), Theta / 2);
+    C.addCx(static_cast<int32_t>(Q - 1), static_cast<int32_t>(Q));
+    C.add1Q(GateKind::RY, static_cast<int32_t>(Q), -Theta / 2);
+    C.addCx(static_cast<int32_t>(Q - 1), static_cast<int32_t>(Q));
+  }
+  for (unsigned Q = NumQubits; Q-- > 1;)
+    C.addCx(static_cast<int32_t>(Q), static_cast<int32_t>(Q - 1));
+  return C;
+}
+
+Circuit qlosure::makeIsing(unsigned NumQubits, unsigned Layers) {
+  Circuit C(NumQubits, formatString("ising_n%u", NumQubits));
+  for (unsigned L = 0; L < Layers; ++L) {
+    for (unsigned Q = 0; Q + 1 < NumQubits; ++Q)
+      C.add2Q(GateKind::RZZ, static_cast<int32_t>(Q),
+              static_cast<int32_t>(Q + 1), 0.3);
+    for (unsigned Q = 0; Q < NumQubits; ++Q)
+      C.add1Q(GateKind::RX, static_cast<int32_t>(Q), 0.7);
+  }
+  return C;
+}
+
+Circuit qlosure::makeSwapTest(unsigned NumQubits) {
+  assert(NumQubits >= 3 && NumQubits % 2 == 1 &&
+         "swap test needs an odd qubit count >= 3");
+  unsigned Width = (NumQubits - 1) / 2;
+  Circuit C(NumQubits, formatString("swaptest_n%u", NumQubits));
+  int32_t Ancilla = 0;
+  C.add1Q(GateKind::H, Ancilla);
+  for (unsigned I = 0; I < Width; ++I) {
+    Circuit Holder(C.numQubits());
+    Holder.addGate(Gate(GateKind::CSwap, Ancilla,
+                        static_cast<int32_t>(1 + I),
+                        static_cast<int32_t>(1 + Width + I)));
+    Circuit Decomposed = Holder.decomposeThreeQubitGates();
+    for (const Gate &G : Decomposed.gates())
+      C.addGate(G);
+  }
+  C.add1Q(GateKind::H, Ancilla);
+  return C;
+}
+
+Circuit qlosure::makeQpe(unsigned NumQubits) {
+  assert(NumQubits >= 3 && "QPE needs at least three qubits");
+  unsigned Counting = NumQubits - 1;
+  int32_t Eigen = static_cast<int32_t>(NumQubits - 1);
+  Circuit C(NumQubits, formatString("qpe_n%u", NumQubits));
+  for (unsigned Q = 0; Q < Counting; ++Q)
+    C.add1Q(GateKind::H, static_cast<int32_t>(Q));
+  C.add1Q(GateKind::X, Eigen);
+  for (unsigned Q = 0; Q < Counting; ++Q) {
+    // Controlled phase kickback with angle scaled by 2^Q (decomposed).
+    double Theta = M_PI / 4 * std::pow(2.0, static_cast<double>(Q % 8));
+    addCpDecomposed(C, static_cast<int32_t>(Q), Eigen, Theta);
+  }
+  // Inverse QFT on the counting register (decomposed controlled phases).
+  for (unsigned I = Counting; I-- > 0;) {
+    for (unsigned J = Counting - 1; J > I; --J) {
+      double Theta = -M_PI / std::pow(2.0, static_cast<double>(J - I));
+      addCpDecomposed(C, static_cast<int32_t>(J), static_cast<int32_t>(I),
+                      Theta);
+    }
+    C.add1Q(GateKind::H, static_cast<int32_t>(I));
+  }
+  return C;
+}
+
+Circuit qlosure::makeQaoa(unsigned NumQubits, unsigned Layers,
+                          uint64_t Seed) {
+  Circuit C(NumQubits, formatString("qaoa_n%u", NumQubits));
+  Rng Generator(Seed);
+  // Random bounded-degree MaxCut instance.
+  std::vector<std::pair<unsigned, unsigned>> Edges;
+  for (unsigned Q = 0; Q + 1 < NumQubits; ++Q)
+    Edges.push_back({Q, Q + 1});
+  for (unsigned Q = 0; Q + 3 < NumQubits; ++Q)
+    if (Generator.nextBernoulli(0.5))
+      Edges.push_back(
+          {Q, Q + 2 + static_cast<unsigned>(Generator.nextBounded(2))});
+
+  for (unsigned Q = 0; Q < NumQubits; ++Q)
+    C.add1Q(GateKind::H, static_cast<int32_t>(Q));
+  for (unsigned L = 0; L < Layers; ++L) {
+    for (auto [A, B] : Edges)
+      C.add2Q(GateKind::RZZ, static_cast<int32_t>(A),
+              static_cast<int32_t>(B), 0.4 + 0.1 * L);
+    for (unsigned Q = 0; Q < NumQubits; ++Q)
+      C.add1Q(GateKind::RX, static_cast<int32_t>(Q), 0.9 - 0.1 * L);
+  }
+  return C;
+}
+
+std::vector<NamedCircuit> qlosure::spotlightQasmBenchCircuits() {
+  std::vector<NamedCircuit> Suite;
+  Suite.push_back({"qram_n20", makeQram(20)});
+  Suite.push_back({"qugan_n39", makeQugan(39, 13)});
+  Suite.push_back({"multiplier_n45", makeMultiplier(45)});
+  Suite.push_back({"qft_n63", makeQft(63)});
+  Suite.push_back({"adder_n64", makeAdder(64)});
+  Suite.push_back({"qugan_n71", makeQugan(71, 9)});
+  Suite.push_back({"multiplier_n75", makeMultiplier(75)});
+  return Suite;
+}
+
+std::vector<NamedCircuit> qlosure::standardQasmBenchSuite() {
+  std::vector<NamedCircuit> Suite = spotlightQasmBenchCircuits();
+  // Fill to 41 circuits spanning 20-81 qubits across all families.
+  Suite.push_back({"ghz_n25", makeGhz(25)});
+  Suite.push_back({"ghz_n40", makeGhz(40)});
+  Suite.push_back({"cat_n22", makeCat(22)});
+  Suite.push_back({"cat_n35", makeCat(35)});
+  Suite.push_back({"bv_n30", makeBv(30)});
+  Suite.push_back({"bv_n50", makeBv(50)});
+  Suite.push_back({"wstate_n27", makeWState(27)});
+  Suite.push_back({"wstate_n36", makeWState(36)});
+  Suite.push_back({"wstate_n76", makeWState(76)});
+  Suite.push_back({"ising_n26", makeIsing(26, 6)});
+  Suite.push_back({"ising_n34", makeIsing(34, 6)});
+  Suite.push_back({"ising_n42", makeIsing(42, 5)});
+  Suite.push_back({"ising_n66", makeIsing(66, 4)});
+  Suite.push_back({"ising_n80", makeIsing(80, 4)});
+  Suite.push_back({"qft_n20", makeQft(20)});
+  Suite.push_back({"qft_n29", makeQft(29)});
+  Suite.push_back({"qft_n45", makeQft(45)});
+  Suite.push_back({"adder_n28", makeAdder(28)});
+  Suite.push_back({"adder_n44", makeAdder(44)});
+  Suite.push_back({"adder_n76", makeAdder(76)});
+  Suite.push_back({"multiplier_n30", makeMultiplier(30)});
+  Suite.push_back({"multiplier_n60", makeMultiplier(60)});
+  Suite.push_back({"qugan_n24", makeQugan(24, 14)});
+  Suite.push_back({"qugan_n55", makeQugan(55, 10)});
+  Suite.push_back({"qram_n24", makeQram(24)});
+  Suite.push_back({"qram_n40", makeQram(40)});
+  Suite.push_back({"swaptest_n25", makeSwapTest(25)});
+  Suite.push_back({"swaptest_n41", makeSwapTest(41)});
+  Suite.push_back({"qpe_n21", makeQpe(21)});
+  Suite.push_back({"qpe_n35", makeQpe(35)});
+  Suite.push_back({"qaoa_n32", makeQaoa(32, 3)});
+  Suite.push_back({"qaoa_n48", makeQaoa(48, 3)});
+  Suite.push_back({"qaoa_n64", makeQaoa(64, 2)});
+  Suite.push_back({"qaoa_n81", makeQaoa(81, 2)});
+  assert(Suite.size() == 41 && "the paper's suite has 41 circuits");
+  return Suite;
+}

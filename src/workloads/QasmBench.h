@@ -1,0 +1,95 @@
+//===- workloads/QasmBench.h - QASMBench-style circuit families ---*- C++ -*-===//
+//
+// Part of the Qlosure project. Distributed under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Programmatic reconstructions of the QASMBench circuit families the
+/// paper evaluates (Li et al., ACM TQC 2023). The published QASM files are
+/// not redistributable here, so each family is built from its textbook
+/// construction at the same qubit sizes; gate counts land in the same
+/// magnitude and the circuits exercise identical interaction structure
+/// (see DESIGN.md, substitutions table). All constructors return unitary
+/// circuits with gate arity <= 2 (three-qubit gates pre-decomposed),
+/// ready for routing.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef QLOSURE_WORKLOADS_QASMBENCH_H
+#define QLOSURE_WORKLOADS_QASMBENCH_H
+
+#include "circuit/Circuit.h"
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace qlosure {
+
+/// Quantum Fourier transform over \p NumQubits qubits. Controlled-phase
+/// gates are decomposed into {rz, cx, rz, cx, rz} when \p DecomposeCp
+/// (matching QASMBench's low-level gate counts); the final reversal uses
+/// SWAP gates.
+Circuit makeQft(unsigned NumQubits, bool DecomposeCp = true);
+
+/// Cuccaro ripple-carry adder using \p NumQubits total qubits
+/// (two (n-2)/2-bit operands + carry-in + carry-out). Toffolis are
+/// decomposed.
+Circuit makeAdder(unsigned NumQubits);
+
+/// Shift-and-add multiplier over \p NumQubits = 3 * width qubits
+/// (two width-bit operands and a width-bit product register. Controlled
+/// additions are built from Toffoli cascades, decomposed to 2Q gates.
+Circuit makeMultiplier(unsigned NumQubits);
+
+/// Quantum GAN variational ansatz: \p Layers layers of per-qubit RY
+/// rotations followed by a CX entangling chain.
+Circuit makeQugan(unsigned NumQubits, unsigned Layers);
+
+/// Bucket-brigade-style QRAM toy over a binary router tree.
+Circuit makeQram(unsigned NumQubits);
+
+/// GHZ state preparation (H + CX chain).
+Circuit makeGhz(unsigned NumQubits);
+
+/// Cat-state preparation (structurally GHZ with an X-basis flourish).
+Circuit makeCat(unsigned NumQubits);
+
+/// Bernstein-Vazirani with a pseudo-random hidden string.
+Circuit makeBv(unsigned NumQubits, uint64_t Seed = 7);
+
+/// W-state preparation ladder.
+Circuit makeWState(unsigned NumQubits);
+
+/// Transverse-field Ising simulation: \p Layers Trotter steps of RZZ
+/// chains + RX fields.
+Circuit makeIsing(unsigned NumQubits, unsigned Layers);
+
+/// SWAP test between two (n-1)/2-qubit registers with one ancilla.
+Circuit makeSwapTest(unsigned NumQubits);
+
+/// Quantum phase estimation: (n-1) counting qubits controlling powers of
+/// a single-qubit phase unitary, followed by an inverse QFT.
+Circuit makeQpe(unsigned NumQubits);
+
+/// QAOA MaxCut ansatz on a random 3-regular-ish graph.
+Circuit makeQaoa(unsigned NumQubits, unsigned Layers, uint64_t Seed = 11);
+
+/// A named circuit of the evaluation suite.
+struct NamedCircuit {
+  std::string Name;
+  Circuit Circ;
+};
+
+/// The 41-circuit medium/large evaluation suite (20-81 qubits) used for
+/// the paper's Tables V and VI averages.
+std::vector<NamedCircuit> standardQasmBenchSuite();
+
+/// The seven spotlight circuits of Tables V/VI: qram_n20, qugan_n39,
+/// multiplier_n45, qft_n63, adder_n64, qugan_n71, multiplier_n75.
+std::vector<NamedCircuit> spotlightQasmBenchCircuits();
+
+} // namespace qlosure
+
+#endif // QLOSURE_WORKLOADS_QASMBENCH_H

@@ -1,0 +1,109 @@
+//===- workloads/Queko.cpp - QUEKO benchmark generator ---------------------------===//
+//
+// Part of the Qlosure project. Distributed under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "workloads/Queko.h"
+
+#include "support/Random.h"
+#include "topology/Backends.h"
+
+#include <algorithm>
+#include <cassert>
+#include <numeric>
+
+using namespace qlosure;
+
+QuekoInstance qlosure::generateQueko(const CouplingGraph &GenDevice,
+                                     const QuekoSpec &Spec) {
+  assert(GenDevice.numEdges() > 0 && "generation device has no edges");
+  assert(Spec.Depth >= 1 && "depth must be positive");
+  unsigned NumQubits = GenDevice.numQubits();
+  Rng Generator(Spec.Seed);
+
+  const GateKind OneQPool[] = {GateKind::H, GateKind::X, GateKind::T,
+                               GateKind::S};
+
+  std::vector<std::pair<unsigned, unsigned>> AllEdges = GenDevice.edges();
+  Circuit Physical(NumQubits, "queko");
+
+  // The dependence chain that pins the depth: every cycle contains a gate
+  // touching ChainQubit, and the chain gate of cycle t+1 shares that qubit
+  // with cycle t's.
+  unsigned ChainQubit =
+      static_cast<unsigned>(Generator.nextBounded(NumQubits));
+
+  size_t TargetTwoQ = static_cast<size_t>(
+      Spec.TwoQubitDensity * static_cast<double>(NumQubits) / 2.0);
+
+  for (unsigned Cycle = 0; Cycle < Spec.Depth; ++Cycle) {
+    std::vector<uint8_t> Busy(NumQubits, 0);
+
+    // 1. Chain gate first: a 2Q gate on an edge incident to ChainQubit
+    //    (falls back to a 1Q gate if the qubit were isolated).
+    const auto &ChainNbrs = GenDevice.neighbors(ChainQubit);
+    if (!ChainNbrs.empty()) {
+      unsigned Other = ChainNbrs[static_cast<size_t>(
+          Generator.nextBounded(ChainNbrs.size()))];
+      Physical.addCx(static_cast<int32_t>(ChainQubit),
+                     static_cast<int32_t>(Other));
+      Busy[ChainQubit] = Busy[Other] = 1;
+      // The chain continues through either endpoint.
+      ChainQubit = Generator.nextBernoulli(0.5) ? ChainQubit : Other;
+    } else {
+      Physical.add1Q(OneQPool[Generator.nextBounded(4)],
+                     static_cast<int32_t>(ChainQubit));
+      Busy[ChainQubit] = 1;
+    }
+
+    // 2. Fill with disjoint 2Q gates up to the density target.
+    Generator.shuffle(AllEdges);
+    size_t TwoQPlaced = 1;
+    for (auto [A, B] : AllEdges) {
+      if (TwoQPlaced >= TargetTwoQ)
+        break;
+      if (Busy[A] || Busy[B])
+        continue;
+      Physical.addCx(static_cast<int32_t>(A), static_cast<int32_t>(B));
+      Busy[A] = Busy[B] = 1;
+      ++TwoQPlaced;
+    }
+
+    // 3. Single-qubit fillers on free qubits.
+    for (unsigned Q = 0; Q < NumQubits; ++Q) {
+      if (Busy[Q])
+        continue;
+      if (Generator.nextBernoulli(Spec.OneQubitDensity))
+        Physical.add1Q(OneQPool[Generator.nextBounded(4)],
+                       static_cast<int32_t>(Q));
+    }
+  }
+  assert(Physical.depth() == Spec.Depth &&
+         "cycle construction must realize the target depth exactly");
+
+  // Scramble: logical qubit L = Perm[P] for device qubit P; the witness
+  // placement maps L back onto P.
+  std::vector<unsigned> Perm(NumQubits);
+  std::iota(Perm.begin(), Perm.end(), 0u);
+  Generator.shuffle(Perm);
+
+  QuekoInstance Instance;
+  Instance.OptimalDepth = Spec.Depth;
+  Instance.Witness.resize(NumQubits);
+  for (unsigned P = 0; P < NumQubits; ++P)
+    Instance.Witness[Perm[P]] = P;
+  Instance.Circ = Physical.withMappedQubits(
+      [&Perm](int32_t Q) { return static_cast<int32_t>(Perm[Q]); });
+  Instance.Circ.setName("queko");
+  return Instance;
+}
+
+std::vector<QuekoSet> qlosure::paperQuekoSets() {
+  std::vector<QuekoSet> Sets;
+  Sets.push_back({"queko-bss-16qbt", makeAspen16()});
+  Sets.push_back({"queko-bss-54qbt", makeSycamore54()});
+  Sets.push_back({"queko-bss-81qbt", makeKings9x9()});
+  Sets.push_back({"queko-bss-16x16", makeKings16x16()});
+  return Sets;
+}

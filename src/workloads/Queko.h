@@ -1,0 +1,71 @@
+//===- workloads/Queko.h - QUEKO benchmark generator --------------*- C++ -*-===//
+//
+// Part of the Qlosure project. Distributed under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Generator for QUEKO-style circuits with known optimal depth (Tan & Cong,
+/// "Optimality study of existing quantum computing layout synthesis
+/// tools"): each of T cycles holds two-qubit gates on *disjoint edges of a
+/// generation device* plus single-qubit fillers, a dependence chain through
+/// consecutive cycles pins the optimal depth to exactly T on that device,
+/// and a random logical relabeling hides the witness placement from the
+/// mapper. This reproduces the paper's queko-bss-16qbt / 54qbt sets and
+/// the custom 81-qubit (9x9) and 256-qubit (16x16) king's-graph sets.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef QLOSURE_WORKLOADS_QUEKO_H
+#define QLOSURE_WORKLOADS_QUEKO_H
+
+#include "circuit/Circuit.h"
+#include "topology/CouplingGraph.h"
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace qlosure {
+
+/// Parameters of one QUEKO circuit.
+struct QuekoSpec {
+  /// Optimal depth to pin (number of cycles).
+  unsigned Depth = 100;
+  /// Fraction of device qubits engaged in two-qubit gates per cycle
+  /// (0.44 matches the QUEKO BSS profile).
+  double TwoQubitDensity = 0.44;
+  /// Fraction of remaining qubits receiving a single-qubit gate per cycle.
+  double OneQubitDensity = 0.26;
+  uint64_t Seed = 1;
+};
+
+/// A generated QUEKO instance: the scrambled circuit plus its provably
+/// optimal depth on the generation device and the witness placement.
+struct QuekoInstance {
+  Circuit Circ;
+  unsigned OptimalDepth = 0;
+  /// Logical qubit L sits on generation-device qubit Witness[L] in the
+  /// depth-optimal placement (the inverse of the scramble permutation).
+  std::vector<unsigned> Witness;
+};
+
+/// Generates one QUEKO circuit on \p GenDevice (which must be connected
+/// and have at least one edge).
+QuekoInstance generateQueko(const CouplingGraph &GenDevice,
+                            const QuekoSpec &Spec);
+
+/// A (name, generation device) pair identifying one QUEKO benchmark set.
+struct QuekoSet {
+  std::string Name;
+  CouplingGraph GenDevice;
+};
+
+/// The paper's four generation devices: queko-bss-16qbt (Aspen-4),
+/// queko-bss-54qbt (Sycamore), queko-bss-81qbt (9x9 kings) and the
+/// 16x16-kings set for Sherbrooke-2X.
+std::vector<QuekoSet> paperQuekoSets();
+
+} // namespace qlosure
+
+#endif // QLOSURE_WORKLOADS_QUEKO_H

@@ -1,0 +1,171 @@
+//===- tests/AffineLiftTest.cpp - QRANE-lite lifter tests --------------------------===//
+//
+// Part of the Qlosure project. Distributed under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "affine/Lifter.h"
+#include "presburger/Counting.h"
+
+#include <gtest/gtest.h>
+
+using namespace qlosure;
+using namespace qlosure::presburger;
+
+namespace {
+
+/// The paper's Sec. III-C example trace:
+///   CX q[0],q[1]; CX q[1],q[3]; CX q[2],q[5]; CX q[3],q[7];
+/// lifts to one statement with q1 = [i] -> [i] and q2 = [i] -> [2i + 1].
+Circuit paperTrace() {
+  Circuit C(8);
+  C.addCx(0, 1);
+  C.addCx(1, 3);
+  C.addCx(2, 5);
+  C.addCx(3, 7);
+  return C;
+}
+
+} // namespace
+
+TEST(LifterTest, PaperExampleLiftsToOneStatement) {
+  AffineCircuit AC = liftCircuit(paperTrace());
+  ASSERT_EQ(AC.numStatements(), 1u);
+  const MacroGate &S = AC.statement(0);
+  EXPECT_EQ(S.Kind, GateKind::CX);
+  EXPECT_EQ(S.TripCount, 4);
+  EXPECT_EQ(S.Scale[0], 1);
+  EXPECT_EQ(S.Offset[0], 0);
+  EXPECT_EQ(S.Scale[1], 2);
+  EXPECT_EQ(S.Offset[1], 1);
+}
+
+TEST(LifterTest, AccessRelationMatchesGates) {
+  AffineCircuit AC = liftCircuit(paperTrace());
+  IntegerMap Q2 = AC.accessRelation(0, 1);
+  EXPECT_TRUE(Q2.contains({0}, {1}));
+  EXPECT_TRUE(Q2.contains({3}, {7}));
+  EXPECT_FALSE(Q2.contains({1}, {4}));
+  EXPECT_FALSE(Q2.contains({4}, {9})); // Outside the domain.
+}
+
+TEST(LifterTest, IterationDomainCardinality) {
+  AffineCircuit AC = liftCircuit(paperTrace());
+  auto Card = countPoints(AC.iterationDomain(0));
+  ASSERT_TRUE(Card.has_value());
+  EXPECT_EQ(*Card, 4);
+}
+
+TEST(LifterTest, ScheduleIsShiftedIdentity) {
+  Circuit C(4);
+  C.add1Q(GateKind::H, 0); // Statement 0 (singleton).
+  C.addCx(0, 1);
+  C.addCx(1, 2);
+  C.addCx(2, 3);
+  AffineCircuit AC = liftCircuit(C);
+  ASSERT_EQ(AC.numStatements(), 2u);
+  IntegerMap Sched = AC.schedule(1);
+  EXPECT_TRUE(Sched.contains({0}, {1})); // Instance 0 at trace time 1.
+  EXPECT_TRUE(Sched.contains({2}, {3}));
+}
+
+TEST(LifterTest, UseMapBindsTimeToQubits) {
+  AffineCircuit AC = liftCircuit(paperTrace());
+  IntegerMap Use = AC.useMap(0);
+  EXPECT_TRUE(Use.contains({0}, {0, 1}));
+  EXPECT_TRUE(Use.contains({2}, {2, 5}));
+  EXPECT_FALSE(Use.contains({2}, {2, 4}));
+}
+
+TEST(LifterTest, CoordsOfGateRoundTrip) {
+  Circuit C(6);
+  C.add1Q(GateKind::H, 5);  // Singleton.
+  for (int I = 0; I < 5; ++I) // Run of 5.
+    C.addCx(I, I + 1 == 5 ? 0 : I + 1);
+  AffineCircuit AC = liftCircuit(C);
+  EXPECT_EQ(AC.numGates(), 6);
+  for (int64_t T = 0; T < AC.numGates(); ++T) {
+    GateCoords Coords = AC.coordsOfGate(T);
+    const MacroGate &S = AC.statement(Coords.Statement);
+    EXPECT_EQ(S.time(Coords.Instance), T);
+  }
+}
+
+TEST(LifterTest, BreaksRunOnKindChange) {
+  Circuit C(8);
+  C.addCx(0, 1);
+  C.addCx(1, 2);
+  C.addCx(2, 3);
+  C.add2Q(GateKind::CZ, 3, 4); // Kind change ends the run.
+  C.add2Q(GateKind::CZ, 4, 5);
+  C.add2Q(GateKind::CZ, 5, 6);
+  AffineCircuit AC = liftCircuit(C);
+  ASSERT_EQ(AC.numStatements(), 2u);
+  EXPECT_EQ(AC.statement(0).Kind, GateKind::CX);
+  EXPECT_EQ(AC.statement(1).Kind, GateKind::CZ);
+}
+
+TEST(LifterTest, BreaksRunOnAffineMismatch) {
+  Circuit C(10);
+  C.addCx(0, 1);
+  C.addCx(2, 3);
+  C.addCx(4, 5); // Stride (2, 2) run of 3.
+  C.addCx(9, 2); // Does not extend it.
+  AffineCircuit AC = liftCircuit(C);
+  ASSERT_EQ(AC.numStatements(), 2u);
+  EXPECT_EQ(AC.statement(0).TripCount, 3);
+  EXPECT_EQ(AC.statement(1).TripCount, 1);
+}
+
+TEST(LifterTest, ShortRunsSplitToSingletons) {
+  // Two gates with an accidental stride stay singletons under the default
+  // MinRunLength of 3.
+  Circuit C(6);
+  C.addCx(0, 1);
+  C.addCx(2, 3);
+  C.add1Q(GateKind::H, 5);
+  AffineCircuit AC = liftCircuit(C);
+  EXPECT_EQ(AC.numStatements(), 3u);
+  for (size_t S = 0; S < 3; ++S)
+    EXPECT_EQ(AC.statement(S).TripCount, 1);
+}
+
+TEST(LifterTest, StatementsTileTheTrace) {
+  Circuit C(12);
+  for (int R = 0; R < 3; ++R) {
+    for (int I = 0; I + 1 < 12; I += 2)
+      C.addCx(I, I + 1);
+    for (int I = 0; I < 12; ++I)
+      C.add1Q(GateKind::H, I);
+  }
+  AffineCircuit AC = liftCircuit(C);
+  EXPECT_EQ(static_cast<size_t>(AC.numGates()), C.size());
+  int64_t Expected = 0;
+  for (size_t S = 0; S < AC.numStatements(); ++S) {
+    EXPECT_EQ(AC.statement(S).Start, Expected);
+    Expected += AC.statement(S).TripCount;
+  }
+  EXPECT_EQ(Expected, AC.numGates());
+}
+
+TEST(LifterTest, CompressionOnRegularCircuit) {
+  // A long GHZ chain compresses into very few statements.
+  Circuit C(64);
+  C.add1Q(GateKind::H, 0);
+  for (int I = 0; I + 1 < 64; ++I)
+    C.addCx(I, I + 1);
+  AffineCircuit AC = liftCircuit(C);
+  EXPECT_LE(AC.numStatements(), 3u);
+  EXPECT_GT(AC.compressionRatio(), 20.0);
+}
+
+TEST(LifterTest, ZeroStrideRunOnFixedQubits) {
+  Circuit C(2);
+  for (int I = 0; I < 6; ++I)
+    C.addCx(0, 1);
+  AffineCircuit AC = liftCircuit(C);
+  ASSERT_EQ(AC.numStatements(), 1u);
+  EXPECT_EQ(AC.statement(0).Scale[0], 0);
+  EXPECT_EQ(AC.statement(0).Scale[1], 0);
+  EXPECT_EQ(AC.statement(0).TripCount, 6);
+}

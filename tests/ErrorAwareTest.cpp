@@ -1,0 +1,151 @@
+//===- tests/ErrorAwareTest.cpp - error-aware extension tests ---------------------===//
+//
+// Part of the Qlosure project. Distributed under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "core/Qlosure.h"
+#include "route/Fidelity.h"
+#include "route/Verify.h"
+#include "topology/Backends.h"
+#include "workloads/QasmBench.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+using namespace qlosure;
+
+TEST(ErrorModelTest, EdgeErrorsDefaultToZero) {
+  CouplingGraph G = makeLine(4);
+  EXPECT_FALSE(G.hasErrorModel());
+  EXPECT_DOUBLE_EQ(G.edgeError(0, 1), 0.0);
+}
+
+TEST(ErrorModelTest, SetAndReadSymmetric) {
+  CouplingGraph G = makeLine(4);
+  G.setEdgeError(1, 2, 0.02);
+  EXPECT_DOUBLE_EQ(G.edgeError(1, 2), 0.02);
+  EXPECT_DOUBLE_EQ(G.edgeError(2, 1), 0.02);
+  EXPECT_TRUE(G.hasErrorModel());
+}
+
+TEST(ErrorModelTest, SyntheticModelCoversAllEdges) {
+  CouplingGraph G = makeSherbrooke();
+  applySyntheticErrorModel(G, 5);
+  for (auto [A, B] : G.edges()) {
+    double Rate = G.edgeError(A, B);
+    EXPECT_GE(Rate, 0.002);
+    EXPECT_LE(Rate, 0.03);
+  }
+  EXPECT_TRUE(G.hasWeightedDistances());
+}
+
+TEST(ErrorModelTest, SyntheticModelDeterministicPerSeed) {
+  CouplingGraph A = makeAnkaa3();
+  CouplingGraph B = makeAnkaa3();
+  applySyntheticErrorModel(A, 9);
+  applySyntheticErrorModel(B, 9);
+  for (auto [X, Y] : A.edges())
+    EXPECT_DOUBLE_EQ(A.edgeError(X, Y), B.edgeError(X, Y));
+}
+
+TEST(ErrorModelTest, WeightedDistanceBoundsHopDistance) {
+  CouplingGraph G = makeGrid(4, 4);
+  applySyntheticErrorModel(G, 11);
+  // Weighted distance >= hop distance (every edge costs at least 1) and
+  // weighted(A, A) == 0.
+  for (unsigned A = 0; A < G.numQubits(); A += 3)
+    for (unsigned B = 0; B < G.numQubits(); B += 5) {
+      EXPECT_GE(G.weightedDistance(A, B) + 1e-9,
+                static_cast<double>(G.distance(A, B)));
+      EXPECT_DOUBLE_EQ(G.weightedDistance(A, A), 0.0);
+    }
+}
+
+TEST(ErrorModelTest, WeightedDistanceAvoidsNoisyEdge) {
+  // Square with one very noisy edge: the weighted metric must route the
+  // long way around.
+  CouplingGraph G(4, "square");
+  G.addEdge(0, 1);
+  G.addEdge(1, 2);
+  G.addEdge(2, 3);
+  G.addEdge(3, 0);
+  G.computeDistances();
+  G.setEdgeError(0, 1, 0.5); // Terrible coupler.
+  G.computeWeightedDistances(/*Penalty=*/25.0);
+  // Hop distance 0->1 is 1, but the weighted metric prefers 0-3-2-1 = 3.
+  EXPECT_EQ(G.distance(0, 1), 1u);
+  EXPECT_NEAR(G.weightedDistance(0, 1), 3.0, 0.5);
+}
+
+TEST(FidelityTest, PerfectHardwareGivesProbabilityOne) {
+  CouplingGraph G = makeLine(3);
+  Circuit C(3);
+  C.addCx(0, 1);
+  C.addCx(1, 2);
+  EXPECT_DOUBLE_EQ(estimateSuccessProbability(C, G), 1.0);
+}
+
+TEST(FidelityTest, ProductOverGateApplications) {
+  CouplingGraph G = makeLine(3);
+  G.setEdgeError(0, 1, 0.1);
+  Circuit C(3);
+  C.addCx(0, 1);
+  C.addCx(0, 1);
+  EXPECT_NEAR(estimateSuccessProbability(C, G), 0.9 * 0.9, 1e-12);
+}
+
+TEST(FidelityTest, SwapChargedAsThreeCx) {
+  CouplingGraph G = makeLine(2);
+  G.setEdgeError(0, 1, 0.1);
+  Circuit C(2);
+  C.addSwap(0, 1);
+  EXPECT_NEAR(estimateSuccessProbability(C, G), 0.9 * 0.9 * 0.9, 1e-12);
+}
+
+TEST(ErrorAwareRoutingTest, StillVerifies) {
+  CouplingGraph Hw = makeAnkaa3();
+  applySyntheticErrorModel(Hw, 13);
+  Circuit C = makeQft(16);
+  QlosureOptions Opts;
+  Opts.ErrorAware = true;
+  QlosureRouter Router(Opts);
+  RoutingResult R = Router.routeWithIdentity(C, Hw);
+  EXPECT_TRUE(verifyRouting(C, Hw, R).Ok);
+}
+
+TEST(ErrorAwareRoutingTest, ImprovesSuccessProbabilityOnAverage) {
+  CouplingGraph Hw = makeGrid(5, 5);
+  // A harsh, polarized calibration makes the signal unambiguous.
+  applySyntheticErrorModel(Hw, 17, 0.001, 0.08);
+  double LogGainSum = 0;
+  for (unsigned N : {10u, 14u, 18u}) {
+    Circuit C = makeQft(N);
+    QlosureOptions Plain;
+    QlosureRouter PlainRouter(Plain);
+    QlosureOptions Aware;
+    Aware.ErrorAware = true;
+    QlosureRouter AwareRouter(Aware);
+    double PPlain = estimateSuccessProbability(
+        PlainRouter.routeWithIdentity(C, Hw).Routed, Hw);
+    double PAware = estimateSuccessProbability(
+        AwareRouter.routeWithIdentity(C, Hw).Routed, Hw);
+    LogGainSum += std::log(PAware / PPlain);
+  }
+  // Averaged across sizes, awareness must not hurt fidelity.
+  EXPECT_GT(LogGainSum, -0.05);
+}
+
+TEST(ErrorAwareRoutingTest, FallsBackWithoutModel) {
+  // ErrorAware with no installed model must behave like the plain router.
+  CouplingGraph Hw = makeLine(6);
+  Circuit C = makeQft(6);
+  QlosureOptions Aware;
+  Aware.ErrorAware = true;
+  QlosureRouter AwareRouter(Aware);
+  QlosureRouter PlainRouter;
+  RoutingResult A = AwareRouter.routeWithIdentity(C, Hw);
+  RoutingResult B = PlainRouter.routeWithIdentity(C, Hw);
+  EXPECT_EQ(A.NumSwaps, B.NumSwaps);
+}

@@ -1,0 +1,128 @@
+//===- tests/HarnessTest.cpp - evaluation harness tests ---------------------------===//
+//
+// Part of the Qlosure project. Distributed under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "baselines/RouterRegistry.h"
+#include "baselines/Sabre.h"
+#include "core/Qlosure.h"
+#include "eval/Harness.h"
+#include "topology/Backends.h"
+#include "workloads/QasmBench.h"
+
+#include <gtest/gtest.h>
+
+using namespace qlosure;
+
+TEST(HarnessTest, RunOnceFillsRecord) {
+  CouplingGraph Hw = makeAspen16();
+  Circuit C = makeQft(8);
+  QlosureRouter Router;
+  RunRecord R = runOnce(Router, C, Hw, C.depth());
+  EXPECT_EQ(R.Mapper, "Qlosure");
+  EXPECT_EQ(R.Backend, "aspen16");
+  EXPECT_EQ(R.Workload, "qft_n8");
+  EXPECT_EQ(R.CircuitQubits, 8u);
+  EXPECT_EQ(R.QuantumOps, C.size());
+  EXPECT_GE(R.RoutedDepth, C.depth());
+  EXPECT_TRUE(R.Verified);
+  EXPECT_GE(R.depthFactor(), 1.0);
+}
+
+TEST(HarnessTest, QuekoSweepProducesAllRecords) {
+  CouplingGraph Gen = makeAspen16();
+  CouplingGraph Backend = makeGrid(4, 5);
+  QlosureRouter A;
+  SabreRouter B;
+  QuekoSweepConfig Config;
+  Config.Depths = {10, 15};
+  Config.CircuitsPerDepth = 2;
+  auto Records =
+      runQuekoSweep(Gen, Backend, {&A, &B}, Config);
+  EXPECT_EQ(Records.size(), 2u * 2u * 2u);
+  for (const RunRecord &R : Records) {
+    EXPECT_TRUE(R.Verified);
+    EXPECT_GE(R.depthFactor(), 1.0);
+  }
+}
+
+TEST(HarnessTest, DepthFactorSummaryMath) {
+  std::vector<RunRecord> Records;
+  auto add = [&Records](const char *Mapper, size_t Base, size_t Routed) {
+    RunRecord R;
+    R.Mapper = Mapper;
+    R.Workload = "w" + std::to_string(Records.size());
+    R.BaselineDepth = Base;
+    R.RoutedDepth = Routed;
+    Records.push_back(R);
+  };
+  add("A", 100, 200); // Medium, factor 2.
+  add("A", 100, 400); // Medium, factor 4.
+  add("A", 600, 1200); // Large, factor 2.
+  auto Summary = depthFactorSummary(Records, 550);
+  EXPECT_DOUBLE_EQ(Summary["A"].Medium, 3.0);
+  EXPECT_DOUBLE_EQ(Summary["A"].Large, 2.0);
+}
+
+TEST(HarnessTest, SwapRatioPairsPerWorkload) {
+  std::vector<RunRecord> Records;
+  auto add = [&Records](const char *Mapper, const char *Workload,
+                        size_t Swaps) {
+    RunRecord R;
+    R.Mapper = Mapper;
+    R.Workload = Workload;
+    R.Backend = "b";
+    R.BaselineDepth = 100;
+    R.Swaps = Swaps;
+    Records.push_back(R);
+  };
+  add("Qlosure", "w1", 100);
+  add("SABRE", "w1", 120);
+  add("Qlosure", "w2", 50);
+  add("SABRE", "w2", 75);
+  auto Summary = swapRatioSummary(Records, "Qlosure", 550);
+  EXPECT_DOUBLE_EQ(Summary["SABRE"].Medium, (1.2 + 1.5) / 2);
+  // The reference mapper itself is excluded.
+  EXPECT_EQ(Summary.count("Qlosure"), 0u);
+}
+
+TEST(HarnessTest, TimeoutsExcludedFromAverages) {
+  std::vector<RunRecord> Records;
+  RunRecord Ok;
+  Ok.Mapper = "QMAP";
+  Ok.BaselineDepth = 100;
+  Ok.RoutedDepth = 300;
+  Records.push_back(Ok);
+  RunRecord Timeout;
+  Timeout.Mapper = "QMAP";
+  Timeout.BaselineDepth = 100;
+  Timeout.TimedOut = true;
+  Records.push_back(Timeout);
+  auto Summary = depthFactorSummary(Records, 550);
+  EXPECT_DOUBLE_EQ(Summary["QMAP"].Medium, 3.0);
+  EXPECT_TRUE(Summary["QMAP"].MediumTimedOut);
+}
+
+TEST(HarnessTest, PaperRouterRegistry) {
+  auto Names = paperRouterNames();
+  EXPECT_EQ(Names.size(), 5u);
+  auto Routers = makePaperRouters();
+  ASSERT_EQ(Routers.size(), 5u);
+  EXPECT_EQ(Routers[0]->name(), "SABRE");
+  EXPECT_EQ(Routers[1]->name(), "QMAP");
+  EXPECT_EQ(Routers[2]->name(), "Cirq");
+  EXPECT_EQ(Routers[3]->name(), "Pytket");
+  EXPECT_EQ(Routers[4]->name(), "Qlosure");
+}
+
+TEST(HarnessTest, AllPaperMappersOnOneCircuit) {
+  CouplingGraph Hw = makeAspen16();
+  Circuit C = makeQugan(12, 4);
+  auto Routers = makePaperRouters();
+  for (auto &Router : Routers) {
+    RunRecord R = runOnce(*Router, C, Hw, C.depth());
+    EXPECT_TRUE(R.Verified) << Router->name();
+    EXPECT_GT(R.RoutedDepth, 0u) << Router->name();
+  }
+}

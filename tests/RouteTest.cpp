@@ -1,0 +1,240 @@
+//===- tests/RouteTest.cpp - routing framework tests ------------------------------===//
+//
+// Part of the Qlosure project. Distributed under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "route/FrontLayer.h"
+#include "route/InitialMapping.h"
+#include "route/QubitMapping.h"
+#include "route/Verify.h"
+#include "core/Qlosure.h"
+#include "support/Random.h"
+#include "topology/Backends.h"
+
+#include <gtest/gtest.h>
+
+using namespace qlosure;
+
+//===----------------------------------------------------------------------===//
+// QubitMapping
+//===----------------------------------------------------------------------===//
+
+TEST(QubitMappingTest, IdentityRoundTrip) {
+  QubitMapping M = QubitMapping::identity(3, 5);
+  for (int32_t Q = 0; Q < 3; ++Q) {
+    EXPECT_EQ(M.physOf(Q), Q);
+    EXPECT_EQ(M.logOf(Q), Q);
+  }
+  EXPECT_EQ(M.logOf(4), -1); // Free physical qubit.
+  M.verifyConsistency();
+}
+
+TEST(QubitMappingTest, SwapUpdatesBothDirections) {
+  QubitMapping M = QubitMapping::identity(2, 3);
+  M.swapPhysical(0, 2); // Logical 0 moves to physical 2.
+  EXPECT_EQ(M.physOf(0), 2);
+  EXPECT_EQ(M.logOf(2), 0);
+  EXPECT_EQ(M.logOf(0), -1);
+  M.verifyConsistency();
+}
+
+TEST(QubitMappingTest, SwapTwoOccupied) {
+  QubitMapping M = QubitMapping::identity(2, 2);
+  M.swapPhysical(0, 1);
+  EXPECT_EQ(M.physOf(0), 1);
+  EXPECT_EQ(M.physOf(1), 0);
+  M.verifyConsistency();
+}
+
+TEST(QubitMappingTest, RandomIsInjective) {
+  Rng Generator(3);
+  QubitMapping M = QubitMapping::random(10, 20, Generator);
+  M.verifyConsistency();
+  std::vector<bool> Used(20, false);
+  for (int32_t Q = 0; Q < 10; ++Q) {
+    int32_t P = M.physOf(Q);
+    EXPECT_FALSE(Used[static_cast<size_t>(P)]);
+    Used[static_cast<size_t>(P)] = true;
+  }
+}
+
+//===----------------------------------------------------------------------===//
+// FrontLayerTracker
+//===----------------------------------------------------------------------===//
+
+TEST(FrontLayerTest, InitialFrontIsRoots) {
+  Circuit C(4);
+  C.addCx(0, 1);
+  C.addCx(2, 3);
+  C.addCx(1, 2);
+  CircuitDag Dag(C);
+  FrontLayerTracker T(Dag);
+  std::vector<uint32_t> Front = T.front();
+  std::sort(Front.begin(), Front.end());
+  EXPECT_EQ(Front, (std::vector<uint32_t>{0, 1}));
+}
+
+TEST(FrontLayerTest, ExecutionReleasesSuccessors) {
+  Circuit C(4);
+  C.addCx(0, 1);
+  C.addCx(2, 3);
+  C.addCx(1, 2);
+  CircuitDag Dag(C);
+  FrontLayerTracker T(Dag);
+  T.execute(0);
+  EXPECT_FALSE(T.isInFront(2)); // Still blocked by gate 1.
+  T.execute(1);
+  EXPECT_TRUE(T.isInFront(2));
+  T.execute(2);
+  EXPECT_TRUE(T.allExecuted());
+}
+
+TEST(FrontLayerTest, TopologicalWindowOrder) {
+  Circuit C(2);
+  for (int I = 0; I < 6; ++I)
+    C.addCx(0, 1);
+  CircuitDag Dag(C);
+  FrontLayerTracker T(Dag);
+  auto Window = T.topologicalWindow(4);
+  EXPECT_EQ(Window, (std::vector<uint32_t>{0, 1, 2, 3}));
+  T.execute(0);
+  Window = T.topologicalWindow(2);
+  EXPECT_EQ(Window, (std::vector<uint32_t>{1, 2}));
+}
+
+TEST(FrontLayerTest, WindowRespectsCrossDependences) {
+  Circuit C(6);
+  C.addCx(0, 1); // 0.
+  C.addCx(2, 3); // 1.
+  C.addCx(1, 2); // 2: needs both.
+  C.addCx(4, 5); // 3: independent root... but in program order later.
+  CircuitDag Dag(C);
+  FrontLayerTracker T(Dag);
+  auto Window = T.topologicalWindow(10);
+  EXPECT_EQ(Window.size(), 4u);
+  // Gate 2 must appear after gates 0 and 1.
+  auto Pos = [&](uint32_t G) {
+    return std::find(Window.begin(), Window.end(), G) - Window.begin();
+  };
+  EXPECT_GT(Pos(2), Pos(0));
+  EXPECT_GT(Pos(2), Pos(1));
+}
+
+//===----------------------------------------------------------------------===//
+// reverseCircuit / bidirectional mapping
+//===----------------------------------------------------------------------===//
+
+TEST(InitialMappingTest, ReverseCircuitReverses) {
+  Circuit C(3);
+  C.addCx(0, 1);
+  C.add1Q(GateKind::H, 2);
+  Circuit R = reverseCircuit(C);
+  ASSERT_EQ(R.size(), 2u);
+  EXPECT_EQ(R.gate(0).Kind, GateKind::H);
+  EXPECT_EQ(R.gate(1).Kind, GateKind::CX);
+}
+
+TEST(InitialMappingTest, BidirectionalMappingIsConsistent) {
+  CouplingGraph Hw = makeLine(6);
+  Circuit C(6);
+  for (int I = 0; I < 5; ++I)
+    C.addCx(0, 5 - I); // Long-range traffic benefits from placement.
+  QlosureRouter Router;
+  QubitMapping M = deriveBidirectionalMapping(Router, C, Hw, 1);
+  M.verifyConsistency();
+  EXPECT_EQ(M.numLogical(), 6u);
+  EXPECT_EQ(M.numPhysical(), 6u);
+}
+
+//===----------------------------------------------------------------------===//
+// verifyRouting negative cases
+//===----------------------------------------------------------------------===//
+
+namespace {
+
+RoutingResult routeSmall(const Circuit &C, const CouplingGraph &Hw) {
+  QlosureRouter Router;
+  return Router.routeWithIdentity(C, Hw);
+}
+
+Circuit lineCircuit() {
+  Circuit C(4, "line-traffic");
+  C.addCx(0, 3);
+  C.addCx(1, 2);
+  C.addCx(0, 1);
+  return C;
+}
+
+} // namespace
+
+TEST(VerifyTest, AcceptsValidRouting) {
+  CouplingGraph Hw = makeLine(4);
+  Circuit C = lineCircuit();
+  RoutingResult R = routeSmall(C, Hw);
+  VerifyResult V = verifyRouting(C, Hw, R);
+  EXPECT_TRUE(V.Ok) << V.Message;
+}
+
+TEST(VerifyTest, RejectsNonAdjacentGate) {
+  CouplingGraph Hw = makeLine(4);
+  Circuit C = lineCircuit();
+  RoutingResult R = routeSmall(C, Hw);
+  // Corrupt: retarget a program gate to distant qubits.
+  Circuit Bad(Hw.numQubits(), R.Routed.name());
+  for (size_t I = 0; I < R.Routed.size(); ++I) {
+    Gate G = R.Routed.gate(I);
+    if (G.isTwoQubit() && !R.InsertedSwapFlags[I]) {
+      G.Qubits[0] = 0;
+      G.Qubits[1] = 3;
+    }
+    Bad.addGate(G);
+  }
+  R.Routed = Bad;
+  EXPECT_FALSE(verifyRouting(C, Hw, R).Ok);
+}
+
+TEST(VerifyTest, RejectsDroppedGate) {
+  CouplingGraph Hw = makeLine(4);
+  Circuit C = lineCircuit();
+  RoutingResult R = routeSmall(C, Hw);
+  // Drop the last program gate.
+  Circuit Short(Hw.numQubits());
+  std::vector<uint8_t> Flags;
+  for (size_t I = 0; I + 1 < R.Routed.size(); ++I) {
+    Short.addGate(R.Routed.gate(I));
+    Flags.push_back(R.InsertedSwapFlags[I]);
+  }
+  R.Routed = Short;
+  R.InsertedSwapFlags = Flags;
+  EXPECT_FALSE(verifyRouting(C, Hw, R).Ok);
+}
+
+TEST(VerifyTest, RejectsWrongSwapCount) {
+  CouplingGraph Hw = makeLine(4);
+  Circuit C = lineCircuit();
+  RoutingResult R = routeSmall(C, Hw);
+  R.NumSwaps += 1;
+  EXPECT_FALSE(verifyRouting(C, Hw, R).Ok);
+}
+
+TEST(VerifyTest, RejectsCorruptedFinalMapping) {
+  CouplingGraph Hw = makeLine(4);
+  Circuit C = lineCircuit();
+  RoutingResult R = routeSmall(C, Hw);
+  ASSERT_GT(R.NumSwaps, 0u); // Routing this circuit on a line needs swaps.
+  R.FinalMapping.swapPhysical(0, 3);
+  EXPECT_FALSE(verifyRouting(C, Hw, R).Ok);
+}
+
+TEST(VerifyTest, RejectsReorderedDependentGates) {
+  CouplingGraph Hw = makeLine(3);
+  Circuit C(3);
+  C.add1Q(GateKind::H, 0);
+  C.add1Q(GateKind::X, 0); // Depends on the H.
+  QlosureRouter Router;
+  RoutingResult R = Router.routeWithIdentity(C, Hw);
+  // Swap the two gates: per-wire order breaks.
+  std::swap(R.Routed.gatesMutable()[0], R.Routed.gatesMutable()[1]);
+  EXPECT_FALSE(verifyRouting(C, Hw, R).Ok);
+}

@@ -1,0 +1,127 @@
+//===- tests/SetParserTest.cpp - ISL-notation parser tests ------------------------===//
+//
+// Part of the Qlosure project. Distributed under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "presburger/Counting.h"
+#include "presburger/SetParser.h"
+#include "presburger/TransitiveClosure.h"
+
+#include <gtest/gtest.h>
+
+using namespace qlosure;
+using namespace qlosure::presburger;
+
+TEST(SetParserTest, SimpleInterval) {
+  auto R = parseIntegerSet("{ [i] : 0 <= i <= 9 }");
+  ASSERT_TRUE(R.succeeded()) << R.Error;
+  EXPECT_TRUE(R.Set->contains({0}));
+  EXPECT_TRUE(R.Set->contains({9}));
+  EXPECT_FALSE(R.Set->contains({10}));
+  EXPECT_EQ(*R.Set->cardinality(), 10);
+}
+
+TEST(SetParserTest, StrictBoundsAndChaining) {
+  auto R = parseIntegerSet("{ [i, j] : 0 <= i < 4 and i < j < 6 }");
+  ASSERT_TRUE(R.succeeded()) << R.Error;
+  EXPECT_TRUE(R.Set->contains({0, 1}));
+  EXPECT_TRUE(R.Set->contains({3, 5}));
+  EXPECT_FALSE(R.Set->contains({3, 3}));
+  EXPECT_FALSE(R.Set->contains({4, 5}));
+}
+
+TEST(SetParserTest, CoefficientSyntaxes) {
+  // "2i", "2 * i" and "i * 2" are all accepted.
+  for (const char *Text :
+       {"{ [i] : 2i <= 10 and i >= 0 }", "{ [i] : 2 * i <= 10 and i >= 0 }",
+        "{ [i] : i * 2 <= 10 and i >= 0 }"}) {
+    auto R = parseIntegerSet(Text);
+    ASSERT_TRUE(R.succeeded()) << Text << ": " << R.Error;
+    EXPECT_TRUE(R.Set->contains({5})) << Text;
+    EXPECT_FALSE(R.Set->contains({6})) << Text;
+  }
+}
+
+TEST(SetParserTest, EqualityAndNegatives) {
+  auto R = parseIntegerSet("{ [i, j] : j = 2i - 3 and -2 <= i <= 2 }");
+  ASSERT_TRUE(R.succeeded()) << R.Error;
+  EXPECT_TRUE(R.Set->contains({0, -3}));
+  EXPECT_TRUE(R.Set->contains({2, 1}));
+  EXPECT_FALSE(R.Set->contains({1, 0}));
+  EXPECT_EQ(*R.Set->cardinality(), 5);
+}
+
+TEST(SetParserTest, UnionViaOr) {
+  auto R = parseIntegerSet(
+      "{ [i] : 0 <= i <= 2 or 10 <= i <= 11 }");
+  ASSERT_TRUE(R.succeeded()) << R.Error;
+  EXPECT_EQ(*R.Set->cardinality(), 5);
+  EXPECT_TRUE(R.Set->contains({11}));
+  EXPECT_FALSE(R.Set->contains({5}));
+}
+
+TEST(SetParserTest, UniverseWithoutCondition) {
+  auto R = parseIntegerSet("{ [i, j] }");
+  ASSERT_TRUE(R.succeeded()) << R.Error;
+  EXPECT_TRUE(R.Set->contains({123, -456}));
+}
+
+TEST(SetParserTest, Errors) {
+  EXPECT_FALSE(parseIntegerSet("{ [i] : i <= }").succeeded());
+  EXPECT_FALSE(parseIntegerSet("{ [i] : q <= 3 }").succeeded());
+  EXPECT_FALSE(parseIntegerSet("[i] : i >= 0").succeeded());
+  EXPECT_FALSE(parseIntegerSet("{ [i, i] : i >= 0 }").succeeded());
+}
+
+TEST(MapParserTest, NamedOutputVariable) {
+  auto R = parseIntegerMap("{ [i] -> [j] : j = i + 3 and 0 <= i <= 5 }");
+  ASSERT_TRUE(R.succeeded()) << R.Error;
+  EXPECT_TRUE(R.Map->contains({0}, {3}));
+  EXPECT_TRUE(R.Map->contains({5}, {8}));
+  EXPECT_FALSE(R.Map->contains({6}, {9}));
+}
+
+TEST(MapParserTest, ExpressionOutputs) {
+  // The paper's Sec. III-C access relation: q2 = [i] -> [2i + 1].
+  auto R = parseIntegerMap("{ [i] -> [2i + 1] : 0 <= i <= 3 }");
+  ASSERT_TRUE(R.succeeded()) << R.Error;
+  EXPECT_TRUE(R.Map->contains({0}, {1}));
+  EXPECT_TRUE(R.Map->contains({3}, {7}));
+  EXPECT_FALSE(R.Map->contains({2}, {4}));
+}
+
+TEST(MapParserTest, MultiDimensionalOutputs) {
+  auto R = parseIntegerMap(
+      "{ [i, j] -> [j, i + j] : 0 <= i <= 2 and 0 <= j <= 2 }");
+  ASSERT_TRUE(R.succeeded()) << R.Error;
+  EXPECT_TRUE(R.Map->contains({1, 2}, {2, 3}));
+  EXPECT_FALSE(R.Map->contains({1, 2}, {1, 3}));
+}
+
+TEST(MapParserTest, ParsedTranslationClosureWorks) {
+  // The parsed map feeds straight into the closure machinery.
+  auto R = parseIntegerMap("{ [i] -> [i + 2] : 0 <= i <= 9 }");
+  ASSERT_TRUE(R.succeeded()) << R.Error;
+  ClosureOptions Opts;
+  Opts.AllowFiniteFallback = false;
+  ClosureResult C = transitiveClosure(*R.Map, Opts);
+  EXPECT_TRUE(C.IsExact);
+  EXPECT_TRUE(C.Closure.contains({1}, {11}));
+  EXPECT_FALSE(C.Closure.contains({1}, {4}));
+}
+
+TEST(MapParserTest, UnionMap) {
+  auto R = parseIntegerMap(
+      "{ [i] -> [i + 1] : 0 <= i <= 3 or 10 <= i <= 12 }");
+  ASSERT_TRUE(R.succeeded()) << R.Error;
+  EXPECT_TRUE(R.Map->contains({2}, {3}));
+  EXPECT_TRUE(R.Map->contains({11}, {12}));
+  EXPECT_FALSE(R.Map->contains({7}, {8}));
+}
+
+TEST(MapParserTest, Errors) {
+  EXPECT_FALSE(parseIntegerMap("{ [i] -> }").succeeded());
+  EXPECT_FALSE(parseIntegerMap("{ [i] : i >= 0 }").succeeded());
+  EXPECT_FALSE(parseIntegerMap("{ [i] -> [k + 1] }").succeeded());
+}

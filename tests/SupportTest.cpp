@@ -1,0 +1,274 @@
+//===- tests/SupportTest.cpp - support library tests ---------------------------===//
+//
+// Part of the Qlosure project. Distributed under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "support/DynamicBitset.h"
+#include "support/Random.h"
+#include "support/Statistics.h"
+#include "support/StringUtils.h"
+#include "support/Table.h"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+using namespace qlosure;
+
+//===----------------------------------------------------------------------===//
+// Rng
+//===----------------------------------------------------------------------===//
+
+TEST(RngTest, DeterministicForSameSeed) {
+  Rng A(42), B(42);
+  for (int I = 0; I < 100; ++I)
+    EXPECT_EQ(A.next(), B.next());
+}
+
+TEST(RngTest, DifferentSeedsDiverge) {
+  Rng A(1), B(2);
+  int Matches = 0;
+  for (int I = 0; I < 64; ++I)
+    Matches += A.next() == B.next();
+  EXPECT_LT(Matches, 4);
+}
+
+TEST(RngTest, BoundedStaysInRange) {
+  Rng R(7);
+  for (int I = 0; I < 1000; ++I)
+    EXPECT_LT(R.nextBounded(17), 17u);
+}
+
+TEST(RngTest, BoundedCoversAllResidues) {
+  Rng R(9);
+  std::set<uint64_t> Seen;
+  for (int I = 0; I < 500; ++I)
+    Seen.insert(R.nextBounded(7));
+  EXPECT_EQ(Seen.size(), 7u);
+}
+
+TEST(RngTest, RangeInclusive) {
+  Rng R(11);
+  std::set<int64_t> Seen;
+  for (int I = 0; I < 500; ++I) {
+    int64_t V = R.nextInRange(-3, 3);
+    EXPECT_GE(V, -3);
+    EXPECT_LE(V, 3);
+    Seen.insert(V);
+  }
+  EXPECT_EQ(Seen.size(), 7u);
+}
+
+TEST(RngTest, DoubleInUnitInterval) {
+  Rng R(13);
+  for (int I = 0; I < 1000; ++I) {
+    double V = R.nextDouble();
+    EXPECT_GE(V, 0.0);
+    EXPECT_LT(V, 1.0);
+  }
+}
+
+TEST(RngTest, BernoulliExtremes) {
+  Rng R(17);
+  for (int I = 0; I < 50; ++I) {
+    EXPECT_FALSE(R.nextBernoulli(0.0));
+    EXPECT_TRUE(R.nextBernoulli(1.0));
+  }
+}
+
+TEST(RngTest, ShufflePreservesElements) {
+  Rng R(19);
+  std::vector<int> V{1, 2, 3, 4, 5, 6, 7, 8};
+  std::vector<int> Original = V;
+  R.shuffle(V);
+  std::multiset<int> A(V.begin(), V.end()), B(Original.begin(),
+                                              Original.end());
+  EXPECT_EQ(A, B);
+}
+
+TEST(RngTest, ReseedRestartsSequence) {
+  Rng R(23);
+  uint64_t First = R.next();
+  R.next();
+  R.reseed(23);
+  EXPECT_EQ(R.next(), First);
+}
+
+//===----------------------------------------------------------------------===//
+// DynamicBitset
+//===----------------------------------------------------------------------===//
+
+TEST(DynamicBitsetTest, SetTestReset) {
+  DynamicBitset B(100);
+  EXPECT_FALSE(B.test(37));
+  B.set(37);
+  EXPECT_TRUE(B.test(37));
+  B.reset(37);
+  EXPECT_FALSE(B.test(37));
+}
+
+TEST(DynamicBitsetTest, CountAndAny) {
+  DynamicBitset B(130);
+  EXPECT_EQ(B.count(), 0u);
+  EXPECT_FALSE(B.any());
+  B.set(0);
+  B.set(64);
+  B.set(129);
+  EXPECT_EQ(B.count(), 3u);
+  EXPECT_TRUE(B.any());
+}
+
+TEST(DynamicBitsetTest, SetAllRespectsSize) {
+  DynamicBitset B(70);
+  B.setAll();
+  EXPECT_EQ(B.count(), 70u);
+}
+
+TEST(DynamicBitsetTest, OrAssign) {
+  DynamicBitset A(64), B(64);
+  A.set(1);
+  B.set(2);
+  A |= B;
+  EXPECT_TRUE(A.test(1));
+  EXPECT_TRUE(A.test(2));
+  EXPECT_EQ(A.count(), 2u);
+}
+
+TEST(DynamicBitsetTest, AndAssign) {
+  DynamicBitset A(64), B(64);
+  A.set(1);
+  A.set(2);
+  B.set(2);
+  B.set(3);
+  A &= B;
+  EXPECT_EQ(A.count(), 1u);
+  EXPECT_TRUE(A.test(2));
+}
+
+TEST(DynamicBitsetTest, Intersects) {
+  DynamicBitset A(200), B(200);
+  A.set(150);
+  EXPECT_FALSE(A.intersects(B));
+  B.set(150);
+  EXPECT_TRUE(A.intersects(B));
+}
+
+TEST(DynamicBitsetTest, FindFirstAndNext) {
+  DynamicBitset B(200);
+  EXPECT_EQ(B.findFirst(), 200u);
+  B.set(5);
+  B.set(66);
+  B.set(199);
+  EXPECT_EQ(B.findFirst(), 5u);
+  EXPECT_EQ(B.findNext(5), 66u);
+  EXPECT_EQ(B.findNext(66), 199u);
+  EXPECT_EQ(B.findNext(199), 200u);
+}
+
+TEST(DynamicBitsetTest, ForEachSetBitInOrder) {
+  DynamicBitset B(100);
+  B.set(3);
+  B.set(64);
+  B.set(99);
+  std::vector<size_t> Bits;
+  B.forEachSetBit([&Bits](size_t I) { Bits.push_back(I); });
+  EXPECT_EQ(Bits, (std::vector<size_t>{3, 64, 99}));
+}
+
+TEST(DynamicBitsetTest, ResizeClearsNewBits) {
+  DynamicBitset B(10);
+  B.set(9);
+  B.resize(80);
+  EXPECT_TRUE(B.test(9));
+  for (size_t I = 10; I < 80; ++I)
+    EXPECT_FALSE(B.test(I));
+}
+
+//===----------------------------------------------------------------------===//
+// Statistics
+//===----------------------------------------------------------------------===//
+
+TEST(StatisticsTest, MeanBasics) {
+  EXPECT_DOUBLE_EQ(mean({1, 2, 3, 4}), 2.5);
+  EXPECT_DOUBLE_EQ(mean({}), 0.0);
+}
+
+TEST(StatisticsTest, GeometricMean) {
+  EXPECT_DOUBLE_EQ(geometricMean({4, 9}), 6.0);
+}
+
+TEST(StatisticsTest, MedianOddAndEven) {
+  EXPECT_DOUBLE_EQ(median({3, 1, 2}), 2.0);
+  EXPECT_DOUBLE_EQ(median({4, 1, 2, 3}), 2.5);
+}
+
+TEST(StatisticsTest, Stddev) {
+  EXPECT_DOUBLE_EQ(stddev({2, 2, 2}), 0.0);
+  EXPECT_NEAR(stddev({1, 3}), 1.0, 1e-12);
+}
+
+TEST(StatisticsTest, MinMax) {
+  EXPECT_DOUBLE_EQ(minOf({3, 1, 2}), 1.0);
+  EXPECT_DOUBLE_EQ(maxOf({3, 1, 2}), 3.0);
+}
+
+TEST(StatisticsTest, RunningStat) {
+  RunningStat S;
+  S.add(2);
+  S.add(4);
+  S.add(9);
+  EXPECT_EQ(S.count(), 3u);
+  EXPECT_DOUBLE_EQ(S.mean(), 5.0);
+  EXPECT_DOUBLE_EQ(S.min(), 2.0);
+  EXPECT_DOUBLE_EQ(S.max(), 9.0);
+}
+
+//===----------------------------------------------------------------------===//
+// StringUtils / Table
+//===----------------------------------------------------------------------===//
+
+TEST(StringUtilsTest, FormatString) {
+  EXPECT_EQ(formatString("%d-%s", 7, "x"), "7-x");
+}
+
+TEST(StringUtilsTest, SplitKeepsEmptyFields) {
+  auto Fields = splitString("a,,b", ',');
+  ASSERT_EQ(Fields.size(), 3u);
+  EXPECT_EQ(Fields[1], "");
+}
+
+TEST(StringUtilsTest, Trim) {
+  EXPECT_EQ(trimString("  x y \t\n"), "x y");
+  EXPECT_EQ(trimString("   "), "");
+}
+
+TEST(StringUtilsTest, StartsWith) {
+  EXPECT_TRUE(startsWith("queko-bss", "queko"));
+  EXPECT_FALSE(startsWith("qu", "queko"));
+}
+
+TEST(TableTest, RendersAlignedColumns) {
+  Table T({"Mapper", "Swaps"});
+  T.addRow({"SABRE", "120"});
+  T.addRow({"Qlosure", "95"});
+  std::string Out = T.render();
+  EXPECT_NE(Out.find("| Mapper "), std::string::npos);
+  EXPECT_NE(Out.find("|   120 |"), std::string::npos);
+  EXPECT_EQ(T.numRows(), 2u);
+}
+
+TEST(TableTest, SeparatorRendersRule) {
+  Table T({"A"});
+  T.addRow({"1"});
+  T.addSeparator();
+  T.addRow({"2"});
+  std::string Out = T.render();
+  // Header rule + separator + bottom rule + top = at least 4 rules.
+  size_t Count = 0, Pos = 0;
+  while ((Pos = Out.find("+---", Pos)) != std::string::npos) {
+    ++Count;
+    ++Pos;
+  }
+  EXPECT_GE(Count, 4u);
+}

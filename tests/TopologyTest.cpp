@@ -1,0 +1,148 @@
+//===- tests/TopologyTest.cpp - coupling graph tests ------------------------------===//
+//
+// Part of the Qlosure project. Distributed under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "topology/Backends.h"
+#include "topology/CouplingGraph.h"
+
+#include <gtest/gtest.h>
+
+using namespace qlosure;
+
+TEST(CouplingGraphTest, EdgesAndAdjacency) {
+  CouplingGraph G(3);
+  G.addEdge(0, 1);
+  G.addEdge(1, 2);
+  G.addEdge(1, 0); // Duplicate ignored.
+  EXPECT_EQ(G.numEdges(), 2u);
+  EXPECT_TRUE(G.areAdjacent(0, 1));
+  EXPECT_TRUE(G.areAdjacent(1, 0));
+  EXPECT_FALSE(G.areAdjacent(0, 2));
+}
+
+TEST(CouplingGraphTest, DistancesOnLine) {
+  CouplingGraph G = makeLine(5);
+  EXPECT_EQ(G.distance(0, 4), 4u);
+  EXPECT_EQ(G.distance(2, 2), 0u);
+  EXPECT_EQ(G.distance(4, 0), 4u); // Symmetry.
+}
+
+TEST(CouplingGraphTest, DistancesOnRing) {
+  CouplingGraph G = makeRing(6);
+  EXPECT_EQ(G.distance(0, 3), 3u);
+  EXPECT_EQ(G.distance(0, 5), 1u); // Wraps around.
+}
+
+TEST(CouplingGraphTest, ShortestPathEndpointsAndSteps) {
+  CouplingGraph G = makeGrid(3, 3);
+  auto Path = G.shortestPath(0, 8);
+  EXPECT_EQ(Path.front(), 0u);
+  EXPECT_EQ(Path.back(), 8u);
+  EXPECT_EQ(Path.size(), G.distance(0, 8) + 1);
+  for (size_t I = 0; I + 1 < Path.size(); ++I)
+    EXPECT_TRUE(G.areAdjacent(Path[I], Path[I + 1]));
+}
+
+TEST(CouplingGraphTest, ConnectivityDetection) {
+  CouplingGraph G(4);
+  G.addEdge(0, 1);
+  G.addEdge(2, 3);
+  EXPECT_FALSE(G.isConnected());
+  G.addEdge(1, 2);
+  EXPECT_TRUE(G.isConnected());
+}
+
+TEST(CouplingGraphTest, MaxDegree) {
+  EXPECT_EQ(makeLine(5).maxDegree(), 2u);
+  EXPECT_EQ(makeGrid(3, 3).maxDegree(), 4u);
+  EXPECT_EQ(makeKingsGrid(3, 3).maxDegree(), 8u);
+}
+
+//===----------------------------------------------------------------------===//
+// Paper backends
+//===----------------------------------------------------------------------===//
+
+TEST(BackendsTest, SherbrookeShape) {
+  CouplingGraph G = makeSherbrooke();
+  EXPECT_EQ(G.numQubits(), 127u);
+  EXPECT_EQ(G.numEdges(), 144u); // IBM Eagle heavy-hex edge count.
+  EXPECT_LE(G.maxDegree(), 3u);  // Heavy-hex: at most three neighbors.
+  EXPECT_TRUE(G.isConnected());
+}
+
+TEST(BackendsTest, SherbrookeKnownCouplings) {
+  CouplingGraph G = makeSherbrooke();
+  // Published ibm_sherbrooke couplings: 0-14-18 column and row runs.
+  EXPECT_TRUE(G.areAdjacent(0, 1));
+  EXPECT_TRUE(G.areAdjacent(0, 14));
+  EXPECT_TRUE(G.areAdjacent(14, 18));
+  EXPECT_TRUE(G.areAdjacent(4, 15));
+  EXPECT_TRUE(G.areAdjacent(15, 22));
+  EXPECT_FALSE(G.areAdjacent(13, 14)); // Bridge only links rows.
+}
+
+TEST(BackendsTest, Ankaa3Shape) {
+  CouplingGraph G = makeAnkaa3();
+  EXPECT_EQ(G.numQubits(), 82u);
+  EXPECT_LE(G.maxDegree(), 4u); // Square lattice.
+  EXPECT_TRUE(G.isConnected());
+}
+
+TEST(BackendsTest, Sherbrooke2XShape) {
+  CouplingGraph G = makeSherbrooke2X();
+  EXPECT_EQ(G.numQubits(), 256u);
+  EXPECT_TRUE(G.isConnected());
+  // Exactly two bridge qubits with degree 2 linking the copies.
+  EXPECT_EQ(G.numEdges(), 144u * 2 + 4);
+}
+
+TEST(BackendsTest, KingsGrids) {
+  EXPECT_EQ(makeKings9x9().numQubits(), 81u);
+  EXPECT_EQ(makeKings16x16().numQubits(), 256u);
+  // Interior qubit of a 9x9 king's graph has eight neighbors.
+  CouplingGraph G = makeKings9x9();
+  EXPECT_EQ(G.neighbors(9 * 4 + 4).size(), 8u);
+  EXPECT_EQ(G.neighbors(0).size(), 3u); // Corner.
+}
+
+TEST(BackendsTest, Aspen16Shape) {
+  CouplingGraph G = makeAspen16();
+  EXPECT_EQ(G.numQubits(), 16u);
+  EXPECT_EQ(G.numEdges(), 18u); // Two octagons + two rungs.
+  EXPECT_LE(G.maxDegree(), 3u);
+  EXPECT_TRUE(G.isConnected());
+}
+
+TEST(BackendsTest, Sycamore54Shape) {
+  CouplingGraph G = makeSycamore54();
+  EXPECT_EQ(G.numQubits(), 54u);
+  EXPECT_LE(G.maxDegree(), 4u);
+  EXPECT_TRUE(G.isConnected());
+}
+
+TEST(BackendsTest, LookupByName) {
+  EXPECT_EQ(makeBackendByName("sherbrooke").numQubits(), 127u);
+  EXPECT_EQ(makeBackendByName("ankaa3").numQubits(), 82u);
+  EXPECT_EQ(makeBackendByName("sherbrooke2x").numQubits(), 256u);
+  EXPECT_EQ(makeBackendByName("kings9x9").numQubits(), 81u);
+  EXPECT_EQ(makeBackendByName("kings16x16").numQubits(), 256u);
+}
+
+TEST(BackendsTest, DistancesPrecomputedEverywhere) {
+  for (const char *Name : {"sherbrooke", "ankaa3", "sherbrooke2x",
+                           "kings9x9", "kings16x16"}) {
+    CouplingGraph G = makeBackendByName(Name);
+    EXPECT_TRUE(G.hasDistances()) << Name;
+    // Spot-check symmetry and the triangle inequality on a few triples.
+    unsigned N = G.numQubits();
+    for (unsigned A = 0; A < N; A += N / 5)
+      for (unsigned B = 0; B < N; B += N / 7) {
+        EXPECT_EQ(G.distance(A, B), G.distance(B, A));
+        unsigned Mid = (A + B) / 2;
+        EXPECT_LE(G.distance(A, B),
+                  G.distance(A, Mid) + G.distance(Mid, B));
+      }
+  }
+}

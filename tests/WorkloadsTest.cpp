@@ -1,0 +1,221 @@
+//===- tests/WorkloadsTest.cpp - QUEKO + QASMBench generator tests ----------------===//
+//
+// Part of the Qlosure project. Distributed under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "core/Qlosure.h"
+#include "route/Verify.h"
+#include "topology/Backends.h"
+#include "workloads/QasmBench.h"
+#include "workloads/Queko.h"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+using namespace qlosure;
+
+//===----------------------------------------------------------------------===//
+// QUEKO generator
+//===----------------------------------------------------------------------===//
+
+TEST(QuekoTest, RealizesExactTargetDepth) {
+  CouplingGraph Gen = makeAspen16();
+  for (unsigned Depth : {5u, 20u, 45u}) {
+    QuekoSpec Spec;
+    Spec.Depth = Depth;
+    Spec.Seed = Depth;
+    QuekoInstance I = generateQueko(Gen, Spec);
+    EXPECT_EQ(I.OptimalDepth, Depth);
+    // The scrambled circuit has the same dependence structure, so the
+    // same depth.
+    EXPECT_EQ(I.Circ.depth(), Depth);
+  }
+}
+
+TEST(QuekoTest, WitnessPlacementNeedsNoSwaps) {
+  // Un-scrambling with the witness yields a circuit that is directly
+  // executable on the generation device — the optimality certificate.
+  CouplingGraph Gen = makeAspen16();
+  QuekoSpec Spec;
+  Spec.Depth = 25;
+  Spec.Seed = 9;
+  QuekoInstance I = generateQueko(Gen, Spec);
+  Circuit OnDevice = I.Circ.withMappedQubits([&I](int32_t Q) {
+    return static_cast<int32_t>(I.Witness[static_cast<size_t>(Q)]);
+  });
+  for (const Gate &G : OnDevice.gates()) {
+    if (!G.isTwoQubit())
+      continue;
+    EXPECT_TRUE(Gen.areAdjacent(static_cast<unsigned>(G.Qubits[0]),
+                                static_cast<unsigned>(G.Qubits[1])))
+        << G.toString();
+  }
+  EXPECT_EQ(OnDevice.depth(), I.OptimalDepth);
+}
+
+TEST(QuekoTest, WitnessIsPermutation) {
+  QuekoSpec Spec;
+  Spec.Depth = 10;
+  Spec.Seed = 3;
+  QuekoInstance I = generateQueko(makeSycamore54(), Spec);
+  std::set<unsigned> Targets(I.Witness.begin(), I.Witness.end());
+  EXPECT_EQ(Targets.size(), 54u);
+}
+
+TEST(QuekoTest, DeterministicPerSeed) {
+  CouplingGraph Gen = makeAspen16();
+  QuekoSpec Spec;
+  Spec.Depth = 12;
+  Spec.Seed = 42;
+  QuekoInstance A = generateQueko(Gen, Spec);
+  QuekoInstance B = generateQueko(Gen, Spec);
+  ASSERT_EQ(A.Circ.size(), B.Circ.size());
+  for (size_t I = 0; I < A.Circ.size(); ++I) {
+    EXPECT_EQ(A.Circ.gate(I).Kind, B.Circ.gate(I).Kind);
+    EXPECT_EQ(A.Circ.gate(I).Qubits, B.Circ.gate(I).Qubits);
+  }
+  Spec.Seed = 43;
+  QuekoInstance C = generateQueko(Gen, Spec);
+  bool Different = A.Circ.size() != C.Circ.size();
+  for (size_t I = 0; !Different && I < A.Circ.size(); ++I)
+    Different = !(A.Circ.gate(I).Qubits == C.Circ.gate(I).Qubits);
+  EXPECT_TRUE(Different);
+}
+
+TEST(QuekoTest, DensityControlsTwoQubitShare) {
+  CouplingGraph Gen = makeKings9x9();
+  QuekoSpec Sparse;
+  Sparse.Depth = 30;
+  Sparse.TwoQubitDensity = 0.1;
+  Sparse.Seed = 4;
+  QuekoSpec Dense = Sparse;
+  Dense.TwoQubitDensity = 0.6;
+  size_t SparseTwoQ = generateQueko(Gen, Sparse).Circ.numTwoQubitGates();
+  size_t DenseTwoQ = generateQueko(Gen, Dense).Circ.numTwoQubitGates();
+  EXPECT_GT(DenseTwoQ, 2 * SparseTwoQ);
+}
+
+TEST(QuekoTest, PaperSetsShape) {
+  auto Sets = paperQuekoSets();
+  ASSERT_EQ(Sets.size(), 4u);
+  EXPECT_EQ(Sets[0].GenDevice.numQubits(), 16u);
+  EXPECT_EQ(Sets[1].GenDevice.numQubits(), 54u);
+  EXPECT_EQ(Sets[2].GenDevice.numQubits(), 81u);
+  EXPECT_EQ(Sets[3].GenDevice.numQubits(), 256u);
+}
+
+TEST(QuekoTest, RoutedOptimalDepthIsLowerBound) {
+  // No mapper can beat the generated optimal depth.
+  CouplingGraph Gen = makeAspen16();
+  QuekoSpec Spec;
+  Spec.Depth = 20;
+  Spec.Seed = 6;
+  QuekoInstance I = generateQueko(Gen, Spec);
+  QlosureRouter Router;
+  RoutingResult R = Router.routeWithIdentity(I.Circ, Gen);
+  EXPECT_TRUE(verifyRouting(I.Circ, Gen, R).Ok);
+  EXPECT_GE(R.Routed.depth(), I.OptimalDepth);
+}
+
+//===----------------------------------------------------------------------===//
+// QASMBench-style generators
+//===----------------------------------------------------------------------===//
+
+TEST(QasmBenchTest, QftGateCountFormula) {
+  // Decomposed QFT(n): n H + n(n-1)/2 * (2 CX + 3 RZ) + floor(n/2) SWAP.
+  for (unsigned N : {4u, 8u, 13u}) {
+    Circuit C = makeQft(N);
+    size_t Pairs = static_cast<size_t>(N) * (N - 1) / 2;
+    EXPECT_EQ(C.size(), N + 5 * Pairs + N / 2) << "n=" << N;
+    EXPECT_EQ(C.numTwoQubitGates(), 2 * Pairs + N / 2);
+  }
+}
+
+TEST(QasmBenchTest, QftUndecomposedUsesCpGates) {
+  Circuit C = makeQft(5, /*DecomposeCp=*/false);
+  size_t NumCp = 0;
+  for (const Gate &G : C.gates())
+    NumCp += G.Kind == GateKind::CP;
+  EXPECT_EQ(NumCp, 10u);
+}
+
+TEST(QasmBenchTest, AdderStructure) {
+  Circuit C = makeAdder(10);
+  EXPECT_EQ(C.numQubits(), 10u);
+  for (const Gate &G : C.gates())
+    EXPECT_LE(G.numQubits(), 2u);
+  // Width 4: 2*width MAJ/UMA blocks with one Toffoli (6 CX) + 2 CX each,
+  // plus the carry CX.
+  EXPECT_EQ(C.numTwoQubitGates(), 8u * (6 + 2) + 1);
+}
+
+TEST(QasmBenchTest, SpotlightSizesMatchPaper) {
+  auto Spotlight = spotlightQasmBenchCircuits();
+  ASSERT_EQ(Spotlight.size(), 7u);
+  EXPECT_EQ(Spotlight[0].Circ.numQubits(), 20u); // qram_n20.
+  EXPECT_EQ(Spotlight[1].Circ.numQubits(), 39u); // qugan_n39.
+  EXPECT_EQ(Spotlight[2].Circ.numQubits(), 45u); // multiplier_n45.
+  EXPECT_EQ(Spotlight[3].Circ.numQubits(), 63u); // qft_n63.
+  EXPECT_EQ(Spotlight[4].Circ.numQubits(), 64u); // adder_n64.
+  EXPECT_EQ(Spotlight[5].Circ.numQubits(), 71u); // qugan_n71.
+  EXPECT_EQ(Spotlight[6].Circ.numQubits(), 75u); // multiplier_n75.
+}
+
+TEST(QasmBenchTest, SuiteHas41ValidCircuits) {
+  auto Suite = standardQasmBenchSuite();
+  ASSERT_EQ(Suite.size(), 41u);
+  std::set<std::string> Names;
+  for (const NamedCircuit &NC : Suite) {
+    Names.insert(NC.Name);
+    EXPECT_GE(NC.Circ.numQubits(), 20u) << NC.Name;
+    EXPECT_LE(NC.Circ.numQubits(), 81u) << NC.Name;
+    EXPECT_GT(NC.Circ.size(), 0u) << NC.Name;
+    NC.Circ.verifyInvariants();
+    for (const Gate &G : NC.Circ.gates())
+      EXPECT_LE(G.numQubits(), 2u) << NC.Name;
+  }
+  EXPECT_EQ(Names.size(), 41u); // All names unique.
+}
+
+TEST(QasmBenchTest, GhzDepthAndShape) {
+  Circuit C = makeGhz(12);
+  EXPECT_EQ(C.size(), 12u);
+  EXPECT_EQ(C.depth(), 12u);
+  EXPECT_EQ(C.numTwoQubitGates(), 11u);
+}
+
+TEST(QasmBenchTest, QuganScalesWithLayers) {
+  size_t OneLayer = makeQugan(10, 1).size();
+  size_t FourLayers = makeQugan(10, 4).size();
+  EXPECT_EQ(FourLayers, 4 * OneLayer);
+}
+
+TEST(QasmBenchTest, MultiplierToffoliCount) {
+  // Width w: sum over i of (w - i) partial products, each one Toffoli
+  // plus a carry Toffoli when not the top bit.
+  Circuit C = makeMultiplier(9); // Width 3.
+  // Partial products: 3 + 2 + 1 = 6; carries: (k+1<3) for (i,j) pairs:
+  // pairs with k<2: (0,0),(0,1),(1,0) -> 3 carries. 9 Toffolis = 54 CX.
+  EXPECT_EQ(C.numTwoQubitGates(), 54u);
+}
+
+TEST(QasmBenchTest, IsingUsesRzzChains) {
+  Circuit C = makeIsing(6, 2);
+  size_t NumRzz = 0;
+  for (const Gate &G : C.gates())
+    NumRzz += G.Kind == GateKind::RZZ;
+  EXPECT_EQ(NumRzz, 2u * 5u);
+}
+
+TEST(QasmBenchTest, DeterministicGenerators) {
+  Circuit A = makeBv(20);
+  Circuit B = makeBv(20);
+  ASSERT_EQ(A.size(), B.size());
+  for (size_t I = 0; I < A.size(); ++I)
+    EXPECT_EQ(A.gate(I).Qubits, B.gate(I).Qubits);
+  Circuit QA = makeQaoa(16, 2);
+  Circuit QB = makeQaoa(16, 2);
+  EXPECT_EQ(QA.size(), QB.size());
+}
