@@ -31,12 +31,17 @@ BenchConfig qlosure::bench::parseArgs(int Argc, char **Argv) {
       Config.Verify = false;
     } else if (std::strcmp(Argv[I], "--seed") == 0 && I + 1 < Argc) {
       Config.Seed = std::strtoull(Argv[++I], nullptr, 10);
+    } else if (std::strcmp(Argv[I], "--threads") == 0 && I + 1 < Argc) {
+      Config.Threads =
+          static_cast<unsigned>(std::strtoul(Argv[++I], nullptr, 10));
     } else if (std::strncmp(Argv[I], "--benchmark", 11) == 0) {
       // Tolerate google-benchmark style flags so "for b in bench/*" loops
       // can pass uniform arguments.
     } else {
       std::fprintf(stderr,
-                   "usage: %s [--full] [--seed N] [--no-verify]\n", Argv[0]);
+                   "usage: %s [--full] [--seed N] [--no-verify] "
+                   "[--threads N]\n",
+                   Argv[0]);
       std::exit(2);
     }
   }
@@ -127,6 +132,7 @@ qlosure::bench::runQuekoGrid(const QuekoGridSpec &Spec,
     Sweep.CircuitsPerDepth = Spec.CircuitsPerDepth;
     Sweep.SeedBase = Config.Seed;
     Sweep.Eval.Verify = Config.Verify;
+    Sweep.Threads = Config.Threads;
     auto Batch = runQuekoSweep(Gen, Backend, MapperPtrs, Sweep);
     Records.insert(Records.end(), Batch.begin(), Batch.end());
   }

@@ -34,6 +34,12 @@ struct BenchConfig {
   uint64_t Seed = 2026;
   /// --no-verify: skip routing verification (it is cheap; on by default).
   bool Verify = true;
+  /// --threads N: BatchRunner workers (0 = hardware concurrency).
+  /// Results are identical for every thread count, except where QMAP's
+  /// wall-clock budget trips under load (see BatchRunner.h). Benches
+  /// whose inner loop is inherently serial (the ablation and error-aware
+  /// studies) accept but ignore the flag.
+  unsigned Threads = 0;
 };
 
 /// Parses argv (exits with a usage message on unknown flags).

@@ -7,6 +7,7 @@
 #include "bench/BenchQasmBenchTable.h"
 
 #include "bench/BenchCommon.h"
+#include "eval/BatchRunner.h"
 #include "support/Statistics.h"
 #include "support/StringUtils.h"
 #include "support/Table.h"
@@ -43,16 +44,32 @@ int qlosure::bench::runQasmBenchTable(int Argc, char **Argv,
   };
   std::map<std::string, std::map<std::string, CellValue>> Results;
   auto Mappers = makePaperMappers(120.0);
-  for (const NamedCircuit &NC : Suite) {
+  // One shared context per circuit, five mapper jobs each, fanned across
+  // the batch engine.
+  std::vector<RoutingContext> Contexts;
+  Contexts.reserve(Suite.size());
+  for (const NamedCircuit &NC : Suite)
+    Contexts.push_back(RoutingContext::build(NC.Circ, Hw));
+  std::vector<BatchJob> Jobs;
+  for (size_t CI = 0; CI < Suite.size(); ++CI) {
     for (auto &Mapper : Mappers) {
-      EvalConfig Eval;
-      Eval.Verify = Config.Verify;
-      RunRecord R = runOnce(*Mapper, NC.Circ, Hw, NC.Circ.depth(), Eval);
+      BatchJob Job;
+      Job.Mapper = Mapper.get();
+      Job.Ctx = &Contexts[CI];
+      Job.BaselineDepth = Suite[CI].Circ.depth();
+      Job.Eval.Verify = Config.Verify;
+      Jobs.push_back(Job);
+    }
+  }
+  std::vector<RunRecord> Records = runBatch(Jobs, Config.Threads);
+  for (size_t CI = 0; CI < Suite.size(); ++CI) {
+    for (size_t MI = 0; MI < Mappers.size(); ++MI) {
+      const RunRecord &R = Records[CI * Mappers.size() + MI];
       CellValue V;
       V.Swaps = R.Swaps;
       V.Depth = R.RoutedDepth;
-      V.Valid = !R.TimedOut;
-      Results[NC.Name][R.Mapper] = V;
+      V.Valid = !R.TimedOut && !R.Failed;
+      Results[Suite[CI].Name][R.Mapper] = V;
     }
   }
 

@@ -1,0 +1,140 @@
+//===- bench/bench_batch_throughput.cpp - BatchRunner scaling -------------------===//
+//
+// Part of the Qlosure project. Distributed under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Measures the BatchRunner's wall-clock scaling on a QUEKO sweep: the
+/// same (mapper x circuit) job list is executed with 1, 2, 4, ... worker
+/// threads, results are checked for byte-identical aggregation, and the
+/// speedup over the serial run is reported. On a >= 4-core machine the
+/// 4-thread row should show >= 2x; a core-limited container will show the
+/// thread counts without the speedup.
+///
+//===----------------------------------------------------------------------===//
+
+#include "bench/BenchCommon.h"
+#include "eval/BatchRunner.h"
+#include "support/StringUtils.h"
+#include "support/Table.h"
+#include "support/Timer.h"
+#include "topology/Backends.h"
+#include "workloads/Queko.h"
+
+#include <cstdio>
+#include <thread>
+#include <vector>
+
+using namespace qlosure;
+using namespace qlosure::bench;
+
+namespace {
+
+/// Field-by-field record comparison (RunRecord has no operator==).
+bool recordsEqual(const RunRecord &A, const RunRecord &B) {
+  return A.Mapper == B.Mapper && A.Backend == B.Backend &&
+         A.Workload == B.Workload && A.CircuitQubits == B.CircuitQubits &&
+         A.QuantumOps == B.QuantumOps && A.TwoQubitGates == B.TwoQubitGates &&
+         A.BaselineDepth == B.BaselineDepth && A.RoutedDepth == B.RoutedDepth &&
+         A.Swaps == B.Swaps && A.TimedOut == B.TimedOut &&
+         A.Failed == B.Failed && A.Error == B.Error;
+}
+
+} // namespace
+
+int main(int Argc, char **Argv) {
+  BenchConfig Config = parseArgs(Argc, Argv);
+  printBanner("BatchRunner throughput (batch engine scaling)", Config);
+
+  CouplingGraph Gen = makeAspen16();
+  CouplingGraph Backend = makeBackendByName("sherbrooke");
+
+  // A routing-dominated job list: QUEKO circuits routed by the greedy
+  // mappers (QMAP's A* budget would swamp the comparison).
+  std::vector<unsigned> Depths =
+      Config.Full ? std::vector<unsigned>{100, 200, 300, 400}
+                  : std::vector<unsigned>{60, 120, 180};
+  unsigned PerDepth = Config.Full ? 4 : 3;
+
+  std::vector<QuekoInstance> Instances;
+  for (unsigned Depth : Depths) {
+    for (unsigned I = 0; I < PerDepth; ++I) {
+      QuekoSpec Spec;
+      Spec.Depth = Depth;
+      Spec.Seed = Config.Seed + Depth * 97 + I;
+      QuekoInstance Inst = generateQueko(Gen, Spec);
+      Inst.Circ.setName(formatString("queko-d%u-i%u", Depth, I));
+      Instances.push_back(std::move(Inst));
+    }
+  }
+
+  auto Mappers = makePaperMappers(/*QmapBudgetSeconds=*/60.0);
+  std::vector<Router *> Greedy;
+  for (auto &M : Mappers)
+    if (M->name() != "QMAP")
+      Greedy.push_back(M.get());
+
+  std::vector<RoutingContext> Contexts;
+  Contexts.reserve(Instances.size());
+  for (const QuekoInstance &Inst : Instances)
+    Contexts.push_back(RoutingContext::build(Inst.Circ, Backend));
+
+  std::vector<BatchJob> Jobs;
+  for (size_t I = 0; I < Instances.size(); ++I) {
+    for (Router *Mapper : Greedy) {
+      BatchJob Job;
+      Job.Mapper = Mapper;
+      Job.Ctx = &Contexts[I];
+      Job.BaselineDepth = Instances[I].OptimalDepth;
+      Job.Eval.Verify = Config.Verify;
+      Jobs.push_back(Job);
+    }
+  }
+  std::printf("\n%zu jobs (%zu circuits x %zu mappers) on %s; "
+              "hardware reports %u cores\n",
+              Jobs.size(), Instances.size(), Greedy.size(),
+              Backend.name().c_str(), std::thread::hardware_concurrency());
+
+  // Warm the lazily memoized context state (dependence weights) so every
+  // timed run measures routing throughput, not first-touch effects.
+  for (const RoutingContext &Ctx : Contexts)
+    Ctx.dependenceWeights();
+
+  std::vector<unsigned> ThreadCounts{1, 2, 4};
+  unsigned HwThreads = std::max(1u, std::thread::hardware_concurrency());
+  if (HwThreads > 4)
+    ThreadCounts.push_back(HwThreads);
+
+  Table T({"Threads", "Seconds", "Speedup vs serial", "Identical records"});
+  double SerialSeconds = 0;
+  std::vector<RunRecord> SerialRecords;
+  for (unsigned Threads : ThreadCounts) {
+    Timer Clock;
+    std::vector<RunRecord> Records = runBatch(Jobs, Threads);
+    double Seconds = Clock.elapsedSeconds();
+
+    bool Identical = true;
+    if (Threads == 1) {
+      SerialSeconds = Seconds;
+      SerialRecords = std::move(Records);
+    } else {
+      Identical = Records.size() == SerialRecords.size();
+      for (size_t I = 0; Identical && I < Records.size(); ++I)
+        Identical = recordsEqual(Records[I], SerialRecords[I]);
+    }
+    T.addRow({formatString("%u", Threads), formatString("%.3f", Seconds),
+              Threads == 1 ? std::string("1.00x")
+                           : formatString("%.2fx", SerialSeconds / Seconds),
+              Identical ? "yes" : "NO (BUG)"});
+    if (!Identical) {
+      std::fprintf(stderr, "error: %u-thread records diverge from serial\n",
+                   Threads);
+      return 1;
+    }
+  }
+  std::fputs(T.render().c_str(), stdout);
+  std::printf("\nShape check: speedup should track min(threads, cores, "
+              "jobs); every row must say 'yes'.\n");
+  return 0;
+}

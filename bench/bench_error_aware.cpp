@@ -58,11 +58,14 @@ int main(int Argc, char **Argv) {
                 BackendName);
     Table T({"Circuit", "Mode", "SWAPs", "Depth", "Success prob"});
     for (auto &[Name, Circ] : Workloads) {
+      // Both modes share one context (the calibrated graph already
+      // carries hop and fidelity-weighted distance matrices).
+      RoutingContext Ctx = RoutingContext::build(Circ, Hw);
       for (bool ErrorAware : {false, true}) {
         QlosureOptions Opts;
         Opts.ErrorAware = ErrorAware;
         QlosureRouter Router(Opts);
-        RoutingResult R = Router.routeWithIdentity(Circ, Hw);
+        RoutingResult R = Router.routeWithIdentity(Ctx);
         if (Config.Verify) {
           VerifyResult V = verifyRouting(Circ, Hw, R);
           if (!V.Ok)

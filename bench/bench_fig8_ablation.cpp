@@ -98,15 +98,19 @@ int main(int Argc, char **Argv) {
     Spec.Seed = Config.Seed + Depth;
     QuekoInstance I = generateQueko(Gen, Spec);
 
+    // One shared context: all four variants reuse the same DAG, distance
+    // matrix and (for the weighted variants) memoized omega weights.
+    RoutingContext Ctx = RoutingContext::build(I.Circ, Hw);
+
     VariantResult Results[4];
     for (int V = 0; V < 4; ++V) {
       QlosureRouter Router(variantOptions(V));
       RoutingResult R;
       if (V == 3) {
-        QubitMapping Initial = deriveBidirectionalMapping(Router, I.Circ, Hw);
-        R = Router.route(I.Circ, Hw, Initial);
+        QubitMapping Initial = deriveBidirectionalMapping(Router, Ctx);
+        R = Router.route(Ctx, Initial);
       } else {
-        R = Router.routeWithIdentity(I.Circ, Hw);
+        R = Router.routeWithIdentity(Ctx);
       }
       if (Config.Verify) {
         VerifyResult Check = verifyRouting(I.Circ, Hw, R);

@@ -17,13 +17,14 @@
 
 using namespace qlosure;
 
-RoutingResult GreedyRouterBase::route(const Circuit &Logical,
-                                      const CouplingGraph &Hw,
+RoutingResult GreedyRouterBase::route(const RoutingContext &Ctx,
                                       const QubitMapping &Initial) {
-  checkPreconditions(Logical, Hw, Initial);
+  checkPreconditions(Ctx, Initial);
+  const Circuit &Logical = Ctx.circuit();
+  const CouplingGraph &Hw = Ctx.hardware();
   Timer Clock;
 
-  CircuitDag Dag(Logical);
+  const CircuitDag &Dag = Ctx.dag();
   FrontLayerTracker Tracker(Dag);
   QubitMapping Phi = Initial;
   Rng TieBreaker(seed());

@@ -29,7 +29,8 @@ class FrontLayerTracker;
 /// Base class for one-swap-at-a-time greedy routers.
 class GreedyRouterBase : public Router {
 public:
-  RoutingResult route(const Circuit &Logical, const CouplingGraph &Hw,
+  using Router::route;
+  RoutingResult route(const RoutingContext &Ctx,
                       const QubitMapping &Initial) final;
 
 protected:

@@ -47,10 +47,11 @@ uint64_t hashPositions(const std::vector<unsigned> &Positions) {
 
 } // namespace
 
-RoutingResult QmapAstarRouter::route(const Circuit &Logical,
-                                     const CouplingGraph &Hw,
+RoutingResult QmapAstarRouter::route(const RoutingContext &Ctx,
                                      const QubitMapping &Initial) {
-  checkPreconditions(Logical, Hw, Initial);
+  checkPreconditions(Ctx, Initial);
+  const Circuit &Logical = Ctx.circuit();
+  const CouplingGraph &Hw = Ctx.hardware();
   Timer Clock;
 
   RoutingResult Result;

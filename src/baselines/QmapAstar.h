@@ -45,7 +45,8 @@ public:
 
   std::string name() const override { return "QMAP"; }
 
-  RoutingResult route(const Circuit &Logical, const CouplingGraph &Hw,
+  using Router::route;
+  RoutingResult route(const RoutingContext &Ctx,
                       const QubitMapping &Initial) override;
 
 private:

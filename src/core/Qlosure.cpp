@@ -34,17 +34,16 @@ namespace {
 /// Routing state shared by the helper methods of the main loop.
 class RoutingLoop {
 public:
-  RoutingLoop(const QlosureOptions &Options, const Circuit &Logical,
-              const CouplingGraph &Hw, const QubitMapping &Initial)
-      : Options(Options), Logical(Logical), Hw(Hw), Dag(Logical),
-        Tracker(Dag), Phi(Initial), TieBreaker(Options.Seed),
-        Decay(Logical.numQubits(), 1.0) {
-    LookaheadC = Options.LookaheadConstant
-                     ? Options.LookaheadConstant
-                     : 2 * Hw.maxDegree() + 2;
+  RoutingLoop(const QlosureOptions &Options, const RoutingContext &Ctx,
+              const QubitMapping &Initial)
+      : Options(Options), Logical(Ctx.circuit()), Hw(Ctx.hardware()),
+        Dag(Ctx.dag()), Tracker(Dag), Phi(Initial),
+        TieBreaker(Options.Seed), Decay(Logical.numQubits(), 1.0) {
+    LookaheadC = Options.LookaheadConstant ? Options.LookaheadConstant
+                                           : Ctx.defaultLookahead();
     UseWeightedDistance = Options.ErrorAware && Hw.hasErrorModel();
-    WeightResult WR = computeDependenceWeights(Logical, Options.Weights);
-    Weights = std::move(WR.Weights);
+    if (Options.UseDependencyWeights)
+      Weights = &Ctx.dependenceWeights(); // Memoized in the context.
     Result.Routed = Circuit(Hw.numQubits(), Logical.name() + ".routed");
     Result.InitialMapping = Initial;
     Result.RouterName = "Qlosure";
@@ -269,7 +268,7 @@ private:
   /// penalizes the candidate swap's own edge (see scoreSwap).
   double gateTerm(uint32_t G, unsigned PA, unsigned PB) const {
     double Omega = Options.UseDependencyWeights
-                       ? static_cast<double>(Weights[G]) + 1.0
+                       ? static_cast<double>((*Weights)[G]) + 1.0
                        : 1.0;
     return Omega * static_cast<double>(Hw.distance(PA, PB));
   }
@@ -351,12 +350,12 @@ private:
   const QlosureOptions &Options;
   const Circuit &Logical;
   const CouplingGraph &Hw;
-  CircuitDag Dag;
+  const CircuitDag &Dag;
   FrontLayerTracker Tracker;
   QubitMapping Phi;
   Rng TieBreaker;
   std::vector<double> Decay;
-  std::vector<uint64_t> Weights;
+  const std::vector<uint64_t> *Weights = nullptr;
   unsigned LookaheadC = 0;
   unsigned SwapsSinceProgress = 0;
   bool UseWeightedDistance = false;
@@ -376,11 +375,19 @@ private:
 
 } // namespace
 
-RoutingResult QlosureRouter::route(const Circuit &Logical,
-                                   const CouplingGraph &Hw,
+RoutingContextOptions QlosureRouter::contextOptions() const {
+  RoutingContextOptions CtxOptions;
+  CtxOptions.Weights = Options.Weights;
+  // Error-aware mode reads only per-edge error rates for tie-breaking
+  // (see scoreSwap); it never consults the weighted distance matrix, so
+  // RequireWeightedDistances stays off.
+  return CtxOptions;
+}
+
+RoutingResult QlosureRouter::route(const RoutingContext &Ctx,
                                    const QubitMapping &Initial) {
-  checkPreconditions(Logical, Hw, Initial);
-  RoutingLoop Loop(Options, Logical, Hw, Initial);
+  checkPreconditions(Ctx, Initial);
+  RoutingLoop Loop(Options, Ctx, Initial);
   RoutingResult Result = Loop.run();
   Result.RouterName = name();
   return Result;

@@ -76,8 +76,13 @@ public:
 
   std::string name() const override;
 
-  RoutingResult route(const Circuit &Logical, const CouplingGraph &Hw,
+  using Router::route;
+  RoutingResult route(const RoutingContext &Ctx,
                       const QubitMapping &Initial) override;
+
+  /// Forwards the omega engine choice so the 3-arg adapter builds
+  /// contexts matching this router's configuration.
+  RoutingContextOptions contextOptions() const override;
 
   const QlosureOptions &options() const { return Options; }
 

@@ -1,0 +1,62 @@
+//===- eval/BatchRunner.cpp - Parallel batch routing engine ----------------------===//
+//
+// Part of the Qlosure project. Distributed under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "eval/BatchRunner.h"
+
+#include <algorithm>
+#include <atomic>
+#include <thread>
+
+using namespace qlosure;
+
+unsigned BatchRunner::effectiveThreads(size_t NumJobs) const {
+  unsigned Threads = Options.Threads;
+  if (Threads == 0)
+    Threads = std::max(1u, std::thread::hardware_concurrency());
+  return static_cast<unsigned>(
+      std::min<size_t>(Threads, std::max<size_t>(NumJobs, 1)));
+}
+
+std::vector<RunRecord> BatchRunner::run(
+    const std::vector<BatchJob> &Jobs) const {
+  std::vector<RunRecord> Records(Jobs.size());
+  if (Jobs.empty())
+    return Records;
+
+  // Work stealing over an atomic cursor; each worker writes only its own
+  // slots, so insertion-ordered aggregation needs no synchronization
+  // beyond the join.
+  std::atomic<size_t> Next{0};
+  auto Worker = [&] {
+    for (size_t I = Next.fetch_add(1, std::memory_order_relaxed);
+         I < Jobs.size();
+         I = Next.fetch_add(1, std::memory_order_relaxed)) {
+      const BatchJob &Job = Jobs[I];
+      Records[I] = runOnce(*Job.Mapper, *Job.Ctx, Job.BaselineDepth,
+                           Job.Eval);
+    }
+  };
+
+  unsigned Threads = effectiveThreads(Jobs.size());
+  if (Threads <= 1) {
+    Worker();
+    return Records;
+  }
+  std::vector<std::thread> Pool;
+  Pool.reserve(Threads);
+  for (unsigned T = 0; T < Threads; ++T)
+    Pool.emplace_back(Worker);
+  for (std::thread &T : Pool)
+    T.join();
+  return Records;
+}
+
+std::vector<RunRecord> qlosure::runBatch(const std::vector<BatchJob> &Jobs,
+                                         unsigned Threads) {
+  BatchOptions Options;
+  Options.Threads = Threads;
+  return BatchRunner(Options).run(Jobs);
+}

@@ -6,33 +6,50 @@
 
 #include "eval/Harness.h"
 
+#include "eval/BatchRunner.h"
 #include "route/Verify.h"
 #include "support/Error.h"
 #include "support/Statistics.h"
 #include "support/StringUtils.h"
 
+#include <memory>
+
 using namespace qlosure;
 
-RunRecord qlosure::runOnce(Router &Mapper, const Circuit &Circ,
-                           const CouplingGraph &Backend,
+RunRecord qlosure::runOnce(Router &Mapper, const RoutingContext &Ctx,
                            size_t BaselineDepth, const EvalConfig &Config) {
-  RoutingResult Result = Mapper.routeWithIdentity(Circ, Backend);
+  RunRecord Record;
+  Record.Mapper = Mapper.name();
+  Record.BaselineDepth = BaselineDepth;
+  // Circuit/backend identity is set even on invalid contexts (build()
+  // binds both before validating), so Failed records name their input.
+  Record.Backend = Ctx.hardware().name();
+  Record.Workload = Ctx.circuit().name();
+  Record.CircuitQubits = Ctx.circuit().numQubits();
+  Record.QuantumOps = Ctx.circuit().numQuantumOps();
+  Record.TwoQubitGates = Ctx.circuit().numTwoQubitGates();
+
+  // Recoverable rejection: a bad (circuit, backend) input marks this
+  // record Failed and leaves the rest of a batch untouched. The identity
+  // mapping derived from a valid context cannot itself be inconsistent,
+  // so the context status is the only live check here.
+  if (!Ctx.valid()) {
+    Record.Failed = true;
+    Record.Error = Ctx.status().message();
+    return Record;
+  }
+
+  RoutingResult Result = Mapper.routeWithIdentity(Ctx);
   if (Config.Verify) {
-    VerifyResult V = verifyRouting(Circ, Backend, Result);
+    // Verification failure is a router bug, not a bad input: abort so no
+    // table is ever built from an invalid routing.
+    VerifyResult V = verifyRouting(Ctx.circuit(), Ctx.hardware(), Result);
     if (!V.Ok)
       reportFatalError(formatString(
           "routing verification failed (%s on %s, circuit %s): %s",
-          Mapper.name().c_str(), Backend.name().c_str(),
-          Circ.name().c_str(), V.Message.c_str()));
+          Mapper.name().c_str(), Ctx.hardware().name().c_str(),
+          Ctx.circuit().name().c_str(), V.Message.c_str()));
   }
-  RunRecord Record;
-  Record.Mapper = Mapper.name();
-  Record.Backend = Backend.name();
-  Record.Workload = Circ.name();
-  Record.CircuitQubits = Circ.numQubits();
-  Record.QuantumOps = Circ.numQuantumOps();
-  Record.TwoQubitGates = Circ.numTwoQubitGates();
-  Record.BaselineDepth = BaselineDepth;
   Record.RoutedDepth = Result.Routed.depth(Config.DepthModel);
   Record.Swaps = Result.NumSwaps;
   Record.Seconds = Result.MappingSeconds;
@@ -41,12 +58,28 @@ RunRecord qlosure::runOnce(Router &Mapper, const Circuit &Circ,
   return Record;
 }
 
+RunRecord qlosure::runOnce(Router &Mapper, const Circuit &Circ,
+                           const CouplingGraph &Backend,
+                           size_t BaselineDepth, const EvalConfig &Config) {
+  RoutingContext Ctx =
+      RoutingContext::build(Circ, Backend, Mapper.contextOptions());
+  return runOnce(Mapper, Ctx, BaselineDepth, Config);
+}
+
 std::vector<RunRecord>
 qlosure::runQuekoSweep(const CouplingGraph &GenDevice,
                        const CouplingGraph &Backend,
                        const std::vector<Router *> &Mappers,
                        const QuekoSweepConfig &Config) {
-  std::vector<RunRecord> Records;
+  // Ensure the shared backend carries its distance matrix exactly once;
+  // every context below references this one prepared copy.
+  CouplingGraph Hw = Backend;
+  Hw.computeDistances();
+
+  // Generate all instances up front (seeds derive from the (depth,
+  // instance) run coordinates, never from shared RNG state), then build
+  // one shared context per instance.
+  std::vector<QuekoInstance> Instances;
   for (unsigned Depth : Config.Depths) {
     for (unsigned Instance = 0; Instance < Config.CircuitsPerDepth;
          ++Instance) {
@@ -59,13 +92,30 @@ qlosure::runQuekoSweep(const CouplingGraph &GenDevice,
       Queko.Circ.setName(formatString("queko-%uq-d%u-i%u",
                                       GenDevice.numQubits(), Depth,
                                       Instance));
-      for (Router *Mapper : Mappers) {
-        Records.push_back(runOnce(*Mapper, Queko.Circ, Backend,
-                                  Queko.OptimalDepth, Config.Eval));
-      }
+      Instances.push_back(std::move(Queko));
     }
   }
-  return Records;
+
+  std::vector<RoutingContext> Contexts;
+  Contexts.reserve(Instances.size());
+  for (const QuekoInstance &Queko : Instances)
+    Contexts.push_back(RoutingContext::build(Queko.Circ, Hw));
+
+  // Fan (instance x mapper) across the batch engine, keeping the serial
+  // sweep's record order: instance-major, mapper-minor.
+  std::vector<BatchJob> Jobs;
+  Jobs.reserve(Instances.size() * Mappers.size());
+  for (size_t I = 0; I < Instances.size(); ++I) {
+    for (Router *Mapper : Mappers) {
+      BatchJob Job;
+      Job.Mapper = Mapper;
+      Job.Ctx = &Contexts[I];
+      Job.BaselineDepth = Instances[I].OptimalDepth;
+      Job.Eval = Config.Eval;
+      Jobs.push_back(Job);
+    }
+  }
+  return runBatch(Jobs, Config.Threads);
 }
 
 namespace {
@@ -81,6 +131,8 @@ aggregate(const std::vector<RunRecord> &Records, size_t SplitDepth,
   };
   std::map<std::string, Buckets> ByMapper;
   for (const RunRecord &R : Records) {
+    if (R.Failed)
+      continue; // Rejected inputs never contribute to summaries.
     Buckets &B = ByMapper[R.Mapper];
     bool Large = R.BaselineDepth >= SplitDepth;
     if (R.TimedOut) {
@@ -117,7 +169,7 @@ qlosure::swapRatioSummary(const std::vector<RunRecord> &Records,
   // Index the reference mapper's swap counts per workload instance.
   std::map<std::string, double> ReferenceSwaps;
   for (const RunRecord &R : Records)
-    if (R.Mapper == ReferenceMapper && !R.TimedOut)
+    if (R.Mapper == ReferenceMapper && !R.TimedOut && !R.Failed)
       ReferenceSwaps[R.Workload + "@" + R.Backend] =
           static_cast<double>(R.Swaps);
 

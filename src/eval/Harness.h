@@ -17,6 +17,7 @@
 #define QLOSURE_EVAL_HARNESS_H
 
 #include "route/Router.h"
+#include "route/RoutingContext.h"
 #include "workloads/Queko.h"
 
 #include <map>
@@ -41,6 +42,10 @@ struct RunRecord {
   double Seconds = 0;
   bool TimedOut = false;
   bool Verified = false;
+  /// A rejected input (invalid context / inconsistent mapping): the run
+  /// was skipped, Error explains why, and every aggregate ignores it.
+  bool Failed = false;
+  std::string Error;
 
   double depthFactor() const {
     return BaselineDepth
@@ -58,9 +63,15 @@ struct EvalConfig {
   SwapCostModel DepthModel = SwapCostModel::SwapAsOneGate;
 };
 
-/// Routes \p Circ with \p Mapper on \p Backend from the identity placement
-/// and returns the filled record. \p BaselineDepth seeds the depth-factor
+/// Routes \p Ctx's circuit with \p Mapper from the identity placement and
+/// returns the filled record. \p BaselineDepth seeds the depth-factor
 /// denominator (pass the QUEKO optimal depth or the circuit's own depth).
+/// An invalid context yields a Failed record instead of aborting.
+RunRecord runOnce(Router &Mapper, const RoutingContext &Ctx,
+                  size_t BaselineDepth, const EvalConfig &Config = {});
+
+/// One-shot convenience: builds a context for (\p Circ, \p Backend) with
+/// the mapper's contextOptions() and delegates to the context overload.
 RunRecord runOnce(Router &Mapper, const Circuit &Circ,
                   const CouplingGraph &Backend, size_t BaselineDepth,
                   const EvalConfig &Config = {});
@@ -73,10 +84,18 @@ struct QuekoSweepConfig {
   double OneQubitDensity = 0.26;
   uint64_t SeedBase = 1000;
   EvalConfig Eval;
+  /// BatchRunner worker threads (0 = hardware concurrency). Results are
+  /// identical for every thread count (see the BatchRunner.h caveat on
+  /// wall-clock budgeted mappers).
+  unsigned Threads = 0;
 };
 
 /// Generates QUEKO circuits on \p GenDevice per \p Config, routes each
 /// with every mapper in \p Mappers on \p Backend, and returns all records.
+/// Each instance's context is shared by every mapper and therefore built
+/// with default RoutingContextOptions; mappers configured with a
+/// non-default omega engine should route through their own contexts (see
+/// BatchJob) rather than this convenience sweep.
 std::vector<RunRecord> runQuekoSweep(const CouplingGraph &GenDevice,
                                      const CouplingGraph &Backend,
                                      const std::vector<Router *> &Mappers,

@@ -19,12 +19,20 @@ QubitMapping qlosure::deriveBidirectionalMapping(Router &R,
                                                  const Circuit &Circ,
                                                  const CouplingGraph &Hw,
                                                  unsigned NumPasses) {
-  QubitMapping Mapping =
-      QubitMapping::identity(Circ.numQubits(), Hw.numQubits());
-  Circuit Reversed = reverseCircuit(Circ);
+  RoutingContext Ctx = RoutingContext::build(Circ, Hw, R.contextOptions());
+  return deriveBidirectionalMapping(R, Ctx, NumPasses);
+}
+
+QubitMapping qlosure::deriveBidirectionalMapping(Router &R,
+                                                 const RoutingContext &Ctx,
+                                                 unsigned NumPasses) {
+  QubitMapping Mapping = Ctx.identityMapping();
+  Circuit Reversed = reverseCircuit(Ctx.circuit());
+  RoutingContext ReversedCtx = RoutingContext::build(
+      Reversed, Ctx.hardware(), R.contextOptions());
   for (unsigned Pass = 0; Pass < NumPasses; ++Pass) {
-    RoutingResult Forward = R.route(Circ, Hw, Mapping);
-    RoutingResult Backward = R.route(Reversed, Hw, Forward.FinalMapping);
+    RoutingResult Forward = R.route(Ctx, Mapping);
+    RoutingResult Backward = R.route(ReversedCtx, Forward.FinalMapping);
     Mapping = Backward.FinalMapping;
   }
   return Mapping;

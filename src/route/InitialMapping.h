@@ -31,6 +31,12 @@ QubitMapping deriveBidirectionalMapping(Router &R, const Circuit &Circ,
                                         const CouplingGraph &Hw,
                                         unsigned NumPasses = 1);
 
+/// Context-reusing variant: forward passes route through \p Ctx; the
+/// reversed circuit gets one context of its own, shared across passes, so
+/// no precomputation repeats per pass.
+QubitMapping deriveBidirectionalMapping(Router &R, const RoutingContext &Ctx,
+                                        unsigned NumPasses = 1);
+
 } // namespace qlosure
 
 #endif // QLOSURE_ROUTE_INITIALMAPPING_H

@@ -60,16 +60,22 @@ void QubitMapping::swapPhysical(int32_t P1, int32_t P2) {
     LogToPhys[L2] = P1;
 }
 
-void QubitMapping::verifyConsistency() const {
+bool QubitMapping::isConsistent() const {
   for (size_t L = 0; L < LogToPhys.size(); ++L) {
     int32_t P = LogToPhys[L];
     if (P < 0 || static_cast<size_t>(P) >= PhysToLog.size() ||
         PhysToLog[P] != static_cast<int32_t>(L))
-      reportFatalError("qubit mapping inconsistency detected");
+      return false;
   }
   for (size_t P = 0; P < PhysToLog.size(); ++P) {
     int32_t L = PhysToLog[P];
     if (L >= 0 && LogToPhys[static_cast<size_t>(L)] != static_cast<int32_t>(P))
-      reportFatalError("qubit mapping inverse inconsistency detected");
+      return false;
   }
+  return true;
+}
+
+void QubitMapping::verifyConsistency() const {
+  if (!isConsistent())
+    reportFatalError("qubit mapping inconsistency detected");
 }

@@ -53,7 +53,11 @@ public:
     return LogToPhys == Other.LogToPhys && PhysToLog == Other.PhysToLog;
   }
 
-  /// Checks injectivity and inverse consistency (asserts on violation).
+  /// True when the forward and inverse tables agree and the mapping is
+  /// injective (the recoverable form of verifyConsistency()).
+  bool isConsistent() const;
+
+  /// Checks injectivity and inverse consistency (aborts on violation).
   void verifyConsistency() const;
 
 private:

@@ -7,36 +7,49 @@
 #include "route/Router.h"
 
 #include "support/Error.h"
-
-#include <cassert>
+#include "support/StringUtils.h"
 
 using namespace qlosure;
 
 Router::~Router() = default;
 
-RoutingResult Router::routeWithIdentity(const Circuit &Logical,
-                                        const CouplingGraph &Hw) {
-  QubitMapping Initial =
-      QubitMapping::identity(Logical.numQubits(), Hw.numQubits());
-  return route(Logical, Hw, Initial);
+RoutingResult Router::route(const Circuit &Logical, const CouplingGraph &Hw,
+                            const QubitMapping &Initial) {
+  RoutingContext Ctx = RoutingContext::build(Logical, Hw, contextOptions());
+  return route(Ctx, Initial);
 }
 
-void Router::checkPreconditions(const Circuit &Logical,
-                                const CouplingGraph &Hw,
+RoutingResult Router::routeWithIdentity(const Circuit &Logical,
+                                        const CouplingGraph &Hw) {
+  RoutingContext Ctx = RoutingContext::build(Logical, Hw, contextOptions());
+  return routeWithIdentity(Ctx);
+}
+
+RoutingResult Router::routeWithIdentity(const RoutingContext &Ctx) {
+  return route(Ctx, Ctx.identityMapping());
+}
+
+Status Router::validate(const RoutingContext &Ctx,
+                        const QubitMapping &Initial) {
+  if (!Ctx.valid())
+    return Ctx.status();
+  if (Initial.numLogical() != Ctx.circuit().numQubits() ||
+      Initial.numPhysical() != Ctx.hardware().numQubits())
+    return Status::error(formatString(
+        "initial mapping arity mismatch: mapping is %u -> %u but circuit "
+        "%s has %u qubits on device %s with %u",
+        Initial.numLogical(), Initial.numPhysical(),
+        Ctx.circuit().name().c_str(), Ctx.circuit().numQubits(),
+        Ctx.hardware().name().c_str(), Ctx.hardware().numQubits()));
+  if (!Initial.isConsistent())
+    return Status::error("initial mapping is not a consistent injective "
+                         "placement");
+  return Status::success();
+}
+
+void Router::checkPreconditions(const RoutingContext &Ctx,
                                 const QubitMapping &Initial) {
-  if (Logical.numQubits() > Hw.numQubits())
-    reportFatalError("circuit has more qubits than the device");
-  if (!Hw.hasDistances())
-    reportFatalError("coupling graph is missing the APSP matrix; call "
-                     "computeDistances()");
-  if (Initial.numLogical() != Logical.numQubits() ||
-      Initial.numPhysical() != Hw.numQubits())
-    reportFatalError("initial mapping arity mismatch");
-  Initial.verifyConsistency();
-  for (const Gate &G : Logical.gates()) {
-    if (G.Kind == GateKind::Barrier || G.Kind == GateKind::Measure)
-      reportFatalError("strip barriers/measures before routing");
-    if (G.numQubits() > 2)
-      reportFatalError("decompose 3-qubit gates before routing");
-  }
+  Status S = validate(Ctx, Initial);
+  if (!S.ok())
+    reportFatalError(S);
 }

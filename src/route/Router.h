@@ -15,6 +15,8 @@
 
 #include "circuit/Circuit.h"
 #include "route/QubitMapping.h"
+#include "route/RoutingContext.h"
+#include "support/Error.h"
 #include "topology/CouplingGraph.h"
 
 #include <cstdint>
@@ -52,6 +54,11 @@ struct RoutingResult {
 /// Abstract qubit mapper. Implementations must accept any connected
 /// coupling graph and any circuit whose gates are unitary with arity <= 2
 /// and numQubits() <= Hw.numQubits().
+///
+/// Implementations are *stateless* with respect to routing: route() never
+/// mutates the router (options are fixed at construction, per-run RNG
+/// state is local to the call), so one instance may route many contexts
+/// from many threads concurrently.
 class Router {
 public:
   virtual ~Router();
@@ -59,19 +66,40 @@ public:
   /// Human-readable mapper name (used in result tables).
   virtual std::string name() const = 0;
 
-  /// Routes \p Logical onto \p Hw starting from \p Initial.
-  virtual RoutingResult route(const Circuit &Logical, const CouplingGraph &Hw,
+  /// The primary entry point: routes \p Ctx's circuit onto \p Ctx's
+  /// device starting from \p Initial, reusing every precomputed structure
+  /// the context carries. \p Ctx must be valid().
+  virtual RoutingResult route(const RoutingContext &Ctx,
                               const QubitMapping &Initial) = 0;
 
-  /// Convenience overload starting from the identity placement (the
+  /// Thin adapter for one-shot callers: builds a context internally
+  /// (using contextOptions()) and routes through it. Prefer building one
+  /// RoutingContext and reusing it when routing the same (circuit,
+  /// backend) pair more than once.
+  RoutingResult route(const Circuit &Logical, const CouplingGraph &Hw,
+                      const QubitMapping &Initial);
+
+  /// Convenience overloads starting from the identity placement (the
   /// paper's default for all mapper comparisons).
   RoutingResult routeWithIdentity(const Circuit &Logical,
                                   const CouplingGraph &Hw);
+  RoutingResult routeWithIdentity(const RoutingContext &Ctx);
+
+  /// Recoverable precondition check: combines the context's build status
+  /// with the initial-mapping arity/consistency checks. Batch drivers call
+  /// this before route() to report bad inputs instead of aborting.
+  static Status validate(const RoutingContext &Ctx,
+                         const QubitMapping &Initial);
+
+  /// Context construction options this router wants when the 3-arg
+  /// adapter builds a context on its behalf (e.g. Qlosure forwards its
+  /// omega engine choice and error-aware flag).
+  virtual RoutingContextOptions contextOptions() const { return {}; }
 
 protected:
-  /// Validates the routing preconditions (asserts on violation).
-  static void checkPreconditions(const Circuit &Logical,
-                                 const CouplingGraph &Hw,
+  /// Fatal wrapper over validate() for direct route() calls, where a
+  /// violated precondition is a caller bug.
+  static void checkPreconditions(const RoutingContext &Ctx,
                                  const QubitMapping &Initial);
 };
 

@@ -1,0 +1,126 @@
+//===- route/RoutingContext.h - Shared per-run precomputation ----*- C++ -*-===//
+//
+// Part of the Qlosure project. Distributed under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The immutable, shareable precomputation bundle behind every routing run:
+/// one RoutingContext owns (or references) everything derivable from a
+/// (circuit, backend) pair alone — the coupling graph with its all-pairs
+/// distance matrices, the gate dependence DAG, the transitive-dependence
+/// weights omega, and the device constants (max degree, default look-ahead).
+/// Build it once, then route with any number of mappers, from any number of
+/// threads, without re-deriving any of it: this is the memoization layer
+/// that keeps batch sweeps and repeated routings of the same circuit from
+/// paying the O(V^2) precomputation cost per call.
+///
+/// Thread safety: after build() returns, every accessor is safe to call
+/// concurrently. The one lazily computed member (dependenceWeights) is
+/// guarded by std::call_once, so mappers that never read omega never pay
+/// for it and concurrent first readers race safely.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef QLOSURE_ROUTE_ROUTINGCONTEXT_H
+#define QLOSURE_ROUTE_ROUTINGCONTEXT_H
+
+#include "circuit/Circuit.h"
+#include "circuit/Dag.h"
+#include "deps/TransitiveWeights.h"
+#include "route/QubitMapping.h"
+#include "support/Error.h"
+#include "topology/CouplingGraph.h"
+
+#include <memory>
+#include <mutex>
+#include <vector>
+
+namespace qlosure {
+
+/// Knobs for context construction.
+struct RoutingContextOptions {
+  /// omega engine used when a mapper asks for dependenceWeights().
+  WeightOptions Weights;
+
+  /// Eagerly materialize the fidelity-weighted distance matrix (required
+  /// by error-aware mappers when the graph carries an error model).
+  bool RequireWeightedDistances = false;
+};
+
+/// Immutable per-(circuit, backend) routing state. Movable, not copyable;
+/// share by const reference.
+class RoutingContext {
+public:
+  /// Builds a context for routing \p Logical onto \p Hw. Both referents
+  /// must outlive the context. When \p Hw is missing a distance matrix the
+  /// context computes one on a private copy of the graph (the caller's
+  /// graph is never mutated); graphs from topology/Backends arrive with
+  /// distances precomputed and are referenced directly.
+  ///
+  /// Malformed inputs (more circuit qubits than device qubits,
+  /// disconnected device, gates of arity > 2, barriers/measures) do not
+  /// abort: the returned context carries an error status() and must not be
+  /// routed with.
+  static RoutingContext build(const Circuit &Logical, const CouplingGraph &Hw,
+                              RoutingContextOptions Options = {});
+
+  RoutingContext(RoutingContext &&) = default;
+  RoutingContext &operator=(RoutingContext &&) = default;
+  RoutingContext(const RoutingContext &) = delete;
+  RoutingContext &operator=(const RoutingContext &) = delete;
+
+  /// Success, or why this (circuit, backend) pair cannot be routed.
+  const Status &status() const { return BuildStatus; }
+  bool valid() const { return BuildStatus.ok(); }
+
+  const Circuit &circuit() const { return *Logical; }
+  const CouplingGraph &hardware() const { return *Hw; }
+  const CircuitDag &dag() const { return *Dag; }
+
+  /// Cached CouplingGraph::maxDegree().
+  unsigned maxDegree() const { return MaxDegree; }
+
+  /// The paper's default look-ahead constant c = 2 * maxDegree + 2
+  /// (strictly exceeds the maximum degree, as Sec. IV requires).
+  unsigned defaultLookahead() const { return 2 * MaxDegree + 2; }
+
+  /// Transitive-dependence weights omega, one per gate, computed on first
+  /// use with the options the context was built with and memoized for
+  /// every later reader (any mapper, any thread).
+  const std::vector<uint64_t> &dependenceWeights() const;
+
+  /// Engine metadata of the memoized omega computation (valid only after
+  /// the first dependenceWeights() call).
+  const WeightResult &dependenceWeightResult() const;
+
+  /// Identity placement over this context's circuit and device.
+  QubitMapping identityMapping() const {
+    return QubitMapping::identity(Logical->numQubits(), Hw->numQubits());
+  }
+
+private:
+  RoutingContext() = default;
+
+  /// Lazily computed members live behind a stable heap address so the
+  /// context stays movable despite std::once_flag being pinned.
+  struct LazyState {
+    std::once_flag WeightsOnce;
+    WeightResult Weights;
+  };
+
+  const Circuit *Logical = nullptr;
+  const CouplingGraph *Hw = nullptr;
+  /// Set when build() had to derive distance matrices itself; Hw then
+  /// points here instead of at the caller's graph.
+  std::unique_ptr<CouplingGraph> OwnedHw;
+  std::unique_ptr<CircuitDag> Dag;
+  std::unique_ptr<LazyState> Lazy;
+  RoutingContextOptions Options;
+  unsigned MaxDegree = 0;
+  Status BuildStatus;
+};
+
+} // namespace qlosure
+
+#endif // QLOSURE_ROUTE_ROUTINGCONTEXT_H

@@ -16,6 +16,11 @@ void qlosure::reportFatalError(const std::string &Message) {
   std::abort();
 }
 
+void qlosure::reportFatalError(const Status &S) {
+  reportFatalError(S.ok() ? std::string("fatal error with OK status")
+                          : S.message());
+}
+
 void qlosure::unreachableInternal(const char *Message, const char *File,
                                   unsigned Line) {
   std::fprintf(stderr, "qlosure unreachable at %s:%u: %s\n", File, Line,

@@ -17,12 +17,45 @@
 #define QLOSURE_SUPPORT_ERROR_H
 
 #include <string>
+#include <utility>
 
 namespace qlosure {
+
+/// Outcome of a recoverable operation: success, or an error message the
+/// caller can surface (to a batch record, a CLI diagnostic, ...) without
+/// aborting the process. Malformed *user input* flows through Status;
+/// violated *library invariants* still go through reportFatalError.
+class Status {
+public:
+  /// Default-constructed Status is success.
+  Status() = default;
+
+  static Status success() { return Status(); }
+
+  static Status error(std::string Message) {
+    Status S;
+    S.Failed = true;
+    S.Msg = std::move(Message);
+    return S;
+  }
+
+  bool ok() const { return !Failed; }
+  explicit operator bool() const { return ok(); }
+
+  /// Error description; empty on success.
+  const std::string &message() const { return Msg; }
+
+private:
+  bool Failed = false;
+  std::string Msg;
+};
 
 /// Prints \p Message to stderr and aborts. Used for unrecoverable violations
 /// of library invariants (never for malformed user input).
 [[noreturn]] void reportFatalError(const std::string &Message);
+
+/// Aborts with \p S's message; \p S must be an error.
+[[noreturn]] void reportFatalError(const Status &S);
 
 /// Marks a point in the code that must never be reached.
 [[noreturn]] void unreachableInternal(const char *Message, const char *File,

@@ -25,7 +25,10 @@ void CouplingGraph::addEdge(unsigned A, unsigned B) {
     return;
   Adjacency[A].push_back(B);
   Adjacency[B].push_back(A);
-  Distances.clear(); // Invalidate cached APSP.
+  // Invalidate both cached APSP matrices.
+  Distances.clear();
+  WeightedDistances.clear();
+  WeightedDistancePenalty = -1.0;
 }
 
 bool CouplingGraph::areAdjacent(unsigned A, unsigned B) const {
@@ -79,6 +82,8 @@ bool CouplingGraph::isConnected() const {
 }
 
 void CouplingGraph::computeDistances() {
+  if (hasDistances())
+    return; // Cache valid; addEdge() invalidates on mutation.
   Distances.assign(static_cast<size_t>(NumQubits) * NumQubits,
                    UnreachableDistance);
   std::deque<unsigned> Queue;
@@ -109,17 +114,22 @@ unsigned CouplingGraph::distance(unsigned A, unsigned B) const {
 void CouplingGraph::setEdgeError(unsigned A, unsigned B, double ErrorRate) {
   assert(areAdjacent(A, B) && "error rates attach to existing edges");
   assert(ErrorRate >= 0.0 && ErrorRate < 1.0 && "error rate out of range");
+  if (EdgeErrors.empty())
+    EdgeErrors.assign(static_cast<size_t>(NumQubits) * NumQubits, 0.0);
   EdgeErrors[edgeKey(A, B)] = ErrorRate;
+  ErrorModelInstalled = true;
   WeightedDistances.clear(); // Invalidate cached weighted APSP.
+  WeightedDistancePenalty = -1.0;
 }
 
 double CouplingGraph::edgeError(unsigned A, unsigned B) const {
   assert(A < NumQubits && B < NumQubits && "qubit out of range");
-  auto It = EdgeErrors.find(edgeKey(A, B));
-  return It == EdgeErrors.end() ? 0.0 : It->second;
+  return EdgeErrors.empty() ? 0.0 : EdgeErrors[edgeKey(A, B)];
 }
 
 void CouplingGraph::computeWeightedDistances(double Penalty) {
+  if (hasWeightedDistances() && WeightedDistancePenalty == Penalty)
+    return; // Cache valid for this penalty; setEdgeError() invalidates.
   size_t N = NumQubits;
   WeightedDistances.assign(N * N, std::numeric_limits<double>::infinity());
   using Entry = std::pair<double, unsigned>; // (distance, qubit).
@@ -143,6 +153,7 @@ void CouplingGraph::computeWeightedDistances(double Penalty) {
       }
     }
   }
+  WeightedDistancePenalty = Penalty;
 }
 
 double CouplingGraph::weightedDistance(unsigned A, unsigned B) const {

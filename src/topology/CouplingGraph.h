@@ -16,7 +16,6 @@
 
 #include <algorithm>
 #include <cstdint>
-#include <map>
 #include <string>
 #include <utility>
 #include <vector>
@@ -55,7 +54,9 @@ public:
   bool isConnected() const;
 
   /// Computes the all-pairs shortest-path matrix via BFS from each vertex.
-  /// Unreachable pairs get the sentinel UnreachableDistance.
+  /// Unreachable pairs get the sentinel UnreachableDistance. Idempotent:
+  /// repeated calls on an unchanged graph return immediately (mutating the
+  /// graph invalidates the cache, so the next call recomputes).
   void computeDistances();
 
   /// Shortest-path distance (in edges == minimum SWAP chain length + 1
@@ -77,11 +78,13 @@ public:
   /// Error rate of edge (A, B); 0 when no model was installed.
   double edgeError(unsigned A, unsigned B) const;
 
-  bool hasErrorModel() const { return !EdgeErrors.empty(); }
+  bool hasErrorModel() const { return ErrorModelInstalled; }
 
   /// Computes fidelity-weighted all-pairs distances by Dijkstra, where an
   /// edge costs 1 + Penalty * errorRate: routes through noisy couplers
-  /// look "longer" to error-aware cost functions.
+  /// look "longer" to error-aware cost functions. Idempotent for a given
+  /// \p Penalty on an unchanged error model; a different penalty or a new
+  /// calibration triggers recomputation.
   void computeWeightedDistances(double Penalty = 25.0);
 
   /// Fidelity-weighted distance; requires computeWeightedDistances().
@@ -100,7 +103,12 @@ private:
   std::vector<std::vector<unsigned>> Adjacency;
   std::vector<uint32_t> Distances; // Row-major N x N.
   std::vector<double> WeightedDistances; // Row-major N x N.
-  std::map<size_t, double> EdgeErrors;
+  /// Flat N x N table keyed by edgeKey (0 off-edge); sized lazily on the
+  /// first setEdgeError. A flat vector keeps the error-aware hot path
+  /// (one lookup per candidate SWAP per decision) free of tree walks.
+  std::vector<double> EdgeErrors;
+  bool ErrorModelInstalled = false;
+  double WeightedDistancePenalty = -1.0; ///< Penalty the cache was built with.
   std::string Name;
 };
 

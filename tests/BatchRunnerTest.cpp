@@ -1,0 +1,139 @@
+//===- tests/BatchRunnerTest.cpp - parallel batch engine tests --------------------===//
+//
+// Part of the Qlosure project. Distributed under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "eval/BatchRunner.h"
+
+#include "baselines/RouterRegistry.h"
+#include "topology/Backends.h"
+#include "workloads/QasmBench.h"
+
+#include <gtest/gtest.h>
+
+using namespace qlosure;
+
+namespace {
+
+/// Full field-by-field equality, so "identical" means byte-identical
+/// aggregation, not merely matching headline numbers.
+void expectSameRecord(const RunRecord &A, const RunRecord &B) {
+  EXPECT_EQ(A.Mapper, B.Mapper);
+  EXPECT_EQ(A.Backend, B.Backend);
+  EXPECT_EQ(A.Workload, B.Workload);
+  EXPECT_EQ(A.CircuitQubits, B.CircuitQubits);
+  EXPECT_EQ(A.QuantumOps, B.QuantumOps);
+  EXPECT_EQ(A.TwoQubitGates, B.TwoQubitGates);
+  EXPECT_EQ(A.BaselineDepth, B.BaselineDepth);
+  EXPECT_EQ(A.RoutedDepth, B.RoutedDepth);
+  EXPECT_EQ(A.Swaps, B.Swaps);
+  EXPECT_EQ(A.TimedOut, B.TimedOut);
+  EXPECT_EQ(A.Verified, B.Verified);
+  EXPECT_EQ(A.Failed, B.Failed);
+  EXPECT_EQ(A.Error, B.Error);
+}
+
+} // namespace
+
+TEST(BatchRunnerTest, EmptyBatchYieldsNoRecords) {
+  EXPECT_TRUE(runBatch({}, 4).empty());
+}
+
+TEST(BatchRunnerTest, EffectiveThreadsClampsToJobsAndFloorsAtOne) {
+  BatchOptions Auto; // Threads = 0 -> hardware concurrency, at least 1.
+  EXPECT_GE(BatchRunner(Auto).effectiveThreads(100), 1u);
+  BatchOptions Eight;
+  Eight.Threads = 8;
+  EXPECT_EQ(BatchRunner(Eight).effectiveThreads(3), 3u);
+  EXPECT_EQ(BatchRunner(Eight).effectiveThreads(0), 1u);
+}
+
+TEST(BatchRunnerTest, ParallelMatchesSerialByteForByte) {
+  CouplingGraph Hw = makeAspen16();
+  std::vector<Circuit> Circuits;
+  Circuits.push_back(makeQft(8));
+  Circuits.push_back(makeGhz(12));
+  Circuits.push_back(makeCat(10));
+
+  std::vector<RoutingContext> Contexts;
+  Contexts.reserve(Circuits.size());
+  for (const Circuit &C : Circuits)
+    Contexts.push_back(RoutingContext::build(C, Hw));
+
+  auto Mappers = makePaperRouters();
+  std::vector<BatchJob> Jobs;
+  for (size_t CI = 0; CI < Circuits.size(); ++CI) {
+    for (auto &M : Mappers) {
+      BatchJob Job;
+      Job.Mapper = M.get();
+      Job.Ctx = &Contexts[CI];
+      Job.BaselineDepth = Circuits[CI].depth();
+      Jobs.push_back(Job);
+    }
+  }
+
+  std::vector<RunRecord> Serial = runBatch(Jobs, 1);
+  std::vector<RunRecord> Parallel = runBatch(Jobs, 4);
+  ASSERT_EQ(Serial.size(), Jobs.size());
+  ASSERT_EQ(Parallel.size(), Serial.size());
+  for (size_t I = 0; I < Serial.size(); ++I) {
+    expectSameRecord(Serial[I], Parallel[I]);
+    // Insertion-ordered aggregation: record I belongs to job I.
+    EXPECT_EQ(Serial[I].Mapper, Jobs[I].Mapper->name());
+    EXPECT_FALSE(Serial[I].Failed);
+    EXPECT_TRUE(Serial[I].Verified);
+  }
+}
+
+TEST(BatchRunnerTest, BadInputFailsItsRecordWithoutPoisoningTheBatch) {
+  CouplingGraph Hw = makeLine(4);
+  Circuit Fits = makeGhz(3);
+  Circuit TooBig = makeGhz(12);
+  RoutingContext GoodCtx = RoutingContext::build(Fits, Hw);
+  RoutingContext BadCtx = RoutingContext::build(TooBig, Hw);
+  ASSERT_TRUE(GoodCtx.valid());
+  ASSERT_FALSE(BadCtx.valid());
+
+  auto Mapper = makeRouterByName("sabre");
+  std::vector<BatchJob> Jobs(3);
+  Jobs[0] = {Mapper.get(), &GoodCtx, Fits.depth(), {}};
+  Jobs[1] = {Mapper.get(), &BadCtx, TooBig.depth(), {}};
+  Jobs[2] = {Mapper.get(), &GoodCtx, Fits.depth(), {}};
+
+  std::vector<RunRecord> Records = runBatch(Jobs, 2);
+  ASSERT_EQ(Records.size(), 3u);
+  EXPECT_FALSE(Records[0].Failed);
+  EXPECT_TRUE(Records[1].Failed);
+  EXPECT_FALSE(Records[1].Error.empty());
+  EXPECT_FALSE(Records[2].Failed);
+  expectSameRecord(Records[0], Records[2]);
+
+  // Failed records never contribute to aggregation.
+  auto Summary = depthFactorSummary(Records, /*SplitDepth=*/550);
+  ASSERT_EQ(Summary.count("SABRE"), 1u);
+  EXPECT_GT(Summary["SABRE"].Medium, 0.0);
+}
+
+TEST(BatchRunnerTest, QuekoSweepIsThreadCountInvariant) {
+  CouplingGraph Gen = makeAspen16();
+  CouplingGraph Backend = makeGrid(4, 5);
+  auto Mappers = makePaperRouters();
+  std::vector<Router *> Ptrs;
+  for (auto &M : Mappers)
+    Ptrs.push_back(M.get());
+
+  QuekoSweepConfig Config;
+  Config.Depths = {10, 20};
+  Config.CircuitsPerDepth = 2;
+
+  Config.Threads = 1;
+  std::vector<RunRecord> Serial = runQuekoSweep(Gen, Backend, Ptrs, Config);
+  Config.Threads = 4;
+  std::vector<RunRecord> Parallel = runQuekoSweep(Gen, Backend, Ptrs, Config);
+
+  ASSERT_EQ(Serial.size(), 2u * 2u * Ptrs.size());
+  ASSERT_EQ(Parallel.size(), Serial.size());
+  for (size_t I = 0; I < Serial.size(); ++I)
+    expectSameRecord(Serial[I], Parallel[I]);
+}

@@ -135,11 +135,19 @@ int main(int Argc, char **Argv) {
     Mapper = makeRouterByName(Opts.Mapper);
   }
 
-  QubitMapping Initial =
-      Opts.Bidirectional
-          ? deriveBidirectionalMapping(*Mapper, Logical, Device)
-          : QubitMapping::identity(Logical.numQubits(), Device.numQubits());
-  RoutingResult Result = Mapper->route(Logical, Device, Initial);
+  // One context carries every precomputed structure (distances, DAG,
+  // dependence weights) through the bidirectional passes and the final
+  // routing; malformed inputs surface here as a diagnostic, not an abort.
+  RoutingContext Ctx =
+      RoutingContext::build(Logical, Device, Mapper->contextOptions());
+  if (!Ctx.valid()) {
+    std::fprintf(stderr, "error: %s\n", Ctx.status().message().c_str());
+    return 1;
+  }
+  QubitMapping Initial = Opts.Bidirectional
+                             ? deriveBidirectionalMapping(*Mapper, Ctx)
+                             : Ctx.identityMapping();
+  RoutingResult Result = Mapper->route(Ctx, Initial);
   VerifyResult Check = verifyRouting(Logical, Device, Result);
   if (!Check.Ok) {
     std::fprintf(stderr, "internal error: routing failed verification: %s\n",
