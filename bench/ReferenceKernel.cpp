@@ -1,0 +1,1003 @@
+//===- bench/ReferenceKernel.cpp - Frozen pre-scratch routing paths --------------===//
+//
+// Part of the Qlosure project. Distributed under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+//
+// Verbatim copies (modulo renames) of FrontLayer.cpp, GreedyRouterBase.cpp,
+// the Sabre/Cirq/Tket cost functions, Qlosure.cpp's RoutingLoop and
+// QmapAstar.cpp as of the commit preceding the RoutingScratch refactor.
+// See ReferenceKernel.h for why these must stay frozen.
+//
+//===----------------------------------------------------------------------===//
+
+#include "bench/ReferenceKernel.h"
+
+#include "circuit/Dag.h"
+#include "support/Error.h"
+#include "support/Random.h"
+#include "support/Timer.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+#include <deque>
+#include <limits>
+#include <queue>
+#include <unordered_set>
+
+using namespace qlosure;
+using namespace qlosure::bench;
+
+namespace {
+
+//===----------------------------------------------------------------------===//
+// Frozen FrontLayerTracker (allocates Needed/Touched/deque per window call)
+//===----------------------------------------------------------------------===//
+
+class RefFrontTracker {
+public:
+  explicit RefFrontTracker(const CircuitDag &DagIn) : Dag(DagIn) {
+    size_t N = Dag.numGates();
+    PendingPreds.resize(N);
+    Executed.assign(N, 0);
+    InFront.assign(N, 0);
+    for (size_t G = 0; G < N; ++G)
+      PendingPreds[G] = Dag.inDegree(G);
+    for (uint32_t Root : Dag.roots()) {
+      Front.push_back(Root);
+      InFront[Root] = 1;
+    }
+  }
+
+  const std::vector<uint32_t> &front() const { return Front; }
+  bool allExecuted() const { return NumExecuted == Dag.numGates(); }
+  bool isInFront(uint32_t GateId) const { return InFront[GateId]; }
+
+  void execute(uint32_t GateId) {
+    assert(InFront[GateId] && "executing a gate that is not ready");
+    assert(!Executed[GateId] && "double execution");
+    Executed[GateId] = 1;
+    InFront[GateId] = 0;
+    ++NumExecuted;
+    auto It = std::find(Front.begin(), Front.end(), GateId);
+    assert(It != Front.end() && "front bookkeeping out of sync");
+    *It = Front.back();
+    Front.pop_back();
+    for (uint32_t Succ : Dag.successors(GateId)) {
+      assert(PendingPreds[Succ] > 0 && "predecessor count underflow");
+      if (--PendingPreds[Succ] == 0) {
+        Front.push_back(Succ);
+        InFront[Succ] = 1;
+      }
+    }
+  }
+
+  std::vector<uint32_t> topologicalWindow(size_t MaxGates,
+                                          bool CountTwoQubitOnly = false)
+      const {
+    std::vector<uint32_t> Window;
+    if (MaxGates == 0)
+      return Window;
+    size_t TotalCap = CountTwoQubitOnly ? 8 * MaxGates : MaxGates;
+    size_t Counted = 0;
+    std::vector<uint32_t> Needed(Dag.numGates(), 0);
+    std::vector<uint8_t> Touched(Dag.numGates(), 0);
+    std::deque<uint32_t> Queue(Front.begin(), Front.end());
+    std::sort(Queue.begin(), Queue.end());
+    while (!Queue.empty() && Counted < MaxGates &&
+           Window.size() < TotalCap) {
+      uint32_t G = Queue.front();
+      Queue.pop_front();
+      Window.push_back(G);
+      if (!CountTwoQubitOnly || Dag.isTwoQubitGate(G))
+        ++Counted;
+      for (uint32_t Succ : Dag.successors(G)) {
+        if (!Touched[Succ]) {
+          Touched[Succ] = 1;
+          uint32_t Pending = 0;
+          for (uint32_t Pred : Dag.predecessors(Succ))
+            if (!Executed[Pred])
+              ++Pending;
+          Needed[Succ] = Pending;
+        }
+        assert(Needed[Succ] > 0 && "successor released twice");
+        if (--Needed[Succ] == 0)
+          Queue.push_back(Succ);
+      }
+    }
+    return Window;
+  }
+
+private:
+  const CircuitDag &Dag;
+  std::vector<uint32_t> PendingPreds;
+  std::vector<uint8_t> Executed;
+  std::vector<uint8_t> InFront;
+  std::vector<uint32_t> Front;
+  size_t NumExecuted = 0;
+};
+
+//===----------------------------------------------------------------------===//
+// Frozen GreedyRouterBase (fresh Ready/Candidates/dists vectors per step)
+//===----------------------------------------------------------------------===//
+
+class RefGreedyRouterBase : public Router {
+public:
+  using Router::route;
+  RoutingResult route(const RoutingContext &Ctx, const QubitMapping &Initial,
+                      RoutingScratch &) final {
+    checkPreconditions(Ctx, Initial);
+    const Circuit &Logical = Ctx.circuit();
+    const CouplingGraph &Hw = Ctx.hardware();
+    Timer Clock;
+
+    const CircuitDag &Dag = Ctx.dag();
+    RefFrontTracker Tracker(Dag);
+    QubitMapping Phi = Initial;
+    Rng TieBreaker(seed());
+    std::vector<double> Decay(Logical.numQubits(), 1.0);
+
+    RoutingResult Result;
+    Result.Routed = Circuit(Hw.numQubits(), Logical.name() + ".routed");
+    Result.InitialMapping = Initial;
+    Result.RouterName = name();
+
+    unsigned SwapsSinceProgress = 0;
+
+    auto physOf = [&Phi](int32_t L) { return Phi.physOf(L); };
+
+    auto isExecutable = [&](uint32_t GI) {
+      const Gate &G = Logical.gate(GI);
+      if (!G.isTwoQubit())
+        return true;
+      return Hw.areAdjacent(static_cast<unsigned>(Phi.physOf(G.Qubits[0])),
+                            static_cast<unsigned>(Phi.physOf(G.Qubits[1])));
+    };
+
+    auto emitSwap = [&](unsigned P1, unsigned P2) {
+      Result.Routed.addSwap(static_cast<int32_t>(P1),
+                            static_cast<int32_t>(P2));
+      Result.InsertedSwapFlags.push_back(1);
+      ++Result.NumSwaps;
+      int32_t L1 = Phi.logOf(static_cast<int32_t>(P1));
+      int32_t L2 = Phi.logOf(static_cast<int32_t>(P2));
+      Phi.swapPhysical(static_cast<int32_t>(P1), static_cast<int32_t>(P2));
+      if (usesDecay()) {
+        if (L1 >= 0)
+          Decay[static_cast<size_t>(L1)] += decayIncrement();
+        if (L2 >= 0)
+          Decay[static_cast<size_t>(L2)] += decayIncrement();
+      }
+    };
+
+    while (!Tracker.allExecuted()) {
+      bool Progress = false;
+      bool Changed = true;
+      while (Changed) {
+        Changed = false;
+        std::vector<uint32_t> Ready;
+        for (uint32_t G : Tracker.front())
+          if (isExecutable(G))
+            Ready.push_back(G);
+        std::sort(Ready.begin(), Ready.end());
+        for (uint32_t G : Ready) {
+          Result.Routed.addGate(Logical.gate(G).withMappedQubits(physOf));
+          Result.InsertedSwapFlags.push_back(0);
+          Tracker.execute(G);
+          Progress = true;
+          Changed = true;
+        }
+      }
+      if (Progress) {
+        if (usesDecay())
+          std::fill(Decay.begin(), Decay.end(), 1.0);
+        SwapsSinceProgress = 0;
+        continue;
+      }
+      if (Tracker.allExecuted())
+        break;
+
+      if (SwapsSinceProgress >= maxSwapsWithoutProgress()) {
+        uint32_t Oldest = UINT32_MAX;
+        for (uint32_t G : Tracker.front())
+          if (Logical.gate(G).isTwoQubit())
+            Oldest = std::min(Oldest, G);
+        assert(Oldest != UINT32_MAX && "stuck without a blocked 2Q gate");
+        const Gate &G = Logical.gate(Oldest);
+        std::vector<unsigned> Path = Hw.shortestPath(
+            static_cast<unsigned>(Phi.physOf(G.Qubits[0])),
+            static_cast<unsigned>(Phi.physOf(G.Qubits[1])));
+        for (size_t I = 0; I + 2 < Path.size(); ++I)
+          emitSwap(Path[I], Path[I + 1]);
+        SwapsSinceProgress = 0;
+        continue;
+      }
+
+      std::vector<uint32_t> FrontTwoQ;
+      for (uint32_t G : Tracker.front())
+        if (Logical.gate(G).isTwoQubit())
+          FrontTwoQ.push_back(G);
+      std::sort(FrontTwoQ.begin(), FrontTwoQ.end());
+
+      size_t WantExtended = extendedWindowSize(FrontTwoQ.size());
+      std::vector<uint32_t> Extended;
+      if (WantExtended) {
+        std::vector<uint32_t> Window =
+            Tracker.topologicalWindow(FrontTwoQ.size() + 4 * WantExtended);
+        for (uint32_t G : Window) {
+          if (Tracker.isInFront(G) || !Logical.gate(G).isTwoQubit())
+            continue;
+          Extended.push_back(G);
+          if (Extended.size() >= WantExtended)
+            break;
+        }
+      }
+
+      std::vector<std::pair<unsigned, unsigned>> Candidates;
+      {
+        std::vector<unsigned> PFront;
+        std::vector<uint8_t> InFront(Hw.numQubits(), 0);
+        for (uint32_t GI : FrontTwoQ)
+          for (unsigned Q = 0; Q < 2; ++Q) {
+            unsigned P = static_cast<unsigned>(
+                Phi.physOf(Logical.gate(GI).Qubits[Q]));
+            if (!InFront[P]) {
+              InFront[P] = 1;
+              PFront.push_back(P);
+            }
+          }
+        std::sort(PFront.begin(), PFront.end());
+        for (unsigned P1 : PFront)
+          for (unsigned P2 : Hw.neighbors(P1)) {
+            unsigned Lo = std::min(P1, P2), Hi = std::max(P1, P2);
+            bool Dup = false;
+            for (const auto &C : Candidates)
+              if (C.first == Lo && C.second == Hi) {
+                Dup = true;
+                break;
+              }
+            if (!Dup)
+              Candidates.push_back({Lo, Hi});
+          }
+      }
+      assert(!Candidates.empty() && "no candidates on a connected graph");
+
+      double BestScore = std::numeric_limits<double>::infinity();
+      std::vector<size_t> BestIdx;
+      std::vector<unsigned> FrontDists(FrontTwoQ.size());
+      std::vector<unsigned> ExtDists(Extended.size());
+      for (size_t CI = 0; CI < Candidates.size(); ++CI) {
+        auto [P1, P2] = Candidates[CI];
+        auto mapThroughSwap = [&](int32_t L) -> unsigned {
+          unsigned P = static_cast<unsigned>(Phi.physOf(L));
+          if (P == P1)
+            return P2;
+          if (P == P2)
+            return P1;
+          return P;
+        };
+        for (size_t I = 0; I < FrontTwoQ.size(); ++I) {
+          const Gate &G = Logical.gate(FrontTwoQ[I]);
+          FrontDists[I] = Hw.distance(mapThroughSwap(G.Qubits[0]),
+                                      mapThroughSwap(G.Qubits[1]));
+        }
+        for (size_t I = 0; I < Extended.size(); ++I) {
+          const Gate &G = Logical.gate(Extended[I]);
+          ExtDists[I] = Hw.distance(mapThroughSwap(G.Qubits[0]),
+                                    mapThroughSwap(G.Qubits[1]));
+        }
+        double MaxDecay = 1.0;
+        if (usesDecay()) {
+          int32_t L1 = Phi.logOf(static_cast<int32_t>(P1));
+          int32_t L2 = Phi.logOf(static_cast<int32_t>(P2));
+          double D1 = L1 >= 0 ? Decay[static_cast<size_t>(L1)] : 1.0;
+          double D2 = L2 >= 0 ? Decay[static_cast<size_t>(L2)] : 1.0;
+          MaxDecay = std::max(D1, D2);
+        }
+        double Score = scoreSwap(FrontDists, ExtDists, MaxDecay);
+        if (Score < BestScore - 1e-12) {
+          BestScore = Score;
+          BestIdx.clear();
+          BestIdx.push_back(CI);
+        } else if (Score <= BestScore + 1e-12) {
+          BestIdx.push_back(CI);
+        }
+      }
+      size_t Pick = randomTieBreak()
+                        ? BestIdx[static_cast<size_t>(
+                              TieBreaker.nextBounded(BestIdx.size()))]
+                        : BestIdx.front();
+      emitSwap(Candidates[Pick].first, Candidates[Pick].second);
+      ++SwapsSinceProgress;
+    }
+
+    Result.FinalMapping = Phi;
+    Result.MappingSeconds = Clock.elapsedSeconds();
+    return Result;
+  }
+
+protected:
+  virtual size_t extendedWindowSize(size_t NumFrontGates) const = 0;
+  virtual double scoreSwap(const std::vector<unsigned> &FrontDists,
+                           const std::vector<unsigned> &ExtendedDists,
+                           double MaxDecay) const = 0;
+  virtual bool usesDecay() const { return false; }
+  virtual double decayIncrement() const { return 0.001; }
+  virtual bool randomTieBreak() const { return false; }
+  virtual uint64_t seed() const { return 0xBA5EBA11ULL; }
+  virtual unsigned maxSwapsWithoutProgress() const { return 64; }
+};
+
+class RefSabreRouter : public RefGreedyRouterBase {
+public:
+  explicit RefSabreRouter(SabreOptions OptionsIn = {}) : Options(OptionsIn) {}
+  std::string name() const override { return "SABRE"; }
+
+protected:
+  size_t extendedWindowSize(size_t) const override {
+    return Options.ExtendedSetSize;
+  }
+  double scoreSwap(const std::vector<unsigned> &FrontDists,
+                   const std::vector<unsigned> &ExtendedDists,
+                   double MaxDecay) const override {
+    double FrontSum = 0;
+    for (unsigned D : FrontDists)
+      FrontSum += D;
+    double Score = FrontDists.empty()
+                       ? 0.0
+                       : FrontSum / static_cast<double>(FrontDists.size());
+    if (!ExtendedDists.empty()) {
+      double ExtSum = 0;
+      for (unsigned D : ExtendedDists)
+        ExtSum += D;
+      Score += Options.ExtendedWeight * ExtSum /
+               static_cast<double>(ExtendedDists.size());
+    }
+    return MaxDecay * Score;
+  }
+  bool usesDecay() const override { return true; }
+  double decayIncrement() const override { return Options.DecayIncrement; }
+  bool randomTieBreak() const override { return true; }
+  uint64_t seed() const override { return Options.Seed; }
+
+private:
+  SabreOptions Options;
+};
+
+class RefCirqRouter : public RefGreedyRouterBase {
+public:
+  explicit RefCirqRouter(CirqOptions OptionsIn = {}) : Options(OptionsIn) {}
+  std::string name() const override { return "Cirq"; }
+
+protected:
+  size_t extendedWindowSize(size_t NumFrontGates) const override {
+    return static_cast<size_t>(Options.SliceWindowFactor *
+                               static_cast<double>(NumFrontGates)) +
+           1;
+  }
+  double scoreSwap(const std::vector<unsigned> &FrontDists,
+                   const std::vector<unsigned> &ExtendedDists,
+                   double) const override {
+    double Score = 0;
+    for (unsigned D : FrontDists)
+      Score += D;
+    double Ext = 0;
+    for (unsigned D : ExtendedDists)
+      Ext += D;
+    return Score + Options.NextSliceWeight * Ext;
+  }
+
+private:
+  CirqOptions Options;
+};
+
+class RefTketRouter : public RefGreedyRouterBase {
+public:
+  explicit RefTketRouter(TketOptions OptionsIn = {}) : Options(OptionsIn) {}
+  std::string name() const override { return "Pytket"; }
+
+protected:
+  size_t extendedWindowSize(size_t) const override {
+    return Options.LookaheadGates;
+  }
+  double scoreSwap(const std::vector<unsigned> &FrontDists,
+                   const std::vector<unsigned> &ExtendedDists,
+                   double) const override {
+    unsigned MaxDist = 0;
+    double Sum = 0;
+    for (unsigned D : FrontDists) {
+      MaxDist = std::max(MaxDist, D);
+      Sum += D;
+    }
+    double Ext = 0;
+    for (unsigned D : ExtendedDists)
+      Ext += D;
+    return static_cast<double>(MaxDist) * 1e6 + Sum +
+           Options.LookaheadWeight * Ext;
+  }
+
+private:
+  TketOptions Options;
+};
+
+//===----------------------------------------------------------------------===//
+// Frozen Qlosure RoutingLoop (GateLevel.assign + window refill per step)
+//===----------------------------------------------------------------------===//
+
+class RefQlosureLoop {
+public:
+  RefQlosureLoop(const QlosureOptions &OptionsIn, const RoutingContext &Ctx,
+                 const QubitMapping &Initial)
+      : Options(OptionsIn), Logical(Ctx.circuit()), Hw(Ctx.hardware()),
+        Dag(Ctx.dag()), Tracker(Dag), Phi(Initial),
+        TieBreaker(OptionsIn.Seed), Decay(Logical.numQubits(), 1.0) {
+    LookaheadC = Options.LookaheadConstant ? Options.LookaheadConstant
+                                           : Ctx.defaultLookahead();
+    UseWeightedDistance = Options.ErrorAware && Hw.hasErrorModel();
+    if (Options.UseDependencyWeights)
+      Weights = &Ctx.dependenceWeights();
+    Result.Routed = Circuit(Hw.numQubits(), Logical.name() + ".routed");
+    Result.InitialMapping = Initial;
+    Result.RouterName = "Qlosure";
+  }
+
+  RoutingResult run() {
+    Timer Clock;
+    while (!Tracker.allExecuted()) {
+      if (executeReadyGates())
+        continue;
+      routeOneSwap();
+    }
+    Result.FinalMapping = Phi;
+    Result.MappingSeconds = Clock.elapsedSeconds();
+    return std::move(Result);
+  }
+
+private:
+  bool executeReadyGates() {
+    bool Progress = false;
+    bool Changed = true;
+    while (Changed) {
+      Changed = false;
+      std::vector<uint32_t> Ready;
+      for (uint32_t G : Tracker.front())
+        if (isExecutable(G))
+          Ready.push_back(G);
+      std::sort(Ready.begin(), Ready.end());
+      for (uint32_t G : Ready) {
+        emitProgramGate(G);
+        Tracker.execute(G);
+        Changed = true;
+        Progress = true;
+      }
+    }
+    if (Progress) {
+      std::fill(Decay.begin(), Decay.end(), 1.0);
+      SwapsSinceProgress = 0;
+    }
+    return Progress;
+  }
+
+  bool isExecutable(uint32_t GateId) const {
+    const Gate &G = Logical.gate(GateId);
+    if (!G.isTwoQubit())
+      return true;
+    return Hw.areAdjacent(static_cast<unsigned>(Phi.physOf(G.Qubits[0])),
+                          static_cast<unsigned>(Phi.physOf(G.Qubits[1])));
+  }
+
+  void emitProgramGate(uint32_t GateId) {
+    const Gate &G = Logical.gate(GateId);
+    Result.Routed.addGate(
+        G.withMappedQubits([this](int32_t Q) { return Phi.physOf(Q); }));
+    Result.InsertedSwapFlags.push_back(0);
+  }
+
+  void emitSwap(unsigned P1, unsigned P2) {
+    Result.Routed.addSwap(static_cast<int32_t>(P1), static_cast<int32_t>(P2));
+    Result.InsertedSwapFlags.push_back(1);
+    ++Result.NumSwaps;
+    int32_t L1 = Phi.logOf(static_cast<int32_t>(P1));
+    int32_t L2 = Phi.logOf(static_cast<int32_t>(P2));
+    Phi.swapPhysical(static_cast<int32_t>(P1), static_cast<int32_t>(P2));
+    if (L1 >= 0)
+      Decay[static_cast<size_t>(L1)] += Options.DecayIncrement;
+    if (L2 >= 0)
+      Decay[static_cast<size_t>(L2)] += Options.DecayIncrement;
+  }
+
+  void routeOneSwap() {
+    if (SwapsSinceProgress >= Options.MaxSwapsWithoutProgress) {
+      forceResolveOldestGate();
+      return;
+    }
+
+    buildWindowLayers();
+    std::vector<std::pair<unsigned, unsigned>> Candidates =
+        generateCandidates();
+    assert(!Candidates.empty() && "no candidate SWAPs on a connected graph");
+
+    std::vector<double> Scores(Candidates.size());
+    double BestScore = std::numeric_limits<double>::infinity();
+    for (size_t CI = 0; CI < Candidates.size(); ++CI) {
+      Scores[CI] = scoreSwap(Candidates[CI].first, Candidates[CI].second);
+      BestScore = std::min(BestScore, Scores[CI]);
+    }
+
+    double TieMargin = 0.0;
+    std::vector<size_t> BestIndices;
+    for (size_t CI = 0; CI < Candidates.size(); ++CI)
+      if (Scores[CI] <= BestScore + TieMargin + 1e-12)
+        BestIndices.push_back(CI);
+    if (UseWeightedDistance && BestIndices.size() > 1) {
+      double MinError = std::numeric_limits<double>::infinity();
+      for (size_t CI : BestIndices)
+        MinError = std::min(MinError, Hw.edgeError(Candidates[CI].first,
+                                                   Candidates[CI].second));
+      std::vector<size_t> Cleanest;
+      for (size_t CI : BestIndices)
+        if (Hw.edgeError(Candidates[CI].first, Candidates[CI].second) <=
+            MinError + 1e-12)
+          Cleanest.push_back(CI);
+      BestIndices = std::move(Cleanest);
+    }
+    size_t Pick = BestIndices[static_cast<size_t>(
+        TieBreaker.nextBounded(BestIndices.size()))];
+    emitSwap(Candidates[Pick].first, Candidates[Pick].second);
+    ++SwapsSinceProgress;
+  }
+
+  void forceResolveOldestGate() {
+    uint32_t Oldest = UINT32_MAX;
+    for (uint32_t G : Tracker.front())
+      if (Logical.gate(G).isTwoQubit())
+        Oldest = std::min(Oldest, G);
+    assert(Oldest != UINT32_MAX && "stuck without a blocked 2Q gate");
+    const Gate &G = Logical.gate(Oldest);
+    unsigned P1 = static_cast<unsigned>(Phi.physOf(G.Qubits[0]));
+    unsigned P2 = static_cast<unsigned>(Phi.physOf(G.Qubits[1]));
+    std::vector<unsigned> Path = Hw.shortestPath(P1, P2);
+    for (size_t I = 0; I + 2 < Path.size(); ++I)
+      emitSwap(Path[I], Path[I + 1]);
+    SwapsSinceProgress = 0;
+  }
+
+  void buildWindowLayers() {
+    std::vector<uint8_t> SeenPhys(Hw.numQubits(), 0);
+    unsigned NumFrontQubits = 0;
+    for (uint32_t GI : Tracker.front()) {
+      const Gate &G = Logical.gate(GI);
+      unsigned N = G.numQubits();
+      for (unsigned Q = 0; Q < N; ++Q) {
+        unsigned P = static_cast<unsigned>(Phi.physOf(G.Qubits[Q]));
+        if (!SeenPhys[P]) {
+          SeenPhys[P] = 1;
+          ++NumFrontQubits;
+        }
+      }
+    }
+    size_t WindowSize = static_cast<size_t>(LookaheadC) * NumFrontQubits;
+    WindowGates = Tracker.topologicalWindow(std::max<size_t>(WindowSize, 1),
+                                            /*CountTwoQubitOnly=*/true);
+
+    GateLevel.assign(Logical.size(), 0);
+    unsigned MaxLevel = 0;
+    if (!Options.UseLayerStructure) {
+      WindowGates.clear();
+      for (uint32_t G : Tracker.front())
+        WindowGates.push_back(G);
+      std::sort(WindowGates.begin(), WindowGates.end());
+      for (uint32_t G : WindowGates)
+        GateLevel[G] = 1;
+      MaxLevel = 1;
+    } else {
+      for (uint32_t G : WindowGates) {
+        unsigned Level = 0;
+        for (uint32_t Pred : Dag.predecessors(G))
+          Level = std::max(Level, GateLevel[Pred]);
+        bool IsTwoQubit = Logical.gate(G).isTwoQubit();
+        GateLevel[G] = Level + (IsTwoQubit ? 1 : 0);
+        if (!IsTwoQubit && GateLevel[G] == 0)
+          GateLevel[G] = 1;
+        MaxLevel = std::max(MaxLevel, GateLevel[G]);
+      }
+    }
+
+    LayerGateCount.assign(MaxLevel + 1, 0);
+    LayerBaseSum.assign(MaxLevel + 1, 0.0);
+    TouchingGates.clear();
+    TouchingGates.resize(Hw.numQubits());
+    for (uint32_t G : WindowGates) {
+      const Gate &Gate2 = Logical.gate(G);
+      if (!Gate2.isTwoQubit())
+        continue;
+      unsigned L = GateLevel[G];
+      ++LayerGateCount[L];
+      unsigned PA = static_cast<unsigned>(Phi.physOf(Gate2.Qubits[0]));
+      unsigned PB = static_cast<unsigned>(Phi.physOf(Gate2.Qubits[1]));
+      LayerBaseSum[L] += gateTerm(G, PA, PB);
+      TouchingGates[PA].push_back(G);
+      TouchingGates[PB].push_back(G);
+    }
+  }
+
+  double gateTerm(uint32_t G, unsigned PA, unsigned PB) const {
+    double Omega = Options.UseDependencyWeights
+                       ? static_cast<double>((*Weights)[G]) + 1.0
+                       : 1.0;
+    return Omega * static_cast<double>(Hw.distance(PA, PB));
+  }
+
+  std::vector<std::pair<unsigned, unsigned>> generateCandidates() const {
+    std::vector<uint8_t> InPFront(Hw.numQubits(), 0);
+    std::vector<unsigned> PFront;
+    for (uint32_t GI : Tracker.front()) {
+      const Gate &G = Logical.gate(GI);
+      if (!G.isTwoQubit())
+        continue;
+      for (unsigned Q = 0; Q < 2; ++Q) {
+        unsigned P = static_cast<unsigned>(Phi.physOf(G.Qubits[Q]));
+        if (!InPFront[P]) {
+          InPFront[P] = 1;
+          PFront.push_back(P);
+        }
+      }
+    }
+    std::sort(PFront.begin(), PFront.end());
+    std::vector<std::pair<unsigned, unsigned>> Candidates;
+    for (unsigned P1 : PFront) {
+      for (unsigned P2 : Hw.neighbors(P1)) {
+        unsigned Lo = std::min(P1, P2), Hi = std::max(P1, P2);
+        bool Duplicate = false;
+        for (const auto &C : Candidates)
+          if (C.first == Lo && C.second == Hi) {
+            Duplicate = true;
+            break;
+          }
+        if (!Duplicate)
+          Candidates.push_back({Lo, Hi});
+      }
+    }
+    return Candidates;
+  }
+
+  double scoreSwap(unsigned P1, unsigned P2) {
+    LayerAdjust.assign(LayerBaseSum.size(), 0.0);
+    ++VisitEpoch;
+    if (VisitStamp.size() < Logical.size())
+      VisitStamp.assign(Logical.size(), 0);
+    auto adjustGatesOn = [&](unsigned P) {
+      for (uint32_t G : TouchingGates[P]) {
+        if (VisitStamp[G] == VisitEpoch)
+          continue;
+        VisitStamp[G] = VisitEpoch;
+        const Gate &Gate2 = Logical.gate(G);
+        unsigned PA = static_cast<unsigned>(Phi.physOf(Gate2.Qubits[0]));
+        unsigned PB = static_cast<unsigned>(Phi.physOf(Gate2.Qubits[1]));
+        unsigned NewPA = PA == P1 ? P2 : (PA == P2 ? P1 : PA);
+        unsigned NewPB = PB == P1 ? P2 : (PB == P2 ? P1 : PB);
+        unsigned L = GateLevel[G];
+        LayerAdjust[L] += gateTerm(G, NewPA, NewPB) - gateTerm(G, PA, PB);
+      }
+    };
+    adjustGatesOn(P1);
+    adjustGatesOn(P2);
+
+    double Sum = 0;
+    for (size_t L = 1; L < LayerBaseSum.size(); ++L) {
+      if (LayerGateCount[L] == 0)
+        continue;
+      double Gamma =
+          (LayerBaseSum[L] + LayerAdjust[L]) / static_cast<double>(L);
+      Sum += Gamma / static_cast<double>(LayerGateCount[L]);
+    }
+
+    int32_t L1 = Phi.logOf(static_cast<int32_t>(P1));
+    int32_t L2 = Phi.logOf(static_cast<int32_t>(P2));
+    double D1 = L1 >= 0 ? Decay[static_cast<size_t>(L1)] : 1.0;
+    double D2 = L2 >= 0 ? Decay[static_cast<size_t>(L2)] : 1.0;
+    return std::max(D1, D2) * Sum;
+  }
+
+  const QlosureOptions &Options;
+  const Circuit &Logical;
+  const CouplingGraph &Hw;
+  const CircuitDag &Dag;
+  RefFrontTracker Tracker;
+  QubitMapping Phi;
+  Rng TieBreaker;
+  std::vector<double> Decay;
+  const std::vector<uint64_t> *Weights = nullptr;
+  unsigned LookaheadC = 0;
+  unsigned SwapsSinceProgress = 0;
+  bool UseWeightedDistance = false;
+
+  std::vector<uint32_t> WindowGates;
+  std::vector<unsigned> GateLevel;
+  std::vector<uint32_t> LayerGateCount;
+  std::vector<double> LayerBaseSum;
+  std::vector<double> LayerAdjust;
+  std::vector<std::vector<uint32_t>> TouchingGates;
+  std::vector<uint64_t> VisitStamp;
+  uint64_t VisitEpoch = 0;
+
+  RoutingResult Result;
+};
+
+class RefQlosureRouter : public Router {
+public:
+  explicit RefQlosureRouter(QlosureOptions OptionsIn = {})
+      : Options(OptionsIn) {}
+
+  std::string name() const override { return "Qlosure"; }
+
+  RoutingContextOptions contextOptions() const override {
+    RoutingContextOptions CtxOptions;
+    CtxOptions.Weights = Options.Weights;
+    return CtxOptions;
+  }
+
+  using Router::route;
+  RoutingResult route(const RoutingContext &Ctx, const QubitMapping &Initial,
+                      RoutingScratch &) override {
+    checkPreconditions(Ctx, Initial);
+    RefQlosureLoop Loop(Options, Ctx, Initial);
+    return Loop.run();
+  }
+
+private:
+  QlosureOptions Options;
+};
+
+//===----------------------------------------------------------------------===//
+// Frozen QMAP A* (SearchNode copies with per-node Positions/Swaps vectors)
+//===----------------------------------------------------------------------===//
+
+struct RefSearchNode {
+  std::vector<unsigned> Positions;
+  std::vector<std::pair<unsigned, unsigned>> Swaps;
+  unsigned CostG = 0;
+  unsigned CostH = 0;
+
+  unsigned costF() const { return CostG + CostH; }
+};
+
+struct RefNodeCompare {
+  bool operator()(const RefSearchNode &A, const RefSearchNode &B) const {
+    if (A.costF() != B.costF())
+      return A.costF() > B.costF();
+    return A.CostG < B.CostG;
+  }
+};
+
+uint64_t refHashPositions(const std::vector<unsigned> &Positions) {
+  uint64_t H = 0xCBF29CE484222325ULL;
+  for (unsigned P : Positions) {
+    H ^= P;
+    H *= 0x100000001B3ULL;
+  }
+  return H;
+}
+
+class RefQmapRouter : public Router {
+public:
+  explicit RefQmapRouter(QmapOptions OptionsIn = {}) : Options(OptionsIn) {}
+
+  std::string name() const override { return "QMAP"; }
+
+  using Router::route;
+  RoutingResult route(const RoutingContext &Ctx, const QubitMapping &Initial,
+                      RoutingScratch &) override {
+    checkPreconditions(Ctx, Initial);
+    const Circuit &Logical = Ctx.circuit();
+    const CouplingGraph &Hw = Ctx.hardware();
+    Timer Clock;
+
+    RoutingResult Result;
+    Result.Routed = Circuit(Hw.numQubits(), Logical.name() + ".routed");
+    Result.InitialMapping = Initial;
+    Result.RouterName = name();
+    QubitMapping Phi = Initial;
+
+    std::vector<std::vector<uint32_t>> Layers;
+    {
+      std::vector<uint8_t> Busy(Logical.numQubits(), 0);
+      std::vector<uint32_t> Current;
+      for (uint32_t GI = 0; GI < Logical.size(); ++GI) {
+        const Gate &G = Logical.gate(GI);
+        unsigned N = G.numQubits();
+        bool Conflict = false;
+        for (unsigned Q = 0; Q < N; ++Q)
+          Conflict |= Busy[static_cast<size_t>(G.Qubits[Q])] != 0;
+        if (Conflict) {
+          Layers.push_back(std::move(Current));
+          Current.clear();
+          std::fill(Busy.begin(), Busy.end(), 0);
+        }
+        Current.push_back(GI);
+        for (unsigned Q = 0; Q < N; ++Q)
+          Busy[static_cast<size_t>(G.Qubits[Q])] = 1;
+      }
+      if (!Current.empty())
+        Layers.push_back(std::move(Current));
+    }
+
+    auto emitSwap = [&](unsigned P1, unsigned P2) {
+      Result.Routed.addSwap(static_cast<int32_t>(P1),
+                            static_cast<int32_t>(P2));
+      Result.InsertedSwapFlags.push_back(1);
+      ++Result.NumSwaps;
+      Phi.swapPhysical(static_cast<int32_t>(P1), static_cast<int32_t>(P2));
+    };
+
+    auto emitProgramGate = [&](uint32_t GI) {
+      Result.Routed.addGate(Logical.gate(GI).withMappedQubits(
+          [&Phi](int32_t Q) { return Phi.physOf(Q); }));
+      Result.InsertedSwapFlags.push_back(0);
+    };
+
+    auto routeChunk = [&](const std::vector<uint32_t> &Chunk) {
+      std::vector<int32_t> Tracked;
+      for (uint32_t GI : Chunk) {
+        Tracked.push_back(Logical.gate(GI).Qubits[0]);
+        Tracked.push_back(Logical.gate(GI).Qubits[1]);
+      }
+      std::sort(Tracked.begin(), Tracked.end());
+      Tracked.erase(std::unique(Tracked.begin(), Tracked.end()),
+                    Tracked.end());
+      std::vector<std::pair<unsigned, unsigned>> GatePairs;
+      for (uint32_t GI : Chunk) {
+        const Gate &G = Logical.gate(GI);
+        auto OrdinalOf = [&Tracked](int32_t Q) {
+          return static_cast<unsigned>(
+              std::lower_bound(Tracked.begin(), Tracked.end(), Q) -
+              Tracked.begin());
+        };
+        GatePairs.push_back({OrdinalOf(G.Qubits[0]), OrdinalOf(G.Qubits[1])});
+      }
+
+      auto heuristic = [&](const std::vector<unsigned> &Pos) {
+        unsigned H = 0;
+        for (auto [A, B] : GatePairs)
+          H += Hw.distance(Pos[A], Pos[B]) - 1;
+        return H;
+      };
+      auto isGoal = [&](const std::vector<unsigned> &Pos) {
+        for (auto [A, B] : GatePairs)
+          if (!Hw.areAdjacent(Pos[A], Pos[B]))
+            return false;
+        return true;
+      };
+
+      RefSearchNode Root;
+      Root.Positions.resize(Tracked.size());
+      for (size_t I = 0; I < Tracked.size(); ++I)
+        Root.Positions[I] = static_cast<unsigned>(Phi.physOf(Tracked[I]));
+      Root.CostH = heuristic(Root.Positions);
+
+      std::priority_queue<RefSearchNode, std::vector<RefSearchNode>,
+                          RefNodeCompare>
+          Open;
+      std::unordered_set<uint64_t> Closed;
+      Open.push(Root);
+      size_t Expansions = 0;
+      bool Solved = false;
+      RefSearchNode Goal;
+
+      while (!Open.empty() && Expansions < Options.NodeBudgetPerLayer) {
+        RefSearchNode Node = Open.top();
+        Open.pop();
+        uint64_t Key = refHashPositions(Node.Positions);
+        if (!Closed.insert(Key).second)
+          continue;
+        ++Expansions;
+        if (isGoal(Node.Positions)) {
+          Solved = true;
+          Goal = std::move(Node);
+          break;
+        }
+        for (size_t I = 0; I < Node.Positions.size(); ++I) {
+          unsigned From = Node.Positions[I];
+          for (unsigned To : Hw.neighbors(From)) {
+            RefSearchNode Next = Node;
+            Next.Positions[I] = To;
+            for (size_t J = 0; J < Next.Positions.size(); ++J)
+              if (J != I && Next.Positions[J] == To)
+                Next.Positions[J] = From;
+            Next.Swaps.push_back({From, To});
+            Next.CostG = Node.CostG + 1;
+            Next.CostH = heuristic(Next.Positions);
+            if (!Closed.count(refHashPositions(Next.Positions)))
+              Open.push(std::move(Next));
+          }
+        }
+      }
+
+      if (Solved) {
+        for (auto [P1, P2] : Goal.Swaps)
+          emitSwap(P1, P2);
+        for (uint32_t GI : Chunk)
+          emitProgramGate(GI);
+        return;
+      }
+      for (uint32_t GI : Chunk) {
+        const Gate &G = Logical.gate(GI);
+        unsigned P1 = static_cast<unsigned>(Phi.physOf(G.Qubits[0]));
+        unsigned P2 = static_cast<unsigned>(Phi.physOf(G.Qubits[1]));
+        if (!Hw.areAdjacent(P1, P2)) {
+          std::vector<unsigned> Path = Hw.shortestPath(P1, P2);
+          for (size_t I = 0; I + 2 < Path.size(); ++I)
+            emitSwap(Path[I], Path[I + 1]);
+        }
+        emitProgramGate(GI);
+      }
+    };
+
+    for (const std::vector<uint32_t> &Layer : Layers) {
+      std::vector<uint32_t> TwoQ;
+      for (uint32_t GI : Layer)
+        if (Logical.gate(GI).isTwoQubit())
+          TwoQ.push_back(GI);
+
+      bool TimedOut = Clock.elapsedSeconds() > Options.TimeBudgetSeconds;
+      if (TimedOut)
+        Result.TimedOut = true;
+
+      if (!TwoQ.empty()) {
+        if (TimedOut) {
+          for (uint32_t GI : TwoQ) {
+            const Gate &G = Logical.gate(GI);
+            unsigned P1 = static_cast<unsigned>(Phi.physOf(G.Qubits[0]));
+            unsigned P2 = static_cast<unsigned>(Phi.physOf(G.Qubits[1]));
+            if (!Hw.areAdjacent(P1, P2)) {
+              std::vector<unsigned> Path = Hw.shortestPath(P1, P2);
+              for (size_t I = 0; I + 2 < Path.size(); ++I)
+                emitSwap(Path[I], Path[I + 1]);
+            }
+            emitProgramGate(GI);
+          }
+        } else {
+          for (size_t Begin = 0; Begin < TwoQ.size();
+               Begin += Options.MaxJointGates) {
+            size_t End =
+                std::min(TwoQ.size(), Begin + Options.MaxJointGates);
+            std::vector<uint32_t> Chunk(TwoQ.begin() + Begin,
+                                        TwoQ.begin() + End);
+            routeChunk(Chunk);
+          }
+        }
+      }
+      for (uint32_t GI : Layer)
+        if (!Logical.gate(GI).isTwoQubit())
+          emitProgramGate(GI);
+    }
+
+    Result.FinalMapping = Phi;
+    Result.MappingSeconds = Clock.elapsedSeconds();
+    return Result;
+  }
+
+private:
+  QmapOptions Options;
+};
+
+} // namespace
+
+std::unique_ptr<Router>
+qlosure::bench::makeReferenceRouter(const std::string &Name) {
+  if (Name == "qlosure")
+    return std::make_unique<RefQlosureRouter>();
+  if (Name == "sabre")
+    return std::make_unique<RefSabreRouter>();
+  if (Name == "cirq")
+    return std::make_unique<RefCirqRouter>();
+  if (Name == "tket")
+    return std::make_unique<RefTketRouter>();
+  if (Name == "qmap") {
+    QmapOptions Options;
+    Options.TimeBudgetSeconds = 1e9; // Deterministic: the budget never trips.
+    return std::make_unique<RefQmapRouter>(Options);
+  }
+  reportFatalError("unknown reference router '" + Name + "'");
+}

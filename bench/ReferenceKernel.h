@@ -1,0 +1,47 @@
+//===- bench/ReferenceKernel.h - Frozen pre-scratch routing paths -*- C++ -*-===//
+//
+// Part of the Qlosure project. Distributed under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Frozen copies of the routing implementations as they existed before the
+/// RoutingScratch refactor (PR 3): a per-call-allocating front-layer
+/// tracker, the greedy skeleton with fresh per-step vectors, the Qlosure
+/// loop with O(numGates) window refills, and the node-copying QMAP A*.
+/// They exist solely as the golden reference for
+/// bench_kernel_throughput, which asserts that the allocation-free kernel
+/// produces byte-identical routed circuits and measures its speedup.
+/// Never use these outside the bench; they are deliberately not optimized
+/// and must not be "improved" — any behavioural change breaks the
+/// byte-identity guarantee they anchor.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef QLOSURE_BENCH_REFERENCEKERNEL_H
+#define QLOSURE_BENCH_REFERENCEKERNEL_H
+
+#include "baselines/CirqGreedy.h"
+#include "baselines/QmapAstar.h"
+#include "baselines/Sabre.h"
+#include "baselines/TketBounded.h"
+#include "core/Qlosure.h"
+#include "route/Router.h"
+
+#include <memory>
+#include <string>
+
+namespace qlosure {
+namespace bench {
+
+/// Creates the frozen reference implementation of the mapper named \p Name
+/// ("qlosure", "sabre", "qmap", "cirq", "tket"), configured with default
+/// options (the same defaults the registry mappers use) except that QMAP's
+/// wall-clock budget is effectively unlimited so reference and kernel runs
+/// take identical decisions. Aborts on unknown names.
+std::unique_ptr<Router> makeReferenceRouter(const std::string &Name);
+
+} // namespace bench
+} // namespace qlosure
+
+#endif // QLOSURE_BENCH_REFERENCEKERNEL_H

@@ -1,0 +1,270 @@
+//===- bench/bench_kernel_throughput.cpp - Scratch kernel vs reference ----------===//
+//
+// Part of the Qlosure project. Distributed under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Byte-identity harness and speedup report for the allocation-free
+/// routing kernel (RoutingScratch, PR 3): every QUEKO 54-qbt depth-500
+/// instance is routed twice per mapper — once through the frozen
+/// pre-scratch reference path (bench/ReferenceKernel) and once through the
+/// live kernel with one reused RoutingScratch — and the two routed
+/// circuits must match gate for gate (kinds, operands, params, swap flags,
+/// final mapping). On top of the identity check the bench reports
+/// swaps/sec and gates/sec of the kernel path and its speedup over the
+/// reference; the PR 3 acceptance bar is >= 1.5x per mapper.
+///
+/// Results are also written to BENCH_kernel.json in the working directory.
+/// JSON schema (one object):
+///   {
+///     "bench": "kernel_throughput",
+///     "workload": "queko-54qbt-d500",   // generation set + pinned depth
+///     "gen_device": "sycamore54",
+///     "backend": "sherbrooke",
+///     "instances": <int>,               // circuits routed per mapper
+///     "all_identical": <bool>,          // AND over every mapper
+///     "mappers": [
+///       { "name": <string>,            // mapper display name
+///         "identical": <bool>,          // kernel == reference, all runs
+///         "swaps": <int>,               // total inserted swaps (kernel)
+///         "routed_gates": <int>,        // total routed gates incl. swaps
+///         "ref_seconds": <float>,       // reference path wall clock
+///         "kernel_seconds": <float>,    // kernel path wall clock
+///         "speedup": <float>,           // ref_seconds / kernel_seconds
+///         "kernel_swaps_per_sec": <float>,
+///         "kernel_gates_per_sec": <float> }, ... ]
+///   }
+///
+/// --threads is accepted for flag uniformity but ignored: the comparison
+/// is inherently serial (one scratch, interleaved timing). Routing many
+/// circuits in parallel is bench_batch_throughput's job; this bench
+/// measures the single-thread kernel that each of those workers runs.
+///
+//===----------------------------------------------------------------------===//
+
+#include "bench/BenchCommon.h"
+#include "bench/ReferenceKernel.h"
+#include "baselines/CirqGreedy.h"
+#include "baselines/QmapAstar.h"
+#include "baselines/Sabre.h"
+#include "baselines/TketBounded.h"
+#include "core/Qlosure.h"
+#include "route/Verify.h"
+#include "support/StringUtils.h"
+#include "support/Table.h"
+#include "support/Timer.h"
+#include "topology/Backends.h"
+#include "workloads/Queko.h"
+
+#include <cstdio>
+#include <memory>
+#include <string>
+#include <vector>
+
+using namespace qlosure;
+using namespace qlosure::bench;
+
+namespace {
+
+/// Gate-for-gate equality of two routing results.
+bool resultsIdentical(const RoutingResult &A, const RoutingResult &B,
+                      std::string &Why) {
+  if (A.NumSwaps != B.NumSwaps) {
+    Why = formatString("swap counts differ (%zu vs %zu)", A.NumSwaps,
+                       B.NumSwaps);
+    return false;
+  }
+  if (A.Routed.size() != B.Routed.size()) {
+    Why = formatString("routed sizes differ (%zu vs %zu)", A.Routed.size(),
+                       B.Routed.size());
+    return false;
+  }
+  for (size_t I = 0; I < A.Routed.size(); ++I) {
+    const Gate &GA = A.Routed.gate(I);
+    const Gate &GB = B.Routed.gate(I);
+    if (GA.Kind != GB.Kind || GA.Qubits != GB.Qubits ||
+        GA.Params != GB.Params) {
+      Why = formatString("gate %zu differs (%s vs %s)", I,
+                         GA.toString().c_str(), GB.toString().c_str());
+      return false;
+    }
+  }
+  if (A.InsertedSwapFlags != B.InsertedSwapFlags) {
+    Why = "inserted-swap flags differ";
+    return false;
+  }
+  if (!(A.FinalMapping == B.FinalMapping)) {
+    Why = "final mappings differ";
+    return false;
+  }
+  return true;
+}
+
+struct MapperRow {
+  std::string Name;
+  bool Identical = true;
+  size_t Swaps = 0;
+  size_t RoutedGates = 0;
+  double RefSeconds = 0;
+  double KernelSeconds = 0;
+};
+
+/// The five kernel mappers, configured exactly like their reference twins
+/// (defaults everywhere; QMAP's wall-clock budget effectively unlimited so
+/// both paths take identical decisions).
+std::vector<std::pair<std::string, std::unique_ptr<Router>>>
+makeKernelMappers() {
+  std::vector<std::pair<std::string, std::unique_ptr<Router>>> Mappers;
+  Mappers.emplace_back("qlosure", std::make_unique<QlosureRouter>());
+  Mappers.emplace_back("sabre", std::make_unique<SabreRouter>());
+  QmapOptions Qmap;
+  Qmap.TimeBudgetSeconds = 1e9;
+  Mappers.emplace_back("qmap", std::make_unique<QmapAstarRouter>(Qmap));
+  Mappers.emplace_back("cirq", std::make_unique<CirqGreedyRouter>());
+  Mappers.emplace_back("tket", std::make_unique<TketBoundedRouter>());
+  return Mappers;
+}
+
+} // namespace
+
+int main(int Argc, char **Argv) {
+  BenchConfig Config = parseArgs(Argc, Argv);
+  printBanner("Kernel throughput (RoutingScratch vs frozen reference)",
+              Config);
+
+  const unsigned Depth = 500;
+  const unsigned NumInstances = Config.Full ? 3 : 1;
+
+  CouplingGraph Gen = makeSycamore54();
+  CouplingGraph Backend = makeBackendByName("sherbrooke");
+
+  std::vector<QuekoInstance> Instances;
+  for (unsigned I = 0; I < NumInstances; ++I) {
+    QuekoSpec Spec;
+    Spec.Depth = Depth;
+    Spec.Seed = Config.Seed + I;
+    QuekoInstance Inst = generateQueko(Gen, Spec);
+    Inst.Circ.setName(formatString("queko-54qbt-d%u-i%u", Depth, I));
+    Instances.push_back(std::move(Inst));
+  }
+
+  std::vector<RoutingContext> Contexts;
+  Contexts.reserve(Instances.size());
+  for (const QuekoInstance &Inst : Instances)
+    Contexts.push_back(RoutingContext::build(Inst.Circ, Backend));
+  // Warm the lazily memoized omega weights so both timed paths measure
+  // routing, not first-touch context effects.
+  for (const RoutingContext &Ctx : Contexts)
+    Ctx.dependenceWeights();
+
+  auto Kernels = makeKernelMappers();
+  std::vector<MapperRow> Rows;
+  bool AllIdentical = true;
+
+  // One scratch reused across every kernel run of every mapper — the
+  // deployment shape (BatchRunner gives each worker thread exactly one).
+  RoutingScratch Scratch;
+
+  for (auto &[Key, Kernel] : Kernels) {
+    std::unique_ptr<Router> Reference = makeReferenceRouter(Key);
+    MapperRow Row;
+    Row.Name = Kernel->name();
+    for (size_t I = 0; I < Instances.size(); ++I) {
+      const RoutingContext &Ctx = Contexts[I];
+
+      Timer RefClock;
+      RoutingResult RefResult = Reference->routeWithIdentity(Ctx);
+      Row.RefSeconds += RefClock.elapsedSeconds();
+
+      Timer KernelClock;
+      RoutingResult KernelResult =
+          Kernel->routeWithIdentity(Ctx, Scratch);
+      Row.KernelSeconds += KernelClock.elapsedSeconds();
+
+      std::string Why;
+      if (!resultsIdentical(RefResult, KernelResult, Why)) {
+        Row.Identical = false;
+        AllIdentical = false;
+        std::fprintf(stderr, "error: %s diverges on %s: %s\n",
+                     Row.Name.c_str(), Instances[I].Circ.name().c_str(),
+                     Why.c_str());
+      }
+      if (Config.Verify) {
+        VerifyResult V =
+            verifyRouting(Ctx.circuit(), Ctx.hardware(), KernelResult);
+        if (!V.Ok) {
+          Row.Identical = false;
+          AllIdentical = false;
+          std::fprintf(stderr, "error: %s kernel routing invalid: %s\n",
+                       Row.Name.c_str(), V.Message.c_str());
+        }
+      }
+      Row.Swaps += KernelResult.NumSwaps;
+      Row.RoutedGates += KernelResult.Routed.size();
+    }
+    Rows.push_back(std::move(Row));
+  }
+
+  Table T({"Mapper", "Identical", "Swaps", "Ref s", "Kernel s", "Speedup",
+           "Swaps/s", "Gates/s"});
+  for (const MapperRow &Row : Rows) {
+    double Speedup =
+        Row.KernelSeconds > 0 ? Row.RefSeconds / Row.KernelSeconds : 0;
+    T.addRow({Row.Name, Row.Identical ? "yes" : "NO (BUG)",
+              formatString("%zu", Row.Swaps),
+              formatString("%.3f", Row.RefSeconds),
+              formatString("%.3f", Row.KernelSeconds),
+              formatString("%.2fx", Speedup),
+              formatString("%.0f",
+                           static_cast<double>(Row.Swaps) /
+                               Row.KernelSeconds),
+              formatString("%.0f",
+                           static_cast<double>(Row.RoutedGates) /
+                               Row.KernelSeconds)});
+  }
+  std::fputs(T.render().c_str(), stdout);
+  std::printf("\nShape check: every row must say 'yes' and speedups "
+              "should be >= 1.5x (PR 3 acceptance bar).\n");
+
+  // See the file header for the JSON schema.
+  {
+    FILE *F = std::fopen("BENCH_kernel.json", "w");
+    if (!F) {
+      std::fprintf(stderr, "error: cannot write BENCH_kernel.json\n");
+      return 1;
+    }
+    std::fprintf(F,
+                 "{\n"
+                 "  \"bench\": \"kernel_throughput\",\n"
+                 "  \"workload\": \"queko-54qbt-d%u\",\n"
+                 "  \"gen_device\": \"sycamore54\",\n"
+                 "  \"backend\": \"sherbrooke\",\n"
+                 "  \"instances\": %u,\n"
+                 "  \"all_identical\": %s,\n"
+                 "  \"mappers\": [\n",
+                 Depth, NumInstances, AllIdentical ? "true" : "false");
+    for (size_t I = 0; I < Rows.size(); ++I) {
+      const MapperRow &Row = Rows[I];
+      double Speedup =
+          Row.KernelSeconds > 0 ? Row.RefSeconds / Row.KernelSeconds : 0;
+      std::fprintf(
+          F,
+          "    { \"name\": \"%s\", \"identical\": %s, \"swaps\": %zu,\n"
+          "      \"routed_gates\": %zu, \"ref_seconds\": %.6f,\n"
+          "      \"kernel_seconds\": %.6f, \"speedup\": %.3f,\n"
+          "      \"kernel_swaps_per_sec\": %.1f,\n"
+          "      \"kernel_gates_per_sec\": %.1f }%s\n",
+          Row.Name.c_str(), Row.Identical ? "true" : "false", Row.Swaps,
+          Row.RoutedGates, Row.RefSeconds, Row.KernelSeconds, Speedup,
+          static_cast<double>(Row.Swaps) / Row.KernelSeconds,
+          static_cast<double>(Row.RoutedGates) / Row.KernelSeconds,
+          I + 1 < Rows.size() ? "," : "");
+    }
+    std::fprintf(F, "  ]\n}\n");
+    std::fclose(F);
+    std::printf("wrote BENCH_kernel.json\n");
+  }
+
+  return AllIdentical ? 0 : 1;
+}

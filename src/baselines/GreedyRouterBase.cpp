@@ -3,6 +3,16 @@
 // Part of the Qlosure project. Distributed under the MIT license.
 //
 //===----------------------------------------------------------------------===//
+//
+// The inner loop runs entirely out of the caller's RoutingScratch: the
+// ready/candidate/distance arrays are reused across steps (and across
+// route() calls sharing the scratch), the look-ahead window is the
+// epoch-stamped FrontLayerTracker one, and candidate physical qubits are
+// deduplicated with an epoch marker — no per-step heap allocation once the
+// scratch is warm. The decision sequence is byte-identical to the
+// pre-scratch implementation (bench_kernel_throughput asserts this).
+//
+//===----------------------------------------------------------------------===//
 
 #include "baselines/GreedyRouterBase.h"
 
@@ -18,17 +28,22 @@
 using namespace qlosure;
 
 RoutingResult GreedyRouterBase::route(const RoutingContext &Ctx,
-                                      const QubitMapping &Initial) {
+                                      const QubitMapping &Initial,
+                                      RoutingScratch &S) {
   checkPreconditions(Ctx, Initial);
   const Circuit &Logical = Ctx.circuit();
   const CouplingGraph &Hw = Ctx.hardware();
   Timer Clock;
 
   const CircuitDag &Dag = Ctx.dag();
-  FrontLayerTracker Tracker(Dag);
+  S.ensurePhys(Hw.numQubits());
+  // TouchingGates persists across route() calls; start from a clean slate
+  // in case the previous user of this scratch left entries behind.
+  S.clearTouchingGates();
+  FrontLayerTracker Tracker(Dag, S);
   QubitMapping Phi = Initial;
   Rng TieBreaker(seed());
-  std::vector<double> Decay(Logical.numQubits(), 1.0);
+  S.Decay.assign(Logical.numQubits(), 1.0);
 
   RoutingResult Result;
   Result.Routed = Circuit(Hw.numQubits(), Logical.name() + ".routed");
@@ -56,9 +71,9 @@ RoutingResult GreedyRouterBase::route(const RoutingContext &Ctx,
     Phi.swapPhysical(static_cast<int32_t>(P1), static_cast<int32_t>(P2));
     if (usesDecay()) {
       if (L1 >= 0)
-        Decay[static_cast<size_t>(L1)] += decayIncrement();
+        S.Decay[static_cast<size_t>(L1)] += decayIncrement();
       if (L2 >= 0)
-        Decay[static_cast<size_t>(L2)] += decayIncrement();
+        S.Decay[static_cast<size_t>(L2)] += decayIncrement();
     }
   };
 
@@ -68,12 +83,13 @@ RoutingResult GreedyRouterBase::route(const RoutingContext &Ctx,
     bool Changed = true;
     while (Changed) {
       Changed = false;
-      std::vector<uint32_t> Ready;
+      // Snapshot: execute() mutates the front.
+      S.Ready.clear();
       for (uint32_t G : Tracker.front())
         if (isExecutable(G))
-          Ready.push_back(G);
-      std::sort(Ready.begin(), Ready.end());
-      for (uint32_t G : Ready) {
+          S.Ready.push_back(G);
+      std::sort(S.Ready.begin(), S.Ready.end());
+      for (uint32_t G : S.Ready) {
         Result.Routed.addGate(Logical.gate(G).withMappedQubits(physOf));
         Result.InsertedSwapFlags.push_back(0);
         Tracker.execute(G);
@@ -83,7 +99,7 @@ RoutingResult GreedyRouterBase::route(const RoutingContext &Ctx,
     }
     if (Progress) {
       if (usesDecay())
-        std::fill(Decay.begin(), Decay.end(), 1.0);
+        std::fill(S.Decay.begin(), S.Decay.end(), 1.0);
       SwapsSinceProgress = 0;
       continue;
     }
@@ -108,103 +124,136 @@ RoutingResult GreedyRouterBase::route(const RoutingContext &Ctx,
     }
 
     // Phase 2: choose one SWAP.
-    std::vector<uint32_t> FrontTwoQ;
+    S.FrontTwoQ.clear();
     for (uint32_t G : Tracker.front())
       if (Logical.gate(G).isTwoQubit())
-        FrontTwoQ.push_back(G);
-    std::sort(FrontTwoQ.begin(), FrontTwoQ.end());
+        S.FrontTwoQ.push_back(G);
+    std::sort(S.FrontTwoQ.begin(), S.FrontTwoQ.end());
 
-    size_t WantExtended = extendedWindowSize(FrontTwoQ.size());
-    std::vector<uint32_t> Extended;
+    size_t WantExtended = extendedWindowSize(S.FrontTwoQ.size());
+    S.Extended.clear();
     if (WantExtended) {
       // Topological window includes the front; skip those entries.
-      std::vector<uint32_t> Window =
-          Tracker.topologicalWindow(FrontTwoQ.size() + 4 * WantExtended);
+      const std::vector<uint32_t> &Window =
+          Tracker.topologicalWindow(S.FrontTwoQ.size() + 4 * WantExtended);
       for (uint32_t G : Window) {
         if (Tracker.isInFront(G) || !Logical.gate(G).isTwoQubit())
           continue;
-        Extended.push_back(G);
-        if (Extended.size() >= WantExtended)
+        S.Extended.push_back(G);
+        if (S.Extended.size() >= WantExtended)
           break;
       }
     }
 
     // Candidate swaps on front physical qubits.
-    std::vector<std::pair<unsigned, unsigned>> Candidates;
+    S.Candidates.clear();
     {
-      std::vector<unsigned> PFront;
-      std::vector<uint8_t> InFront(Hw.numQubits(), 0);
-      for (uint32_t GI : FrontTwoQ)
+      S.PFront.clear();
+      S.PhysSeen.beginEpoch();
+      for (uint32_t GI : S.FrontTwoQ)
         for (unsigned Q = 0; Q < 2; ++Q) {
           unsigned P = static_cast<unsigned>(
               Phi.physOf(Logical.gate(GI).Qubits[Q]));
-          if (!InFront[P]) {
-            InFront[P] = 1;
-            PFront.push_back(P);
+          if (!S.PhysSeen.fresh(P)) {
+            S.PhysSeen.set(P, 1);
+            S.PFront.push_back(P);
           }
         }
-      std::sort(PFront.begin(), PFront.end());
-      for (unsigned P1 : PFront)
+      std::sort(S.PFront.begin(), S.PFront.end());
+      for (unsigned P1 : S.PFront)
         for (unsigned P2 : Hw.neighbors(P1)) {
           unsigned Lo = std::min(P1, P2), Hi = std::max(P1, P2);
           bool Dup = false;
-          for (const auto &C : Candidates)
+          for (const auto &C : S.Candidates)
             if (C.first == Lo && C.second == Hi) {
               Dup = true;
               break;
             }
           if (!Dup)
-            Candidates.push_back({Lo, Hi});
+            S.Candidates.push_back({Lo, Hi});
         }
     }
-    assert(!Candidates.empty() && "no candidates on a connected graph");
+    assert(!S.Candidates.empty() && "no candidates on a connected graph");
+
+    // Delta-rescoring setup: record each scored gate's current physical
+    // endpoints and base (no-swap) distance once per step, plus which
+    // gates each physical qubit hosts. A candidate swap (P1, P2) can only
+    // change the distance of gates hosted on P1 or P2, so the per-candidate
+    // work is one flat copy of the base distances plus a handful of
+    // recomputed entries — instead of |front| + |extended| distance-matrix
+    // lookups per candidate. Distances are small integers, so the patched
+    // arrays are bit-identical to full recomputation.
+    const size_t NumFront = S.FrontTwoQ.size();
+    const size_t NumScored = NumFront + S.Extended.size();
+    S.GreedyEndA.resize(NumScored);
+    S.GreedyEndB.resize(NumScored);
+    S.GreedyBaseDists.resize(NumScored);
+    S.clearTouchingGates();
+    for (size_t I = 0; I < NumScored; ++I) {
+      const Gate &G = Logical.gate(I < NumFront ? S.FrontTwoQ[I]
+                                                : S.Extended[I - NumFront]);
+      unsigned PA = static_cast<unsigned>(Phi.physOf(G.Qubits[0]));
+      unsigned PB = static_cast<unsigned>(Phi.physOf(G.Qubits[1]));
+      S.GreedyEndA[I] = PA;
+      S.GreedyEndB[I] = PB;
+      S.GreedyBaseDists[I] = Hw.distance(PA, PB);
+      if (S.TouchingGates[PA].empty())
+        S.TouchedPhys.push_back(PA);
+      S.TouchingGates[PA].push_back(static_cast<uint32_t>(I));
+      if (PB != PA) {
+        if (S.TouchingGates[PB].empty())
+          S.TouchedPhys.push_back(PB);
+        S.TouchingGates[PB].push_back(static_cast<uint32_t>(I));
+      }
+    }
 
     double BestScore = std::numeric_limits<double>::infinity();
-    std::vector<size_t> BestIdx;
-    std::vector<unsigned> FrontDists(FrontTwoQ.size());
-    std::vector<unsigned> ExtDists(Extended.size());
-    for (size_t CI = 0; CI < Candidates.size(); ++CI) {
-      auto [P1, P2] = Candidates[CI];
-      auto mapThroughSwap = [&](int32_t L) -> unsigned {
-        unsigned P = static_cast<unsigned>(Phi.physOf(L));
-        if (P == P1)
-          return P2;
-        if (P == P2)
-          return P1;
-        return P;
+    S.BestIdx.clear();
+    for (size_t CI = 0; CI < S.Candidates.size(); ++CI) {
+      auto [P1, P2] = S.Candidates[CI];
+      S.FrontDists.assign(S.GreedyBaseDists.begin(),
+                          S.GreedyBaseDists.begin() + NumFront);
+      S.ExtDists.assign(S.GreedyBaseDists.begin() + NumFront,
+                        S.GreedyBaseDists.end());
+      // Patch the gates hosted on the swapped qubits (a gate on both is
+      // patched twice with the same value — harmless).
+      auto patchGatesOn = [&](unsigned P) {
+        for (uint32_t I : S.TouchingGates[P]) {
+          unsigned PA = S.GreedyEndA[I];
+          unsigned PB = S.GreedyEndB[I];
+          unsigned NewPA = PA == P1 ? P2 : (PA == P2 ? P1 : PA);
+          unsigned NewPB = PB == P1 ? P2 : (PB == P2 ? P1 : PB);
+          unsigned D = Hw.distance(NewPA, NewPB);
+          if (I < NumFront)
+            S.FrontDists[I] = D;
+          else
+            S.ExtDists[I - NumFront] = D;
+        }
       };
-      for (size_t I = 0; I < FrontTwoQ.size(); ++I) {
-        const Gate &G = Logical.gate(FrontTwoQ[I]);
-        FrontDists[I] = Hw.distance(mapThroughSwap(G.Qubits[0]),
-                                    mapThroughSwap(G.Qubits[1]));
-      }
-      for (size_t I = 0; I < Extended.size(); ++I) {
-        const Gate &G = Logical.gate(Extended[I]);
-        ExtDists[I] = Hw.distance(mapThroughSwap(G.Qubits[0]),
-                                  mapThroughSwap(G.Qubits[1]));
-      }
+      patchGatesOn(P1);
+      patchGatesOn(P2);
       double MaxDecay = 1.0;
       if (usesDecay()) {
         int32_t L1 = Phi.logOf(static_cast<int32_t>(P1));
         int32_t L2 = Phi.logOf(static_cast<int32_t>(P2));
-        double D1 = L1 >= 0 ? Decay[static_cast<size_t>(L1)] : 1.0;
-        double D2 = L2 >= 0 ? Decay[static_cast<size_t>(L2)] : 1.0;
+        double D1 = L1 >= 0 ? S.Decay[static_cast<size_t>(L1)] : 1.0;
+        double D2 = L2 >= 0 ? S.Decay[static_cast<size_t>(L2)] : 1.0;
         MaxDecay = std::max(D1, D2);
       }
-      double Score = scoreSwap(FrontDists, ExtDists, MaxDecay);
+      double Score = scoreSwap(S.FrontDists, S.ExtDists, MaxDecay);
       if (Score < BestScore - 1e-12) {
         BestScore = Score;
-        BestIdx.clear();
-        BestIdx.push_back(CI);
+        S.BestIdx.clear();
+        S.BestIdx.push_back(CI);
       } else if (Score <= BestScore + 1e-12) {
-        BestIdx.push_back(CI);
+        S.BestIdx.push_back(CI);
       }
     }
     size_t Pick = randomTieBreak()
-                      ? BestIdx[static_cast<size_t>(
-                            TieBreaker.nextBounded(BestIdx.size()))]
-                      : BestIdx.front();
-    emitSwap(Candidates[Pick].first, Candidates[Pick].second);
+                      ? S.BestIdx[static_cast<size_t>(
+                            TieBreaker.nextBounded(S.BestIdx.size()))]
+                      : S.BestIdx.front();
+    emitSwap(S.Candidates[Pick].first, S.Candidates[Pick].second);
     ++SwapsSinceProgress;
   }
 

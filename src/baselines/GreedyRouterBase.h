@@ -30,8 +30,8 @@ class FrontLayerTracker;
 class GreedyRouterBase : public Router {
 public:
   using Router::route;
-  RoutingResult route(const RoutingContext &Ctx,
-                      const QubitMapping &Initial) final;
+  RoutingResult route(const RoutingContext &Ctx, const QubitMapping &Initial,
+                      RoutingScratch &Scratch) final;
 
 protected:
   /// Number of look-ahead gates beyond the front layer the subclass wants

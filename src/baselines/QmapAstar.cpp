@@ -3,6 +3,17 @@
 // Part of the Qlosure project. Distributed under the MIT license.
 //
 //===----------------------------------------------------------------------===//
+//
+// The A* search runs out of the caller's RoutingScratch: nodes are flat
+// (parent link + one swap) with their tracked-qubit positions in a shared
+// arena, the open list is a binary heap of node ids over a reused vector
+// (std::push_heap/std::pop_heap — exactly what std::priority_queue does
+// underneath, so the expansion order is byte-identical to the pre-scratch
+// node-copying implementation), and the closed set and per-chunk vectors
+// are reused across chunks and route() calls. Expanding a node copies K
+// unsigneds instead of allocating two vectors per neighbor.
+//
+//===----------------------------------------------------------------------===//
 
 #include "baselines/QmapAstar.h"
 
@@ -10,36 +21,28 @@
 
 #include <algorithm>
 #include <cassert>
-#include <queue>
-#include <unordered_set>
 
 using namespace qlosure;
 
 namespace {
 
-/// One A* search node: positions of the tracked logical qubits plus the
-/// swap path taken from the root.
-struct SearchNode {
-  std::vector<unsigned> Positions; ///< Phys position per tracked ordinal.
-  std::vector<std::pair<unsigned, unsigned>> Swaps;
-  unsigned CostG = 0;
-  unsigned CostH = 0;
-
-  unsigned costF() const { return CostG + CostH; }
-};
-
-struct NodeCompare {
-  bool operator()(const SearchNode &A, const SearchNode &B) const {
-    if (A.costF() != B.costF())
-      return A.costF() > B.costF();
-    return A.CostG < B.CostG; // Prefer deeper nodes among equal f.
+/// Heap order over node ids: the reference NodeCompare lifted to ids.
+/// Lower f on top; among equal f, deeper nodes (higher g) first.
+struct NodeIdCompare {
+  const std::vector<RoutingScratch::AstarNode> *Nodes;
+  bool operator()(uint32_t A, uint32_t B) const {
+    const RoutingScratch::AstarNode &NA = (*Nodes)[A];
+    const RoutingScratch::AstarNode &NB = (*Nodes)[B];
+    if (NA.costF() != NB.costF())
+      return NA.costF() > NB.costF();
+    return NA.CostG < NB.CostG; // Prefer deeper nodes among equal f.
   }
 };
 
-uint64_t hashPositions(const std::vector<unsigned> &Positions) {
+uint64_t hashPositions(const unsigned *Positions, size_t K) {
   uint64_t H = 0xCBF29CE484222325ULL;
-  for (unsigned P : Positions) {
-    H ^= P;
+  for (size_t I = 0; I < K; ++I) {
+    H ^= Positions[I];
     H *= 0x100000001B3ULL;
   }
   return H;
@@ -48,7 +51,8 @@ uint64_t hashPositions(const std::vector<unsigned> &Positions) {
 } // namespace
 
 RoutingResult QmapAstarRouter::route(const RoutingContext &Ctx,
-                                     const QubitMapping &Initial) {
+                                     const QubitMapping &Initial,
+                                     RoutingScratch &S) {
   checkPreconditions(Ctx, Initial);
   const Circuit &Logical = Ctx.circuit();
   const CouplingGraph &Hw = Ctx.hardware();
@@ -61,29 +65,27 @@ RoutingResult QmapAstarRouter::route(const RoutingContext &Ctx,
   QubitMapping Phi = Initial;
 
   // Time-sliced layer partition: a gate joins the current layer unless one
-  // of its qubits is already busy there.
-  std::vector<std::vector<uint32_t>> Layers;
-  {
-    std::vector<uint8_t> Busy(Logical.numQubits(), 0);
-    std::vector<uint32_t> Current;
-    for (uint32_t GI = 0; GI < Logical.size(); ++GI) {
-      const Gate &G = Logical.gate(GI);
-      unsigned N = G.numQubits();
-      bool Conflict = false;
-      for (unsigned Q = 0; Q < N; ++Q)
-        Conflict |= Busy[static_cast<size_t>(G.Qubits[Q])] != 0;
-      if (Conflict) {
-        Layers.push_back(std::move(Current));
-        Current.clear();
-        std::fill(Busy.begin(), Busy.end(), 0);
-      }
-      Current.push_back(GI);
-      for (unsigned Q = 0; Q < N; ++Q)
-        Busy[static_cast<size_t>(G.Qubits[Q])] = 1;
+  // of its qubits is already busy there. Gates enter layers in index
+  // order, so layer k is the contiguous range [Bounds[k], Bounds[k+1]).
+  std::vector<uint32_t> &Bounds = S.QmapLayerBounds;
+  Bounds.clear();
+  S.QmapBusy.assign(Logical.numQubits(), 0);
+  for (uint32_t GI = 0; GI < Logical.size(); ++GI) {
+    const Gate &G = Logical.gate(GI);
+    unsigned N = G.numQubits();
+    bool Conflict = false;
+    for (unsigned Q = 0; Q < N; ++Q)
+      Conflict |= S.QmapBusy[static_cast<size_t>(G.Qubits[Q])] != 0;
+    if (GI == 0 || Conflict) {
+      Bounds.push_back(GI);
+      if (Conflict)
+        std::fill(S.QmapBusy.begin(), S.QmapBusy.end(),
+                  static_cast<uint8_t>(0));
     }
-    if (!Current.empty())
-      Layers.push_back(std::move(Current));
+    for (unsigned Q = 0; Q < N; ++Q)
+      S.QmapBusy[static_cast<size_t>(G.Qubits[Q])] = 1;
   }
+  Bounds.push_back(static_cast<uint32_t>(Logical.size()));
 
   auto emitSwap = [&](unsigned P1, unsigned P2) {
     Result.Routed.addSwap(static_cast<int32_t>(P1), static_cast<int32_t>(P2));
@@ -102,19 +104,22 @@ RoutingResult QmapAstarRouter::route(const RoutingContext &Ctx,
   /// search over the joint placement of the chunk's qubits, then emits the
   /// chunk's gates. Falls back to greedy shortest-path insertion per gate
   /// when the node budget is exhausted.
-  auto routeChunk = [&](const std::vector<uint32_t> &Chunk) {
+  auto routeChunk = [&](const uint32_t *Chunk, size_t ChunkSize) {
     // Tracked qubits: the chunk's logical operands.
-    std::vector<int32_t> Tracked;
-    for (uint32_t GI : Chunk) {
-      Tracked.push_back(Logical.gate(GI).Qubits[0]);
-      Tracked.push_back(Logical.gate(GI).Qubits[1]);
+    std::vector<int32_t> &Tracked = S.AstarTracked;
+    Tracked.clear();
+    for (size_t C = 0; C < ChunkSize; ++C) {
+      Tracked.push_back(Logical.gate(Chunk[C]).Qubits[0]);
+      Tracked.push_back(Logical.gate(Chunk[C]).Qubits[1]);
     }
     std::sort(Tracked.begin(), Tracked.end());
     Tracked.erase(std::unique(Tracked.begin(), Tracked.end()),
                   Tracked.end());
-    std::vector<std::pair<unsigned, unsigned>> GatePairs;
-    for (uint32_t GI : Chunk) {
-      const Gate &G = Logical.gate(GI);
+    const size_t K = Tracked.size();
+    std::vector<std::pair<unsigned, unsigned>> &GatePairs = S.AstarGatePairs;
+    GatePairs.clear();
+    for (size_t C = 0; C < ChunkSize; ++C) {
+      const Gate &G = Logical.gate(Chunk[C]);
       auto OrdinalOf = [&Tracked](int32_t Q) {
         return static_cast<unsigned>(
             std::lower_bound(Tracked.begin(), Tracked.end(), Q) -
@@ -123,74 +128,102 @@ RoutingResult QmapAstarRouter::route(const RoutingContext &Ctx,
       GatePairs.push_back({OrdinalOf(G.Qubits[0]), OrdinalOf(G.Qubits[1])});
     }
 
-    auto heuristic = [&](const std::vector<unsigned> &Pos) {
+    auto heuristic = [&](const unsigned *Pos) {
       unsigned H = 0;
       for (auto [A, B] : GatePairs)
         H += Hw.distance(Pos[A], Pos[B]) - 1;
       return H;
     };
-    auto isGoal = [&](const std::vector<unsigned> &Pos) {
+    auto isGoal = [&](const unsigned *Pos) {
       for (auto [A, B] : GatePairs)
         if (!Hw.areAdjacent(Pos[A], Pos[B]))
           return false;
       return true;
     };
 
-    SearchNode Root;
-    Root.Positions.resize(Tracked.size());
-    for (size_t I = 0; I < Tracked.size(); ++I)
-      Root.Positions[I] = static_cast<unsigned>(Phi.physOf(Tracked[I]));
-    Root.CostH = heuristic(Root.Positions);
+    // Flat node pools, reset per chunk (capacity retained).
+    std::vector<RoutingScratch::AstarNode> &Nodes = S.AstarNodes;
+    std::vector<unsigned> &Arena = S.AstarPositions;
+    std::vector<uint32_t> &Heap = S.AstarHeap;
+    Nodes.clear();
+    Arena.clear();
+    Heap.clear();
+    S.AstarClosed.clear();
+    NodeIdCompare Compare{&Nodes};
+    auto posOf = [&](uint32_t Id) { return Arena.data() + Id * K; };
 
-    std::priority_queue<SearchNode, std::vector<SearchNode>, NodeCompare>
-        Open;
-    std::unordered_set<uint64_t> Closed;
-    Open.push(Root);
+    // Root node.
+    {
+      RoutingScratch::AstarNode Root;
+      Arena.resize(K);
+      for (size_t I = 0; I < K; ++I)
+        Arena[I] = static_cast<unsigned>(Phi.physOf(Tracked[I]));
+      Root.CostH = heuristic(Arena.data());
+      Nodes.push_back(Root);
+      Heap.push_back(0);
+    }
+
     size_t Expansions = 0;
-    bool Solved = false;
-    SearchNode Goal;
+    uint32_t GoalId = UINT32_MAX;
 
-    while (!Open.empty() && Expansions < Options.NodeBudgetPerLayer) {
-      SearchNode Node = Open.top();
-      Open.pop();
-      uint64_t Key = hashPositions(Node.Positions);
-      if (!Closed.insert(Key).second)
+    while (!Heap.empty() && Expansions < Options.NodeBudgetPerLayer) {
+      uint32_t NodeId = Heap.front();
+      std::pop_heap(Heap.begin(), Heap.end(), Compare);
+      Heap.pop_back();
+      uint64_t Key = hashPositions(posOf(NodeId), K);
+      if (!S.AstarClosed.insert(Key).second)
         continue;
       ++Expansions;
-      if (isGoal(Node.Positions)) {
-        Solved = true;
-        Goal = std::move(Node);
+      if (isGoal(posOf(NodeId))) {
+        GoalId = NodeId;
         break;
       }
-      for (size_t I = 0; I < Node.Positions.size(); ++I) {
-        unsigned From = Node.Positions[I];
+      for (size_t I = 0; I < K; ++I) {
+        unsigned From = posOf(NodeId)[I];
         for (unsigned To : Hw.neighbors(From)) {
-          SearchNode Next = Node;
-          Next.Positions[I] = To;
+          // Build the successor's positions in the temp buffer first; the
+          // node is materialized only if it survives the closed check.
+          S.AstarTmpPos.assign(posOf(NodeId), posOf(NodeId) + K);
+          S.AstarTmpPos[I] = To;
           // If another tracked qubit occupies To, it moves to From.
-          for (size_t J = 0; J < Next.Positions.size(); ++J)
-            if (J != I && Next.Positions[J] == To)
-              Next.Positions[J] = From;
-          Next.Swaps.push_back({From, To});
-          Next.CostG = Node.CostG + 1;
-          Next.CostH = heuristic(Next.Positions);
-          if (!Closed.count(hashPositions(Next.Positions)))
-            Open.push(std::move(Next));
+          for (size_t J = 0; J < K; ++J)
+            if (J != I && S.AstarTmpPos[J] == To)
+              S.AstarTmpPos[J] = From;
+          if (S.AstarClosed.count(hashPositions(S.AstarTmpPos.data(), K)))
+            continue;
+          RoutingScratch::AstarNode Next;
+          Next.Parent = NodeId;
+          Next.SwapFrom = From;
+          Next.SwapTo = To;
+          Next.CostG = Nodes[NodeId].CostG + 1;
+          Next.CostH = heuristic(S.AstarTmpPos.data());
+          uint32_t NextId = static_cast<uint32_t>(Nodes.size());
+          Nodes.push_back(Next);
+          Arena.insert(Arena.end(), S.AstarTmpPos.begin(),
+                       S.AstarTmpPos.end());
+          Heap.push_back(NextId);
+          std::push_heap(Heap.begin(), Heap.end(), Compare);
         }
       }
     }
 
-    if (Solved) {
-      for (auto [P1, P2] : Goal.Swaps)
+    if (GoalId != UINT32_MAX) {
+      // Reconstruct the swap sequence root -> goal via parent links.
+      S.AstarPath.clear();
+      for (uint32_t Id = GoalId; Nodes[Id].Parent != UINT32_MAX;
+           Id = Nodes[Id].Parent)
+        S.AstarPath.push_back({Nodes[Id].SwapFrom, Nodes[Id].SwapTo});
+      std::reverse(S.AstarPath.begin(), S.AstarPath.end());
+      for (auto [P1, P2] : S.AstarPath)
         emitSwap(P1, P2);
-      for (uint32_t GI : Chunk)
-        emitProgramGate(GI);
+      for (size_t C = 0; C < ChunkSize; ++C)
+        emitProgramGate(Chunk[C]);
       return;
     }
     // Budget exhausted: resolve-and-emit each gate immediately (a later
     // gate's path may separate an earlier pair, so emission cannot wait).
-    for (uint32_t GI : Chunk) {
-      const Gate &G = Logical.gate(GI);
+    for (size_t C = 0; C < ChunkSize; ++C) {
+      const Gate &G = Logical.gate(Chunk[C]);
       unsigned P1 = static_cast<unsigned>(Phi.physOf(G.Qubits[0]));
       unsigned P2 = static_cast<unsigned>(Phi.physOf(G.Qubits[1]));
       if (!Hw.areAdjacent(P1, P2)) {
@@ -198,24 +231,25 @@ RoutingResult QmapAstarRouter::route(const RoutingContext &Ctx,
         for (size_t I = 0; I + 2 < Path.size(); ++I)
           emitSwap(Path[I], Path[I + 1]);
       }
-      emitProgramGate(GI);
+      emitProgramGate(Chunk[C]);
     }
   };
 
-  for (const std::vector<uint32_t> &Layer : Layers) {
-    std::vector<uint32_t> TwoQ;
-    for (uint32_t GI : Layer)
+  for (size_t LI = 0; LI + 1 < Bounds.size(); ++LI) {
+    uint32_t Begin = Bounds[LI], End = Bounds[LI + 1];
+    S.QmapTwoQ.clear();
+    for (uint32_t GI = Begin; GI < End; ++GI)
       if (Logical.gate(GI).isTwoQubit())
-        TwoQ.push_back(GI);
+        S.QmapTwoQ.push_back(GI);
 
     bool TimedOut = Clock.elapsedSeconds() > Options.TimeBudgetSeconds;
     if (TimedOut)
       Result.TimedOut = true;
 
-    if (!TwoQ.empty()) {
+    if (!S.QmapTwoQ.empty()) {
       if (TimedOut) {
         // Greedy completion so callers still receive a valid circuit.
-        for (uint32_t GI : TwoQ) {
+        for (uint32_t GI : S.QmapTwoQ) {
           const Gate &G = Logical.gate(GI);
           unsigned P1 = static_cast<unsigned>(Phi.physOf(G.Qubits[0]));
           unsigned P2 = static_cast<unsigned>(Phi.physOf(G.Qubits[1]));
@@ -230,17 +264,16 @@ RoutingResult QmapAstarRouter::route(const RoutingContext &Ctx,
         // Joint A* over chunks of at most MaxJointGates disjoint gates
         // (MQT QMAP splits large layers the same way to keep the search
         // space tractable).
-        for (size_t Begin = 0; Begin < TwoQ.size();
-             Begin += Options.MaxJointGates) {
-          size_t End = std::min(TwoQ.size(), Begin + Options.MaxJointGates);
-          std::vector<uint32_t> Chunk(TwoQ.begin() + Begin,
-                                      TwoQ.begin() + End);
-          routeChunk(Chunk);
+        for (size_t ChunkBegin = 0; ChunkBegin < S.QmapTwoQ.size();
+             ChunkBegin += Options.MaxJointGates) {
+          size_t ChunkEnd = std::min(S.QmapTwoQ.size(),
+                                     ChunkBegin + Options.MaxJointGates);
+          routeChunk(S.QmapTwoQ.data() + ChunkBegin, ChunkEnd - ChunkBegin);
         }
       }
     }
     // Single-qubit gates of the layer execute wherever their qubit sits.
-    for (uint32_t GI : Layer)
+    for (uint32_t GI = Begin; GI < End; ++GI)
       if (!Logical.gate(GI).isTwoQubit())
         emitProgramGate(GI);
   }

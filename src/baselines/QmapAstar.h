@@ -46,8 +46,8 @@ public:
   std::string name() const override { return "QMAP"; }
 
   using Router::route;
-  RoutingResult route(const RoutingContext &Ctx,
-                      const QubitMapping &Initial) override;
+  RoutingResult route(const RoutingContext &Ctx, const QubitMapping &Initial,
+                      RoutingScratch &Scratch) override;
 
 private:
   QmapOptions Options;

@@ -3,6 +3,18 @@
 // Part of the Qlosure project. Distributed under the MIT license.
 //
 //===----------------------------------------------------------------------===//
+//
+// The main loop runs out of the caller's RoutingScratch: the look-ahead
+// window, the per-gate level map and the delta-rescoring visit markers are
+// epoch-stamped (O(1) reset per step instead of O(numGates) refills), the
+// per-qubit touching-gate lists are cleared surgically via the touched-set,
+// and every candidate/score array is a reused flat buffer. Only the gates
+// hosted on the two swapped qubits are rescored per candidate (delta
+// rescoring against the cached per-layer base sums). The decision sequence
+// is byte-identical to the pre-scratch implementation
+// (bench_kernel_throughput asserts this).
+//
+//===----------------------------------------------------------------------===//
 
 #include "core/Qlosure.h"
 
@@ -31,19 +43,25 @@ std::string QlosureRouter::name() const {
 
 namespace {
 
-/// Routing state shared by the helper methods of the main loop.
+/// Routing state shared by the helper methods of the main loop. All
+/// mutable buffers live in the RoutingScratch \p S.
 class RoutingLoop {
 public:
   RoutingLoop(const QlosureOptions &Options, const RoutingContext &Ctx,
-              const QubitMapping &Initial)
+              const QubitMapping &Initial, RoutingScratch &Scratch)
       : Options(Options), Logical(Ctx.circuit()), Hw(Ctx.hardware()),
-        Dag(Ctx.dag()), Tracker(Dag), Phi(Initial),
-        TieBreaker(Options.Seed), Decay(Logical.numQubits(), 1.0) {
+        Dag(Ctx.dag()), S(Scratch), Tracker(Ctx.dag(), Scratch),
+        Phi(Initial), TieBreaker(Options.Seed) {
+    S.ensurePhys(Hw.numQubits());
+    S.Decay.assign(Logical.numQubits(), 1.0);
     LookaheadC = Options.LookaheadConstant ? Options.LookaheadConstant
                                            : Ctx.defaultLookahead();
     UseWeightedDistance = Options.ErrorAware && Hw.hasErrorModel();
     if (Options.UseDependencyWeights)
       Weights = &Ctx.dependenceWeights(); // Memoized in the context.
+    // TouchingGates persists across route() calls; start from a clean
+    // slate in case the previous user left entries behind.
+    S.clearTouchingGates();
     Result.Routed = Circuit(Hw.numQubits(), Logical.name() + ".routed");
     Result.InitialMapping = Initial;
     Result.RouterName = "Qlosure";
@@ -69,13 +87,13 @@ private:
     bool Changed = true;
     while (Changed) {
       Changed = false;
-      // Copy: execute() mutates the front.
-      std::vector<uint32_t> Ready;
+      // Snapshot: execute() mutates the front.
+      S.Ready.clear();
       for (uint32_t G : Tracker.front())
         if (isExecutable(G))
-          Ready.push_back(G);
-      std::sort(Ready.begin(), Ready.end()); // Deterministic order.
-      for (uint32_t G : Ready) {
+          S.Ready.push_back(G);
+      std::sort(S.Ready.begin(), S.Ready.end()); // Deterministic order.
+      for (uint32_t G : S.Ready) {
         emitProgramGate(G);
         Tracker.execute(G);
         Changed = true;
@@ -84,7 +102,7 @@ private:
     }
     if (Progress) {
       // Algorithm 1 line 9: executing a gate resets the decay vector.
-      std::fill(Decay.begin(), Decay.end(), 1.0);
+      std::fill(S.Decay.begin(), S.Decay.end(), 1.0);
       SwapsSinceProgress = 0;
     }
     return Progress;
@@ -116,9 +134,9 @@ private:
     int32_t L2 = Phi.logOf(static_cast<int32_t>(P2));
     Phi.swapPhysical(static_cast<int32_t>(P1), static_cast<int32_t>(P2));
     if (L1 >= 0)
-      Decay[static_cast<size_t>(L1)] += Options.DecayIncrement;
+      S.Decay[static_cast<size_t>(L1)] += Options.DecayIncrement;
     if (L2 >= 0)
-      Decay[static_cast<size_t>(L2)] += Options.DecayIncrement;
+      S.Decay[static_cast<size_t>(L2)] += Options.DecayIncrement;
   }
 
   /// Builds the look-ahead window and its dependence-distance layers, then
@@ -130,15 +148,16 @@ private:
     }
 
     buildWindowLayers();
-    std::vector<std::pair<unsigned, unsigned>> Candidates =
-        generateCandidates();
-    assert(!Candidates.empty() && "no candidate SWAPs on a connected graph");
+    generateCandidates();
+    assert(!S.Candidates.empty() &&
+           "no candidate SWAPs on a connected graph");
 
-    std::vector<double> Scores(Candidates.size());
+    S.Scores.resize(S.Candidates.size());
     double BestScore = std::numeric_limits<double>::infinity();
-    for (size_t CI = 0; CI < Candidates.size(); ++CI) {
-      Scores[CI] = scoreSwap(Candidates[CI].first, Candidates[CI].second);
-      BestScore = std::min(BestScore, Scores[CI]);
+    for (size_t CI = 0; CI < S.Candidates.size(); ++CI) {
+      S.Scores[CI] = scoreSwap(S.Candidates[CI].first,
+                               S.Candidates[CI].second);
+      BestScore = std::min(BestScore, S.Scores[CI]);
     }
 
     // Error-aware extension: among *exact* cost ties, prefer the
@@ -148,26 +167,26 @@ private:
     // ballooned swap counts on dense circuits — cost slack compounds over
     // thousands of decisions).
     double TieMargin = 0.0;
-    std::vector<size_t> BestIndices;
-    for (size_t CI = 0; CI < Candidates.size(); ++CI)
-      if (Scores[CI] <= BestScore + TieMargin + 1e-12)
-        BestIndices.push_back(CI);
-    if (UseWeightedDistance && BestIndices.size() > 1) {
+    S.BestIdx.clear();
+    for (size_t CI = 0; CI < S.Candidates.size(); ++CI)
+      if (S.Scores[CI] <= BestScore + TieMargin + 1e-12)
+        S.BestIdx.push_back(CI);
+    if (UseWeightedDistance && S.BestIdx.size() > 1) {
       double MinError = std::numeric_limits<double>::infinity();
-      for (size_t CI : BestIndices)
+      for (size_t CI : S.BestIdx)
         MinError = std::min(
-            MinError, Hw.edgeError(Candidates[CI].first,
-                                   Candidates[CI].second));
-      std::vector<size_t> Cleanest;
-      for (size_t CI : BestIndices)
-        if (Hw.edgeError(Candidates[CI].first, Candidates[CI].second) <=
+            MinError, Hw.edgeError(S.Candidates[CI].first,
+                                   S.Candidates[CI].second));
+      size_t Kept = 0;
+      for (size_t CI : S.BestIdx)
+        if (Hw.edgeError(S.Candidates[CI].first, S.Candidates[CI].second) <=
             MinError + 1e-12)
-          Cleanest.push_back(CI);
-      BestIndices = std::move(Cleanest);
+          S.BestIdx[Kept++] = CI;
+      S.BestIdx.resize(Kept);
     }
-    size_t Pick = BestIndices[static_cast<size_t>(
-        TieBreaker.nextBounded(BestIndices.size()))];
-    emitSwap(Candidates[Pick].first, Candidates[Pick].second);
+    size_t Pick = S.BestIdx[static_cast<size_t>(
+        TieBreaker.nextBounded(S.BestIdx.size()))];
+    emitSwap(S.Candidates[Pick].first, S.Candidates[Pick].second);
     ++SwapsSinceProgress;
   }
 
@@ -189,74 +208,82 @@ private:
     SwapsSinceProgress = 0;
   }
 
-  /// Populates WindowGates / GateLayer / LayerData for the current front.
+  /// Populates S.Window / S.GateLevel / the layer accumulators for the
+  /// current front.
   void buildWindowLayers() {
     // n_f = distinct physical qubits hosting front-layer gate operands.
-    std::vector<uint8_t> SeenPhys(Hw.numQubits(), 0);
+    S.PhysSeen.beginEpoch();
     unsigned NumFrontQubits = 0;
     for (uint32_t GI : Tracker.front()) {
       const Gate &G = Logical.gate(GI);
       unsigned N = G.numQubits();
       for (unsigned Q = 0; Q < N; ++Q) {
         unsigned P = static_cast<unsigned>(Phi.physOf(G.Qubits[Q]));
-        if (!SeenPhys[P]) {
-          SeenPhys[P] = 1;
+        if (!S.PhysSeen.fresh(P)) {
+          S.PhysSeen.set(P, 1);
           ++NumFrontQubits;
         }
       }
     }
-    size_t WindowSize = static_cast<size_t>(LookaheadC) * NumFrontQubits;
-    // The budget counts two-qubit gates: they are the ones the cost
-    // function scores, so sparse circuits with many interleaved 1Q gates
-    // keep a comparable routing horizon.
-    WindowGates = Tracker.topologicalWindow(std::max<size_t>(WindowSize, 1),
-                                            /*CountTwoQubitOnly=*/true);
 
     // Dependence-distance levels within the window: level 1 for window
     // gates with no unexecuted predecessor inside the window, otherwise
     // the maximum predecessor level, incremented for two-qubit gates.
     // Single-qubit gates transmit their level without incrementing it —
-    // only routable gates define dependence distance for Eq. 2.
-    GateLevel.assign(Logical.size(), 0);
+    // only routable gates define dependence distance for Eq. 2. A stale
+    // GateLevel entry reads 0 = "outside the window" (the pre-scratch
+    // kernel zero-filled an O(numGates) array per step here).
+    S.GateLevel.beginEpoch();
     unsigned MaxLevel = 0;
     if (!Options.UseLayerStructure) {
       // Distance-only / front-only variants: the window is just L_f.
-      WindowGates.clear();
-      for (uint32_t G : Tracker.front())
-        WindowGates.push_back(G);
-      std::sort(WindowGates.begin(), WindowGates.end());
-      for (uint32_t G : WindowGates)
-        GateLevel[G] = 1;
+      S.Window.assign(Tracker.front().begin(), Tracker.front().end());
+      std::sort(S.Window.begin(), S.Window.end());
+      for (uint32_t G : S.Window)
+        S.GateLevel.set(G, 1);
       MaxLevel = 1;
     } else {
-      for (uint32_t G : WindowGates) {
+      size_t WindowSize =
+          static_cast<size_t>(LookaheadC) * NumFrontQubits;
+      // The budget counts two-qubit gates: they are the ones the cost
+      // function scores, so sparse circuits with many interleaved 1Q
+      // gates keep a comparable routing horizon.
+      Tracker.topologicalWindow(std::max<size_t>(WindowSize, 1),
+                                /*CountTwoQubitOnly=*/true); // Fills S.Window.
+      for (uint32_t G : S.Window) {
         unsigned Level = 0;
         for (uint32_t Pred : Dag.predecessors(G))
-          Level = std::max(Level, GateLevel[Pred]); // 0 if outside window.
+          Level = std::max(Level, S.GateLevel.get(Pred)); // 0 if outside.
         bool IsTwoQubit = Logical.gate(G).isTwoQubit();
-        GateLevel[G] = Level + (IsTwoQubit ? 1 : 0);
-        if (!IsTwoQubit && GateLevel[G] == 0)
-          GateLevel[G] = 1; // 1Q window roots sit in the front layer.
-        MaxLevel = std::max(MaxLevel, GateLevel[G]);
+        unsigned GLevel = Level + (IsTwoQubit ? 1 : 0);
+        if (!IsTwoQubit && GLevel == 0)
+          GLevel = 1; // 1Q window roots sit in the front layer.
+        S.GateLevel.set(G, GLevel);
+        MaxLevel = std::max(MaxLevel, GLevel);
       }
     }
 
-    // Per-layer 2Q-gate membership and base distance sums.
-    LayerGateCount.assign(MaxLevel + 1, 0);
-    LayerBaseSum.assign(MaxLevel + 1, 0.0);
-    TouchingGates.clear();
-    TouchingGates.resize(Hw.numQubits());
-    for (uint32_t G : WindowGates) {
+    // Per-layer 2Q-gate membership and base distance sums. Per-qubit
+    // touching lists are cleared surgically (only last step's touched
+    // qubits), keeping their capacity.
+    S.LayerGateCount.assign(MaxLevel + 1, 0);
+    S.LayerBaseSum.assign(MaxLevel + 1, 0.0);
+    S.clearTouchingGates();
+    for (uint32_t G : S.Window) {
       const Gate &Gate2 = Logical.gate(G);
       if (!Gate2.isTwoQubit())
         continue;
-      unsigned L = GateLevel[G];
-      ++LayerGateCount[L];
+      unsigned L = S.GateLevel.get(G);
+      ++S.LayerGateCount[L];
       unsigned PA = static_cast<unsigned>(Phi.physOf(Gate2.Qubits[0]));
       unsigned PB = static_cast<unsigned>(Phi.physOf(Gate2.Qubits[1]));
-      LayerBaseSum[L] += gateTerm(G, PA, PB);
-      TouchingGates[PA].push_back(G);
-      TouchingGates[PB].push_back(G);
+      S.LayerBaseSum[L] += gateTerm(G, PA, PB);
+      if (S.TouchingGates[PA].empty())
+        S.TouchedPhys.push_back(PA);
+      S.TouchingGates[PA].push_back(G);
+      if (S.TouchingGates[PB].empty())
+        S.TouchedPhys.push_back(PB);
+      S.TouchingGates[PB].push_back(G);
     }
   }
 
@@ -265,7 +292,7 @@ private:
   /// D stays the hop metric even in error-aware mode — a weighted metric
   /// has a per-edge error floor, so swaps toward true adjacency would not
   /// reduce it and routing would stop converging; error-awareness instead
-  /// penalizes the candidate swap's own edge (see scoreSwap).
+  /// penalizes the candidate swap's own edge (see routeOneSwap).
   double gateTerm(uint32_t G, unsigned PA, unsigned PB) const {
     double Omega = Options.UseDependencyWeights
                        ? static_cast<double>((*Weights)[G]) + 1.0
@@ -273,77 +300,77 @@ private:
     return Omega * static_cast<double>(Hw.distance(PA, PB));
   }
 
-  std::vector<std::pair<unsigned, unsigned>> generateCandidates() const {
+  /// Fills S.Candidates with the swaps on P_front edges.
+  void generateCandidates() {
     // P_front: physical qubits of blocked front-layer 2Q gates.
-    std::vector<uint8_t> InPFront(Hw.numQubits(), 0);
-    std::vector<unsigned> PFront;
+    S.PhysSeen.beginEpoch();
+    S.PFront.clear();
     for (uint32_t GI : Tracker.front()) {
       const Gate &G = Logical.gate(GI);
       if (!G.isTwoQubit())
         continue;
       for (unsigned Q = 0; Q < 2; ++Q) {
         unsigned P = static_cast<unsigned>(Phi.physOf(G.Qubits[Q]));
-        if (!InPFront[P]) {
-          InPFront[P] = 1;
-          PFront.push_back(P);
+        if (!S.PhysSeen.fresh(P)) {
+          S.PhysSeen.set(P, 1);
+          S.PFront.push_back(P);
         }
       }
     }
-    std::sort(PFront.begin(), PFront.end());
-    std::vector<std::pair<unsigned, unsigned>> Candidates;
-    for (unsigned P1 : PFront) {
+    std::sort(S.PFront.begin(), S.PFront.end());
+    S.Candidates.clear();
+    for (unsigned P1 : S.PFront) {
       for (unsigned P2 : Hw.neighbors(P1)) {
         unsigned Lo = std::min(P1, P2), Hi = std::max(P1, P2);
         bool Duplicate = false;
-        for (const auto &C : Candidates)
+        for (const auto &C : S.Candidates)
           if (C.first == Lo && C.second == Hi) {
             Duplicate = true;
             break;
           }
         if (!Duplicate)
-          Candidates.push_back({Lo, Hi});
+          S.Candidates.push_back({Lo, Hi});
       }
     }
-    return Candidates;
   }
 
   /// Evaluates Eq. 2 for the candidate SWAP (P1, P2) by adjusting the
-  /// cached per-layer base sums with the terms of affected gates only.
+  /// cached per-layer base sums with the terms of affected gates only
+  /// (delta rescoring: only gates hosted on the swapped qubits move).
   double scoreSwap(unsigned P1, unsigned P2) {
-    LayerAdjust.assign(LayerBaseSum.size(), 0.0);
-    ++VisitEpoch;
-    if (VisitStamp.size() < Logical.size())
-      VisitStamp.assign(Logical.size(), 0);
+    S.LayerAdjust.assign(S.LayerBaseSum.size(), 0.0);
+    S.GateVisited.beginEpoch();
     auto adjustGatesOn = [&](unsigned P) {
-      for (uint32_t G : TouchingGates[P]) {
-        if (VisitStamp[G] == VisitEpoch)
+      for (uint32_t G : S.TouchingGates[P]) {
+        if (S.GateVisited.fresh(G))
           continue; // Gate touches both swapped qubits: visit once.
-        VisitStamp[G] = VisitEpoch;
+        S.GateVisited.set(G, 1);
         const Gate &Gate2 = Logical.gate(G);
         unsigned PA = static_cast<unsigned>(Phi.physOf(Gate2.Qubits[0]));
         unsigned PB = static_cast<unsigned>(Phi.physOf(Gate2.Qubits[1]));
         unsigned NewPA = PA == P1 ? P2 : (PA == P2 ? P1 : PA);
         unsigned NewPB = PB == P1 ? P2 : (PB == P2 ? P1 : PB);
-        unsigned L = GateLevel[G];
-        LayerAdjust[L] += gateTerm(G, NewPA, NewPB) - gateTerm(G, PA, PB);
+        unsigned L = S.GateLevel.get(G);
+        S.LayerAdjust[L] +=
+            gateTerm(G, NewPA, NewPB) - gateTerm(G, PA, PB);
       }
     };
     adjustGatesOn(P1);
     adjustGatesOn(P2);
 
     double Sum = 0;
-    for (size_t L = 1; L < LayerBaseSum.size(); ++L) {
-      if (LayerGateCount[L] == 0)
+    for (size_t L = 1; L < S.LayerBaseSum.size(); ++L) {
+      if (S.LayerGateCount[L] == 0)
         continue;
-      double Gamma = (LayerBaseSum[L] + LayerAdjust[L]) /
+      double Gamma = (S.LayerBaseSum[L] + S.LayerAdjust[L]) /
                      static_cast<double>(L); // 1/l layer discount.
-      Sum += Gamma / static_cast<double>(LayerGateCount[L]);
+      Sum += Gamma / static_cast<double>(S.LayerGateCount[L]);
     }
 
     int32_t L1 = Phi.logOf(static_cast<int32_t>(P1));
     int32_t L2 = Phi.logOf(static_cast<int32_t>(P2));
-    double D1 = L1 >= 0 ? Decay[static_cast<size_t>(L1)] : 1.0;
-    double D2 = L2 >= 0 ? Decay[static_cast<size_t>(L2)] : 1.0;
+    double D1 = L1 >= 0 ? S.Decay[static_cast<size_t>(L1)] : 1.0;
+    double D2 = L2 >= 0 ? S.Decay[static_cast<size_t>(L2)] : 1.0;
     return std::max(D1, D2) * Sum;
   }
 
@@ -351,24 +378,14 @@ private:
   const Circuit &Logical;
   const CouplingGraph &Hw;
   const CircuitDag &Dag;
+  RoutingScratch &S;
   FrontLayerTracker Tracker;
   QubitMapping Phi;
   Rng TieBreaker;
-  std::vector<double> Decay;
   const std::vector<uint64_t> *Weights = nullptr;
   unsigned LookaheadC = 0;
   unsigned SwapsSinceProgress = 0;
   bool UseWeightedDistance = false;
-
-  // Window scratch state, rebuilt before each swap decision.
-  std::vector<uint32_t> WindowGates;
-  std::vector<unsigned> GateLevel;
-  std::vector<uint32_t> LayerGateCount;
-  std::vector<double> LayerBaseSum;
-  std::vector<double> LayerAdjust;
-  std::vector<std::vector<uint32_t>> TouchingGates;
-  std::vector<uint64_t> VisitStamp;
-  uint64_t VisitEpoch = 0;
 
   RoutingResult Result;
 };
@@ -379,15 +396,16 @@ RoutingContextOptions QlosureRouter::contextOptions() const {
   RoutingContextOptions CtxOptions;
   CtxOptions.Weights = Options.Weights;
   // Error-aware mode reads only per-edge error rates for tie-breaking
-  // (see scoreSwap); it never consults the weighted distance matrix, so
+  // (see routeOneSwap); it never consults the weighted distance matrix, so
   // RequireWeightedDistances stays off.
   return CtxOptions;
 }
 
 RoutingResult QlosureRouter::route(const RoutingContext &Ctx,
-                                   const QubitMapping &Initial) {
+                                   const QubitMapping &Initial,
+                                   RoutingScratch &Scratch) {
   checkPreconditions(Ctx, Initial);
-  RoutingLoop Loop(Options, Ctx, Initial);
+  RoutingLoop Loop(Options, Ctx, Initial, Scratch);
   RoutingResult Result = Loop.run();
   Result.RouterName = name();
   return Result;

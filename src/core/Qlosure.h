@@ -77,8 +77,8 @@ public:
   std::string name() const override;
 
   using Router::route;
-  RoutingResult route(const RoutingContext &Ctx,
-                      const QubitMapping &Initial) override;
+  RoutingResult route(const RoutingContext &Ctx, const QubitMapping &Initial,
+                      RoutingScratch &Scratch) override;
 
   /// Forwards the omega engine choice so the 3-arg adapter builds
   /// contexts matching this router's configuration.

@@ -28,15 +28,18 @@ std::vector<RunRecord> BatchRunner::run(
 
   // Work stealing over an atomic cursor; each worker writes only its own
   // slots, so insertion-ordered aggregation needs no synchronization
-  // beyond the join.
+  // beyond the join. Each worker owns one RoutingScratch for its whole
+  // job stream, so the routing kernels stay allocation-free across jobs
+  // (scratches are never shared between threads; see RoutingScratch.h).
   std::atomic<size_t> Next{0};
   auto Worker = [&] {
+    RoutingScratch Scratch;
     for (size_t I = Next.fetch_add(1, std::memory_order_relaxed);
          I < Jobs.size();
          I = Next.fetch_add(1, std::memory_order_relaxed)) {
       const BatchJob &Job = Jobs[I];
       Records[I] = runOnce(*Job.Mapper, *Job.Ctx, Job.BaselineDepth,
-                           Job.Eval);
+                           Job.Eval, Scratch);
     }
   };
 

@@ -18,6 +18,13 @@ using namespace qlosure;
 
 RunRecord qlosure::runOnce(Router &Mapper, const RoutingContext &Ctx,
                            size_t BaselineDepth, const EvalConfig &Config) {
+  RoutingScratch Scratch;
+  return runOnce(Mapper, Ctx, BaselineDepth, Config, Scratch);
+}
+
+RunRecord qlosure::runOnce(Router &Mapper, const RoutingContext &Ctx,
+                           size_t BaselineDepth, const EvalConfig &Config,
+                           RoutingScratch &Scratch) {
   RunRecord Record;
   Record.Mapper = Mapper.name();
   Record.BaselineDepth = BaselineDepth;
@@ -39,7 +46,7 @@ RunRecord qlosure::runOnce(Router &Mapper, const RoutingContext &Ctx,
     return Record;
   }
 
-  RoutingResult Result = Mapper.routeWithIdentity(Ctx);
+  RoutingResult Result = Mapper.routeWithIdentity(Ctx, Scratch);
   if (Config.Verify) {
     // Verification failure is a router bug, not a bad input: abort so no
     // table is ever built from an invalid routing.

@@ -70,6 +70,13 @@ struct EvalConfig {
 RunRecord runOnce(Router &Mapper, const RoutingContext &Ctx,
                   size_t BaselineDepth, const EvalConfig &Config = {});
 
+/// As above, but routes through \p Scratch so a caller looping over many
+/// runs (one worker thread of BatchRunner, a sweep, a bench) reuses one
+/// warm set of kernel buffers instead of reallocating them per run.
+RunRecord runOnce(Router &Mapper, const RoutingContext &Ctx,
+                  size_t BaselineDepth, const EvalConfig &Config,
+                  RoutingScratch &Scratch);
+
 /// One-shot convenience: builds a context for (\p Circ, \p Backend) with
 /// the mapper's contextOptions() and delegates to the context overload.
 RunRecord runOnce(Router &Mapper, const Circuit &Circ,

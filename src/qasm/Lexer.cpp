@@ -112,6 +112,14 @@ private:
         Text.push_back(advance());
         if (peek() == '+' || peek() == '-')
           Text.push_back(advance());
+        // An exponent marker with no digits ("1e", "1e+", "2.5E-") is not
+        // a number std::stod can parse downstream; reject it here with a
+        // position instead of letting the parser throw.
+        if (!std::isdigit(static_cast<unsigned char>(peek())))
+          return make(TokenKind::Error,
+                      "malformed real literal '" + Text +
+                          "': exponent has no digits",
+                      L, C);
         while (std::isdigit(static_cast<unsigned char>(peek())))
           Text.push_back(advance());
       }

@@ -56,9 +56,15 @@ private:
   }
 
   bool error(const Token &At, const std::string &Message) {
-    if (ErrorMessage.empty())
-      ErrorMessage = formatString("line %u, column %u: %s", At.Line, At.Column,
-                                  Message.c_str());
+    if (ErrorMessage.empty()) {
+      // A lexical Error token carries its own diagnostic (e.g. "malformed
+      // real literal"); surface that instead of the parser's expectation,
+      // which would otherwise mask the real problem mid-statement.
+      const std::string &Shown =
+          At.is(TokenKind::Error) && !At.Text.empty() ? At.Text : Message;
+      ErrorMessage = formatString("line %u, column %u: %s", At.Line,
+                                  At.Column, Shown.c_str());
+    }
     return false;
   }
 

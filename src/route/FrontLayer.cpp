@@ -8,77 +8,88 @@
 
 #include <algorithm>
 #include <cassert>
-#include <deque>
 
 using namespace qlosure;
 
-FrontLayerTracker::FrontLayerTracker(const CircuitDag &DagIn) : Dag(DagIn) {
+FrontLayerTracker::FrontLayerTracker(const CircuitDag &DagIn,
+                                     RoutingScratch &Scratch)
+    : Dag(DagIn), S(Scratch) {
   size_t N = Dag.numGates();
-  PendingPreds.resize(N);
-  Executed.assign(N, 0);
-  InFront.assign(N, 0);
+  S.ensureGates(N);
+  // One O(N) refill per route() call (unavoidable: predecessor counts are
+  // per-run state); the capacity itself is reused across calls.
   for (size_t G = 0; G < N; ++G)
-    PendingPreds[G] = Dag.inDegree(G);
+    S.PendingPreds[G] = Dag.inDegree(G);
+  std::fill_n(S.Executed.begin(), N, static_cast<uint8_t>(0));
+  std::fill_n(S.FrontPos.begin(), N, RoutingScratch::NotInFront);
+  S.Front.clear();
   for (uint32_t Root : Dag.roots()) {
-    Front.push_back(Root);
-    InFront[Root] = 1;
+    S.FrontPos[Root] = static_cast<uint32_t>(S.Front.size());
+    S.Front.push_back(Root);
   }
 }
 
 void FrontLayerTracker::execute(uint32_t GateId) {
-  assert(InFront[GateId] && "executing a gate that is not ready");
-  assert(!Executed[GateId] && "double execution");
-  Executed[GateId] = 1;
-  InFront[GateId] = 0;
+  assert(S.FrontPos[GateId] != RoutingScratch::NotInFront &&
+         "executing a gate that is not ready");
+  assert(!S.Executed[GateId] && "double execution");
+  S.Executed[GateId] = 1;
   ++NumExecuted;
-  auto It = std::find(Front.begin(), Front.end(), GateId);
-  assert(It != Front.end() && "front bookkeeping out of sync");
-  *It = Front.back();
-  Front.pop_back();
+  // Swap-with-back removal at the recorded position (replaces the old
+  // O(|front|) std::find).
+  uint32_t Pos = S.FrontPos[GateId];
+  uint32_t Back = S.Front.back();
+  S.Front[Pos] = Back;
+  S.FrontPos[Back] = Pos;
+  S.Front.pop_back();
+  S.FrontPos[GateId] = RoutingScratch::NotInFront;
   for (uint32_t Succ : Dag.successors(GateId)) {
-    assert(PendingPreds[Succ] > 0 && "predecessor count underflow");
-    if (--PendingPreds[Succ] == 0) {
-      Front.push_back(Succ);
-      InFront[Succ] = 1;
+    assert(S.PendingPreds[Succ] > 0 && "predecessor count underflow");
+    if (--S.PendingPreds[Succ] == 0) {
+      S.FrontPos[Succ] = static_cast<uint32_t>(S.Front.size());
+      S.Front.push_back(Succ);
     }
   }
 }
 
-std::vector<uint32_t>
+const std::vector<uint32_t> &
 FrontLayerTracker::topologicalWindow(size_t MaxGates,
                                      bool CountTwoQubitOnly) const {
-  std::vector<uint32_t> Window;
+  std::vector<uint32_t> &Window = S.Window;
+  Window.clear();
   if (MaxGates == 0)
     return Window;
   size_t TotalCap = CountTwoQubitOnly ? 8 * MaxGates : MaxGates;
   size_t Counted = 0;
   // BFS from the front through unexecuted gates, releasing a gate once all
   // its unexecuted predecessors have been visited. This yields gates in
-  // topological order of the residual DAG.
-  std::vector<uint32_t> Needed(Dag.numGates(), 0);
-  std::vector<uint8_t> Touched(Dag.numGates(), 0);
-  std::deque<uint32_t> Queue(Front.begin(), Front.end());
+  // topological order of the residual DAG. Predecessor counts are lazily
+  // initialized under an epoch stamp (no O(numGates) refill per call), and
+  // the FIFO is a head cursor over a reused flat vector — each gate is
+  // enqueued at most once, so no wraparound is needed.
+  S.WindowNeeded.beginEpoch();
+  std::vector<uint32_t> &Queue = S.BfsQueue;
+  Queue.assign(S.Front.begin(), S.Front.end());
   // Sort the seeds for determinism (Front order depends on history).
   std::sort(Queue.begin(), Queue.end());
-  while (!Queue.empty() && Counted < MaxGates &&
+  size_t Head = 0;
+  while (Head < Queue.size() && Counted < MaxGates &&
          Window.size() < TotalCap) {
-    uint32_t G = Queue.front();
-    Queue.pop_front();
+    uint32_t G = Queue[Head++];
     Window.push_back(G);
     if (!CountTwoQubitOnly || Dag.isTwoQubitGate(G))
       ++Counted;
     for (uint32_t Succ : Dag.successors(G)) {
       // Count unexecuted predecessors lazily on first touch.
-      if (!Touched[Succ]) {
-        Touched[Succ] = 1;
+      if (!S.WindowNeeded.fresh(Succ)) {
         uint32_t Pending = 0;
         for (uint32_t Pred : Dag.predecessors(Succ))
-          if (!Executed[Pred])
+          if (!S.Executed[Pred])
             ++Pending;
-        Needed[Succ] = Pending;
+        S.WindowNeeded.set(Succ, Pending);
       }
-      assert(Needed[Succ] > 0 && "successor released twice");
-      if (--Needed[Succ] == 0)
+      assert(S.WindowNeeded.ref(Succ) > 0 && "successor released twice");
+      if (--S.WindowNeeded.ref(Succ) == 0)
         Queue.push_back(Succ);
     }
   }

@@ -13,6 +13,12 @@ using namespace qlosure;
 
 Router::~Router() = default;
 
+RoutingResult Router::route(const RoutingContext &Ctx,
+                            const QubitMapping &Initial) {
+  RoutingScratch Scratch;
+  return route(Ctx, Initial, Scratch);
+}
+
 RoutingResult Router::route(const Circuit &Logical, const CouplingGraph &Hw,
                             const QubitMapping &Initial) {
   RoutingContext Ctx = RoutingContext::build(Logical, Hw, contextOptions());
@@ -27,6 +33,11 @@ RoutingResult Router::routeWithIdentity(const Circuit &Logical,
 
 RoutingResult Router::routeWithIdentity(const RoutingContext &Ctx) {
   return route(Ctx, Ctx.identityMapping());
+}
+
+RoutingResult Router::routeWithIdentity(const RoutingContext &Ctx,
+                                        RoutingScratch &Scratch) {
+  return route(Ctx, Ctx.identityMapping(), Scratch);
 }
 
 Status Router::validate(const RoutingContext &Ctx,

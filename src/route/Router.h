@@ -16,6 +16,7 @@
 #include "circuit/Circuit.h"
 #include "route/QubitMapping.h"
 #include "route/RoutingContext.h"
+#include "route/RoutingScratch.h"
 #include "support/Error.h"
 #include "topology/CouplingGraph.h"
 
@@ -68,9 +69,18 @@ public:
 
   /// The primary entry point: routes \p Ctx's circuit onto \p Ctx's
   /// device starting from \p Initial, reusing every precomputed structure
-  /// the context carries. \p Ctx must be valid().
+  /// the context carries and every buffer \p Scratch carries. \p Ctx must
+  /// be valid(); \p Scratch must not be in use by a concurrent route()
+  /// call (one scratch per thread — see RoutingScratch.h). Routing many
+  /// circuits through one scratch keeps the inner loop allocation-free.
   virtual RoutingResult route(const RoutingContext &Ctx,
-                              const QubitMapping &Initial) = 0;
+                              const QubitMapping &Initial,
+                              RoutingScratch &Scratch) = 0;
+
+  /// Convenience adapter for one-shot callers: routes through a local
+  /// scratch (buffer reuse within the run, none across runs). Prefer the
+  /// scratch overload in sweeps and batch drivers.
+  RoutingResult route(const RoutingContext &Ctx, const QubitMapping &Initial);
 
   /// Thin adapter for one-shot callers: builds a context internally
   /// (using contextOptions()) and routes through it. Prefer building one
@@ -84,6 +94,8 @@ public:
   RoutingResult routeWithIdentity(const Circuit &Logical,
                                   const CouplingGraph &Hw);
   RoutingResult routeWithIdentity(const RoutingContext &Ctx);
+  RoutingResult routeWithIdentity(const RoutingContext &Ctx,
+                                  RoutingScratch &Scratch);
 
   /// Recoverable precondition check: combines the context's build status
   /// with the initial-mapping arity/consistency checks. Batch drivers call

@@ -1,0 +1,26 @@
+//===- route/RoutingScratch.cpp - Reusable per-step routing buffers --------------===//
+//
+// Part of the Qlosure project. Distributed under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "route/RoutingScratch.h"
+
+using namespace qlosure;
+
+void RoutingScratch::ensureGates(size_t NumGates) {
+  if (PendingPreds.size() < NumGates) {
+    PendingPreds.resize(NumGates);
+    Executed.resize(NumGates);
+    FrontPos.resize(NumGates);
+  }
+  WindowNeeded.ensure(NumGates);
+  GateLevel.ensure(NumGates);
+  GateVisited.ensure(NumGates);
+}
+
+void RoutingScratch::ensurePhys(unsigned NumPhys) {
+  PhysSeen.ensure(NumPhys);
+  if (TouchingGates.size() < NumPhys)
+    TouchingGates.resize(NumPhys);
+}

@@ -1,0 +1,213 @@
+//===- route/RoutingScratch.h - Reusable per-step routing buffers -*- C++ -*-===//
+//
+// Part of the Qlosure project. Distributed under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The mutable counterpart of RoutingContext: one RoutingScratch owns every
+/// per-step buffer the routing kernels need — the front-layer state, the
+/// look-ahead BFS queue, candidate/score arrays, the Qlosure layer
+/// accumulators and the QMAP A* node pools. All of them are sized lazily
+/// and reused across steps *and* across route() calls, so after the first
+/// routing step of the first circuit the inner loop performs no heap
+/// allocation at all. Per-gate marker arrays are epoch-stamped
+/// (EpochArray): "clearing" them is a generation-counter bump, not an
+/// O(numGates) refill, which removes the quadratic allocation/refill
+/// traffic the pre-PR-3 kernel paid on QUEKO-scale circuits.
+///
+/// Thread safety: none — a scratch is single-threaded by design. Use one
+/// scratch per worker thread (BatchRunner pools exactly that) and never
+/// share one across concurrent route() calls. Routers never retain a
+/// reference beyond the call, so a scratch may serve any sequence of
+/// mappers, circuits and backends.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef QLOSURE_ROUTE_ROUTINGSCRATCH_H
+#define QLOSURE_ROUTE_ROUTINGSCRATCH_H
+
+#include <algorithm>
+#include <cstddef>
+#include <cstdint>
+#include <unordered_set>
+#include <utility>
+#include <vector>
+
+namespace qlosure {
+
+/// A lazily sized array whose entries are "cleared" in O(1) by bumping a
+/// generation counter: an entry is *fresh* (written this epoch) when its
+/// stamp matches the current epoch, otherwise it reads as value-initialized
+/// T(). The 32-bit epoch wraps after ~4 billion generations; the wrap is
+/// handled by one full stamp refill, preserving correctness.
+template <typename T> class EpochArray {
+public:
+  /// Grows to at least \p N entries (never shrinks); new entries are stale.
+  void ensure(size_t N) {
+    if (Payload.size() < N) {
+      Payload.resize(N, T());
+      Stamp.resize(N, 0);
+    }
+  }
+
+  size_t size() const { return Payload.size(); }
+
+  /// O(1) clear: every entry becomes stale (reads as T()).
+  void beginEpoch() {
+    if (++Epoch == 0) { // Wrap: invalidate all stamps the slow way, once.
+      std::fill(Stamp.begin(), Stamp.end(), 0);
+      Epoch = 1;
+    }
+  }
+
+  /// True if entry \p I was written during the current epoch.
+  bool fresh(size_t I) const { return Stamp[I] == Epoch; }
+
+  /// Writes \p Value to entry \p I, stamping it fresh.
+  T &set(size_t I, T Value) {
+    Stamp[I] = Epoch;
+    Payload[I] = std::move(Value);
+    return Payload[I];
+  }
+
+  /// Mutable reference to a fresh entry (entry \p I must be fresh).
+  T &ref(size_t I) { return Payload[I]; }
+
+  /// Value of entry \p I: the stored payload when fresh, T() when stale.
+  T get(size_t I) const { return Stamp[I] == Epoch ? Payload[I] : T(); }
+
+private:
+  std::vector<T> Payload;
+  std::vector<uint32_t> Stamp;
+  // Starts at 1 so zero-initialized stamps read as stale even before the
+  // first beginEpoch().
+  uint32_t Epoch = 1;
+};
+
+/// All mutable per-step state of the routing kernels. Buffers are grouped
+/// by owner; distinct owners never run interleaved on one scratch (one
+/// route() call at a time), so reuse across groups is safe.
+class RoutingScratch {
+public:
+  /// Front[FrontPos[G]] == G; this sentinel marks "not in the front".
+  static constexpr uint32_t NotInFront = UINT32_MAX;
+
+  RoutingScratch() = default;
+  RoutingScratch(RoutingScratch &&) = default;
+  RoutingScratch &operator=(RoutingScratch &&) = default;
+  RoutingScratch(const RoutingScratch &) = delete;
+  RoutingScratch &operator=(const RoutingScratch &) = delete;
+
+  /// Grows every per-gate buffer to at least \p NumGates entries.
+  void ensureGates(size_t NumGates);
+
+  /// Grows every per-physical-qubit buffer to at least \p NumPhys entries.
+  void ensurePhys(unsigned NumPhys);
+
+  /// Empties every non-empty TouchingGates bucket (TouchedPhys lists
+  /// exactly those) and resets TouchedPhys — the surgical O(touched)
+  /// clear every user of the pair must perform before repopulating.
+  void clearTouchingGates() {
+    for (unsigned P : TouchedPhys)
+      TouchingGates[P].clear();
+    TouchedPhys.clear();
+  }
+
+  //===--------------------------------------------------------------------===//
+  // Front layer (owned state of FrontLayerTracker)
+  //===--------------------------------------------------------------------===//
+
+  std::vector<uint32_t> PendingPreds; ///< Unexecuted predecessor counts.
+  std::vector<uint8_t> Executed;
+  std::vector<uint32_t> FrontPos; ///< Index into Front, or NotInFront.
+  std::vector<uint32_t> Front;    ///< Ready, unexecuted gates (unordered).
+
+  //===--------------------------------------------------------------------===//
+  // Topological look-ahead window (FrontLayerTracker::topologicalWindow)
+  //===--------------------------------------------------------------------===//
+
+  /// Remaining-unvisited-predecessor counts, lazily initialized per call
+  /// via the epoch stamp (the pre-PR-3 kernel refilled an O(numGates)
+  /// array here on every routing step).
+  EpochArray<uint32_t> WindowNeeded;
+  /// Flat FIFO for the window BFS. Each gate is enqueued at most once, so
+  /// a head cursor over a plain vector replaces the old per-call deque.
+  std::vector<uint32_t> BfsQueue;
+  std::vector<uint32_t> Window; ///< The produced window (topological order).
+
+  //===--------------------------------------------------------------------===//
+  // Greedy step buffers (GreedyRouterBase and Qlosure)
+  //===--------------------------------------------------------------------===//
+
+  std::vector<uint32_t> Ready;     ///< Executable front gates this pass.
+  std::vector<uint32_t> FrontTwoQ; ///< Blocked front 2Q gates, sorted.
+  std::vector<uint32_t> Extended;  ///< Extended-window 2Q gates.
+  std::vector<unsigned> PFront;    ///< Physical qubits under front gates.
+  EpochArray<uint8_t> PhysSeen;    ///< Per-phys dedup marker.
+  std::vector<std::pair<unsigned, unsigned>> Candidates;
+  std::vector<unsigned> FrontDists;
+  std::vector<unsigned> ExtDists;
+  std::vector<double> Scores;
+  std::vector<size_t> BestIdx;
+  std::vector<double> Decay; ///< Per-logical-qubit SABRE decay.
+  /// Delta-rescoring state of GreedyRouterBase: per scored gate (front
+  /// then extended, one combined index space) the current physical
+  /// endpoints and the pre-swap base distance. Candidates only recompute
+  /// the gates listed under their two swapped qubits in TouchingGates;
+  /// everything else is a straight copy of GreedyBaseDists.
+  std::vector<unsigned> GreedyEndA;
+  std::vector<unsigned> GreedyEndB;
+  std::vector<unsigned> GreedyBaseDists;
+
+  //===--------------------------------------------------------------------===//
+  // Qlosure layer structure (core/Qlosure.cpp)
+  //===--------------------------------------------------------------------===//
+
+  /// Dependence-distance level per gate; stale entries read 0 = "outside
+  /// the window", replacing the old per-step O(numGates) zero-fill.
+  EpochArray<unsigned> GateLevel;
+  /// Per-gate visit marker for delta rescoring (visit each touched gate
+  /// once per candidate even when both swapped qubits host it).
+  EpochArray<uint8_t> GateVisited;
+  std::vector<uint32_t> LayerGateCount;
+  std::vector<double> LayerBaseSum;
+  std::vector<double> LayerAdjust;
+  /// Window 2Q gates indexed by hosting physical qubit. Persistent across
+  /// steps; only the entries named in TouchedPhys are cleared (keeping
+  /// inner capacity), never the outer vector.
+  std::vector<std::vector<uint32_t>> TouchingGates;
+  std::vector<unsigned> TouchedPhys;
+
+  //===--------------------------------------------------------------------===//
+  // QMAP layered A* (baselines/QmapAstar.cpp)
+  //===--------------------------------------------------------------------===//
+
+  /// One A* node: parent link + the single swap taken from the parent.
+  /// Positions live in the flat AstarPositions arena (K per node), so
+  /// expanding a node copies K unsigneds instead of allocating two vectors.
+  struct AstarNode {
+    uint32_t Parent = UINT32_MAX;
+    unsigned SwapFrom = 0;
+    unsigned SwapTo = 0;
+    uint32_t CostG = 0;
+    uint32_t CostH = 0;
+    uint32_t costF() const { return CostG + CostH; }
+  };
+
+  std::vector<AstarNode> AstarNodes;
+  std::vector<unsigned> AstarPositions; ///< Arena: node I at [I*K, I*K+K).
+  std::vector<unsigned> AstarTmpPos;    ///< Candidate positions (K entries).
+  std::vector<uint32_t> AstarHeap;      ///< Open list (binary heap of ids).
+  std::unordered_set<uint64_t> AstarClosed;
+  std::vector<std::pair<unsigned, unsigned>> AstarPath; ///< Rebuilt swaps.
+  std::vector<int32_t> AstarTracked;
+  std::vector<std::pair<unsigned, unsigned>> AstarGatePairs;
+  std::vector<uint32_t> QmapLayerBounds; ///< Layer k = gates [B[k], B[k+1]).
+  std::vector<uint8_t> QmapBusy;         ///< Per-logical-qubit layer marker.
+  std::vector<uint32_t> QmapTwoQ;        ///< 2Q gates of the current layer.
+};
+
+} // namespace qlosure
+
+#endif // QLOSURE_ROUTE_ROUTINGSCRATCH_H

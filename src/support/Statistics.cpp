@@ -39,7 +39,7 @@ double qlosure::stddev(const std::vector<double> &Values) {
   double Acc = 0;
   for (double V : Values)
     Acc += (V - M) * (V - M);
-  return std::sqrt(Acc / static_cast<double>(Values.size()));
+  return std::sqrt(Acc / static_cast<double>(Values.size() - 1));
 }
 
 double qlosure::median(std::vector<double> Values) {

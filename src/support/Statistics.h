@@ -24,7 +24,11 @@ double mean(const std::vector<double> &Values);
 /// Geometric mean of \p Values (all must be positive); 0 for an empty vector.
 double geometricMean(const std::vector<double> &Values);
 
-/// Population standard deviation; 0 for fewer than two samples.
+/// Sample standard deviation (Bessel-corrected, N-1 denominator); 0 for
+/// fewer than two samples. The harness aggregates *samples* of workload
+/// populations (a handful of QUEKO seeds per depth), so the unbiased
+/// sample estimator is the consistent choice — the previous implementation
+/// special-cased N < 2 like a sample estimator but then divided by N.
 double stddev(const std::vector<double> &Values);
 
 /// Median (average of the two middle elements for even sizes).

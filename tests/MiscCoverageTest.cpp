@@ -101,7 +101,8 @@ TEST(FrontLayerWindowTest, TwoQubitCountingSkipsOneQGates) {
     C.addCx(0, 1);
   }
   CircuitDag Dag(C);
-  FrontLayerTracker T(Dag);
+  RoutingScratch Scratch;
+  FrontLayerTracker T(Dag, Scratch);
   auto Plain = T.topologicalWindow(2, /*CountTwoQubitOnly=*/false);
   EXPECT_EQ(Plain.size(), 2u); // Two 1Q gates only.
   auto TwoQ = T.topologicalWindow(2, /*CountTwoQubitOnly=*/true);

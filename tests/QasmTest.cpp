@@ -55,6 +55,38 @@ TEST(LexerTest, ErrorToken) {
   EXPECT_EQ(Tokens.back().Kind, TokenKind::Error);
 }
 
+TEST(LexerTest, MalformedExponentIsError) {
+  // An exponent marker with no digits must not lex as Real ("1e" used to
+  // reach std::stod downstream and throw).
+  for (const char *Source : {"1e", "1e+", "2.5E-", "rx(1e) q[0];"}) {
+    auto Tokens = tokenize(Source);
+    EXPECT_EQ(Tokens.back().Kind, TokenKind::Error) << Source;
+    EXPECT_NE(Tokens.back().Text.find("exponent"), std::string::npos)
+        << Source;
+  }
+}
+
+TEST(LexerTest, WellFormedExponentsStillLex) {
+  for (const char *Source : {"1e5", "1e+5", "2.5E-3", "0.5e0"}) {
+    auto Tokens = tokenize(Source);
+    ASSERT_EQ(Tokens.size(), 2u) << Source; // Real + EndOfFile.
+    EXPECT_EQ(Tokens[0].Kind, TokenKind::Real) << Source;
+    EXPECT_EQ(Tokens[0].Text, Source);
+  }
+}
+
+TEST(LexerTest, UnterminatedStringIsError) {
+  auto Tokens = tokenize("include \"qelib1.inc;\n");
+  EXPECT_EQ(Tokens.back().Kind, TokenKind::Error);
+  EXPECT_NE(Tokens.back().Text.find("unterminated"), std::string::npos);
+}
+
+TEST(ParserTest, MalformedExponentSurfacesAsParseError) {
+  auto R = parseQasm("OPENQASM 2.0;\nqreg q[1];\nrx(1e) q[0];\n");
+  EXPECT_FALSE(R.succeeded());
+  EXPECT_NE(R.Error.find("exponent"), std::string::npos) << R.Error;
+}
+
 //===----------------------------------------------------------------------===//
 // Parser
 //===----------------------------------------------------------------------===//

@@ -69,7 +69,8 @@ TEST(FrontLayerTest, InitialFrontIsRoots) {
   C.addCx(2, 3);
   C.addCx(1, 2);
   CircuitDag Dag(C);
-  FrontLayerTracker T(Dag);
+  RoutingScratch Scratch;
+  FrontLayerTracker T(Dag, Scratch);
   std::vector<uint32_t> Front = T.front();
   std::sort(Front.begin(), Front.end());
   EXPECT_EQ(Front, (std::vector<uint32_t>{0, 1}));
@@ -81,7 +82,8 @@ TEST(FrontLayerTest, ExecutionReleasesSuccessors) {
   C.addCx(2, 3);
   C.addCx(1, 2);
   CircuitDag Dag(C);
-  FrontLayerTracker T(Dag);
+  RoutingScratch Scratch;
+  FrontLayerTracker T(Dag, Scratch);
   T.execute(0);
   EXPECT_FALSE(T.isInFront(2)); // Still blocked by gate 1.
   T.execute(1);
@@ -95,7 +97,8 @@ TEST(FrontLayerTest, TopologicalWindowOrder) {
   for (int I = 0; I < 6; ++I)
     C.addCx(0, 1);
   CircuitDag Dag(C);
-  FrontLayerTracker T(Dag);
+  RoutingScratch Scratch;
+  FrontLayerTracker T(Dag, Scratch);
   auto Window = T.topologicalWindow(4);
   EXPECT_EQ(Window, (std::vector<uint32_t>{0, 1, 2, 3}));
   T.execute(0);
@@ -110,7 +113,8 @@ TEST(FrontLayerTest, WindowRespectsCrossDependences) {
   C.addCx(1, 2); // 2: needs both.
   C.addCx(4, 5); // 3: independent root... but in program order later.
   CircuitDag Dag(C);
-  FrontLayerTracker T(Dag);
+  RoutingScratch Scratch;
+  FrontLayerTracker T(Dag, Scratch);
   auto Window = T.topologicalWindow(10);
   EXPECT_EQ(Window.size(), 4u);
   // Gate 2 must appear after gates 0 and 1.

@@ -12,6 +12,8 @@
 
 #include <gtest/gtest.h>
 
+#include <cmath>
+
 #include <set>
 
 using namespace qlosure;
@@ -205,7 +207,14 @@ TEST(StatisticsTest, MedianOddAndEven) {
 
 TEST(StatisticsTest, Stddev) {
   EXPECT_DOUBLE_EQ(stddev({2, 2, 2}), 0.0);
-  EXPECT_NEAR(stddev({1, 3}), 1.0, 1e-12);
+  // Sample (N-1) estimator: {1, 3} has variance ((1)^2 + (1)^2) / 1 = 2.
+  EXPECT_NEAR(stddev({1, 3}), std::sqrt(2.0), 1e-12);
+  // {2, 4, 4, 4, 5, 5, 7, 9}: sum of squared deviations = 32, N-1 = 7.
+  EXPECT_NEAR(stddev({2, 4, 4, 4, 5, 5, 7, 9}), std::sqrt(32.0 / 7.0),
+              1e-12);
+  // Degenerate sizes stay 0.
+  EXPECT_DOUBLE_EQ(stddev({}), 0.0);
+  EXPECT_DOUBLE_EQ(stddev({42.0}), 0.0);
 }
 
 TEST(StatisticsTest, MinMax) {
