@@ -1,0 +1,308 @@
+//===- bench/bench_service_throughput.cpp - qlosured loadgen -------------------===//
+//
+// Part of the Qlosure project. Distributed under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Load generator and correctness harness for the qlosured service (PR 4):
+/// boots an in-process Server on a temp Unix socket, precomputes the
+/// expected routed program of every (circuit, mapper) pair with direct
+/// library calls, then drives N concurrent client connections through two
+/// passes over the QUEKO request mix —
+///
+///   cold: caches empty, every request pays context build + routing;
+///   warm: the identical requests again, served from the service caches.
+///
+/// Every response (cold and warm) must carry routed QASM byte-identical
+/// to the direct library call, every warm response must report a cache
+/// hit, and warm throughput must be >= 2x cold (the PR 4 acceptance bar).
+/// QMAP is excluded from the mix: its wall-clock search budget makes its
+/// results load-dependent, which would turn byte-identity into a coin
+/// flip (see BatchRunner.h); the four deterministic mappers cover the
+/// protocol and cache paths identically.
+///
+/// Results are written to BENCH_service.json. Schema (one object):
+///   {
+///     "bench": "service_throughput",
+///     "workload": "queko-54qbt",        // generation set
+///     "backend": "sherbrooke",
+///     "clients": <int>,                  // concurrent connections
+///     "requests_per_pass": <int>,
+///     "all_identical": <bool>,           // responses == direct calls
+///     "all_warm_hits": <bool>,           // warm pass all cache_hit
+///     "cold": { "seconds": <float>, "requests_per_sec": <float>,
+///               "p50_ms": <float>, "p95_ms": <float> },
+///     "warm": { ... same fields ... },
+///     "warm_over_cold": <float>          // rps ratio, must be >= 2
+///   }
+///
+//===----------------------------------------------------------------------===//
+
+#include "bench/BenchCommon.h"
+#include "baselines/RouterRegistry.h"
+#include "core/Qlosure.h"
+#include "qasm/Printer.h"
+#include "route/Verify.h"
+#include "service/Client.h"
+#include "service/Server.h"
+#include "support/Json.h"
+#include "support/StringUtils.h"
+#include "support/Timer.h"
+#include "topology/Backends.h"
+#include "workloads/Queko.h"
+
+#include <algorithm>
+#include <atomic>
+#include <cstdio>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <unistd.h>
+#include <vector>
+
+using namespace qlosure;
+using namespace qlosure::bench;
+using namespace qlosure::service;
+
+namespace {
+
+struct RequestSpec {
+  std::string Line;     ///< The protocol request.
+  std::string Expected; ///< Routed QASM from the direct library call.
+  std::string Name;     ///< circuit/mapper label for diagnostics.
+};
+
+struct PassResult {
+  double Seconds = 0;
+  std::vector<double> LatenciesMs;
+  bool AllIdentical = true;
+  bool AllCacheHits = true;
+  uint64_t Errors = 0;
+
+  double p(double Quantile) const {
+    if (LatenciesMs.empty())
+      return 0;
+    std::vector<double> Sorted = LatenciesMs;
+    std::sort(Sorted.begin(), Sorted.end());
+    size_t Index = std::min(Sorted.size() - 1,
+                            static_cast<size_t>(Quantile * Sorted.size()));
+    return Sorted[Index];
+  }
+};
+
+/// Drives all requests through \p NumClients concurrent connections (one
+/// persistent connection per client, work-stealing over the request list).
+PassResult runPass(const std::string &SocketPath,
+                   const std::vector<RequestSpec> &Requests,
+                   unsigned NumClients, bool ExpectCacheHits) {
+  PassResult Result;
+  Result.LatenciesMs.resize(Requests.size(), 0);
+  std::atomic<size_t> Next{0};
+  std::atomic<uint64_t> Errors{0};
+  std::mutex FlagMu;
+
+  Timer Wall;
+  auto ClientLoop = [&] {
+    Client Conn;
+    if (!Conn.connect(SocketPath).ok()) {
+      ++Errors;
+      return;
+    }
+    for (size_t I = Next.fetch_add(1); I < Requests.size();
+         I = Next.fetch_add(1)) {
+      Timer Latency;
+      std::string ResponseLine;
+      if (!Conn.request(Requests[I].Line, ResponseLine).ok()) {
+        ++Errors;
+        return;
+      }
+      Result.LatenciesMs[I] = Latency.elapsedMilliseconds();
+
+      json::ParseResult Parsed = json::parse(ResponseLine);
+      const json::Value *Ok =
+          Parsed.Ok ? Parsed.V.get("ok") : nullptr;
+      if (!Ok || !Ok->asBool()) {
+        ++Errors;
+        continue;
+      }
+      const json::Value *Qasm = Parsed.V.get("qasm");
+      if (!Qasm || !Qasm->isString() ||
+          Qasm->asString() != Requests[I].Expected) {
+        std::lock_guard<std::mutex> Lock(FlagMu);
+        Result.AllIdentical = false;
+        std::fprintf(stderr,
+                     "error: %s: service response differs from the direct "
+                     "library call\n",
+                     Requests[I].Name.c_str());
+      }
+      const json::Value *Hit = Parsed.V.get("cache_hit");
+      if (ExpectCacheHits && (!Hit || !Hit->asBool())) {
+        std::lock_guard<std::mutex> Lock(FlagMu);
+        Result.AllCacheHits = false;
+        std::fprintf(stderr, "error: %s: warm request missed the cache\n",
+                     Requests[I].Name.c_str());
+      }
+    }
+  };
+
+  std::vector<std::thread> Clients;
+  for (unsigned C = 0; C < NumClients; ++C)
+    Clients.emplace_back(ClientLoop);
+  for (std::thread &T : Clients)
+    T.join();
+  Result.Seconds = Wall.elapsedSeconds();
+  Result.Errors = Errors.load();
+  return Result;
+}
+
+json::Value passJson(const PassResult &Pass, size_t Requests) {
+  json::Value Obj = json::Value::object();
+  Obj.set("seconds", Pass.Seconds);
+  Obj.set("requests_per_sec",
+          Pass.Seconds > 0 ? Requests / Pass.Seconds : 0.0);
+  Obj.set("p50_ms", Pass.p(0.50));
+  Obj.set("p95_ms", Pass.p(0.95));
+  return Obj;
+}
+
+} // namespace
+
+int main(int Argc, char **Argv) {
+  BenchConfig Config = parseArgs(Argc, Argv);
+  printBanner("Service throughput (qlosured cold vs warm cache)", Config);
+
+  const unsigned NumInstances = Config.Full ? 8 : 4;
+  const std::vector<unsigned> Depths =
+      Config.Full ? std::vector<unsigned>{50, 100, 150}
+                  : std::vector<unsigned>{40, 80};
+  const char *BackendName = "sherbrooke";
+  // QMAP excluded: wall-clock budget => load-dependent results (see
+  // the file header).
+  const std::vector<std::string> Mappers = {"qlosure", "sabre", "cirq",
+                                            "tket"};
+
+  CouplingGraph Gen = makeSycamore54();
+  CouplingGraph Backend = makeBackendByName(BackendName);
+
+  // Generate the circuit mix and precompute the expected routed bytes
+  // with direct library calls (identity placement, default options —
+  // exactly what the service runs).
+  std::vector<RequestSpec> Requests;
+  unsigned InstanceIndex = 0;
+  for (unsigned Depth : Depths) {
+    for (unsigned I = 0; I < NumInstances / Depths.size() + 1; ++I) {
+      if (InstanceIndex >= NumInstances)
+        break;
+      QuekoSpec Spec;
+      Spec.Depth = Depth;
+      Spec.Seed = Config.Seed + InstanceIndex;
+      QuekoInstance Inst = generateQueko(Gen, Spec);
+      Inst.Circ.setName(
+          formatString("queko-54qbt-d%u-i%u", Depth, InstanceIndex));
+      ++InstanceIndex;
+
+      std::string Qasm = qasm::printQasm(Inst.Circ);
+      RoutingContext Ctx = RoutingContext::build(Inst.Circ, Backend);
+      for (const std::string &MapperName : Mappers) {
+        std::unique_ptr<Router> Mapper = makeRouterByName(MapperName);
+        RoutingResult Direct = Mapper->routeWithIdentity(Ctx);
+        if (Config.Verify) {
+          VerifyResult Check = verifyRouting(Inst.Circ, Backend, Direct);
+          if (!Check.Ok) {
+            std::fprintf(stderr, "error: direct %s routing invalid: %s\n",
+                         MapperName.c_str(), Check.Message.c_str());
+            return 1;
+          }
+        }
+        json::Value Req = json::Value::object();
+        Req.set("op", "route");
+        Req.set("qasm", Qasm);
+        Req.set("mapper", MapperName);
+        Req.set("backend", BackendName);
+        RequestSpec SpecOut;
+        SpecOut.Line = Req.dump();
+        SpecOut.Expected = qasm::printQasm(Direct.Routed);
+        SpecOut.Name = Inst.Circ.name() + "/" + MapperName;
+        Requests.push_back(std::move(SpecOut));
+      }
+    }
+  }
+
+  ServerOptions Opts;
+  Opts.SocketPath =
+      formatString("/tmp/qlosured-bench-%d.sock", static_cast<int>(getpid()));
+  Opts.Workers = Config.Threads;
+  Server Daemon(Opts);
+  if (Status S = Daemon.start(); !S.ok()) {
+    std::fprintf(stderr, "error: cannot start server: %s\n",
+                 S.message().c_str());
+    return 1;
+  }
+
+  const unsigned NumClients = std::min<unsigned>(
+      4, std::max(1u, std::thread::hardware_concurrency()));
+  std::printf("%zu requests per pass, %u concurrent clients\n\n",
+              Requests.size(), NumClients);
+
+  PassResult Cold =
+      runPass(Opts.SocketPath, Requests, NumClients, false);
+  PassResult Warm = runPass(Opts.SocketPath, Requests, NumClients, true);
+
+  CacheStats CtxStats = Daemon.contextCacheStats();
+  CacheStats ResStats = Daemon.resultCacheStats();
+  Daemon.stop();
+
+  bool AllIdentical = Cold.AllIdentical && Warm.AllIdentical &&
+                      Cold.Errors == 0 && Warm.Errors == 0;
+  double ColdRps = Cold.Seconds > 0 ? Requests.size() / Cold.Seconds : 0;
+  double WarmRps = Warm.Seconds > 0 ? Requests.size() / Warm.Seconds : 0;
+  double Ratio = ColdRps > 0 ? WarmRps / ColdRps : 0;
+
+  std::printf("pass   seconds     req/s    p50 ms    p95 ms\n");
+  std::printf("cold  %8.3f  %8.1f  %8.2f  %8.2f\n", Cold.Seconds, ColdRps,
+              Cold.p(0.50), Cold.p(0.95));
+  std::printf("warm  %8.3f  %8.1f  %8.2f  %8.2f\n", Warm.Seconds, WarmRps,
+              Warm.p(0.50), Warm.p(0.95));
+  std::printf("\nwarm/cold throughput: %.2fx (acceptance bar: >= 2x)\n",
+              Ratio);
+  std::printf("byte-identical to direct calls: %s\n",
+              AllIdentical ? "yes" : "NO (BUG)");
+  std::printf("warm pass all cache hits: %s\n",
+              Warm.AllCacheHits ? "yes" : "NO (BUG)");
+  std::printf("context cache: %llu hits / %llu misses; result cache: "
+              "%llu hits / %llu misses\n",
+              static_cast<unsigned long long>(CtxStats.Hits),
+              static_cast<unsigned long long>(CtxStats.Misses),
+              static_cast<unsigned long long>(ResStats.Hits),
+              static_cast<unsigned long long>(ResStats.Misses));
+
+  // See the file header for the JSON schema.
+  {
+    json::Value Doc = json::Value::object();
+    Doc.set("bench", "service_throughput");
+    Doc.set("workload", "queko-54qbt");
+    Doc.set("backend", BackendName);
+    Doc.set("clients", NumClients);
+    Doc.set("requests_per_pass", Requests.size());
+    Doc.set("all_identical", AllIdentical);
+    Doc.set("all_warm_hits", Warm.AllCacheHits);
+    Doc.set("cold", passJson(Cold, Requests.size()));
+    Doc.set("warm", passJson(Warm, Requests.size()));
+    Doc.set("warm_over_cold", Ratio);
+    FILE *F = std::fopen("BENCH_service.json", "w");
+    if (!F) {
+      std::fprintf(stderr, "error: cannot write BENCH_service.json\n");
+      return 1;
+    }
+    std::fprintf(F, "%s\n", Doc.dump().c_str());
+    std::fclose(F);
+    std::printf("wrote BENCH_service.json\n");
+  }
+
+  bool Pass = AllIdentical && Warm.AllCacheHits && Ratio >= 2.0;
+  if (!Pass)
+    std::fprintf(stderr, "error: service throughput acceptance FAILED\n");
+  return Pass ? 0 : 1;
+}

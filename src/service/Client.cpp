@@ -1,0 +1,92 @@
+//===- service/Client.cpp - Blocking qlosured client ---------------------------===//
+//
+// Part of the Qlosure project. Distributed under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "service/Client.h"
+
+#include "service/SocketIO.h"
+#include "support/StringUtils.h"
+
+#include <cerrno>
+#include <chrono>
+#include <cstring>
+#include <thread>
+
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+using namespace qlosure;
+using namespace qlosure::service;
+
+Status Client::connect(const std::string &SocketPath, double RetrySeconds) {
+  close();
+  sockaddr_un Addr;
+  std::memset(&Addr, 0, sizeof(Addr));
+  Addr.sun_family = AF_UNIX;
+  if (SocketPath.size() >= sizeof(Addr.sun_path))
+    return Status::error("socket path too long");
+  std::memcpy(Addr.sun_path, SocketPath.c_str(), SocketPath.size() + 1);
+
+  auto Deadline = std::chrono::steady_clock::now() +
+                  std::chrono::duration<double>(RetrySeconds);
+  while (true) {
+    Fd = ::socket(AF_UNIX, SOCK_STREAM, 0);
+    if (Fd < 0)
+      return Status::error(
+          formatString("socket(): %s", std::strerror(errno)));
+    if (::connect(Fd, reinterpret_cast<sockaddr *>(&Addr), sizeof(Addr)) ==
+        0)
+      return Status::success();
+    int Err = errno;
+    ::close(Fd);
+    Fd = -1;
+    if (RetrySeconds <= 0 || std::chrono::steady_clock::now() >= Deadline)
+      return Status::error(formatString("connect(%s): %s",
+                                        SocketPath.c_str(),
+                                        std::strerror(Err)));
+    std::this_thread::sleep_for(std::chrono::milliseconds(50));
+  }
+}
+
+void Client::close() {
+  if (Fd >= 0) {
+    ::close(Fd);
+    Fd = -1;
+  }
+  Pending.clear();
+}
+
+Status Client::sendLine(const std::string &Line) {
+  if (Fd < 0)
+    return Status::error("not connected");
+  if (!sendAll(Fd, Line + "\n"))
+    return Status::error(formatString("send(): %s", std::strerror(errno)));
+  return Status::success();
+}
+
+Status Client::recvLine(std::string &Line) {
+  if (Fd < 0)
+    return Status::error("not connected");
+  char Buffer[65536];
+  while (!popLine(Pending, Line)) {
+    ssize_t N = ::recv(Fd, Buffer, sizeof(Buffer), 0);
+    if (N < 0 && errno == EINTR)
+      continue;
+    if (N < 0)
+      return Status::error(
+          formatString("recv(): %s", std::strerror(errno)));
+    if (N == 0)
+      return Status::error("connection closed by server");
+    Pending.append(Buffer, static_cast<size_t>(N));
+  }
+  return Status::success();
+}
+
+Status Client::request(const std::string &Line, std::string &Response) {
+  if (Status S = sendLine(Line); !S.ok())
+    return S;
+  return recvLine(Response);
+}

@@ -1,0 +1,65 @@
+//===- service/Client.h - Blocking qlosured client ---------------*- C++ -*-===//
+//
+// Part of the Qlosure project. Distributed under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A minimal blocking client for the qlosured Unix-socket protocol, shared
+/// by tools/qlosure-client, the service integration tests, and the
+/// bench_service_throughput load generator: connect (optionally retrying
+/// until the daemon is up), send one request line, read one response line.
+/// No background threads, no state beyond the socket — one instance per
+/// connection, usable from any thread but not from several at once.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef QLOSURE_SERVICE_CLIENT_H
+#define QLOSURE_SERVICE_CLIENT_H
+
+#include "support/Error.h"
+
+#include <string>
+
+namespace qlosure {
+namespace service {
+
+/// One client connection.
+class Client {
+public:
+  Client() = default;
+  ~Client() { close(); }
+
+  Client(const Client &) = delete;
+  Client &operator=(const Client &) = delete;
+  Client(Client &&Other) noexcept : Fd(Other.Fd), Pending(std::move(Other.Pending)) {
+    Other.Fd = -1;
+  }
+
+  /// Connects to the daemon at \p SocketPath. When \p RetrySeconds > 0 a
+  /// refused/missing socket is retried (50 ms backoff) until the deadline
+  /// — the standard way to wait for a freshly exec'd daemon to bind.
+  Status connect(const std::string &SocketPath, double RetrySeconds = 0);
+
+  bool connected() const { return Fd >= 0; }
+  void close();
+
+  /// Sends \p Line (newline appended).
+  Status sendLine(const std::string &Line);
+
+  /// Reads one newline-terminated response into \p Line (newline
+  /// stripped). Fails when the daemon closes the connection first.
+  Status recvLine(std::string &Line);
+
+  /// sendLine + recvLine.
+  Status request(const std::string &Line, std::string &Response);
+
+private:
+  int Fd = -1;
+  std::string Pending; ///< Bytes read past the last returned line.
+};
+
+} // namespace service
+} // namespace qlosure
+
+#endif // QLOSURE_SERVICE_CLIENT_H

@@ -1,0 +1,56 @@
+//===- service/ContextCache.cpp - Sharded routing-state caches -----------------===//
+//
+// Part of the Qlosure project. Distributed under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "service/ContextCache.h"
+
+#include "circuit/Dag.h"
+
+using namespace qlosure;
+using namespace qlosure::service;
+
+namespace {
+
+/// Rough memory footprint of one cached bundle: the gate list, the
+/// adjacency lists, the distance matrices, and the per-gate weight/DAG
+/// arrays. Close enough for byte-budget eviction; exactness is not the
+/// point.
+size_t estimateBytes(const Circuit &Circ, const CouplingGraph &Hw,
+                     bool HasWeights) {
+  size_t N = Hw.numQubits();
+  size_t Bytes = sizeof(CachedContext);
+  Bytes += Circ.size() * sizeof(Gate);
+  Bytes += Hw.numEdges() * 2 * sizeof(unsigned) + N * 32;
+  Bytes += N * N * sizeof(uint32_t); // Unweighted distances.
+  if (Hw.hasWeightedDistances())
+    Bytes += N * N * sizeof(double);
+  // DAG: per-gate successor/predecessor edges (<= 2 each way for 2-qubit
+  // gates) plus node bookkeeping.
+  Bytes += Circ.size() * 48;
+  if (HasWeights)
+    Bytes += Circ.size() * sizeof(uint64_t);
+  return Bytes;
+}
+
+} // namespace
+
+std::shared_ptr<const CachedContext>
+CachedContext::build(const Circuit &Circ, const CouplingGraph &Hw,
+                     const RoutingContextOptions &Options, bool WarmWeights) {
+  // The bundle owns copies; the context is built against those copies'
+  // stable heap addresses (shared_ptr control block pins them).
+  auto Bundle = std::shared_ptr<CachedContext>(new CachedContext());
+  Bundle->Circ = Circ;
+  Bundle->Hw = Hw;
+  Bundle->Ctx.emplace(
+      RoutingContext::build(Bundle->Circ, Bundle->Hw, Options));
+  bool Warmed = false;
+  if (WarmWeights && Bundle->Ctx->valid()) {
+    Bundle->Ctx->dependenceWeights();
+    Warmed = true;
+  }
+  Bundle->Bytes = estimateBytes(Bundle->Circ, Bundle->Hw, Warmed);
+  return Bundle;
+}

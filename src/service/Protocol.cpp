@@ -1,0 +1,211 @@
+//===- service/Protocol.cpp - qlosured wire protocol ---------------------------===//
+//
+// Part of the Qlosure project. Distributed under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "service/Protocol.h"
+
+#include "support/StringUtils.h"
+
+#include <cmath>
+
+using namespace qlosure;
+using namespace qlosure::service;
+
+namespace {
+
+RequestParse protocolError(std::string Code, std::string Message) {
+  RequestParse Result;
+  Result.ErrorCode = std::move(Code);
+  Result.ErrorMessage = std::move(Message);
+  return Result;
+}
+
+/// Reads an optional member with type checking; a present member of the
+/// wrong type is a bad_request, not a silent default.
+template <typename FnT>
+bool readMember(const json::Value &Obj, const char *Key, bool Required,
+                json::Value::Kind Kind, RequestParse &Err, FnT Apply) {
+  const json::Value *Member = Obj.get(Key);
+  if (!Member) {
+    if (Required) {
+      Err = protocolError(errc::BadRequest,
+                          formatString("missing required field \"%s\"", Key));
+      return false;
+    }
+    return true;
+  }
+  if (Member->kind() != Kind) {
+    Err = protocolError(errc::BadRequest,
+                        formatString("field \"%s\" has the wrong type", Key));
+    return false;
+  }
+  Apply(*Member);
+  return true;
+}
+
+} // namespace
+
+RequestParse service::parseRequest(const std::string &Line) {
+  json::ParseResult Parsed = json::parse(Line);
+  if (!Parsed.Ok)
+    return protocolError(errc::BadJson, Parsed.Error);
+  const json::Value &Obj = Parsed.V;
+  if (!Obj.isObject())
+    return protocolError(errc::BadRequest, "request must be a JSON object");
+
+  RequestParse Result;
+  Request &Req = Result.Req;
+
+  const json::Value *OpField = Obj.get("op");
+  if (!OpField || !OpField->isString())
+    return protocolError(errc::BadRequest,
+                         "missing or non-string \"op\" field");
+  const std::string &OpName = OpField->asString();
+  if (OpName == "ping")
+    Req.TheOp = Op::Ping;
+  else if (OpName == "stats")
+    Req.TheOp = Op::Stats;
+  else if (OpName == "shutdown")
+    Req.TheOp = Op::Shutdown;
+  else if (OpName == "route")
+    Req.TheOp = Op::Route;
+  else
+    return protocolError(errc::BadRequest,
+                         formatString("unknown op \"%s\"", OpName.c_str()));
+
+  RequestParse Err;
+  if (!readMember(Obj, "id", false, json::Value::Kind::String, Err,
+                  [&](const json::Value &V) { Req.Id = V.asString(); }))
+    return Err;
+
+  if (Req.TheOp != Op::Route) {
+    Result.Ok = true;
+    return Result;
+  }
+
+  RouteRequest &Route = Req.Route;
+  if (!readMember(Obj, "qasm", true, json::Value::Kind::String, Err,
+                  [&](const json::Value &V) { Route.Qasm = V.asString(); }))
+    return Err;
+  if (!readMember(Obj, "mapper", false, json::Value::Kind::String, Err,
+                  [&](const json::Value &V) { Route.Mapper = V.asString(); }))
+    return Err;
+  if (!readMember(Obj, "backend", false, json::Value::Kind::String, Err,
+                  [&](const json::Value &V) { Route.Backend = V.asString(); }))
+    return Err;
+  if (!readMember(Obj, "bidirectional", false, json::Value::Kind::Bool, Err,
+                  [&](const json::Value &V) {
+                    Route.Bidirectional = V.asBool();
+                  }))
+    return Err;
+  if (!readMember(Obj, "error_aware", false, json::Value::Kind::Bool, Err,
+                  [&](const json::Value &V) { Route.ErrorAware = V.asBool(); }))
+    return Err;
+  if (!readMember(Obj, "include_qasm", false, json::Value::Kind::Bool, Err,
+                  [&](const json::Value &V) {
+                    Route.IncludeQasm = V.asBool();
+                  }))
+    return Err;
+  bool NumbersOk = true;
+  if (!readMember(Obj, "calibration", false, json::Value::Kind::Number, Err,
+                  [&](const json::Value &V) {
+                    double N = V.asNumber();
+                    // Upper bound keeps the double->uint64_t cast defined
+                    // (2^53: every smaller integer is exactly
+                    // representable and safely convertible).
+                    if (!(N >= 0) || std::floor(N) != N ||
+                        N > 9007199254740992.0)
+                      NumbersOk = false;
+                    else
+                      Route.CalibrationSeed = static_cast<uint64_t>(N);
+                  }))
+    return Err;
+  if (!NumbersOk)
+    return protocolError(
+        errc::BadRequest,
+        "\"calibration\" must be a non-negative integer <= 2^53");
+  if (!readMember(Obj, "timeout_ms", false, json::Value::Kind::Number, Err,
+                  [&](const json::Value &V) {
+                    Route.TimeoutMs = V.asNumber();
+                  }))
+    return Err;
+
+  Result.Ok = true;
+  return Result;
+}
+
+json::Value service::routeStatsToJson(const RouteStats &Stats) {
+  json::Value Obj = json::Value::object();
+  Obj.set("logical_gates", Stats.LogicalGates);
+  Obj.set("routed_gates", Stats.RoutedGates);
+  Obj.set("swaps", Stats.Swaps);
+  Obj.set("depth_before", Stats.DepthBefore);
+  Obj.set("depth_after", Stats.DepthAfter);
+  Obj.set("mapping_seconds", Stats.MappingSeconds);
+  Obj.set("timed_out", Stats.TimedOut);
+  Obj.set("verified", Stats.Verified);
+  if (Stats.SuccessProbability >= 0)
+    Obj.set("success_probability", Stats.SuccessProbability);
+  return Obj;
+}
+
+namespace {
+
+json::Value responseHead(const char *Op, const std::string &Id, bool Ok) {
+  json::Value Obj = json::Value::object();
+  Obj.set("ok", Ok);
+  Obj.set("op", Op);
+  if (!Id.empty())
+    Obj.set("id", Id);
+  return Obj;
+}
+
+} // namespace
+
+std::string service::formatPingResponse(const std::string &Id) {
+  return responseHead("ping", Id, true).dump();
+}
+
+std::string service::formatErrorResponse(const char *Op,
+                                         const std::string &Id,
+                                         const std::string &Code,
+                                         const std::string &Message) {
+  json::Value Obj = responseHead(Op, Id, false);
+  json::Value Err = json::Value::object();
+  Err.set("code", Code);
+  Err.set("message", Message);
+  Obj.set("error", std::move(Err));
+  return Obj.dump();
+}
+
+std::string service::formatRouteResponse(
+    const std::string &Id, const std::string &Mapper,
+    const std::string &Backend, const RouteStats &Stats, bool ContextCacheHit,
+    bool ResultCacheHit, const std::string &Qasm, bool IncludeQasm) {
+  json::Value Obj = responseHead("route", Id, true);
+  Obj.set("mapper", Mapper);
+  Obj.set("backend", Backend);
+  Obj.set("stats", routeStatsToJson(Stats));
+  Obj.set("cache_hit", ContextCacheHit || ResultCacheHit);
+  Obj.set("context_cache_hit", ContextCacheHit);
+  Obj.set("result_cache_hit", ResultCacheHit);
+  if (IncludeQasm)
+    Obj.set("qasm", Qasm);
+  return Obj.dump();
+}
+
+std::string service::formatStatsResponse(const std::string &Id,
+                                         const json::Value &Body) {
+  json::Value Obj = responseHead("stats", Id, true);
+  for (const auto &Member : Body.members())
+    Obj.set(Member.first, Member.second);
+  return Obj.dump();
+}
+
+std::string service::formatShutdownResponse(const std::string &Id) {
+  json::Value Obj = responseHead("shutdown", Id, true);
+  Obj.set("stopping", true);
+  return Obj.dump();
+}

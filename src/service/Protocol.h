@@ -1,0 +1,135 @@
+//===- service/Protocol.h - qlosured wire protocol ---------------*- C++ -*-===//
+//
+// Part of the Qlosure project. Distributed under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The newline-delimited JSON protocol spoken over the qlosured Unix
+/// socket: one JSON object per line in each direction. See
+/// docs/PROTOCOL.md for the normative schema; the short form:
+///
+///   -> {"op":"ping"}
+///   -> {"op":"stats"}
+///   -> {"op":"shutdown"}
+///   -> {"op":"route","qasm":"...","mapper":"qlosure","backend":
+///       "sherbrooke","bidirectional":false,"error_aware":false,
+///       "calibration":1,"include_qasm":true,"timeout_ms":30000,"id":"r1"}
+///   <- {"ok":true,"op":"route","id":"r1","stats":{...},"cache_hit":true,
+///       "context_cache_hit":true,"result_cache_hit":false,"qasm":"..."}
+///   <- {"ok":false,"op":"route","error":{"code":"bad_qasm",
+///       "message":"..."}}
+///
+/// Every malformed input maps to a structured error response with a
+/// stable machine-readable code; the daemon never crashes or drops a
+/// connection over bad input.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef QLOSURE_SERVICE_PROTOCOL_H
+#define QLOSURE_SERVICE_PROTOCOL_H
+
+#include "support/Json.h"
+
+#include <cstdint>
+#include <string>
+
+namespace qlosure {
+namespace service {
+
+/// Stable machine-readable error codes (docs/PROTOCOL.md documents each).
+namespace errc {
+inline constexpr const char *BadJson = "bad_json";
+inline constexpr const char *BadRequest = "bad_request";
+inline constexpr const char *BadQasm = "bad_qasm";
+inline constexpr const char *UnknownMapper = "unknown_mapper";
+inline constexpr const char *UnknownBackend = "unknown_backend";
+inline constexpr const char *TooLarge = "too_large";
+inline constexpr const char *InvalidCircuit = "invalid_circuit";
+inline constexpr const char *VerifyFailed = "verify_failed";
+inline constexpr const char *QueueFull = "queue_full";
+inline constexpr const char *DeadlineExceeded = "deadline_exceeded";
+inline constexpr const char *ShuttingDown = "shutting_down";
+} // namespace errc
+
+/// Request operation.
+enum class Op : uint8_t { Ping, Stats, Shutdown, Route };
+
+/// A parsed `route` request.
+struct RouteRequest {
+  std::string Qasm;
+  std::string Mapper = "qlosure";
+  std::string Backend = "sherbrooke";
+  bool Bidirectional = false;
+  bool ErrorAware = false;
+  uint64_t CalibrationSeed = 1;
+  /// Echo the routed program in the response (stats-only callers save the
+  /// bytes by setting this false).
+  bool IncludeQasm = true;
+  /// Per-request deadline in milliseconds from arrival; <= 0 means the
+  /// server default applies.
+  double TimeoutMs = 0;
+};
+
+/// A parsed request of any op.
+struct Request {
+  Op TheOp = Op::Ping;
+  /// Client-chosen correlation id, echoed verbatim in the response
+  /// (empty = omitted).
+  std::string Id;
+  RouteRequest Route;
+};
+
+/// Outcome of parseRequest: Ok, or a protocol error (code + message) the
+/// caller turns into an error response.
+struct RequestParse {
+  bool Ok = false;
+  Request Req;
+  std::string ErrorCode;
+  std::string ErrorMessage;
+};
+
+/// Parses one request line. Never aborts; any malformed input yields
+/// ErrorCode = bad_json / bad_request.
+RequestParse parseRequest(const std::string &Line);
+
+/// The statistics block of a `route` response — also the schema
+/// `qlosure-route --json` prints, so scripts can consume either source
+/// uniformly.
+struct RouteStats {
+  size_t LogicalGates = 0;
+  size_t RoutedGates = 0;
+  size_t Swaps = 0;
+  size_t DepthBefore = 0;
+  size_t DepthAfter = 0;
+  double MappingSeconds = 0;
+  bool TimedOut = false;
+  bool Verified = false;
+  /// Estimated success probability; negative = no error model, omitted.
+  double SuccessProbability = -1.0;
+};
+
+/// Serializes \p Stats as the shared JSON stats object.
+json::Value routeStatsToJson(const RouteStats &Stats);
+
+/// Response builders. Each returns one complete line *without* the
+/// trailing newline; the transport appends it.
+std::string formatPingResponse(const std::string &Id);
+std::string formatErrorResponse(const char *Op, const std::string &Id,
+                                const std::string &Code,
+                                const std::string &Message);
+std::string formatRouteResponse(const std::string &Id,
+                                const std::string &Mapper,
+                                const std::string &Backend,
+                                const RouteStats &Stats, bool ContextCacheHit,
+                                bool ResultCacheHit, const std::string &Qasm,
+                                bool IncludeQasm);
+/// `stats` responses carry an arbitrary server-assembled object.
+std::string formatStatsResponse(const std::string &Id,
+                                const json::Value &Body);
+std::string formatShutdownResponse(const std::string &Id);
+
+} // namespace service
+} // namespace qlosure
+
+#endif // QLOSURE_SERVICE_PROTOCOL_H

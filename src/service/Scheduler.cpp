@@ -1,0 +1,95 @@
+//===- service/Scheduler.cpp - Bounded job queue + worker pool -----------------===//
+//
+// Part of the Qlosure project. Distributed under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "service/Scheduler.h"
+
+#include <algorithm>
+
+using namespace qlosure;
+using namespace qlosure::service;
+
+Scheduler::Scheduler(SchedulerOptions Options)
+    : Capacity(std::max<size_t>(Options.QueueCapacity, 1)) {
+  unsigned Workers = Options.Workers;
+  if (Workers == 0)
+    Workers = std::max(1u, std::thread::hardware_concurrency());
+  Pool.reserve(Workers);
+  for (unsigned I = 0; I < Workers; ++I)
+    Pool.emplace_back([this] { workerLoop(); });
+}
+
+Scheduler::~Scheduler() { shutdown(); }
+
+bool Scheduler::trySubmit(SchedulerJob Job) {
+  {
+    std::lock_guard<std::mutex> Lock(Mu);
+    if (ShuttingDown || Queue.size() >= Capacity) {
+      ++Rejected;
+      return false;
+    }
+    Queue.push_back(std::move(Job));
+    ++Submitted;
+  }
+  QueueCv.notify_one();
+  return true;
+}
+
+void Scheduler::shutdown() {
+  std::vector<std::thread> ToJoin;
+  {
+    std::lock_guard<std::mutex> Lock(Mu);
+    ShuttingDown = true;
+    ToJoin.swap(Pool);
+  }
+  QueueCv.notify_all();
+  for (std::thread &Worker : ToJoin)
+    if (Worker.joinable())
+      Worker.join();
+}
+
+SchedulerStats Scheduler::stats() const {
+  std::lock_guard<std::mutex> Lock(Mu);
+  SchedulerStats S;
+  S.Submitted = Submitted;
+  S.Completed = Completed;
+  S.Expired = Expired;
+  S.Rejected = Rejected;
+  S.QueueDepth = Queue.size();
+  S.Workers = static_cast<unsigned>(Pool.size());
+  return S;
+}
+
+void Scheduler::workerLoop() {
+  // One scratch per worker for the worker's whole lifetime: every routing
+  // job this thread ever runs reuses the same warm kernel buffers (the
+  // BatchRunner discipline; see RoutingScratch.h).
+  RoutingScratch Scratch;
+  while (true) {
+    SchedulerJob Job;
+    {
+      std::unique_lock<std::mutex> Lock(Mu);
+      QueueCv.wait(Lock, [this] { return ShuttingDown || !Queue.empty(); });
+      if (Queue.empty())
+        return; // Shutting down and drained.
+      Job = std::move(Queue.front());
+      Queue.pop_front();
+    }
+    bool IsExpired = std::chrono::steady_clock::now() >= Job.Deadline;
+    if (IsExpired) {
+      if (Job.OnExpired)
+        Job.OnExpired();
+    } else if (Job.Run) {
+      Job.Run(Scratch);
+    }
+    {
+      std::lock_guard<std::mutex> Lock(Mu);
+      if (IsExpired)
+        ++Expired;
+      else
+        ++Completed;
+    }
+  }
+}

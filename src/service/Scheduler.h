@@ -1,0 +1,110 @@
+//===- service/Scheduler.h - Bounded job queue + worker pool -----*- C++ -*-===//
+//
+// Part of the Qlosure project. Distributed under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The qlosured execution engine: a bounded FIFO job queue drained by a
+/// fixed pool of worker threads, each owning exactly one RoutingScratch
+/// for its whole lifetime — the same one-scratch-per-worker pooling
+/// discipline BatchRunner uses, so every routing job runs on warm,
+/// allocation-free kernel buffers.
+///
+/// Backpressure is explicit: trySubmit() never blocks; when the queue is
+/// at capacity (or the scheduler is shutting down) it returns false and
+/// the caller reports `queue_full` / `shutting_down` upstream instead of
+/// wedging a connection. Each job carries an optional deadline; a job
+/// whose deadline has passed by the time a worker picks it up is not run —
+/// its OnExpired callback fires instead, so the waiting client still gets
+/// a structured `deadline_exceeded` response rather than silence.
+///
+/// shutdown() is graceful: submissions stop, queued jobs drain, workers
+/// join. It is idempotent and also runs from the destructor.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef QLOSURE_SERVICE_SCHEDULER_H
+#define QLOSURE_SERVICE_SCHEDULER_H
+
+#include "route/RoutingScratch.h"
+
+#include <chrono>
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace qlosure {
+namespace service {
+
+/// Scheduler sizing.
+struct SchedulerOptions {
+  /// Worker threads; 0 picks std::thread::hardware_concurrency() (at
+  /// least 1).
+  unsigned Workers = 0;
+  /// Maximum queued (not yet running) jobs before trySubmit() rejects.
+  size_t QueueCapacity = 256;
+};
+
+/// One unit of work. Run executes on a worker with that worker's scratch;
+/// OnExpired (optional) executes instead when Deadline passed before the
+/// job was picked up. Exactly one of the two callbacks runs per job.
+struct SchedulerJob {
+  std::function<void(RoutingScratch &)> Run;
+  std::function<void()> OnExpired;
+  std::chrono::steady_clock::time_point Deadline =
+      std::chrono::steady_clock::time_point::max();
+};
+
+/// Aggregate counters.
+struct SchedulerStats {
+  uint64_t Submitted = 0;
+  uint64_t Completed = 0;
+  uint64_t Expired = 0;
+  uint64_t Rejected = 0;
+  uint64_t QueueDepth = 0;
+  unsigned Workers = 0;
+};
+
+/// The worker pool.
+class Scheduler {
+public:
+  explicit Scheduler(SchedulerOptions Options = {});
+  ~Scheduler();
+
+  Scheduler(const Scheduler &) = delete;
+  Scheduler &operator=(const Scheduler &) = delete;
+
+  /// Enqueues \p Job; returns false (without running any callback) when
+  /// the queue is full or shutdown() has begun.
+  bool trySubmit(SchedulerJob Job);
+
+  /// Stops accepting jobs, drains the queue, joins all workers.
+  void shutdown();
+
+  SchedulerStats stats() const;
+  unsigned workers() const { return stats().Workers; }
+
+private:
+  void workerLoop();
+
+  mutable std::mutex Mu;
+  std::condition_variable QueueCv;
+  std::deque<SchedulerJob> Queue;
+  std::vector<std::thread> Pool;
+  bool ShuttingDown = false;
+  uint64_t Submitted = 0;
+  uint64_t Completed = 0;
+  uint64_t Expired = 0;
+  uint64_t Rejected = 0;
+  size_t Capacity;
+};
+
+} // namespace service
+} // namespace qlosure
+
+#endif // QLOSURE_SERVICE_SCHEDULER_H

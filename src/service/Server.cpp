@@ -1,0 +1,560 @@
+//===- service/Server.cpp - qlosured Unix-socket server ------------------------===//
+//
+// Part of the Qlosure project. Distributed under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "service/Server.h"
+
+#include "baselines/RouterRegistry.h"
+#include "core/Qlosure.h"
+#include "qasm/Importer.h"
+#include "qasm/Printer.h"
+#include "route/Fidelity.h"
+#include "route/InitialMapping.h"
+#include "route/Verify.h"
+#include "service/SocketIO.h"
+#include "support/StringUtils.h"
+#include "topology/Backends.h"
+
+#include <algorithm>
+#include <cerrno>
+#include <cstring>
+#include <future>
+
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+using namespace qlosure;
+using namespace qlosure::service;
+
+namespace {
+
+const char *const KnownBackends[] = {
+    "sherbrooke", "ankaa3",  "sherbrooke2x", "kings9x9",
+    "kings16x16", "aspen16", "sycamore54"};
+
+const char *const KnownMappers[] = {"qlosure", "sabre", "qmap", "cirq",
+                                    "tket"};
+
+bool isKnown(const char *const *Names, size_t Count,
+             const std::string &Name) {
+  for (size_t I = 0; I < Count; ++I)
+    if (Name == Names[I])
+      return true;
+  return false;
+}
+
+std::unique_ptr<Router> makeServiceRouter(const std::string &Name,
+                                          bool ErrorAware) {
+  if (Name == "qlosure") {
+    QlosureOptions Opts;
+    Opts.ErrorAware = ErrorAware;
+    return std::make_unique<QlosureRouter>(Opts);
+  }
+  // Baselines have no error-aware mode; they route on the calibrated
+  // graph with plain distances (mirrors tools/qlosure-route).
+  return makeRouterByName(Name);
+}
+
+json::Value cacheStatsJson(const CacheStats &S, size_t ByteBudget) {
+  json::Value Obj = json::Value::object();
+  Obj.set("hits", S.Hits);
+  Obj.set("misses", S.Misses);
+  Obj.set("evictions", S.Evictions);
+  Obj.set("entries", S.Entries);
+  Obj.set("bytes", S.Bytes);
+  Obj.set("byte_budget", ByteBudget);
+  return Obj;
+}
+
+} // namespace
+
+Server::Server(ServerOptions Options)
+    : Options(std::move(Options)),
+      Contexts(CacheOptions{this->Options.CacheShards,
+                            this->Options.ContextCacheBytes}),
+      Results(CacheOptions{this->Options.CacheShards,
+                           this->Options.ResultCacheBytes}) {}
+
+Server::~Server() {
+  requestStop();
+  wait();
+}
+
+Status Server::start() {
+  if (Started)
+    return Status::error("server already started");
+  if (Options.SocketPath.empty())
+    return Status::error("socket path must not be empty");
+
+  sockaddr_un Addr;
+  std::memset(&Addr, 0, sizeof(Addr));
+  Addr.sun_family = AF_UNIX;
+  if (Options.SocketPath.size() >= sizeof(Addr.sun_path))
+    return Status::error(
+        formatString("socket path too long (%zu bytes, limit %zu)",
+                     Options.SocketPath.size(), sizeof(Addr.sun_path) - 1));
+  std::memcpy(Addr.sun_path, Options.SocketPath.c_str(),
+              Options.SocketPath.size() + 1);
+
+  ListenFd = ::socket(AF_UNIX, SOCK_STREAM, 0);
+  if (ListenFd < 0)
+    return Status::error(formatString("socket(): %s", std::strerror(errno)));
+
+  // Replace a stale socket file from a previous run; a live daemon on the
+  // same path will have its clients stolen, which is the operator's call.
+  ::unlink(Options.SocketPath.c_str());
+  if (::bind(ListenFd, reinterpret_cast<sockaddr *>(&Addr), sizeof(Addr)) <
+      0) {
+    Status Failure = Status::error(formatString(
+        "bind(%s): %s", Options.SocketPath.c_str(), std::strerror(errno)));
+    ::close(ListenFd);
+    ListenFd = -1;
+    return Failure;
+  }
+  if (::listen(ListenFd, 64) < 0) {
+    Status Failure =
+        Status::error(formatString("listen(): %s", std::strerror(errno)));
+    ::close(ListenFd);
+    ListenFd = -1;
+    ::unlink(Options.SocketPath.c_str());
+    return Failure;
+  }
+
+  SchedulerOptions SchedOpts;
+  SchedOpts.Workers = Options.Workers;
+  SchedOpts.QueueCapacity = Options.QueueCapacity;
+  Workers = std::make_unique<Scheduler>(SchedOpts);
+
+  Started = true;
+  Uptime.reset();
+  AcceptThread = std::thread([this] { acceptLoop(); });
+  return Status::success();
+}
+
+void Server::requestStop() {
+  {
+    std::lock_guard<std::mutex> Lock(StopMu);
+    StopRequested = true;
+  }
+  StopCv.notify_all();
+}
+
+void Server::wait(const std::function<bool()> &ExternalStop) {
+  if (!Started)
+    return;
+  {
+    std::unique_lock<std::mutex> Lock(StopMu);
+    while (!StopRequested) {
+      if (ExternalStop && ExternalStop())
+        break;
+      StopCv.wait_for(Lock, std::chrono::milliseconds(200));
+    }
+  }
+  teardown();
+}
+
+void Server::stop() {
+  requestStop();
+  wait();
+}
+
+void Server::teardown() {
+  std::lock_guard<std::mutex> TeardownLock(TeardownMu);
+  if (TornDown)
+    return;
+  TornDown = true;
+  Stopping.store(true);
+
+  // Unblock accept(): closing the listen socket makes it fail immediately.
+  if (ListenFd >= 0) {
+    ::shutdown(ListenFd, SHUT_RDWR);
+    ::close(ListenFd);
+    ListenFd = -1;
+  }
+  if (AcceptThread.joinable())
+    AcceptThread.join();
+
+  // Unblock every connection read; handlers then drain their in-flight
+  // responses and exit.
+  {
+    std::lock_guard<std::mutex> Lock(ConnMu);
+    for (int Fd : ConnFds)
+      if (Fd >= 0)
+        ::shutdown(Fd, SHUT_RDWR);
+  }
+  // Drain queued jobs so every pending route request gets its response
+  // before the connection threads are joined.
+  if (Workers)
+    Workers->shutdown();
+  std::vector<std::thread> ToJoin;
+  {
+    std::lock_guard<std::mutex> Lock(ConnMu);
+    ToJoin.swap(ConnThreads);
+  }
+  for (std::thread &T : ToJoin)
+    if (T.joinable())
+      T.join();
+
+  ::unlink(Options.SocketPath.c_str());
+}
+
+void Server::acceptLoop() {
+  while (!Stopping.load()) {
+    int Fd = ::accept(ListenFd, nullptr, nullptr);
+    if (Fd < 0) {
+      if (errno == EINTR)
+        continue;
+      return; // Listener closed (teardown) or fatal; either way, stop.
+    }
+    if (Stopping.load()) {
+      ::close(Fd);
+      return;
+    }
+    std::lock_guard<std::mutex> Lock(ConnMu);
+    // Reap connections that finished since the last accept: join their
+    // threads (they have already vacated their fd slot, so join returns
+    // promptly) and recycle the slots.
+    for (size_t Finished : FinishedSlots) {
+      if (ConnThreads[Finished].joinable())
+        ConnThreads[Finished].join();
+      FreeSlots.push_back(Finished);
+    }
+    FinishedSlots.clear();
+
+    size_t Slot;
+    if (!FreeSlots.empty()) {
+      Slot = FreeSlots.back();
+      FreeSlots.pop_back();
+      ConnFds[Slot] = Fd;
+      ConnThreads[Slot] =
+          std::thread([this, Fd, Slot] { connectionLoop(Fd, Slot); });
+    } else {
+      Slot = ConnFds.size();
+      ConnFds.push_back(Fd);
+      ConnThreads.emplace_back(
+          [this, Fd, Slot] { connectionLoop(Fd, Slot); });
+    }
+    {
+      std::lock_guard<std::mutex> CounterLock(CounterMu);
+      ++Counters.Connections;
+    }
+  }
+}
+
+void Server::connectionLoop(int Fd, size_t Slot) {
+  std::string Pending;
+  char Buffer[65536];
+  bool Alive = true;
+  while (Alive) {
+    ssize_t N = ::recv(Fd, Buffer, sizeof(Buffer), 0);
+    if (N < 0 && errno == EINTR)
+      continue;
+    if (N <= 0)
+      break;
+    Pending.append(Buffer, static_cast<size_t>(N));
+    if (Pending.size() > Options.MaxRequestBytes &&
+        Pending.find('\n') == std::string::npos) {
+      sendAll(Fd, formatErrorResponse("unknown", "", errc::BadRequest,
+                                      "request line too large") +
+                      "\n");
+      break;
+    }
+    std::string Line;
+    while (Alive && popLine(Pending, Line)) {
+      if (Line.empty())
+        continue;
+      bool StopAfterSend = false;
+      std::string Response = handleLine(Line, StopAfterSend);
+      if (!sendAll(Fd, Response + "\n")) {
+        Alive = false;
+        break;
+      }
+      if (StopAfterSend)
+        requestStop();
+    }
+  }
+  // Vacate this connection's slot *before* closing, under the same lock
+  // teardown() iterates under: once the kernel may reuse the fd number
+  // for a new accept, no stale slot can alias it, so teardown never
+  // shutdown()s the wrong connection (or misses a live one). Reporting
+  // the slot as finished lets the accept loop join this thread and
+  // recycle the slot.
+  std::lock_guard<std::mutex> Lock(ConnMu);
+  ConnFds[Slot] = -1;
+  ::close(Fd);
+  FinishedSlots.push_back(Slot);
+}
+
+std::string Server::handleLine(const std::string &Line,
+                               bool &StopAfterSend) {
+  {
+    std::lock_guard<std::mutex> Lock(CounterMu);
+    ++Counters.Requests;
+  }
+  RequestParse Parsed = parseRequest(Line);
+  if (!Parsed.Ok) {
+    std::lock_guard<std::mutex> Lock(CounterMu);
+    ++Counters.Errors;
+    return formatErrorResponse("unknown", "", Parsed.ErrorCode,
+                               Parsed.ErrorMessage);
+  }
+  const Request &Req = Parsed.Req;
+  switch (Req.TheOp) {
+  case Op::Ping:
+    return formatPingResponse(Req.Id);
+  case Op::Stats:
+    return formatStatsResponse(Req.Id, statsJson());
+  case Op::Shutdown:
+    StopAfterSend = true;
+    return formatShutdownResponse(Req.Id);
+  case Op::Route: {
+    std::string Response = handleRoute(Req);
+    if (Response.find("\"ok\":false") != std::string::npos) {
+      std::lock_guard<std::mutex> Lock(CounterMu);
+      ++Counters.Errors;
+    }
+    return Response;
+  }
+  }
+  return formatErrorResponse("unknown", Req.Id, errc::BadRequest,
+                             "unhandled op");
+}
+
+std::shared_ptr<const Server::PooledBackend>
+Server::lookupBackend(const std::string &Name, bool ErrorAware,
+                      uint64_t CalibrationSeed) {
+  if (!isKnown(KnownBackends,
+               sizeof(KnownBackends) / sizeof(KnownBackends[0]), Name))
+    return nullptr;
+  std::string VariantKey =
+      ErrorAware ? formatString("%s|ea%llu", Name.c_str(),
+                                static_cast<unsigned long long>(
+                                    CalibrationSeed))
+                 : Name + "|plain";
+  std::lock_guard<std::mutex> Lock(BackendMu);
+  auto It = Backends.find(VariantKey);
+  if (It != Backends.end())
+    return It->second;
+  // The calibration-seed dimension is client-controlled: bound the pool
+  // by dropping the error-aware variants when it fills up (in-flight
+  // requests hold shared ownership of theirs; plain variants — at most
+  // one per known backend — are retained).
+  if (Backends.size() >= MaxBackendVariants) {
+    for (auto Victim = Backends.begin(); Victim != Backends.end();) {
+      if (Victim->first.find("|ea") != std::string::npos)
+        Victim = Backends.erase(Victim);
+      else
+        ++Victim;
+    }
+  }
+  auto Graph = std::make_shared<CouplingGraph>(makeBackendByName(Name));
+  if (ErrorAware)
+    applySyntheticErrorModel(*Graph, CalibrationSeed);
+  auto Pooled = std::make_shared<PooledBackend>();
+  Pooled->Fingerprint = fingerprint(*Graph);
+  Pooled->Graph = std::move(Graph);
+  Backends.emplace(VariantKey, Pooled);
+  return Pooled;
+}
+
+std::string Server::handleRoute(const Request &Req) {
+  const RouteRequest &Route = Req.Route;
+  {
+    std::lock_guard<std::mutex> Lock(CounterMu);
+    ++Counters.RouteRequests;
+  }
+  if (Stopping.load())
+    return formatErrorResponse("route", Req.Id, errc::ShuttingDown,
+                               "server is shutting down");
+  if (!isKnown(KnownMappers, sizeof(KnownMappers) / sizeof(KnownMappers[0]),
+               Route.Mapper))
+    return formatErrorResponse(
+        "route", Req.Id, errc::UnknownMapper,
+        formatString("unknown mapper \"%s\"", Route.Mapper.c_str()));
+  std::shared_ptr<const PooledBackend> Backend =
+      lookupBackend(Route.Backend, Route.ErrorAware, Route.CalibrationSeed);
+  if (!Backend)
+    return formatErrorResponse(
+        "route", Req.Id, errc::UnknownBackend,
+        formatString("unknown backend \"%s\"", Route.Backend.c_str()));
+
+  qasm::ImportResult Imported = qasm::importQasm(Route.Qasm, "request");
+  if (!Imported.succeeded())
+    return formatErrorResponse("route", Req.Id, errc::BadQasm,
+                               Imported.Error);
+  auto Logical = std::make_shared<Circuit>(
+      Imported.Circ->withoutNonUnitaries().decomposeThreeQubitGates());
+  if (Logical->numQubits() > Backend->Graph->numQubits())
+    return formatErrorResponse(
+        "route", Req.Id, errc::TooLarge,
+        formatString("circuit has %u qubits but %s only has %u",
+                     Logical->numQubits(), Route.Backend.c_str(),
+                     Backend->Graph->numQubits()));
+
+  uint64_t CircuitFp = fingerprint(*Logical);
+  uint64_t MapperConfigFp = hashCombine(
+      fingerprintString(Route.Mapper),
+      (Route.Bidirectional ? 2u : 0u) | (Route.ErrorAware ? 1u : 0u));
+  CacheKey ResultKey{CircuitFp, Backend->Fingerprint, MapperConfigFp};
+
+  if (auto Cached = Results.lookup(ResultKey)) {
+    RouteStats Stats;
+    Stats.LogicalGates = Cached->LogicalGates;
+    Stats.RoutedGates = Cached->RoutedGates;
+    Stats.Swaps = Cached->Swaps;
+    Stats.DepthBefore = Cached->DepthBefore;
+    Stats.DepthAfter = Cached->DepthAfter;
+    Stats.MappingSeconds = Cached->MappingSeconds;
+    Stats.TimedOut = Cached->TimedOut;
+    Stats.Verified = Cached->Verified;
+    Stats.SuccessProbability = Cached->SuccessProbability;
+    return formatRouteResponse(Req.Id, Route.Mapper, Route.Backend, Stats,
+                               /*ContextCacheHit=*/false,
+                               /*ResultCacheHit=*/true, Cached->RoutedQasm,
+                               Route.IncludeQasm);
+  }
+
+  auto Deadline = std::chrono::steady_clock::time_point::max();
+  double TimeoutMs = Route.TimeoutMs > 0
+                         ? Route.TimeoutMs
+                         : Options.DefaultTimeoutSeconds * 1000.0;
+  // Clamp before converting: an absurd client-supplied timeout must not
+  // overflow the chrono arithmetic (which would wrap the deadline into
+  // the past) or make the double->int64 cast undefined. A week is
+  // effectively "no deadline" for a mapping request.
+  constexpr double MaxTimeoutMs = 7.0 * 24 * 3600 * 1000;
+  TimeoutMs = std::min(TimeoutMs, MaxTimeoutMs);
+  if (Route.TimeoutMs > 0 || Options.DefaultTimeoutSeconds > 0)
+    Deadline = std::chrono::steady_clock::now() +
+               std::chrono::microseconds(
+                   static_cast<int64_t>(TimeoutMs * 1000.0));
+
+  auto Promise = std::make_shared<std::promise<std::string>>();
+  std::future<std::string> Response = Promise->get_future();
+
+  // Everything the worker needs, captured by value / shared ownership:
+  // the parsed circuit, the pooled backend (Backends map nodes are never
+  // erased while the server lives), and the request parameters.
+  SchedulerJob Job;
+  Job.Deadline = Deadline;
+  Job.OnExpired = [Promise, Id = Req.Id] {
+    Promise->set_value(formatErrorResponse(
+        "route", Id, errc::DeadlineExceeded,
+        "deadline passed before a worker picked the request up"));
+  };
+  Job.Run = [this, Promise, Logical, Backend, Route, Id = Req.Id,
+             CircuitFp, ResultKey](RoutingScratch &Scratch) {
+    std::unique_ptr<Router> Mapper =
+        makeServiceRouter(Route.Mapper, Route.ErrorAware);
+    RoutingContextOptions CtxOptions = Mapper->contextOptions();
+    CacheKey ContextKey{CircuitFp, Backend->Fingerprint,
+                        fingerprint(CtxOptions)};
+    bool ContextHit = false;
+    auto Bundle = Contexts.getOrBuild(
+        ContextKey,
+        [&] {
+          return CachedContext::build(*Logical, *Backend->Graph,
+                                      CtxOptions);
+        },
+        &ContextHit);
+    const RoutingContext &Ctx = Bundle->context();
+    if (!Ctx.valid()) {
+      Promise->set_value(formatErrorResponse(
+          "route", Id, errc::InvalidCircuit, Ctx.status().message()));
+      return;
+    }
+    QubitMapping Initial =
+        Route.Bidirectional ? deriveBidirectionalMapping(*Mapper, Ctx)
+                            : Ctx.identityMapping();
+    RoutingResult Result = Mapper->route(Ctx, Initial, Scratch);
+    VerifyResult Check =
+        verifyRouting(Ctx.circuit(), Ctx.hardware(), Result);
+    if (!Check.Ok) {
+      Promise->set_value(formatErrorResponse(
+          "route", Id, errc::VerifyFailed,
+          formatString("routing failed verification: %s",
+                       Check.Message.c_str())));
+      return;
+    }
+    auto Cached = std::make_shared<CachedResult>();
+    Cached->RoutedQasm = qasm::printQasm(Result.Routed);
+    Cached->LogicalGates = Logical->size();
+    Cached->RoutedGates = Result.Routed.size();
+    Cached->Swaps = Result.NumSwaps;
+    Cached->DepthBefore = Logical->depth();
+    Cached->DepthAfter = Result.Routed.depth();
+    Cached->MappingSeconds = Result.MappingSeconds;
+    Cached->TimedOut = Result.TimedOut;
+    Cached->Verified = true;
+    if (Ctx.hardware().hasErrorModel())
+      Cached->SuccessProbability =
+          estimateSuccessProbability(Result.Routed, Ctx.hardware());
+    Results.insertValue(ResultKey, Cached);
+
+    RouteStats Stats;
+    Stats.LogicalGates = Cached->LogicalGates;
+    Stats.RoutedGates = Cached->RoutedGates;
+    Stats.Swaps = Cached->Swaps;
+    Stats.DepthBefore = Cached->DepthBefore;
+    Stats.DepthAfter = Cached->DepthAfter;
+    Stats.MappingSeconds = Cached->MappingSeconds;
+    Stats.TimedOut = Cached->TimedOut;
+    Stats.Verified = true;
+    Stats.SuccessProbability = Cached->SuccessProbability;
+    Promise->set_value(formatRouteResponse(
+        Id, Route.Mapper, Route.Backend, Stats, ContextHit,
+        /*ResultCacheHit=*/false, Cached->RoutedQasm, Route.IncludeQasm));
+  };
+
+  if (!Workers->trySubmit(std::move(Job))) {
+    if (Stopping.load())
+      return formatErrorResponse("route", Req.Id, errc::ShuttingDown,
+                                 "server is shutting down");
+    return formatErrorResponse("route", Req.Id, errc::QueueFull,
+                               "scheduler queue is full, retry later");
+  }
+  return Response.get();
+}
+
+json::Value Server::statsJson() const {
+  json::Value Doc = json::Value::object();
+
+  json::Value ServerObj = json::Value::object();
+  {
+    std::lock_guard<std::mutex> Lock(CounterMu);
+    ServerObj.set("connections", Counters.Connections);
+    ServerObj.set("requests", Counters.Requests);
+    ServerObj.set("route_requests", Counters.RouteRequests);
+    ServerObj.set("errors", Counters.Errors);
+  }
+  ServerObj.set("uptime_seconds", Uptime.elapsedSeconds());
+  ServerObj.set("socket", Options.SocketPath);
+  Doc.set("server", std::move(ServerObj));
+
+  if (Workers) {
+    SchedulerStats S = Workers->stats();
+    json::Value Sched = json::Value::object();
+    Sched.set("workers", S.Workers);
+    Sched.set("queue_depth", S.QueueDepth);
+    Sched.set("queue_capacity", Options.QueueCapacity);
+    Sched.set("submitted", S.Submitted);
+    Sched.set("completed", S.Completed);
+    Sched.set("expired", S.Expired);
+    Sched.set("rejected", S.Rejected);
+    Doc.set("scheduler", std::move(Sched));
+  }
+
+  Doc.set("context_cache",
+          cacheStatsJson(Contexts.stats(), Options.ContextCacheBytes));
+  Doc.set("result_cache",
+          cacheStatsJson(Results.stats(), Options.ResultCacheBytes));
+  return Doc;
+}
+
+ServerCounters Server::counters() const {
+  std::lock_guard<std::mutex> Lock(CounterMu);
+  return Counters;
+}

@@ -1,0 +1,197 @@
+//===- service/Server.h - qlosured Unix-socket server ------------*- C++ -*-===//
+//
+// Part of the Qlosure project. Distributed under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The long-lived mapping service: a Unix-domain-socket server speaking
+/// the newline-delimited JSON protocol (service/Protocol.h), backed by the
+/// sharded context/result caches (service/ContextCache.h) and the bounded
+/// worker-pool scheduler (service/Scheduler.h).
+///
+/// Request path for `route`:
+///
+///   connection thread: parse line -> validate mapper/backend -> import
+///   QASM -> fingerprint -> result-cache lookup (hit: respond immediately)
+///   -> trySubmit to the scheduler (full queue: `queue_full`) -> wait.
+///
+///   worker thread: context-cache getOrBuild (shared RoutingContext with
+///   warm omega weights) -> route with the worker's pooled RoutingScratch
+///   -> verify -> print -> insert result cache -> fulfil the response.
+///
+/// Every request is answered: malformed input yields structured error
+/// responses, expired deadlines yield `deadline_exceeded`, and shutdown
+/// yields `shutting_down` — a connection is never wedged and the daemon
+/// never crashes on bad bytes.
+///
+/// Lifecycle: start() binds and spawns the accept thread; wait() blocks
+/// until a `shutdown` request, requestStop(), or the optional external
+/// predicate (the daemon's signal flag) fires, then tears everything down
+/// gracefully (drains in-flight jobs, joins every thread, unlinks the
+/// socket). One Server per process lifetime stage; not restartable.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef QLOSURE_SERVICE_SERVER_H
+#define QLOSURE_SERVICE_SERVER_H
+
+#include "service/ContextCache.h"
+#include "service/Protocol.h"
+#include "service/Scheduler.h"
+#include "support/Error.h"
+#include "support/Timer.h"
+#include "topology/CouplingGraph.h"
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+namespace qlosure {
+namespace service {
+
+/// Server configuration.
+struct ServerOptions {
+  /// Filesystem path of the Unix-domain socket (required; at most ~100
+  /// characters on Linux). An existing stale socket file is replaced.
+  std::string SocketPath;
+  /// Scheduler worker threads (0 = hardware concurrency).
+  unsigned Workers = 0;
+  /// Bounded scheduler queue; overflow answers `queue_full`.
+  size_t QueueCapacity = 256;
+  /// Byte budgets and stripe count of the two caches.
+  size_t ContextCacheBytes = 256ull << 20;
+  size_t ResultCacheBytes = 64ull << 20;
+  size_t CacheShards = 8;
+  /// Default per-request deadline when the request carries no timeout_ms
+  /// (<= 0 disables the default deadline entirely).
+  double DefaultTimeoutSeconds = 60.0;
+  /// Maximum accepted request-line length; longer lines get a structured
+  /// error and the connection is closed (the stream cannot be trusted to
+  /// resynchronize).
+  size_t MaxRequestBytes = 64ull << 20;
+};
+
+/// Top-level request counters (cache and scheduler counters live in their
+/// components; statsJson() aggregates all of them).
+struct ServerCounters {
+  uint64_t Connections = 0;
+  uint64_t Requests = 0;
+  uint64_t RouteRequests = 0;
+  uint64_t Errors = 0;
+};
+
+/// The service.
+class Server {
+public:
+  explicit Server(ServerOptions Options);
+  ~Server();
+
+  Server(const Server &) = delete;
+  Server &operator=(const Server &) = delete;
+
+  /// Binds the socket, starts the scheduler and the accept thread.
+  Status start();
+
+  /// Blocks until stop is requested (shutdown op, requestStop(), or
+  /// \p ExternalStop returning true — polled a few times per second so a
+  /// signal handler only needs to flip a flag), then tears down: stops
+  /// accepting, unblocks and joins connection threads, drains the
+  /// scheduler, unlinks the socket.
+  void wait(const std::function<bool()> &ExternalStop = nullptr);
+
+  /// Requests asynchronous stop; wait() performs the actual teardown.
+  void requestStop();
+
+  /// Convenience for embedders (tests, the bench): requestStop() + the
+  /// teardown wait() would do. Safe to call from any thread except a
+  /// connection handler (those must use the shutdown op instead).
+  void stop();
+
+  const std::string &socketPath() const { return Options.SocketPath; }
+
+  /// The full stats document served by the `stats` op.
+  json::Value statsJson() const;
+
+  ServerCounters counters() const;
+  CacheStats contextCacheStats() const { return Contexts.stats(); }
+  CacheStats resultCacheStats() const { return Results.stats(); }
+
+private:
+  struct PooledBackend {
+    std::shared_ptr<const CouplingGraph> Graph;
+    uint64_t Fingerprint = 0;
+  };
+
+  void acceptLoop();
+  void connectionLoop(int Fd, size_t Slot);
+  void teardown();
+
+  /// Handles one request line; returns the response line (sans newline).
+  /// \p StopAfterSend is set for the shutdown op: the connection loop
+  /// must write the response *before* triggering requestStop(), or
+  /// teardown could sever the connection ahead of the ack.
+  std::string handleLine(const std::string &Line, bool &StopAfterSend);
+  std::string handleRoute(const Request &Req);
+
+  /// Returns the pooled (lazily built) backend variant, or nullptr when
+  /// the name is unknown. Shared ownership: in-flight requests keep their
+  /// variant alive even if the pool evicts it.
+  std::shared_ptr<const PooledBackend>
+  lookupBackend(const std::string &Name, bool ErrorAware,
+                uint64_t CalibrationSeed);
+
+  ServerOptions Options;
+  std::unique_ptr<Scheduler> Workers;
+  ContextCache Contexts;
+  ResultCache Results;
+  Timer Uptime;
+
+  int ListenFd = -1;
+  std::thread AcceptThread;
+
+  /// Connection bookkeeping: ConnThreads[I] handles the socket in
+  /// ConnFds[I]. Finished connections report their slot in FinishedSlots;
+  /// the accept loop joins them and recycles the slots via FreeSlots, so
+  /// a long-lived daemon serving many short-lived connections holds
+  /// O(max concurrent), not O(total), thread stacks.
+  mutable std::mutex ConnMu;
+  std::vector<std::thread> ConnThreads;
+  std::vector<int> ConnFds;
+  std::vector<size_t> FinishedSlots;
+  std::vector<size_t> FreeSlots;
+
+  mutable std::mutex BackendMu;
+  /// Keyed by variant id ("name|plain" / "name|ea<seed>"). The
+  /// calibration-seed dimension is client-controlled, so the pool is
+  /// bounded: past MaxBackendVariants the error-aware variants are
+  /// dropped (plain variants are at most one per known backend).
+  std::map<std::string, std::shared_ptr<const PooledBackend>> Backends;
+  static constexpr size_t MaxBackendVariants = 32;
+
+  mutable std::mutex CounterMu;
+  ServerCounters Counters;
+
+  std::mutex StopMu;
+  std::condition_variable StopCv;
+  bool StopRequested = false;
+  std::atomic<bool> Stopping{false};
+  bool Started = false;
+  /// Serializes teardown(): concurrent callers (a wait()er and the
+  /// destructor) must both block until teardown completed, not return
+  /// while the other is still mid-teardown.
+  std::mutex TeardownMu;
+  bool TornDown = false;
+};
+
+} // namespace service
+} // namespace qlosure
+
+#endif // QLOSURE_SERVICE_SERVER_H

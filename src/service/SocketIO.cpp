@@ -1,0 +1,40 @@
+//===- service/SocketIO.cpp - Shared socket I/O helpers ------------------------===//
+//
+// Part of the Qlosure project. Distributed under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "service/SocketIO.h"
+
+#include <cerrno>
+
+#include <sys/socket.h>
+
+using namespace qlosure;
+using namespace qlosure::service;
+
+bool service::sendAll(int Fd, const std::string &Text) {
+  size_t Off = 0;
+  while (Off < Text.size()) {
+    ssize_t N =
+        ::send(Fd, Text.data() + Off, Text.size() - Off, MSG_NOSIGNAL);
+    if (N < 0) {
+      if (errno == EINTR)
+        continue;
+      return false;
+    }
+    Off += static_cast<size_t>(N);
+  }
+  return true;
+}
+
+bool service::popLine(std::string &Pending, std::string &Line) {
+  size_t Nl = Pending.find('\n');
+  if (Nl == std::string::npos)
+    return false;
+  Line = Pending.substr(0, Nl);
+  Pending.erase(0, Nl + 1);
+  if (!Line.empty() && Line.back() == '\r')
+    Line.pop_back();
+  return true;
+}

@@ -1,0 +1,35 @@
+//===- service/SocketIO.h - Shared socket I/O helpers ------------*- C++ -*-===//
+//
+// Part of the Qlosure project. Distributed under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The two primitives the newline-delimited protocol needs on both sides
+/// of the socket, shared by Server and Client so the EINTR/MSG_NOSIGNAL
+/// and line-framing behavior can never drift apart.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef QLOSURE_SERVICE_SOCKETIO_H
+#define QLOSURE_SERVICE_SOCKETIO_H
+
+#include <string>
+
+namespace qlosure {
+namespace service {
+
+/// Writes all of \p Text to \p Fd, retrying on EINTR, with MSG_NOSIGNAL
+/// so a vanished peer yields EPIPE instead of killing the process.
+/// Returns false when the peer is gone.
+bool sendAll(int Fd, const std::string &Text);
+
+/// Pops one complete line (newline removed, trailing '\r' stripped) off
+/// the front of \p Pending into \p Line. Returns false when \p Pending
+/// holds no complete line yet.
+bool popLine(std::string &Pending, std::string &Line);
+
+} // namespace service
+} // namespace qlosure
+
+#endif // QLOSURE_SERVICE_SOCKETIO_H

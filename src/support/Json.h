@@ -1,0 +1,128 @@
+//===- support/Json.h - Minimal JSON value, parser, writer -------*- C++ -*-===//
+//
+// Part of the Qlosure project. Distributed under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A small, dependency-free JSON library backing the qlosured wire protocol
+/// and the machine-readable stats outputs (`qlosure-route --json`, the
+/// bench JSON reports). Design points:
+///
+///  * Objects preserve insertion order, so serialized output is
+///    deterministic and diffs/byte-comparisons in tests are stable.
+///  * Numbers are doubles; integral values within the exactly representable
+///    range serialize without a decimal point ("42", not "42.0").
+///  * The parser is defensive: depth-limited recursion, positioned error
+///    messages, strict about trailing garbage. Malformed input can never
+///    abort the process — exactly what a daemon parsing untrusted request
+///    lines needs.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef QLOSURE_SUPPORT_JSON_H
+#define QLOSURE_SUPPORT_JSON_H
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace qlosure {
+namespace json {
+
+/// A JSON value: null, bool, number, string, array, or object.
+class Value {
+public:
+  enum class Kind : uint8_t { Null, Bool, Number, String, Array, Object };
+
+  Value() : TheKind(Kind::Null) {}
+  Value(bool B) : TheKind(Kind::Bool), BoolValue(B) {}
+  Value(double N) : TheKind(Kind::Number), NumberValue(N) {}
+  Value(int N) : TheKind(Kind::Number), NumberValue(N) {}
+  Value(unsigned N) : TheKind(Kind::Number), NumberValue(N) {}
+  Value(int64_t N)
+      : TheKind(Kind::Number), NumberValue(static_cast<double>(N)) {}
+  Value(uint64_t N)
+      : TheKind(Kind::Number), NumberValue(static_cast<double>(N)) {}
+  Value(std::string S) : TheKind(Kind::String), StringValue(std::move(S)) {}
+  Value(const char *S) : TheKind(Kind::String), StringValue(S) {}
+
+  static Value array() {
+    Value V;
+    V.TheKind = Kind::Array;
+    return V;
+  }
+  static Value object() {
+    Value V;
+    V.TheKind = Kind::Object;
+    return V;
+  }
+
+  Kind kind() const { return TheKind; }
+  bool isNull() const { return TheKind == Kind::Null; }
+  bool isBool() const { return TheKind == Kind::Bool; }
+  bool isNumber() const { return TheKind == Kind::Number; }
+  bool isString() const { return TheKind == Kind::String; }
+  bool isArray() const { return TheKind == Kind::Array; }
+  bool isObject() const { return TheKind == Kind::Object; }
+
+  /// Typed accessors; calling the wrong one returns a zero value rather
+  /// than aborting (protocol code always kind-checks first anyway).
+  bool asBool() const { return isBool() && BoolValue; }
+  double asNumber() const { return isNumber() ? NumberValue : 0.0; }
+  const std::string &asString() const { return StringValue; }
+
+  /// Array elements (empty unless isArray()).
+  const std::vector<Value> &items() const { return Items; }
+  void push(Value V) { Items.push_back(std::move(V)); }
+
+  /// Object members in insertion order (empty unless isObject()).
+  const std::vector<std::pair<std::string, Value>> &members() const {
+    return Members;
+  }
+
+  /// Sets \p Key to \p V, replacing an existing member of the same name.
+  void set(const std::string &Key, Value V);
+
+  /// Pointer to the member named \p Key, or nullptr when absent (or when
+  /// this value is not an object).
+  const Value *get(const std::string &Key) const;
+
+  /// Compact serialization (no whitespace), RFC 8259 escaping. The output
+  /// never contains a raw newline, so any dumped value is a valid line of
+  /// a newline-delimited protocol stream.
+  std::string dump() const;
+
+private:
+  Kind TheKind;
+  bool BoolValue = false;
+  double NumberValue = 0;
+  std::string StringValue;
+  std::vector<Value> Items;
+  std::vector<std::pair<std::string, Value>> Members;
+};
+
+/// Parse outcome: Ok == true and V meaningful, or Ok == false and Error
+/// holding a positioned message ("offset 17: expected ':'").
+struct ParseResult {
+  bool Ok = false;
+  Value V;
+  std::string Error;
+};
+
+/// Parses one JSON document from \p Text (leading/trailing whitespace
+/// allowed, anything else after the document is an error). Recursion is
+/// depth-limited; pathological nesting fails cleanly instead of
+/// overflowing the stack.
+ParseResult parse(const std::string &Text);
+
+/// Appends \p Text to \p Out with JSON string escaping (no surrounding
+/// quotes). Exposed for stream-style writers that bypass Value.
+void escapeString(const std::string &Text, std::string &Out);
+
+} // namespace json
+} // namespace qlosure
+
+#endif // QLOSURE_SUPPORT_JSON_H

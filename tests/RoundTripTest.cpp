@@ -1,0 +1,111 @@
+//===- tests/RoundTripTest.cpp - Printer -> Parser closure tests ----------------===//
+//
+// Part of the Qlosure project. Distributed under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Property-style closure tests for the QASM frontend against the routing
+/// backends: whatever any of the five mappers emits must re-parse through
+/// the Importer to the exact same gate sequence and re-verify against the
+/// original circuit. This is the contract the qlosured protocol relies on
+/// — responses carry routed programs as QASM text, so text must be a
+/// lossless transport for routed circuits.
+///
+//===----------------------------------------------------------------------===//
+
+#include "baselines/RouterRegistry.h"
+#include "qasm/Importer.h"
+#include "qasm/Printer.h"
+#include "route/RoutingContext.h"
+#include "route/Verify.h"
+#include "topology/Backends.h"
+#include "workloads/QasmBench.h"
+#include "workloads/Queko.h"
+
+#include <gtest/gtest.h>
+
+using namespace qlosure;
+
+namespace {
+
+/// Asserts Printer -> Parser closure for \p Result and re-verifies the
+/// re-parsed circuit against the original routing inputs.
+void expectClosure(const Circuit &Logical, const CouplingGraph &Hw,
+                   const RoutingResult &Result, const std::string &Label) {
+  std::string Text = qasm::printQasm(Result.Routed);
+  qasm::ImportResult Reparsed = qasm::importQasm(Text, "roundtrip");
+  ASSERT_TRUE(Reparsed.succeeded()) << Label << ": " << Reparsed.Error;
+
+  const Circuit &Back = *Reparsed.Circ;
+  ASSERT_EQ(Back.size(), Result.Routed.size()) << Label;
+  ASSERT_EQ(Back.numQubits(), Result.Routed.numQubits()) << Label;
+  for (size_t I = 0; I < Back.size(); ++I) {
+    const Gate &Expected = Result.Routed.gate(I);
+    const Gate &Actual = Back.gate(I);
+    ASSERT_EQ(Actual.Kind, Expected.Kind) << Label << " gate " << I;
+    ASSERT_EQ(Actual.Qubits, Expected.Qubits) << Label << " gate " << I;
+    // %.17g printing makes double round-trips exact, so require equality.
+    ASSERT_EQ(Actual.Params, Expected.Params) << Label << " gate " << I;
+  }
+
+  // The re-parsed circuit is interchangeable with the routed one: swap it
+  // into the result and re-run the independent checker.
+  RoutingResult Substituted = Result;
+  Substituted.Routed = Back;
+  VerifyResult Check = verifyRouting(Logical, Hw, Substituted);
+  EXPECT_TRUE(Check.Ok) << Label << ": " << Check.Message;
+}
+
+} // namespace
+
+TEST(RoundTripTest, AllMappersCloseOverQueko) {
+  CouplingGraph Gen = makeSycamore54();
+  CouplingGraph Backend = makeBackendByName("sherbrooke");
+  QuekoSpec Spec;
+  Spec.Depth = 30;
+  Spec.Seed = 11;
+  QuekoInstance Inst = generateQueko(Gen, Spec);
+
+  RoutingContext Ctx = RoutingContext::build(Inst.Circ, Backend);
+  ASSERT_TRUE(Ctx.valid());
+  for (const std::string &Name : paperRouterNames()) {
+    auto Mapper = makeRouterByName(Name);
+    RoutingResult Result = Mapper->routeWithIdentity(Ctx);
+    expectClosure(Inst.Circ, Backend, Result, "queko/" + Name);
+  }
+}
+
+TEST(RoundTripTest, AllMappersCloseOverParameterizedCircuits) {
+  // QFT stresses the parameterized-gate path (cp angles with long
+  // fractional digits) where printing precision bugs would bite.
+  Circuit Qft = makeQft(10);
+  CouplingGraph Backend = makeBackendByName("aspen16");
+  RoutingContext Ctx = RoutingContext::build(Qft, Backend);
+  ASSERT_TRUE(Ctx.valid());
+  for (const std::string &Name : paperRouterNames()) {
+    auto Mapper = makeRouterByName(Name);
+    RoutingResult Result = Mapper->routeWithIdentity(Ctx);
+    expectClosure(Qft, Backend, Result, "qft/" + Name);
+  }
+}
+
+TEST(RoundTripTest, ClosureHoldsAcrossSeeds) {
+  // Light property sweep: several random QUEKO instances per mapper.
+  CouplingGraph Gen = makeAspen16();
+  CouplingGraph Backend = makeBackendByName("aspen16");
+  for (uint64_t Seed : {1u, 2u, 3u, 4u, 5u}) {
+    QuekoSpec Spec;
+    Spec.Depth = 15;
+    Spec.Seed = Seed;
+    QuekoInstance Inst = generateQueko(Gen, Spec);
+    RoutingContext Ctx = RoutingContext::build(Inst.Circ, Backend);
+    ASSERT_TRUE(Ctx.valid());
+    for (const std::string &Name : paperRouterNames()) {
+      auto Mapper = makeRouterByName(Name);
+      RoutingResult Result = Mapper->routeWithIdentity(Ctx);
+      expectClosure(Inst.Circ, Backend, Result,
+                    "seed" + std::to_string(Seed) + "/" + Name);
+    }
+  }
+}

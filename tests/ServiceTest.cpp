@@ -1,0 +1,666 @@
+//===- tests/ServiceTest.cpp - qlosured service subsystem tests -----------------===//
+//
+// Part of the Qlosure project. Distributed under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Tests for the persistent-mapping-service stack, bottom-up: the JSON
+/// library, the protocol codec, the sharded caches, the scheduler, and a
+/// full in-process Server driven over a real Unix socket by the blocking
+/// Client — including the CI-critical properties: repeated requests hit
+/// the cache, responses are byte-identical to direct library calls, and
+/// the daemon survives every flavor of malformed input with a structured
+/// error instead of a crash or a wedged connection.
+///
+//===----------------------------------------------------------------------===//
+
+#include "service/Client.h"
+#include "service/ContextCache.h"
+#include "service/Protocol.h"
+#include "service/Scheduler.h"
+#include "service/Server.h"
+
+#include "baselines/RouterRegistry.h"
+#include "qasm/Importer.h"
+#include "qasm/Printer.h"
+#include "route/Verify.h"
+#include "support/Json.h"
+#include "support/StringUtils.h"
+#include "topology/Backends.h"
+#include "workloads/Queko.h"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <condition_variable>
+#include <mutex>
+#include <thread>
+#include <unistd.h>
+
+using namespace qlosure;
+using namespace qlosure::service;
+
+namespace {
+
+/// A short, unique Unix socket path (sun_path is ~108 bytes).
+std::string testSocketPath() {
+  static std::atomic<unsigned> Counter{0};
+  return formatString("/tmp/qls-%d-%u.sock", static_cast<int>(getpid()),
+                      Counter.fetch_add(1));
+}
+
+std::string sampleQasm() {
+  return "OPENQASM 2.0;\n"
+         "include \"qelib1.inc\";\n"
+         "qreg q[5];\n"
+         "h q[0];\n"
+         "cx q[0],q[4];\n"
+         "cx q[1],q[3];\n"
+         "cx q[0],q[2];\n"
+         "cx q[4],q[1];\n"
+         "cx q[2],q[3];\n";
+}
+
+json::Value routeRequest(const std::string &Qasm,
+                         const std::string &Mapper = "qlosure",
+                         const std::string &Backend = "aspen16") {
+  json::Value Req = json::Value::object();
+  Req.set("op", "route");
+  Req.set("qasm", Qasm);
+  Req.set("mapper", Mapper);
+  Req.set("backend", Backend);
+  return Req;
+}
+
+/// Parses a response line and returns the document (fails the test on
+/// malformed JSON).
+json::Value parseResponse(const std::string &Line) {
+  json::ParseResult Parsed = json::parse(Line);
+  EXPECT_TRUE(Parsed.Ok) << Parsed.Error << " in: " << Line;
+  return Parsed.V;
+}
+
+bool responseOk(const json::Value &Response) {
+  const json::Value *Ok = Response.get("ok");
+  return Ok && Ok->asBool();
+}
+
+std::string errorCode(const json::Value &Response) {
+  const json::Value *Error = Response.get("error");
+  if (!Error || !Error->isObject())
+    return "";
+  const json::Value *Code = Error->get("code");
+  return Code ? Code->asString() : "";
+}
+
+} // namespace
+
+//===----------------------------------------------------------------------===//
+// JSON library
+//===----------------------------------------------------------------------===//
+
+TEST(JsonTest, RoundTripsValues) {
+  json::Value Doc = json::Value::object();
+  Doc.set("text", "line1\nline2\t\"quoted\"\\");
+  Doc.set("int", 42);
+  Doc.set("neg", -7);
+  Doc.set("float", 2.5);
+  Doc.set("flag", true);
+  Doc.set("nil", json::Value());
+  json::Value Arr = json::Value::array();
+  Arr.push(1);
+  Arr.push("two");
+  Arr.push(false);
+  Doc.set("arr", std::move(Arr));
+
+  std::string Wire = Doc.dump();
+  EXPECT_EQ(Wire.find('\n'), std::string::npos)
+      << "dump() must stay on one line";
+  json::ParseResult Back = json::parse(Wire);
+  ASSERT_TRUE(Back.Ok) << Back.Error;
+  EXPECT_EQ(Back.V.get("text")->asString(), "line1\nline2\t\"quoted\"\\");
+  EXPECT_EQ(Back.V.get("int")->asNumber(), 42);
+  EXPECT_EQ(Back.V.get("neg")->asNumber(), -7);
+  EXPECT_EQ(Back.V.get("float")->asNumber(), 2.5);
+  EXPECT_TRUE(Back.V.get("flag")->asBool());
+  EXPECT_TRUE(Back.V.get("nil")->isNull());
+  ASSERT_EQ(Back.V.get("arr")->items().size(), 3u);
+  EXPECT_EQ(Back.V.get("arr")->items()[1].asString(), "two");
+}
+
+TEST(JsonTest, IntegersSerializeWithoutDecimalPoint) {
+  json::Value Doc = json::Value::object();
+  Doc.set("n", 1234567);
+  EXPECT_NE(Doc.dump().find("\"n\":1234567"), std::string::npos);
+}
+
+TEST(JsonTest, ParserRejectsMalformedInput) {
+  EXPECT_FALSE(json::parse("").Ok);
+  EXPECT_FALSE(json::parse("{").Ok);
+  EXPECT_FALSE(json::parse("{\"a\":}").Ok);
+  EXPECT_FALSE(json::parse("[1,]").Ok);
+  EXPECT_FALSE(json::parse("\"unterminated").Ok);
+  EXPECT_FALSE(json::parse("{} trailing").Ok);
+  EXPECT_FALSE(json::parse("nul").Ok);
+  EXPECT_FALSE(json::parse("1e").Ok);
+  EXPECT_FALSE(json::parse("\"bad \\x escape\"").Ok);
+}
+
+TEST(JsonTest, ParserSurvivesPathologicalNesting) {
+  std::string Deep(100000, '[');
+  json::ParseResult Result = json::parse(Deep);
+  EXPECT_FALSE(Result.Ok);
+  EXPECT_NE(Result.Error.find("nesting too deep"), std::string::npos);
+}
+
+TEST(JsonTest, UnicodeEscapesDecodeToUtf8) {
+  json::ParseResult Result = json::parse("\"\\u00e9\\u20ac\"");
+  ASSERT_TRUE(Result.Ok) << Result.Error;
+  EXPECT_EQ(Result.V.asString(), "\xC3\xA9\xE2\x82\xAC");
+}
+
+//===----------------------------------------------------------------------===//
+// Protocol codec
+//===----------------------------------------------------------------------===//
+
+TEST(ProtocolTest, ParsesRouteRequestWithDefaults) {
+  RequestParse Parsed =
+      parseRequest("{\"op\":\"route\",\"qasm\":\"OPENQASM 2.0;\"}");
+  ASSERT_TRUE(Parsed.Ok) << Parsed.ErrorMessage;
+  EXPECT_EQ(Parsed.Req.TheOp, Op::Route);
+  EXPECT_EQ(Parsed.Req.Route.Mapper, "qlosure");
+  EXPECT_EQ(Parsed.Req.Route.Backend, "sherbrooke");
+  EXPECT_FALSE(Parsed.Req.Route.Bidirectional);
+  EXPECT_TRUE(Parsed.Req.Route.IncludeQasm);
+}
+
+TEST(ProtocolTest, RejectsMissingAndMistypedFields) {
+  EXPECT_EQ(parseRequest("{\"op\":\"route\"}").ErrorCode, errc::BadRequest);
+  EXPECT_EQ(parseRequest("{\"op\":\"route\",\"qasm\":5}").ErrorCode,
+            errc::BadRequest);
+  EXPECT_EQ(
+      parseRequest("{\"op\":\"route\",\"qasm\":\"x\",\"mapper\":false}")
+          .ErrorCode,
+      errc::BadRequest);
+  EXPECT_EQ(parseRequest("{\"op\":\"route\",\"qasm\":\"x\","
+                         "\"calibration\":-3}")
+                .ErrorCode,
+            errc::BadRequest);
+  EXPECT_EQ(parseRequest("not json at all").ErrorCode, errc::BadJson);
+  EXPECT_EQ(parseRequest("[]").ErrorCode, errc::BadRequest);
+  EXPECT_EQ(parseRequest("{\"op\":\"frobnicate\"}").ErrorCode,
+            errc::BadRequest);
+  // Out-of-range calibration values must be rejected, not cast (the
+  // double -> uint64_t conversion would be undefined past 2^64).
+  EXPECT_EQ(parseRequest("{\"op\":\"route\",\"qasm\":\"x\","
+                         "\"calibration\":1e300}")
+                .ErrorCode,
+            errc::BadRequest);
+  EXPECT_EQ(parseRequest("{\"op\":\"route\",\"qasm\":\"x\","
+                         "\"calibration\":1.5}")
+                .ErrorCode,
+            errc::BadRequest);
+}
+
+TEST(ProtocolTest, ResponsesCarryIdAndStableShape) {
+  std::string Ping = formatPingResponse("abc");
+  json::Value Doc = parseResponse(Ping);
+  EXPECT_TRUE(responseOk(Doc));
+  EXPECT_EQ(Doc.get("id")->asString(), "abc");
+
+  std::string Error =
+      formatErrorResponse("route", "r1", errc::BadQasm, "boom");
+  json::Value ErrDoc = parseResponse(Error);
+  EXPECT_FALSE(responseOk(ErrDoc));
+  EXPECT_EQ(errorCode(ErrDoc), "bad_qasm");
+  EXPECT_EQ(ErrDoc.get("error")->get("message")->asString(), "boom");
+}
+
+//===----------------------------------------------------------------------===//
+// Sharded LRU caches
+//===----------------------------------------------------------------------===//
+
+namespace {
+
+struct FakeEntry {
+  size_t Bytes;
+  size_t approxBytes() const { return Bytes; }
+};
+
+CacheKey keyOf(uint64_t N) { return CacheKey{N, 0x42, 0x7}; }
+
+} // namespace
+
+TEST(ContextCacheTest, HitMissAndCounterAccounting) {
+  ShardedLruCache<FakeEntry> Cache(CacheOptions{4, 1 << 20});
+  bool Hit = true;
+  auto First = Cache.getOrBuild(
+      keyOf(1), [] { return std::make_shared<FakeEntry>(FakeEntry{100}); },
+      &Hit);
+  EXPECT_FALSE(Hit);
+  auto Second = Cache.getOrBuild(
+      keyOf(1),
+      [] {
+        ADD_FAILURE() << "builder must not run on a hit";
+        return std::make_shared<FakeEntry>(FakeEntry{100});
+      },
+      &Hit);
+  EXPECT_TRUE(Hit);
+  EXPECT_EQ(First.get(), Second.get());
+
+  CacheStats Stats = Cache.stats();
+  EXPECT_EQ(Stats.Hits, 1u);
+  EXPECT_EQ(Stats.Misses, 1u);
+  EXPECT_EQ(Stats.Entries, 1u);
+  EXPECT_EQ(Stats.Bytes, 100u);
+}
+
+TEST(ContextCacheTest, ByteBudgetEvictsLeastRecentlyUsed) {
+  // One shard so LRU order is global and the budget is exact.
+  ShardedLruCache<FakeEntry> Cache(CacheOptions{1, 250});
+  auto Build = [] { return std::make_shared<FakeEntry>(FakeEntry{100}); };
+  Cache.getOrBuild(keyOf(1), Build);
+  Cache.getOrBuild(keyOf(2), Build);
+  // Touch key 1 so key 2 is the LRU victim.
+  EXPECT_NE(Cache.lookup(keyOf(1)), nullptr);
+  Cache.getOrBuild(keyOf(3), Build);
+
+  CacheStats Stats = Cache.stats();
+  EXPECT_EQ(Stats.Evictions, 1u);
+  EXPECT_EQ(Stats.Entries, 2u);
+  EXPECT_LE(Stats.Bytes, 250u);
+  EXPECT_NE(Cache.lookup(keyOf(1)), nullptr);
+  EXPECT_EQ(Cache.lookup(keyOf(2)), nullptr) << "LRU entry must be evicted";
+  EXPECT_NE(Cache.lookup(keyOf(3)), nullptr);
+}
+
+TEST(ContextCacheTest, OversizedEntryStillCaches) {
+  ShardedLruCache<FakeEntry> Cache(CacheOptions{1, 10});
+  auto Entry = Cache.getOrBuild(
+      keyOf(1), [] { return std::make_shared<FakeEntry>(FakeEntry{999}); });
+  ASSERT_NE(Entry, nullptr);
+  EXPECT_NE(Cache.lookup(keyOf(1)), nullptr)
+      << "each shard retains its most recent entry even over budget";
+}
+
+TEST(ContextCacheTest, EvictionKeepsInFlightReadersAlive) {
+  ShardedLruCache<FakeEntry> Cache(CacheOptions{1, 150});
+  auto Held = Cache.getOrBuild(
+      keyOf(1), [] { return std::make_shared<FakeEntry>(FakeEntry{100}); });
+  Cache.getOrBuild(keyOf(2), [] {
+    return std::make_shared<FakeEntry>(FakeEntry{100});
+  });
+  EXPECT_EQ(Cache.lookup(keyOf(1)), nullptr);
+  ASSERT_NE(Held, nullptr);
+  EXPECT_EQ(Held->approxBytes(), 100u) << "evicted entry stays readable";
+}
+
+TEST(ContextCacheTest, CachedContextSharesAcrossThreads) {
+  Circuit C(3, "t");
+  C.addCx(0, 1);
+  C.addCx(1, 2);
+  CouplingGraph Hw = makeLine(3);
+  ContextCache Cache(CacheOptions{2, 64 << 20});
+  CacheKey Key{fingerprint(C), fingerprint(Hw), 0};
+
+  std::vector<std::shared_ptr<const CachedContext>> Results(8);
+  std::vector<std::thread> Threads;
+  for (size_t I = 0; I < Results.size(); ++I)
+    Threads.emplace_back([&, I] {
+      Results[I] = Cache.getOrBuild(Key, [&] {
+        return CachedContext::build(C, Hw, RoutingContextOptions{});
+      });
+    });
+  for (std::thread &T : Threads)
+    T.join();
+  for (const auto &Bundle : Results) {
+    ASSERT_NE(Bundle, nullptr);
+    EXPECT_TRUE(Bundle->context().valid());
+    // All callers converge on one shared bundle (racing first builders
+    // may build twice, but the cache keeps exactly one).
+    EXPECT_EQ(Bundle.get(), Results[0].get());
+  }
+}
+
+//===----------------------------------------------------------------------===//
+// Scheduler
+//===----------------------------------------------------------------------===//
+
+TEST(SchedulerTest, RunsJobsAndDrainsOnShutdown) {
+  std::atomic<int> Ran{0};
+  {
+    Scheduler Sched(SchedulerOptions{2, 64});
+    for (int I = 0; I < 20; ++I) {
+      SchedulerJob Job;
+      Job.Run = [&](RoutingScratch &) { ++Ran; };
+      ASSERT_TRUE(Sched.trySubmit(std::move(Job)));
+    }
+    Sched.shutdown();
+  }
+  EXPECT_EQ(Ran.load(), 20);
+}
+
+TEST(SchedulerTest, RejectsWhenQueueFull) {
+  Scheduler Sched(SchedulerOptions{1, 2});
+  std::mutex Mu;
+  std::condition_variable Cv;
+  bool Release = false;
+
+  // Block the single worker so subsequent jobs stay queued.
+  SchedulerJob Blocker;
+  Blocker.Run = [&](RoutingScratch &) {
+    std::unique_lock<std::mutex> Lock(Mu);
+    Cv.wait(Lock, [&] { return Release; });
+  };
+  ASSERT_TRUE(Sched.trySubmit(std::move(Blocker)));
+  // Give the worker a moment to pick the blocker up, then fill the queue.
+  std::this_thread::sleep_for(std::chrono::milliseconds(50));
+  unsigned Accepted = 0;
+  for (int I = 0; I < 8; ++I) {
+    SchedulerJob Job;
+    Job.Run = [](RoutingScratch &) {};
+    if (Sched.trySubmit(std::move(Job)))
+      ++Accepted;
+  }
+  EXPECT_LE(Accepted, 2u) << "bounded queue must reject overflow";
+  EXPECT_GE(Sched.stats().Rejected, 6u);
+  {
+    std::lock_guard<std::mutex> Lock(Mu);
+    Release = true;
+  }
+  Cv.notify_all();
+  Sched.shutdown();
+}
+
+TEST(SchedulerTest, ExpiredJobsRunOnExpiredInsteadOfRun) {
+  std::atomic<int> Expired{0};
+  std::atomic<int> Ran{0};
+  {
+    Scheduler Sched(SchedulerOptions{1, 16});
+    SchedulerJob Job;
+    // Deadline already passed at submit time: the worker must take the
+    // OnExpired path (steady_clock is monotonic, so now >= deadline).
+    Job.Deadline = std::chrono::steady_clock::now();
+    Job.Run = [&](RoutingScratch &) { ++Ran; };
+    Job.OnExpired = [&] { ++Expired; };
+    ASSERT_TRUE(Sched.trySubmit(std::move(Job)));
+    Sched.shutdown();
+  }
+  EXPECT_EQ(Expired.load(), 1);
+  EXPECT_EQ(Ran.load(), 0);
+}
+
+TEST(SchedulerTest, SubmitAfterShutdownIsRejected) {
+  Scheduler Sched(SchedulerOptions{1, 4});
+  Sched.shutdown();
+  SchedulerJob Job;
+  Job.Run = [](RoutingScratch &) {};
+  EXPECT_FALSE(Sched.trySubmit(std::move(Job)));
+}
+
+//===----------------------------------------------------------------------===//
+// Server integration (real socket, blocking client)
+//===----------------------------------------------------------------------===//
+
+namespace {
+
+/// Boots a server on a fresh socket; tears it down on scope exit.
+struct ServerFixture {
+  ServerOptions Opts;
+  std::unique_ptr<Server> Daemon;
+  std::thread Waiter;
+
+  explicit ServerFixture(unsigned Workers = 2) {
+    Opts.SocketPath = testSocketPath();
+    Opts.Workers = Workers;
+    Opts.DefaultTimeoutSeconds = 30;
+    Daemon = std::make_unique<Server>(Opts);
+    Status Started = Daemon->start();
+    EXPECT_TRUE(Started.ok()) << Started.message();
+    Waiter = std::thread([this] { Daemon->wait(); });
+  }
+
+  ~ServerFixture() {
+    Daemon->requestStop();
+    if (Waiter.joinable())
+      Waiter.join();
+  }
+
+  Client connect() {
+    Client Conn;
+    Status S = Conn.connect(Opts.SocketPath, 5.0);
+    EXPECT_TRUE(S.ok()) << S.message();
+    return Conn;
+  }
+};
+
+} // namespace
+
+TEST(ServerTest, PingStatsAndRouteRoundTrip) {
+  ServerFixture Fixture;
+  Client Conn = Fixture.connect();
+
+  std::string Response;
+  ASSERT_TRUE(Conn.request("{\"op\":\"ping\"}", Response).ok());
+  EXPECT_TRUE(responseOk(parseResponse(Response)));
+
+  ASSERT_TRUE(
+      Conn.request(routeRequest(sampleQasm()).dump(), Response).ok());
+  json::Value Doc = parseResponse(Response);
+  ASSERT_TRUE(responseOk(Doc)) << Response;
+  EXPECT_FALSE(Doc.get("cache_hit")->asBool());
+  const json::Value *Stats = Doc.get("stats");
+  ASSERT_NE(Stats, nullptr);
+  EXPECT_TRUE(Stats->get("verified")->asBool());
+  EXPECT_GT(Stats->get("routed_gates")->asNumber(), 0);
+
+  // The routed program re-imports and re-verifies client-side.
+  const json::Value *Qasm = Doc.get("qasm");
+  ASSERT_NE(Qasm, nullptr);
+  qasm::ImportResult Routed = qasm::importQasm(Qasm->asString());
+  ASSERT_TRUE(Routed.succeeded()) << Routed.Error;
+  EXPECT_GT(Routed.Circ->size(), 0u);
+
+  ASSERT_TRUE(Conn.request("{\"op\":\"stats\"}", Response).ok());
+  json::Value StatsDoc = parseResponse(Response);
+  EXPECT_TRUE(responseOk(StatsDoc));
+  // "submitted" is bumped before the route response exists; "completed"
+  // is bumped after, so it may or may not be visible yet.
+  EXPECT_EQ(StatsDoc.get("scheduler")->get("submitted")->asNumber(), 1);
+  EXPECT_EQ(StatsDoc.get("server")->get("route_requests")->asNumber(), 1);
+}
+
+TEST(ServerTest, RepeatedRequestHitsCacheByteIdentically) {
+  ServerFixture Fixture;
+  Client Conn = Fixture.connect();
+
+  std::string First, Second;
+  ASSERT_TRUE(
+      Conn.request(routeRequest(sampleQasm()).dump(), First).ok());
+  ASSERT_TRUE(
+      Conn.request(routeRequest(sampleQasm()).dump(), Second).ok());
+  json::Value FirstDoc = parseResponse(First);
+  json::Value SecondDoc = parseResponse(Second);
+  ASSERT_TRUE(responseOk(FirstDoc)) << First;
+  ASSERT_TRUE(responseOk(SecondDoc)) << Second;
+  EXPECT_FALSE(FirstDoc.get("cache_hit")->asBool());
+  EXPECT_TRUE(SecondDoc.get("cache_hit")->asBool());
+  EXPECT_TRUE(SecondDoc.get("result_cache_hit")->asBool());
+  EXPECT_EQ(FirstDoc.get("qasm")->asString(),
+            SecondDoc.get("qasm")->asString());
+
+  // A different mapper shares the context but not the result.
+  std::string Sabre;
+  ASSERT_TRUE(
+      Conn.request(routeRequest(sampleQasm(), "sabre").dump(), Sabre)
+          .ok());
+  json::Value SabreDoc = parseResponse(Sabre);
+  ASSERT_TRUE(responseOk(SabreDoc)) << Sabre;
+  EXPECT_FALSE(SabreDoc.get("result_cache_hit")->asBool());
+  EXPECT_TRUE(SabreDoc.get("context_cache_hit")->asBool());
+}
+
+TEST(ServerTest, ResponsesMatchDirectLibraryCalls) {
+  // The acceptance-critical identity: what the service returns is what
+  // the library produces, byte for byte.
+  CouplingGraph Gen = makeAspen16();
+  QuekoSpec Spec;
+  Spec.Depth = 20;
+  Spec.Seed = 7;
+  QuekoInstance Inst = generateQueko(Gen, Spec);
+  std::string Qasm = qasm::printQasm(Inst.Circ);
+
+  qasm::ImportResult Reparsed = qasm::importQasm(Qasm);
+  ASSERT_TRUE(Reparsed.succeeded());
+  Circuit Logical =
+      Reparsed.Circ->withoutNonUnitaries().decomposeThreeQubitGates();
+  CouplingGraph Backend = makeBackendByName("aspen16");
+  RoutingContext Ctx = RoutingContext::build(Logical, Backend);
+
+  ServerFixture Fixture;
+  Client Conn = Fixture.connect();
+  for (const char *Mapper : {"qlosure", "sabre", "cirq", "tket"}) {
+    auto Direct = makeRouterByName(Mapper)->routeWithIdentity(Ctx);
+    std::string Expected = qasm::printQasm(Direct.Routed);
+
+    std::string Response;
+    ASSERT_TRUE(
+        Conn.request(routeRequest(Qasm, Mapper).dump(), Response).ok());
+    json::Value Doc = parseResponse(Response);
+    ASSERT_TRUE(responseOk(Doc)) << Response;
+    EXPECT_EQ(Doc.get("qasm")->asString(), Expected) << Mapper;
+  }
+}
+
+TEST(ServerTest, MalformedRequestsGetStructuredErrorsAndConnectionSurvives) {
+  ServerFixture Fixture;
+  Client Conn = Fixture.connect();
+
+  struct Case {
+    std::string Line;
+    std::string Code;
+  };
+  const Case Cases[] = {
+      {"this is not json", errc::BadJson},
+      {"{\"op\":\"route\"}", errc::BadRequest},
+      {"{\"op\":\"warp\"}", errc::BadRequest},
+      {routeRequest("qreg broken").dump(), errc::BadQasm},
+      {routeRequest(sampleQasm(), "does-not-exist").dump(),
+       errc::UnknownMapper},
+      {routeRequest(sampleQasm(), "qlosure", "imaginary-qpu").dump(),
+       errc::UnknownBackend},
+      {routeRequest(sampleQasm(), "qlosure", "line").dump(),
+       errc::UnknownBackend},
+  };
+  for (const Case &C : Cases) {
+    std::string Response;
+    ASSERT_TRUE(Conn.request(C.Line, Response).ok()) << C.Line;
+    json::Value Doc = parseResponse(Response);
+    EXPECT_FALSE(responseOk(Doc)) << Response;
+    EXPECT_EQ(errorCode(Doc), C.Code) << Response;
+    // The connection must stay usable after every error.
+    ASSERT_TRUE(Conn.request("{\"op\":\"ping\"}", Response).ok());
+    EXPECT_TRUE(responseOk(parseResponse(Response)));
+  }
+
+  // Oversized circuit for the chosen backend.
+  std::string Response;
+  std::string Wide = "OPENQASM 2.0;\ninclude \"qelib1.inc\";\n"
+                     "qreg q[40];\ncx q[0],q[39];\n";
+  ASSERT_TRUE(Conn.request(routeRequest(Wide, "qlosure", "aspen16").dump(),
+                           Response)
+                  .ok());
+  EXPECT_EQ(errorCode(parseResponse(Response)), errc::TooLarge);
+}
+
+TEST(ServerTest, AbsurdTimeoutIsClampedNotWrapped) {
+  // Regression: a huge timeout_ms used to overflow the chrono deadline
+  // arithmetic, wrapping it into the past and answering a *longer*
+  // timeout with a spurious deadline_exceeded.
+  ServerFixture Fixture;
+  Client Conn = Fixture.connect();
+  json::Value Req = routeRequest(sampleQasm());
+  Req.set("timeout_ms", 1e300);
+  std::string Response;
+  ASSERT_TRUE(Conn.request(Req.dump(), Response).ok());
+  json::Value Doc = parseResponse(Response);
+  EXPECT_TRUE(responseOk(Doc)) << Response;
+}
+
+TEST(ServerTest, ZeroDeadlineReportsDeadlineExceeded) {
+  ServerFixture Fixture(/*Workers=*/1);
+  Client Conn = Fixture.connect();
+  json::Value Req = routeRequest(sampleQasm());
+  // timeout_ms is interpreted relative to arrival; a microscopic budget
+  // expires before any worker can pick the job up.
+  Req.set("timeout_ms", 1e-6);
+  std::string Response;
+  ASSERT_TRUE(Conn.request(Req.dump(), Response).ok());
+  EXPECT_EQ(errorCode(parseResponse(Response)), errc::DeadlineExceeded)
+      << Response;
+}
+
+TEST(ServerTest, ShutdownOpStopsDaemonAndUnlinksSocket) {
+  ServerOptions Opts;
+  Opts.SocketPath = testSocketPath();
+  Opts.Workers = 1;
+  Server Daemon(Opts);
+  ASSERT_TRUE(Daemon.start().ok());
+  std::thread Waiter([&] { Daemon.wait(); });
+
+  // Collect outcomes first and assert only after the waiter thread is
+  // joined, so a failure cannot destroy a joinable std::thread.
+  bool Connected = false, Requested = false;
+  std::string Response;
+  {
+    Client Conn;
+    Connected = Conn.connect(Opts.SocketPath, 5.0).ok();
+    if (Connected)
+      Requested = Conn.request("{\"op\":\"shutdown\"}", Response).ok();
+  }
+  Waiter.join();
+  ASSERT_TRUE(Connected);
+  ASSERT_TRUE(Requested) << "shutdown ack must arrive before teardown";
+  json::Value Doc = parseResponse(Response);
+  EXPECT_TRUE(responseOk(Doc));
+  EXPECT_TRUE(Doc.get("stopping")->asBool());
+  EXPECT_NE(::access(Opts.SocketPath.c_str(), F_OK), 0)
+      << "socket file must be unlinked on shutdown";
+}
+
+TEST(ServerTest, ConcurrentClientsShareTheCaches) {
+  ServerFixture Fixture;
+  const unsigned NumClients = 4;
+  std::vector<std::string> FirstResponses(NumClients);
+  std::vector<std::thread> Clients;
+  for (unsigned I = 0; I < NumClients; ++I)
+    Clients.emplace_back([&, I] {
+      Client Conn;
+      if (!Conn.connect(Fixture.Opts.SocketPath, 5.0).ok())
+        return;
+      std::string Response;
+      for (int R = 0; R < 3; ++R)
+        if (!Conn.request(routeRequest(sampleQasm()).dump(), Response)
+                 .ok())
+          return;
+      FirstResponses[I] = Response;
+    });
+  for (std::thread &T : Clients)
+    T.join();
+
+  // Every client converged on the same routed bytes.
+  json::Value Reference = parseResponse(FirstResponses[0]);
+  ASSERT_TRUE(responseOk(Reference));
+  for (unsigned I = 1; I < NumClients; ++I) {
+    json::Value Doc = parseResponse(FirstResponses[I]);
+    ASSERT_TRUE(responseOk(Doc));
+    EXPECT_EQ(Doc.get("qasm")->asString(),
+              Reference.get("qasm")->asString());
+  }
+  // 12 route requests for one (circuit, backend, mapper): at most a few
+  // racing first-misses, everything else served from cache.
+  CacheStats Results = Fixture.Daemon->resultCacheStats();
+  EXPECT_GE(Results.Hits, 8u);
+}

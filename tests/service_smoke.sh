@@ -1,0 +1,51 @@
+#!/usr/bin/env bash
+# End-to-end smoke of the qlosured daemon with the real binaries: boot on
+# a temp socket, route a QUEKO circuit through qlosure-client, assert the
+# response verifies, assert the repeated request reports a cache hit, and
+# shut the daemon down cleanly over the protocol. Run by ctest
+# (service-smoke) and the CI service job.
+#
+# usage: service_smoke.sh BIN_DIR QUEKO_QASM
+set -euo pipefail
+
+BIN_DIR=${1:?usage: service_smoke.sh BIN_DIR QUEKO_QASM}
+QASM=${2:?usage: service_smoke.sh BIN_DIR QUEKO_QASM}
+SOCK="/tmp/qlosured-smoke-$$.sock"
+RESP="/tmp/qlosured-smoke-$$.json"
+
+cleanup() {
+  [[ -n "${DAEMON_PID:-}" ]] && kill "$DAEMON_PID" 2>/dev/null || true
+  rm -f "$RESP" "$SOCK"
+}
+trap cleanup EXIT
+
+"$BIN_DIR/qlosured" --socket "$SOCK" --workers 2 &
+DAEMON_PID=$!
+
+# First request: --connect-timeout retries until the daemon has bound.
+# Exit code 0 implies a non-error response; the stats must say verified.
+"$BIN_DIR/qlosure-client" --socket "$SOCK" --connect-timeout 10 \
+  route --backend aspen16 --stats-only "$QASM" > "$RESP"
+grep -q '"verified":true' "$RESP"
+grep -q '"cache_hit":false' "$RESP"
+echo "service-smoke: first request verified (cold)"
+
+# The identical request again must be served from the cache.
+"$BIN_DIR/qlosure-client" --socket "$SOCK" \
+  route --backend aspen16 --stats-only --expect-cache-hit "$QASM" > "$RESP"
+grep -q '"verified":true' "$RESP"
+echo "service-smoke: repeated request hit the cache"
+
+# Malformed traffic must produce structured errors, never kill the daemon.
+"$BIN_DIR/qlosure-client" --socket "$SOCK" route --mapper nope \
+  --backend aspen16 "$QASM" > "$RESP" && status=0 || status=$?
+[[ "$status" -eq 1 ]] # error response, not a transport failure
+grep -q '"code":"unknown_mapper"' "$RESP"
+echo "service-smoke: malformed request answered with a structured error"
+
+# Graceful protocol shutdown: the daemon must exit 0 and unlink its socket.
+"$BIN_DIR/qlosure-client" --socket "$SOCK" shutdown > /dev/null
+wait "$DAEMON_PID"
+DAEMON_PID=""
+[[ ! -e "$SOCK" ]]
+echo "service-smoke: daemon shut down cleanly"

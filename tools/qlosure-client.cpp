@@ -1,0 +1,207 @@
+//===- tools/qlosure-client.cpp - Blocking qlosured client ---------------------===//
+//
+// Part of the Qlosure project. Distributed under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Script-friendly client for the qlosured daemon (docs/PROTOCOL.md):
+///
+///   qlosure-client [--socket PATH] [--connect-timeout SEC] COMMAND ...
+///     ping                          liveness probe
+///     stats                         print the server stats document
+///     shutdown                      ask the daemon to stop gracefully
+///     route [opts] [input.qasm]     route a circuit (stdin when omitted)
+///       --mapper NAME               qlosure | sabre | qmap | cirq | tket
+///       --backend NAME              see qlosure-route --backend
+///       --bidirectional             derived initial placement
+///       --error-aware               synthetic-calibration error-aware mode
+///       --calibration N             calibration seed (default 1)
+///       --timeout-ms N              per-request deadline override
+///       --stats-only                do not request the routed program
+///       --output FILE               write the routed QASM to FILE
+///       --qasm-only                 print the routed QASM instead of JSON
+///       --expect-cache-hit          exit 4 unless the response says
+///                                   cache_hit (CI smoke assertion)
+///
+/// Prints the raw JSON response line to stdout (except --qasm-only).
+/// Exit codes: 0 ok, 1 server-side error response, 2 usage, 3 transport
+/// failure, 4 --expect-cache-hit violated.
+///
+//===----------------------------------------------------------------------===//
+
+#include "service/Client.h"
+#include "service/Protocol.h"
+#include "support/Json.h"
+
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <iostream>
+#include <iterator>
+#include <sstream>
+#include <string>
+
+using namespace qlosure;
+using namespace qlosure::service;
+
+namespace {
+
+int usage(const char *Argv0) {
+  std::fprintf(
+      stderr,
+      "usage: %s [--socket PATH] [--connect-timeout SEC] "
+      "(ping|stats|shutdown|route [route-options] [input.qasm])\n",
+      Argv0);
+  return 2;
+}
+
+int transportError(const Status &S) {
+  std::fprintf(stderr, "qlosure-client: error: %s\n", S.message().c_str());
+  return 3;
+}
+
+} // namespace
+
+int main(int Argc, char **Argv) {
+  std::string SocketPath = "/tmp/qlosured.sock";
+  double ConnectTimeout = 0;
+  std::string Command;
+  std::string Mapper = "qlosure";
+  std::string Backend = "sherbrooke";
+  std::string InputPath;
+  std::string OutputPath;
+  bool Bidirectional = false;
+  bool ErrorAware = false;
+  bool StatsOnly = false;
+  bool QasmOnly = false;
+  bool ExpectCacheHit = false;
+  double TimeoutMs = 0;
+  uint64_t CalibrationSeed = 1;
+
+  for (int I = 1; I < Argc; ++I) {
+    if (!std::strcmp(Argv[I], "--socket") && I + 1 < Argc) {
+      SocketPath = Argv[++I];
+    } else if (!std::strcmp(Argv[I], "--connect-timeout") && I + 1 < Argc) {
+      ConnectTimeout = std::strtod(Argv[++I], nullptr);
+    } else if (!std::strcmp(Argv[I], "--mapper") && I + 1 < Argc) {
+      Mapper = Argv[++I];
+    } else if (!std::strcmp(Argv[I], "--backend") && I + 1 < Argc) {
+      Backend = Argv[++I];
+    } else if (!std::strcmp(Argv[I], "--calibration") && I + 1 < Argc) {
+      CalibrationSeed = std::strtoull(Argv[++I], nullptr, 10);
+    } else if (!std::strcmp(Argv[I], "--timeout-ms") && I + 1 < Argc) {
+      TimeoutMs = std::strtod(Argv[++I], nullptr);
+    } else if (!std::strcmp(Argv[I], "--output") && I + 1 < Argc) {
+      OutputPath = Argv[++I];
+    } else if (!std::strcmp(Argv[I], "--bidirectional")) {
+      Bidirectional = true;
+    } else if (!std::strcmp(Argv[I], "--error-aware")) {
+      ErrorAware = true;
+    } else if (!std::strcmp(Argv[I], "--stats-only")) {
+      StatsOnly = true;
+    } else if (!std::strcmp(Argv[I], "--qasm-only")) {
+      QasmOnly = true;
+    } else if (!std::strcmp(Argv[I], "--expect-cache-hit")) {
+      ExpectCacheHit = true;
+    } else if (Argv[I][0] == '-') {
+      return usage(Argv[0]);
+    } else if (Command.empty()) {
+      Command = Argv[I];
+    } else {
+      InputPath = Argv[I];
+    }
+  }
+  if (Command != "ping" && Command != "stats" && Command != "shutdown" &&
+      Command != "route")
+    return usage(Argv[0]);
+
+  std::string RequestLine;
+  if (Command == "route") {
+    std::string Source;
+    if (InputPath.empty()) {
+      std::ostringstream Buffer;
+      Buffer << std::cin.rdbuf();
+      Source = Buffer.str();
+    } else {
+      std::ifstream In(InputPath);
+      if (!In) {
+        std::fprintf(stderr, "qlosure-client: error: cannot open %s\n",
+                     InputPath.c_str());
+        return 2;
+      }
+      Source.assign(std::istreambuf_iterator<char>(In),
+                    std::istreambuf_iterator<char>());
+    }
+    json::Value Req = json::Value::object();
+    Req.set("op", "route");
+    Req.set("qasm", Source);
+    Req.set("mapper", Mapper);
+    Req.set("backend", Backend);
+    if (Bidirectional)
+      Req.set("bidirectional", true);
+    if (ErrorAware) {
+      Req.set("error_aware", true);
+      Req.set("calibration", CalibrationSeed);
+    }
+    if (TimeoutMs > 0)
+      Req.set("timeout_ms", TimeoutMs);
+    if (StatsOnly)
+      Req.set("include_qasm", false);
+    RequestLine = Req.dump();
+  } else {
+    json::Value Req = json::Value::object();
+    Req.set("op", Command);
+    RequestLine = Req.dump();
+  }
+
+  Client Conn;
+  if (Status S = Conn.connect(SocketPath, ConnectTimeout); !S.ok())
+    return transportError(S);
+  std::string ResponseLine;
+  if (Status S = Conn.request(RequestLine, ResponseLine); !S.ok())
+    return transportError(S);
+
+  json::ParseResult Parsed = json::parse(ResponseLine);
+  if (!Parsed.Ok) {
+    std::fprintf(stderr,
+                 "qlosure-client: error: malformed response: %s\n",
+                 Parsed.Error.c_str());
+    return 3;
+  }
+  const json::Value &Response = Parsed.V;
+  bool Ok = Response.get("ok") && Response.get("ok")->asBool();
+
+  const json::Value *Qasm = Response.get("qasm");
+  if (Ok && Qasm && Qasm->isString() && !OutputPath.empty()) {
+    std::ofstream Out(OutputPath);
+    if (!Out) {
+      std::fprintf(stderr, "qlosure-client: error: cannot write %s\n",
+                   OutputPath.c_str());
+      return 2;
+    }
+    Out << Qasm->asString();
+  }
+  if (QasmOnly) {
+    if (Ok && Qasm && Qasm->isString())
+      std::fputs(Qasm->asString().c_str(), stdout);
+    else
+      std::fputs(ResponseLine.c_str(), stdout), std::fputc('\n', stdout);
+  } else {
+    std::fputs(ResponseLine.c_str(), stdout);
+    std::fputc('\n', stdout);
+  }
+
+  if (!Ok)
+    return 1;
+  if (ExpectCacheHit) {
+    const json::Value *Hit = Response.get("cache_hit");
+    if (!Hit || !Hit->asBool()) {
+      std::fprintf(stderr,
+                   "qlosure-client: error: expected a cache hit but the "
+                   "response reports a miss\n");
+      return 4;
+    }
+  }
+  return 0;
+}

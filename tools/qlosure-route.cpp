@@ -20,6 +20,14 @@
 ///     --calibration N    calibration seed for --error-aware (default 1)
 ///     --output FILE      routed QASM destination (default stdout)
 ///     --stats-only       print statistics, skip the routed program
+///     --json             print machine-readable stats to stdout using the
+///                        same schema as the qlosured `route` response
+///                        "stats" object (docs/PROTOCOL.md); the routed
+///                        program is then only written with --output FILE
+///
+/// Exits nonzero when the routed circuit fails independent verification
+/// (with --json, the stats object is still printed, with
+/// "verified": false).
 ///
 //===----------------------------------------------------------------------===//
 
@@ -30,6 +38,7 @@
 #include "route/Fidelity.h"
 #include "route/InitialMapping.h"
 #include "route/Verify.h"
+#include "service/Protocol.h"
 #include "topology/Backends.h"
 
 #include <cstdio>
@@ -53,13 +62,14 @@ struct ToolOptions {
   bool ErrorAware = false;
   uint64_t CalibrationSeed = 1;
   bool StatsOnly = false;
+  bool Json = false;
 };
 
 int usage(const char *Argv0) {
   std::fprintf(stderr,
                "usage: %s [--backend NAME] [--mapper NAME] "
                "[--bidirectional] [--error-aware] [--calibration N] "
-               "[--output FILE] [--stats-only] [input.qasm]\n",
+               "[--output FILE] [--stats-only] [--json] [input.qasm]\n",
                Argv0);
   return 2;
 }
@@ -83,6 +93,8 @@ int main(int Argc, char **Argv) {
       Opts.ErrorAware = true;
     } else if (!std::strcmp(Argv[I], "--stats-only")) {
       Opts.StatsOnly = true;
+    } else if (!std::strcmp(Argv[I], "--json")) {
+      Opts.Json = true;
     } else if (Argv[I][0] == '-') {
       return usage(Argv[0]);
     } else {
@@ -149,25 +161,53 @@ int main(int Argc, char **Argv) {
                              : Ctx.identityMapping();
   RoutingResult Result = Mapper->route(Ctx, Initial);
   VerifyResult Check = verifyRouting(Logical, Device, Result);
+
+  if (Opts.Json) {
+    // The shared stats schema of the service protocol, so scripts consume
+    // qlosure-route and qlosured responses uniformly.
+    service::RouteStats Stats;
+    Stats.LogicalGates = Logical.size();
+    Stats.RoutedGates = Result.Routed.size();
+    Stats.Swaps = Result.NumSwaps;
+    Stats.DepthBefore = Logical.depth();
+    Stats.DepthAfter = Result.Routed.depth();
+    Stats.MappingSeconds = Result.MappingSeconds;
+    Stats.TimedOut = Result.TimedOut;
+    Stats.Verified = Check.Ok;
+    if (Opts.ErrorAware)
+      Stats.SuccessProbability =
+          estimateSuccessProbability(Result.Routed, Device);
+    json::Value Doc = json::Value::object();
+    Doc.set("tool", "qlosure-route");
+    Doc.set("mapper", Mapper->name());
+    Doc.set("backend", Opts.Backend);
+    Doc.set("circuit", Logical.name());
+    Doc.set("stats", service::routeStatsToJson(Stats));
+    std::printf("%s\n", Doc.dump().c_str());
+  }
+
   if (!Check.Ok) {
     std::fprintf(stderr, "internal error: routing failed verification: %s\n",
                  Check.Message.c_str());
     return 1;
   }
 
-  std::fprintf(stderr,
-               "qlosure-route: %s on %s: %zu gates -> %zu (%zu SWAPs), "
-               "depth %zu -> %zu, %.3f ms%s\n",
-               Mapper->name().c_str(), Opts.Backend.c_str(), Logical.size(),
-               Result.Routed.size(), Result.NumSwaps, Logical.depth(),
-               Result.Routed.depth(), Result.MappingSeconds * 1000,
-               Result.TimedOut ? " (search budget hit)" : "");
-  if (Opts.ErrorAware)
+  if (!Opts.Json) {
     std::fprintf(stderr,
-                 "qlosure-route: estimated success probability %.4g\n",
-                 estimateSuccessProbability(Result.Routed, Device));
+                 "qlosure-route: %s on %s: %zu gates -> %zu (%zu SWAPs), "
+                 "depth %zu -> %zu, %.3f ms%s\n",
+                 Mapper->name().c_str(), Opts.Backend.c_str(),
+                 Logical.size(), Result.Routed.size(), Result.NumSwaps,
+                 Logical.depth(), Result.Routed.depth(),
+                 Result.MappingSeconds * 1000,
+                 Result.TimedOut ? " (search budget hit)" : "");
+    if (Opts.ErrorAware)
+      std::fprintf(stderr,
+                   "qlosure-route: estimated success probability %.4g\n",
+                   estimateSuccessProbability(Result.Routed, Device));
+  }
 
-  if (!Opts.StatsOnly) {
+  if (!Opts.StatsOnly && !(Opts.Json && Opts.OutputPath.empty())) {
     std::string Text = qasm::printQasm(Result.Routed);
     if (Opts.OutputPath.empty()) {
       std::fputs(Text.c_str(), stdout);

@@ -1,0 +1,99 @@
+//===- tools/qlosured.cpp - The persistent mapping daemon ----------------------===//
+//
+// Part of the Qlosure project. Distributed under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The qlosured daemon: serves the newline-delimited JSON mapping protocol
+/// (docs/PROTOCOL.md) over a Unix-domain socket, amortizing per-(circuit,
+/// backend) precomputation and routed results across requests via the
+/// sharded service caches.
+///
+///   qlosured --socket PATH [options]
+///     --socket PATH        Unix socket path (required)
+///     --workers N          scheduler worker threads (default: cores)
+///     --queue N            bounded queue capacity (default 256)
+///     --cache-mb N         context cache byte budget in MiB (default 256)
+///     --result-cache-mb N  result cache byte budget in MiB (default 64)
+///     --shards N           cache shard count (default 8)
+///     --timeout SECONDS    default per-request deadline (default 60; 0
+///                          disables)
+///
+/// Prints "qlosured: listening on PATH" once ready. SIGINT/SIGTERM (or a
+/// client `shutdown` request) shut down gracefully: in-flight requests
+/// finish, every connection gets its response, the socket file is
+/// unlinked.
+///
+//===----------------------------------------------------------------------===//
+
+#include "service/Server.h"
+
+#include <csignal>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+
+using namespace qlosure;
+using namespace qlosure::service;
+
+namespace {
+
+volatile std::sig_atomic_t SignalStop = 0;
+
+void onSignal(int) { SignalStop = 1; }
+
+int usage(const char *Argv0) {
+  std::fprintf(stderr,
+               "usage: %s --socket PATH [--workers N] [--queue N] "
+               "[--cache-mb N] [--result-cache-mb N] [--shards N] "
+               "[--timeout SECONDS]\n",
+               Argv0);
+  return 2;
+}
+
+} // namespace
+
+int main(int Argc, char **Argv) {
+  ServerOptions Opts;
+  for (int I = 1; I < Argc; ++I) {
+    if (!std::strcmp(Argv[I], "--socket") && I + 1 < Argc) {
+      Opts.SocketPath = Argv[++I];
+    } else if (!std::strcmp(Argv[I], "--workers") && I + 1 < Argc) {
+      Opts.Workers = static_cast<unsigned>(std::strtoul(Argv[++I], nullptr, 10));
+    } else if (!std::strcmp(Argv[I], "--queue") && I + 1 < Argc) {
+      Opts.QueueCapacity = std::strtoull(Argv[++I], nullptr, 10);
+    } else if (!std::strcmp(Argv[I], "--cache-mb") && I + 1 < Argc) {
+      Opts.ContextCacheBytes =
+          std::strtoull(Argv[++I], nullptr, 10) << 20;
+    } else if (!std::strcmp(Argv[I], "--result-cache-mb") && I + 1 < Argc) {
+      Opts.ResultCacheBytes = std::strtoull(Argv[++I], nullptr, 10) << 20;
+    } else if (!std::strcmp(Argv[I], "--shards") && I + 1 < Argc) {
+      Opts.CacheShards = std::strtoull(Argv[++I], nullptr, 10);
+    } else if (!std::strcmp(Argv[I], "--timeout") && I + 1 < Argc) {
+      Opts.DefaultTimeoutSeconds = std::strtod(Argv[++I], nullptr);
+    } else {
+      return usage(Argv[0]);
+    }
+  }
+  if (Opts.SocketPath.empty())
+    return usage(Argv[0]);
+
+  std::signal(SIGINT, onSignal);
+  std::signal(SIGTERM, onSignal);
+
+  Server Daemon(Opts);
+  Status Started = Daemon.start();
+  if (!Started.ok()) {
+    std::fprintf(stderr, "qlosured: error: %s\n",
+                 Started.message().c_str());
+    return 1;
+  }
+  std::fprintf(stderr, "qlosured: listening on %s\n",
+               Opts.SocketPath.c_str());
+  std::fflush(stderr);
+
+  Daemon.wait([] { return SignalStop != 0; });
+  std::fprintf(stderr, "qlosured: shut down cleanly\n");
+  return 0;
+}
