@@ -126,7 +126,7 @@ class RefGreedyRouterBase : public Router {
 public:
   using Router::route;
   RoutingResult route(const RoutingContext &Ctx, const QubitMapping &Initial,
-                      RoutingScratch &) final {
+                      RoutingScratch &, const CancellationToken *) final {
     checkPreconditions(Ctx, Initial);
     const Circuit &Logical = Ctx.circuit();
     const CouplingGraph &Hw = Ctx.hardware();
@@ -740,7 +740,7 @@ public:
 
   using Router::route;
   RoutingResult route(const RoutingContext &Ctx, const QubitMapping &Initial,
-                      RoutingScratch &) override {
+                      RoutingScratch &, const CancellationToken *) override {
     checkPreconditions(Ctx, Initial);
     RefQlosureLoop Loop(Options, Ctx, Initial);
     return Loop.run();
@@ -788,7 +788,7 @@ public:
 
   using Router::route;
   RoutingResult route(const RoutingContext &Ctx, const QubitMapping &Initial,
-                      RoutingScratch &) override {
+                      RoutingScratch &, const CancellationToken *) override {
     checkPreconditions(Ctx, Initial);
     const Circuit &Logical = Ctx.circuit();
     const CouplingGraph &Hw = Ctx.hardware();

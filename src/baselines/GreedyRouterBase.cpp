@@ -29,7 +29,8 @@ using namespace qlosure;
 
 RoutingResult GreedyRouterBase::route(const RoutingContext &Ctx,
                                       const QubitMapping &Initial,
-                                      RoutingScratch &S) {
+                                      RoutingScratch &S,
+                                      const CancellationToken *Cancel) {
   checkPreconditions(Ctx, Initial);
   const Circuit &Logical = Ctx.circuit();
   const CouplingGraph &Hw = Ctx.hardware();
@@ -78,6 +79,15 @@ RoutingResult GreedyRouterBase::route(const RoutingContext &Ctx,
   };
 
   while (!Tracker.allExecuted()) {
+    // One cancellation poll + progress report per front-layer step; a
+    // null token never perturbs the decision sequence.
+    if (Cancel) {
+      if (Cancel->cancelled()) {
+        Result.Cancelled = true;
+        break;
+      }
+      Cancel->reportProgress(Tracker.numExecuted(), Logical.size());
+    }
     // Phase 1: drain every executable gate.
     bool Progress = false;
     bool Changed = true;

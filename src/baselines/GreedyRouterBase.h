@@ -31,7 +31,8 @@ class GreedyRouterBase : public Router {
 public:
   using Router::route;
   RoutingResult route(const RoutingContext &Ctx, const QubitMapping &Initial,
-                      RoutingScratch &Scratch) final;
+                      RoutingScratch &Scratch,
+                      const CancellationToken *Cancel) final;
 
 protected:
   /// Number of look-ahead gates beyond the front layer the subclass wants

@@ -52,8 +52,10 @@ uint64_t hashPositions(const unsigned *Positions, size_t K) {
 
 RoutingResult QmapAstarRouter::route(const RoutingContext &Ctx,
                                      const QubitMapping &Initial,
-                                     RoutingScratch &S) {
+                                     RoutingScratch &S,
+                                     const CancellationToken *Cancel) {
   checkPreconditions(Ctx, Initial);
+  auto isCancelled = [Cancel] { return Cancel && Cancel->cancelled(); };
   const Circuit &Logical = Ctx.circuit();
   const CouplingGraph &Hw = Ctx.hardware();
   Timer Clock;
@@ -103,8 +105,9 @@ RoutingResult QmapAstarRouter::route(const RoutingContext &Ctx,
   /// Routes one chunk of mutually disjoint 2Q gates with a bounded A*
   /// search over the joint placement of the chunk's qubits, then emits the
   /// chunk's gates. Falls back to greedy shortest-path insertion per gate
-  /// when the node budget is exhausted.
-  auto routeChunk = [&](const uint32_t *Chunk, size_t ChunkSize) {
+  /// when the node budget is exhausted. Returns false when the
+  /// cancellation token fired mid-chunk (the route must abort).
+  auto routeChunk = [&](const uint32_t *Chunk, size_t ChunkSize) -> bool {
     // Tracked qubits: the chunk's logical operands.
     std::vector<int32_t> &Tracked = S.AstarTracked;
     Tracked.clear();
@@ -167,6 +170,10 @@ RoutingResult QmapAstarRouter::route(const RoutingContext &Ctx,
     uint32_t GoalId = UINT32_MAX;
 
     while (!Heap.empty() && Expansions < Options.NodeBudgetPerLayer) {
+      // The unbounded-latency loop of this mapper: poll the token every
+      // 64 expansions so a cancel/deadline lands within microseconds.
+      if ((Expansions & 63u) == 0 && isCancelled())
+        return false;
       uint32_t NodeId = Heap.front();
       std::pop_heap(Heap.begin(), Heap.end(), Compare);
       Heap.pop_back();
@@ -218,11 +225,13 @@ RoutingResult QmapAstarRouter::route(const RoutingContext &Ctx,
         emitSwap(P1, P2);
       for (size_t C = 0; C < ChunkSize; ++C)
         emitProgramGate(Chunk[C]);
-      return;
+      return true;
     }
     // Budget exhausted: resolve-and-emit each gate immediately (a later
     // gate's path may separate an earlier pair, so emission cannot wait).
     for (size_t C = 0; C < ChunkSize; ++C) {
+      if (isCancelled())
+        return false;
       const Gate &G = Logical.gate(Chunk[C]);
       unsigned P1 = static_cast<unsigned>(Phi.physOf(G.Qubits[0]));
       unsigned P2 = static_cast<unsigned>(Phi.physOf(G.Qubits[1]));
@@ -233,10 +242,17 @@ RoutingResult QmapAstarRouter::route(const RoutingContext &Ctx,
       }
       emitProgramGate(Chunk[C]);
     }
+    return true;
   };
 
   for (size_t LI = 0; LI + 1 < Bounds.size(); ++LI) {
     uint32_t Begin = Bounds[LI], End = Bounds[LI + 1];
+    if (isCancelled()) {
+      Result.Cancelled = true;
+      break;
+    }
+    if (Cancel)
+      Cancel->reportProgress(Begin, Logical.size());
     S.QmapTwoQ.clear();
     for (uint32_t GI = Begin; GI < End; ++GI)
       if (Logical.gate(GI).isTwoQubit())
@@ -250,6 +266,10 @@ RoutingResult QmapAstarRouter::route(const RoutingContext &Ctx,
       if (TimedOut) {
         // Greedy completion so callers still receive a valid circuit.
         for (uint32_t GI : S.QmapTwoQ) {
+          if (isCancelled()) {
+            Result.Cancelled = true;
+            break;
+          }
           const Gate &G = Logical.gate(GI);
           unsigned P1 = static_cast<unsigned>(Phi.physOf(G.Qubits[0]));
           unsigned P2 = static_cast<unsigned>(Phi.physOf(G.Qubits[1]));
@@ -268,10 +288,16 @@ RoutingResult QmapAstarRouter::route(const RoutingContext &Ctx,
              ChunkBegin += Options.MaxJointGates) {
           size_t ChunkEnd = std::min(S.QmapTwoQ.size(),
                                      ChunkBegin + Options.MaxJointGates);
-          routeChunk(S.QmapTwoQ.data() + ChunkBegin, ChunkEnd - ChunkBegin);
+          if (!routeChunk(S.QmapTwoQ.data() + ChunkBegin,
+                          ChunkEnd - ChunkBegin)) {
+            Result.Cancelled = true;
+            break;
+          }
         }
       }
     }
+    if (Result.Cancelled)
+      break;
     // Single-qubit gates of the layer execute wherever their qubit sits.
     for (uint32_t GI = Begin; GI < End; ++GI)
       if (!Logical.gate(GI).isTwoQubit())

@@ -47,7 +47,8 @@ public:
 
   using Router::route;
   RoutingResult route(const RoutingContext &Ctx, const QubitMapping &Initial,
-                      RoutingScratch &Scratch) override;
+                      RoutingScratch &Scratch,
+                      const CancellationToken *Cancel) override;
 
 private:
   QmapOptions Options;

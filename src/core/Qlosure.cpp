@@ -48,10 +48,11 @@ namespace {
 class RoutingLoop {
 public:
   RoutingLoop(const QlosureOptions &Options, const RoutingContext &Ctx,
-              const QubitMapping &Initial, RoutingScratch &Scratch)
+              const QubitMapping &Initial, RoutingScratch &Scratch,
+              const CancellationToken *Cancel)
       : Options(Options), Logical(Ctx.circuit()), Hw(Ctx.hardware()),
         Dag(Ctx.dag()), S(Scratch), Tracker(Ctx.dag(), Scratch),
-        Phi(Initial), TieBreaker(Options.Seed) {
+        Phi(Initial), TieBreaker(Options.Seed), Cancel(Cancel) {
     S.ensurePhys(Hw.numQubits());
     S.Decay.assign(Logical.numQubits(), 1.0);
     LookaheadC = Options.LookaheadConstant ? Options.LookaheadConstant
@@ -70,6 +71,15 @@ public:
   RoutingResult run() {
     Timer Clock;
     while (!Tracker.allExecuted()) {
+      // One cancellation poll + progress report per front-layer step: a
+      // null token costs one branch and never perturbs the decisions.
+      if (Cancel) {
+        if (Cancel->cancelled()) {
+          Result.Cancelled = true;
+          break;
+        }
+        Cancel->reportProgress(Tracker.numExecuted(), Logical.size());
+      }
       if (executeReadyGates())
         continue;
       routeOneSwap();
@@ -382,6 +392,7 @@ private:
   FrontLayerTracker Tracker;
   QubitMapping Phi;
   Rng TieBreaker;
+  const CancellationToken *Cancel = nullptr;
   const std::vector<uint64_t> *Weights = nullptr;
   unsigned LookaheadC = 0;
   unsigned SwapsSinceProgress = 0;
@@ -403,9 +414,10 @@ RoutingContextOptions QlosureRouter::contextOptions() const {
 
 RoutingResult QlosureRouter::route(const RoutingContext &Ctx,
                                    const QubitMapping &Initial,
-                                   RoutingScratch &Scratch) {
+                                   RoutingScratch &Scratch,
+                                   const CancellationToken *Cancel) {
   checkPreconditions(Ctx, Initial);
-  RoutingLoop Loop(Options, Ctx, Initial, Scratch);
+  RoutingLoop Loop(Options, Ctx, Initial, Scratch, Cancel);
   RoutingResult Result = Loop.run();
   Result.RouterName = name();
   return Result;

@@ -78,7 +78,8 @@ public:
 
   using Router::route;
   RoutingResult route(const RoutingContext &Ctx, const QubitMapping &Initial,
-                      RoutingScratch &Scratch) override;
+                      RoutingScratch &Scratch,
+                      const CancellationToken *Cancel) override;
 
   /// Forwards the omega engine choice so the 3-arg adapter builds
   /// contexts matching this router's configuration.

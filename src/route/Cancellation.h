@@ -1,0 +1,121 @@
+//===- route/Cancellation.h - Cooperative route cancellation ------*- C++ -*-===//
+//
+// Part of the Qlosure project. Distributed under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// CancellationToken: the cooperative cancellation + deadline + progress
+/// channel between a routing request's owner (the qlosured scheduler, a
+/// batch driver, a test) and the routing kernels. Routers poll
+/// `cancelled()` once per front-layer step (and every few A* expansions),
+/// so a multi-minute route aborts within one step of the flag being set or
+/// the deadline passing — this is how qlosured enforces per-request
+/// deadlines *during* routing and implements the protocol's `cancel` op.
+///
+/// Threading/ownership contract:
+///  * `cancel()` may be called from any thread, any number of times.
+///  * `setDeadline()` and `enableProgress()` must be called before the
+///    token is handed to the routing thread (the scheduler arms the
+///    deadline at submission; the worker installs the progress sink before
+///    invoking the router). They are not thread-safe against a concurrent
+///    `cancelled()` poll.
+///  * `cancelled()` / `reportProgress()` are called by the routing thread;
+///    `reportProgress()` invokes the progress sink on that same thread.
+///  * The token's owner must keep it alive for the whole route() call;
+///    routers never retain a reference beyond the call.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef QLOSURE_ROUTE_CANCELLATION_H
+#define QLOSURE_ROUTE_CANCELLATION_H
+
+#include <atomic>
+#include <chrono>
+#include <cstddef>
+#include <functional>
+
+namespace qlosure {
+
+/// One cancellation scope: an atomic flag, an optional deadline, and an
+/// optional throttled progress sink.
+class CancellationToken {
+public:
+  /// Why cancelled() returned true.
+  enum class Reason : uint8_t { None, Cancelled, DeadlineExceeded };
+
+  /// Invoked by reportProgress() at most once per MinStep executed gates.
+  using ProgressFn = std::function<void(size_t Done, size_t Total)>;
+
+  CancellationToken() = default;
+  CancellationToken(const CancellationToken &) = delete;
+  CancellationToken &operator=(const CancellationToken &) = delete;
+
+  /// Requests cancellation (idempotent, any thread).
+  void cancel() { CancelFlag.store(true, std::memory_order_relaxed); }
+
+  /// Arms the deadline. Call before sharing the token with the routing
+  /// thread; the default (time_point::max()) means "no deadline".
+  void setDeadline(std::chrono::steady_clock::time_point D) { Deadline = D; }
+
+  /// True once cancel() was called or the deadline passed. The flag check
+  /// is one relaxed atomic load; the clock is consulted only while a
+  /// deadline is armed and not yet known to have passed, so polling every
+  /// routing step is cheap.
+  bool cancelled() const {
+    if (CancelFlag.load(std::memory_order_relaxed))
+      return true;
+    if (DeadlineHit.load(std::memory_order_relaxed))
+      return true;
+    if (Deadline != std::chrono::steady_clock::time_point::max() &&
+        std::chrono::steady_clock::now() >= Deadline) {
+      DeadlineHit.store(true, std::memory_order_relaxed);
+      return true;
+    }
+    return false;
+  }
+
+  /// Distinguishes the `cancelled` error code from `deadline_exceeded`.
+  /// An explicit cancel() wins when both apply.
+  Reason reason() const {
+    if (CancelFlag.load(std::memory_order_relaxed))
+      return Reason::Cancelled;
+    // cancelled() is false-flag here, so true can only mean the deadline.
+    return cancelled() ? Reason::DeadlineExceeded : Reason::None;
+  }
+
+  /// Installs \p Fn as the progress sink, invoked by reportProgress() when
+  /// at least \p MinStep more gates completed since the last invocation.
+  /// Call before routing starts (same thread that will route, or before
+  /// the token is shared).
+  void enableProgress(ProgressFn Fn, size_t MinStep) {
+    Progress = std::move(Fn);
+    Step = MinStep > 0 ? MinStep : 1;
+    LastDone = 0;
+  }
+
+  /// Routing-thread hook: reports \p Done of \p Total gates executed.
+  /// No-op without a sink; throttled to one sink call per Step gates.
+  void reportProgress(size_t Done, size_t Total) const {
+    if (!Progress || Done < LastDone + Step)
+      return;
+    LastDone = Done;
+    Progress(Done, Total);
+  }
+
+private:
+  std::atomic<bool> CancelFlag{false};
+  /// Latches the first observed deadline expiry so reason() stays stable
+  /// and later cancelled() polls skip the clock.
+  mutable std::atomic<bool> DeadlineHit{false};
+  std::chrono::steady_clock::time_point Deadline =
+      std::chrono::steady_clock::time_point::max();
+  ProgressFn Progress;
+  size_t Step = 1;
+  /// Throttle state; touched only by the routing thread.
+  mutable size_t LastDone = 0;
+};
+
+} // namespace qlosure
+
+#endif // QLOSURE_ROUTE_CANCELLATION_H

@@ -25,14 +25,24 @@ QubitMapping qlosure::deriveBidirectionalMapping(Router &R,
 
 QubitMapping qlosure::deriveBidirectionalMapping(Router &R,
                                                  const RoutingContext &Ctx,
-                                                 unsigned NumPasses) {
+                                                 unsigned NumPasses,
+                                                 RoutingScratch *Scratch,
+                                                 const CancellationToken
+                                                     *Cancel) {
   QubitMapping Mapping = Ctx.identityMapping();
   Circuit Reversed = reverseCircuit(Ctx.circuit());
   RoutingContext ReversedCtx = RoutingContext::build(
       Reversed, Ctx.hardware(), R.contextOptions());
+  RoutingScratch Local;
+  RoutingScratch &S = Scratch ? *Scratch : Local;
   for (unsigned Pass = 0; Pass < NumPasses; ++Pass) {
-    RoutingResult Forward = R.route(Ctx, Mapping);
-    RoutingResult Backward = R.route(ReversedCtx, Forward.FinalMapping);
+    RoutingResult Forward = R.route(Ctx, Mapping, S, Cancel);
+    if (Forward.Cancelled)
+      break;
+    RoutingResult Backward =
+        R.route(ReversedCtx, Forward.FinalMapping, S, Cancel);
+    if (Backward.Cancelled)
+      break;
     Mapping = Backward.FinalMapping;
   }
   return Mapping;

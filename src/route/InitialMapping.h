@@ -33,9 +33,17 @@ QubitMapping deriveBidirectionalMapping(Router &R, const Circuit &Circ,
 
 /// Context-reusing variant: forward passes route through \p Ctx; the
 /// reversed circuit gets one context of its own, shared across passes, so
-/// no precomputation repeats per pass.
+/// no precomputation repeats per pass. \p Scratch (nullable) reuses the
+/// caller's kernel buffers; \p Cancel (nullable) aborts the derivation
+/// between (and cooperatively within) passes — the returned mapping is
+/// then whatever the last completed pass produced, which is always a
+/// consistent placement, and the caller is expected to notice the fired
+/// token before using it for a full route.
 QubitMapping deriveBidirectionalMapping(Router &R, const RoutingContext &Ctx,
-                                        unsigned NumPasses = 1);
+                                        unsigned NumPasses = 1,
+                                        RoutingScratch *Scratch = nullptr,
+                                        const CancellationToken *Cancel =
+                                            nullptr);
 
 } // namespace qlosure
 

@@ -8,12 +8,23 @@
 /// The common interface implemented by Qlosure and the four baseline
 /// mappers, plus the RoutingResult bundle the evaluation harness consumes.
 ///
+/// Threading/ownership contract: Router instances are stateless with
+/// respect to routing — one instance may serve concurrent route() calls
+/// from many threads. Each concurrent call needs its own RoutingScratch
+/// (single-threaded, see RoutingScratch.h) and may share one immutable
+/// RoutingContext (thread-safe after build, see RoutingContext.h). The
+/// optional CancellationToken is the only channel through which another
+/// thread may influence a route in flight: its owner keeps it alive for
+/// the duration of the call and may cancel() from any thread; routers
+/// only poll it and never retain it.
+///
 //===----------------------------------------------------------------------===//
 
 #ifndef QLOSURE_ROUTE_ROUTER_H
 #define QLOSURE_ROUTE_ROUTER_H
 
 #include "circuit/Circuit.h"
+#include "route/Cancellation.h"
 #include "route/QubitMapping.h"
 #include "route/RoutingContext.h"
 #include "route/RoutingScratch.h"
@@ -44,6 +55,12 @@ struct RoutingResult {
   /// Set by budgeted routers (QMAP-style) whose search exceeded its
   /// wall-clock budget and fell back to greedy completion.
   bool TimedOut = false;
+  /// Set when the route aborted because its CancellationToken fired
+  /// (explicit cancel or deadline). Routed then holds only the prefix
+  /// emitted before the abort: a syntactically valid circuit, but NOT a
+  /// complete routing of the input — never verify, cache, or execute it.
+  /// Consult the token's reason() to distinguish the two causes.
+  bool Cancelled = false;
   std::string RouterName;
 
   /// Depth of the routed circuit under \p Model.
@@ -73,9 +90,26 @@ public:
   /// be valid(); \p Scratch must not be in use by a concurrent route()
   /// call (one scratch per thread — see RoutingScratch.h). Routing many
   /// circuits through one scratch keeps the inner loop allocation-free.
+  ///
+  /// \p Cancel (nullable) is the cooperative cancellation token:
+  /// implementations poll it once per front-layer step (and every few A*
+  /// expansions) and, when it fires, return immediately with
+  /// RoutingResult::Cancelled set and only the already-emitted prefix in
+  /// Routed. A null token costs nothing and never alters the decision
+  /// sequence — cancelled-free runs are byte-identical with and without
+  /// one. Implementations also forward execution progress to the token
+  /// (reportProgress), which is a no-op unless the caller installed a
+  /// sink.
   virtual RoutingResult route(const RoutingContext &Ctx,
                               const QubitMapping &Initial,
-                              RoutingScratch &Scratch) = 0;
+                              RoutingScratch &Scratch,
+                              const CancellationToken *Cancel) = 0;
+
+  /// Non-cancellable adapter: the pre-cancellation scratch entry point.
+  RoutingResult route(const RoutingContext &Ctx, const QubitMapping &Initial,
+                      RoutingScratch &Scratch) {
+    return route(Ctx, Initial, Scratch, nullptr);
+  }
 
   /// Convenience adapter for one-shot callers: routes through a local
   /// scratch (buffer reuse within the run, none across runs). Prefer the

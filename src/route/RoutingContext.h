@@ -15,10 +15,15 @@
 /// that keeps batch sweeps and repeated routings of the same circuit from
 /// paying the O(V^2) precomputation cost per call.
 ///
-/// Thread safety: after build() returns, every accessor is safe to call
-/// concurrently. The one lazily computed member (dependenceWeights) is
-/// guarded by std::call_once, so mappers that never read omega never pay
-/// for it and concurrent first readers race safely.
+/// Threading/ownership contract: after build() returns, every accessor
+/// is safe to call concurrently from any number of threads; nothing here
+/// is ever mutated again (share by const reference). The one lazily
+/// computed member (dependenceWeights) is guarded by std::call_once, so
+/// mappers that never read omega never pay for it and concurrent first
+/// readers race safely. The context *references* the circuit and graph
+/// it was built from — the caller keeps both alive for the context's
+/// lifetime (service/ContextCache bundles copies for exactly this
+/// reason).
 ///
 //===----------------------------------------------------------------------===//
 

@@ -16,8 +16,11 @@
 /// O(numGates) refill, which removes the quadratic allocation/refill
 /// traffic the pre-PR-3 kernel paid on QUEKO-scale circuits.
 ///
-/// Thread safety: none — a scratch is single-threaded by design. Use one
-/// scratch per worker thread (BatchRunner pools exactly that) and never
+/// Threading/ownership contract: none — a scratch is single-threaded by
+/// design; no member may be touched from two threads, even at different
+/// times without synchronization in between. Use one scratch per worker
+/// thread (BatchRunner and the qlosured Scheduler pool exactly that,
+/// each worker owning its scratch for its whole lifetime) and never
 /// share one across concurrent route() calls. Routers never retain a
 /// reference beyond the call, so a scratch may serve any sequence of
 /// mappers, circuits and backends.

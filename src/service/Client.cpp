@@ -7,6 +7,7 @@
 #include "service/Client.h"
 
 #include "service/SocketIO.h"
+#include "support/Json.h"
 #include "support/StringUtils.h"
 
 #include <cerrno>
@@ -57,6 +58,7 @@ void Client::close() {
     Fd = -1;
   }
   Pending.clear();
+  Stash.clear();
 }
 
 Status Client::sendLine(const std::string &Line) {
@@ -85,8 +87,67 @@ Status Client::recvLine(std::string &Line) {
   return Status::success();
 }
 
+namespace {
+
+/// Frame triage: fills \p Id / \p Op from the frame and reports whether
+/// it is an event (carries "event") rather than a final response.
+bool classifyFrame(const std::string &Line, std::string &Id,
+                   std::string &Op, bool &IsEvent) {
+  json::ParseResult Parsed = json::parse(Line);
+  if (!Parsed.Ok || !Parsed.V.isObject())
+    return false;
+  IsEvent = Parsed.V.get("event") != nullptr;
+  if (const json::Value *IdField = Parsed.V.get("id");
+      IdField && IdField->isString())
+    Id = IdField->asString();
+  if (const json::Value *OpField = Parsed.V.get("op");
+      OpField && OpField->isString())
+    Op = OpField->asString();
+  return true;
+}
+
+} // namespace
+
+Status Client::recvResponseFor(const std::string &Id, std::string &Response,
+                               const EventFn &OnEvent,
+                               const std::string &OpFilter) {
+  auto Matches = [&](const std::string &FrameId, const std::string &FrameOp) {
+    if (!Id.empty() && FrameId != Id)
+      return false;
+    return OpFilter.empty() || FrameOp == OpFilter;
+  };
+  for (auto It = Stash.begin(); It != Stash.end(); ++It) {
+    if (Matches(It->Id, It->Op)) {
+      Response = std::move(It->Line);
+      Stash.erase(It);
+      return Status::success();
+    }
+  }
+  while (true) {
+    std::string Line;
+    if (Status S = recvLine(Line); !S.ok())
+      return S;
+    std::string FrameId, FrameOp;
+    bool IsEvent = false;
+    if (!classifyFrame(Line, FrameId, FrameOp, IsEvent))
+      return Status::error(
+          formatString("malformed frame from server: %s", Line.c_str()));
+    if (IsEvent) {
+      if (OnEvent)
+        OnEvent(Line);
+      continue;
+    }
+    if (Matches(FrameId, FrameOp)) {
+      Response = std::move(Line);
+      return Status::success();
+    }
+    Stash.push_back(StashedFinal{std::move(FrameId), std::move(FrameOp),
+                                 std::move(Line)});
+  }
+}
+
 Status Client::request(const std::string &Line, std::string &Response) {
   if (Status S = sendLine(Line); !S.ok())
     return S;
-  return recvLine(Response);
+  return recvResponseFor("", Response);
 }

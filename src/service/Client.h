@@ -5,12 +5,21 @@
 //===----------------------------------------------------------------------===//
 ///
 /// \file
-/// A minimal blocking client for the qlosured Unix-socket protocol, shared
-/// by tools/qlosure-client, the service integration tests, and the
+/// A minimal blocking client for the qlosured Unix-socket protocol v2,
+/// shared by tools/qlosure-client, the service integration tests, and the
 /// bench_service_throughput load generator: connect (optionally retrying
-/// until the daemon is up), send one request line, read one response line.
-/// No background threads, no state beyond the socket — one instance per
-/// connection, usable from any thread but not from several at once.
+/// until the daemon is up), send request lines, read frames.
+///
+/// Since protocol v2 responses arrive out of order and event frames may
+/// interleave, so the client demultiplexes: recvResponseFor() reads
+/// frames until the final response matching a wanted (op, id) appears,
+/// handing event frames to a callback and stashing other requests'
+/// finals for their own recvResponseFor() calls. The v1-style
+/// request()/recvLine() remain for lockstep callers (a connection with
+/// one outstanding request never observes reordering).
+///
+/// No background threads, no locks — one instance per connection, usable
+/// from any thread but not from several at once.
 ///
 //===----------------------------------------------------------------------===//
 
@@ -19,6 +28,8 @@
 
 #include "support/Error.h"
 
+#include <deque>
+#include <functional>
 #include <string>
 
 namespace qlosure {
@@ -27,12 +38,17 @@ namespace service {
 /// One client connection.
 class Client {
 public:
+  /// Invoked by recvResponseFor() with the raw line of each event frame.
+  using EventFn = std::function<void(const std::string &Line)>;
+
   Client() = default;
   ~Client() { close(); }
 
   Client(const Client &) = delete;
   Client &operator=(const Client &) = delete;
-  Client(Client &&Other) noexcept : Fd(Other.Fd), Pending(std::move(Other.Pending)) {
+  Client(Client &&Other) noexcept
+      : Fd(Other.Fd), Pending(std::move(Other.Pending)),
+        Stash(std::move(Other.Stash)) {
     Other.Fd = -1;
   }
 
@@ -47,16 +63,38 @@ public:
   /// Sends \p Line (newline appended).
   Status sendLine(const std::string &Line);
 
-  /// Reads one newline-terminated response into \p Line (newline
-  /// stripped). Fails when the daemon closes the connection first.
+  /// Reads one raw newline-terminated frame into \p Line (newline
+  /// stripped), event or final, skipping the stash. Fails when the
+  /// daemon closes the connection first. Lockstep-era primitive; prefer
+  /// recvResponseFor() on pipelined connections.
   Status recvLine(std::string &Line);
 
-  /// sendLine + recvLine.
+  /// Demultiplexing read: returns the next final response whose "id"
+  /// equals \p Id and (unless \p OpFilter is empty) whose "op" equals
+  /// \p OpFilter. An empty \p Id matches the first final response of any
+  /// correlation. Event frames encountered on the way are passed to
+  /// \p OnEvent (or dropped); finals for other (op, id) pairs are stashed
+  /// and served to the recvResponseFor() call that wants them.
+  Status recvResponseFor(const std::string &Id, std::string &Response,
+                         const EventFn &OnEvent = {},
+                         const std::string &OpFilter = {});
+
+  /// sendLine + recvResponseFor with an empty id: the classic blocking
+  /// round trip, tolerant of stray event frames.
   Status request(const std::string &Line, std::string &Response);
 
 private:
+  struct StashedFinal {
+    std::string Id;
+    std::string Op;
+    std::string Line;
+  };
+
   int Fd = -1;
   std::string Pending; ///< Bytes read past the last returned line.
+  /// Final responses read while waiting for a different (op, id), in
+  /// arrival order.
+  std::deque<StashedFinal> Stash;
 };
 
 } // namespace service

@@ -22,10 +22,13 @@
 ///    re-running the mapper — verified end-to-end by
 ///    bench_service_throughput.
 ///
-/// Concurrency model: keys are striped over independently locked shards,
-/// so unrelated requests never contend. Values are shared_ptr<const T>;
-/// eviction only drops the cache's reference, in-flight readers keep
-/// theirs. A miss builds *outside* the shard lock: concurrent first
+/// Threading/ownership contract: every public member is safe to call
+/// from any thread — keys are striped over independently locked shards,
+/// so unrelated requests never contend. Values are shared_ptr<const T>
+/// and immutable once inserted: the cache owns one reference, every
+/// reader owns its own, and eviction only drops the cache's — in-flight
+/// readers (worker threads mid-route) keep theirs for as long as they
+/// need. A miss builds *outside* the shard lock: concurrent first
 /// requests for one key may build twice, but both builds are deterministic
 /// and the insert keeps the first — simple, and never stalls a shard
 /// behind an expensive build.

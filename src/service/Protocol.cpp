@@ -58,11 +58,28 @@ RequestParse service::parseRequest(const std::string &Line) {
   RequestParse Result;
   Request &Req = Result.Req;
 
+  // Correlation material first: capture the raw op string and the id
+  // before any validation, so every later rejection still carries the
+  // (op, id) pair a pipelined client demultiplexes by.
   const json::Value *OpField = Obj.get("op");
+  if (OpField && OpField->isString())
+    Result.OpName = OpField->asString();
+  auto fail = [&Result](std::string Code,
+                        std::string Message) -> RequestParse & {
+    Result.Ok = false;
+    Result.ErrorCode = std::move(Code);
+    Result.ErrorMessage = std::move(Message);
+    return Result;
+  };
+
+  RequestParse Err;
+  if (!readMember(Obj, "id", false, json::Value::Kind::String, Err,
+                  [&](const json::Value &V) { Req.Id = V.asString(); }))
+    return fail(Err.ErrorCode, Err.ErrorMessage);
+
   if (!OpField || !OpField->isString())
-    return protocolError(errc::BadRequest,
-                         "missing or non-string \"op\" field");
-  const std::string &OpName = OpField->asString();
+    return fail(errc::BadRequest, "missing or non-string \"op\" field");
+  const std::string &OpName = Result.OpName;
   if (OpName == "ping")
     Req.TheOp = Op::Ping;
   else if (OpName == "stats")
@@ -71,14 +88,16 @@ RequestParse service::parseRequest(const std::string &Line) {
     Req.TheOp = Op::Shutdown;
   else if (OpName == "route")
     Req.TheOp = Op::Route;
+  else if (OpName == "cancel")
+    Req.TheOp = Op::Cancel;
   else
-    return protocolError(errc::BadRequest,
-                         formatString("unknown op \"%s\"", OpName.c_str()));
+    return fail(errc::BadRequest,
+                formatString("unknown op \"%s\"", OpName.c_str()));
 
-  RequestParse Err;
-  if (!readMember(Obj, "id", false, json::Value::Kind::String, Err,
-                  [&](const json::Value &V) { Req.Id = V.asString(); }))
-    return Err;
+  if (Req.TheOp == Op::Cancel && Req.Id.empty())
+    return fail(errc::BadRequest,
+                "\"cancel\" requires a non-empty \"id\" naming the "
+                "request to cancel");
 
   if (Req.TheOp != Op::Route) {
     Result.Ok = true;
@@ -88,26 +107,29 @@ RequestParse service::parseRequest(const std::string &Line) {
   RouteRequest &Route = Req.Route;
   if (!readMember(Obj, "qasm", true, json::Value::Kind::String, Err,
                   [&](const json::Value &V) { Route.Qasm = V.asString(); }))
-    return Err;
+    return fail(Err.ErrorCode, Err.ErrorMessage);
   if (!readMember(Obj, "mapper", false, json::Value::Kind::String, Err,
                   [&](const json::Value &V) { Route.Mapper = V.asString(); }))
-    return Err;
+    return fail(Err.ErrorCode, Err.ErrorMessage);
   if (!readMember(Obj, "backend", false, json::Value::Kind::String, Err,
                   [&](const json::Value &V) { Route.Backend = V.asString(); }))
-    return Err;
+    return fail(Err.ErrorCode, Err.ErrorMessage);
   if (!readMember(Obj, "bidirectional", false, json::Value::Kind::Bool, Err,
                   [&](const json::Value &V) {
                     Route.Bidirectional = V.asBool();
                   }))
-    return Err;
+    return fail(Err.ErrorCode, Err.ErrorMessage);
   if (!readMember(Obj, "error_aware", false, json::Value::Kind::Bool, Err,
                   [&](const json::Value &V) { Route.ErrorAware = V.asBool(); }))
-    return Err;
+    return fail(Err.ErrorCode, Err.ErrorMessage);
   if (!readMember(Obj, "include_qasm", false, json::Value::Kind::Bool, Err,
                   [&](const json::Value &V) {
                     Route.IncludeQasm = V.asBool();
                   }))
-    return Err;
+    return fail(Err.ErrorCode, Err.ErrorMessage);
+  if (!readMember(Obj, "progress", false, json::Value::Kind::Bool, Err,
+                  [&](const json::Value &V) { Route.Progress = V.asBool(); }))
+    return fail(Err.ErrorCode, Err.ErrorMessage);
   bool NumbersOk = true;
   if (!readMember(Obj, "calibration", false, json::Value::Kind::Number, Err,
                   [&](const json::Value &V) {
@@ -121,16 +143,15 @@ RequestParse service::parseRequest(const std::string &Line) {
                     else
                       Route.CalibrationSeed = static_cast<uint64_t>(N);
                   }))
-    return Err;
+    return fail(Err.ErrorCode, Err.ErrorMessage);
   if (!NumbersOk)
-    return protocolError(
-        errc::BadRequest,
-        "\"calibration\" must be a non-negative integer <= 2^53");
+    return fail(errc::BadRequest,
+                "\"calibration\" must be a non-negative integer <= 2^53");
   if (!readMember(Obj, "timeout_ms", false, json::Value::Kind::Number, Err,
                   [&](const json::Value &V) {
                     Route.TimeoutMs = V.asNumber();
                   }))
-    return Err;
+    return fail(Err.ErrorCode, Err.ErrorMessage);
 
   Result.Ok = true;
   return Result;
@@ -165,7 +186,9 @@ json::Value responseHead(const char *Op, const std::string &Id, bool Ok) {
 } // namespace
 
 std::string service::formatPingResponse(const std::string &Id) {
-  return responseHead("ping", Id, true).dump();
+  json::Value Obj = responseHead("ping", Id, true);
+  Obj.set("protocol", ProtocolVersion);
+  return Obj.dump();
 }
 
 std::string service::formatErrorResponse(const char *Op,
@@ -207,5 +230,24 @@ std::string service::formatStatsResponse(const std::string &Id,
 std::string service::formatShutdownResponse(const std::string &Id) {
   json::Value Obj = responseHead("shutdown", Id, true);
   Obj.set("stopping", true);
+  return Obj.dump();
+}
+
+std::string service::formatCancelResponse(const std::string &Id,
+                                          bool Delivered) {
+  json::Value Obj = responseHead("cancel", Id, true);
+  Obj.set("cancelled", Delivered);
+  return Obj.dump();
+}
+
+std::string service::formatProgressEvent(const std::string &Id, size_t Done,
+                                         size_t Total) {
+  json::Value Obj = json::Value::object();
+  Obj.set("event", "progress");
+  Obj.set("op", "route");
+  if (!Id.empty())
+    Obj.set("id", Id);
+  Obj.set("done", Done);
+  Obj.set("total", Total);
   return Obj.dump();
 }

@@ -5,7 +5,7 @@
 //===----------------------------------------------------------------------===//
 ///
 /// \file
-/// The newline-delimited JSON protocol spoken over the qlosured Unix
+/// The newline-delimited JSON protocol (v2) spoken over the qlosured Unix
 /// socket: one JSON object per line in each direction. See
 /// docs/PROTOCOL.md for the normative schema; the short form:
 ///
@@ -14,11 +14,21 @@
 ///   -> {"op":"shutdown"}
 ///   -> {"op":"route","qasm":"...","mapper":"qlosure","backend":
 ///       "sherbrooke","bidirectional":false,"error_aware":false,
-///       "calibration":1,"include_qasm":true,"timeout_ms":30000,"id":"r1"}
+///       "calibration":1,"include_qasm":true,"timeout_ms":30000,
+///       "progress":false,"id":"r1"}
+///   -> {"op":"cancel","id":"r1"}
 ///   <- {"ok":true,"op":"route","id":"r1","stats":{...},"cache_hit":true,
 ///       "context_cache_hit":true,"result_cache_hit":false,"qasm":"..."}
-///   <- {"ok":false,"op":"route","error":{"code":"bad_qasm",
+///   <- {"ok":false,"op":"route","id":"r1","error":{"code":"cancelled",
 ///       "message":"..."}}
+///   <- {"ok":true,"op":"cancel","id":"r1","cancelled":true}
+///   <- {"event":"progress","op":"route","id":"r1","done":512,
+///       "total":38469}
+///
+/// Since v2 the stream is **asynchronous**: responses on one connection
+/// may arrive in any order (correlate by the (op, id) pair) and event
+/// frames — objects carrying "event" instead of "ok" — may interleave
+/// anywhere. Every request still gets exactly one final response.
 ///
 /// Every malformed input maps to a structured error response with a
 /// stable machine-readable code; the daemon never crashes or drops a
@@ -49,11 +59,16 @@ inline constexpr const char *InvalidCircuit = "invalid_circuit";
 inline constexpr const char *VerifyFailed = "verify_failed";
 inline constexpr const char *QueueFull = "queue_full";
 inline constexpr const char *DeadlineExceeded = "deadline_exceeded";
+inline constexpr const char *Cancelled = "cancelled";
 inline constexpr const char *ShuttingDown = "shutting_down";
 } // namespace errc
 
+/// The protocol revision reported by `ping` responses. v2 added
+/// out-of-order responses, the `cancel` op, and `progress` events.
+inline constexpr int ProtocolVersion = 2;
+
 /// Request operation.
-enum class Op : uint8_t { Ping, Stats, Shutdown, Route };
+enum class Op : uint8_t { Ping, Stats, Shutdown, Route, Cancel };
 
 /// A parsed `route` request.
 struct RouteRequest {
@@ -69,22 +84,34 @@ struct RouteRequest {
   /// Per-request deadline in milliseconds from arrival; <= 0 means the
   /// server default applies.
   double TimeoutMs = 0;
+  /// Stream `progress` events while this request routes (requires an
+  /// `id`; ignored otherwise).
+  bool Progress = false;
 };
 
 /// A parsed request of any op.
 struct Request {
   Op TheOp = Op::Ping;
   /// Client-chosen correlation id, echoed verbatim in the response
-  /// (empty = omitted).
+  /// (empty = omitted). Required for `cancel`, where it names the target
+  /// request; a `route` needs one to be cancellable or to stream
+  /// progress.
   std::string Id;
   RouteRequest Route;
 };
 
 /// Outcome of parseRequest: Ok, or a protocol error (code + message) the
-/// caller turns into an error response.
+/// caller turns into an error response. On errors, whatever correlation
+/// material was already parsed survives — Req.Id and OpName — so the
+/// rejection frame stays demultiplexable by (op, id) whenever the
+/// request carried them (a line that fails JSON parsing has neither).
 struct RequestParse {
   bool Ok = false;
   Request Req;
+  /// The request's raw "op" string when one was readable (even an
+  /// unknown one); empty means the caller should respond with op
+  /// "unknown".
+  std::string OpName;
   std::string ErrorCode;
   std::string ErrorMessage;
 };
@@ -128,6 +155,14 @@ std::string formatRouteResponse(const std::string &Id,
 std::string formatStatsResponse(const std::string &Id,
                                 const json::Value &Body);
 std::string formatShutdownResponse(const std::string &Id);
+/// Ack of a `cancel` op: \p Delivered reports whether the cancellation
+/// reached a still-live job (queued or running). The target request's own
+/// final response (the `cancelled` error, or a success that won the race)
+/// arrives separately.
+std::string formatCancelResponse(const std::string &Id, bool Delivered);
+/// A `progress` event frame (not a response: carries "event", no "ok").
+std::string formatProgressEvent(const std::string &Id, size_t Done,
+                                size_t Total);
 
 } // namespace service
 } // namespace qlosure

@@ -23,18 +23,43 @@ Scheduler::Scheduler(SchedulerOptions Options)
 
 Scheduler::~Scheduler() { shutdown(); }
 
-bool Scheduler::trySubmit(SchedulerJob Job) {
+std::shared_ptr<JobTicket>
+Scheduler::trySubmit(SchedulerJob Job, std::shared_ptr<JobTicket> Ticket) {
+  if (!Ticket)
+    Ticket = std::make_shared<JobTicket>();
+  // Arm the deadline before the job is visible to any worker or
+  // canceller; the queue mutex publishes it.
+  Ticket->Token.setDeadline(Job.Deadline);
   {
     std::lock_guard<std::mutex> Lock(Mu);
     if (ShuttingDown || Queue.size() >= Capacity) {
       ++Rejected;
-      return false;
+      return nullptr;
     }
-    Queue.push_back(std::move(Job));
+    Queue.push_back(QueuedJob{std::move(Job), Ticket});
     ++Submitted;
   }
   QueueCv.notify_one();
-  return true;
+  return Ticket;
+}
+
+JobTicket::State Scheduler::cancel(const std::shared_ptr<JobTicket> &Ticket) {
+  if (!Ticket)
+    return JobTicket::State::Done; // Rejected submissions have no job.
+  JobTicket::State Prev = Ticket->cancel();
+  if (Prev != JobTicket::State::Queued)
+    return Prev;
+  std::lock_guard<std::mutex> Lock(Mu);
+  for (auto It = Queue.begin(); It != Queue.end(); ++It) {
+    if (It->Ticket == Ticket) {
+      Queue.erase(It);
+      ++Cancelled;
+      return Prev;
+    }
+  }
+  // A worker popped the entry before we took the lock; its discard path
+  // (the failed Running claim) accounts for the job instead.
+  return Prev;
 }
 
 void Scheduler::shutdown() {
@@ -57,6 +82,7 @@ SchedulerStats Scheduler::stats() const {
   S.Completed = Completed;
   S.Expired = Expired;
   S.Rejected = Rejected;
+  S.Cancelled = Cancelled;
   S.QueueDepth = Queue.size();
   S.Workers = static_cast<unsigned>(Pool.size());
   return S;
@@ -68,22 +94,32 @@ void Scheduler::workerLoop() {
   // BatchRunner discipline; see RoutingScratch.h).
   RoutingScratch Scratch;
   while (true) {
-    SchedulerJob Job;
+    QueuedJob Entry;
     {
       std::unique_lock<std::mutex> Lock(Mu);
       QueueCv.wait(Lock, [this] { return ShuttingDown || !Queue.empty(); });
       if (Queue.empty())
         return; // Shutting down and drained.
-      Job = std::move(Queue.front());
+      Entry = std::move(Queue.front());
       Queue.pop_front();
     }
-    bool IsExpired = std::chrono::steady_clock::now() >= Job.Deadline;
-    if (IsExpired) {
-      if (Job.OnExpired)
-        Job.OnExpired();
-    } else if (Job.Run) {
-      Job.Run(Scratch);
+    // Claim the job. Losing this race means a canceller unqueued it (and
+    // owns reporting): discard silently.
+    uint8_t Expected = static_cast<uint8_t>(JobTicket::State::Queued);
+    if (!Entry.Ticket->St.compare_exchange_strong(
+            Expected, static_cast<uint8_t>(JobTicket::State::Running))) {
+      std::lock_guard<std::mutex> Lock(Mu);
+      ++Cancelled;
+      continue;
     }
+    bool IsExpired = std::chrono::steady_clock::now() >= Entry.Job.Deadline;
+    if (IsExpired) {
+      if (Entry.Job.OnExpired)
+        Entry.Job.OnExpired();
+    } else if (Entry.Job.Run) {
+      Entry.Job.Run(Scratch, Entry.Ticket->Token);
+    }
+    Entry.Ticket->St.store(static_cast<uint8_t>(JobTicket::State::Done));
     {
       std::lock_guard<std::mutex> Lock(Mu);
       if (IsExpired)

@@ -11,22 +11,39 @@
 /// discipline BatchRunner uses, so every routing job runs on warm,
 /// allocation-free kernel buffers.
 ///
-/// Backpressure is explicit: trySubmit() never blocks; when the queue is
-/// at capacity (or the scheduler is shutting down) it returns false and
-/// the caller reports `queue_full` / `shutting_down` upstream instead of
-/// wedging a connection. Each job carries an optional deadline; a job
-/// whose deadline has passed by the time a worker picks it up is not run —
-/// its OnExpired callback fires instead, so the waiting client still gets
-/// a structured `deadline_exceeded` response rather than silence.
+/// Jobs are fire-and-forget: Run receives the worker's scratch plus the
+/// job's CancellationToken and reports its outcome itself (in qlosured,
+/// by writing a response frame through the owning connection's writer).
+/// trySubmit() returns a shared JobTicket — the cancellation handle.
+/// Scheduler::cancel(ticket) either (a) atomically claims a
+/// not-yet-started job away from the workers and removes it from the
+/// queue — it never runs, frees its capacity slot immediately, and the
+/// canceller owns reporting — or (b) fires the token of a running job,
+/// which the routing kernels poll once per front-layer step, so even a
+/// deep in-flight route aborts within one step and reports through its
+/// own completion path. The job's deadline
+/// is armed on the token at submission, which is what enforces deadlines
+/// *mid-route* rather than only at pickup.
 ///
-/// shutdown() is graceful: submissions stop, queued jobs drain, workers
-/// join. It is idempotent and also runs from the destructor.
+/// Backpressure is explicit: trySubmit() never blocks; when the queue is
+/// at capacity (or the scheduler is shutting down) it returns nullptr and
+/// the caller reports `queue_full` / `shutting_down` upstream instead of
+/// wedging a connection. A job whose deadline has already passed when a
+/// worker picks it up is not run — its OnExpired callback fires instead.
+/// Exactly one of {Run, OnExpired, silent cancelled discard} happens per
+/// submitted job.
+///
+/// Threading/ownership: every public member is thread-safe. Callbacks run
+/// on worker threads and must not call back into shutdown(). shutdown()
+/// is graceful — submissions stop, queued jobs drain, workers join — and
+/// is idempotent (the destructor runs it too).
 ///
 //===----------------------------------------------------------------------===//
 
 #ifndef QLOSURE_SERVICE_SCHEDULER_H
 #define QLOSURE_SERVICE_SCHEDULER_H
 
+#include "route/Cancellation.h"
 #include "route/RoutingScratch.h"
 
 #include <chrono>
@@ -34,6 +51,7 @@
 #include <cstdint>
 #include <deque>
 #include <functional>
+#include <memory>
 #include <mutex>
 #include <thread>
 #include <vector>
@@ -50,14 +68,56 @@ struct SchedulerOptions {
   size_t QueueCapacity = 256;
 };
 
-/// One unit of work. Run executes on a worker with that worker's scratch;
-/// OnExpired (optional) executes instead when Deadline passed before the
-/// job was picked up. Exactly one of the two callbacks runs per job.
+/// One unit of work. Run executes on a worker with that worker's scratch
+/// and this job's cancellation token (deadline pre-armed; Run may install
+/// a progress sink before routing); OnExpired (optional) executes instead
+/// when Deadline passed before the job was picked up; neither runs when
+/// the job was cancelled while still queued.
 struct SchedulerJob {
-  std::function<void(RoutingScratch &)> Run;
+  std::function<void(RoutingScratch &, CancellationToken &)> Run;
   std::function<void()> OnExpired;
   std::chrono::steady_clock::time_point Deadline =
       std::chrono::steady_clock::time_point::max();
+};
+
+/// The shared per-job cancellation handle returned by trySubmit(). The
+/// submitter keeps it to serve `cancel` requests; the queue keeps a
+/// reference until the job leaves the scheduler.
+class JobTicket {
+public:
+  enum class State : uint8_t {
+    Queued,
+    Running,
+    CancelledWhileQueued,
+    Done,
+  };
+
+  /// Requests cancellation and returns the state the job was in when the
+  /// request took effect:
+  ///  * Queued — the job is atomically claimed away from the workers and
+  ///    will never run; the caller owns reporting its demise. Prefer
+  ///    Scheduler::cancel(), which additionally removes the dead entry
+  ///    from the queue so it stops occupying capacity.
+  ///  * Running — the token is signalled; the job aborts at its next poll
+  ///    and reports through its own completion path.
+  ///  * Done / CancelledWhileQueued — too late / already cancelled;
+  ///    nothing changed.
+  State cancel() {
+    Token.cancel();
+    uint8_t Expected = static_cast<uint8_t>(State::Queued);
+    if (St.compare_exchange_strong(
+            Expected, static_cast<uint8_t>(State::CancelledWhileQueued)))
+      return State::Queued;
+    return static_cast<State>(Expected);
+  }
+
+  State state() const { return static_cast<State>(St.load()); }
+  const CancellationToken &token() const { return Token; }
+
+private:
+  friend class Scheduler;
+  CancellationToken Token;
+  std::atomic<uint8_t> St{static_cast<uint8_t>(State::Queued)};
 };
 
 /// Aggregate counters.
@@ -66,6 +126,9 @@ struct SchedulerStats {
   uint64_t Completed = 0;
   uint64_t Expired = 0;
   uint64_t Rejected = 0;
+  /// Jobs cancelled while still queued (discarded unrun). Jobs cancelled
+  /// mid-run count as Completed — they did run, just not to completion.
+  uint64_t Cancelled = 0;
   uint64_t QueueDepth = 0;
   unsigned Workers = 0;
 };
@@ -79,9 +142,22 @@ public:
   Scheduler(const Scheduler &) = delete;
   Scheduler &operator=(const Scheduler &) = delete;
 
-  /// Enqueues \p Job; returns false (without running any callback) when
-  /// the queue is full or shutdown() has begun.
-  bool trySubmit(SchedulerJob Job);
+  /// Enqueues \p Job and returns its cancellation ticket, or nullptr
+  /// (without running any callback) when the queue is full or shutdown()
+  /// has begun. The job's Deadline is armed on the ticket's token here,
+  /// before any worker can observe it. \p Ticket, when provided, must be
+  /// fresh (state Queued, never submitted) — it lets a caller register
+  /// the handle somewhere *before* the job can possibly complete; by
+  /// default a new ticket is created.
+  std::shared_ptr<JobTicket>
+  trySubmit(SchedulerJob Job, std::shared_ptr<JobTicket> Ticket = nullptr);
+
+  /// Cancels \p Ticket's job: JobTicket::cancel() plus, when the job was
+  /// still queued, removal of its entry from the queue — so a cancelled
+  /// job frees its capacity slot (and drops its closure's captures)
+  /// immediately instead of lingering as a tombstone until a worker pops
+  /// it. Returns what JobTicket::cancel() returned.
+  JobTicket::State cancel(const std::shared_ptr<JobTicket> &Ticket);
 
   /// Stops accepting jobs, drains the queue, joins all workers.
   void shutdown();
@@ -90,17 +166,23 @@ public:
   unsigned workers() const { return stats().Workers; }
 
 private:
+  struct QueuedJob {
+    SchedulerJob Job;
+    std::shared_ptr<JobTicket> Ticket;
+  };
+
   void workerLoop();
 
   mutable std::mutex Mu;
   std::condition_variable QueueCv;
-  std::deque<SchedulerJob> Queue;
+  std::deque<QueuedJob> Queue;
   std::vector<std::thread> Pool;
   bool ShuttingDown = false;
   uint64_t Submitted = 0;
   uint64_t Completed = 0;
   uint64_t Expired = 0;
   uint64_t Rejected = 0;
+  uint64_t Cancelled = 0;
   size_t Capacity;
 };
 

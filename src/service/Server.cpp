@@ -20,9 +20,9 @@
 #include <algorithm>
 #include <cerrno>
 #include <cstring>
-#include <future>
 
 #include <sys/socket.h>
+#include <sys/time.h>
 #include <sys/un.h>
 #include <unistd.h>
 
@@ -69,7 +69,87 @@ json::Value cacheStatsJson(const CacheStats &S, size_t ByteBudget) {
   return Obj;
 }
 
+/// Maps a fired token to its protocol error (code, message).
+std::pair<const char *, const char *>
+cancellationError(const CancellationToken &Token) {
+  if (Token.reason() == CancellationToken::Reason::DeadlineExceeded)
+    return {errc::DeadlineExceeded, "deadline expired mid-route"};
+  return {errc::Cancelled, "request cancelled"};
+}
+
 } // namespace
+
+//===----------------------------------------------------------------------===//
+// Connection: the shared per-connection writer + in-flight job table
+//===----------------------------------------------------------------------===//
+
+/// Shared between the connection thread (reads, inline responses,
+/// cancels) and any workers running this connection's jobs (final
+/// responses, progress events). The writer mutex serializes frames so
+/// concurrent completions interleave whole lines, never bytes. The fd
+/// closes with the last shared_ptr, so a worker finishing after the
+/// reader exited can never write into a recycled descriptor.
+struct Server::Connection {
+  explicit Connection(int FdIn) : Fd(FdIn) {}
+  ~Connection() { ::close(Fd); }
+  Connection(const Connection &) = delete;
+  Connection &operator=(const Connection &) = delete;
+
+  const int Fd;
+
+  /// Writes one frame (newline appended). Returns false once the peer is
+  /// gone or the reader marked the connection closed; failures latch, so
+  /// late completions degrade to cheap no-ops. The 30 s cumulative bound
+  /// (on top of the per-send SO_SNDTIMEO) means a slow-dripping reader
+  /// cannot pin the writing thread past one frame's worth of patience.
+  bool send(const std::string &Line) {
+    std::lock_guard<std::mutex> Lock(WriteMu);
+    if (Closed)
+      return false;
+    if (!sendAll(Fd, Line + "\n", /*MaxSeconds=*/30.0)) {
+      Closed = true;
+      return false;
+    }
+    return true;
+  }
+
+  bool alive() {
+    std::lock_guard<std::mutex> Lock(WriteMu);
+    return !Closed;
+  }
+
+  /// Called by the connection thread on exit: no further frames go out.
+  void markClosed() {
+    std::lock_guard<std::mutex> Lock(WriteMu);
+    Closed = true;
+  }
+
+  /// In-flight cancellable routes by id. Only the owning connection
+  /// thread inserts (ids are connection-scoped and requests on one
+  /// connection are read serially); workers erase on completion, so the
+  /// mutex arbitrates insert/lookup against that erase.
+  std::mutex JobsMu;
+  std::map<std::string, std::shared_ptr<JobTicket>> InFlight;
+
+  /// The single release point of the in-flight table: every completion
+  /// path (success, error, expiry, queued-cancel, submit failure) frees
+  /// the id here, *before* its final frame is written, so a client that
+  /// has read the final response may immediately reuse the id.
+  void releaseJob(const std::string &Id) {
+    if (Id.empty())
+      return;
+    std::lock_guard<std::mutex> Lock(JobsMu);
+    InFlight.erase(Id);
+  }
+
+private:
+  std::mutex WriteMu;
+  bool Closed = false;
+};
+
+//===----------------------------------------------------------------------===//
+// Lifecycle
+//===----------------------------------------------------------------------===//
 
 Server::Server(ServerOptions Options)
     : Options(std::move(Options)),
@@ -177,18 +257,20 @@ void Server::teardown() {
   if (AcceptThread.joinable())
     AcceptThread.join();
 
-  // Unblock every connection read; handlers then drain their in-flight
-  // responses and exit.
-  {
-    std::lock_guard<std::mutex> Lock(ConnMu);
-    for (int Fd : ConnFds)
-      if (Fd >= 0)
-        ::shutdown(Fd, SHUT_RDWR);
-  }
-  // Drain queued jobs so every pending route request gets its response
-  // before the connection threads are joined.
+  // Drain the scheduler FIRST, while every connection's write side is
+  // still intact: each pending route reaches its completion path and its
+  // final response actually reaches the client — the exactly-one-final-
+  // response guarantee holds across shutdown. New submissions are
+  // already rejected (Stopping answers shutting_down). Only then sever
+  // the connections to unblock their readers.
   if (Workers)
     Workers->shutdown();
+  {
+    std::lock_guard<std::mutex> Lock(ConnMu);
+    for (const std::shared_ptr<Connection> &Conn : Conns)
+      if (Conn)
+        ::shutdown(Conn->Fd, SHUT_RDWR);
+  }
   std::vector<std::thread> ToJoin;
   {
     std::lock_guard<std::mutex> Lock(ConnMu);
@@ -200,6 +282,10 @@ void Server::teardown() {
 
   ::unlink(Options.SocketPath.c_str());
 }
+
+//===----------------------------------------------------------------------===//
+// Accept + connection loops
+//===----------------------------------------------------------------------===//
 
 void Server::acceptLoop() {
   while (!Stopping.load()) {
@@ -213,9 +299,18 @@ void Server::acceptLoop() {
       ::close(Fd);
       return;
     }
+    // Responses are written by worker threads: a peer that stops reading
+    // while we owe it data must not pin a worker (or the writer mutex)
+    // forever. Bound every blocking send; a timed-out send fails and
+    // latches the connection closed — the peer is treated as gone.
+    timeval SendTimeout{};
+    SendTimeout.tv_sec = 10;
+    ::setsockopt(Fd, SOL_SOCKET, SO_SNDTIMEO, &SendTimeout,
+                 sizeof(SendTimeout));
+    auto Conn = std::make_shared<Connection>(Fd);
     std::lock_guard<std::mutex> Lock(ConnMu);
     // Reap connections that finished since the last accept: join their
-    // threads (they have already vacated their fd slot, so join returns
+    // threads (they have already vacated their slot, so join returns
     // promptly) and recycle the slots.
     for (size_t Finished : FinishedSlots) {
       if (ConnThreads[Finished].joinable())
@@ -228,14 +323,14 @@ void Server::acceptLoop() {
     if (!FreeSlots.empty()) {
       Slot = FreeSlots.back();
       FreeSlots.pop_back();
-      ConnFds[Slot] = Fd;
+      Conns[Slot] = Conn;
       ConnThreads[Slot] =
-          std::thread([this, Fd, Slot] { connectionLoop(Fd, Slot); });
+          std::thread([this, Conn, Slot] { connectionLoop(Conn, Slot); });
     } else {
-      Slot = ConnFds.size();
-      ConnFds.push_back(Fd);
+      Slot = Conns.size();
+      Conns.push_back(Conn);
       ConnThreads.emplace_back(
-          [this, Fd, Slot] { connectionLoop(Fd, Slot); });
+          [this, Conn, Slot] { connectionLoop(Conn, Slot); });
     }
     {
       std::lock_guard<std::mutex> CounterLock(CounterMu);
@@ -244,12 +339,12 @@ void Server::acceptLoop() {
   }
 }
 
-void Server::connectionLoop(int Fd, size_t Slot) {
+void Server::connectionLoop(std::shared_ptr<Connection> Conn, size_t Slot) {
   std::string Pending;
   char Buffer[65536];
   bool Alive = true;
   while (Alive) {
-    ssize_t N = ::recv(Fd, Buffer, sizeof(Buffer), 0);
+    ssize_t N = ::recv(Conn->Fd, Buffer, sizeof(Buffer), 0);
     if (N < 0 && errno == EINTR)
       continue;
     if (N <= 0)
@@ -257,9 +352,8 @@ void Server::connectionLoop(int Fd, size_t Slot) {
     Pending.append(Buffer, static_cast<size_t>(N));
     if (Pending.size() > Options.MaxRequestBytes &&
         Pending.find('\n') == std::string::npos) {
-      sendAll(Fd, formatErrorResponse("unknown", "", errc::BadRequest,
-                                      "request line too large") +
-                      "\n");
+      sendError(*Conn, "unknown", "", errc::BadRequest,
+                "request line too large");
       break;
     }
     std::string Line;
@@ -267,60 +361,127 @@ void Server::connectionLoop(int Fd, size_t Slot) {
       if (Line.empty())
         continue;
       bool StopAfterSend = false;
-      std::string Response = handleLine(Line, StopAfterSend);
-      if (!sendAll(Fd, Response + "\n")) {
-        Alive = false;
-        break;
-      }
+      handleLine(Conn, Line, StopAfterSend);
       if (StopAfterSend)
         requestStop();
+      if (!Conn->alive())
+        Alive = false;
     }
   }
-  // Vacate this connection's slot *before* closing, under the same lock
-  // teardown() iterates under: once the kernel may reuse the fd number
-  // for a new accept, no stale slot can alias it, so teardown never
-  // shutdown()s the wrong connection (or misses a live one). Reporting
-  // the slot as finished lets the accept loop join this thread and
-  // recycle the slot.
+  // No frame may go out after the reader exits: in-flight completions
+  // degrade to no-ops (their job-table entries still clear normally).
+  Conn->markClosed();
+  // Nothing can read this connection's outcomes anymore, so abort its
+  // queued and in-flight jobs instead of letting workers spend minutes
+  // routing into a latched-closed writer (a dropped pipelined connection
+  // could otherwise pin the whole pool on dead work).
+  std::vector<std::shared_ptr<JobTicket>> Orphans;
+  {
+    std::lock_guard<std::mutex> Lock(Conn->JobsMu);
+    for (const auto &Entry : Conn->InFlight)
+      Orphans.push_back(Entry.second);
+  }
+  for (const std::shared_ptr<JobTicket> &Ticket : Orphans)
+    Workers->cancel(Ticket);
+  // Vacate the slot under the same lock teardown() iterates under, then
+  // report it finished so the accept loop joins this thread and recycles
+  // it. The Connection object itself lives on until the last in-flight
+  // job drops its reference — which is what keeps the fd from being
+  // recycled under a late writer.
   std::lock_guard<std::mutex> Lock(ConnMu);
-  ConnFds[Slot] = -1;
-  ::close(Fd);
+  Conns[Slot] = nullptr;
   FinishedSlots.push_back(Slot);
 }
 
-std::string Server::handleLine(const std::string &Line,
-                               bool &StopAfterSend) {
+//===----------------------------------------------------------------------===//
+// Request handling
+//===----------------------------------------------------------------------===//
+
+void Server::sendError(Connection &Conn, const char *Op,
+                       const std::string &Id, const char *Code,
+                       const std::string &Message) {
+  {
+    std::lock_guard<std::mutex> Lock(CounterMu);
+    ++Counters.Errors;
+  }
+  Conn.send(formatErrorResponse(Op, Id, Code, Message));
+}
+
+void Server::handleLine(const std::shared_ptr<Connection> &Conn,
+                        const std::string &Line, bool &StopAfterSend) {
   {
     std::lock_guard<std::mutex> Lock(CounterMu);
     ++Counters.Requests;
   }
   RequestParse Parsed = parseRequest(Line);
   if (!Parsed.Ok) {
-    std::lock_guard<std::mutex> Lock(CounterMu);
-    ++Counters.Errors;
-    return formatErrorResponse("unknown", "", Parsed.ErrorCode,
-                               Parsed.ErrorMessage);
+    // Rejections stay correlatable: whatever (op, id) the request
+    // carried was captured before validation failed.
+    sendError(*Conn,
+              Parsed.OpName.empty() ? "unknown" : Parsed.OpName.c_str(),
+              Parsed.Req.Id, Parsed.ErrorCode.c_str(),
+              Parsed.ErrorMessage);
+    return;
   }
   const Request &Req = Parsed.Req;
   switch (Req.TheOp) {
   case Op::Ping:
-    return formatPingResponse(Req.Id);
+    Conn->send(formatPingResponse(Req.Id));
+    return;
   case Op::Stats:
-    return formatStatsResponse(Req.Id, statsJson());
+    Conn->send(formatStatsResponse(Req.Id, statsJson()));
+    return;
   case Op::Shutdown:
     StopAfterSend = true;
-    return formatShutdownResponse(Req.Id);
-  case Op::Route: {
-    std::string Response = handleRoute(Req);
-    if (Response.find("\"ok\":false") != std::string::npos) {
-      std::lock_guard<std::mutex> Lock(CounterMu);
-      ++Counters.Errors;
-    }
-    return Response;
+    Conn->send(formatShutdownResponse(Req.Id));
+    return;
+  case Op::Cancel:
+    handleCancel(Conn, Req);
+    return;
+  case Op::Route:
+    handleRoute(Conn, Req);
+    return;
   }
+  sendError(*Conn, "unknown", Req.Id, errc::BadRequest, "unhandled op");
+}
+
+void Server::handleCancel(const std::shared_ptr<Connection> &Conn,
+                          const Request &Req) {
+  {
+    std::lock_guard<std::mutex> Lock(CounterMu);
+    ++Counters.CancelRequests;
   }
-  return formatErrorResponse("unknown", Req.Id, errc::BadRequest,
-                             "unhandled op");
+  std::shared_ptr<JobTicket> Ticket;
+  {
+    std::lock_guard<std::mutex> Lock(Conn->JobsMu);
+    auto It = Conn->InFlight.find(Req.Id);
+    if (It != Conn->InFlight.end())
+      Ticket = It->second;
+  }
+  if (!Ticket) {
+    // Unknown or already finished: idempotent no-op ack.
+    Conn->send(formatCancelResponse(Req.Id, false));
+    return;
+  }
+  switch (Workers->cancel(Ticket)) {
+  case JobTicket::State::Queued: {
+    // Unqueued before it ever ran: this thread owns reporting.
+    Conn->releaseJob(Req.Id);
+    Conn->send(formatCancelResponse(Req.Id, true));
+    sendError(*Conn, "route", Req.Id, errc::Cancelled,
+              "request cancelled while queued");
+    return;
+  }
+  case JobTicket::State::Running:
+    // Token signalled; the job aborts at its next poll and reports
+    // through its own completion path.
+    Conn->send(formatCancelResponse(Req.Id, true));
+    return;
+  case JobTicket::State::CancelledWhileQueued:
+  case JobTicket::State::Done:
+    Conn->send(formatCancelResponse(Req.Id, false));
+    return;
+  }
 }
 
 std::shared_ptr<const Server::PooledBackend>
@@ -360,39 +521,56 @@ Server::lookupBackend(const std::string &Name, bool ErrorAware,
   return Pooled;
 }
 
-std::string Server::handleRoute(const Request &Req) {
+void Server::handleRoute(const std::shared_ptr<Connection> &Conn,
+                         const Request &Req) {
   const RouteRequest &Route = Req.Route;
   {
     std::lock_guard<std::mutex> Lock(CounterMu);
     ++Counters.RouteRequests;
   }
-  if (Stopping.load())
-    return formatErrorResponse("route", Req.Id, errc::ShuttingDown,
-                               "server is shutting down");
+  if (Stopping.load()) {
+    sendError(*Conn, "route", Req.Id, errc::ShuttingDown,
+              "server is shutting down");
+    return;
+  }
+  if (!Req.Id.empty()) {
+    std::lock_guard<std::mutex> Lock(Conn->JobsMu);
+    if (Conn->InFlight.count(Req.Id)) {
+      sendError(*Conn, "route", Req.Id, errc::BadRequest,
+                formatString("id \"%s\" is already in flight on this "
+                             "connection",
+                             Req.Id.c_str()));
+      return;
+    }
+  }
   if (!isKnown(KnownMappers, sizeof(KnownMappers) / sizeof(KnownMappers[0]),
-               Route.Mapper))
-    return formatErrorResponse(
-        "route", Req.Id, errc::UnknownMapper,
-        formatString("unknown mapper \"%s\"", Route.Mapper.c_str()));
+               Route.Mapper)) {
+    sendError(*Conn, "route", Req.Id, errc::UnknownMapper,
+              formatString("unknown mapper \"%s\"", Route.Mapper.c_str()));
+    return;
+  }
   std::shared_ptr<const PooledBackend> Backend =
       lookupBackend(Route.Backend, Route.ErrorAware, Route.CalibrationSeed);
-  if (!Backend)
-    return formatErrorResponse(
-        "route", Req.Id, errc::UnknownBackend,
-        formatString("unknown backend \"%s\"", Route.Backend.c_str()));
+  if (!Backend) {
+    sendError(*Conn, "route", Req.Id, errc::UnknownBackend,
+              formatString("unknown backend \"%s\"", Route.Backend.c_str()));
+    return;
+  }
 
   qasm::ImportResult Imported = qasm::importQasm(Route.Qasm, "request");
-  if (!Imported.succeeded())
-    return formatErrorResponse("route", Req.Id, errc::BadQasm,
-                               Imported.Error);
+  if (!Imported.succeeded()) {
+    sendError(*Conn, "route", Req.Id, errc::BadQasm, Imported.Error);
+    return;
+  }
   auto Logical = std::make_shared<Circuit>(
       Imported.Circ->withoutNonUnitaries().decomposeThreeQubitGates());
-  if (Logical->numQubits() > Backend->Graph->numQubits())
-    return formatErrorResponse(
-        "route", Req.Id, errc::TooLarge,
-        formatString("circuit has %u qubits but %s only has %u",
-                     Logical->numQubits(), Route.Backend.c_str(),
-                     Backend->Graph->numQubits()));
+  if (Logical->numQubits() > Backend->Graph->numQubits()) {
+    sendError(*Conn, "route", Req.Id, errc::TooLarge,
+              formatString("circuit has %u qubits but %s only has %u",
+                           Logical->numQubits(), Route.Backend.c_str(),
+                           Backend->Graph->numQubits()));
+    return;
+  }
 
   uint64_t CircuitFp = fingerprint(*Logical);
   uint64_t MapperConfigFp = hashCombine(
@@ -411,10 +589,12 @@ std::string Server::handleRoute(const Request &Req) {
     Stats.TimedOut = Cached->TimedOut;
     Stats.Verified = Cached->Verified;
     Stats.SuccessProbability = Cached->SuccessProbability;
-    return formatRouteResponse(Req.Id, Route.Mapper, Route.Backend, Stats,
-                               /*ContextCacheHit=*/false,
-                               /*ResultCacheHit=*/true, Cached->RoutedQasm,
-                               Route.IncludeQasm);
+    Conn->send(formatRouteResponse(Req.Id, Route.Mapper, Route.Backend,
+                                   Stats,
+                                   /*ContextCacheHit=*/false,
+                                   /*ResultCacheHit=*/true,
+                                   Cached->RoutedQasm, Route.IncludeQasm));
+    return;
   }
 
   auto Deadline = std::chrono::steady_clock::time_point::max();
@@ -432,21 +612,43 @@ std::string Server::handleRoute(const Request &Req) {
                std::chrono::microseconds(
                    static_cast<int64_t>(TimeoutMs * 1000.0));
 
-  auto Promise = std::make_shared<std::promise<std::string>>();
-  std::future<std::string> Response = Promise->get_future();
-
   // Everything the worker needs, captured by value / shared ownership:
-  // the parsed circuit, the pooled backend (Backends map nodes are never
-  // erased while the server lives), and the request parameters.
+  // the parsed circuit, the pooled backend, the connection writer, and
+  // the request parameters — minus the raw QASM source, which only the
+  // import above ever reads: a pipelined connection can park hundreds of
+  // jobs in the queue, and each must not pin (or even transiently copy)
+  // megabytes of dead text.
+  RouteRequest Params;
+  Params.Mapper = Route.Mapper;
+  Params.Backend = Route.Backend;
+  Params.Bidirectional = Route.Bidirectional;
+  Params.ErrorAware = Route.ErrorAware;
+  Params.CalibrationSeed = Route.CalibrationSeed;
+  Params.IncludeQasm = Route.IncludeQasm;
+  Params.TimeoutMs = Route.TimeoutMs;
+  Params.Progress = Route.Progress;
+
   SchedulerJob Job;
   Job.Deadline = Deadline;
-  Job.OnExpired = [Promise, Id = Req.Id] {
-    Promise->set_value(formatErrorResponse(
-        "route", Id, errc::DeadlineExceeded,
-        "deadline passed before a worker picked the request up"));
+  Job.OnExpired = [this, Conn, Id = Req.Id] {
+    Conn->releaseJob(Id);
+    sendError(*Conn, "route", Id, errc::DeadlineExceeded,
+              "deadline passed before a worker picked the request up");
   };
-  Job.Run = [this, Promise, Logical, Backend, Route, Id = Req.Id,
-             CircuitFp, ResultKey](RoutingScratch &Scratch) {
+  Job.Run = [this, Conn, Logical, Backend, Route = std::move(Params),
+             Id = Req.Id, CircuitFp,
+             ResultKey](RoutingScratch &Scratch, CancellationToken &Cancel) {
+    auto FinishError = [&](const char *Code, const std::string &Message) {
+      Conn->releaseJob(Id);
+      sendError(*Conn, "route", Id, Code, Message);
+    };
+    auto FinishCancelled = [&] {
+      auto [Code, Message] = cancellationError(Cancel);
+      FinishError(Code, Message);
+    };
+    if (Cancel.cancelled())
+      return FinishCancelled();
+
     std::unique_ptr<Router> Mapper =
         makeServiceRouter(Route.Mapper, Route.ErrorAware);
     RoutingContextOptions CtxOptions = Mapper->contextOptions();
@@ -461,24 +663,36 @@ std::string Server::handleRoute(const Request &Req) {
         },
         &ContextHit);
     const RoutingContext &Ctx = Bundle->context();
-    if (!Ctx.valid()) {
-      Promise->set_value(formatErrorResponse(
-          "route", Id, errc::InvalidCircuit, Ctx.status().message()));
-      return;
-    }
+    if (!Ctx.valid())
+      return FinishError(errc::InvalidCircuit, Ctx.status().message());
     QubitMapping Initial =
-        Route.Bidirectional ? deriveBidirectionalMapping(*Mapper, Ctx)
-                            : Ctx.identityMapping();
-    RoutingResult Result = Mapper->route(Ctx, Initial, Scratch);
+        Route.Bidirectional
+            ? deriveBidirectionalMapping(*Mapper, Ctx, 1, &Scratch, &Cancel)
+            : Ctx.identityMapping();
+    if (Cancel.cancelled())
+      return FinishCancelled();
+    if (Route.Progress && !Id.empty()) {
+      // Stream ~20 progress events per route, floored so small circuits
+      // do not flood the connection. Installed only now — after the
+      // bidirectional derive passes, which route the circuit internally
+      // and would otherwise exhaust the throttle (and mislead the
+      // client) before the real route begins.
+      size_t Step = std::max<size_t>(Logical->size() / 20, 256);
+      Cancel.enableProgress(
+          [Conn, Id](size_t Done, size_t Total) {
+            Conn->send(formatProgressEvent(Id, Done, Total));
+          },
+          Step);
+    }
+    RoutingResult Result = Mapper->route(Ctx, Initial, Scratch, &Cancel);
+    if (Result.Cancelled)
+      return FinishCancelled();
     VerifyResult Check =
         verifyRouting(Ctx.circuit(), Ctx.hardware(), Result);
-    if (!Check.Ok) {
-      Promise->set_value(formatErrorResponse(
-          "route", Id, errc::VerifyFailed,
-          formatString("routing failed verification: %s",
-                       Check.Message.c_str())));
-      return;
-    }
+    if (!Check.Ok)
+      return FinishError(errc::VerifyFailed,
+                         formatString("routing failed verification: %s",
+                                      Check.Message.c_str()));
     auto Cached = std::make_shared<CachedResult>();
     Cached->RoutedQasm = qasm::printQasm(Result.Routed);
     Cached->LogicalGates = Logical->size();
@@ -504,20 +718,35 @@ std::string Server::handleRoute(const Request &Req) {
     Stats.TimedOut = Cached->TimedOut;
     Stats.Verified = true;
     Stats.SuccessProbability = Cached->SuccessProbability;
-    Promise->set_value(formatRouteResponse(
-        Id, Route.Mapper, Route.Backend, Stats, ContextHit,
-        /*ResultCacheHit=*/false, Cached->RoutedQasm, Route.IncludeQasm));
+    Conn->releaseJob(Id);
+    Conn->send(formatRouteResponse(Id, Route.Mapper, Route.Backend, Stats,
+                                   ContextHit,
+                                   /*ResultCacheHit=*/false,
+                                   Cached->RoutedQasm, Route.IncludeQasm));
   };
 
-  if (!Workers->trySubmit(std::move(Job))) {
-    if (Stopping.load())
-      return formatErrorResponse("route", Req.Id, errc::ShuttingDown,
-                                 "server is shutting down");
-    return formatErrorResponse("route", Req.Id, errc::QueueFull,
-                               "scheduler queue is full, retry later");
+  // Pre-register the ticket before submission so a completion racing this
+  // thread can only ever erase an entry that exists; the connection
+  // thread is the sole inserter, so no other request can slip in between.
+  auto Ticket = std::make_shared<JobTicket>();
+  if (!Req.Id.empty()) {
+    std::lock_guard<std::mutex> Lock(Conn->JobsMu);
+    Conn->InFlight[Req.Id] = Ticket;
   }
-  return Response.get();
+  if (!Workers->trySubmit(std::move(Job), Ticket)) {
+    Conn->releaseJob(Req.Id);
+    if (Stopping.load())
+      sendError(*Conn, "route", Req.Id, errc::ShuttingDown,
+                "server is shutting down");
+    else
+      sendError(*Conn, "route", Req.Id, errc::QueueFull,
+                "scheduler queue is full, retry later");
+  }
 }
+
+//===----------------------------------------------------------------------===//
+// Stats
+//===----------------------------------------------------------------------===//
 
 json::Value Server::statsJson() const {
   json::Value Doc = json::Value::object();
@@ -528,10 +757,12 @@ json::Value Server::statsJson() const {
     ServerObj.set("connections", Counters.Connections);
     ServerObj.set("requests", Counters.Requests);
     ServerObj.set("route_requests", Counters.RouteRequests);
+    ServerObj.set("cancel_requests", Counters.CancelRequests);
     ServerObj.set("errors", Counters.Errors);
   }
   ServerObj.set("uptime_seconds", Uptime.elapsedSeconds());
   ServerObj.set("socket", Options.SocketPath);
+  ServerObj.set("protocol", ProtocolVersion);
   Doc.set("server", std::move(ServerObj));
 
   if (Workers) {
@@ -544,6 +775,7 @@ json::Value Server::statsJson() const {
     Sched.set("completed", S.Completed);
     Sched.set("expired", S.Expired);
     Sched.set("rejected", S.Rejected);
+    Sched.set("cancelled", S.Cancelled);
     Doc.set("scheduler", std::move(Sched));
   }
 

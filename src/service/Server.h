@@ -6,24 +6,58 @@
 ///
 /// \file
 /// The long-lived mapping service: a Unix-domain-socket server speaking
-/// the newline-delimited JSON protocol (service/Protocol.h), backed by the
-/// sharded context/result caches (service/ContextCache.h) and the bounded
-/// worker-pool scheduler (service/Scheduler.h).
+/// the newline-delimited JSON protocol v2 (service/Protocol.h), backed by
+/// the sharded context/result caches (service/ContextCache.h) and the
+/// bounded worker-pool scheduler (service/Scheduler.h).
+///
+/// Since protocol v2 each connection is **fully asynchronous**: the
+/// connection thread only reads and validates; every response is written
+/// through the connection's mutex-serialized writer, by whichever thread
+/// finishes first. Cheap requests (ping/stats/cache hits/validation
+/// errors) answer inline from the connection thread; scheduled routes
+/// answer from the worker that ran them — so a pipelined connection gets
+/// responses out of order and one slow route never head-of-line-blocks
+/// the rest of the stream.
 ///
 /// Request path for `route`:
 ///
 ///   connection thread: parse line -> validate mapper/backend -> import
-///   QASM -> fingerprint -> result-cache lookup (hit: respond immediately)
-///   -> trySubmit to the scheduler (full queue: `queue_full`) -> wait.
+///   QASM -> fingerprint -> result-cache lookup (hit: respond now) ->
+///   register the job ticket under its id -> trySubmit (full queue:
+///   `queue_full`) -> **keep reading** (no wait).
 ///
 ///   worker thread: context-cache getOrBuild (shared RoutingContext with
-///   warm omega weights) -> route with the worker's pooled RoutingScratch
-///   -> verify -> print -> insert result cache -> fulfil the response.
+///   warm omega weights) -> route with the worker's pooled RoutingScratch,
+///   polling the job's CancellationToken once per front-layer step ->
+///   verify -> print -> insert result cache -> write the response through
+///   the connection writer, or the `cancelled`/`deadline_exceeded` error
+///   when the token fired mid-route.
+///
+///   `cancel` (connection thread): look up the ticket by id; a queued job
+///   is unqueued and answered `cancelled` immediately, a running one has
+///   its token signalled and answers through its own completion path.
+///
+/// Flow control: responses are written with a per-send timeout
+/// (SO_SNDTIMEO, 10 s) *and* a 30 s cumulative per-frame bound, so a
+/// peer that stops reading — or drips bytes to reset per-call timers —
+/// while responses are owed is declared dead and its connection latched
+/// closed. A wedged client delays a worker by tens of seconds at most,
+/// never pins it.
+///
+/// Threading/ownership contract: the Server owns the accept thread, one
+/// connection thread per live connection, and the scheduler's workers.
+/// Each Connection object (socket fd + writer mutex + in-flight job
+/// table) is shared between its connection thread and the workers running
+/// its jobs via shared_ptr; the fd closes when the last holder drops, so
+/// a worker can never write into a recycled fd. Caches are internally
+/// synchronized; counters take CounterMu; nothing here may be touched
+/// after teardown() returns except the destructor.
 ///
 /// Every request is answered: malformed input yields structured error
-/// responses, expired deadlines yield `deadline_exceeded`, and shutdown
-/// yields `shutting_down` — a connection is never wedged and the daemon
-/// never crashes on bad bytes.
+/// responses, expired deadlines yield `deadline_exceeded` (checked both
+/// at pickup and during routing), cancelled requests yield `cancelled`,
+/// and shutdown yields `shutting_down` — a connection is never wedged and
+/// the daemon never crashes on bad bytes.
 ///
 /// Lifecycle: start() binds and spawns the accept thread; wait() blocks
 /// until a `shutdown` request, requestStop(), or the optional external
@@ -85,6 +119,7 @@ struct ServerCounters {
   uint64_t Connections = 0;
   uint64_t Requests = 0;
   uint64_t RouteRequests = 0;
+  uint64_t CancelRequests = 0;
   uint64_t Errors = 0;
 };
 
@@ -130,16 +165,30 @@ private:
     uint64_t Fingerprint = 0;
   };
 
+  /// Per-connection shared state: the socket, the serialized writer, and
+  /// the in-flight cancellable-job table. Defined in Server.cpp.
+  struct Connection;
+
   void acceptLoop();
-  void connectionLoop(int Fd, size_t Slot);
+  void connectionLoop(std::shared_ptr<Connection> Conn, size_t Slot);
   void teardown();
 
-  /// Handles one request line; returns the response line (sans newline).
-  /// \p StopAfterSend is set for the shutdown op: the connection loop
-  /// must write the response *before* triggering requestStop(), or
-  /// teardown could sever the connection ahead of the ack.
-  std::string handleLine(const std::string &Line, bool &StopAfterSend);
-  std::string handleRoute(const Request &Req);
+  /// Handles one request line. All responses go out through \p Conn's
+  /// writer — inline for cheap ops, from a worker for scheduled routes.
+  /// \p StopAfterSend is set for the shutdown op: the ack is written
+  /// *before* the caller triggers requestStop(), or teardown could sever
+  /// the connection ahead of it.
+  void handleLine(const std::shared_ptr<Connection> &Conn,
+                  const std::string &Line, bool &StopAfterSend);
+  void handleRoute(const std::shared_ptr<Connection> &Conn,
+                   const Request &Req);
+  void handleCancel(const std::shared_ptr<Connection> &Conn,
+                    const Request &Req);
+
+  /// Writes an error response through \p Conn and bumps the error
+  /// counter (callable from any thread).
+  void sendError(Connection &Conn, const char *Op, const std::string &Id,
+                 const char *Code, const std::string &Message);
 
   /// Returns the pooled (lazily built) backend variant, or nullptr when
   /// the name is unknown. Shared ownership: in-flight requests keep their
@@ -157,14 +206,15 @@ private:
   int ListenFd = -1;
   std::thread AcceptThread;
 
-  /// Connection bookkeeping: ConnThreads[I] handles the socket in
-  /// ConnFds[I]. Finished connections report their slot in FinishedSlots;
-  /// the accept loop joins them and recycles the slots via FreeSlots, so
-  /// a long-lived daemon serving many short-lived connections holds
-  /// O(max concurrent), not O(total), thread stacks.
+  /// Connection bookkeeping: ConnThreads[I] handles Conns[I]. Finished
+  /// connections report their slot in FinishedSlots; the accept loop
+  /// joins them and recycles the slots via FreeSlots, so a long-lived
+  /// daemon serving many short-lived connections holds O(max concurrent),
+  /// not O(total), thread stacks. Conns[I] may outlive its slot: workers
+  /// with in-flight jobs hold their own references.
   mutable std::mutex ConnMu;
   std::vector<std::thread> ConnThreads;
-  std::vector<int> ConnFds;
+  std::vector<std::shared_ptr<Connection>> Conns;
   std::vector<size_t> FinishedSlots;
   std::vector<size_t> FreeSlots;
 

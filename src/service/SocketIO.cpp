@@ -7,13 +7,19 @@
 #include "service/SocketIO.h"
 
 #include <cerrno>
+#include <chrono>
 
 #include <sys/socket.h>
 
 using namespace qlosure;
 using namespace qlosure::service;
 
-bool service::sendAll(int Fd, const std::string &Text) {
+bool service::sendAll(int Fd, const std::string &Text, double MaxSeconds) {
+  auto Deadline = std::chrono::steady_clock::time_point::max();
+  if (MaxSeconds > 0)
+    Deadline = std::chrono::steady_clock::now() +
+               std::chrono::duration_cast<std::chrono::steady_clock::duration>(
+                   std::chrono::duration<double>(MaxSeconds));
   size_t Off = 0;
   while (Off < Text.size()) {
     ssize_t N =
@@ -24,6 +30,8 @@ bool service::sendAll(int Fd, const std::string &Text) {
       return false;
     }
     Off += static_cast<size_t>(N);
+    if (Off < Text.size() && std::chrono::steady_clock::now() >= Deadline)
+      return false; // Peer is draining too slowly; treat as gone.
   }
   return true;
 }

@@ -21,8 +21,11 @@ namespace service {
 
 /// Writes all of \p Text to \p Fd, retrying on EINTR, with MSG_NOSIGNAL
 /// so a vanished peer yields EPIPE instead of killing the process.
-/// Returns false when the peer is gone.
-bool sendAll(int Fd, const std::string &Text);
+/// Returns false when the peer is gone. \p MaxSeconds > 0 bounds the
+/// *cumulative* write time — a peer draining one byte per SO_SNDTIMEO
+/// window makes per-call timeouts useless, so slow overall progress also
+/// fails the send (the caller treats the peer as gone).
+bool sendAll(int Fd, const std::string &Text, double MaxSeconds = 0);
 
 /// Pops one complete line (newline removed, trailing '\r' stripped) off
 /// the front of \p Pending into \p Line. Returns false when \p Pending

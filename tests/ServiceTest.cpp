@@ -74,6 +74,33 @@ json::Value routeRequest(const std::string &Qasm,
   return Req;
 }
 
+json::Value cancelRequest(const std::string &Id) {
+  json::Value Req = json::Value::object();
+  Req.set("op", "cancel");
+  Req.set("id", Id);
+  return Req;
+}
+
+/// A QUEKO circuit whose `qmap` routing onto sherbrooke2x takes several
+/// hundred milliseconds per 100 cycles of depth — the "reliably still in
+/// flight when the cancel arrives" workload of the cancellation tests.
+std::string deepQuekoQasm(unsigned Depth, uint64_t Seed = 3) {
+  CouplingGraph Gen = makeKings9x9();
+  QuekoSpec Spec;
+  Spec.Depth = Depth;
+  Spec.Seed = Seed;
+  return qasm::printQasm(generateQueko(Gen, Spec).Circ);
+}
+
+json::Value slowRouteRequest(const std::string &Id, unsigned Depth = 400,
+                             uint64_t Seed = 3) {
+  json::Value Req = routeRequest(deepQuekoQasm(Depth, Seed), "qmap",
+                                 "sherbrooke2x");
+  Req.set("id", Id);
+  Req.set("include_qasm", false);
+  return Req;
+}
+
 /// Parses a response line and returns the document (fails the test on
 /// malformed JSON).
 json::Value parseResponse(const std::string &Line) {
@@ -218,6 +245,67 @@ TEST(ProtocolTest, ResponsesCarryIdAndStableShape) {
   EXPECT_EQ(ErrDoc.get("error")->get("message")->asString(), "boom");
 }
 
+TEST(ProtocolTest, ParsesCancelAndProgress) {
+  RequestParse Cancel = parseRequest("{\"op\":\"cancel\",\"id\":\"r7\"}");
+  ASSERT_TRUE(Cancel.Ok) << Cancel.ErrorMessage;
+  EXPECT_EQ(Cancel.Req.TheOp, Op::Cancel);
+  EXPECT_EQ(Cancel.Req.Id, "r7");
+  // cancel must name its target.
+  EXPECT_EQ(parseRequest("{\"op\":\"cancel\"}").ErrorCode, errc::BadRequest);
+  EXPECT_EQ(parseRequest("{\"op\":\"cancel\",\"id\":\"\"}").ErrorCode,
+            errc::BadRequest);
+
+  RequestParse Route = parseRequest(
+      "{\"op\":\"route\",\"qasm\":\"x\",\"progress\":true,\"id\":\"p\"}");
+  ASSERT_TRUE(Route.Ok) << Route.ErrorMessage;
+  EXPECT_TRUE(Route.Req.Route.Progress);
+}
+
+TEST(ProtocolTest, RejectionsPreserveCorrelation) {
+  // A shape error must not cost the client its (op, id) correlation —
+  // a pipelined demultiplexer would otherwise wait forever.
+  RequestParse Bad = parseRequest(
+      "{\"op\":\"route\",\"id\":\"r1\",\"timeout_ms\":\"fast\"}");
+  EXPECT_FALSE(Bad.Ok);
+  EXPECT_EQ(Bad.ErrorCode, errc::BadRequest);
+  EXPECT_EQ(Bad.OpName, "route");
+  EXPECT_EQ(Bad.Req.Id, "r1");
+
+  RequestParse Missing = parseRequest("{\"op\":\"route\",\"id\":\"r2\"}");
+  EXPECT_FALSE(Missing.Ok);
+  EXPECT_EQ(Missing.Req.Id, "r2");
+
+  RequestParse UnknownOp = parseRequest("{\"op\":\"warp\",\"id\":\"r3\"}");
+  EXPECT_FALSE(UnknownOp.Ok);
+  EXPECT_EQ(UnknownOp.OpName, "warp");
+  EXPECT_EQ(UnknownOp.Req.Id, "r3");
+
+  // Unparseable JSON genuinely has no correlation to preserve.
+  RequestParse NoJson = parseRequest("not json");
+  EXPECT_FALSE(NoJson.Ok);
+  EXPECT_TRUE(NoJson.OpName.empty());
+  EXPECT_TRUE(NoJson.Req.Id.empty());
+}
+
+TEST(ProtocolTest, V2FrameShapes) {
+  // Ping advertises the protocol revision v1 clients simply ignore.
+  json::Value Ping = parseResponse(formatPingResponse(""));
+  ASSERT_NE(Ping.get("protocol"), nullptr);
+  EXPECT_EQ(Ping.get("protocol")->asNumber(), 2);
+
+  json::Value Ack = parseResponse(formatCancelResponse("r1", true));
+  EXPECT_TRUE(responseOk(Ack));
+  EXPECT_EQ(Ack.get("op")->asString(), "cancel");
+  EXPECT_TRUE(Ack.get("cancelled")->asBool());
+
+  // Events carry "event" and no "ok" — that is how clients demultiplex.
+  json::Value Event = parseResponse(formatProgressEvent("r1", 512, 38469));
+  EXPECT_EQ(Event.get("ok"), nullptr);
+  EXPECT_EQ(Event.get("event")->asString(), "progress");
+  EXPECT_EQ(Event.get("done")->asNumber(), 512);
+  EXPECT_EQ(Event.get("total")->asNumber(), 38469);
+}
+
 //===----------------------------------------------------------------------===//
 // Sharded LRU caches
 //===----------------------------------------------------------------------===//
@@ -334,8 +422,8 @@ TEST(SchedulerTest, RunsJobsAndDrainsOnShutdown) {
     Scheduler Sched(SchedulerOptions{2, 64});
     for (int I = 0; I < 20; ++I) {
       SchedulerJob Job;
-      Job.Run = [&](RoutingScratch &) { ++Ran; };
-      ASSERT_TRUE(Sched.trySubmit(std::move(Job)));
+      Job.Run = [&](RoutingScratch &, CancellationToken &) { ++Ran; };
+      ASSERT_TRUE(Sched.trySubmit(std::move(Job)) != nullptr);
     }
     Sched.shutdown();
   }
@@ -350,17 +438,17 @@ TEST(SchedulerTest, RejectsWhenQueueFull) {
 
   // Block the single worker so subsequent jobs stay queued.
   SchedulerJob Blocker;
-  Blocker.Run = [&](RoutingScratch &) {
+  Blocker.Run = [&](RoutingScratch &, CancellationToken &) {
     std::unique_lock<std::mutex> Lock(Mu);
     Cv.wait(Lock, [&] { return Release; });
   };
-  ASSERT_TRUE(Sched.trySubmit(std::move(Blocker)));
+  ASSERT_TRUE(Sched.trySubmit(std::move(Blocker)) != nullptr);
   // Give the worker a moment to pick the blocker up, then fill the queue.
   std::this_thread::sleep_for(std::chrono::milliseconds(50));
   unsigned Accepted = 0;
   for (int I = 0; I < 8; ++I) {
     SchedulerJob Job;
-    Job.Run = [](RoutingScratch &) {};
+    Job.Run = [](RoutingScratch &, CancellationToken &) {};
     if (Sched.trySubmit(std::move(Job)))
       ++Accepted;
   }
@@ -383,9 +471,9 @@ TEST(SchedulerTest, ExpiredJobsRunOnExpiredInsteadOfRun) {
     // Deadline already passed at submit time: the worker must take the
     // OnExpired path (steady_clock is monotonic, so now >= deadline).
     Job.Deadline = std::chrono::steady_clock::now();
-    Job.Run = [&](RoutingScratch &) { ++Ran; };
+    Job.Run = [&](RoutingScratch &, CancellationToken &) { ++Ran; };
     Job.OnExpired = [&] { ++Expired; };
-    ASSERT_TRUE(Sched.trySubmit(std::move(Job)));
+    ASSERT_TRUE(Sched.trySubmit(std::move(Job)) != nullptr);
     Sched.shutdown();
   }
   EXPECT_EQ(Expired.load(), 1);
@@ -396,8 +484,98 @@ TEST(SchedulerTest, SubmitAfterShutdownIsRejected) {
   Scheduler Sched(SchedulerOptions{1, 4});
   Sched.shutdown();
   SchedulerJob Job;
-  Job.Run = [](RoutingScratch &) {};
-  EXPECT_FALSE(Sched.trySubmit(std::move(Job)));
+  Job.Run = [](RoutingScratch &, CancellationToken &) {};
+  EXPECT_EQ(Sched.trySubmit(std::move(Job)), nullptr);
+}
+
+TEST(SchedulerTest, CancelledQueuedJobNeverRuns) {
+  std::atomic<int> Ran{0};
+  std::mutex Mu;
+  std::condition_variable Cv;
+  bool Release = false;
+  Scheduler Sched(SchedulerOptions{1, 16});
+
+  SchedulerJob Blocker;
+  Blocker.Run = [&](RoutingScratch &, CancellationToken &) {
+    std::unique_lock<std::mutex> Lock(Mu);
+    Cv.wait(Lock, [&] { return Release; });
+  };
+  ASSERT_TRUE(Sched.trySubmit(std::move(Blocker)) != nullptr);
+  std::this_thread::sleep_for(std::chrono::milliseconds(50));
+
+  SchedulerJob Victim;
+  Victim.Run = [&](RoutingScratch &, CancellationToken &) { ++Ran; };
+  auto Ticket = Sched.trySubmit(std::move(Victim));
+  ASSERT_TRUE(Ticket != nullptr);
+  EXPECT_EQ(Sched.stats().QueueDepth, 1u);
+  // The single worker is blocked, so the victim must still be queued:
+  // cancel() atomically claims it away from the workers, removes it from
+  // the queue (no tombstone occupying capacity), and it never runs.
+  EXPECT_EQ(Sched.cancel(Ticket), JobTicket::State::Queued);
+  EXPECT_EQ(Sched.stats().QueueDepth, 0u)
+      << "a cancelled queued job must free its capacity slot immediately";
+  // A duplicate cancel reports the already-cancelled state.
+  EXPECT_EQ(Sched.cancel(Ticket), JobTicket::State::CancelledWhileQueued);
+
+  {
+    std::lock_guard<std::mutex> Lock(Mu);
+    Release = true;
+  }
+  Cv.notify_all();
+  Sched.shutdown();
+  EXPECT_EQ(Ran.load(), 0);
+  EXPECT_EQ(Sched.stats().Cancelled, 1u);
+}
+
+TEST(SchedulerTest, CancellingRunningJobFiresItsToken) {
+  std::atomic<bool> Started{false};
+  std::atomic<bool> SawCancel{false};
+  CancellationToken::Reason Observed = CancellationToken::Reason::None;
+  Scheduler Sched(SchedulerOptions{1, 4});
+
+  SchedulerJob Job;
+  Job.Run = [&](RoutingScratch &, CancellationToken &Token) {
+    Started = true;
+    // Simulates a routing kernel polling once per front-layer step.
+    while (!Token.cancelled())
+      std::this_thread::sleep_for(std::chrono::milliseconds(1));
+    Observed = Token.reason();
+    SawCancel = true;
+  };
+  auto Ticket = Sched.trySubmit(std::move(Job));
+  ASSERT_TRUE(Ticket != nullptr);
+  while (!Started.load())
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  EXPECT_EQ(Ticket->cancel(), JobTicket::State::Running);
+  Sched.shutdown();
+  EXPECT_TRUE(SawCancel.load());
+  EXPECT_EQ(Observed, CancellationToken::Reason::Cancelled);
+  EXPECT_EQ(Ticket->state(), JobTicket::State::Done);
+}
+
+TEST(SchedulerTest, DeadlineFiresMidRunThroughTheToken) {
+  // The deadline is armed on the token at submission, so a job that is
+  // already running still observes it — the mid-route enforcement the
+  // pre-v2 scheduler lacked.
+  CancellationToken::Reason Observed = CancellationToken::Reason::None;
+  auto Begin = std::chrono::steady_clock::now();
+  {
+    Scheduler Sched(SchedulerOptions{1, 4});
+    SchedulerJob Job;
+    Job.Deadline = Begin + std::chrono::milliseconds(50);
+    Job.Run = [&](RoutingScratch &, CancellationToken &Token) {
+      while (!Token.cancelled())
+        std::this_thread::sleep_for(std::chrono::milliseconds(1));
+      Observed = Token.reason();
+    };
+    ASSERT_TRUE(Sched.trySubmit(std::move(Job)) != nullptr);
+    Sched.shutdown();
+  }
+  EXPECT_EQ(Observed, CancellationToken::Reason::DeadlineExceeded);
+  EXPECT_LT(std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                          Begin)
+                .count(),
+            5.0);
 }
 
 //===----------------------------------------------------------------------===//
@@ -663,4 +841,243 @@ TEST(ServerTest, ConcurrentClientsShareTheCaches) {
   // racing first-misses, everything else served from cache.
   CacheStats Results = Fixture.Daemon->resultCacheStats();
   EXPECT_GE(Results.Hits, 8u);
+}
+
+//===----------------------------------------------------------------------===//
+// Protocol v2: out-of-order responses, cancellation, progress
+//===----------------------------------------------------------------------===//
+
+TEST(ServerTest, PipelinedFastResponseOvertakesSlowRoute) {
+  ServerFixture Fixture;
+  Client Conn = Fixture.connect();
+
+  // Prime the result cache so the "fast" request is served inline by the
+  // connection thread.
+  std::string Prime;
+  ASSERT_TRUE(Conn.request(routeRequest(sampleQasm()).dump(), Prime).ok());
+  ASSERT_TRUE(responseOk(parseResponse(Prime))) << Prime;
+
+  // Pipeline: a slow cache-miss route first, the cached route second.
+  json::Value Slow = slowRouteRequest("slow");
+  json::Value Fast = routeRequest(sampleQasm());
+  Fast.set("id", "fast");
+  ASSERT_TRUE(Conn.sendLine(Slow.dump()).ok());
+  ASSERT_TRUE(Conn.sendLine(Fast.dump()).ok());
+
+  // The acceptance-critical ordering: the fast response must arrive
+  // FIRST even though it was submitted second — no head-of-line block.
+  std::string First;
+  ASSERT_TRUE(Conn.recvLine(First).ok());
+  json::Value FirstDoc = parseResponse(First);
+  ASSERT_TRUE(responseOk(FirstDoc)) << First;
+  EXPECT_EQ(FirstDoc.get("id")->asString(), "fast") << First;
+  EXPECT_TRUE(FirstDoc.get("result_cache_hit")->asBool());
+
+  // Abort the slow route instead of waiting seconds for it; its final
+  // response must be the `cancelled` error, within a second.
+  auto CancelAt = std::chrono::steady_clock::now();
+  ASSERT_TRUE(Conn.sendLine(cancelRequest("slow").dump()).ok());
+  std::string Ack, Final;
+  ASSERT_TRUE(Conn.recvResponseFor("slow", Ack, {}, "cancel").ok());
+  EXPECT_TRUE(parseResponse(Ack).get("cancelled")->asBool()) << Ack;
+  ASSERT_TRUE(Conn.recvResponseFor("slow", Final, {}, "route").ok());
+  double Elapsed = std::chrono::duration<double>(
+                       std::chrono::steady_clock::now() - CancelAt)
+                       .count();
+  EXPECT_EQ(errorCode(parseResponse(Final)), errc::Cancelled) << Final;
+  EXPECT_LT(Elapsed, 1.0)
+      << "in-flight cancel must abort the route within one second";
+}
+
+TEST(ServerTest, CancelAbortsQueuedJobWithoutWaitingForTheWorker) {
+  // One worker: the first slow route occupies it, the second stays
+  // queued. Cancelling the queued one must answer immediately — from the
+  // connection thread — while the worker is still busy.
+  ServerFixture Fixture(/*Workers=*/1);
+  Client Conn = Fixture.connect();
+
+  ASSERT_TRUE(Conn.sendLine(slowRouteRequest("busy", 400, 3).dump()).ok());
+  // A distinct circuit (different seed) so the queued job is no cache hit.
+  ASSERT_TRUE(Conn.sendLine(slowRouteRequest("stuck", 400, 4).dump()).ok());
+  // Give the connection thread a moment to submit both jobs.
+  std::this_thread::sleep_for(std::chrono::milliseconds(100));
+
+  auto CancelAt = std::chrono::steady_clock::now();
+  ASSERT_TRUE(Conn.sendLine(cancelRequest("stuck").dump()).ok());
+  std::string Ack, Final;
+  ASSERT_TRUE(Conn.recvResponseFor("stuck", Ack, {}, "cancel").ok());
+  EXPECT_TRUE(parseResponse(Ack).get("cancelled")->asBool()) << Ack;
+  ASSERT_TRUE(Conn.recvResponseFor("stuck", Final, {}, "route").ok());
+  EXPECT_EQ(errorCode(parseResponse(Final)), errc::Cancelled) << Final;
+  EXPECT_LT(std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                          CancelAt)
+                .count(),
+            1.0)
+      << "a queued job's cancellation must not wait for the busy worker";
+
+  // Cancelling an unknown id is an idempotent no-op ack.
+  std::string NoOp;
+  ASSERT_TRUE(Conn.sendLine(cancelRequest("never-existed").dump()).ok());
+  ASSERT_TRUE(Conn.recvResponseFor("never-existed", NoOp, {}, "cancel").ok());
+  EXPECT_FALSE(parseResponse(NoOp).get("cancelled")->asBool()) << NoOp;
+
+  // Clean up the in-flight route too (also: cancel of a running job).
+  ASSERT_TRUE(Conn.sendLine(cancelRequest("busy").dump()).ok());
+  ASSERT_TRUE(Conn.recvResponseFor("busy", Final, {}, "route").ok());
+  EXPECT_EQ(errorCode(parseResponse(Final)), errc::Cancelled) << Final;
+}
+
+TEST(ServerTest, DeadlineExpiresMidRouteNotJustAtPickup) {
+  ServerFixture Fixture(/*Workers=*/1);
+  Client Conn = Fixture.connect();
+
+  // ~2.5 s of qmap routing with a 300 ms budget: the deadline fires while
+  // the route is in flight, and the token aborts it within one poll.
+  json::Value Req = slowRouteRequest("d");
+  Req.set("timeout_ms", 300);
+  auto SentAt = std::chrono::steady_clock::now();
+  ASSERT_TRUE(Conn.sendLine(Req.dump()).ok());
+  std::string Final;
+  ASSERT_TRUE(Conn.recvResponseFor("d", Final, {}, "route").ok());
+  double Elapsed = std::chrono::duration<double>(
+                       std::chrono::steady_clock::now() - SentAt)
+                       .count();
+  EXPECT_EQ(errorCode(parseResponse(Final)), errc::DeadlineExceeded)
+      << Final;
+  EXPECT_LT(Elapsed, 1.3)
+      << "deadline_exceeded must arrive within ~1 s of expiry, not after "
+         "the full route";
+}
+
+TEST(ServerTest, ProgressEventsStreamDuringRouting) {
+  ServerFixture Fixture(/*Workers=*/1);
+  Client Conn = Fixture.connect();
+
+  // A large circuit on the fast mapper: tens of thousands of gates, so
+  // the ~5%-step throttle yields a healthy event stream.
+  CouplingGraph Gen = makeSycamore54();
+  QuekoSpec Spec;
+  Spec.Depth = 2000;
+  Spec.Seed = 5;
+  std::string Qasm = qasm::printQasm(generateQueko(Gen, Spec).Circ);
+  json::Value Req = routeRequest(Qasm, "qlosure", "sycamore54");
+  Req.set("id", "p");
+  Req.set("progress", true);
+  Req.set("include_qasm", false);
+
+  std::vector<std::string> Events;
+  std::string Final;
+  ASSERT_TRUE(Conn.sendLine(Req.dump()).ok());
+  ASSERT_TRUE(Conn.recvResponseFor(
+                      "p", Final,
+                      [&](const std::string &Line) {
+                        Events.push_back(Line);
+                      },
+                      "route")
+                  .ok());
+  json::Value Doc = parseResponse(Final);
+  ASSERT_TRUE(responseOk(Doc)) << Final;
+  ASSERT_FALSE(Events.empty())
+      << "a progress-enabled route over 38k gates must emit events";
+  size_t PrevDone = 0;
+  for (const std::string &Line : Events) {
+    json::Value Event = parseResponse(Line);
+    EXPECT_EQ(Event.get("event")->asString(), "progress");
+    EXPECT_EQ(Event.get("id")->asString(), "p");
+    size_t Done = static_cast<size_t>(Event.get("done")->asNumber());
+    size_t Total = static_cast<size_t>(Event.get("total")->asNumber());
+    EXPECT_LE(Done, Total);
+    EXPECT_GE(Done, PrevDone) << "progress must be monotone";
+    PrevDone = Done;
+  }
+}
+
+TEST(ServerTest, ShutdownStillAnswersPipelinedInFlightRoutes) {
+  // The exactly-one-final-response guarantee must hold across shutdown:
+  // a route in flight when the shutdown ack goes out is drained — and
+  // its response delivered — before teardown severs the connection.
+  ServerOptions Opts;
+  Opts.SocketPath = testSocketPath();
+  Opts.Workers = 1;
+  Server Daemon(Opts);
+  ASSERT_TRUE(Daemon.start().ok());
+  std::thread Waiter([&] { Daemon.wait(); });
+
+  bool GotAck = false, GotRoute = false, RouteOk = false;
+  std::string Final;
+  {
+    Client Conn;
+    if (Conn.connect(Opts.SocketPath, 5.0).ok()) {
+      std::string Ack;
+      GotAck = Conn.sendLine(slowRouteRequest("r1", 100).dump()).ok() &&
+               Conn.sendLine("{\"op\":\"shutdown\",\"id\":\"s\"}").ok() &&
+               Conn.recvResponseFor("s", Ack, {}, "shutdown").ok();
+      if (GotAck && Conn.recvResponseFor("r1", Final, {}, "route").ok()) {
+        GotRoute = true;
+        RouteOk = responseOk(parseResponse(Final));
+      }
+    }
+  }
+  Waiter.join();
+  ASSERT_TRUE(GotAck);
+  ASSERT_TRUE(GotRoute)
+      << "an in-flight route must receive its final response across "
+         "shutdown, not be dropped by teardown";
+  EXPECT_TRUE(RouteOk) << Final;
+}
+
+TEST(ServerTest, DisconnectCancelsOrphanedJobs) {
+  // A dropped pipelined connection must not leave workers routing dead
+  // circuits: its queued jobs are discarded and its running job aborted.
+  ServerFixture Fixture(/*Workers=*/1);
+  {
+    Client Doomed = Fixture.connect();
+    ASSERT_TRUE(Doomed.sendLine(slowRouteRequest("a", 400, 21).dump()).ok());
+    ASSERT_TRUE(Doomed.sendLine(slowRouteRequest("b", 400, 22).dump()).ok());
+    std::this_thread::sleep_for(std::chrono::milliseconds(150));
+  } // Connection drops with one job running and one queued.
+
+  Client Probe = Fixture.connect();
+  auto Begin = std::chrono::steady_clock::now();
+  bool Freed = false;
+  std::string Response;
+  while (std::chrono::steady_clock::now() - Begin < std::chrono::seconds(5)) {
+    ASSERT_TRUE(Probe.request("{\"op\":\"stats\"}", Response).ok());
+    json::Value Doc = parseResponse(Response);
+    const json::Value *Sched = Doc.get("scheduler");
+    if (Sched->get("cancelled")->asNumber() >= 1 &&
+        Sched->get("queue_depth")->asNumber() == 0) {
+      Freed = true;
+      break;
+    }
+    std::this_thread::sleep_for(std::chrono::milliseconds(50));
+  }
+  EXPECT_TRUE(Freed)
+      << "orphaned jobs must be cancelled promptly after disconnect: "
+      << Response;
+}
+
+TEST(ServerTest, DuplicateInFlightIdIsRejected) {
+  ServerFixture Fixture(/*Workers=*/1);
+  Client Conn = Fixture.connect();
+
+  ASSERT_TRUE(Conn.sendLine(slowRouteRequest("dup").dump()).ok());
+  std::this_thread::sleep_for(std::chrono::milliseconds(100));
+  // Same id while the first is still routing: structured rejection.
+  json::Value Again = routeRequest(sampleQasm());
+  Again.set("id", "dup");
+  ASSERT_TRUE(Conn.sendLine(Again.dump()).ok());
+  std::string Rejection;
+  ASSERT_TRUE(Conn.recvResponseFor("dup", Rejection, {}, "route").ok());
+  EXPECT_EQ(errorCode(parseResponse(Rejection)), errc::BadRequest)
+      << Rejection;
+
+  // After the first completes (cancel it), the id is reusable.
+  std::string Final;
+  ASSERT_TRUE(Conn.sendLine(cancelRequest("dup").dump()).ok());
+  ASSERT_TRUE(Conn.recvResponseFor("dup", Final, {}, "route").ok());
+  EXPECT_EQ(errorCode(parseResponse(Final)), errc::Cancelled) << Final;
+  ASSERT_TRUE(Conn.sendLine(Again.dump()).ok());
+  ASSERT_TRUE(Conn.recvResponseFor("dup", Final, {}, "route").ok());
+  EXPECT_TRUE(responseOk(parseResponse(Final))) << Final;
 }

@@ -1,0 +1,70 @@
+#!/usr/bin/env bash
+# Documentation hygiene checks, run by ctest (docs-check) and the CI
+# docs-check job:
+#
+#  1. Every relative markdown link  [text](path)  in every tracked *.md
+#     file must resolve to an existing file or directory (anchors and
+#     external http(s)/mailto links are skipped).
+#  2. docs/PROTOCOL.md must mention every protocol op string accepted by
+#     Protocol.cpp and every errc:: error-code literal declared in
+#     Protocol.h — the wire protocol's vocabulary may not drift out of
+#     its normative document.
+#
+# usage: docs_check.sh [REPO_ROOT]
+set -euo pipefail
+
+ROOT=${1:-$(cd "$(dirname "$0")/.." && pwd)}
+cd "$ROOT"
+fail=0
+
+# --- 1. relative link check over all markdown files --------------------------
+while IFS= read -r file; do
+  # Pull out every ](target) occurrence; strip titles and anchors.
+  while IFS= read -r target; do
+    [[ -z "$target" ]] && continue
+    case "$target" in
+      http://*|https://*|mailto:*|\#*) continue ;;
+    esac
+    path="${target%%#*}"           # drop an in-file anchor
+    path="${path%% *}"             # drop a "title" suffix
+    [[ -z "$path" ]] && continue
+    dir=$(dirname "$file")
+    if [[ ! -e "$dir/$path" && ! -e "$path" ]]; then
+      echo "docs-check: BROKEN LINK in $file -> $target"
+      fail=1
+    fi
+  done < <(grep -o '\]([^)]*)' "$file" 2>/dev/null \
+             | sed -e 's/^](//' -e 's/)$//')
+done < <(find . -name '*.md' -not -path './build*' -not -path './.git/*')
+
+# --- 2. protocol vocabulary must appear in docs/PROTOCOL.md ------------------
+PROTO_DOC=docs/PROTOCOL.md
+if [[ ! -f "$PROTO_DOC" ]]; then
+  echo "docs-check: $PROTO_DOC is missing"
+  exit 1
+fi
+
+# Ops: the string literals parseRequest() compares the "op" field against.
+ops=$(grep -o 'OpName == "[a-z_]*"' src/service/Protocol.cpp \
+        | sed 's/.*"\([a-z_]*\)"/\1/' | sort -u)
+# Error codes: the errc:: literals declared in Protocol.h.
+codes=$(grep -o 'inline constexpr const char \*[A-Za-z]* = "[a-z_]*"' \
+          src/service/Protocol.h | sed 's/.*"\([a-z_]*\)"/\1/' | sort -u)
+
+if [[ -z "$ops" || -z "$codes" ]]; then
+  echo "docs-check: failed to extract ops/error codes from Protocol sources"
+  exit 1
+fi
+
+for word in $ops $codes; do
+  if ! grep -q "\`$word\`" "$PROTO_DOC"; then
+    echo "docs-check: $PROTO_DOC does not mention \`$word\`"
+    fail=1
+  fi
+done
+
+if [[ "$fail" -ne 0 ]]; then
+  echo "docs-check: FAILED"
+  exit 1
+fi
+echo "docs-check: all links resolve; PROTOCOL.md covers $(echo $ops | wc -w) ops and $(echo $codes | wc -w) error codes"

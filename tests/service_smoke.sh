@@ -1,9 +1,10 @@
 #!/usr/bin/env bash
 # End-to-end smoke of the qlosured daemon with the real binaries: boot on
 # a temp socket, route a QUEKO circuit through qlosure-client, assert the
-# response verifies, assert the repeated request reports a cache hit, and
-# shut the daemon down cleanly over the protocol. Run by ctest
-# (service-smoke) and the CI service job.
+# response verifies, assert the repeated request reports a cache hit,
+# cancel an in-flight deep route mid-flight (protocol v2), and shut the
+# daemon down cleanly over the protocol. Run by ctest (service-smoke) and
+# the CI service job.
 #
 # usage: service_smoke.sh BIN_DIR QUEKO_QASM
 set -euo pipefail
@@ -12,10 +13,11 @@ BIN_DIR=${1:?usage: service_smoke.sh BIN_DIR QUEKO_QASM}
 QASM=${2:?usage: service_smoke.sh BIN_DIR QUEKO_QASM}
 SOCK="/tmp/qlosured-smoke-$$.sock"
 RESP="/tmp/qlosured-smoke-$$.json"
+DEEP="/tmp/qlosured-smoke-$$-deep.qasm"
 
 cleanup() {
   [[ -n "${DAEMON_PID:-}" ]] && kill "$DAEMON_PID" 2>/dev/null || true
-  rm -f "$RESP" "$SOCK"
+  rm -f "$RESP" "$SOCK" "$DEEP"
 }
 trap cleanup EXIT
 
@@ -42,6 +44,23 @@ echo "service-smoke: repeated request hit the cache"
 [[ "$status" -eq 1 ]] # error response, not a transport failure
 grep -q '"code":"unknown_mapper"' "$RESP"
 echo "service-smoke: malformed request answered with a structured error"
+
+# Mid-route cancellation (protocol v2): generate a QUEKO circuit deep
+# enough that qmap needs many seconds on sherbrooke2x, submit it, cancel
+# it 300 ms later on the same connection, and require the final response
+# to be the structured `cancelled` error — promptly, not after the full
+# route.
+"$BIN_DIR/qlosure-queko" --device kings9x9 --depth 1200 --seed 3 \
+  --output "$DEEP" 2> /dev/null
+SECONDS=0  # bash's built-in timer: portable, unlike date +%N
+"$BIN_DIR/qlosure-client" --socket "$SOCK" route --mapper qmap \
+  --backend sherbrooke2x --stats-only --id slow --cancel-after-ms 300 \
+  "$DEEP" > "$RESP" 2> /dev/null && status=0 || status=$?
+ELAPSED_S=$SECONDS
+[[ "$status" -eq 1 ]] # the final response is an error response
+grep -q '"code":"cancelled"' "$RESP"
+[[ "$ELAPSED_S" -le 2 ]] # cancelled ~300 ms in, answered well under the multi-second full route
+echo "service-smoke: in-flight route cancelled after ~${ELAPSED_S}s (cancel sent at 300ms)"
 
 # Graceful protocol shutdown: the daemon must exit 0 and unlink its socket.
 "$BIN_DIR/qlosure-client" --socket "$SOCK" shutdown > /dev/null

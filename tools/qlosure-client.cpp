@@ -23,8 +23,18 @@
 ///       --qasm-only                 print the routed QASM instead of JSON
 ///       --expect-cache-hit          exit 4 unless the response says
 ///                                   cache_hit (CI smoke assertion)
+///       --id STR                    correlation id (default "r1" when a
+///                                   v2 feature below needs one)
+///       --progress                  stream progress events to stderr
+///       --cancel-after-ms N         send a `cancel` for this route N ms
+///                                   after submitting it (client-side
+///                                   abort; the printed final response is
+///                                   then normally the `cancelled` error)
 ///
-/// Prints the raw JSON response line to stdout (except --qasm-only).
+/// Prints the raw JSON final response line to stdout (except
+/// --qasm-only); progress events and the cancel ack go to stderr. The
+/// client demultiplexes protocol-v2 frames, so responses are matched by
+/// (op, id) rather than arrival order.
 /// Exit codes: 0 ok, 1 server-side error response, 2 usage, 3 transport
 /// failure, 4 --expect-cache-hit violated.
 ///
@@ -34,6 +44,7 @@
 #include "service/Protocol.h"
 #include "support/Json.h"
 
+#include <chrono>
 #include <cstdio>
 #include <cstring>
 #include <fstream>
@@ -41,6 +52,7 @@
 #include <iterator>
 #include <sstream>
 #include <string>
+#include <thread>
 
 using namespace qlosure;
 using namespace qlosure::service;
@@ -76,8 +88,11 @@ int main(int Argc, char **Argv) {
   bool StatsOnly = false;
   bool QasmOnly = false;
   bool ExpectCacheHit = false;
+  bool Progress = false;
   double TimeoutMs = 0;
+  double CancelAfterMs = -1;
   uint64_t CalibrationSeed = 1;
+  std::string Id;
 
   for (int I = 1; I < Argc; ++I) {
     if (!std::strcmp(Argv[I], "--socket") && I + 1 < Argc) {
@@ -92,6 +107,12 @@ int main(int Argc, char **Argv) {
       CalibrationSeed = std::strtoull(Argv[++I], nullptr, 10);
     } else if (!std::strcmp(Argv[I], "--timeout-ms") && I + 1 < Argc) {
       TimeoutMs = std::strtod(Argv[++I], nullptr);
+    } else if (!std::strcmp(Argv[I], "--cancel-after-ms") && I + 1 < Argc) {
+      CancelAfterMs = std::strtod(Argv[++I], nullptr);
+    } else if (!std::strcmp(Argv[I], "--id") && I + 1 < Argc) {
+      Id = Argv[++I];
+    } else if (!std::strcmp(Argv[I], "--progress")) {
+      Progress = true;
     } else if (!std::strcmp(Argv[I], "--output") && I + 1 < Argc) {
       OutputPath = Argv[++I];
     } else if (!std::strcmp(Argv[I], "--bidirectional")) {
@@ -133,11 +154,16 @@ int main(int Argc, char **Argv) {
       Source.assign(std::istreambuf_iterator<char>(In),
                     std::istreambuf_iterator<char>());
     }
+    // The v2 features (cancel, progress events) need a correlation id.
+    if (Id.empty() && (CancelAfterMs >= 0 || Progress))
+      Id = "r1";
     json::Value Req = json::Value::object();
     Req.set("op", "route");
     Req.set("qasm", Source);
     Req.set("mapper", Mapper);
     Req.set("backend", Backend);
+    if (!Id.empty())
+      Req.set("id", Id);
     if (Bidirectional)
       Req.set("bidirectional", true);
     if (ErrorAware) {
@@ -146,21 +172,56 @@ int main(int Argc, char **Argv) {
     }
     if (TimeoutMs > 0)
       Req.set("timeout_ms", TimeoutMs);
+    if (Progress)
+      Req.set("progress", true);
     if (StatsOnly)
       Req.set("include_qasm", false);
     RequestLine = Req.dump();
   } else {
     json::Value Req = json::Value::object();
     Req.set("op", Command);
+    if (!Id.empty())
+      Req.set("id", Id);
     RequestLine = Req.dump();
   }
 
   Client Conn;
   if (Status S = Conn.connect(SocketPath, ConnectTimeout); !S.ok())
     return transportError(S);
+
+  auto PrintEvent = [](const std::string &Line) {
+    std::fprintf(stderr, "%s\n", Line.c_str());
+  };
   std::string ResponseLine;
-  if (Status S = Conn.request(RequestLine, ResponseLine); !S.ok())
-    return transportError(S);
+  if (Command == "route" && CancelAfterMs >= 0) {
+    // Client-side abort: submit, wait, cancel on the same connection,
+    // then demultiplex the cancel ack (stderr) and the route's final
+    // response (stdout, handled below like any other).
+    if (Status S = Conn.sendLine(RequestLine); !S.ok())
+      return transportError(S);
+    std::this_thread::sleep_for(
+        std::chrono::duration<double, std::milli>(CancelAfterMs));
+    json::Value CancelReq = json::Value::object();
+    CancelReq.set("op", "cancel");
+    CancelReq.set("id", Id);
+    if (Status S = Conn.sendLine(CancelReq.dump()); !S.ok())
+      return transportError(S);
+    std::string Ack;
+    if (Status S = Conn.recvResponseFor(Id, Ack, PrintEvent, "cancel");
+        !S.ok())
+      return transportError(S);
+    std::fprintf(stderr, "%s\n", Ack.c_str());
+    if (Status S =
+            Conn.recvResponseFor(Id, ResponseLine, PrintEvent, "route");
+        !S.ok())
+      return transportError(S);
+  } else {
+    if (Status S = Conn.sendLine(RequestLine); !S.ok())
+      return transportError(S);
+    if (Status S = Conn.recvResponseFor(Id, ResponseLine, PrintEvent);
+        !S.ok())
+      return transportError(S);
+  }
 
   json::ParseResult Parsed = json::parse(ResponseLine);
   if (!Parsed.Ok) {
