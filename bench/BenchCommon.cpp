@@ -29,6 +29,8 @@ BenchConfig qlosure::bench::parseArgs(int Argc, char **Argv) {
       Config.Full = true;
     } else if (std::strcmp(Argv[I], "--no-verify") == 0) {
       Config.Verify = false;
+    } else if (std::strcmp(Argv[I], "--affine") == 0) {
+      Config.Affine = true;
     } else if (std::strcmp(Argv[I], "--seed") == 0 && I + 1 < Argc) {
       Config.Seed = std::strtoull(Argv[++I], nullptr, 10);
     } else if (std::strcmp(Argv[I], "--threads") == 0 && I + 1 < Argc) {
@@ -40,7 +42,7 @@ BenchConfig qlosure::bench::parseArgs(int Argc, char **Argv) {
     } else {
       std::fprintf(stderr,
                    "usage: %s [--full] [--seed N] [--no-verify] "
-                   "[--threads N]\n",
+                   "[--affine] [--threads N]\n",
                    Argv[0]);
       std::exit(2);
     }

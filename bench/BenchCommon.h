@@ -34,6 +34,10 @@ struct BenchConfig {
   uint64_t Seed = 2026;
   /// --no-verify: skip routing verification (it is cheap; on by default).
   bool Verify = true;
+  /// --affine: exercise the affine replay fast path where the binary
+  /// supports it (bench_kernel_throughput appends a replay-vs-scalar
+  /// section; binaries without an affine mode accept and ignore it).
+  bool Affine = false;
   /// --threads N: BatchRunner workers (0 = hardware concurrency).
   /// Results are identical for every thread count, except where QMAP's
   /// wall-clock budget trips under load (see BatchRunner.h). Benches

@@ -15,6 +15,12 @@
 /// swaps/sec and gates/sec of the kernel path and its speedup over the
 /// reference; the PR 3 acceptance bar is >= 1.5x per mapper.
 ///
+/// With --affine the bench additionally routes a structured loop workload
+/// (QFT-like kernel) twice through the qlosure mapper — scalar unweighted
+/// profile vs. the affine replay fast path over a warmed plan cache — and
+/// appends an "affine_replay" section (speedup ratio, identity flag,
+/// replay coverage) to the JSON document. The default run is unchanged.
+///
 /// Results are also written to BENCH_kernel.json in the working directory.
 /// JSON schema (one object):
 ///   {
@@ -33,7 +39,16 @@
 ///         "kernel_seconds": <float>,    // kernel path wall clock
 ///         "speedup": <float>,           // ref_seconds / kernel_seconds
 ///         "kernel_swaps_per_sec": <float>,
-///         "kernel_gates_per_sec": <float> }, ... ]
+///         "kernel_gates_per_sec": <float> }, ... ],
+///     "affine_replay": {                  // only with --affine
+///       "workload": <string>,
+///       "backend": <string>,
+///       "all_identical": <bool>,          // replay == scalar, gate for gate
+///       "scalar_seconds": <float>,
+///       "affine_seconds": <float>,        // warm plan cache
+///       "speedup": <float>,               // scalar_seconds / affine_seconds
+///       "replayed_periods": <int>,
+///       "fallback_periods": <int> }
 ///   }
 ///
 /// --threads is accepted for flag uniformity but ignored: the comparison
@@ -56,6 +71,7 @@
 #include "support/Timer.h"
 #include "topology/Backends.h"
 #include "workloads/Queko.h"
+#include "workloads/Structured.h"
 
 #include <cstdio>
 #include <memory>
@@ -227,6 +243,59 @@ int main(int Argc, char **Argv) {
   std::printf("\nShape check: every row must say 'yes' and speedups "
               "should be >= 1.5x (PR 3 acceptance bar).\n");
 
+  // --affine: scalar vs. replay on a structured loop workload, same
+  // context, same scratch, warm plan cache. Byte-identity is the bar.
+  bool AffineIdentical = true;
+  double AffineScalarSeconds = 0;
+  double AffineFastSeconds = 0;
+  size_t AffineReplayed = 0;
+  size_t AffineFallbacks = 0;
+  Circuit AffineLoop = qftLikeKernel(16, Config.Full ? 200 : 60);
+  CouplingGraph AffineBackend = makeBackendByName("aspen16");
+  if (Config.Affine) {
+    RoutingContext Ctx = RoutingContext::build(AffineLoop, AffineBackend);
+    QlosureOptions ScalarOpts;
+    ScalarOpts.UseDependencyWeights = false;
+    ScalarOpts.Seed = Config.Seed;
+    QlosureOptions FastOpts = ScalarOpts;
+    FastOpts.AffineReplay = true;
+    QlosureRouter ScalarRouter(ScalarOpts);
+    QlosureRouter FastRouter(FastOpts);
+
+    // Warm-up pass records the period's swap schedule into the context's
+    // plan cache; the timed pass below replays it.
+    FastRouter.routeWithIdentity(Ctx, Scratch);
+
+    const unsigned Reps = 3;
+    RoutingResult ScalarResult, FastResult;
+    for (unsigned R = 0; R < Reps; ++R) {
+      Timer ScalarClock;
+      ScalarResult = ScalarRouter.routeWithIdentity(Ctx, Scratch);
+      AffineScalarSeconds += ScalarClock.elapsedSeconds();
+      Timer FastClock;
+      FastResult = FastRouter.routeWithIdentity(Ctx, Scratch);
+      AffineFastSeconds += FastClock.elapsedSeconds();
+      AffineReplayed += FastResult.AffineReplayedPeriods;
+      AffineFallbacks += FastResult.AffineFallbackPeriods;
+      std::string Why;
+      if (!resultsIdentical(ScalarResult, FastResult, Why)) {
+        AffineIdentical = false;
+        AllIdentical = false;
+        std::fprintf(stderr, "error: affine replay diverges on %s: %s\n",
+                     AffineLoop.name().c_str(), Why.c_str());
+      }
+    }
+    double AffineSpeedup = AffineFastSeconds > 0
+                               ? AffineScalarSeconds / AffineFastSeconds
+                               : 0;
+    std::printf("\nAffine replay (%s on aspen16): identical=%s "
+                "scalar=%.3fs affine=%.3fs speedup=%.2fx "
+                "replayed=%zu fallbacks=%zu\n",
+                AffineLoop.name().c_str(), AffineIdentical ? "yes" : "NO",
+                AffineScalarSeconds, AffineFastSeconds, AffineSpeedup,
+                AffineReplayed, AffineFallbacks);
+  }
+
   // See the file header for the JSON schema.
   {
     FILE *F = std::fopen("BENCH_kernel.json", "w");
@@ -261,7 +330,28 @@ int main(int Argc, char **Argv) {
           static_cast<double>(Row.RoutedGates) / Row.KernelSeconds,
           I + 1 < Rows.size() ? "," : "");
     }
-    std::fprintf(F, "  ]\n}\n");
+    if (Config.Affine) {
+      std::fprintf(
+          F,
+          "  ],\n"
+          "  \"affine_replay\": {\n"
+          "    \"workload\": \"%s\",\n"
+          "    \"backend\": \"aspen16\",\n"
+          "    \"all_identical\": %s,\n"
+          "    \"scalar_seconds\": %.6f,\n"
+          "    \"affine_seconds\": %.6f,\n"
+          "    \"speedup\": %.3f,\n"
+          "    \"replayed_periods\": %zu,\n"
+          "    \"fallback_periods\": %zu }\n"
+          "}\n",
+          AffineLoop.name().c_str(), AffineIdentical ? "true" : "false",
+          AffineScalarSeconds, AffineFastSeconds,
+          AffineFastSeconds > 0 ? AffineScalarSeconds / AffineFastSeconds
+                                : 0,
+          AffineReplayed, AffineFallbacks);
+    } else {
+      std::fprintf(F, "  ]\n}\n");
+    }
     std::fclose(F);
     std::printf("wrote BENCH_kernel.json\n");
   }

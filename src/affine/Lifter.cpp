@@ -6,9 +6,21 @@
 
 #include "affine/Lifter.h"
 
-#include <cassert>
+#include "support/StringUtils.h"
 
 using namespace qlosure;
+
+Status qlosure::checkLiftable(const Circuit &Circ) {
+  const auto &Gates = Circ.gates();
+  for (size_t GI = 0; GI < Gates.size(); ++GI)
+    if (Gates[GI].Kind == GateKind::Barrier ||
+        Gates[GI].Kind == GateKind::Measure)
+      return Status::error(formatString(
+          "circuit %s contains a %s at trace index %zu; strip "
+          "non-unitaries before lifting (Circuit::withoutNonUnitaries)",
+          Circ.name().c_str(), gateName(Gates[GI].Kind), GI));
+  return Status::success();
+}
 
 namespace {
 
@@ -41,10 +53,6 @@ struct Run {
 
 AffineCircuit qlosure::liftCircuit(const Circuit &Circ,
                                    const LifterOptions &Options) {
-  for (const Gate &G : Circ.gates())
-    assert(G.Kind != GateKind::Barrier && G.Kind != GateKind::Measure &&
-           "strip non-unitaries before lifting");
-
   std::vector<MacroGate> Statements;
   const auto &Gates = Circ.gates();
 

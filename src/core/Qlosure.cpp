@@ -4,29 +4,22 @@
 //
 //===----------------------------------------------------------------------===//
 //
-// The main loop runs out of the caller's RoutingScratch: the look-ahead
-// window, the per-gate level map and the delta-rescoring visit markers are
-// epoch-stamped (O(1) reset per step instead of O(numGates) refills), the
-// per-qubit touching-gate lists are cleared surgically via the touched-set,
-// and every candidate/score array is a reused flat buffer. Only the gates
-// hosted on the two swapped qubits are rescored per candidate (delta
-// rescoring against the cached per-layer base sums). The decision sequence
-// is byte-identical to the pre-scratch implementation
-// (bench_kernel_throughput asserts this).
+// The router facade over the routing kernel (core/RoutingLoop.cpp). When
+// the affine fast path is enabled and the context's period detector found
+// loop structure, a ReplayDriver is attached so repeated loop bodies route
+// by replaying the recorded swap schedule instead of re-scoring candidates
+// (route/ReplayPlan.h documents the exactness contract).
 //
 //===----------------------------------------------------------------------===//
 
 #include "core/Qlosure.h"
 
-#include "circuit/Dag.h"
-#include "route/FrontLayer.h"
-#include "support/Random.h"
-#include "support/Timer.h"
+#include "core/RoutingLoop.h"
+#include "route/ReplayPlan.h"
+#include "support/Fingerprint.h"
 
-#include <algorithm>
-#include <cassert>
-#include <cmath>
-#include <limits>
+#include <cstring>
+#include <optional>
 
 using namespace qlosure;
 
@@ -41,384 +34,56 @@ std::string QlosureRouter::name() const {
   return "Qlosure(distance-only)";
 }
 
-namespace {
-
-/// Routing state shared by the helper methods of the main loop. All
-/// mutable buffers live in the RoutingScratch \p S.
-class RoutingLoop {
-public:
-  RoutingLoop(const QlosureOptions &Options, const RoutingContext &Ctx,
-              const QubitMapping &Initial, RoutingScratch &Scratch,
-              const CancellationToken *Cancel)
-      : Options(Options), Logical(Ctx.circuit()), Hw(Ctx.hardware()),
-        Dag(Ctx.dag()), S(Scratch), Tracker(Ctx.dag(), Scratch),
-        Phi(Initial), TieBreaker(Options.Seed), Cancel(Cancel) {
-    S.ensurePhys(Hw.numQubits());
-    S.Decay.assign(Logical.numQubits(), 1.0);
-    LookaheadC = Options.LookaheadConstant ? Options.LookaheadConstant
-                                           : Ctx.defaultLookahead();
-    UseWeightedDistance = Options.ErrorAware && Hw.hasErrorModel();
-    if (Options.UseDependencyWeights)
-      Weights = &Ctx.dependenceWeights(); // Memoized in the context.
-    // TouchingGates persists across route() calls; start from a clean
-    // slate in case the previous user left entries behind.
-    S.clearTouchingGates();
-    Result.Routed = Circuit(Hw.numQubits(), Logical.name() + ".routed");
-    Result.InitialMapping = Initial;
-    Result.RouterName = "Qlosure";
-  }
-
-  RoutingResult run() {
-    Timer Clock;
-    while (!Tracker.allExecuted()) {
-      // One cancellation poll + progress report per front-layer step: a
-      // null token costs one branch and never perturbs the decisions.
-      if (Cancel) {
-        if (Cancel->cancelled()) {
-          Result.Cancelled = true;
-          break;
-        }
-        Cancel->reportProgress(Tracker.numExecuted(), Logical.size());
-      }
-      if (executeReadyGates())
-        continue;
-      routeOneSwap();
-    }
-    Result.FinalMapping = Phi;
-    Result.MappingSeconds = Clock.elapsedSeconds();
-    return std::move(Result);
-  }
-
-private:
-  /// Executes every currently feasible front gate. Returns true if at
-  /// least one gate was executed.
-  bool executeReadyGates() {
-    bool Progress = false;
-    bool Changed = true;
-    while (Changed) {
-      Changed = false;
-      // Snapshot: execute() mutates the front.
-      S.Ready.clear();
-      for (uint32_t G : Tracker.front())
-        if (isExecutable(G))
-          S.Ready.push_back(G);
-      std::sort(S.Ready.begin(), S.Ready.end()); // Deterministic order.
-      for (uint32_t G : S.Ready) {
-        emitProgramGate(G);
-        Tracker.execute(G);
-        Changed = true;
-        Progress = true;
-      }
-    }
-    if (Progress) {
-      // Algorithm 1 line 9: executing a gate resets the decay vector.
-      std::fill(S.Decay.begin(), S.Decay.end(), 1.0);
-      SwapsSinceProgress = 0;
-    }
-    return Progress;
-  }
-
-  bool isExecutable(uint32_t GateId) const {
-    const Gate &G = Logical.gate(GateId);
-    if (!G.isTwoQubit())
-      return true;
-    return Hw.areAdjacent(
-        static_cast<unsigned>(Phi.physOf(G.Qubits[0])),
-        static_cast<unsigned>(Phi.physOf(G.Qubits[1])));
-  }
-
-  void emitProgramGate(uint32_t GateId) {
-    const Gate &G = Logical.gate(GateId);
-    Result.Routed.addGate(G.withMappedQubits(
-        [this](int32_t Q) { return Phi.physOf(Q); }));
-    Result.InsertedSwapFlags.push_back(0);
-  }
-
-  void emitSwap(unsigned P1, unsigned P2) {
-    Result.Routed.addSwap(static_cast<int32_t>(P1),
-                          static_cast<int32_t>(P2));
-    Result.InsertedSwapFlags.push_back(1);
-    ++Result.NumSwaps;
-    // Decay penalizes the *logical* qubits that moved.
-    int32_t L1 = Phi.logOf(static_cast<int32_t>(P1));
-    int32_t L2 = Phi.logOf(static_cast<int32_t>(P2));
-    Phi.swapPhysical(static_cast<int32_t>(P1), static_cast<int32_t>(P2));
-    if (L1 >= 0)
-      S.Decay[static_cast<size_t>(L1)] += Options.DecayIncrement;
-    if (L2 >= 0)
-      S.Decay[static_cast<size_t>(L2)] += Options.DecayIncrement;
-  }
-
-  /// Builds the look-ahead window and its dependence-distance layers, then
-  /// applies the best-scoring candidate SWAP.
-  void routeOneSwap() {
-    if (SwapsSinceProgress >= Options.MaxSwapsWithoutProgress) {
-      forceResolveOldestGate();
-      return;
-    }
-
-    buildWindowLayers();
-    generateCandidates();
-    assert(!S.Candidates.empty() &&
-           "no candidate SWAPs on a connected graph");
-
-    S.Scores.resize(S.Candidates.size());
-    double BestScore = std::numeric_limits<double>::infinity();
-    for (size_t CI = 0; CI < S.Candidates.size(); ++CI) {
-      S.Scores[CI] = scoreSwap(S.Candidates[CI].first,
-                               S.Candidates[CI].second);
-      BestScore = std::min(BestScore, S.Scores[CI]);
-    }
-
-    // Error-aware extension: among *exact* cost ties, prefer the
-    // candidate on the least noisy coupler. Refining ties cannot perturb
-    // the greedy descent of Eq. 2 at all (experiments with relaxed
-    // margins, and with folding errors into the distance metric, both
-    // ballooned swap counts on dense circuits — cost slack compounds over
-    // thousands of decisions).
-    double TieMargin = 0.0;
-    S.BestIdx.clear();
-    for (size_t CI = 0; CI < S.Candidates.size(); ++CI)
-      if (S.Scores[CI] <= BestScore + TieMargin + 1e-12)
-        S.BestIdx.push_back(CI);
-    if (UseWeightedDistance && S.BestIdx.size() > 1) {
-      double MinError = std::numeric_limits<double>::infinity();
-      for (size_t CI : S.BestIdx)
-        MinError = std::min(
-            MinError, Hw.edgeError(S.Candidates[CI].first,
-                                   S.Candidates[CI].second));
-      size_t Kept = 0;
-      for (size_t CI : S.BestIdx)
-        if (Hw.edgeError(S.Candidates[CI].first, S.Candidates[CI].second) <=
-            MinError + 1e-12)
-          S.BestIdx[Kept++] = CI;
-      S.BestIdx.resize(Kept);
-    }
-    size_t Pick = S.BestIdx[static_cast<size_t>(
-        TieBreaker.nextBounded(S.BestIdx.size()))];
-    emitSwap(S.Candidates[Pick].first, S.Candidates[Pick].second);
-    ++SwapsSinceProgress;
-  }
-
-  /// Termination escape hatch: walk the oldest front 2Q gate's operands
-  /// together along a shortest path.
-  void forceResolveOldestGate() {
-    uint32_t Oldest = UINT32_MAX;
-    for (uint32_t G : Tracker.front())
-      if (Logical.gate(G).isTwoQubit())
-        Oldest = std::min(Oldest, G);
-    assert(Oldest != UINT32_MAX && "stuck without a blocked 2Q gate");
-    const Gate &G = Logical.gate(Oldest);
-    unsigned P1 = static_cast<unsigned>(Phi.physOf(G.Qubits[0]));
-    unsigned P2 = static_cast<unsigned>(Phi.physOf(G.Qubits[1]));
-    std::vector<unsigned> Path = Hw.shortestPath(P1, P2);
-    // Move the first operand down the path until adjacent to the second.
-    for (size_t I = 0; I + 2 < Path.size(); ++I)
-      emitSwap(Path[I], Path[I + 1]);
-    SwapsSinceProgress = 0;
-  }
-
-  /// Populates S.Window / S.GateLevel / the layer accumulators for the
-  /// current front.
-  void buildWindowLayers() {
-    // n_f = distinct physical qubits hosting front-layer gate operands.
-    S.PhysSeen.beginEpoch();
-    unsigned NumFrontQubits = 0;
-    for (uint32_t GI : Tracker.front()) {
-      const Gate &G = Logical.gate(GI);
-      unsigned N = G.numQubits();
-      for (unsigned Q = 0; Q < N; ++Q) {
-        unsigned P = static_cast<unsigned>(Phi.physOf(G.Qubits[Q]));
-        if (!S.PhysSeen.fresh(P)) {
-          S.PhysSeen.set(P, 1);
-          ++NumFrontQubits;
-        }
-      }
-    }
-
-    // Dependence-distance levels within the window: level 1 for window
-    // gates with no unexecuted predecessor inside the window, otherwise
-    // the maximum predecessor level, incremented for two-qubit gates.
-    // Single-qubit gates transmit their level without incrementing it —
-    // only routable gates define dependence distance for Eq. 2. A stale
-    // GateLevel entry reads 0 = "outside the window" (the pre-scratch
-    // kernel zero-filled an O(numGates) array per step here).
-    S.GateLevel.beginEpoch();
-    unsigned MaxLevel = 0;
-    if (!Options.UseLayerStructure) {
-      // Distance-only / front-only variants: the window is just L_f.
-      S.Window.assign(Tracker.front().begin(), Tracker.front().end());
-      std::sort(S.Window.begin(), S.Window.end());
-      for (uint32_t G : S.Window)
-        S.GateLevel.set(G, 1);
-      MaxLevel = 1;
-    } else {
-      size_t WindowSize =
-          static_cast<size_t>(LookaheadC) * NumFrontQubits;
-      // The budget counts two-qubit gates: they are the ones the cost
-      // function scores, so sparse circuits with many interleaved 1Q
-      // gates keep a comparable routing horizon.
-      Tracker.topologicalWindow(std::max<size_t>(WindowSize, 1),
-                                /*CountTwoQubitOnly=*/true); // Fills S.Window.
-      for (uint32_t G : S.Window) {
-        unsigned Level = 0;
-        for (uint32_t Pred : Dag.predecessors(G))
-          Level = std::max(Level, S.GateLevel.get(Pred)); // 0 if outside.
-        bool IsTwoQubit = Logical.gate(G).isTwoQubit();
-        unsigned GLevel = Level + (IsTwoQubit ? 1 : 0);
-        if (!IsTwoQubit && GLevel == 0)
-          GLevel = 1; // 1Q window roots sit in the front layer.
-        S.GateLevel.set(G, GLevel);
-        MaxLevel = std::max(MaxLevel, GLevel);
-      }
-    }
-
-    // Per-layer 2Q-gate membership and base distance sums. Per-qubit
-    // touching lists are cleared surgically (only last step's touched
-    // qubits), keeping their capacity.
-    S.LayerGateCount.assign(MaxLevel + 1, 0);
-    S.LayerBaseSum.assign(MaxLevel + 1, 0.0);
-    S.clearTouchingGates();
-    for (uint32_t G : S.Window) {
-      const Gate &Gate2 = Logical.gate(G);
-      if (!Gate2.isTwoQubit())
-        continue;
-      unsigned L = S.GateLevel.get(G);
-      ++S.LayerGateCount[L];
-      unsigned PA = static_cast<unsigned>(Phi.physOf(Gate2.Qubits[0]));
-      unsigned PB = static_cast<unsigned>(Phi.physOf(Gate2.Qubits[1]));
-      S.LayerBaseSum[L] += gateTerm(G, PA, PB);
-      if (S.TouchingGates[PA].empty())
-        S.TouchedPhys.push_back(PA);
-      S.TouchingGates[PA].push_back(G);
-      if (S.TouchingGates[PB].empty())
-        S.TouchedPhys.push_back(PB);
-      S.TouchingGates[PB].push_back(G);
-    }
-  }
-
-  /// The scored term of gate \p G when its operands sit on \p PA / \p PB:
-  /// omega_g * D(PA, PB) (omega forced to 1 without dependency weights).
-  /// D stays the hop metric even in error-aware mode — a weighted metric
-  /// has a per-edge error floor, so swaps toward true adjacency would not
-  /// reduce it and routing would stop converging; error-awareness instead
-  /// penalizes the candidate swap's own edge (see routeOneSwap).
-  double gateTerm(uint32_t G, unsigned PA, unsigned PB) const {
-    double Omega = Options.UseDependencyWeights
-                       ? static_cast<double>((*Weights)[G]) + 1.0
-                       : 1.0;
-    return Omega * static_cast<double>(Hw.distance(PA, PB));
-  }
-
-  /// Fills S.Candidates with the swaps on P_front edges.
-  void generateCandidates() {
-    // P_front: physical qubits of blocked front-layer 2Q gates.
-    S.PhysSeen.beginEpoch();
-    S.PFront.clear();
-    for (uint32_t GI : Tracker.front()) {
-      const Gate &G = Logical.gate(GI);
-      if (!G.isTwoQubit())
-        continue;
-      for (unsigned Q = 0; Q < 2; ++Q) {
-        unsigned P = static_cast<unsigned>(Phi.physOf(G.Qubits[Q]));
-        if (!S.PhysSeen.fresh(P)) {
-          S.PhysSeen.set(P, 1);
-          S.PFront.push_back(P);
-        }
-      }
-    }
-    std::sort(S.PFront.begin(), S.PFront.end());
-    S.Candidates.clear();
-    for (unsigned P1 : S.PFront) {
-      for (unsigned P2 : Hw.neighbors(P1)) {
-        unsigned Lo = std::min(P1, P2), Hi = std::max(P1, P2);
-        bool Duplicate = false;
-        for (const auto &C : S.Candidates)
-          if (C.first == Lo && C.second == Hi) {
-            Duplicate = true;
-            break;
-          }
-        if (!Duplicate)
-          S.Candidates.push_back({Lo, Hi});
-      }
-    }
-  }
-
-  /// Evaluates Eq. 2 for the candidate SWAP (P1, P2) by adjusting the
-  /// cached per-layer base sums with the terms of affected gates only
-  /// (delta rescoring: only gates hosted on the swapped qubits move).
-  double scoreSwap(unsigned P1, unsigned P2) {
-    S.LayerAdjust.assign(S.LayerBaseSum.size(), 0.0);
-    S.GateVisited.beginEpoch();
-    auto adjustGatesOn = [&](unsigned P) {
-      for (uint32_t G : S.TouchingGates[P]) {
-        if (S.GateVisited.fresh(G))
-          continue; // Gate touches both swapped qubits: visit once.
-        S.GateVisited.set(G, 1);
-        const Gate &Gate2 = Logical.gate(G);
-        unsigned PA = static_cast<unsigned>(Phi.physOf(Gate2.Qubits[0]));
-        unsigned PB = static_cast<unsigned>(Phi.physOf(Gate2.Qubits[1]));
-        unsigned NewPA = PA == P1 ? P2 : (PA == P2 ? P1 : PA);
-        unsigned NewPB = PB == P1 ? P2 : (PB == P2 ? P1 : PB);
-        unsigned L = S.GateLevel.get(G);
-        S.LayerAdjust[L] +=
-            gateTerm(G, NewPA, NewPB) - gateTerm(G, PA, PB);
-      }
-    };
-    adjustGatesOn(P1);
-    adjustGatesOn(P2);
-
-    double Sum = 0;
-    for (size_t L = 1; L < S.LayerBaseSum.size(); ++L) {
-      if (S.LayerGateCount[L] == 0)
-        continue;
-      double Gamma = (S.LayerBaseSum[L] + S.LayerAdjust[L]) /
-                     static_cast<double>(L); // 1/l layer discount.
-      Sum += Gamma / static_cast<double>(S.LayerGateCount[L]);
-    }
-
-    int32_t L1 = Phi.logOf(static_cast<int32_t>(P1));
-    int32_t L2 = Phi.logOf(static_cast<int32_t>(P2));
-    double D1 = L1 >= 0 ? S.Decay[static_cast<size_t>(L1)] : 1.0;
-    double D2 = L2 >= 0 ? S.Decay[static_cast<size_t>(L2)] : 1.0;
-    return std::max(D1, D2) * Sum;
-  }
-
-  const QlosureOptions &Options;
-  const Circuit &Logical;
-  const CouplingGraph &Hw;
-  const CircuitDag &Dag;
-  RoutingScratch &S;
-  FrontLayerTracker Tracker;
-  QubitMapping Phi;
-  Rng TieBreaker;
-  const CancellationToken *Cancel = nullptr;
-  const std::vector<uint64_t> *Weights = nullptr;
-  unsigned LookaheadC = 0;
-  unsigned SwapsSinceProgress = 0;
-  bool UseWeightedDistance = false;
-
-  RoutingResult Result;
-};
-
-} // namespace
-
 RoutingContextOptions QlosureRouter::contextOptions() const {
   RoutingContextOptions CtxOptions;
   CtxOptions.Weights = Options.Weights;
   // Error-aware mode reads only per-edge error rates for tie-breaking
-  // (see routeOneSwap); it never consults the weighted distance matrix, so
-  // RequireWeightedDistances stays off.
+  // (see RoutingLoop::routeOneSwap); it never consults the weighted
+  // distance matrix, so RequireWeightedDistances stays off.
   return CtxOptions;
 }
+
+namespace {
+
+/// Folds every option that can influence a routing decision into the
+/// replay anchor salt, so plans recorded under one configuration can never
+/// match a boundary routed under another.
+uint64_t replayConfigSalt(const QlosureOptions &O) {
+  uint64_t DecayBits = 0;
+  static_assert(sizeof(DecayBits) == sizeof(O.DecayIncrement), "");
+  std::memcpy(&DecayBits, &O.DecayIncrement, sizeof(DecayBits));
+  uint64_t Salt = 0x51AE17AFF1E0ULL;
+  Salt = hashCombine(Salt, O.UseDependencyWeights ? 1 : 0);
+  Salt = hashCombine(Salt, O.UseLayerStructure ? 1 : 0);
+  Salt = hashCombine(Salt, DecayBits);
+  Salt = hashCombine(Salt, O.LookaheadConstant);
+  Salt = hashCombine(Salt, O.ErrorAware ? 1 : 0);
+  Salt = hashCombine(Salt, O.Seed);
+  Salt = hashCombine(Salt, O.MaxSwapsWithoutProgress);
+  return Salt;
+}
+
+} // namespace
 
 RoutingResult QlosureRouter::route(const RoutingContext &Ctx,
                                    const QubitMapping &Initial,
                                    RoutingScratch &Scratch,
                                    const CancellationToken *Cancel) {
   checkPreconditions(Ctx, Initial);
-  RoutingLoop Loop(Options, Ctx, Initial, Scratch, Cancel);
+  detail::RoutingLoop Loop(Options, Ctx, Initial, Scratch, Cancel);
+  std::optional<ReplayDriver> Driver;
+  if (Options.AffineReplay) {
+    if (const PeriodStructure *Period = Ctx.periodStructure()) {
+      Driver.emplace(*Period, replayConfigSalt(Options),
+                     Ctx.replayPlanCache());
+      Loop.setReplayDriver(&*Driver);
+    }
+  }
   RoutingResult Result = Loop.run();
+  if (Driver) {
+    Result.AffineReplayedPeriods = Driver->replayedPeriods();
+    Result.AffineFallbackPeriods = Driver->fallbackPeriods();
+  }
   Result.RouterName = name();
   return Result;
 }

@@ -61,6 +61,16 @@ struct QlosureOptions {
   /// coupling graph (see applySyntheticErrorModel).
   bool ErrorAware = false;
 
+  /// Affine fast path: when the context's period detector finds loop
+  /// structure, route the loop body once and replay the recorded swap
+  /// schedule (permutation-composed) for later iterations whose boundary
+  /// state matches the recording anchor (see route/ReplayPlan.h). Any
+  /// deviation falls back to the scalar kernel mid-period, so results are
+  /// byte-identical to this flag being off. Most effective with
+  /// UseDependencyWeights off — omega is generally aperiodic, and the
+  /// replay engine refuses to replay across differing weight slices.
+  bool AffineReplay = false;
+
   /// Random tie-breaking seed.
   uint64_t Seed = 0x5EED5EED5EEDULL;
 

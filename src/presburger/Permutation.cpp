@@ -1,0 +1,55 @@
+//===- presburger/Permutation.cpp - Permutations from relations ----------------===//
+//
+// Part of the Qlosure project. Distributed under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "presburger/Permutation.h"
+
+using namespace qlosure;
+using namespace qlosure::presburger;
+
+std::optional<std::vector<int32_t>>
+presburger::extractPermutation(const IntegerMap &Rel, unsigned NumQubits,
+                               size_t MaxPairs) {
+  if (Rel.numIn() != 1 || Rel.numOut() != 1)
+    return std::nullopt;
+
+  std::optional<std::vector<std::pair<Point, Point>>> Pairs =
+      Rel.enumeratePairs(MaxPairs);
+  if (!Pairs)
+    return std::nullopt;
+
+  std::vector<int32_t> To(NumQubits, -1);
+  std::vector<uint8_t> Used(NumQubits, 0);
+  for (const auto &[In, Out] : *Pairs) {
+    int64_t Src = In[0], Dst = Out[0];
+    if (Src < 0 || Src >= NumQubits || Dst < 0 || Dst >= NumQubits)
+      return std::nullopt;
+    if (To[Src] == Dst)
+      continue; // Same pair contributed by several pieces.
+    if (To[Src] != -1 || Used[Dst])
+      return std::nullopt; // Not functional / not injective.
+    To[Src] = static_cast<int32_t>(Dst);
+    Used[Dst] = 1;
+  }
+
+  // Completion pass 1: a qubit the relation never mentions stays fixed.
+  for (unsigned Q = 0; Q < NumQubits; ++Q)
+    if (To[Q] == -1 && !Used[Q]) {
+      To[Q] = static_cast<int32_t>(Q);
+      Used[Q] = 1;
+    }
+  // Completion pass 2: pair the leftover sources and images in ascending
+  // order (both lists have equal length by counting).
+  unsigned NextImage = 0;
+  for (unsigned Q = 0; Q < NumQubits; ++Q) {
+    if (To[Q] != -1)
+      continue;
+    while (NextImage < NumQubits && Used[NextImage])
+      ++NextImage;
+    To[Q] = static_cast<int32_t>(NextImage);
+    Used[NextImage] = 1;
+  }
+  return To;
+}

@@ -1,0 +1,45 @@
+//===- presburger/Permutation.h - Permutations from relations ----*- C++ -*-===//
+//
+// Part of the Qlosure project. Distributed under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Extraction of qubit permutations from presburger relations. The affine
+/// fast path composes the access relations of corresponding statements in
+/// consecutive loop iterations (reverse(A_S) . A_S') to obtain the relation
+/// "qubit q of iteration j becomes qubit q' of iteration j+1"; when that
+/// relation is a partial injection over the qubit range it extends to a
+/// total permutation the replay engine can compose per iteration.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef QLOSURE_PRESBURGER_PERMUTATION_H
+#define QLOSURE_PRESBURGER_PERMUTATION_H
+
+#include "presburger/IntegerMap.h"
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+namespace qlosure {
+namespace presburger {
+
+/// Interprets \p Rel — a 1-D -> 1-D relation — as a (partial) qubit
+/// permutation over [0, NumQubits) and completes it to a total one.
+///
+/// Fails (nullopt) when the relation is unbounded or over the enumeration
+/// budget, mentions qubits outside [0, NumQubits), or is not a partial
+/// injection (two images for one source, or two sources for one image).
+/// Unconstrained qubits are completed deterministically: a qubit that is
+/// neither a source nor an image stays fixed; the remaining unmatched
+/// sources and images are paired in ascending order.
+std::optional<std::vector<int32_t>>
+extractPermutation(const IntegerMap &Rel, unsigned NumQubits,
+                   size_t MaxPairs = 1 << 16);
+
+} // namespace presburger
+} // namespace qlosure
+
+#endif // QLOSURE_PRESBURGER_PERMUTATION_H

@@ -63,6 +63,14 @@ struct RoutingResult {
   bool Cancelled = false;
   std::string RouterName;
 
+  /// Affine fast-path accounting (Qlosure with AffineReplay only; zero
+  /// everywhere else). Periods of the detected loop region routed by
+  /// replaying a recorded swap schedule vs. by the scalar kernel; the two
+  /// sum to at most the region's period count (prologue and tail gates
+  /// are outside either bucket).
+  size_t AffineReplayedPeriods = 0;
+  size_t AffineFallbackPeriods = 0;
+
   /// Depth of the routed circuit under \p Model.
   size_t routedDepth(SwapCostModel Model = SwapCostModel::SwapAsOneGate) const {
     return Routed.depth(Model);

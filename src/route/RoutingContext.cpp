@@ -6,6 +6,8 @@
 
 #include "route/RoutingContext.h"
 
+#include "affine/PeriodDetector.h"
+#include "route/ReplayPlan.h"
 #include "support/StringUtils.h"
 
 using namespace qlosure;
@@ -79,4 +81,18 @@ const std::vector<uint64_t> &RoutingContext::dependenceWeights() const {
 const WeightResult &RoutingContext::dependenceWeightResult() const {
   dependenceWeights(); // Ensure the memoized computation ran.
   return Lazy->Weights;
+}
+
+const PeriodStructure *RoutingContext::periodStructure() const {
+  std::call_once(Lazy->AffineOnce, [this] {
+    if (std::optional<PeriodStructure> Found = detectPeriod(*Logical))
+      Lazy->Affine = std::make_shared<PeriodStructure>(std::move(*Found));
+  });
+  return Lazy->Affine.get();
+}
+
+ReplayPlanCache &RoutingContext::replayPlanCache() const {
+  std::call_once(Lazy->PlansOnce,
+                 [this] { Lazy->Plans = std::make_shared<ReplayPlanCache>(); });
+  return *Lazy->Plans;
 }

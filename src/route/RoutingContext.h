@@ -43,6 +43,9 @@
 
 namespace qlosure {
 
+struct PeriodStructure;
+class ReplayPlanCache;
+
 /// Knobs for context construction.
 struct RoutingContextOptions {
   /// omega engine used when a mapper asks for dependenceWeights().
@@ -99,6 +102,17 @@ public:
   /// the first dependenceWeights() call).
   const WeightResult &dependenceWeightResult() const;
 
+  /// Detected loop structure of the circuit (affine/PeriodDetector.h), or
+  /// null when the trace has none. Lifted and detected on first use,
+  /// memoized for every later reader — service-cached contexts pay for
+  /// detection once per circuit fingerprint.
+  const PeriodStructure *periodStructure() const;
+
+  /// The context's shared replay-plan store (route/ReplayPlan.h): swap
+  /// schedules recorded by one route() call replay in any later call over
+  /// this context with a matching configuration, from any thread.
+  ReplayPlanCache &replayPlanCache() const;
+
   /// Identity placement over this context's circuit and device.
   QubitMapping identityMapping() const {
     return QubitMapping::identity(Logical->numQubits(), Hw->numQubits());
@@ -112,6 +126,12 @@ private:
   struct LazyState {
     std::once_flag WeightsOnce;
     WeightResult Weights;
+    std::once_flag AffineOnce;
+    /// Null after detection when the circuit has no loop structure.
+    /// shared_ptr so the header needs only a forward declaration.
+    std::shared_ptr<PeriodStructure> Affine;
+    std::once_flag PlansOnce;
+    std::shared_ptr<ReplayPlanCache> Plans;
   };
 
   const Circuit *Logical = nullptr;

@@ -122,6 +122,9 @@ RequestParse service::parseRequest(const std::string &Line) {
   if (!readMember(Obj, "error_aware", false, json::Value::Kind::Bool, Err,
                   [&](const json::Value &V) { Route.ErrorAware = V.asBool(); }))
     return fail(Err.ErrorCode, Err.ErrorMessage);
+  if (!readMember(Obj, "affine", false, json::Value::Kind::Bool, Err,
+                  [&](const json::Value &V) { Route.Affine = V.asBool(); }))
+    return fail(Err.ErrorCode, Err.ErrorMessage);
   if (!readMember(Obj, "include_qasm", false, json::Value::Kind::Bool, Err,
                   [&](const json::Value &V) {
                     Route.IncludeQasm = V.asBool();

@@ -14,7 +14,8 @@
 ///   -> {"op":"shutdown"}
 ///   -> {"op":"route","qasm":"...","mapper":"qlosure","backend":
 ///       "sherbrooke","bidirectional":false,"error_aware":false,
-///       "calibration":1,"include_qasm":true,"timeout_ms":30000,
+///       "affine":false,"calibration":1,"include_qasm":true,
+///       "timeout_ms":30000,
 ///       "progress":false,"id":"r1"}
 ///   -> {"op":"cancel","id":"r1"}
 ///   <- {"ok":true,"op":"route","id":"r1","stats":{...},"cache_hit":true,
@@ -77,6 +78,10 @@ struct RouteRequest {
   std::string Backend = "sherbrooke";
   bool Bidirectional = false;
   bool ErrorAware = false;
+  /// Route with the affine replay fast path (periodic circuits reuse the
+  /// first iteration's swap schedule; exact-fallback otherwise). Implies
+  /// the unweighted scoring profile for the qlosure mapper.
+  bool Affine = false;
   uint64_t CalibrationSeed = 1;
   /// Echo the routed program in the response (stats-only callers save the
   /// bytes by setting this false).

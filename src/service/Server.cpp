@@ -47,14 +47,20 @@ bool isKnown(const char *const *Names, size_t Count,
 }
 
 std::unique_ptr<Router> makeServiceRouter(const std::string &Name,
-                                          bool ErrorAware) {
+                                          bool ErrorAware, bool Affine) {
   if (Name == "qlosure") {
     QlosureOptions Opts;
     Opts.ErrorAware = ErrorAware;
+    Opts.AffineReplay = Affine;
+    // Replay is only exact under the unweighted scoring profile (omega
+    // is aperiodic even on periodic traces, so weighted anchors rarely
+    // recur); requesting affine selects that profile.
+    if (Affine)
+      Opts.UseDependencyWeights = false;
     return std::make_unique<QlosureRouter>(Opts);
   }
-  // Baselines have no error-aware mode; they route on the calibrated
-  // graph with plain distances (mirrors tools/qlosure-route).
+  // Baselines have no error-aware or affine mode; they route on the
+  // calibrated graph with plain distances (mirrors tools/qlosure-route).
   return makeRouterByName(Name);
 }
 
@@ -575,7 +581,8 @@ void Server::handleRoute(const std::shared_ptr<Connection> &Conn,
   uint64_t CircuitFp = fingerprint(*Logical);
   uint64_t MapperConfigFp = hashCombine(
       fingerprintString(Route.Mapper),
-      (Route.Bidirectional ? 2u : 0u) | (Route.ErrorAware ? 1u : 0u));
+      (Route.Affine ? 4u : 0u) | (Route.Bidirectional ? 2u : 0u) |
+          (Route.ErrorAware ? 1u : 0u));
   CacheKey ResultKey{CircuitFp, Backend->Fingerprint, MapperConfigFp};
 
   if (auto Cached = Results.lookup(ResultKey)) {
@@ -623,6 +630,7 @@ void Server::handleRoute(const std::shared_ptr<Connection> &Conn,
   Params.Backend = Route.Backend;
   Params.Bidirectional = Route.Bidirectional;
   Params.ErrorAware = Route.ErrorAware;
+  Params.Affine = Route.Affine;
   Params.CalibrationSeed = Route.CalibrationSeed;
   Params.IncludeQasm = Route.IncludeQasm;
   Params.TimeoutMs = Route.TimeoutMs;
@@ -650,7 +658,7 @@ void Server::handleRoute(const std::shared_ptr<Connection> &Conn,
       return FinishCancelled();
 
     std::unique_ptr<Router> Mapper =
-        makeServiceRouter(Route.Mapper, Route.ErrorAware);
+        makeServiceRouter(Route.Mapper, Route.ErrorAware, Route.Affine);
     RoutingContextOptions CtxOptions = Mapper->contextOptions();
     CacheKey ContextKey{CircuitFp, Backend->Fingerprint,
                         fingerprint(CtxOptions)};
@@ -687,6 +695,11 @@ void Server::handleRoute(const std::shared_ptr<Connection> &Conn,
     RoutingResult Result = Mapper->route(Ctx, Initial, Scratch, &Cancel);
     if (Result.Cancelled)
       return FinishCancelled();
+    if (Result.AffineReplayedPeriods || Result.AffineFallbackPeriods) {
+      std::lock_guard<std::mutex> Lock(CounterMu);
+      Counters.AffineReplays += Result.AffineReplayedPeriods;
+      Counters.AffineFallbacks += Result.AffineFallbackPeriods;
+    }
     VerifyResult Check =
         verifyRouting(Ctx.circuit(), Ctx.hardware(), Result);
     if (!Check.Ok)
@@ -759,6 +772,8 @@ json::Value Server::statsJson() const {
     ServerObj.set("route_requests", Counters.RouteRequests);
     ServerObj.set("cancel_requests", Counters.CancelRequests);
     ServerObj.set("errors", Counters.Errors);
+    ServerObj.set("affine_replays", Counters.AffineReplays);
+    ServerObj.set("affine_fallbacks", Counters.AffineFallbacks);
   }
   ServerObj.set("uptime_seconds", Uptime.elapsedSeconds());
   ServerObj.set("socket", Options.SocketPath);

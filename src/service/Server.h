@@ -121,6 +121,11 @@ struct ServerCounters {
   uint64_t RouteRequests = 0;
   uint64_t CancelRequests = 0;
   uint64_t Errors = 0;
+  /// Affine fast-path outcomes, summed over every completed route: loop
+  /// periods covered by replaying a recorded swap schedule vs. periods
+  /// routed gate-by-gate (recording or post-divergence fallback).
+  uint64_t AffineReplays = 0;
+  uint64_t AffineFallbacks = 0;
 };
 
 /// The service.

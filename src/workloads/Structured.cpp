@@ -1,0 +1,102 @@
+//===- workloads/Structured.cpp - Periodic benchmark circuits ------------------===//
+//
+// Part of the Qlosure project. Distributed under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "workloads/Structured.h"
+
+#include "support/Random.h"
+#include "support/StringUtils.h"
+
+#include <cassert>
+#include <utility>
+
+using namespace qlosure;
+
+std::vector<int32_t> qlosure::cyclicShiftPermutation(unsigned NumQubits,
+                                                     int64_t Shift) {
+  std::vector<int32_t> Perm(NumQubits);
+  int64_t N = static_cast<int64_t>(NumQubits);
+  for (int64_t Q = 0; Q < N; ++Q)
+    Perm[static_cast<size_t>(Q)] =
+        static_cast<int32_t>(((Q + Shift) % N + N) % N);
+  return Perm;
+}
+
+Circuit qlosure::repeatWithPermutation(const Circuit &Body,
+                                       const std::vector<int32_t> &Perm,
+                                       int64_t Reps, std::string Name) {
+  assert(Perm.size() == Body.numQubits() &&
+         "permutation arity must match the body");
+  Circuit Result(Body.numQubits(), std::move(Name));
+  std::vector<int32_t> Cur(Perm.size());
+  for (size_t Q = 0; Q < Cur.size(); ++Q)
+    Cur[Q] = static_cast<int32_t>(Q);
+  for (int64_t Rep = 0; Rep < Reps; ++Rep) {
+    for (const Gate &G : Body.gates())
+      Result.addGate(G.withMappedQubits(
+          [&](int32_t Q) { return Cur[static_cast<size_t>(Q)]; }));
+    // Iteration j+1 sees pi^(j+1) = pi o pi^j.
+    for (size_t Q = 0; Q < Cur.size(); ++Q)
+      Cur[Q] = Perm[static_cast<size_t>(Cur[Q])];
+  }
+  return Result;
+}
+
+Circuit qlosure::layeredConveyor(const CouplingGraph &GenDevice,
+                                 unsigned BodyDepth, int64_t Reps,
+                                 uint64_t Seed) {
+  unsigned N = GenDevice.numQubits();
+  Circuit Body(N, "conveyor-body");
+  Rng Gen(Seed);
+
+  // QUEKO-flavored cycles: a maximal-ish set of disjoint device edges per
+  // cycle (shuffled greedy matching), 1Q fillers on a few idle qubits.
+  std::vector<std::pair<unsigned, unsigned>> Edges;
+  for (unsigned P = 0; P < N; ++P)
+    for (unsigned Q : GenDevice.neighbors(P))
+      if (P < Q)
+        Edges.push_back({P, Q});
+  std::vector<uint8_t> Busy(N, 0);
+  for (unsigned Cycle = 0; Cycle < BodyDepth; ++Cycle) {
+    Gen.shuffle(Edges);
+    std::fill(Busy.begin(), Busy.end(), 0);
+    for (const auto &E : Edges) {
+      if (Busy[E.first] || Busy[E.second])
+        continue;
+      Busy[E.first] = Busy[E.second] = 1;
+      Body.addCx(static_cast<int32_t>(E.first),
+                 static_cast<int32_t>(E.second));
+    }
+    for (unsigned Q = 0; Q < N; ++Q)
+      if (!Busy[Q] && Gen.nextBernoulli(0.25))
+        Body.add1Q(GateKind::H, static_cast<int32_t>(Q));
+  }
+
+  return repeatWithPermutation(
+      Body, cyclicShiftPermutation(N, 1), Reps,
+      formatString("conveyor-%s-d%u-x%lld", GenDevice.name().c_str(),
+                   BodyDepth, static_cast<long long>(Reps)));
+}
+
+Circuit qlosure::qftLikeKernel(unsigned NumQubits, int64_t Reps) {
+  assert(NumQubits >= 3 && "the wrap-around link needs at least 3 qubits");
+  Circuit Body(NumQubits, "qft-body");
+  for (unsigned Q = 0; Q < NumQubits; ++Q)
+    Body.add1Q(GateKind::H, static_cast<int32_t>(Q));
+  for (unsigned Q = 0; Q + 1 < NumQubits; ++Q)
+    Body.add2Q(GateKind::CP, static_cast<int32_t>(Q),
+               static_cast<int32_t>(Q + 1),
+               3.14159265358979323846 / static_cast<double>(Q + 2));
+  Body.add2Q(GateKind::CP, static_cast<int32_t>(NumQubits - 1), 0,
+             3.14159265358979323846 / static_cast<double>(NumQubits));
+
+  std::vector<int32_t> Identity(NumQubits);
+  for (unsigned Q = 0; Q < NumQubits; ++Q)
+    Identity[Q] = static_cast<int32_t>(Q);
+  return repeatWithPermutation(
+      Body, Identity, Reps,
+      formatString("qft-kernel-%uq-x%lld", NumQubits,
+                   static_cast<long long>(Reps)));
+}

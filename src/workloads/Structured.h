@@ -1,0 +1,55 @@
+//===- workloads/Structured.h - Periodic benchmark circuits -------*- C++ -*-===//
+//
+// Part of the Qlosure project. Distributed under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Generators for circuits with explicit loop structure — a fixed body
+/// repeated under a per-iteration qubit permutation — the workload class
+/// the affine replay fast path (route/ReplayPlan.h) targets: QAOA/trotter
+/// layers, QFT-like cascades, and conveyor variants of the QUEKO layered
+/// circuits. The generated traces satisfy gate(t + B) = pi(gate(t))
+/// exactly, so the period detector recovers (B, pi) and replay can cover
+/// every iteration after the first.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef QLOSURE_WORKLOADS_STRUCTURED_H
+#define QLOSURE_WORKLOADS_STRUCTURED_H
+
+#include "circuit/Circuit.h"
+#include "topology/CouplingGraph.h"
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace qlosure {
+
+/// The cyclic shift q -> (q + Shift) mod NumQubits (negative shifts wrap).
+std::vector<int32_t> cyclicShiftPermutation(unsigned NumQubits,
+                                            int64_t Shift);
+
+/// Repeats \p Body \p Reps times; iteration j's operands are iteration
+/// 0's pushed through \p Perm j times (gate parameters are preserved
+/// verbatim). \p Perm must be a permutation of [0, Body.numQubits()).
+Circuit repeatWithPermutation(const Circuit &Body,
+                              const std::vector<int32_t> &Perm, int64_t Reps,
+                              std::string Name);
+
+/// A QUEKO-style layered body (disjoint device edges per cycle, 1Q
+/// fillers) of \p BodyDepth cycles on \p GenDevice, repeated \p Reps times
+/// under a cyclic shift — a conveyor of identical interaction layers
+/// marching across the device. Deterministic in \p Seed.
+Circuit layeredConveyor(const CouplingGraph &GenDevice, unsigned BodyDepth,
+                        int64_t Reps, uint64_t Seed);
+
+/// A QFT-like kernel: \p Reps repetitions of one H + nearest-neighbor
+/// controlled-phase cascade with a wrap-around link, pi = identity. The
+/// rotation angles vary within the body and repeat across iterations.
+Circuit qftLikeKernel(unsigned NumQubits, int64_t Reps);
+
+} // namespace qlosure
+
+#endif // QLOSURE_WORKLOADS_STRUCTURED_H

@@ -6,8 +6,13 @@
 
 #include "affine/Lifter.h"
 #include "presburger/Counting.h"
+#include "qasm/Importer.h"
+#include "route/RoutingContext.h"
+#include "topology/Backends.h"
 
+#include <fstream>
 #include <gtest/gtest.h>
+#include <sstream>
 
 using namespace qlosure;
 using namespace qlosure::presburger;
@@ -168,4 +173,149 @@ TEST(LifterTest, ZeroStrideRunOnFixedQubits) {
   EXPECT_EQ(AC.statement(0).Scale[0], 0);
   EXPECT_EQ(AC.statement(0).Scale[1], 0);
   EXPECT_EQ(AC.statement(0).TripCount, 6);
+}
+
+TEST(LifterTest, MinRunLengthBoundary) {
+  // A run of exactly MinRunLength compresses; one gate shorter splits
+  // into singletons. Default MinRunLength is 3.
+  Circuit AtBoundary(8);
+  AtBoundary.addCx(0, 1);
+  AtBoundary.addCx(2, 3);
+  AtBoundary.addCx(4, 5);
+  AffineCircuit AC = liftCircuit(AtBoundary);
+  ASSERT_EQ(AC.numStatements(), 1u);
+  EXPECT_EQ(AC.statement(0).TripCount, 3);
+
+  Circuit Below(8);
+  Below.addCx(0, 1);
+  Below.addCx(2, 3);
+  AffineCircuit Split = liftCircuit(Below);
+  EXPECT_EQ(Split.numStatements(), 2u);
+}
+
+TEST(LifterTest, MinRunLengthIsConfigurable) {
+  Circuit C(8);
+  C.addCx(0, 1);
+  C.addCx(2, 3);
+
+  LifterOptions Pairs;
+  Pairs.MinRunLength = 2;
+  AffineCircuit AC = liftCircuit(C, Pairs);
+  ASSERT_EQ(AC.numStatements(), 1u);
+  EXPECT_EQ(AC.statement(0).TripCount, 2);
+
+  // Raising the bar past an existing run length splits it back apart.
+  Circuit Triple(8);
+  Triple.addCx(0, 1);
+  Triple.addCx(2, 3);
+  Triple.addCx(4, 5);
+  LifterOptions Strict;
+  Strict.MinRunLength = 4;
+  AffineCircuit Split = liftCircuit(Triple, Strict);
+  EXPECT_EQ(Split.numStatements(), 3u);
+  EXPECT_EQ(static_cast<size_t>(Split.numGates()), Triple.size());
+}
+
+TEST(LifterTest, NegativeStridesLift) {
+  // Descending CX ladder: both operands stride by -1.
+  Circuit C(8);
+  C.addCx(7, 6);
+  C.addCx(6, 5);
+  C.addCx(5, 4);
+  C.addCx(4, 3);
+  AffineCircuit AC = liftCircuit(C);
+  ASSERT_EQ(AC.numStatements(), 1u);
+  const MacroGate &S = AC.statement(0);
+  EXPECT_EQ(S.TripCount, 4);
+  EXPECT_EQ(S.Scale[0], -1);
+  EXPECT_EQ(S.Offset[0], 7);
+  EXPECT_EQ(S.Scale[1], -1);
+  EXPECT_EQ(S.Offset[1], 6);
+  IntegerMap Q1 = AC.accessRelation(0, 0);
+  EXPECT_TRUE(Q1.contains({3}, {4}));
+  EXPECT_FALSE(Q1.contains({4}, {3})); // Outside the domain.
+}
+
+TEST(LifterTest, InterleavedMultiStatementPeriods) {
+  // Three iterations of (CX ladder, H sweep): the lifter recovers one
+  // statement per half-iteration, in schedule order, tiling the trace.
+  Circuit C(6);
+  for (int R = 0; R < 3; ++R) {
+    for (int I = 0; I + 1 < 6; I += 2)
+      C.addCx(I, I + 1);
+    for (int I = 0; I < 6; ++I)
+      C.add1Q(GateKind::H, I);
+  }
+  AffineCircuit AC = liftCircuit(C);
+  ASSERT_EQ(AC.numStatements(), 6u);
+  for (size_t S = 0; S < 6; ++S) {
+    const MacroGate &M = AC.statement(S);
+    if (S % 2 == 0) {
+      EXPECT_EQ(M.Kind, GateKind::CX);
+      EXPECT_EQ(M.TripCount, 3);
+      EXPECT_EQ(M.Scale[0], 2);
+    } else {
+      EXPECT_EQ(M.Kind, GateKind::H);
+      EXPECT_EQ(M.TripCount, 6);
+      EXPECT_EQ(M.Scale[0], 1);
+    }
+  }
+  EXPECT_EQ(static_cast<size_t>(AC.numGates()), C.size());
+}
+
+TEST(LifterTest, CoordsOfGateRoundTripAcrossStatementBoundaries) {
+  // Alternating multi-gate statements: every trace index must map back
+  // to (statement, instance) whose schedule time is that index, and the
+  // access relations must agree with the concrete gate operands.
+  Circuit C(9);
+  for (int R = 0; R < 4; ++R) {
+    C.addCx(0, 1);
+    C.addCx(3, 4);
+    C.addCx(6, 7);
+    C.add1Q(GateKind::X, R % 2); // Alternates: singleton statements.
+  }
+  AffineCircuit AC = liftCircuit(C);
+  ASSERT_EQ(static_cast<size_t>(AC.numGates()), C.size());
+  for (int64_t T = 0; T < AC.numGates(); ++T) {
+    GateCoords Coords = AC.coordsOfGate(T);
+    const MacroGate &S = AC.statement(Coords.Statement);
+    EXPECT_EQ(S.time(Coords.Instance), T);
+    for (unsigned Op = 0; Op < S.NumOperands; ++Op)
+      EXPECT_EQ(S.qubit(Op, Coords.Instance),
+                C.gate(static_cast<size_t>(T))
+                    .Qubits[Op]);
+  }
+}
+
+TEST(LifterTest, BarrieredQasmIsRejectedRecoverably) {
+  // Regression: a barrier/measure in the input used to trip an assert in
+  // the lifter; now checkLiftable reports a recoverable Status (and
+  // liftCircuit itself tolerates the gates).
+  std::ifstream In(QLOSURE_TEST_DATA_DIR "/barriered_ghz.qasm");
+  ASSERT_TRUE(In.good());
+  std::ostringstream Buffer;
+  Buffer << In.rdbuf();
+  qasm::ImportResult Imported =
+      qasm::importQasm(Buffer.str(), "barriered-ghz");
+  ASSERT_TRUE(Imported.succeeded()) << Imported.Error;
+  const Circuit &Circ = *Imported.Circ;
+
+  Status Liftable = checkLiftable(Circ);
+  EXPECT_FALSE(Liftable.ok());
+  EXPECT_NE(Liftable.message().find("barrier"), std::string::npos)
+      << Liftable.message();
+
+  // liftCircuit no longer asserts: the trace still tiles completely.
+  AffineCircuit AC = liftCircuit(Circ);
+  EXPECT_EQ(static_cast<size_t>(AC.numGates()), Circ.size());
+
+  // The routing front door rejects the same circuit recoverably.
+  CouplingGraph Hw = makeLine(4);
+  RoutingContext Ctx = RoutingContext::build(Circ, Hw);
+  EXPECT_FALSE(Ctx.valid());
+
+  // Stripping non-unitaries makes both paths accept.
+  Circuit Stripped = Circ.withoutNonUnitaries();
+  EXPECT_TRUE(checkLiftable(Stripped).ok());
+  EXPECT_TRUE(RoutingContext::build(Stripped, Hw).valid());
 }

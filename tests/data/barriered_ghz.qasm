@@ -1,0 +1,17 @@
+OPENQASM 2.0;
+include "qelib1.inc";
+// Regression input for the lifter's non-unitary precheck: a GHZ ladder
+// with a mid-circuit barrier and final measurements. liftCircuit must
+// accept it (barriers lift like any kind); checkLiftable and
+// RoutingContext::build must reject it with a recoverable Status.
+qreg q[4];
+creg c[4];
+h q[0];
+cx q[0],q[1];
+cx q[1],q[2];
+barrier q;
+cx q[2],q[3];
+measure q[0] -> c[0];
+measure q[1] -> c[1];
+measure q[2] -> c[2];
+measure q[3] -> c[3];

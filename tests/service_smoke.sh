@@ -14,10 +14,12 @@ QASM=${2:?usage: service_smoke.sh BIN_DIR QUEKO_QASM}
 SOCK="/tmp/qlosured-smoke-$$.sock"
 RESP="/tmp/qlosured-smoke-$$.json"
 DEEP="/tmp/qlosured-smoke-$$-deep.qasm"
+LOOP="/tmp/qlosured-smoke-$$-loop.qasm"
+STATS_ERR="/tmp/qlosured-smoke-$$-stats.err"
 
 cleanup() {
   [[ -n "${DAEMON_PID:-}" ]] && kill "$DAEMON_PID" 2>/dev/null || true
-  rm -f "$RESP" "$SOCK" "$DEEP"
+  rm -f "$RESP" "$SOCK" "$DEEP" "$LOOP" "$STATS_ERR"
 }
 trap cleanup EXIT
 
@@ -44,6 +46,28 @@ echo "service-smoke: repeated request hit the cache"
 [[ "$status" -eq 1 ]] # error response, not a transport failure
 grep -q '"code":"unknown_mapper"' "$RESP"
 echo "service-smoke: malformed request answered with a structured error"
+
+# Affine fast path over the wire: a hand-rolled periodic circuit (one CX
+# ladder repeated eight times) routed with "affine":true must verify, and
+# the stats document must expose the affine counters as plain numbers —
+# both in the raw JSON (stdout) and in the client's stderr summary.
+{
+  echo 'OPENQASM 2.0;'
+  echo 'include "qelib1.inc";'
+  echo 'qreg q[8];'
+  for _ in 1 2 3 4 5 6 7 8; do
+    for i in 0 1 2 3 4 5 6; do echo "cx q[$i],q[$((i+1))];"; done
+  done
+} > "$LOOP"
+"$BIN_DIR/qlosure-client" --socket "$SOCK" \
+  route --backend aspen16 --affine --stats-only "$LOOP" > "$RESP"
+grep -q '"verified":true' "$RESP"
+"$BIN_DIR/qlosure-client" --socket "$SOCK" stats \
+  > "$RESP" 2> "$STATS_ERR"
+grep -Eq '"affine_replays":[0-9]+' "$RESP"
+grep -Eq '"affine_fallbacks":[0-9]+' "$RESP"
+grep -Eq 'affine replays [0-9]+, affine fallbacks [0-9]+' "$STATS_ERR"
+echo "service-smoke: affine route verified; stats expose the counters"
 
 # Mid-route cancellation (protocol v2): generate a QUEKO circuit deep
 # enough that qmap needs many seconds on sherbrooke2x, submit it, cancel

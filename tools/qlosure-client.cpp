@@ -10,12 +10,18 @@
 ///   qlosure-client [--socket PATH] [--connect-timeout SEC] COMMAND ...
 ///     ping                          liveness probe
 ///     stats                         print the server stats document
+///                                   (raw JSON on stdout; a short human
+///                                   summary incl. the affine replay
+///                                   counters on stderr)
 ///     shutdown                      ask the daemon to stop gracefully
 ///     route [opts] [input.qasm]     route a circuit (stdin when omitted)
 ///       --mapper NAME               qlosure | sabre | qmap | cirq | tket
 ///       --backend NAME              see qlosure-route --backend
 ///       --bidirectional             derived initial placement
 ///       --error-aware               synthetic-calibration error-aware mode
+///       --affine                    affine replay fast path (periodic
+///                                   circuits reuse the first iteration's
+///                                   swap schedule; exact fallback)
 ///       --calibration N             calibration seed (default 1)
 ///       --timeout-ms N              per-request deadline override
 ///       --stats-only                do not request the routed program
@@ -85,6 +91,7 @@ int main(int Argc, char **Argv) {
   std::string OutputPath;
   bool Bidirectional = false;
   bool ErrorAware = false;
+  bool Affine = false;
   bool StatsOnly = false;
   bool QasmOnly = false;
   bool ExpectCacheHit = false;
@@ -119,6 +126,8 @@ int main(int Argc, char **Argv) {
       Bidirectional = true;
     } else if (!std::strcmp(Argv[I], "--error-aware")) {
       ErrorAware = true;
+    } else if (!std::strcmp(Argv[I], "--affine")) {
+      Affine = true;
     } else if (!std::strcmp(Argv[I], "--stats-only")) {
       StatsOnly = true;
     } else if (!std::strcmp(Argv[I], "--qasm-only")) {
@@ -170,6 +179,8 @@ int main(int Argc, char **Argv) {
       Req.set("error_aware", true);
       Req.set("calibration", CalibrationSeed);
     }
+    if (Affine)
+      Req.set("affine", true);
     if (TimeoutMs > 0)
       Req.set("timeout_ms", TimeoutMs);
     if (Progress)
@@ -253,6 +264,24 @@ int main(int Argc, char **Argv) {
     std::fputc('\n', stdout);
   }
 
+  if (Ok && Command == "stats") {
+    // Short human summary on stderr; stdout keeps the raw JSON document
+    // so scripted consumers stay unaffected.
+    if (const json::Value *Srv = Response.get("server");
+        Srv && Srv->isObject()) {
+      auto Count = [&](const char *Name) -> long long {
+        const json::Value *V = Srv->get(Name);
+        return V && V->isNumber() ? static_cast<long long>(V->asNumber())
+                                  : 0;
+      };
+      std::fprintf(stderr,
+                   "server: %lld requests (%lld route, %lld errors), "
+                   "affine replays %lld, affine fallbacks %lld\n",
+                   Count("requests"), Count("route_requests"),
+                   Count("errors"), Count("affine_replays"),
+                   Count("affine_fallbacks"));
+    }
+  }
   if (!Ok)
     return 1;
   if (ExpectCacheHit) {
