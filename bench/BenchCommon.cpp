@@ -31,6 +31,8 @@ BenchConfig qlosure::bench::parseArgs(int Argc, char **Argv) {
       Config.Verify = false;
     } else if (std::strcmp(Argv[I], "--affine") == 0) {
       Config.Affine = true;
+    } else if (std::strcmp(Argv[I], "--simd") == 0) {
+      Config.Simd = true;
     } else if (std::strcmp(Argv[I], "--seed") == 0 && I + 1 < Argc) {
       Config.Seed = std::strtoull(Argv[++I], nullptr, 10);
     } else if (std::strcmp(Argv[I], "--threads") == 0 && I + 1 < Argc) {
@@ -42,7 +44,7 @@ BenchConfig qlosure::bench::parseArgs(int Argc, char **Argv) {
     } else {
       std::fprintf(stderr,
                    "usage: %s [--full] [--seed N] [--no-verify] "
-                   "[--affine] [--threads N]\n",
+                   "[--affine] [--simd] [--threads N]\n",
                    Argv[0]);
       std::exit(2);
     }

@@ -38,6 +38,11 @@ struct BenchConfig {
   /// supports it (bench_kernel_throughput appends a replay-vs-scalar
   /// section; binaries without an affine mode accept and ignore it).
   bool Affine = false;
+  /// --simd: compare the vectorized swap-candidate scoring lanes against
+  /// the scalar fallback in the same binary (bench_kernel_throughput
+  /// appends a per-mapper scalar-vs-SIMD section with a byte-identity
+  /// check; binaries without a SIMD mode accept and ignore the flag).
+  bool Simd = false;
   /// --threads N: BatchRunner workers (0 = hardware concurrency).
   /// Results are identical for every thread count, except where QMAP's
   /// wall-clock budget trips under load (see BatchRunner.h). Benches

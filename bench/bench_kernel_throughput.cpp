@@ -15,6 +15,16 @@
 /// swaps/sec and gates/sec of the kernel path and its speedup over the
 /// reference; the PR 3 acceptance bar is >= 1.5x per mapper.
 ///
+/// With --simd the bench additionally routes every instance twice more
+/// per mapper — once with the vectorized swap-candidate scoring lanes
+/// forced off (simd::setEnabled(false), the scalar fallback) and once
+/// with them on — and appends a "simd" section to the JSON document.
+/// The two paths must be gate-for-gate identical per mapper; the section
+/// reports the per-mapper scalar/SIMD wall clocks and the active ISA
+/// ("avx" / "sse2" / "scalar" for a -DQLOSURE_SIMD=OFF build, where both
+/// passes run the same scalar loops and the speedup is ~1.0 by
+/// construction).
+///
 /// With --affine the bench additionally routes a structured loop workload
 /// (QFT-like kernel) twice through the qlosure mapper — scalar unweighted
 /// profile vs. the affine replay fast path over a warmed plan cache — and
@@ -40,6 +50,14 @@
 ///         "speedup": <float>,           // ref_seconds / kernel_seconds
 ///         "kernel_swaps_per_sec": <float>,
 ///         "kernel_gates_per_sec": <float> }, ... ],
+///     "simd": {                           // only with --simd
+///       "isa": <string>,                  // "avx" | "sse2" | "scalar"
+///       "compiled": <bool>,               // QLOSURE_SIMD=ON at build
+///       "all_identical": <bool>,          // SIMD == scalar, per mapper
+///       "mappers": [
+///         { "name": <string>, "identical": <bool>,
+///           "scalar_seconds": <float>, "simd_seconds": <float>,
+///           "speedup": <float> }, ... ] },
 ///     "affine_replay": {                  // only with --affine
 ///       "workload": <string>,
 ///       "backend": <string>,
@@ -65,6 +83,7 @@
 #include "baselines/Sabre.h"
 #include "baselines/TketBounded.h"
 #include "core/Qlosure.h"
+#include "core/SimdScore.h"
 #include "route/Verify.h"
 #include "support/StringUtils.h"
 #include "support/Table.h"
@@ -243,6 +262,63 @@ int main(int Argc, char **Argv) {
   std::printf("\nShape check: every row must say 'yes' and speedups "
               "should be >= 1.5x (PR 3 acceptance bar).\n");
 
+  // --simd: scalar fallback vs. vectorized scoring lanes, same kernel,
+  // same scratch, interleaved timing. Byte-identity is the bar — the
+  // lanes must mirror the scalar formulas' exact operation order.
+  struct SimdRow {
+    std::string Name;
+    bool Identical = true;
+    double ScalarSeconds = 0;
+    double SimdSeconds = 0;
+  };
+  std::vector<SimdRow> SimdRows;
+  bool SimdIdentical = true;
+  if (Config.Simd) {
+    auto SimdMappers = makeKernelMappers();
+    for (auto &[Key, Mapper] : SimdMappers) {
+      (void)Key;
+      SimdRow Row;
+      Row.Name = Mapper->name();
+      for (size_t I = 0; I < Instances.size(); ++I) {
+        const RoutingContext &Ctx = Contexts[I];
+
+        simd::setEnabled(false);
+        Timer ScalarClock;
+        RoutingResult ScalarResult = Mapper->routeWithIdentity(Ctx, Scratch);
+        Row.ScalarSeconds += ScalarClock.elapsedSeconds();
+
+        simd::setEnabled(true);
+        Timer SimdClock;
+        RoutingResult SimdResult = Mapper->routeWithIdentity(Ctx, Scratch);
+        Row.SimdSeconds += SimdClock.elapsedSeconds();
+
+        std::string Why;
+        if (!resultsIdentical(ScalarResult, SimdResult, Why)) {
+          Row.Identical = false;
+          SimdIdentical = false;
+          AllIdentical = false;
+          std::fprintf(stderr, "error: %s SIMD diverges from scalar on %s: %s\n",
+                       Row.Name.c_str(), Instances[I].Circ.name().c_str(),
+                       Why.c_str());
+        }
+      }
+      SimdRows.push_back(std::move(Row));
+    }
+    simd::setEnabled(true);
+
+    Table S({"Mapper", "Identical", "Scalar s", "SIMD s", "Speedup"});
+    for (const SimdRow &Row : SimdRows)
+      S.addRow({Row.Name, Row.Identical ? "yes" : "NO (BUG)",
+                formatString("%.3f", Row.ScalarSeconds),
+                formatString("%.3f", Row.SimdSeconds),
+                formatString("%.2fx", Row.SimdSeconds > 0
+                                          ? Row.ScalarSeconds / Row.SimdSeconds
+                                          : 0)});
+    std::printf("\nSIMD scoring lanes (isa=%s, compiled=%s):\n",
+                simd::isa(), simd::compiled() ? "yes" : "no");
+    std::fputs(S.render().c_str(), stdout);
+  }
+
   // --affine: scalar vs. replay on a structured loop workload, same
   // context, same scratch, warm plan cache. Byte-identity is the bar.
   bool AffineIdentical = true;
@@ -330,10 +406,33 @@ int main(int Argc, char **Argv) {
           static_cast<double>(Row.RoutedGates) / Row.KernelSeconds,
           I + 1 < Rows.size() ? "," : "");
     }
+    std::fprintf(F, "  ]%s\n", Config.Simd || Config.Affine ? "," : "");
+    if (Config.Simd) {
+      std::fprintf(F,
+                   "  \"simd\": {\n"
+                   "    \"isa\": \"%s\",\n"
+                   "    \"compiled\": %s,\n"
+                   "    \"all_identical\": %s,\n"
+                   "    \"mappers\": [\n",
+                   simd::isa(), simd::compiled() ? "true" : "false",
+                   SimdIdentical ? "true" : "false");
+      for (size_t I = 0; I < SimdRows.size(); ++I) {
+        const SimdRow &Row = SimdRows[I];
+        std::fprintf(
+            F,
+            "      { \"name\": \"%s\", \"identical\": %s,\n"
+            "        \"scalar_seconds\": %.6f, \"simd_seconds\": %.6f,\n"
+            "        \"speedup\": %.3f }%s\n",
+            Row.Name.c_str(), Row.Identical ? "true" : "false",
+            Row.ScalarSeconds, Row.SimdSeconds,
+            Row.SimdSeconds > 0 ? Row.ScalarSeconds / Row.SimdSeconds : 0,
+            I + 1 < SimdRows.size() ? "," : "");
+      }
+      std::fprintf(F, "    ] }%s\n", Config.Affine ? "," : "");
+    }
     if (Config.Affine) {
       std::fprintf(
           F,
-          "  ],\n"
           "  \"affine_replay\": {\n"
           "    \"workload\": \"%s\",\n"
           "    \"backend\": \"aspen16\",\n"
@@ -350,7 +449,7 @@ int main(int Argc, char **Argv) {
                                 : 0,
           AffineReplayed, AffineFallbacks);
     } else {
-      std::fprintf(F, "  ]\n}\n");
+      std::fprintf(F, "}\n");
     }
     std::fclose(F);
     std::printf("wrote BENCH_kernel.json\n");

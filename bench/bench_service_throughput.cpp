@@ -34,8 +34,25 @@
 ///     "cold": { "seconds": <float>, "requests_per_sec": <float>,
 ///               "p50_ms": <float>, "p95_ms": <float> },
 ///     "warm": { ... same fields ... },
-///     "warm_over_cold": <float>          // rps ratio, must be >= 2
+///     "warm_over_cold": <float>,         // rps ratio, must be >= 2
+///     "batch": {                         // one batch op vs N route ops
+///       "items": <int>,                  // circuits per side (disjoint,
+///                                        //   equal-composition sets)
+///       "mapper": <string>,
+///       "individual_seconds": <float>,   // N sequential route requests
+///       "individual_p50_ms": <float>,
+///       "batch_seconds": <float>,        // send -> summary wall clock
+///       "batch_per_item_ms": <float>,    // batch_seconds / items
+///       "batch_over_individual": <float> // individual / batch wall ratio
+///     }
 ///   }
+///
+/// The batch section compares one `batch` session against the same
+/// number of sequential `route` requests on a fresh connection, using
+/// two disjoint circuit sets of identical composition (so neither side
+/// is served from the result cache the other warmed). The batch side
+/// saves N-1 request round trips and enqueues its items contiguously;
+/// its per-item cost must not exceed the individual p50.
 ///
 //===----------------------------------------------------------------------===//
 
@@ -250,6 +267,123 @@ int main(int Argc, char **Argv) {
       runPass(Opts.SocketPath, Requests, NumClients, false);
   PassResult Warm = runPass(Opts.SocketPath, Requests, NumClients, true);
 
+  // One `batch` op vs the same number of sequential `route` ops, on two
+  // disjoint circuit sets of identical composition (fresh seeds — the
+  // result cache the passes above warmed serves neither side).
+  const unsigned NumBatchItems = Config.Full ? 16 : 8;
+  const char *BatchMapper = "qlosure";
+  auto makeFreshSet = [&](uint64_t SeedOffset) {
+    std::vector<std::pair<std::string, std::string>> Set;
+    for (unsigned I = 0; I < NumBatchItems; ++I) {
+      QuekoSpec Spec;
+      Spec.Depth = Depths[I % Depths.size()];
+      Spec.Seed = Config.Seed + SeedOffset + I;
+      QuekoInstance Inst = generateQueko(Gen, Spec);
+      Inst.Circ.setName(formatString("queko-batch-s%llu-i%u",
+                                     static_cast<unsigned long long>(SeedOffset),
+                                     I));
+      Set.emplace_back(Inst.Circ.name(), qasm::printQasm(Inst.Circ));
+    }
+    return Set;
+  };
+  auto IndividualSet = makeFreshSet(1000);
+  auto BatchSet = makeFreshSet(2000);
+
+  bool BatchOk = true;
+  double IndividualSeconds = 0;
+  std::vector<double> IndividualLatenciesMs;
+  {
+    Client Conn;
+    if (!Conn.connect(Opts.SocketPath).ok()) {
+      BatchOk = false;
+    } else {
+      Timer Wall;
+      for (const auto &[Name, Qasm] : IndividualSet) {
+        json::Value Req = json::Value::object();
+        Req.set("op", "route");
+        Req.set("qasm", Qasm);
+        Req.set("mapper", BatchMapper);
+        Req.set("backend", BackendName);
+        Req.set("include_qasm", false);
+        Timer Latency;
+        std::string Resp;
+        if (!Conn.request(Req.dump(), Resp).ok()) {
+          BatchOk = false;
+          break;
+        }
+        IndividualLatenciesMs.push_back(Latency.elapsedMilliseconds());
+        json::ParseResult Parsed = json::parse(Resp);
+        const json::Value *Ok = Parsed.Ok ? Parsed.V.get("ok") : nullptr;
+        if (!Ok || !Ok->asBool()) {
+          BatchOk = false;
+          std::fprintf(stderr, "error: individual route %s failed\n",
+                       Name.c_str());
+        }
+      }
+      IndividualSeconds = Wall.elapsedSeconds();
+    }
+  }
+
+  double BatchSeconds = 0;
+  size_t BatchItemFrames = 0;
+  {
+    Client Conn;
+    if (!Conn.connect(Opts.SocketPath).ok()) {
+      BatchOk = false;
+    } else {
+      json::Value Req = json::Value::object();
+      Req.set("op", "batch");
+      Req.set("id", "bench-batch");
+      Req.set("mapper", BatchMapper);
+      Req.set("backend", BackendName);
+      Req.set("include_qasm", false);
+      json::Value Items = json::Value::array();
+      for (const auto &[Name, Qasm] : BatchSet) {
+        json::Value Item = json::Value::object();
+        Item.set("name", Name);
+        Item.set("qasm", Qasm);
+        Items.push(std::move(Item));
+      }
+      Req.set("items", std::move(Items));
+
+      Timer Wall;
+      std::string Summary;
+      if (!Conn.sendLine(Req.dump()).ok() ||
+          !Conn.recvResponseFor(
+                   "bench-batch", Summary,
+                   [&](const std::string &) { ++BatchItemFrames; })
+               .ok()) {
+        BatchOk = false;
+      } else {
+        BatchSeconds = Wall.elapsedSeconds();
+        json::ParseResult Parsed = json::parse(Summary);
+        const json::Value *Ok = Parsed.Ok ? Parsed.V.get("ok") : nullptr;
+        const json::Value *Succeeded =
+            Parsed.Ok ? Parsed.V.get("succeeded") : nullptr;
+        if (!Ok || !Ok->asBool() || !Succeeded ||
+            static_cast<size_t>(Succeeded->asNumber()) != BatchSet.size() ||
+            BatchItemFrames != BatchSet.size()) {
+          BatchOk = false;
+          std::fprintf(stderr,
+                       "error: batch session failed (%zu item frames, "
+                       "summary: %s)\n",
+                       BatchItemFrames, Summary.c_str());
+        }
+      }
+    }
+  }
+
+  auto p50 = [](std::vector<double> V) {
+    if (V.empty())
+      return 0.0;
+    std::sort(V.begin(), V.end());
+    return V[V.size() / 2];
+  };
+  double IndividualP50 = p50(IndividualLatenciesMs);
+  double BatchPerItemMs =
+      NumBatchItems > 0 ? BatchSeconds * 1000.0 / NumBatchItems : 0;
+  double BatchRatio = BatchSeconds > 0 ? IndividualSeconds / BatchSeconds : 0;
+
   CacheStats CtxStats = Daemon.contextCacheStats();
   CacheStats ResStats = Daemon.resultCacheStats();
   Daemon.stop();
@@ -267,6 +401,12 @@ int main(int Argc, char **Argv) {
               Warm.p(0.50), Warm.p(0.95));
   std::printf("\nwarm/cold throughput: %.2fx (acceptance bar: >= 2x)\n",
               Ratio);
+  std::printf("\nbatch session: %u items in %.3fs (%.2f ms/item) vs %u "
+              "individual routes in %.3fs (p50 %.2f ms) -> %.2fx; "
+              "session ok: %s\n",
+              NumBatchItems, BatchSeconds, BatchPerItemMs, NumBatchItems,
+              IndividualSeconds, IndividualP50, BatchRatio,
+              BatchOk ? "yes" : "NO (BUG)");
   std::printf("byte-identical to direct calls: %s\n",
               AllIdentical ? "yes" : "NO (BUG)");
   std::printf("warm pass all cache hits: %s\n",
@@ -291,6 +431,15 @@ int main(int Argc, char **Argv) {
     Doc.set("cold", passJson(Cold, Requests.size()));
     Doc.set("warm", passJson(Warm, Requests.size()));
     Doc.set("warm_over_cold", Ratio);
+    json::Value BatchObj = json::Value::object();
+    BatchObj.set("items", NumBatchItems);
+    BatchObj.set("mapper", BatchMapper);
+    BatchObj.set("individual_seconds", IndividualSeconds);
+    BatchObj.set("individual_p50_ms", IndividualP50);
+    BatchObj.set("batch_seconds", BatchSeconds);
+    BatchObj.set("batch_per_item_ms", BatchPerItemMs);
+    BatchObj.set("batch_over_individual", BatchRatio);
+    Doc.set("batch", std::move(BatchObj));
     FILE *F = std::fopen("BENCH_service.json", "w");
     if (!F) {
       std::fprintf(stderr, "error: cannot write BENCH_service.json\n");
@@ -301,7 +450,7 @@ int main(int Argc, char **Argv) {
     std::printf("wrote BENCH_service.json\n");
   }
 
-  bool Pass = AllIdentical && Warm.AllCacheHits && Ratio >= 2.0;
+  bool Pass = AllIdentical && Warm.AllCacheHits && Ratio >= 2.0 && BatchOk;
   if (!Pass)
     std::fprintf(stderr, "error: service throughput acceptance FAILED\n");
   return Pass ? 0 : 1;

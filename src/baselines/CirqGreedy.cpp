@@ -6,16 +6,22 @@
 
 #include "baselines/CirqGreedy.h"
 
+#include "core/SimdScore.h"
+
 using namespace qlosure;
 
-double CirqGreedyRouter::scoreSwap(const std::vector<unsigned> &FrontDists,
-                                   const std::vector<unsigned> &ExtendedDists,
-                                   double) const {
-  double Score = 0;
-  for (unsigned D : FrontDists)
-    Score += D;
-  double Ext = 0;
-  for (unsigned D : ExtendedDists)
-    Ext += D;
-  return Score + Options.NextSliceWeight * Ext;
+double CirqGreedyRouter::scoreFromSums(double FrontSum, double ExtSum,
+                                       double /*FrontMax*/,
+                                       double /*MaxDecay*/, size_t /*NumFront*/,
+                                       size_t /*NumExt*/) const {
+  return FrontSum + Options.NextSliceWeight * ExtSum;
+}
+
+void CirqGreedyRouter::scoreLanes(const double *FrontSum, const double *ExtSum,
+                                  const double * /*FrontMax*/,
+                                  const double * /*Decay*/, size_t /*NumFront*/,
+                                  size_t /*NumExt*/, size_t NumCandidates,
+                                  double *Out) const {
+  simd::cirqScoreLanes(Out, FrontSum, ExtSum, Options.NextSliceWeight,
+                       NumCandidates);
 }

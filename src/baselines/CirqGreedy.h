@@ -38,9 +38,13 @@ protected:
     return static_cast<size_t>(
         Options.SliceWindowFactor * static_cast<double>(NumFrontGates)) + 1;
   }
-  double scoreSwap(const std::vector<unsigned> &FrontDists,
-                   const std::vector<unsigned> &ExtendedDists,
-                   double MaxDecay) const override;
+  double scoreFromSums(double FrontSum, double ExtSum, double FrontMax,
+                       double MaxDecay, size_t NumFront,
+                       size_t NumExt) const override;
+  void scoreLanes(const double *FrontSum, const double *ExtSum,
+                  const double *FrontMax, const double *Decay,
+                  size_t NumFront, size_t NumExt, size_t NumCandidates,
+                  double *Out) const override;
 
 private:
   CirqOptions Options;

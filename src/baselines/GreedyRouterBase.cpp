@@ -17,6 +17,7 @@
 #include "baselines/GreedyRouterBase.h"
 
 #include "circuit/Dag.h"
+#include "core/SimdScore.h"
 #include "route/FrontLayer.h"
 #include "support/Random.h"
 #include "support/Timer.h"
@@ -217,31 +218,89 @@ RoutingResult GreedyRouterBase::route(const RoutingContext &Ctx,
       }
     }
 
-    double BestScore = std::numeric_limits<double>::infinity();
-    S.BestIdx.clear();
-    for (size_t CI = 0; CI < S.Candidates.size(); ++CI) {
+    // Lane scoring: the base (no-swap) sums are computed once per step;
+    // each candidate contributes integer deltas for its touched gates
+    // only, and the mapper's formula is then evaluated element-wise over
+    // the per-candidate SoA lanes (SIMD when enabled — bit-identical to
+    // the scalar loop by the SimdScore contract, and to the full
+    // per-candidate recomputation because distance sums of small integers
+    // are exact in double).
+    const size_t NumExt = S.Extended.size();
+    const uint64_t BaseFrontSum =
+        simd::sumU32(S.GreedyBaseDists.data(), NumFront);
+    const uint64_t BaseExtSum =
+        simd::sumU32(S.GreedyBaseDists.data() + NumFront, NumExt);
+    const bool NeedMax = usesFrontMax();
+    unsigned BaseFrontMax = 0;
+    if (NeedMax) {
+      BaseFrontMax = simd::maxU32(S.GreedyBaseDists.data(), NumFront);
+      S.DistHist.assign(static_cast<size_t>(BaseFrontMax) + 1, 0);
+      for (size_t I = 0; I < NumFront; ++I)
+        ++S.DistHist[S.GreedyBaseDists[I]];
+    }
+
+    const size_t NumCand = S.Candidates.size();
+    S.LaneFrontSum.resize(NumCand);
+    S.LaneExtSum.resize(NumCand);
+    S.LaneDecay.resize(NumCand);
+    if (NeedMax)
+      S.LaneFrontMax.resize(NumCand);
+    for (size_t CI = 0; CI < NumCand; ++CI) {
       auto [P1, P2] = S.Candidates[CI];
-      S.FrontDists.assign(S.GreedyBaseDists.begin(),
-                          S.GreedyBaseDists.begin() + NumFront);
-      S.ExtDists.assign(S.GreedyBaseDists.begin() + NumFront,
-                        S.GreedyBaseDists.end());
-      // Patch the gates hosted on the swapped qubits (a gate on both is
-      // patched twice with the same value — harmless).
-      auto patchGatesOn = [&](unsigned P) {
+      int64_t DeltaFront = 0, DeltaExt = 0;
+      unsigned MaxNew = 0;
+      S.TouchedOldD.clear();
+      S.TouchedNewD.clear();
+      auto patchGatesOn = [&](unsigned P, unsigned Other) {
         for (uint32_t I : S.TouchingGates[P]) {
           unsigned PA = S.GreedyEndA[I];
           unsigned PB = S.GreedyEndB[I];
+          // A gate hosted on both swapped qubits keeps its distance: skip
+          // it so it is neither recomputed nor counted from both lists.
+          if (PA == Other || PB == Other)
+            continue;
           unsigned NewPA = PA == P1 ? P2 : (PA == P2 ? P1 : PA);
           unsigned NewPB = PB == P1 ? P2 : (PB == P2 ? P1 : PB);
           unsigned D = Hw.distance(NewPA, NewPB);
-          if (I < NumFront)
-            S.FrontDists[I] = D;
-          else
-            S.ExtDists[I - NumFront] = D;
+          unsigned Old = S.GreedyBaseDists[I];
+          if (I < NumFront) {
+            DeltaFront += static_cast<int64_t>(D) - static_cast<int64_t>(Old);
+            if (NeedMax) {
+              S.TouchedOldD.push_back(Old);
+              S.TouchedNewD.push_back(D);
+              MaxNew = std::max(MaxNew, D);
+            }
+          } else {
+            DeltaExt += static_cast<int64_t>(D) - static_cast<int64_t>(Old);
+          }
         }
       };
-      patchGatesOn(P1);
-      patchGatesOn(P2);
+      patchGatesOn(P1, P2);
+      patchGatesOn(P2, P1);
+      S.LaneFrontSum[CI] = static_cast<double>(
+          static_cast<int64_t>(BaseFrontSum) + DeltaFront);
+      S.LaneExtSum[CI] =
+          static_cast<double>(static_cast<int64_t>(BaseExtSum) + DeltaExt);
+      if (NeedMax) {
+        // Patch the histogram, scan down from the highest possible bin,
+        // then revert — O(touched + scan) instead of O(front) per
+        // candidate, same integer maximum.
+        unsigned Hi = std::max(BaseFrontMax, MaxNew);
+        if (S.DistHist.size() < static_cast<size_t>(Hi) + 1)
+          S.DistHist.resize(static_cast<size_t>(Hi) + 1, 0);
+        for (size_t T = 0; T < S.TouchedOldD.size(); ++T) {
+          --S.DistHist[S.TouchedOldD[T]];
+          ++S.DistHist[S.TouchedNewD[T]];
+        }
+        unsigned M = Hi;
+        while (M > 0 && S.DistHist[M] == 0)
+          --M;
+        S.LaneFrontMax[CI] = static_cast<double>(M);
+        for (size_t T = 0; T < S.TouchedOldD.size(); ++T) {
+          ++S.DistHist[S.TouchedOldD[T]];
+          --S.DistHist[S.TouchedNewD[T]];
+        }
+      }
       double MaxDecay = 1.0;
       if (usesDecay()) {
         int32_t L1 = Phi.logOf(static_cast<int32_t>(P1));
@@ -250,7 +309,21 @@ RoutingResult GreedyRouterBase::route(const RoutingContext &Ctx,
         double D2 = L2 >= 0 ? S.Decay[static_cast<size_t>(L2)] : 1.0;
         MaxDecay = std::max(D1, D2);
       }
-      double Score = scoreSwap(S.FrontDists, S.ExtDists, MaxDecay);
+      S.LaneDecay[CI] = MaxDecay;
+    }
+
+    S.Scores.resize(NumCand);
+    scoreLanes(S.LaneFrontSum.data(), S.LaneExtSum.data(),
+               NeedMax ? S.LaneFrontMax.data() : nullptr, S.LaneDecay.data(),
+               NumFront, NumExt, NumCand, S.Scores.data());
+
+    // Selection: the exact sequential tolerance logic of the reference
+    // implementation (a strictly better score clears earlier ties; later
+    // within-tolerance scores join without lowering the bar).
+    double BestScore = std::numeric_limits<double>::infinity();
+    S.BestIdx.clear();
+    for (size_t CI = 0; CI < NumCand; ++CI) {
+      double Score = S.Scores[CI];
       if (Score < BestScore - 1e-12) {
         BestScore = Score;
         S.BestIdx.clear();
@@ -270,4 +343,13 @@ RoutingResult GreedyRouterBase::route(const RoutingContext &Ctx,
   Result.FinalMapping = Phi;
   Result.MappingSeconds = Clock.elapsedSeconds();
   return Result;
+}
+
+void GreedyRouterBase::scoreLanes(const double *FrontSum, const double *ExtSum,
+                                  const double *FrontMax, const double *Decay,
+                                  size_t NumFront, size_t NumExt,
+                                  size_t NumCandidates, double *Out) const {
+  for (size_t I = 0; I < NumCandidates; ++I)
+    Out[I] = scoreFromSums(FrontSum[I], ExtSum[I], FrontMax ? FrontMax[I] : 0.0,
+                           Decay[I], NumFront, NumExt);
 }

@@ -39,14 +39,30 @@ protected:
   /// (two-qubit gates only). 0 disables the extended window.
   virtual size_t extendedWindowSize(size_t NumFrontGates) const = 0;
 
-  /// Scores the candidate SWAP (P1, P2); lower is better. \p FrontDists
-  /// and \p ExtendedDists hold the post-swap distances of the blocked
-  /// front gates and the extended-window gates respectively.
-  /// \p MaxDecay is max(delta_q1, delta_q2) of the swapped logical qubits
-  /// (always 1.0 if the subclass never increments decay).
-  virtual double scoreSwap(const std::vector<unsigned> &FrontDists,
-                           const std::vector<unsigned> &ExtendedDists,
-                           double MaxDecay) const = 0;
+  /// Scores one candidate SWAP from its precomputed lane values; lower is
+  /// better. \p FrontSum and \p ExtSum are the post-swap distance sums of
+  /// the blocked front gates and the extended-window gates (exact
+  /// integers in double), \p FrontMax the post-swap maximum front
+  /// distance (only meaningful when usesFrontMax()), \p MaxDecay is
+  /// max(delta_q1, delta_q2) of the swapped logical qubits (always 1.0 if
+  /// the subclass never increments decay). \p NumFront / \p NumExt are
+  /// the gate counts behind the sums.
+  virtual double scoreFromSums(double FrontSum, double ExtSum,
+                               double FrontMax, double MaxDecay,
+                               size_t NumFront, size_t NumExt) const = 0;
+
+  /// Evaluates the score formula across all \p NumCandidates lanes into
+  /// \p Out. The default is the scalar loop over scoreFromSums; subclasses
+  /// override with a SIMD kernel (core/SimdScore.h) that is bit-identical
+  /// by contract. \p FrontMax is null unless usesFrontMax().
+  virtual void scoreLanes(const double *FrontSum, const double *ExtSum,
+                          const double *FrontMax, const double *Decay,
+                          size_t NumFront, size_t NumExt,
+                          size_t NumCandidates, double *Out) const;
+
+  /// Whether the score needs the maximum front distance (tket's
+  /// lexicographic fold); gates the per-candidate histogram upkeep.
+  virtual bool usesFrontMax() const { return false; }
 
   /// Whether to apply SABRE decay bookkeeping.
   virtual bool usesDecay() const { return false; }

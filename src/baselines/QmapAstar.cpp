@@ -21,21 +21,25 @@
 
 #include <algorithm>
 #include <cassert>
+#include <cstring>
 
 using namespace qlosure;
 
 namespace {
 
-/// Heap order over node ids: the reference NodeCompare lifted to ids.
-/// Lower f on top; among equal f, deeper nodes (higher g) first.
-struct NodeIdCompare {
-  const std::vector<RoutingScratch::AstarNode> *Nodes;
-  bool operator()(uint32_t A, uint32_t B) const {
-    const RoutingScratch::AstarNode &NA = (*Nodes)[A];
-    const RoutingScratch::AstarNode &NB = (*Nodes)[B];
-    if (NA.costF() != NB.costF())
-      return NA.costF() > NB.costF();
-    return NA.CostG < NB.CostG; // Prefer deeper nodes among equal f.
+/// Heap order over packed (f, g) keys: lower f on top; among equal f,
+/// deeper nodes (higher g) first — the reference NodeCompare's order,
+/// induced by key = (f << 32) | (2^32 - 1 - g) so one integer compare
+/// replaces two node loads per sift step. Equal (f, g) pairs compare
+/// equivalent under both, so push_heap/pop_heap permute identically.
+inline uint64_t heapKey(uint32_t F, uint32_t G) {
+  return (static_cast<uint64_t>(F) << 32) | (0xFFFFFFFFu - G);
+}
+
+struct HeapEntryCompare {
+  bool operator()(const RoutingScratch::AstarHeapEntry &A,
+                  const RoutingScratch::AstarHeapEntry &B) const {
+    return A.Key > B.Key;
   }
 };
 
@@ -130,6 +134,14 @@ RoutingResult QmapAstarRouter::route(const RoutingContext &Ctx,
       };
       GatePairs.push_back({OrdinalOf(G.Qubits[0]), OrdinalOf(G.Qubits[1])});
     }
+    // A chunk comes from one time-slice layer, so its gates are pairwise
+    // qubit-disjoint: every tracked ordinal belongs to exactly one pair.
+    std::vector<unsigned> &PairOf = S.AstarPairOf;
+    PairOf.assign(K, 0);
+    for (unsigned P = 0; P < GatePairs.size(); ++P) {
+      PairOf[GatePairs[P].first] = P;
+      PairOf[GatePairs[P].second] = P;
+    }
 
     auto heuristic = [&](const unsigned *Pos) {
       unsigned H = 0;
@@ -147,23 +159,40 @@ RoutingResult QmapAstarRouter::route(const RoutingContext &Ctx,
     // Flat node pools, reset per chunk (capacity retained).
     std::vector<RoutingScratch::AstarNode> &Nodes = S.AstarNodes;
     std::vector<unsigned> &Arena = S.AstarPositions;
-    std::vector<uint32_t> &Heap = S.AstarHeap;
+    std::vector<RoutingScratch::AstarHeapEntry> &Heap = S.AstarHeap;
     Nodes.clear();
     Arena.clear();
     Heap.clear();
-    S.AstarClosed.clear();
-    NodeIdCompare Compare{&Nodes};
-    auto posOf = [&](uint32_t Id) { return Arena.data() + Id * K; };
+    S.AstarClosed.clear(); // O(1) epoch bump, capacity retained.
+    S.AstarInvPos.assign(Hw.numQubits(), UINT32_MAX);
+    HeapEntryCompare Compare;
+    assert(Hw.numQubits() <= 0xFFFF &&
+           "AstarNode packs physical indices into 16 bits");
 
-    // Root node.
+    // Lazy-slot arena discipline: only nodes that actually get expanded
+    // receive an arena slot (positions rebuilt from the parent's slot plus
+    // the node's one swap), so the large majority of generated nodes — the
+    // ones the search never pops — cost 12 bytes and no position traffic.
+    uint32_t NextSlot = 1;
+    auto ensureSlot = [&](uint32_t Slot) -> unsigned * {
+      size_t SlotBase = static_cast<size_t>(Slot) * K;
+      if (Arena.size() < SlotBase + K) {
+        if (Arena.capacity() < SlotBase + K)
+          Arena.reserve(std::max(Arena.capacity() * 2, SlotBase + K));
+        Arena.resize(SlotBase + K);
+      }
+      return Arena.data() + SlotBase;
+    };
+
+    // Root node: the only one whose positions exist before its pop.
     {
-      RoutingScratch::AstarNode Root;
       Arena.resize(K);
       for (size_t I = 0; I < K; ++I)
         Arena[I] = static_cast<unsigned>(Phi.physOf(Tracked[I]));
-      Root.CostH = heuristic(Arena.data());
+      RoutingScratch::AstarNode Root;
+      Root.Slot = 0;
       Nodes.push_back(Root);
-      Heap.push_back(0);
+      Heap.push_back({heapKey(heuristic(Arena.data()), 0), 0});
     }
 
     size_t Expansions = 0;
@@ -174,44 +203,94 @@ RoutingResult QmapAstarRouter::route(const RoutingContext &Ctx,
       // 64 expansions so a cancel/deadline lands within microseconds.
       if ((Expansions & 63u) == 0 && isCancelled())
         return false;
-      uint32_t NodeId = Heap.front();
+      const uint64_t Key = Heap.front().Key;
+      const uint32_t NodeId = Heap.front().Id;
       std::pop_heap(Heap.begin(), Heap.end(), Compare);
       Heap.pop_back();
-      uint64_t Key = hashPositions(posOf(NodeId), K);
-      if (!S.AstarClosed.insert(Key).second)
+      // Costs travel packed in the open-list key, not in the node.
+      const uint32_t CostG = 0xFFFFFFFFu - static_cast<uint32_t>(Key);
+      const uint32_t CostH = static_cast<uint32_t>(Key >> 32) - CostG;
+      RoutingScratch::AstarNode &Node = Nodes[NodeId];
+      unsigned *Pos;
+      if (Node.Slot != UINT32_MAX) {
+        Pos = Arena.data() + static_cast<size_t>(Node.Slot) * K; // Root.
+      } else {
+        // Materialize into a tentative slot; a duplicate pop (position
+        // set already expanded) abandons it for reuse by the next pop.
+        Pos = ensureSlot(NextSlot);
+        const unsigned *PPos =
+            Arena.data() + static_cast<size_t>(Nodes[Node.Parent].Slot) * K;
+        for (size_t J = 0; J < K; ++J) {
+          unsigned V = PPos[J];
+          Pos[J] = V == Node.SwapFrom ? Node.SwapTo
+                   : V == Node.SwapTo ? static_cast<unsigned>(Node.SwapFrom)
+                                      : V;
+        }
+      }
+      if (!S.AstarClosed.insert(hashPositions(Pos, K)))
         continue;
+      if (Node.Slot == UINT32_MAX)
+        Node.Slot = NextSlot++;
       ++Expansions;
-      if (isGoal(posOf(NodeId))) {
+      if (isGoal(Pos)) {
         GoalId = NodeId;
         break;
       }
+      // Per-expansion precomputation: FNV-1a prefix states of this node's
+      // positions (a successor's key then re-hashes only the suffix from
+      // the first changed ordinal — same composition, identical key) and
+      // the inverse occupancy map (O(1) swap-occupant lookup in place of
+      // an O(K) scan). No arena growth happens inside the successor loop,
+      // so Pos stays valid throughout.
+      std::vector<uint64_t> &Pref = S.AstarHashPref;
+      Pref.resize(K + 1);
+      Pref[0] = 0xCBF29CE484222325ULL;
+      for (size_t J = 0; J < K; ++J)
+        Pref[J + 1] = (Pref[J] ^ Pos[J]) * 0x100000001B3ULL;
+      uint32_t *Inv = S.AstarInvPos.data();
+      for (size_t J = 0; J < K; ++J)
+        Inv[Pos[J]] = static_cast<uint32_t>(J);
       for (size_t I = 0; I < K; ++I) {
-        unsigned From = posOf(NodeId)[I];
+        unsigned From = Pos[I];
         for (unsigned To : Hw.neighbors(From)) {
-          // Build the successor's positions in the temp buffer first; the
-          // node is materialized only if it survives the closed check.
-          S.AstarTmpPos.assign(posOf(NodeId), posOf(NodeId) + K);
-          S.AstarTmpPos[I] = To;
           // If another tracked qubit occupies To, it moves to From.
-          for (size_t J = 0; J < K; ++J)
-            if (J != I && S.AstarTmpPos[J] == To)
-              S.AstarTmpPos[J] = From;
-          if (S.AstarClosed.count(hashPositions(S.AstarTmpPos.data(), K)))
+          size_t Moved = Inv[To] == UINT32_MAX ? SIZE_MAX : Inv[To];
+          size_t FirstChanged = Moved < I ? Moved : I;
+          uint64_t PosKey = Pref[FirstChanged];
+          for (size_t J = FirstChanged; J < K; ++J) {
+            unsigned V = J == I ? To : J == Moved ? From : Pos[J];
+            PosKey = (PosKey ^ V) * 0x100000001B3ULL;
+          }
+          if (S.AstarClosed.contains(PosKey))
             continue;
-          RoutingScratch::AstarNode Next;
-          Next.Parent = NodeId;
-          Next.SwapFrom = From;
-          Next.SwapTo = To;
-          Next.CostG = Nodes[NodeId].CostG + 1;
-          Next.CostH = heuristic(S.AstarTmpPos.data());
+          // Incremental heuristic: only the (unique, chunk gates being
+          // qubit-disjoint) pairs of the moved ordinals change, and every
+          // term is an exact integer, so this equals the full
+          // recomputation bit for bit. Successor positions are never
+          // materialized — the changed ones substitute in directly.
+          auto pairDelta = [&](unsigned P) {
+            auto [A, B] = GatePairs[P];
+            unsigned NA = A == I ? To : A == Moved ? From : Pos[A];
+            unsigned NB = B == I ? To : B == Moved ? From : Pos[B];
+            return static_cast<int32_t>(Hw.distance(NA, NB)) -
+                   static_cast<int32_t>(Hw.distance(Pos[A], Pos[B]));
+          };
+          int32_t HDelta = pairDelta(PairOf[I]);
+          if (Moved != SIZE_MAX && PairOf[Moved] != PairOf[I])
+            HDelta += pairDelta(PairOf[Moved]);
+          const uint32_t NextG = CostG + 1;
+          const uint32_t NextH = static_cast<uint32_t>(
+              static_cast<int32_t>(CostH) + HDelta);
           uint32_t NextId = static_cast<uint32_t>(Nodes.size());
-          Nodes.push_back(Next);
-          Arena.insert(Arena.end(), S.AstarTmpPos.begin(),
-                       S.AstarTmpPos.end());
-          Heap.push_back(NextId);
+          Nodes.push_back({NodeId, UINT32_MAX, static_cast<uint16_t>(From),
+                           static_cast<uint16_t>(To)});
+          Heap.push_back({heapKey(NextG + NextH, NextG), NextId});
           std::push_heap(Heap.begin(), Heap.end(), Compare);
         }
       }
+      // Restore the sentinel for the next expansion's occupancy map.
+      for (size_t J = 0; J < K; ++J)
+        Inv[Pos[J]] = UINT32_MAX;
     }
 
     if (GoalId != UINT32_MAX) {

@@ -6,23 +6,31 @@
 
 #include "baselines/Sabre.h"
 
+#include "core/SimdScore.h"
+
 using namespace qlosure;
 
-double SabreRouter::scoreSwap(const std::vector<unsigned> &FrontDists,
-                              const std::vector<unsigned> &ExtendedDists,
-                              double MaxDecay) const {
-  double FrontSum = 0;
-  for (unsigned D : FrontDists)
-    FrontSum += D;
-  double Score = FrontDists.empty()
-                     ? 0.0
-                     : FrontSum / static_cast<double>(FrontDists.size());
-  if (!ExtendedDists.empty()) {
-    double ExtSum = 0;
-    for (unsigned D : ExtendedDists)
-      ExtSum += D;
-    Score += Options.ExtendedWeight * ExtSum /
-             static_cast<double>(ExtendedDists.size());
-  }
+double SabreRouter::scoreFromSums(double FrontSum, double ExtSum,
+                                  double /*FrontMax*/, double MaxDecay,
+                                  size_t NumFront, size_t NumExt) const {
+  double Score =
+      NumFront == 0 ? 0.0 : FrontSum / static_cast<double>(NumFront);
+  if (NumExt != 0)
+    Score += Options.ExtendedWeight * ExtSum / static_cast<double>(NumExt);
   return MaxDecay * Score;
+}
+
+void SabreRouter::scoreLanes(const double *FrontSum, const double *ExtSum,
+                             const double *FrontMax, const double *Decay,
+                             size_t NumFront, size_t NumExt,
+                             size_t NumCandidates, double *Out) const {
+  if (NumFront == 0) { // Degenerate step: defer to the scalar formula.
+    GreedyRouterBase::scoreLanes(FrontSum, ExtSum, FrontMax, Decay, NumFront,
+                                 NumExt, NumCandidates, Out);
+    return;
+  }
+  simd::sabreScoreLanes(Out, FrontSum, ExtSum, Decay,
+                        static_cast<double>(NumFront),
+                        static_cast<double>(NumExt), Options.ExtendedWeight,
+                        NumExt != 0, NumCandidates);
 }

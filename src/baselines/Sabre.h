@@ -42,9 +42,13 @@ protected:
   size_t extendedWindowSize(size_t) const override {
     return Options.ExtendedSetSize;
   }
-  double scoreSwap(const std::vector<unsigned> &FrontDists,
-                   const std::vector<unsigned> &ExtendedDists,
-                   double MaxDecay) const override;
+  double scoreFromSums(double FrontSum, double ExtSum, double FrontMax,
+                       double MaxDecay, size_t NumFront,
+                       size_t NumExt) const override;
+  void scoreLanes(const double *FrontSum, const double *ExtSum,
+                  const double *FrontMax, const double *Decay,
+                  size_t NumFront, size_t NumExt, size_t NumCandidates,
+                  double *Out) const override;
   bool usesDecay() const override { return true; }
   double decayIncrement() const override { return Options.DecayIncrement; }
   bool randomTieBreak() const override { return true; }

@@ -6,24 +6,24 @@
 
 #include "baselines/TketBounded.h"
 
-#include <algorithm>
+#include "core/SimdScore.h"
 
 using namespace qlosure;
 
-double TketBoundedRouter::scoreSwap(const std::vector<unsigned> &FrontDists,
-                                    const std::vector<unsigned> &ExtendedDists,
-                                    double) const {
+double TketBoundedRouter::scoreFromSums(double FrontSum, double ExtSum,
+                                        double FrontMax, double /*MaxDecay*/,
+                                        size_t /*NumFront*/,
+                                        size_t /*NumExt*/) const {
   // Lexicographic (max distance, total distance) folded into one value:
   // the max dominates, the sum breaks ties among equal maxima.
-  unsigned MaxDist = 0;
-  double Sum = 0;
-  for (unsigned D : FrontDists) {
-    MaxDist = std::max(MaxDist, D);
-    Sum += D;
-  }
-  double Ext = 0;
-  for (unsigned D : ExtendedDists)
-    Ext += D;
-  return static_cast<double>(MaxDist) * 1e6 + Sum +
-         Options.LookaheadWeight * Ext;
+  return FrontMax * 1e6 + FrontSum + Options.LookaheadWeight * ExtSum;
+}
+
+void TketBoundedRouter::scoreLanes(const double *FrontSum, const double *ExtSum,
+                                   const double *FrontMax,
+                                   const double * /*Decay*/,
+                                   size_t /*NumFront*/, size_t /*NumExt*/,
+                                   size_t NumCandidates, double *Out) const {
+  simd::tketScoreLanes(Out, FrontSum, ExtSum, FrontMax,
+                       Options.LookaheadWeight, NumCandidates);
 }

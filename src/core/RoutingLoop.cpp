@@ -5,14 +5,15 @@
 //===----------------------------------------------------------------------===//
 //
 // The main loop runs out of the caller's RoutingScratch: the look-ahead
-// window, the per-gate level map and the delta-rescoring visit markers are
-// epoch-stamped (O(1) reset per step instead of O(numGates) refills), the
-// per-qubit touching-gate lists are cleared surgically via the touched-set,
-// and every candidate/score array is a reused flat buffer. Only the gates
-// hosted on the two swapped qubits are rescored per candidate (delta
-// rescoring against the cached per-layer base sums). The decision sequence
-// is byte-identical to the pre-scratch implementation
-// (bench_kernel_throughput asserts this).
+// window and the per-gate level map are epoch-stamped (O(1) reset per step
+// instead of O(numGates) refills), the per-qubit touching-gate lists are
+// cleared surgically via the touched-set, and every candidate/score array
+// is a reused flat buffer. Only the gates hosted on the two swapped qubits
+// contribute per-candidate term deltas (delta rescoring against the cached
+// per-layer base sums); Eq. 2 is then evaluated element-wise over SoA
+// candidate lanes (core/SimdScore.h — SIMD when enabled, bit-identical
+// scalar fallback otherwise). The decision sequence is byte-identical to
+// the pre-scratch implementation (bench_kernel_throughput asserts this).
 //
 // Replay hooks: every observable emission (program gate, SWAP, tie-break
 // decision, look-ahead window) passes through the attached ReplayDriver
@@ -23,6 +24,7 @@
 #include "core/RoutingLoop.h"
 
 #include "circuit/Dag.h"
+#include "core/SimdScore.h"
 #include "route/ReplayPlan.h"
 #include "support/Timer.h"
 
@@ -156,13 +158,10 @@ void RoutingLoop::routeOneSwap() {
   generateCandidates();
   assert(!S.Candidates.empty() && "no candidate SWAPs on a connected graph");
 
-  S.Scores.resize(S.Candidates.size());
+  scoreCandidates();
   double BestScore = std::numeric_limits<double>::infinity();
-  for (size_t CI = 0; CI < S.Candidates.size(); ++CI) {
-    S.Scores[CI] =
-        scoreSwap(S.Candidates[CI].first, S.Candidates[CI].second);
+  for (size_t CI = 0; CI < S.Candidates.size(); ++CI)
     BestScore = std::min(BestScore, S.Scores[CI]);
-  }
 
   // Error-aware extension: among *exact* cost ties, prefer the
   // candidate on the least noisy coupler. Refining ties cannot perturb
@@ -267,11 +266,19 @@ void RoutingLoop::buildWindowLayers() {
     }
   }
 
-  // Per-layer 2Q-gate membership and base distance sums. Per-qubit
+  // Per-layer 2Q-gate membership and base distance sums, plus the flat
+  // per-scored-gate records (layer, endpoints, omega, cached base term)
+  // the candidate delta pass reads — TouchingGates stores the scored
+  // ordinal, so rescoring never goes back to the Gate objects. Per-qubit
   // touching lists are cleared surgically (only last step's touched
   // qubits), keeping their capacity.
   S.LayerGateCount.assign(MaxLevel + 1, 0);
   S.LayerBaseSum.assign(MaxLevel + 1, 0.0);
+  S.WinLevel.clear();
+  S.WinPA.clear();
+  S.WinPB.clear();
+  S.WinOmega.clear();
+  S.WinBase.clear();
   S.clearTouchingGates();
   for (uint32_t G : S.Window) {
     const Gate &Gate2 = Logical.gate(G);
@@ -281,13 +288,22 @@ void RoutingLoop::buildWindowLayers() {
     ++S.LayerGateCount[L];
     unsigned PA = static_cast<unsigned>(Phi.physOf(Gate2.Qubits[0]));
     unsigned PB = static_cast<unsigned>(Phi.physOf(Gate2.Qubits[1]));
-    S.LayerBaseSum[L] += gateTerm(G, PA, PB);
+    double Base = gateTerm(G, PA, PB);
+    S.LayerBaseSum[L] += Base;
+    uint32_t Ordinal = static_cast<uint32_t>(S.WinLevel.size());
+    S.WinLevel.push_back(L);
+    S.WinPA.push_back(PA);
+    S.WinPB.push_back(PB);
+    S.WinOmega.push_back(Options.UseDependencyWeights
+                             ? static_cast<double>((*Weights)[G]) + 1.0
+                             : 1.0);
+    S.WinBase.push_back(Base);
     if (S.TouchingGates[PA].empty())
       S.TouchedPhys.push_back(PA);
-    S.TouchingGates[PA].push_back(G);
+    S.TouchingGates[PA].push_back(Ordinal);
     if (S.TouchingGates[PB].empty())
       S.TouchedPhys.push_back(PB);
-    S.TouchingGates[PB].push_back(G);
+    S.TouchingGates[PB].push_back(Ordinal);
   }
 
   if (Replay)
@@ -341,43 +357,54 @@ void RoutingLoop::generateCandidates() {
   }
 }
 
-/// Evaluates Eq. 2 for the candidate SWAP (P1, P2) by adjusting the
-/// cached per-layer base sums with the terms of affected gates only
-/// (delta rescoring: only gates hosted on the swapped qubits move).
-double RoutingLoop::scoreSwap(unsigned P1, unsigned P2) {
-  S.LayerAdjust.assign(S.LayerBaseSum.size(), 0.0);
-  S.GateVisited.beginEpoch();
-  auto adjustGatesOn = [&](unsigned P) {
-    for (uint32_t G : S.TouchingGates[P]) {
-      if (S.GateVisited.fresh(G))
-        continue; // Gate touches both swapped qubits: visit once.
-      S.GateVisited.set(G, 1);
-      const Gate &Gate2 = Logical.gate(G);
-      unsigned PA = static_cast<unsigned>(Phi.physOf(Gate2.Qubits[0]));
-      unsigned PB = static_cast<unsigned>(Phi.physOf(Gate2.Qubits[1]));
-      unsigned NewPA = PA == P1 ? P2 : (PA == P2 ? P1 : PA);
-      unsigned NewPB = PB == P1 ? P2 : (PB == P2 ? P1 : PB);
-      unsigned L = S.GateLevel.get(G);
-      S.LayerAdjust[L] += gateTerm(G, NewPA, NewPB) - gateTerm(G, PA, PB);
-    }
-  };
-  adjustGatesOn(P1);
-  adjustGatesOn(P2);
+/// Evaluates Eq. 2 for every candidate SWAP at once. Per candidate, only
+/// the gates hosted on the swapped qubits contribute term deltas (delta
+/// rescoring against the cached per-layer base sums); the deltas land in
+/// layer-major SoA lanes and the layer combine + decay multiply then run
+/// element-wise across candidates (SIMD when enabled — bit-identical to
+/// the per-candidate scalar evaluation: each lane performs the same
+/// operation sequence, and a gate on both swapped qubits has an exactly
+/// zero delta, so skipping it never changes a bit).
+void RoutingLoop::scoreCandidates() {
+  const size_t NumCand = S.Candidates.size();
+  const size_t NumLayers = S.LayerBaseSum.size();
+  S.LaneAdjust.assign(NumLayers * NumCand, 0.0);
+  S.LaneDecay.resize(NumCand);
 
-  double Sum = 0;
-  for (size_t L = 1; L < S.LayerBaseSum.size(); ++L) {
-    if (S.LayerGateCount[L] == 0)
-      continue;
-    double Gamma = (S.LayerBaseSum[L] + S.LayerAdjust[L]) /
-                   static_cast<double>(L); // 1/l layer discount.
-    Sum += Gamma / static_cast<double>(S.LayerGateCount[L]);
+  for (size_t CI = 0; CI < NumCand; ++CI) {
+    auto [P1, P2] = S.Candidates[CI];
+    auto adjustGatesOn = [&](unsigned P, unsigned Other) {
+      for (uint32_t J : S.TouchingGates[P]) {
+        unsigned PA = S.WinPA[J];
+        unsigned PB = S.WinPB[J];
+        if (PA == Other || PB == Other)
+          continue; // Gate touches both swapped qubits: delta is zero.
+        unsigned NewPA = PA == P1 ? P2 : (PA == P2 ? P1 : PA);
+        unsigned NewPB = PB == P1 ? P2 : (PB == P2 ? P1 : PB);
+        S.LaneAdjust[static_cast<size_t>(S.WinLevel[J]) * NumCand + CI] +=
+            S.WinOmega[J] * static_cast<double>(Hw.distance(NewPA, NewPB)) -
+            S.WinBase[J];
+      }
+    };
+    adjustGatesOn(P1, P2);
+    adjustGatesOn(P2, P1);
+
+    int32_t L1 = Phi.logOf(static_cast<int32_t>(P1));
+    int32_t L2 = Phi.logOf(static_cast<int32_t>(P2));
+    double D1 = L1 >= 0 ? S.Decay[static_cast<size_t>(L1)] : 1.0;
+    double D2 = L2 >= 0 ? S.Decay[static_cast<size_t>(L2)] : 1.0;
+    S.LaneDecay[CI] = std::max(D1, D2);
   }
 
-  int32_t L1 = Phi.logOf(static_cast<int32_t>(P1));
-  int32_t L2 = Phi.logOf(static_cast<int32_t>(P2));
-  double D1 = L1 >= 0 ? S.Decay[static_cast<size_t>(L1)] : 1.0;
-  double D2 = L2 >= 0 ? S.Decay[static_cast<size_t>(L2)] : 1.0;
-  return std::max(D1, D2) * Sum;
+  S.Scores.assign(NumCand, 0.0);
+  for (size_t L = 1; L < NumLayers; ++L) {
+    if (S.LayerGateCount[L] == 0)
+      continue;
+    simd::qlosureLayerAccum(S.Scores.data(), S.LaneAdjust.data() + L * NumCand,
+                            S.LayerBaseSum[L], static_cast<double>(L),
+                            static_cast<double>(S.LayerGateCount[L]), NumCand);
+  }
+  simd::applyDecayLanes(S.Scores.data(), S.LaneDecay.data(), NumCand);
 }
 
 bool RoutingLoop::replayEmitGate(uint32_t GateId) {

@@ -12,12 +12,14 @@
 /// check, and the decision sequence stays byte-identical to the driver-free
 /// implementation (bench_kernel_throughput asserts this).
 ///
-/// The look-ahead window, the per-gate level map and the delta-rescoring
-/// visit markers are epoch-stamped (O(1) reset per step instead of
-/// O(numGates) refills), the per-qubit touching-gate lists are cleared
-/// surgically via the touched-set, and every candidate/score array is a
-/// reused flat buffer. Only the gates hosted on the two swapped qubits are
-/// rescored per candidate.
+/// The look-ahead window and the per-gate level map are epoch-stamped
+/// (O(1) reset per step instead of O(numGates) refills), the per-qubit
+/// touching-gate lists are cleared surgically via the touched-set, and
+/// every candidate/score array is a reused flat buffer. Only the gates
+/// hosted on the two swapped qubits contribute per-candidate term deltas;
+/// the deltas land in layer-major SoA lanes and Eq. 2 is then evaluated
+/// element-wise across all candidates at once (core/SimdScore.h — SIMD
+/// when enabled, bit-identical scalar fallback otherwise).
 ///
 //===----------------------------------------------------------------------===//
 
@@ -66,7 +68,7 @@ private:
   void buildWindowLayers();
   double gateTerm(uint32_t G, unsigned PA, unsigned PB) const;
   void generateCandidates();
-  double scoreSwap(unsigned P1, unsigned P2);
+  void scoreCandidates();
 
   // --- Replay primitives (driver-only) ---------------------------------
 

@@ -1,0 +1,43 @@
+//===- core/SimdScore.cpp - Runtime SIMD toggle ---------------------------------===//
+//
+// Part of the Qlosure project. Distributed under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "core/SimdScore.h"
+
+#include <atomic>
+
+namespace qlosure {
+namespace simd {
+
+namespace {
+// On by default: every kernel is bit-identical either way, so the vector
+// path is never a behavioral choice, only a speed one.
+std::atomic<bool> Enabled{true};
+} // namespace
+
+bool enabled() {
+#if QLOSURE_SIMD_COMPILED
+  return Enabled.load(std::memory_order_relaxed);
+#else
+  return false;
+#endif
+}
+
+void setEnabled(bool On) { Enabled.store(On, std::memory_order_relaxed); }
+
+const char *isa() {
+#if QLOSURE_SIMD_COMPILED
+#if defined(__AVX__)
+  return "avx";
+#else
+  return "sse2";
+#endif
+#else
+  return "scalar";
+#endif
+}
+
+} // namespace simd
+} // namespace qlosure

@@ -1,0 +1,241 @@
+//===- core/SimdScore.h - Vector lanes for swap-candidate scoring -*- C++ -*-===//
+//
+// Part of the Qlosure project. Distributed under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The SIMD kernels behind the SoA score lanes: every mapper's candidate
+/// scoring has been restructured from "one candidate at a time against
+/// per-candidate distance arrays" into "one lane array per formula term
+/// across all candidates" (RoutingScratch::Lane*), and the helpers here
+/// evaluate the per-mapper formula over those lanes.
+///
+/// Byte-identity contract: every helper performs exactly the scalar
+/// formula's operation sequence per lane — element-wise add/mul/div in the
+/// same association order, no fused multiply-add, no reduction reordering —
+/// so the vector path is bit-identical to the scalar fallback on every
+/// input (IEEE-754 ops are correctly rounded per element; integer sums are
+/// exact in double below 2^53). bench_kernel_throughput asserts this
+/// against the frozen ReferenceKernel, and `--simd` compares both paths
+/// gate-for-gate.
+///
+/// Gating: the `QLOSURE_SIMD` CMake option compiles the vector bodies in
+/// or out; at runtime `setEnabled(false)` forces the scalar fallback in
+/// the same binary (how the bench and the identity tests compare paths).
+/// The baseline is SSE2 (guaranteed on x86-64); an AVX path widens to four
+/// lanes when the compiler is allowed to emit it (-mavx / -march=...).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef QLOSURE_CORE_SIMDSCORE_H
+#define QLOSURE_CORE_SIMDSCORE_H
+
+#include <cstddef>
+#include <cstdint>
+
+#ifndef QLOSURE_SIMD
+#define QLOSURE_SIMD 1
+#endif
+
+#if QLOSURE_SIMD && (defined(__SSE2__) || defined(__x86_64__) || defined(_M_X64))
+#define QLOSURE_SIMD_COMPILED 1
+#include <emmintrin.h>
+#if defined(__AVX__)
+#include <immintrin.h>
+#endif
+#else
+#define QLOSURE_SIMD_COMPILED 0
+#endif
+
+namespace qlosure {
+namespace simd {
+
+/// True when the vector bodies were compiled in (QLOSURE_SIMD=ON on a
+/// target with SSE2).
+constexpr bool compiled() { return QLOSURE_SIMD_COMPILED != 0; }
+
+/// Runtime toggle: when false (or when not compiled in) every helper runs
+/// its scalar loop. Reads are relaxed-atomic; flip it only between route()
+/// calls (the bench and tests do) — mid-route flips would still be
+/// correct, just not meaningfully attributable to either path.
+bool enabled();
+void setEnabled(bool On);
+
+/// "avx" / "sse2" / "scalar": the widest path the binary can take.
+const char *isa();
+
+//===----------------------------------------------------------------------===//
+// Integer reductions (order-independent, exact — SIMD-safe by construction)
+//===----------------------------------------------------------------------===//
+
+/// Sum of \p N 32-bit distances, widened to 64 bits.
+inline uint64_t sumU32(const unsigned *V, size_t N) {
+  uint64_t Sum = 0;
+  size_t I = 0;
+#if QLOSURE_SIMD_COMPILED
+  if (enabled() && N >= 8) {
+    __m128i Acc = _mm_setzero_si128(); // Two u64 partial sums.
+    const __m128i Zero = _mm_setzero_si128();
+    for (; I + 4 <= N; I += 4) {
+      __m128i L = _mm_loadu_si128(reinterpret_cast<const __m128i *>(V + I));
+      Acc = _mm_add_epi64(Acc, _mm_unpacklo_epi32(L, Zero));
+      Acc = _mm_add_epi64(Acc, _mm_unpackhi_epi32(L, Zero));
+    }
+    alignas(16) uint64_t Parts[2];
+    _mm_store_si128(reinterpret_cast<__m128i *>(Parts), Acc);
+    Sum = Parts[0] + Parts[1];
+  }
+#endif
+  for (; I < N; ++I)
+    Sum += V[I];
+  return Sum;
+}
+
+/// Maximum of \p N 32-bit distances (0 for an empty range).
+inline unsigned maxU32(const unsigned *V, size_t N) {
+  unsigned Max = 0;
+  size_t I = 0;
+#if QLOSURE_SIMD_COMPILED
+  if (enabled() && N >= 8) {
+    // Distances are tiny (far below 2^31), so signed epi32 max is exact.
+    __m128i Acc = _mm_setzero_si128();
+    for (; I + 4 <= N; I += 4) {
+      __m128i L = _mm_loadu_si128(reinterpret_cast<const __m128i *>(V + I));
+      __m128i Gt = _mm_cmpgt_epi32(L, Acc);
+      Acc = _mm_or_si128(_mm_and_si128(Gt, L), _mm_andnot_si128(Gt, Acc));
+    }
+    alignas(16) unsigned Parts[4];
+    _mm_store_si128(reinterpret_cast<__m128i *>(Parts), Acc);
+    for (unsigned P : Parts)
+      Max = Max < P ? P : Max;
+  }
+#endif
+  for (; I < N; ++I)
+    Max = Max < V[I] ? V[I] : Max;
+  return Max;
+}
+
+//===----------------------------------------------------------------------===//
+// Per-mapper lane kernels. Each mirrors its scalar formula exactly.
+//===----------------------------------------------------------------------===//
+
+/// Qlosure Eq. 2, one layer's contribution across all candidates:
+///   Sum[i] += ((Base + Adj[i]) / Layer) / Count
+/// (the 1/l dependence-distance discount and the per-layer gate-count
+/// normalization, accumulated layer-by-layer in ascending order).
+inline void qlosureLayerAccum(double *Sum, const double *Adj, double Base,
+                              double Layer, double Count, size_t N) {
+  size_t I = 0;
+#if QLOSURE_SIMD_COMPILED
+  if (enabled()) {
+#if defined(__AVX__)
+    const __m256d B4 = _mm256_set1_pd(Base), L4 = _mm256_set1_pd(Layer),
+                  C4 = _mm256_set1_pd(Count);
+    for (; I + 4 <= N; I += 4) {
+      __m256d T = _mm256_add_pd(B4, _mm256_loadu_pd(Adj + I));
+      T = _mm256_div_pd(_mm256_div_pd(T, L4), C4);
+      _mm256_storeu_pd(Sum + I, _mm256_add_pd(_mm256_loadu_pd(Sum + I), T));
+    }
+#endif
+    const __m128d B2 = _mm_set1_pd(Base), L2 = _mm_set1_pd(Layer),
+                  C2 = _mm_set1_pd(Count);
+    for (; I + 2 <= N; I += 2) {
+      __m128d T = _mm_add_pd(B2, _mm_loadu_pd(Adj + I));
+      T = _mm_div_pd(_mm_div_pd(T, L2), C2);
+      _mm_storeu_pd(Sum + I, _mm_add_pd(_mm_loadu_pd(Sum + I), T));
+    }
+  }
+#endif
+  for (; I < N; ++I)
+    Sum[I] += ((Base + Adj[I]) / Layer) / Count;
+}
+
+/// Final decay application (Qlosure and SABRE): Out[i] = Decay[i] * Out[i].
+inline void applyDecayLanes(double *Out, const double *Decay, size_t N) {
+  size_t I = 0;
+#if QLOSURE_SIMD_COMPILED
+  if (enabled()) {
+#if defined(__AVX__)
+    for (; I + 4 <= N; I += 4)
+      _mm256_storeu_pd(Out + I, _mm256_mul_pd(_mm256_loadu_pd(Decay + I),
+                                              _mm256_loadu_pd(Out + I)));
+#endif
+    for (; I + 2 <= N; I += 2)
+      _mm_storeu_pd(Out + I,
+                    _mm_mul_pd(_mm_loadu_pd(Decay + I), _mm_loadu_pd(Out + I)));
+  }
+#endif
+  for (; I < N; ++I)
+    Out[I] = Decay[I] * Out[I];
+}
+
+/// SABRE: Out[i] = Decay[i] * (Front[i]/NF + (W*Ext[i])/NE); the extended
+/// term is skipped (not added as zero) when the window is empty, exactly
+/// like the scalar formula's branch.
+inline void sabreScoreLanes(double *Out, const double *Front,
+                            const double *Ext, const double *Decay, double NF,
+                            double NE, double W, bool HasExt, size_t N) {
+  size_t I = 0;
+#if QLOSURE_SIMD_COMPILED
+  if (enabled()) {
+    const __m128d NF2 = _mm_set1_pd(NF), NE2 = _mm_set1_pd(NE),
+                  W2 = _mm_set1_pd(W);
+    for (; I + 2 <= N; I += 2) {
+      __m128d S = _mm_div_pd(_mm_loadu_pd(Front + I), NF2);
+      if (HasExt)
+        S = _mm_add_pd(
+            S, _mm_div_pd(_mm_mul_pd(W2, _mm_loadu_pd(Ext + I)), NE2));
+      _mm_storeu_pd(Out + I, _mm_mul_pd(_mm_loadu_pd(Decay + I), S));
+    }
+  }
+#endif
+  for (; I < N; ++I) {
+    double S = Front[I] / NF;
+    if (HasExt)
+      S += W * Ext[I] / NE;
+    Out[I] = Decay[I] * S;
+  }
+}
+
+/// Cirq greedy: Out[i] = Front[i] + W*Ext[i].
+inline void cirqScoreLanes(double *Out, const double *Front, const double *Ext,
+                           double W, size_t N) {
+  size_t I = 0;
+#if QLOSURE_SIMD_COMPILED
+  if (enabled()) {
+    const __m128d W2 = _mm_set1_pd(W);
+    for (; I + 2 <= N; I += 2)
+      _mm_storeu_pd(Out + I,
+                    _mm_add_pd(_mm_loadu_pd(Front + I),
+                               _mm_mul_pd(W2, _mm_loadu_pd(Ext + I))));
+  }
+#endif
+  for (; I < N; ++I)
+    Out[I] = Front[I] + W * Ext[I];
+}
+
+/// tket-style lexicographic fold: Out[i] = Max[i]*1e6 + Front[i] + W*Ext[i]
+/// (left-associated, exactly the scalar expression).
+inline void tketScoreLanes(double *Out, const double *Front, const double *Ext,
+                           const double *Max, double W, size_t N) {
+  size_t I = 0;
+#if QLOSURE_SIMD_COMPILED
+  if (enabled()) {
+    const __m128d M6 = _mm_set1_pd(1e6), W2 = _mm_set1_pd(W);
+    for (; I + 2 <= N; I += 2) {
+      __m128d T = _mm_mul_pd(_mm_loadu_pd(Max + I), M6);
+      T = _mm_add_pd(T, _mm_loadu_pd(Front + I));
+      T = _mm_add_pd(T, _mm_mul_pd(W2, _mm_loadu_pd(Ext + I)));
+      _mm_storeu_pd(Out + I, T);
+    }
+  }
+#endif
+  for (; I < N; ++I)
+    Out[I] = Max[I] * 1e6 + Front[I] + W * Ext[I];
+}
+
+} // namespace simd
+} // namespace qlosure
+
+#endif // QLOSURE_CORE_SIMDSCORE_H

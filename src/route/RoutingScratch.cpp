@@ -16,7 +16,6 @@ void RoutingScratch::ensureGates(size_t NumGates) {
   }
   WindowNeeded.ensure(NumGates);
   GateLevel.ensure(NumGates);
-  GateVisited.ensure(NumGates);
 }
 
 void RoutingScratch::ensurePhys(unsigned NumPhys) {

@@ -33,7 +33,6 @@
 #include <algorithm>
 #include <cstddef>
 #include <cstdint>
-#include <unordered_set>
 #include <utility>
 #include <vector>
 
@@ -85,6 +84,90 @@ private:
   std::vector<uint32_t> Stamp;
   // Starts at 1 so zero-initialized stamps read as stale even before the
   // first beginEpoch().
+  uint32_t Epoch = 1;
+};
+
+/// Epoch-stamped open-addressing set of 64-bit keys (the QMAP A* closed
+/// list). Clearing is O(1) — a generation bump, like EpochArray — so the
+/// thousands of per-chunk searches of a deep circuit never pay a refill
+/// or an allocation once the table is warm. Membership semantics are
+/// exactly std::unordered_set<uint64_t>'s (same keys in, same answers
+/// out), only the storage differs: linear probing over a flat power-of-two
+/// table instead of one heap node per insert.
+class FlatHashSet64 {
+  /// Key and stamp share one 16-byte slot so a probe touches a single
+  /// cache line (split key/stamp arrays cost two).
+  struct Slot {
+    uint64_t Key;
+    uint32_t Stamp;
+  };
+
+public:
+  /// O(1): every slot becomes stale. Sizes the table on first use.
+  void clear() {
+    if (Slots.empty())
+      rehash(1024);
+    if (++Epoch == 0) { // Wrap: invalidate stamps the slow way, once.
+      for (Slot &S : Slots)
+        S.Stamp = 0;
+      Epoch = 1;
+    }
+    Live = 0;
+  }
+
+  bool contains(uint64_t Key) const {
+    size_t Idx = static_cast<size_t>(Key) & Mask;
+    while (Slots[Idx].Stamp == Epoch) {
+      if (Slots[Idx].Key == Key)
+        return true;
+      Idx = (Idx + 1) & Mask;
+    }
+    return false;
+  }
+
+  /// True when \p Key was newly inserted (false: already present).
+  bool insert(uint64_t Key) {
+    if ((Live + 1) * 2 >= Slots.size()) // Keep load factor under 0.5.
+      grow();
+    size_t Idx = static_cast<size_t>(Key) & Mask;
+    while (Slots[Idx].Stamp == Epoch) {
+      if (Slots[Idx].Key == Key)
+        return false;
+      Idx = (Idx + 1) & Mask;
+    }
+    Slots[Idx] = {Key, Epoch};
+    ++Live;
+    return true;
+  }
+
+  size_t size() const { return Live; }
+
+private:
+  void rehash(size_t NewCap) {
+    Slots.assign(NewCap, {0, 0});
+    Mask = NewCap - 1;
+    Epoch = 1;
+    Live = 0;
+  }
+
+  void grow() {
+    std::vector<Slot> Old = std::move(Slots);
+    uint32_t OldEpoch = Epoch;
+    rehash(Old.empty() ? 1024 : Old.size() * 2);
+    for (const Slot &S : Old) {
+      if (S.Stamp != OldEpoch)
+        continue;
+      size_t Idx = static_cast<size_t>(S.Key) & Mask;
+      while (Slots[Idx].Stamp == Epoch)
+        Idx = (Idx + 1) & Mask;
+      Slots[Idx] = {S.Key, Epoch};
+      ++Live;
+    }
+  }
+
+  std::vector<Slot> Slots;
+  size_t Mask = 0;
+  size_t Live = 0;
   uint32_t Epoch = 1;
 };
 
@@ -149,8 +232,6 @@ public:
   std::vector<unsigned> PFront;    ///< Physical qubits under front gates.
   EpochArray<uint8_t> PhysSeen;    ///< Per-phys dedup marker.
   std::vector<std::pair<unsigned, unsigned>> Candidates;
-  std::vector<unsigned> FrontDists;
-  std::vector<unsigned> ExtDists;
   std::vector<double> Scores;
   std::vector<size_t> BestIdx;
   std::vector<double> Decay; ///< Per-logical-qubit SABRE decay.
@@ -158,10 +239,31 @@ public:
   /// then extended, one combined index space) the current physical
   /// endpoints and the pre-swap base distance. Candidates only recompute
   /// the gates listed under their two swapped qubits in TouchingGates;
-  /// everything else is a straight copy of GreedyBaseDists.
+  /// everything else rides on the cached base sums.
   std::vector<unsigned> GreedyEndA;
   std::vector<unsigned> GreedyEndB;
   std::vector<unsigned> GreedyBaseDists;
+
+  //===--------------------------------------------------------------------===//
+  // SoA score lanes (core/SimdScore.h kernels; one entry per candidate)
+  //===--------------------------------------------------------------------===//
+
+  /// Per-candidate formula terms, filled by integer delta-accumulation
+  /// against the per-step base sums and consumed as flat vector lanes:
+  /// scoring is "evaluate the mapper's formula element-wise over these
+  /// arrays" instead of "walk per-candidate distance vectors".
+  std::vector<double> LaneFrontSum; ///< Post-swap front distance sums.
+  std::vector<double> LaneExtSum;   ///< Post-swap extended-window sums.
+  std::vector<double> LaneFrontMax; ///< tket: post-swap max front distance.
+  std::vector<double> LaneDecay;    ///< max(decay) of the swapped qubits.
+  /// Qlosure Eq. 2 term deltas, layer-major: entry [L * NumCand + C] is
+  /// candidate C's adjustment to layer L's base sum.
+  std::vector<double> LaneAdjust;
+  /// tket front-distance histogram: the post-swap maximum is found by
+  /// patching touched entries and scanning down from the base maximum.
+  std::vector<uint32_t> DistHist;
+  std::vector<uint32_t> TouchedOldD; ///< Patched front dists (old values).
+  std::vector<uint32_t> TouchedNewD; ///< Patched front dists (new values).
 
   //===--------------------------------------------------------------------===//
   // Qlosure layer structure (core/Qlosure.cpp)
@@ -170,12 +272,17 @@ public:
   /// Dependence-distance level per gate; stale entries read 0 = "outside
   /// the window", replacing the old per-step O(numGates) zero-fill.
   EpochArray<unsigned> GateLevel;
-  /// Per-gate visit marker for delta rescoring (visit each touched gate
-  /// once per candidate even when both swapped qubits host it).
-  EpochArray<uint8_t> GateVisited;
   std::vector<uint32_t> LayerGateCount;
   std::vector<double> LayerBaseSum;
-  std::vector<double> LayerAdjust;
+  /// Scored window 2Q gates of the current step, flat by scored ordinal
+  /// (the index TouchingGates stores): dependence layer, physical
+  /// endpoints, omega weight and the cached base term omega * D(PA, PB) —
+  /// so per-candidate deltas recompute only the post-swap distance.
+  std::vector<uint32_t> WinLevel;
+  std::vector<unsigned> WinPA;
+  std::vector<unsigned> WinPB;
+  std::vector<double> WinOmega;
+  std::vector<double> WinBase;
   /// Window 2Q gates indexed by hosting physical qubit. Persistent across
   /// steps; only the entries named in TouchedPhys are cleared (keeping
   /// inner capacity), never the outer vector.
@@ -187,25 +294,46 @@ public:
   //===--------------------------------------------------------------------===//
 
   /// One A* node: parent link + the single swap taken from the parent.
-  /// Positions live in the flat AstarPositions arena (K per node), so
-  /// expanding a node copies K unsigneds instead of allocating two vectors.
+  /// Deliberately tiny (12 bytes): the vast majority of generated nodes
+  /// are never popped, so costs live packed in the open-list key and
+  /// tracked-qubit positions are materialized lazily — only nodes that
+  /// actually get expanded receive an AstarPositions arena slot (recorded
+  /// in Slot; UINT32_MAX until then), rebuilt from the parent's slot plus
+  /// this node's one swap.
   struct AstarNode {
     uint32_t Parent = UINT32_MAX;
-    unsigned SwapFrom = 0;
-    unsigned SwapTo = 0;
-    uint32_t CostG = 0;
-    uint32_t CostH = 0;
-    uint32_t costF() const { return CostG + CostH; }
+    uint32_t Slot = UINT32_MAX;
+    uint16_t SwapFrom = 0;
+    uint16_t SwapTo = 0;
+  };
+
+  /// Open-list entry: the (f, g) heap priority packed into one key —
+  /// lower f first, deeper g first among equal f — plus the node id. The
+  /// packing makes heap sifts compare one integer instead of loading two
+  /// nodes, while inducing exactly the reference comparator's order.
+  struct AstarHeapEntry {
+    uint64_t Key = 0;
+    uint32_t Id = 0;
   };
 
   std::vector<AstarNode> AstarNodes;
-  std::vector<unsigned> AstarPositions; ///< Arena: node I at [I*K, I*K+K).
-  std::vector<unsigned> AstarTmpPos;    ///< Candidate positions (K entries).
-  std::vector<uint32_t> AstarHeap;      ///< Open list (binary heap of ids).
-  std::unordered_set<uint64_t> AstarClosed;
+  std::vector<unsigned> AstarPositions; ///< Arena: expanded nodes only,
+                                        ///< K positions at [Slot, Slot+K).
+  std::vector<AstarHeapEntry> AstarHeap; ///< Open list (binary heap).
+  FlatHashSet64 AstarClosed;
   std::vector<std::pair<unsigned, unsigned>> AstarPath; ///< Rebuilt swaps.
   std::vector<int32_t> AstarTracked;
   std::vector<std::pair<unsigned, unsigned>> AstarGatePairs;
+  /// FNV-1a prefix states of the node being expanded: HashPref[j] is the
+  /// hash after absorbing the first j positions, so a successor's key is
+  /// re-derived from the first changed ordinal instead of from scratch.
+  std::vector<uint64_t> AstarHashPref;
+  /// Physical qubit -> tracked ordinal occupying it in the node being
+  /// expanded (UINT32_MAX = untracked); O(1) swap-occupant lookup.
+  std::vector<uint32_t> AstarInvPos;
+  /// Tracked ordinal -> index of its (unique) gate pair. Chunk gates come
+  /// from one time-slice layer, so they are qubit-disjoint.
+  std::vector<unsigned> AstarPairOf;
   std::vector<uint32_t> QmapLayerBounds; ///< Layer k = gates [B[k], B[k+1]).
   std::vector<uint8_t> QmapBusy;         ///< Per-logical-qubit layer marker.
   std::vector<uint32_t> QmapTwoQ;        ///< 2Q gates of the current layer.

@@ -90,6 +90,8 @@ RequestParse service::parseRequest(const std::string &Line) {
     Req.TheOp = Op::Route;
   else if (OpName == "cancel")
     Req.TheOp = Op::Cancel;
+  else if (OpName == "batch")
+    Req.TheOp = Op::Batch;
   else
     return fail(errc::BadRequest,
                 formatString("unknown op \"%s\"", OpName.c_str()));
@@ -98,14 +100,20 @@ RequestParse service::parseRequest(const std::string &Line) {
     return fail(errc::BadRequest,
                 "\"cancel\" requires a non-empty \"id\" naming the "
                 "request to cancel");
+  if (Req.TheOp == Op::Batch && Req.Id.empty())
+    return fail(errc::BadRequest,
+                "\"batch\" requires a non-empty \"id\": its per-item "
+                "frames demultiplex by it");
 
-  if (Req.TheOp != Op::Route) {
+  if (Req.TheOp != Op::Route && Req.TheOp != Op::Batch) {
     Result.Ok = true;
     return Result;
   }
 
   RouteRequest &Route = Req.Route;
-  if (!readMember(Obj, "qasm", true, json::Value::Kind::String, Err,
+  // `qasm` belongs to `route` alone; a batch carries one per item.
+  if (!readMember(Obj, "qasm", /*Required=*/Req.TheOp == Op::Route,
+                  json::Value::Kind::String, Err,
                   [&](const json::Value &V) { Route.Qasm = V.asString(); }))
     return fail(Err.ErrorCode, Err.ErrorMessage);
   if (!readMember(Obj, "mapper", false, json::Value::Kind::String, Err,
@@ -155,6 +163,43 @@ RequestParse service::parseRequest(const std::string &Line) {
                     Route.TimeoutMs = V.asNumber();
                   }))
     return fail(Err.ErrorCode, Err.ErrorMessage);
+
+  if (Req.TheOp == Op::Batch) {
+    const json::Value *Items = Obj.get("items");
+    if (!Items || !Items->isArray())
+      return fail(errc::BadRequest,
+                  "\"batch\" requires an \"items\" array");
+    if (Items->items().empty())
+      return fail(errc::BadRequest, "\"items\" must not be empty");
+    // The line-length limit already bounds total bytes; this bounds the
+    // per-item bookkeeping a single request can demand.
+    constexpr size_t MaxBatchItems = 4096;
+    if (Items->items().size() > MaxBatchItems)
+      return fail(errc::BadRequest,
+                  formatString("\"items\" has %zu entries (limit %zu)",
+                               Items->items().size(), MaxBatchItems));
+    Req.Items.reserve(Items->items().size());
+    for (size_t I = 0; I < Items->items().size(); ++I) {
+      const json::Value &Entry = Items->items()[I];
+      if (!Entry.isObject())
+        return fail(errc::BadRequest,
+                    formatString("items[%zu] must be an object", I));
+      const json::Value *ItemQasm = Entry.get("qasm");
+      if (!ItemQasm || !ItemQasm->isString())
+        return fail(
+            errc::BadRequest,
+            formatString("items[%zu] is missing a string \"qasm\"", I));
+      const json::Value *ItemName = Entry.get("name");
+      if (ItemName && !ItemName->isString())
+        return fail(errc::BadRequest,
+                    formatString("items[%zu].name must be a string", I));
+      BatchItem Item;
+      Item.Qasm = ItemQasm->asString();
+      if (ItemName)
+        Item.Name = ItemName->asString();
+      Req.Items.push_back(std::move(Item));
+    }
+  }
 
   Result.Ok = true;
   return Result;
@@ -252,5 +297,79 @@ std::string service::formatProgressEvent(const std::string &Id, size_t Done,
     Obj.set("id", Id);
   Obj.set("done", Done);
   Obj.set("total", Total);
+  return Obj.dump();
+}
+
+namespace {
+
+json::Value batchItemHead(const std::string &Id, size_t Index,
+                          const std::string &Name) {
+  json::Value Obj = json::Value::object();
+  Obj.set("event", "batch_item");
+  Obj.set("op", "batch");
+  Obj.set("id", Id);
+  Obj.set("index", Index);
+  if (!Name.empty())
+    Obj.set("name", Name);
+  return Obj;
+}
+
+} // namespace
+
+std::string service::formatBatchItemResult(
+    const std::string &Id, size_t Index, const std::string &Name,
+    const std::string &Mapper, const std::string &Backend,
+    const RouteStats &Stats, bool ContextCacheHit, bool ResultCacheHit,
+    const std::string &Qasm, bool IncludeQasm) {
+  json::Value Obj = batchItemHead(Id, Index, Name);
+  Obj.set("mapper", Mapper);
+  Obj.set("backend", Backend);
+  Obj.set("stats", routeStatsToJson(Stats));
+  Obj.set("cache_hit", ContextCacheHit || ResultCacheHit);
+  Obj.set("context_cache_hit", ContextCacheHit);
+  Obj.set("result_cache_hit", ResultCacheHit);
+  if (IncludeQasm)
+    Obj.set("qasm", Qasm);
+  return Obj.dump();
+}
+
+std::string service::formatBatchItemError(const std::string &Id, size_t Index,
+                                          const std::string &Name,
+                                          const std::string &Code,
+                                          const std::string &Message) {
+  json::Value Obj = batchItemHead(Id, Index, Name);
+  json::Value Err = json::Value::object();
+  Err.set("code", Code);
+  Err.set("message", Message);
+  Obj.set("error", std::move(Err));
+  return Obj.dump();
+}
+
+std::string service::formatBatchSummaryResponse(
+    const std::string &Id, const std::string &Mapper,
+    const std::string &Backend, const std::vector<std::string> &ItemNames,
+    const std::vector<std::string> &ItemStatus) {
+  json::Value Obj = responseHead("batch", Id, true);
+  Obj.set("mapper", Mapper);
+  Obj.set("backend", Backend);
+  size_t Succeeded = 0, Cancelled = 0;
+  json::Value Items = json::Value::array();
+  for (size_t I = 0; I < ItemStatus.size(); ++I) {
+    if (ItemStatus[I] == "ok")
+      ++Succeeded;
+    else if (ItemStatus[I] == errc::Cancelled)
+      ++Cancelled;
+    json::Value Entry = json::Value::object();
+    Entry.set("index", I);
+    if (I < ItemNames.size() && !ItemNames[I].empty())
+      Entry.set("name", ItemNames[I]);
+    Entry.set("status", ItemStatus[I]);
+    Items.push(std::move(Entry));
+  }
+  Obj.set("total", ItemStatus.size());
+  Obj.set("succeeded", Succeeded);
+  Obj.set("failed", ItemStatus.size() - Succeeded - Cancelled);
+  Obj.set("cancelled", Cancelled);
+  Obj.set("items", std::move(Items));
   return Obj.dump();
 }

@@ -18,6 +18,12 @@
 ///       "timeout_ms":30000,
 ///       "progress":false,"id":"r1"}
 ///   -> {"op":"cancel","id":"r1"}
+///   -> {"op":"batch","id":"b1","mapper":"qlosure","backend":"sherbrooke",
+///       "items":[{"name":"a","qasm":"..."},{"qasm":"..."}]}
+///   <- {"event":"batch_item","op":"batch","id":"b1","index":0,"name":"a",
+///       "stats":{...},"cache_hit":false,...}
+///   <- {"ok":true,"op":"batch","id":"b1","total":2,"succeeded":2,
+///       "failed":0,"cancelled":0,"items":[...]}
 ///   <- {"ok":true,"op":"route","id":"r1","stats":{...},"cache_hit":true,
 ///       "context_cache_hit":true,"result_cache_hit":false,"qasm":"..."}
 ///   <- {"ok":false,"op":"route","id":"r1","error":{"code":"cancelled",
@@ -44,6 +50,7 @@
 
 #include <cstdint>
 #include <string>
+#include <vector>
 
 namespace qlosure {
 namespace service {
@@ -65,11 +72,13 @@ inline constexpr const char *ShuttingDown = "shutting_down";
 } // namespace errc
 
 /// The protocol revision reported by `ping` responses. v2 added
-/// out-of-order responses, the `cancel` op, and `progress` events.
+/// out-of-order responses, the `cancel` op, and `progress` events; the
+/// `batch` op is a later additive v2 extension (old clients that never
+/// send it observe no difference).
 inline constexpr int ProtocolVersion = 2;
 
 /// Request operation.
-enum class Op : uint8_t { Ping, Stats, Shutdown, Route, Cancel };
+enum class Op : uint8_t { Ping, Stats, Shutdown, Route, Cancel, Batch };
 
 /// A parsed `route` request.
 struct RouteRequest {
@@ -94,15 +103,27 @@ struct RouteRequest {
   bool Progress = false;
 };
 
+/// One circuit of a `batch` request.
+struct BatchItem {
+  /// Client-chosen label echoed in the item's frames (may be empty; the
+  /// zero-based item index is always echoed and is the stable key).
+  std::string Name;
+  std::string Qasm;
+};
+
 /// A parsed request of any op.
 struct Request {
   Op TheOp = Op::Ping;
   /// Client-chosen correlation id, echoed verbatim in the response
   /// (empty = omitted). Required for `cancel`, where it names the target
-  /// request; a `route` needs one to be cancellable or to stream
-  /// progress.
+  /// request, and for `batch`, whose per-item frames demultiplex by it;
+  /// a `route` needs one to be cancellable or to stream progress.
   std::string Id;
+  /// Shared routing parameters. For `batch` these apply to every item
+  /// (one mapper × one backend per batch) and Route.Qasm is unused.
   RouteRequest Route;
+  /// The circuits of a `batch` request (empty for every other op).
+  std::vector<BatchItem> Items;
 };
 
 /// Outcome of parseRequest: Ok, or a protocol error (code + message) the
@@ -168,6 +189,35 @@ std::string formatCancelResponse(const std::string &Id, bool Delivered);
 /// A `progress` event frame (not a response: carries "event", no "ok").
 std::string formatProgressEvent(const std::string &Id, size_t Done,
                                 size_t Total);
+
+/// A `batch_item` event frame for a successfully routed item. Like every
+/// event frame it carries "event" and no "ok"; success and failure are
+/// distinguished by which of "stats" / "error" is present.
+std::string formatBatchItemResult(const std::string &Id, size_t Index,
+                                  const std::string &Name,
+                                  const std::string &Mapper,
+                                  const std::string &Backend,
+                                  const RouteStats &Stats,
+                                  bool ContextCacheHit, bool ResultCacheHit,
+                                  const std::string &Qasm, bool IncludeQasm);
+
+/// A `batch_item` event frame for an item that failed (or was cancelled /
+/// expired): carries an "error" object with the same stable codes as
+/// error responses.
+std::string formatBatchItemError(const std::string &Id, size_t Index,
+                                 const std::string &Name,
+                                 const std::string &Code,
+                                 const std::string &Message);
+
+/// The final `batch` response — always the **last** frame of its batch:
+/// per-item terse outcomes ("ok" or the item's error code, indexed in
+/// submission order) plus the success/failure/cancellation tallies.
+/// \p ItemNames and \p ItemStatus are parallel, one entry per item.
+std::string
+formatBatchSummaryResponse(const std::string &Id, const std::string &Mapper,
+                           const std::string &Backend,
+                           const std::vector<std::string> &ItemNames,
+                           const std::vector<std::string> &ItemStatus);
 
 } // namespace service
 } // namespace qlosure

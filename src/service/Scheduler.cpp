@@ -43,6 +43,31 @@ Scheduler::trySubmit(SchedulerJob Job, std::shared_ptr<JobTicket> Ticket) {
   return Ticket;
 }
 
+std::vector<std::shared_ptr<JobTicket>>
+Scheduler::trySubmitBatch(std::vector<SchedulerJob> Jobs) {
+  std::vector<std::shared_ptr<JobTicket>> Tickets;
+  if (Jobs.empty())
+    return Tickets;
+  Tickets.reserve(Jobs.size());
+  for (SchedulerJob &Job : Jobs) {
+    auto Ticket = std::make_shared<JobTicket>();
+    Ticket->Token.setDeadline(Job.Deadline);
+    Tickets.push_back(std::move(Ticket));
+  }
+  {
+    std::lock_guard<std::mutex> Lock(Mu);
+    if (ShuttingDown || Queue.size() + Jobs.size() > Capacity) {
+      Rejected += Jobs.size();
+      return {};
+    }
+    for (size_t I = 0; I < Jobs.size(); ++I)
+      Queue.push_back(QueuedJob{std::move(Jobs[I]), Tickets[I]});
+    Submitted += Jobs.size();
+  }
+  QueueCv.notify_all();
+  return Tickets;
+}
+
 JobTicket::State Scheduler::cancel(const std::shared_ptr<JobTicket> &Ticket) {
   if (!Ticket)
     return JobTicket::State::Done; // Rejected submissions have no job.

@@ -152,6 +152,18 @@ public:
   std::shared_ptr<JobTicket>
   trySubmit(SchedulerJob Job, std::shared_ptr<JobTicket> Ticket = nullptr);
 
+  /// All-or-nothing batch enqueue: either every job in \p Jobs is
+  /// appended to the queue **contiguously** — no unrelated submission can
+  /// interleave, so the pool drains the batch back-to-back and the
+  /// context/backend state the first items warm stays hot for the rest —
+  /// or nothing is enqueued and an empty vector is returned (queue lacks
+  /// capacity for the whole batch, or shutdown began). On success the
+  /// returned tickets parallel \p Jobs; each job's deadline is armed on
+  /// its own ticket. A batch larger than the whole queue capacity can
+  /// never be accepted.
+  std::vector<std::shared_ptr<JobTicket>>
+  trySubmitBatch(std::vector<SchedulerJob> Jobs);
+
   /// Cancels \p Ticket's job: JobTicket::cancel() plus, when the job was
   /// still queued, removal of its entry from the queue — so a cancelled
   /// job frees its capacity slot (and drops its closure's captures)

@@ -83,6 +83,25 @@ cancellationError(const CancellationToken &Token) {
   return {errc::Cancelled, "request cancelled"};
 }
 
+/// Absolute deadline for a request that asked for \p TimeoutMs (<= 0 =
+/// server default). Clamped before converting: an absurd client-supplied
+/// timeout must not overflow the chrono arithmetic (which would wrap the
+/// deadline into the past) or make the double->int64 cast undefined. A
+/// week is effectively "no deadline" for a mapping request.
+std::chrono::steady_clock::time_point
+requestDeadline(double TimeoutMs, double DefaultTimeoutSeconds) {
+  auto Deadline = std::chrono::steady_clock::time_point::max();
+  double EffectiveMs =
+      TimeoutMs > 0 ? TimeoutMs : DefaultTimeoutSeconds * 1000.0;
+  constexpr double MaxTimeoutMs = 7.0 * 24 * 3600 * 1000;
+  EffectiveMs = std::min(EffectiveMs, MaxTimeoutMs);
+  if (TimeoutMs > 0 || DefaultTimeoutSeconds > 0)
+    Deadline = std::chrono::steady_clock::now() +
+               std::chrono::microseconds(
+                   static_cast<int64_t>(EffectiveMs * 1000.0));
+  return Deadline;
+}
+
 } // namespace
 
 //===----------------------------------------------------------------------===//
@@ -130,12 +149,15 @@ struct Server::Connection {
     Closed = true;
   }
 
-  /// In-flight cancellable routes by id. Only the owning connection
-  /// thread inserts (ids are connection-scoped and requests on one
-  /// connection are read serially); workers erase on completion, so the
-  /// mutex arbitrates insert/lookup against that erase.
+  /// In-flight cancellable routes by id, and in-flight batch sessions by
+  /// id (one namespace: a live batch id cannot be reused by a route and
+  /// vice versa). Only the owning connection thread inserts (ids are
+  /// connection-scoped and requests on one connection are read serially);
+  /// workers erase on completion, so the mutex arbitrates insert/lookup
+  /// against that erase.
   std::mutex JobsMu;
   std::map<std::string, std::shared_ptr<JobTicket>> InFlight;
+  std::map<std::string, std::shared_ptr<Server::BatchState>> InFlightBatches;
 
   /// The single release point of the in-flight table: every completion
   /// path (success, error, expiry, queued-cancel, submit failure) frees
@@ -148,9 +170,63 @@ struct Server::Connection {
     InFlight.erase(Id);
   }
 
+  /// Same contract for batch sessions: released by the summary sender
+  /// right before the summary frame goes out.
+  void releaseBatch(const std::string &Id) {
+    std::lock_guard<std::mutex> Lock(JobsMu);
+    InFlightBatches.erase(Id);
+  }
+
+  /// True when \p Id is in flight as either a route or a batch.
+  bool idInFlight(const std::string &Id) {
+    std::lock_guard<std::mutex> Lock(JobsMu);
+    return InFlight.count(Id) != 0 || InFlightBatches.count(Id) != 0;
+  }
+
 private:
   std::mutex WriteMu;
   bool Closed = false;
+};
+
+//===----------------------------------------------------------------------===//
+// BatchState: one in-flight batch session
+//===----------------------------------------------------------------------===//
+
+/// Shared by the connection thread (inline hits/failures, cancels) and
+/// the workers running the batch's scheduled items. Per-item slots are
+/// written by exactly one thread each (whoever completes that item), and
+/// the Remaining countdown sequences those writes before the summary
+/// sender's reads — no per-item locking needed.
+struct Server::BatchState {
+  std::shared_ptr<Connection> Conn;
+  std::string Id;
+  std::string Mapper;
+  std::string BackendName;
+  /// Items still unfinished; the decrement that reaches zero owns
+  /// releasing the id and sending the summary.
+  std::atomic<size_t> Remaining{0};
+  /// Parallel per-item arrays, indexed in submission order: the client
+  /// label echoed in frames, and the terse outcome ("ok" or error code)
+  /// the summary reports.
+  std::vector<std::string> Names;
+  std::vector<std::string> Status;
+  /// (ticket, item index) for every item that reached the scheduler —
+  /// the whole-batch cancellation handles. Written once by the
+  /// connection thread right after submission; only that same thread
+  /// reads them (cancel and teardown both run on it), so unsynchronized.
+  std::vector<std::pair<std::shared_ptr<JobTicket>, size_t>> Tickets;
+};
+
+/// Outcome of the shared worker-side routing core.
+struct Server::RouteOutcome {
+  /// nullptr = success. When Cancelled is set the caller derives the
+  /// code from the token (cancelled vs. deadline_exceeded) instead.
+  const char *ErrorCode = nullptr;
+  std::string ErrorMessage;
+  bool Cancelled = false;
+  bool ContextHit = false;
+  RouteStats Stats;
+  std::shared_ptr<const CachedResult> Cached; ///< Set on success.
 };
 
 //===----------------------------------------------------------------------===//
@@ -382,13 +458,20 @@ void Server::connectionLoop(std::shared_ptr<Connection> Conn, size_t Slot) {
   // routing into a latched-closed writer (a dropped pipelined connection
   // could otherwise pin the whole pool on dead work).
   std::vector<std::shared_ptr<JobTicket>> Orphans;
+  std::vector<std::shared_ptr<BatchState>> OrphanBatches;
   {
     std::lock_guard<std::mutex> Lock(Conn->JobsMu);
     for (const auto &Entry : Conn->InFlight)
       Orphans.push_back(Entry.second);
+    for (const auto &Entry : Conn->InFlightBatches)
+      OrphanBatches.push_back(Entry.second);
   }
   for (const std::shared_ptr<JobTicket> &Ticket : Orphans)
     Workers->cancel(Ticket);
+  // Batch items are aborted through the same helper the cancel op uses;
+  // its frames degrade to no-ops on the latched-closed writer.
+  for (const std::shared_ptr<BatchState> &Batch : OrphanBatches)
+    cancelBatch(Batch);
   // Vacate the slot under the same lock teardown() iterates under, then
   // report it finished so the accept loop joins this thread and recycles
   // it. The Connection object itself lives on until the last in-flight
@@ -447,6 +530,9 @@ void Server::handleLine(const std::shared_ptr<Connection> &Conn,
   case Op::Route:
     handleRoute(Conn, Req);
     return;
+  case Op::Batch:
+    handleBatch(Conn, Req);
+    return;
   }
   sendError(*Conn, "unknown", Req.Id, errc::BadRequest, "unhandled op");
 }
@@ -458,11 +544,22 @@ void Server::handleCancel(const std::shared_ptr<Connection> &Conn,
     ++Counters.CancelRequests;
   }
   std::shared_ptr<JobTicket> Ticket;
+  std::shared_ptr<BatchState> Batch;
   {
     std::lock_guard<std::mutex> Lock(Conn->JobsMu);
     auto It = Conn->InFlight.find(Req.Id);
     if (It != Conn->InFlight.end())
       Ticket = It->second;
+    auto BatchIt = Conn->InFlightBatches.find(Req.Id);
+    if (BatchIt != Conn->InFlightBatches.end())
+      Batch = BatchIt->second;
+  }
+  if (Batch) {
+    // Whole-batch cancel: every still-live item dies; the summary still
+    // arrives (last) through the normal countdown, tallying the mix of
+    // completed and cancelled items.
+    Conn->send(formatCancelResponse(Req.Id, cancelBatch(Batch)));
+    return;
   }
   if (!Ticket) {
     // Unknown or already finished: idempotent no-op ack.
@@ -539,15 +636,12 @@ void Server::handleRoute(const std::shared_ptr<Connection> &Conn,
               "server is shutting down");
     return;
   }
-  if (!Req.Id.empty()) {
-    std::lock_guard<std::mutex> Lock(Conn->JobsMu);
-    if (Conn->InFlight.count(Req.Id)) {
-      sendError(*Conn, "route", Req.Id, errc::BadRequest,
-                formatString("id \"%s\" is already in flight on this "
-                             "connection",
-                             Req.Id.c_str()));
-      return;
-    }
+  if (!Req.Id.empty() && Conn->idInFlight(Req.Id)) {
+    sendError(*Conn, "route", Req.Id, errc::BadRequest,
+              formatString("id \"%s\" is already in flight on this "
+                           "connection",
+                           Req.Id.c_str()));
+    return;
   }
   if (!isKnown(KnownMappers, sizeof(KnownMappers) / sizeof(KnownMappers[0]),
                Route.Mapper)) {
@@ -604,20 +698,8 @@ void Server::handleRoute(const std::shared_ptr<Connection> &Conn,
     return;
   }
 
-  auto Deadline = std::chrono::steady_clock::time_point::max();
-  double TimeoutMs = Route.TimeoutMs > 0
-                         ? Route.TimeoutMs
-                         : Options.DefaultTimeoutSeconds * 1000.0;
-  // Clamp before converting: an absurd client-supplied timeout must not
-  // overflow the chrono arithmetic (which would wrap the deadline into
-  // the past) or make the double->int64 cast undefined. A week is
-  // effectively "no deadline" for a mapping request.
-  constexpr double MaxTimeoutMs = 7.0 * 24 * 3600 * 1000;
-  TimeoutMs = std::min(TimeoutMs, MaxTimeoutMs);
-  if (Route.TimeoutMs > 0 || Options.DefaultTimeoutSeconds > 0)
-    Deadline = std::chrono::steady_clock::now() +
-               std::chrono::microseconds(
-                   static_cast<int64_t>(TimeoutMs * 1000.0));
+  auto Deadline =
+      requestDeadline(Route.TimeoutMs, Options.DefaultTimeoutSeconds);
 
   // Everything the worker needs, captured by value / shared ownership:
   // the parsed circuit, the pooled backend, the connection writer, and
@@ -646,96 +728,41 @@ void Server::handleRoute(const std::shared_ptr<Connection> &Conn,
   Job.Run = [this, Conn, Logical, Backend, Route = std::move(Params),
              Id = Req.Id, CircuitFp,
              ResultKey](RoutingScratch &Scratch, CancellationToken &Cancel) {
-    auto FinishError = [&](const char *Code, const std::string &Message) {
-      Conn->releaseJob(Id);
-      sendError(*Conn, "route", Id, Code, Message);
-    };
-    auto FinishCancelled = [&] {
-      auto [Code, Message] = cancellationError(Cancel);
-      FinishError(Code, Message);
-    };
-    if (Cancel.cancelled())
-      return FinishCancelled();
-
-    std::unique_ptr<Router> Mapper =
-        makeServiceRouter(Route.Mapper, Route.ErrorAware, Route.Affine);
-    RoutingContextOptions CtxOptions = Mapper->contextOptions();
-    CacheKey ContextKey{CircuitFp, Backend->Fingerprint,
-                        fingerprint(CtxOptions)};
-    bool ContextHit = false;
-    auto Bundle = Contexts.getOrBuild(
-        ContextKey,
-        [&] {
-          return CachedContext::build(*Logical, *Backend->Graph,
-                                      CtxOptions);
-        },
-        &ContextHit);
-    const RoutingContext &Ctx = Bundle->context();
-    if (!Ctx.valid())
-      return FinishError(errc::InvalidCircuit, Ctx.status().message());
-    QubitMapping Initial =
-        Route.Bidirectional
-            ? deriveBidirectionalMapping(*Mapper, Ctx, 1, &Scratch, &Cancel)
-            : Ctx.identityMapping();
-    if (Cancel.cancelled())
-      return FinishCancelled();
+    std::function<void()> BeforeRoute;
     if (Route.Progress && !Id.empty()) {
       // Stream ~20 progress events per route, floored so small circuits
-      // do not flood the connection. Installed only now — after the
-      // bidirectional derive passes, which route the circuit internally
-      // and would otherwise exhaust the throttle (and mislead the
-      // client) before the real route begins.
+      // do not flood the connection. Installed only right before the
+      // main routing pass — after the bidirectional derive passes, which
+      // route the circuit internally and would otherwise exhaust the
+      // throttle (and mislead the client) before the real route begins.
       size_t Step = std::max<size_t>(Logical->size() / 20, 256);
-      Cancel.enableProgress(
-          [Conn, Id](size_t Done, size_t Total) {
-            Conn->send(formatProgressEvent(Id, Done, Total));
-          },
-          Step);
+      BeforeRoute = [&Cancel, Conn, Id, Step] {
+        Cancel.enableProgress(
+            [Conn, Id](size_t Done, size_t Total) {
+              Conn->send(formatProgressEvent(Id, Done, Total));
+            },
+            Step);
+      };
     }
-    RoutingResult Result = Mapper->route(Ctx, Initial, Scratch, &Cancel);
-    if (Result.Cancelled)
-      return FinishCancelled();
-    if (Result.AffineReplayedPeriods || Result.AffineFallbackPeriods) {
-      std::lock_guard<std::mutex> Lock(CounterMu);
-      Counters.AffineReplays += Result.AffineReplayedPeriods;
-      Counters.AffineFallbacks += Result.AffineFallbackPeriods;
+    RouteOutcome Out = executeRoute(Logical, Backend, Route, CircuitFp,
+                                    ResultKey, Scratch, Cancel, BeforeRoute);
+    if (Out.Cancelled) {
+      auto [Code, Message] = cancellationError(Cancel);
+      Conn->releaseJob(Id);
+      sendError(*Conn, "route", Id, Code, Message);
+      return;
     }
-    VerifyResult Check =
-        verifyRouting(Ctx.circuit(), Ctx.hardware(), Result);
-    if (!Check.Ok)
-      return FinishError(errc::VerifyFailed,
-                         formatString("routing failed verification: %s",
-                                      Check.Message.c_str()));
-    auto Cached = std::make_shared<CachedResult>();
-    Cached->RoutedQasm = qasm::printQasm(Result.Routed);
-    Cached->LogicalGates = Logical->size();
-    Cached->RoutedGates = Result.Routed.size();
-    Cached->Swaps = Result.NumSwaps;
-    Cached->DepthBefore = Logical->depth();
-    Cached->DepthAfter = Result.Routed.depth();
-    Cached->MappingSeconds = Result.MappingSeconds;
-    Cached->TimedOut = Result.TimedOut;
-    Cached->Verified = true;
-    if (Ctx.hardware().hasErrorModel())
-      Cached->SuccessProbability =
-          estimateSuccessProbability(Result.Routed, Ctx.hardware());
-    Results.insertValue(ResultKey, Cached);
-
-    RouteStats Stats;
-    Stats.LogicalGates = Cached->LogicalGates;
-    Stats.RoutedGates = Cached->RoutedGates;
-    Stats.Swaps = Cached->Swaps;
-    Stats.DepthBefore = Cached->DepthBefore;
-    Stats.DepthAfter = Cached->DepthAfter;
-    Stats.MappingSeconds = Cached->MappingSeconds;
-    Stats.TimedOut = Cached->TimedOut;
-    Stats.Verified = true;
-    Stats.SuccessProbability = Cached->SuccessProbability;
+    if (Out.ErrorCode) {
+      Conn->releaseJob(Id);
+      sendError(*Conn, "route", Id, Out.ErrorCode, Out.ErrorMessage);
+      return;
+    }
     Conn->releaseJob(Id);
-    Conn->send(formatRouteResponse(Id, Route.Mapper, Route.Backend, Stats,
-                                   ContextHit,
+    Conn->send(formatRouteResponse(Id, Route.Mapper, Route.Backend,
+                                   Out.Stats, Out.ContextHit,
                                    /*ResultCacheHit=*/false,
-                                   Cached->RoutedQasm, Route.IncludeQasm));
+                                   Out.Cached->RoutedQasm,
+                                   Route.IncludeQasm));
   };
 
   // Pre-register the ticket before submission so a completion racing this
@@ -757,6 +784,334 @@ void Server::handleRoute(const std::shared_ptr<Connection> &Conn,
   }
 }
 
+Server::RouteOutcome
+Server::executeRoute(const std::shared_ptr<Circuit> &Logical,
+                     const std::shared_ptr<const PooledBackend> &Backend,
+                     const RouteRequest &Params, uint64_t CircuitFp,
+                     const CacheKey &ResultKey, RoutingScratch &Scratch,
+                     CancellationToken &Cancel,
+                     const std::function<void()> &BeforeRoute) {
+  RouteOutcome Out;
+  if (Cancel.cancelled()) {
+    Out.Cancelled = true;
+    return Out;
+  }
+  std::unique_ptr<Router> Mapper =
+      makeServiceRouter(Params.Mapper, Params.ErrorAware, Params.Affine);
+  RoutingContextOptions CtxOptions = Mapper->contextOptions();
+  CacheKey ContextKey{CircuitFp, Backend->Fingerprint,
+                      fingerprint(CtxOptions)};
+  auto Bundle = Contexts.getOrBuild(
+      ContextKey,
+      [&] {
+        return CachedContext::build(*Logical, *Backend->Graph, CtxOptions);
+      },
+      &Out.ContextHit);
+  const RoutingContext &Ctx = Bundle->context();
+  if (!Ctx.valid()) {
+    Out.ErrorCode = errc::InvalidCircuit;
+    Out.ErrorMessage = Ctx.status().message();
+    return Out;
+  }
+  QubitMapping Initial =
+      Params.Bidirectional
+          ? deriveBidirectionalMapping(*Mapper, Ctx, 1, &Scratch, &Cancel)
+          : Ctx.identityMapping();
+  if (Cancel.cancelled()) {
+    Out.Cancelled = true;
+    return Out;
+  }
+  if (BeforeRoute)
+    BeforeRoute();
+  RoutingResult Result = Mapper->route(Ctx, Initial, Scratch, &Cancel);
+  if (Result.Cancelled) {
+    Out.Cancelled = true;
+    return Out;
+  }
+  if (Result.AffineReplayedPeriods || Result.AffineFallbackPeriods) {
+    std::lock_guard<std::mutex> Lock(CounterMu);
+    Counters.AffineReplays += Result.AffineReplayedPeriods;
+    Counters.AffineFallbacks += Result.AffineFallbackPeriods;
+  }
+  VerifyResult Check = verifyRouting(Ctx.circuit(), Ctx.hardware(), Result);
+  if (!Check.Ok) {
+    Out.ErrorCode = errc::VerifyFailed;
+    Out.ErrorMessage = formatString("routing failed verification: %s",
+                                    Check.Message.c_str());
+    return Out;
+  }
+  auto Cached = std::make_shared<CachedResult>();
+  Cached->RoutedQasm = qasm::printQasm(Result.Routed);
+  Cached->LogicalGates = Logical->size();
+  Cached->RoutedGates = Result.Routed.size();
+  Cached->Swaps = Result.NumSwaps;
+  Cached->DepthBefore = Logical->depth();
+  Cached->DepthAfter = Result.Routed.depth();
+  Cached->MappingSeconds = Result.MappingSeconds;
+  Cached->TimedOut = Result.TimedOut;
+  Cached->Verified = true;
+  if (Ctx.hardware().hasErrorModel())
+    Cached->SuccessProbability =
+        estimateSuccessProbability(Result.Routed, Ctx.hardware());
+
+  Out.Stats.LogicalGates = Cached->LogicalGates;
+  Out.Stats.RoutedGates = Cached->RoutedGates;
+  Out.Stats.Swaps = Cached->Swaps;
+  Out.Stats.DepthBefore = Cached->DepthBefore;
+  Out.Stats.DepthAfter = Cached->DepthAfter;
+  Out.Stats.MappingSeconds = Cached->MappingSeconds;
+  Out.Stats.TimedOut = Cached->TimedOut;
+  Out.Stats.Verified = true;
+  Out.Stats.SuccessProbability = Cached->SuccessProbability;
+  Out.Cached = Results.insertValue(ResultKey, std::move(Cached));
+  return Out;
+}
+
+//===----------------------------------------------------------------------===//
+// Batch sessions
+//===----------------------------------------------------------------------===//
+
+void Server::finishBatchItem(const std::shared_ptr<BatchState> &Batch,
+                             size_t Index, const char *Status) {
+  Batch->Status[Index] = Status;
+  // The fetch_sub sequences this thread's Status write (and its already-
+  // sent item frame) before the summary sender's reads, and the writer
+  // mutex orders the frames themselves — so the summary is always last.
+  if (Batch->Remaining.fetch_sub(1) == 1) {
+    Batch->Conn->releaseBatch(Batch->Id);
+    Batch->Conn->send(formatBatchSummaryResponse(Batch->Id, Batch->Mapper,
+                                                 Batch->BackendName,
+                                                 Batch->Names,
+                                                 Batch->Status));
+  }
+}
+
+bool Server::cancelBatch(const std::shared_ptr<BatchState> &Batch) {
+  bool AnyLive = false;
+  for (const auto &[Ticket, Index] : Batch->Tickets) {
+    switch (Workers->cancel(Ticket)) {
+    case JobTicket::State::Queued:
+      // Claimed away from the workers unrun: this thread owns reporting.
+      AnyLive = true;
+      Batch->Conn->send(formatBatchItemError(Batch->Id, Index,
+                                             Batch->Names[Index],
+                                             errc::Cancelled,
+                                             "item cancelled while queued"));
+      finishBatchItem(Batch, Index, errc::Cancelled);
+      break;
+    case JobTicket::State::Running:
+      // Token signalled; the item aborts at its next poll and reports
+      // through its own completion path.
+      AnyLive = true;
+      break;
+    case JobTicket::State::CancelledWhileQueued:
+    case JobTicket::State::Done:
+      break;
+    }
+  }
+  return AnyLive;
+}
+
+void Server::handleBatch(const std::shared_ptr<Connection> &Conn,
+                         const Request &Req) {
+  const RouteRequest &Route = Req.Route;
+  {
+    std::lock_guard<std::mutex> Lock(CounterMu);
+    ++Counters.BatchRequests;
+    Counters.BatchItems += Req.Items.size();
+  }
+  if (Stopping.load()) {
+    sendError(*Conn, "batch", Req.Id, errc::ShuttingDown,
+              "server is shutting down");
+    return;
+  }
+  if (Conn->idInFlight(Req.Id)) {
+    sendError(*Conn, "batch", Req.Id, errc::BadRequest,
+              formatString("id \"%s\" is already in flight on this "
+                           "connection",
+                           Req.Id.c_str()));
+    return;
+  }
+  if (!isKnown(KnownMappers, sizeof(KnownMappers) / sizeof(KnownMappers[0]),
+               Route.Mapper)) {
+    sendError(*Conn, "batch", Req.Id, errc::UnknownMapper,
+              formatString("unknown mapper \"%s\"", Route.Mapper.c_str()));
+    return;
+  }
+  std::shared_ptr<const PooledBackend> Backend =
+      lookupBackend(Route.Backend, Route.ErrorAware, Route.CalibrationSeed);
+  if (!Backend) {
+    sendError(*Conn, "batch", Req.Id, errc::UnknownBackend,
+              formatString("unknown backend \"%s\"", Route.Backend.c_str()));
+    return;
+  }
+
+  const size_t Total = Req.Items.size();
+  auto Batch = std::make_shared<BatchState>();
+  Batch->Conn = Conn;
+  Batch->Id = Req.Id;
+  Batch->Mapper = Route.Mapper;
+  Batch->BackendName = Route.Backend;
+  Batch->Remaining.store(Total);
+  Batch->Status.assign(Total, std::string());
+  Batch->Names.resize(Total);
+  for (size_t I = 0; I < Total; ++I)
+    Batch->Names[I] = Req.Items[I].Name;
+
+  auto Deadline =
+      requestDeadline(Route.TimeoutMs, Options.DefaultTimeoutSeconds);
+
+  // Shared per-item parameters; progress streaming is a `route` feature
+  // (a batch already streams one frame per item).
+  RouteRequest Params;
+  Params.Mapper = Route.Mapper;
+  Params.Backend = Route.Backend;
+  Params.Bidirectional = Route.Bidirectional;
+  Params.ErrorAware = Route.ErrorAware;
+  Params.Affine = Route.Affine;
+  Params.CalibrationSeed = Route.CalibrationSeed;
+  Params.IncludeQasm = Route.IncludeQasm;
+  Params.TimeoutMs = Route.TimeoutMs;
+
+  // Triage every item before anything is enqueued or any frame is sent:
+  // the submission below is all-or-nothing, and a rejected batch must
+  // emit no item frames at all.
+  struct InlineFailure {
+    size_t Index;
+    const char *Code;
+    std::string Message;
+  };
+  struct InlineHit {
+    size_t Index;
+    std::shared_ptr<const CachedResult> Cached;
+  };
+  std::vector<InlineFailure> Failures;
+  std::vector<InlineHit> Hits;
+  std::vector<SchedulerJob> Jobs;
+  std::vector<size_t> JobIndex; // Jobs[J] routes item JobIndex[J].
+  for (size_t I = 0; I < Total; ++I) {
+    qasm::ImportResult Imported =
+        qasm::importQasm(Req.Items[I].Qasm, "request");
+    if (!Imported.succeeded()) {
+      Failures.push_back({I, errc::BadQasm, Imported.Error});
+      continue;
+    }
+    auto Logical = std::make_shared<Circuit>(
+        Imported.Circ->withoutNonUnitaries().decomposeThreeQubitGates());
+    if (Logical->numQubits() > Backend->Graph->numQubits()) {
+      Failures.push_back(
+          {I, errc::TooLarge,
+           formatString("circuit has %u qubits but %s only has %u",
+                        Logical->numQubits(), Route.Backend.c_str(),
+                        Backend->Graph->numQubits())});
+      continue;
+    }
+    uint64_t CircuitFp = fingerprint(*Logical);
+    uint64_t MapperConfigFp = hashCombine(
+        fingerprintString(Route.Mapper),
+        (Route.Affine ? 4u : 0u) | (Route.Bidirectional ? 2u : 0u) |
+            (Route.ErrorAware ? 1u : 0u));
+    CacheKey ResultKey{CircuitFp, Backend->Fingerprint, MapperConfigFp};
+    if (auto Cached = Results.lookup(ResultKey)) {
+      Hits.push_back({I, std::move(Cached)});
+      continue;
+    }
+    SchedulerJob Job;
+    Job.Deadline = Deadline;
+    Job.OnExpired = [this, Batch, I] {
+      Batch->Conn->send(formatBatchItemError(
+          Batch->Id, I, Batch->Names[I], errc::DeadlineExceeded,
+          "deadline passed before a worker picked the item up"));
+      finishBatchItem(Batch, I, errc::DeadlineExceeded);
+    };
+    Job.Run = [this, Batch, I, Logical, Backend, Params, CircuitFp,
+               ResultKey](RoutingScratch &Scratch,
+                          CancellationToken &Cancel) {
+      RouteOutcome Out = executeRoute(Logical, Backend, Params, CircuitFp,
+                                      ResultKey, Scratch, Cancel, nullptr);
+      if (Out.Cancelled) {
+        auto [Code, Message] = cancellationError(Cancel);
+        Batch->Conn->send(formatBatchItemError(Batch->Id, I,
+                                               Batch->Names[I], Code,
+                                               Message));
+        finishBatchItem(Batch, I, Code);
+        return;
+      }
+      if (Out.ErrorCode) {
+        Batch->Conn->send(formatBatchItemError(Batch->Id, I,
+                                               Batch->Names[I],
+                                               Out.ErrorCode,
+                                               Out.ErrorMessage));
+        finishBatchItem(Batch, I, Out.ErrorCode);
+        return;
+      }
+      Batch->Conn->send(formatBatchItemResult(
+          Batch->Id, I, Batch->Names[I], Params.Mapper, Params.Backend,
+          Out.Stats, Out.ContextHit, /*ResultCacheHit=*/false,
+          Out.Cached->RoutedQasm, Params.IncludeQasm));
+      finishBatchItem(Batch, I, "ok");
+    };
+    Jobs.push_back(std::move(Job));
+    JobIndex.push_back(I);
+  }
+
+  // Register before submission so a completing worker's releaseBatch()
+  // always finds the entry; requests on this connection are read
+  // serially, so no cancel can slip in between.
+  {
+    std::lock_guard<std::mutex> Lock(Conn->JobsMu);
+    Conn->InFlightBatches[Req.Id] = Batch;
+  }
+  if (!Jobs.empty()) {
+    std::vector<std::shared_ptr<JobTicket>> Tickets =
+        Workers->trySubmitBatch(std::move(Jobs));
+    if (Tickets.empty()) {
+      // All-or-nothing rejection: nothing ran, nothing was sent — one
+      // error response covers the whole batch.
+      Conn->releaseBatch(Req.Id);
+      if (Stopping.load())
+        sendError(*Conn, "batch", Req.Id, errc::ShuttingDown,
+                  "server is shutting down");
+      else
+        sendError(*Conn, "batch", Req.Id, errc::QueueFull,
+                  formatString("scheduler queue lacks capacity for %zu "
+                               "batch items, retry later",
+                               JobIndex.size()));
+      return;
+    }
+    for (size_t J = 0; J < Tickets.size(); ++J)
+      Batch->Tickets.emplace_back(std::move(Tickets[J]), JobIndex[J]);
+  }
+
+  // Inline outcomes go out only now, after the all-or-nothing decision.
+  // Workers may already be streaming their items — fine; the summary
+  // still waits for these, because their countdown slots are ours.
+  for (const InlineHit &Hit : Hits) {
+    RouteStats Stats;
+    Stats.LogicalGates = Hit.Cached->LogicalGates;
+    Stats.RoutedGates = Hit.Cached->RoutedGates;
+    Stats.Swaps = Hit.Cached->Swaps;
+    Stats.DepthBefore = Hit.Cached->DepthBefore;
+    Stats.DepthAfter = Hit.Cached->DepthAfter;
+    Stats.MappingSeconds = Hit.Cached->MappingSeconds;
+    Stats.TimedOut = Hit.Cached->TimedOut;
+    Stats.Verified = Hit.Cached->Verified;
+    Stats.SuccessProbability = Hit.Cached->SuccessProbability;
+    Conn->send(formatBatchItemResult(
+        Req.Id, Hit.Index, Batch->Names[Hit.Index], Route.Mapper,
+        Route.Backend, Stats, /*ContextCacheHit=*/false,
+        /*ResultCacheHit=*/true, Hit.Cached->RoutedQasm,
+        Route.IncludeQasm));
+    finishBatchItem(Batch, Hit.Index, "ok");
+  }
+  for (const InlineFailure &Failure : Failures) {
+    Conn->send(formatBatchItemError(Req.Id, Failure.Index,
+                                    Batch->Names[Failure.Index],
+                                    Failure.Code, Failure.Message));
+    finishBatchItem(Batch, Failure.Index, Failure.Code);
+  }
+}
+
 //===----------------------------------------------------------------------===//
 // Stats
 //===----------------------------------------------------------------------===//
@@ -771,6 +1126,8 @@ json::Value Server::statsJson() const {
     ServerObj.set("requests", Counters.Requests);
     ServerObj.set("route_requests", Counters.RouteRequests);
     ServerObj.set("cancel_requests", Counters.CancelRequests);
+    ServerObj.set("batch_requests", Counters.BatchRequests);
+    ServerObj.set("batch_items", Counters.BatchItems);
     ServerObj.set("errors", Counters.Errors);
     ServerObj.set("affine_replays", Counters.AffineReplays);
     ServerObj.set("affine_fallbacks", Counters.AffineFallbacks);

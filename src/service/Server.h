@@ -120,6 +120,11 @@ struct ServerCounters {
   uint64_t Requests = 0;
   uint64_t RouteRequests = 0;
   uint64_t CancelRequests = 0;
+  /// Batch sessions accepted for parsing and the items they carried
+  /// (counted at arrival; rejected batches still count — they were
+  /// requested).
+  uint64_t BatchRequests = 0;
+  uint64_t BatchItems = 0;
   uint64_t Errors = 0;
   /// Affine fast-path outcomes, summed over every completed route: loop
   /// periods covered by replaying a recorded swap schedule vs. periods
@@ -174,6 +179,17 @@ private:
   /// the in-flight cancellable-job table. Defined in Server.cpp.
   struct Connection;
 
+  /// Shared state of one in-flight `batch` session: per-item outcome
+  /// slots, the remaining-item countdown whose final decrement sends the
+  /// summary (which is how "summary always last" is enforced), and the
+  /// per-item scheduler tickets for whole-batch cancellation. Defined in
+  /// Server.cpp.
+  struct BatchState;
+
+  /// Outcome of the worker-side routing core shared by `route` and
+  /// `batch` items. Defined in Server.cpp.
+  struct RouteOutcome;
+
   void acceptLoop();
   void connectionLoop(std::shared_ptr<Connection> Conn, size_t Slot);
   void teardown();
@@ -187,8 +203,35 @@ private:
                   const std::string &Line, bool &StopAfterSend);
   void handleRoute(const std::shared_ptr<Connection> &Conn,
                    const Request &Req);
+  void handleBatch(const std::shared_ptr<Connection> &Conn,
+                   const Request &Req);
   void handleCancel(const std::shared_ptr<Connection> &Conn,
                     const Request &Req);
+
+  /// The mapper/context/route/verify/cache core every routed request runs
+  /// on a worker thread; `route` and `batch` items differ only in how
+  /// they report the outcome. \p BeforeRoute, when set, runs right before
+  /// the main routing pass (after the bidirectional derive) — the hook
+  /// `route` uses to install its progress sink.
+  RouteOutcome executeRoute(const std::shared_ptr<Circuit> &Logical,
+                            const std::shared_ptr<const PooledBackend> &Backend,
+                            const RouteRequest &Params, uint64_t CircuitFp,
+                            const CacheKey &ResultKey, RoutingScratch &Scratch,
+                            CancellationToken &Cancel,
+                            const std::function<void()> &BeforeRoute);
+
+  /// Records item \p Index's terse outcome and performs the batch's
+  /// completion protocol: the thread whose decrement empties the batch
+  /// releases the id and writes the summary — necessarily after every
+  /// item frame, because each item's frame is sent before its decrement.
+  void finishBatchItem(const std::shared_ptr<BatchState> &Batch, size_t Index,
+                       const char *Status);
+
+  /// Cancels every item of \p Batch: queued items are claimed, reported
+  /// (`cancelled` item frame) and finished here; running items get their
+  /// tokens signalled and report through their own completion paths.
+  /// Returns whether any item was still live.
+  bool cancelBatch(const std::shared_ptr<BatchState> &Batch);
 
   /// Writes an error response through \p Conn and bumps the error
   /// counter (callable from any thread).

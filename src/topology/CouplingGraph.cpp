@@ -31,12 +31,6 @@ void CouplingGraph::addEdge(unsigned A, unsigned B) {
   WeightedDistancePenalty = -1.0;
 }
 
-bool CouplingGraph::areAdjacent(unsigned A, unsigned B) const {
-  assert(A < NumQubits && B < NumQubits && "qubit out of range");
-  const auto &Nbrs = Adjacency[A];
-  return std::find(Nbrs.begin(), Nbrs.end(), B) != Nbrs.end();
-}
-
 std::vector<std::pair<unsigned, unsigned>> CouplingGraph::edges() const {
   std::vector<std::pair<unsigned, unsigned>> Result;
   for (unsigned A = 0; A < NumQubits; ++A)
@@ -103,12 +97,6 @@ void CouplingGraph::computeDistances() {
       }
     }
   }
-}
-
-unsigned CouplingGraph::distance(unsigned A, unsigned B) const {
-  assert(hasDistances() && "call computeDistances() first");
-  assert(A < NumQubits && B < NumQubits && "qubit out of range");
-  return Distances[static_cast<size_t>(A) * NumQubits + B];
 }
 
 void CouplingGraph::setEdgeError(unsigned A, unsigned B, double ErrorRate) {

@@ -15,6 +15,7 @@
 #define QLOSURE_TOPOLOGY_COUPLINGGRAPH_H
 
 #include <algorithm>
+#include <cassert>
 #include <cstdint>
 #include <string>
 #include <utility>
@@ -35,7 +36,16 @@ public:
   /// Adds the undirected edge (A, B); duplicate additions are ignored.
   void addEdge(unsigned A, unsigned B);
 
-  bool areAdjacent(unsigned A, unsigned B) const;
+  // Inline: adjacency and distance queries sit on the innermost loops of
+  // every mapper (A* successor generation, swap-candidate delta scoring),
+  // where an out-of-line call would dominate the O(1) lookup itself.
+  bool areAdjacent(unsigned A, unsigned B) const {
+    assert(A < NumQubits && B < NumQubits && "qubit out of range");
+    if (!Distances.empty())
+      return Distances[static_cast<size_t>(A) * NumQubits + B] == 1;
+    const std::vector<unsigned> &Nbrs = Adjacency[A];
+    return std::find(Nbrs.begin(), Nbrs.end(), B) != Nbrs.end();
+  }
 
   const std::vector<unsigned> &neighbors(unsigned Qubit) const {
     return Adjacency[Qubit];
@@ -61,7 +71,11 @@ public:
 
   /// Shortest-path distance (in edges == minimum SWAP chain length + 1
   /// relative to adjacency). Requires computeDistances() first.
-  unsigned distance(unsigned A, unsigned B) const;
+  unsigned distance(unsigned A, unsigned B) const {
+    assert(hasDistances() && "call computeDistances() first");
+    assert(A < NumQubits && B < NumQubits && "qubit out of range");
+    return Distances[static_cast<size_t>(A) * NumQubits + B];
+  }
 
   bool hasDistances() const { return !Distances.empty(); }
 

@@ -214,8 +214,8 @@ public:
 
 protected:
   size_t extendedWindowSize(size_t) const override { return 0; }
-  double scoreSwap(const std::vector<unsigned> &,
-                   const std::vector<unsigned> &, double) const override {
+  double scoreFromSums(double, double, double, double, size_t,
+                       size_t) const override {
     return 0.0; // Constant: greedy descent gets no signal at all.
   }
   unsigned maxSwapsWithoutProgress() const override { return 4; }

@@ -287,6 +287,95 @@ TEST(ProtocolTest, RejectionsPreserveCorrelation) {
   EXPECT_TRUE(NoJson.Req.Id.empty());
 }
 
+TEST(ProtocolTest, ParsesBatchRequest) {
+  RequestParse Parsed = parseRequest(
+      "{\"op\":\"batch\",\"id\":\"b1\",\"mapper\":\"sabre\","
+      "\"items\":[{\"name\":\"a\",\"qasm\":\"x\"},{\"qasm\":\"y\"}]}");
+  ASSERT_TRUE(Parsed.Ok) << Parsed.ErrorMessage;
+  EXPECT_EQ(Parsed.Req.TheOp, Op::Batch);
+  EXPECT_EQ(Parsed.Req.Id, "b1");
+  EXPECT_EQ(Parsed.Req.Route.Mapper, "sabre");
+  EXPECT_EQ(Parsed.Req.Route.Backend, "sherbrooke");
+  ASSERT_EQ(Parsed.Req.Items.size(), 2u);
+  EXPECT_EQ(Parsed.Req.Items[0].Name, "a");
+  EXPECT_EQ(Parsed.Req.Items[0].Qasm, "x");
+  EXPECT_TRUE(Parsed.Req.Items[1].Name.empty());
+  EXPECT_EQ(Parsed.Req.Items[1].Qasm, "y");
+
+  // A batch's per-item frames demultiplex by the batch id, so the id is
+  // mandatory; items must be a non-empty array of {qasm[, name]} objects.
+  const char *Rejected[] = {
+      "{\"op\":\"batch\",\"items\":[{\"qasm\":\"x\"}]}",
+      "{\"op\":\"batch\",\"id\":\"\",\"items\":[{\"qasm\":\"x\"}]}",
+      "{\"op\":\"batch\",\"id\":\"b\"}",
+      "{\"op\":\"batch\",\"id\":\"b\",\"items\":[]}",
+      "{\"op\":\"batch\",\"id\":\"b\",\"items\":\"x\"}",
+      "{\"op\":\"batch\",\"id\":\"b\",\"items\":[\"x\"]}",
+      "{\"op\":\"batch\",\"id\":\"b\",\"items\":[{\"name\":\"a\"}]}",
+      "{\"op\":\"batch\",\"id\":\"b\",\"items\":[{\"qasm\":7}]}",
+      "{\"op\":\"batch\",\"id\":\"b\","
+      "\"items\":[{\"qasm\":\"x\",\"name\":3}]}",
+  };
+  for (const char *Line : Rejected)
+    EXPECT_EQ(parseRequest(Line).ErrorCode, errc::BadRequest) << Line;
+
+  // The item cap rejects absurd batches up front.
+  std::string Huge = "{\"op\":\"batch\",\"id\":\"b\",\"items\":[";
+  for (size_t I = 0; I < 4097; ++I) {
+    if (I)
+      Huge += ",";
+    Huge += "{\"qasm\":\"x\"}";
+  }
+  Huge += "]}";
+  EXPECT_EQ(parseRequest(Huge).ErrorCode, errc::BadRequest);
+}
+
+TEST(ProtocolTest, BatchFrameShapes) {
+  // Item frames are events: they carry "event" and no "ok", and signal
+  // item success/failure by the presence of "stats" vs "error".
+  RouteStats Stats;
+  Stats.LogicalGates = 10;
+  Stats.RoutedGates = 14;
+  Stats.Swaps = 4;
+  json::Value Good = parseResponse(formatBatchItemResult(
+      "b1", 2, "ghz", "qlosure", "aspen16", Stats,
+      /*ContextCacheHit=*/true, /*ResultCacheHit=*/false, "QASM...",
+      /*IncludeQasm=*/true));
+  EXPECT_EQ(Good.get("ok"), nullptr);
+  EXPECT_EQ(Good.get("event")->asString(), "batch_item");
+  EXPECT_EQ(Good.get("op")->asString(), "batch");
+  EXPECT_EQ(Good.get("id")->asString(), "b1");
+  EXPECT_EQ(Good.get("index")->asNumber(), 2);
+  EXPECT_EQ(Good.get("name")->asString(), "ghz");
+  ASSERT_NE(Good.get("stats"), nullptr);
+  EXPECT_EQ(Good.get("error"), nullptr);
+  EXPECT_TRUE(Good.get("cache_hit")->asBool());
+  EXPECT_EQ(Good.get("qasm")->asString(), "QASM...");
+
+  json::Value Bad = parseResponse(
+      formatBatchItemError("b1", 0, "", errc::BadQasm, "boom"));
+  EXPECT_EQ(Bad.get("ok"), nullptr);
+  EXPECT_EQ(Bad.get("event")->asString(), "batch_item");
+  EXPECT_EQ(Bad.get("index")->asNumber(), 0);
+  EXPECT_EQ(Bad.get("name"), nullptr) << "empty names are omitted";
+  EXPECT_EQ(Bad.get("stats"), nullptr);
+  EXPECT_EQ(errorCode(Bad), "bad_qasm");
+
+  json::Value Summary = parseResponse(formatBatchSummaryResponse(
+      "b1", "qlosure", "aspen16", {"ghz", "", "qft"},
+      {"ok", errc::Cancelled, errc::BadQasm}));
+  EXPECT_TRUE(responseOk(Summary));
+  EXPECT_EQ(Summary.get("op")->asString(), "batch");
+  EXPECT_EQ(Summary.get("total")->asNumber(), 3);
+  EXPECT_EQ(Summary.get("succeeded")->asNumber(), 1);
+  EXPECT_EQ(Summary.get("failed")->asNumber(), 1);
+  EXPECT_EQ(Summary.get("cancelled")->asNumber(), 1);
+  ASSERT_EQ(Summary.get("items")->items().size(), 3u);
+  EXPECT_EQ(Summary.get("items")->items()[1].get("status")->asString(),
+            "cancelled");
+  EXPECT_EQ(Summary.get("items")->items()[2].get("index")->asNumber(), 2);
+}
+
 TEST(ProtocolTest, V2FrameShapes) {
   // Ping advertises the protocol revision v1 clients simply ignore.
   json::Value Ping = parseResponse(formatPingResponse(""));
@@ -1080,4 +1169,264 @@ TEST(ServerTest, DuplicateInFlightIdIsRejected) {
   ASSERT_TRUE(Conn.sendLine(Again.dump()).ok());
   ASSERT_TRUE(Conn.recvResponseFor("dup", Final, {}, "route").ok());
   EXPECT_TRUE(responseOk(parseResponse(Final))) << Final;
+}
+
+//===----------------------------------------------------------------------===//
+// Batch sessions
+//===----------------------------------------------------------------------===//
+
+namespace {
+
+json::Value batchRequest(
+    const std::string &Id,
+    const std::vector<std::pair<std::string, std::string>> &Items,
+    const std::string &Mapper = "qlosure",
+    const std::string &Backend = "aspen16") {
+  json::Value Req = json::Value::object();
+  Req.set("op", "batch");
+  Req.set("id", Id);
+  Req.set("mapper", Mapper);
+  Req.set("backend", Backend);
+  json::Value Arr = json::Value::array();
+  for (const auto &[Name, Qasm] : Items) {
+    json::Value Item = json::Value::object();
+    if (!Name.empty())
+      Item.set("name", Name);
+    Item.set("qasm", Qasm);
+    Arr.push(std::move(Item));
+  }
+  Req.set("items", std::move(Arr));
+  return Req;
+}
+
+} // namespace
+
+TEST(ServerTest, BatchRoutesItemsAndSummaryArrivesLast) {
+  ServerFixture Fixture;
+  Client Conn = Fixture.connect();
+
+  // Two routable circuits plus one import failure: partial failure is
+  // per-item, not batch-fatal.
+  QuekoSpec Spec;
+  Spec.Depth = 20;
+  Spec.Seed = 9;
+  CouplingGraph Gen = makeAspen16();
+  std::string Third = qasm::printQasm(generateQueko(Gen, Spec).Circ);
+  json::Value Req = batchRequest(
+      "b1",
+      {{"good", sampleQasm()}, {"broken", "qreg oops"}, {"", Third}});
+  std::vector<std::string> ItemFrames;
+  std::string Summary;
+  ASSERT_TRUE(Conn.sendLine(Req.dump()).ok());
+  ASSERT_TRUE(Conn.recvResponseFor(
+                      "b1", Summary,
+                      [&](const std::string &Line) {
+                        ItemFrames.push_back(Line);
+                      },
+                      "batch")
+                  .ok());
+
+  // Ordering contract: by the time the summary is readable, every item
+  // frame has already been delivered.
+  ASSERT_EQ(ItemFrames.size(), 3u)
+      << "the summary must arrive after all item frames";
+  bool SawIndex[3] = {false, false, false};
+  for (const std::string &Line : ItemFrames) {
+    json::Value Frame = parseResponse(Line);
+    EXPECT_EQ(Frame.get("ok"), nullptr) << Line;
+    EXPECT_EQ(Frame.get("event")->asString(), "batch_item");
+    EXPECT_EQ(Frame.get("id")->asString(), "b1");
+    size_t Index = static_cast<size_t>(Frame.get("index")->asNumber());
+    ASSERT_LT(Index, 3u);
+    EXPECT_FALSE(SawIndex[Index]) << "one frame per item";
+    SawIndex[Index] = true;
+    if (Index == 1) {
+      EXPECT_EQ(errorCode(Frame), errc::BadQasm) << Line;
+      EXPECT_EQ(Frame.get("stats"), nullptr);
+    } else {
+      ASSERT_NE(Frame.get("stats"), nullptr) << Line;
+      EXPECT_TRUE(Frame.get("stats")->get("verified")->asBool());
+      EXPECT_EQ(Frame.get("error"), nullptr);
+      ASSERT_NE(Frame.get("qasm"), nullptr);
+    }
+  }
+
+  json::Value Doc = parseResponse(Summary);
+  ASSERT_TRUE(responseOk(Doc)) << Summary;
+  EXPECT_EQ(Doc.get("total")->asNumber(), 3);
+  EXPECT_EQ(Doc.get("succeeded")->asNumber(), 2);
+  EXPECT_EQ(Doc.get("failed")->asNumber(), 1);
+  EXPECT_EQ(Doc.get("cancelled")->asNumber(), 0);
+  ASSERT_EQ(Doc.get("items")->items().size(), 3u);
+  EXPECT_EQ(Doc.get("items")->items()[0].get("status")->asString(), "ok");
+  EXPECT_EQ(Doc.get("items")->items()[1].get("status")->asString(),
+            "bad_qasm");
+  EXPECT_EQ(Doc.get("items")->items()[0].get("name")->asString(), "good");
+
+  // A batch item's routing populates the shared result cache: the same
+  // circuit as a plain route is now a hit with identical bytes.
+  std::string RouteLine;
+  ASSERT_TRUE(
+      Conn.request(routeRequest(sampleQasm()).dump(), RouteLine).ok());
+  json::Value RouteDoc = parseResponse(RouteLine);
+  ASSERT_TRUE(responseOk(RouteDoc)) << RouteLine;
+  EXPECT_TRUE(RouteDoc.get("result_cache_hit")->asBool());
+  for (const std::string &Line : ItemFrames) {
+    json::Value Frame = parseResponse(Line);
+    if (static_cast<size_t>(Frame.get("index")->asNumber()) == 0) {
+      EXPECT_EQ(Frame.get("qasm")->asString(),
+                RouteDoc.get("qasm")->asString());
+    }
+  }
+
+  // Arrival-side counters.
+  std::string StatsLine;
+  ASSERT_TRUE(Conn.request("{\"op\":\"stats\"}", StatsLine).ok());
+  json::Value Stats = parseResponse(StatsLine);
+  EXPECT_EQ(Stats.get("server")->get("batch_requests")->asNumber(), 1);
+  EXPECT_EQ(Stats.get("server")->get("batch_items")->asNumber(), 3);
+}
+
+TEST(ServerTest, BatchCancelAbortsAllItems) {
+  // One worker, three slow items: the first runs, the rest stay queued.
+  // One cancel of the batch id must abort all of them — queued items
+  // immediately from the connection thread, the running one through its
+  // token — and the summary must still arrive last.
+  ServerFixture Fixture(/*Workers=*/1);
+  Client Conn = Fixture.connect();
+
+  json::Value Req = batchRequest("b1",
+                                 {{"s0", deepQuekoQasm(300, 31)},
+                                  {"s1", deepQuekoQasm(300, 32)},
+                                  {"s2", deepQuekoQasm(300, 33)}},
+                                 "qmap", "sherbrooke2x");
+  ASSERT_TRUE(Conn.sendLine(Req.dump()).ok());
+  // Let the connection thread submit and a worker pick up item 0.
+  std::this_thread::sleep_for(std::chrono::milliseconds(150));
+
+  // The queued items' cancelled frames are written by the canceller
+  // *before* the cancel ack, so the event callback must be installed on
+  // both receives.
+  std::vector<std::string> ItemFrames;
+  auto Collect = [&](const std::string &Line) {
+    ItemFrames.push_back(Line);
+  };
+  auto CancelAt = std::chrono::steady_clock::now();
+  ASSERT_TRUE(Conn.sendLine(cancelRequest("b1").dump()).ok());
+  std::string Ack;
+  ASSERT_TRUE(Conn.recvResponseFor("b1", Ack, Collect, "cancel").ok());
+  EXPECT_TRUE(parseResponse(Ack).get("cancelled")->asBool()) << Ack;
+
+  std::string Summary;
+  ASSERT_TRUE(Conn.recvResponseFor("b1", Summary, Collect, "batch").ok());
+  double Elapsed = std::chrono::duration<double>(
+                       std::chrono::steady_clock::now() - CancelAt)
+                       .count();
+  EXPECT_LT(Elapsed, 2.0)
+      << "whole-batch cancel must not wait out the routes";
+
+  json::Value Doc = parseResponse(Summary);
+  ASSERT_TRUE(responseOk(Doc)) << Summary;
+  EXPECT_EQ(Doc.get("total")->asNumber(), 3);
+  EXPECT_EQ(Doc.get("cancelled")->asNumber(), 3);
+  EXPECT_EQ(Doc.get("succeeded")->asNumber(), 0);
+  EXPECT_EQ(ItemFrames.size(), 3u)
+      << "every item reports before the summary";
+  for (const std::string &Line : ItemFrames)
+    EXPECT_EQ(errorCode(parseResponse(Line)), errc::Cancelled) << Line;
+
+  // The id is released once the summary is out: reusable.
+  std::string Reuse;
+  ASSERT_TRUE(
+      Conn.sendLine(
+              batchRequest("b1", {{"ok", sampleQasm()}}).dump())
+          .ok());
+  ASSERT_TRUE(Conn.recvResponseFor("b1", Reuse, {}, "batch").ok());
+  EXPECT_TRUE(responseOk(parseResponse(Reuse))) << Reuse;
+}
+
+TEST(ServerTest, BatchAdmissionIsAllOrNothing) {
+  // Queue capacity 2, batch of 4 distinct circuits: the batch cannot be
+  // enqueued contiguously, so it is rejected as a whole — one queue_full
+  // response, zero item frames, nothing scheduled.
+  ServerOptions Opts;
+  Opts.SocketPath = testSocketPath();
+  Opts.Workers = 1;
+  Opts.QueueCapacity = 2;
+  Server Daemon(Opts);
+  ASSERT_TRUE(Daemon.start().ok());
+  std::thread Waiter([&] { Daemon.wait(); });
+  {
+    Client Conn;
+    ASSERT_TRUE(Conn.connect(Opts.SocketPath, 5.0).ok());
+
+    // Four distinct backend-sized circuits, so every item genuinely
+    // needs a queue slot (nothing is inline-disposed).
+    CouplingGraph Gen = makeAspen16();
+    std::vector<std::pair<std::string, std::string>> Items;
+    for (uint64_t Seed = 41; Seed < 45; ++Seed) {
+      QuekoSpec Spec;
+      Spec.Depth = 20;
+      Spec.Seed = Seed;
+      Items.emplace_back(formatString("c%llu",
+                                      static_cast<unsigned long long>(Seed)),
+                         qasm::printQasm(generateQueko(Gen, Spec).Circ));
+    }
+    json::Value Req = batchRequest("big", Items);
+    size_t ItemFrames = 0;
+    std::string Response;
+    ASSERT_TRUE(Conn.sendLine(Req.dump()).ok());
+    ASSERT_TRUE(Conn.recvResponseFor(
+                        "big", Response,
+                        [&](const std::string &) { ++ItemFrames; },
+                        "batch")
+                    .ok());
+    EXPECT_EQ(errorCode(parseResponse(Response)), errc::QueueFull)
+        << Response;
+    EXPECT_EQ(ItemFrames, 0u)
+        << "a rejected batch must emit no item frames";
+
+    std::string StatsLine;
+    ASSERT_TRUE(Conn.request("{\"op\":\"stats\"}", StatsLine).ok());
+    json::Value Stats = parseResponse(StatsLine);
+    EXPECT_EQ(Stats.get("scheduler")->get("queue_depth")->asNumber(), 0)
+        << "no partial batch may linger in the queue";
+
+    // A batch that fits is accepted on the same connection.
+    std::vector<std::string> Frames;
+    json::Value Small = batchRequest("fits", {{"a", sampleQasm()}});
+    ASSERT_TRUE(Conn.sendLine(Small.dump()).ok());
+    ASSERT_TRUE(Conn.recvResponseFor(
+                        "fits", Response,
+                        [&](const std::string &Line) {
+                          Frames.push_back(Line);
+                        },
+                        "batch")
+                    .ok());
+    EXPECT_TRUE(responseOk(parseResponse(Response))) << Response;
+    EXPECT_EQ(Frames.size(), 1u);
+  }
+  Daemon.stop();
+  Waiter.join();
+}
+
+TEST(ServerTest, BatchIdSharesNamespaceWithRoutes) {
+  // A live batch id cannot be taken by a route, nor a live route id by a
+  // batch — per-connection ids are one namespace.
+  ServerFixture Fixture(/*Workers=*/1);
+  Client Conn = Fixture.connect();
+
+  ASSERT_TRUE(Conn.sendLine(slowRouteRequest("x", 300, 51).dump()).ok());
+  std::this_thread::sleep_for(std::chrono::milliseconds(100));
+  std::string Rejection;
+  ASSERT_TRUE(
+      Conn.sendLine(batchRequest("x", {{"a", sampleQasm()}}).dump()).ok());
+  ASSERT_TRUE(Conn.recvResponseFor("x", Rejection, {}, "batch").ok());
+  EXPECT_EQ(errorCode(parseResponse(Rejection)), errc::BadRequest)
+      << Rejection;
+
+  std::string Final;
+  ASSERT_TRUE(Conn.sendLine(cancelRequest("x").dump()).ok());
+  ASSERT_TRUE(Conn.recvResponseFor("x", Final, {}, "route").ok());
+  EXPECT_EQ(errorCode(parseResponse(Final)), errc::Cancelled) << Final;
 }

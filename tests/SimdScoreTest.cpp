@@ -1,0 +1,232 @@
+//===- tests/SimdScoreTest.cpp - Vectorized scoring byte-identity ---------------===//
+//
+// Part of the Qlosure project. Distributed under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The SIMD contract of core/SimdScore.h: every vectorized helper must be
+/// **bit-identical** to its scalar fallback — the lanes mirror the scalar
+/// formulas' exact operation order, so flipping simd::setEnabled() can
+/// never change a routing decision. Unit-level checks cover the integer
+/// reductions (odd tails, u64 accumulation) and the double-precision lane
+/// kernels; the end-to-end check routes one workload through all five
+/// mappers twice (scalar vs SIMD) and demands gate-for-gate identity.
+/// Also here: FlatHashSet64, the epoch-stamped closed list the pooled
+/// QMAP A* leans on.
+///
+/// Under -DQLOSURE_SIMD=OFF both passes run the same scalar loops and
+/// every comparison is trivially true — the tests stay meaningful as a
+/// fallback-build smoke, which is exactly what the CI leg wants.
+///
+//===----------------------------------------------------------------------===//
+
+#include "core/SimdScore.h"
+
+#include "baselines/CirqGreedy.h"
+#include "baselines/QmapAstar.h"
+#include "baselines/Sabre.h"
+#include "baselines/TketBounded.h"
+#include "core/Qlosure.h"
+#include "route/RoutingScratch.h"
+#include "topology/Backends.h"
+#include "workloads/Queko.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstring>
+#include <memory>
+#include <random>
+#include <vector>
+
+using namespace qlosure;
+
+namespace {
+
+/// Restores the runtime SIMD toggle no matter how a test exits.
+struct SimdGuard {
+  ~SimdGuard() { simd::setEnabled(true); }
+};
+
+bool bitsEqual(const std::vector<double> &A, const std::vector<double> &B) {
+  return A.size() == B.size() &&
+         (A.empty() ||
+          std::memcmp(A.data(), B.data(), A.size() * sizeof(double)) == 0);
+}
+
+} // namespace
+
+TEST(SimdScoreTest, SumAndMaxMatchScalarOnEveryTailLength) {
+  SimdGuard Guard;
+  std::mt19937_64 Rng(7);
+  // Values near the u32 ceiling: the sum must accumulate in u64 (four
+  // such values already overflow u32), and the max must not be fooled by
+  // the signed epi32 comparison shortcut (distances stay far below 2^31
+  // in production, but the reduction itself is exercised here with
+  // realistic magnitudes too).
+  for (size_t N = 0; N <= 37; ++N) {
+    std::vector<unsigned> V(N);
+    for (unsigned &X : V)
+      X = static_cast<unsigned>(Rng() % 100000);
+    uint64_t WantSum = 0;
+    unsigned WantMax = 0;
+    for (unsigned X : V) {
+      WantSum += X;
+      WantMax = std::max(WantMax, X);
+    }
+    simd::setEnabled(false);
+    EXPECT_EQ(simd::sumU32(V.data(), N), WantSum) << "scalar N=" << N;
+    EXPECT_EQ(simd::maxU32(V.data(), N), WantMax) << "scalar N=" << N;
+    simd::setEnabled(true);
+    EXPECT_EQ(simd::sumU32(V.data(), N), WantSum) << "simd N=" << N;
+    EXPECT_EQ(simd::maxU32(V.data(), N), WantMax) << "simd N=" << N;
+  }
+}
+
+TEST(SimdScoreTest, DoubleLaneKernelsAreBitIdenticalToScalar) {
+  SimdGuard Guard;
+  std::mt19937_64 Rng(11);
+  std::uniform_real_distribution<double> Dist(0.0, 3.0);
+  // Odd lengths on purpose: every kernel has a scalar tail to get right.
+  for (size_t N : {size_t(1), size_t(2), size_t(3), size_t(5), size_t(8),
+                   size_t(13), size_t(31)}) {
+    std::vector<double> Adj(N), Front(N), Ext(N), Max(N), Decay(N);
+    for (size_t I = 0; I < N; ++I) {
+      Adj[I] = Dist(Rng);
+      Front[I] = Dist(Rng);
+      Ext[I] = Dist(Rng);
+      Max[I] = Dist(Rng);
+      Decay[I] = 1.0 + Dist(Rng) / 10;
+    }
+    const double Base = 1.7, Layer = 0.3, Count = 4.0, NF = 5.0, NE = 7.0,
+                 W = 0.5;
+
+    auto runAll = [&](bool Simd) {
+      simd::setEnabled(Simd);
+      std::vector<std::vector<double>> Out;
+      std::vector<double> Acc(N, 0.25);
+      simd::qlosureLayerAccum(Acc.data(), Adj.data(), Base, Layer, Count, N);
+      Out.push_back(Acc);
+      std::vector<double> Dec = Front;
+      simd::applyDecayLanes(Dec.data(), Decay.data(), N);
+      Out.push_back(Dec);
+      for (bool HasExt : {false, true}) {
+        std::vector<double> Sabre(N);
+        simd::sabreScoreLanes(Sabre.data(), Front.data(), Ext.data(),
+                              Decay.data(), NF, NE, W, HasExt, N);
+        Out.push_back(Sabre);
+      }
+      std::vector<double> Cirq(N);
+      simd::cirqScoreLanes(Cirq.data(), Front.data(), Ext.data(), W, N);
+      Out.push_back(Cirq);
+      std::vector<double> Tket(N);
+      simd::tketScoreLanes(Tket.data(), Front.data(), Ext.data(), Max.data(),
+                           W, N);
+      Out.push_back(Tket);
+      return Out;
+    };
+
+    auto Scalar = runAll(false);
+    auto Simd = runAll(true);
+    ASSERT_EQ(Scalar.size(), Simd.size());
+    for (size_t K = 0; K < Scalar.size(); ++K)
+      EXPECT_TRUE(bitsEqual(Scalar[K], Simd[K]))
+          << "kernel " << K << " diverges at N=" << N;
+  }
+}
+
+TEST(SimdScoreTest, AllMappersRouteIdenticallyWithAndWithoutSimd) {
+  SimdGuard Guard;
+  CouplingGraph Gen = makeAspen16();
+  CouplingGraph Backend = makeBackendByName("aspen16");
+  QuekoSpec Spec;
+  Spec.Depth = 60;
+  Spec.Seed = 2026;
+  QuekoInstance Inst = generateQueko(Gen, Spec);
+  RoutingContext Ctx = RoutingContext::build(Inst.Circ, Backend);
+
+  std::vector<std::unique_ptr<Router>> Mappers;
+  Mappers.push_back(std::make_unique<QlosureRouter>());
+  Mappers.push_back(std::make_unique<SabreRouter>());
+  QmapOptions Qmap;
+  Qmap.TimeBudgetSeconds = 1e9; // Unlimited: decisions must match exactly.
+  Mappers.push_back(std::make_unique<QmapAstarRouter>(Qmap));
+  Mappers.push_back(std::make_unique<CirqGreedyRouter>());
+  Mappers.push_back(std::make_unique<TketBoundedRouter>());
+
+  RoutingScratch Scratch;
+  for (const auto &Mapper : Mappers) {
+    simd::setEnabled(false);
+    RoutingResult Scalar = Mapper->routeWithIdentity(Ctx, Scratch);
+    simd::setEnabled(true);
+    RoutingResult Simd = Mapper->routeWithIdentity(Ctx, Scratch);
+
+    ASSERT_EQ(Scalar.NumSwaps, Simd.NumSwaps) << Mapper->name();
+    ASSERT_EQ(Scalar.Routed.size(), Simd.Routed.size()) << Mapper->name();
+    for (size_t I = 0; I < Scalar.Routed.size(); ++I) {
+      const Gate &A = Scalar.Routed.gate(I);
+      const Gate &B = Simd.Routed.gate(I);
+      ASSERT_TRUE(A.Kind == B.Kind && A.Qubits == B.Qubits &&
+                  A.Params == B.Params)
+          << Mapper->name() << " gate " << I;
+    }
+    EXPECT_TRUE(Scalar.FinalMapping == Simd.FinalMapping) << Mapper->name();
+    EXPECT_EQ(Scalar.InsertedSwapFlags, Simd.InsertedSwapFlags)
+        << Mapper->name();
+  }
+}
+
+TEST(FlatHashSet64Test, MatchesUnorderedSetSemantics) {
+  FlatHashSet64 Set;
+  Set.clear();
+  EXPECT_EQ(Set.size(), 0u);
+  EXPECT_FALSE(Set.contains(42));
+  EXPECT_TRUE(Set.insert(42));
+  EXPECT_FALSE(Set.insert(42)) << "duplicate insert must report existing";
+  EXPECT_TRUE(Set.contains(42));
+  EXPECT_EQ(Set.size(), 1u);
+
+  // Keys that collide in the low bits exercise linear probing.
+  for (uint64_t I = 0; I < 8; ++I)
+    EXPECT_TRUE(Set.insert(42 + (I + 1) * 1024));
+  EXPECT_EQ(Set.size(), 9u);
+  for (uint64_t I = 0; I < 8; ++I)
+    EXPECT_TRUE(Set.contains(42 + (I + 1) * 1024));
+}
+
+TEST(FlatHashSet64Test, ClearIsEpochBumpNotRefill) {
+  FlatHashSet64 Set;
+  Set.clear();
+  for (uint64_t I = 0; I < 100; ++I)
+    EXPECT_TRUE(Set.insert(I * 0x9E3779B97F4A7C15ull));
+  Set.clear();
+  EXPECT_EQ(Set.size(), 0u);
+  for (uint64_t I = 0; I < 100; ++I)
+    EXPECT_FALSE(Set.contains(I * 0x9E3779B97F4A7C15ull))
+        << "a cleared set answers empty";
+  // Stale slots from the previous epoch must not block reinsertion.
+  for (uint64_t I = 0; I < 100; ++I)
+    EXPECT_TRUE(Set.insert(I * 0x9E3779B97F4A7C15ull));
+  EXPECT_EQ(Set.size(), 100u);
+}
+
+TEST(FlatHashSet64Test, GrowthPreservesMembership) {
+  // Past load factor 0.5 of the initial 1024-slot table the set rehashes;
+  // every live key must survive and no ghost keys may appear.
+  FlatHashSet64 Set;
+  Set.clear();
+  std::mt19937_64 Rng(3);
+  std::vector<uint64_t> Keys;
+  for (size_t I = 0; I < 2000; ++I)
+    Keys.push_back(Rng());
+  for (uint64_t K : Keys)
+    EXPECT_TRUE(Set.insert(K));
+  EXPECT_EQ(Set.size(), Keys.size());
+  for (uint64_t K : Keys)
+    EXPECT_TRUE(Set.contains(K));
+  std::mt19937_64 Other(4);
+  for (size_t I = 0; I < 1000; ++I)
+    EXPECT_FALSE(Set.contains(Other() | (1ull << 63)))
+        << "rehash must not invent members";
+}

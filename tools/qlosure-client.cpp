@@ -14,6 +14,15 @@
 ///                                   summary incl. the affine replay
 ///                                   counters on stderr)
 ///     shutdown                      ask the daemon to stop gracefully
+///     batch [opts] DIR              route every *.qasm in DIR (sorted) as
+///                                   one `batch` session: item results
+///                                   stream to stderr as they complete,
+///                                   the final summary (always last)
+///                                   prints to stdout, and the exit code
+///                                   reports per-item outcomes. Shares
+///                                   the route options below (one mapper
+///                                   × one backend per batch; id defaults
+///                                   to "b1")
 ///     route [opts] [input.qasm]     route a circuit (stdin when omitted)
 ///       --mapper NAME               qlosure | sabre | qmap | cirq | tket
 ///       --backend NAME              see qlosure-route --backend
@@ -38,11 +47,12 @@
 ///                                   then normally the `cancelled` error)
 ///
 /// Prints the raw JSON final response line to stdout (except
-/// --qasm-only); progress events and the cancel ack go to stderr. The
-/// client demultiplexes protocol-v2 frames, so responses are matched by
-/// (op, id) rather than arrival order.
-/// Exit codes: 0 ok, 1 server-side error response, 2 usage, 3 transport
-/// failure, 4 --expect-cache-hit violated.
+/// --qasm-only); progress events, batch item frames, and the cancel ack
+/// go to stderr. The client demultiplexes protocol-v2 frames, so
+/// responses are matched by (op, id) rather than arrival order.
+/// Exit codes: 0 ok (for `batch`: every item succeeded), 1 server-side
+/// error response or any failed/cancelled batch item, 2 usage, 3
+/// transport failure, 4 --expect-cache-hit violated.
 ///
 //===----------------------------------------------------------------------===//
 
@@ -50,15 +60,18 @@
 #include "service/Protocol.h"
 #include "support/Json.h"
 
+#include <algorithm>
 #include <chrono>
 #include <cstdio>
 #include <cstring>
+#include <filesystem>
 #include <fstream>
 #include <iostream>
 #include <iterator>
 #include <sstream>
 #include <string>
 #include <thread>
+#include <vector>
 
 using namespace qlosure;
 using namespace qlosure::service;
@@ -69,7 +82,8 @@ int usage(const char *Argv0) {
   std::fprintf(
       stderr,
       "usage: %s [--socket PATH] [--connect-timeout SEC] "
-      "(ping|stats|shutdown|route [route-options] [input.qasm])\n",
+      "(ping|stats|shutdown|route [route-options] [input.qasm]|"
+      "batch [route-options] DIR)\n",
       Argv0);
   return 2;
 }
@@ -143,11 +157,72 @@ int main(int Argc, char **Argv) {
     }
   }
   if (Command != "ping" && Command != "stats" && Command != "shutdown" &&
-      Command != "route")
+      Command != "route" && Command != "batch")
     return usage(Argv[0]);
 
   std::string RequestLine;
-  if (Command == "route") {
+  if (Command == "batch") {
+    if (InputPath.empty()) {
+      std::fprintf(stderr,
+                   "qlosure-client: error: batch needs a directory of "
+                   ".qasm files\n");
+      return 2;
+    }
+    std::error_code DirError;
+    std::vector<std::filesystem::path> Files;
+    for (const auto &Entry :
+         std::filesystem::directory_iterator(InputPath, DirError)) {
+      if (Entry.is_regular_file() && Entry.path().extension() == ".qasm")
+        Files.push_back(Entry.path());
+    }
+    if (DirError) {
+      std::fprintf(stderr, "qlosure-client: error: cannot list %s: %s\n",
+                   InputPath.c_str(), DirError.message().c_str());
+      return 2;
+    }
+    if (Files.empty()) {
+      std::fprintf(stderr, "qlosure-client: error: no .qasm files in %s\n",
+                   InputPath.c_str());
+      return 2;
+    }
+    std::sort(Files.begin(), Files.end());
+    json::Value Items = json::Value::array();
+    for (const std::filesystem::path &Path : Files) {
+      std::ifstream In(Path);
+      if (!In) {
+        std::fprintf(stderr, "qlosure-client: error: cannot open %s\n",
+                     Path.c_str());
+        return 2;
+      }
+      std::string Source{std::istreambuf_iterator<char>(In),
+                         std::istreambuf_iterator<char>()};
+      json::Value Item = json::Value::object();
+      Item.set("name", Path.filename().string());
+      Item.set("qasm", std::move(Source));
+      Items.push(std::move(Item));
+    }
+    if (Id.empty())
+      Id = "b1";
+    json::Value Req = json::Value::object();
+    Req.set("op", "batch");
+    Req.set("id", Id);
+    Req.set("mapper", Mapper);
+    Req.set("backend", Backend);
+    if (Bidirectional)
+      Req.set("bidirectional", true);
+    if (ErrorAware) {
+      Req.set("error_aware", true);
+      Req.set("calibration", CalibrationSeed);
+    }
+    if (Affine)
+      Req.set("affine", true);
+    if (TimeoutMs > 0)
+      Req.set("timeout_ms", TimeoutMs);
+    if (StatsOnly)
+      Req.set("include_qasm", false);
+    Req.set("items", std::move(Items));
+    RequestLine = Req.dump();
+  } else if (Command == "route") {
     std::string Source;
     if (InputPath.empty()) {
       std::ostringstream Buffer;
@@ -284,6 +359,36 @@ int main(int Argc, char **Argv) {
   }
   if (!Ok)
     return 1;
+  if (Command == "batch") {
+    // Per-item report on stderr; the exit code reflects the items, not
+    // just the batch mechanism (a summary with failures exits 1).
+    size_t NotOk = 0;
+    if (const json::Value *Items = Response.get("items");
+        Items && Items->isArray()) {
+      for (const json::Value &Item : Items->items()) {
+        const json::Value *Index = Item.get("index");
+        const json::Value *Name = Item.get("name");
+        const json::Value *ItemStatus = Item.get("status");
+        std::string StatusText =
+            ItemStatus && ItemStatus->isString() ? ItemStatus->asString()
+                                                 : "?";
+        std::fprintf(stderr, "item %lld%s%s%s: %s\n",
+                     Index ? static_cast<long long>(Index->asNumber()) : -1,
+                     Name ? " (" : "",
+                     Name ? Name->asString().c_str() : "",
+                     Name ? ")" : "", StatusText.c_str());
+        if (StatusText != "ok")
+          ++NotOk;
+      }
+    }
+    if (NotOk) {
+      std::fprintf(stderr,
+                   "qlosure-client: %zu of the batch items did not "
+                   "succeed\n",
+                   NotOk);
+      return 1;
+    }
+  }
   if (ExpectCacheHit) {
     const json::Value *Hit = Response.get("cache_hit");
     if (!Hit || !Hit->asBool()) {
