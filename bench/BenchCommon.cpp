@@ -38,13 +38,16 @@ BenchConfig qlosure::bench::parseArgs(int Argc, char **Argv) {
     } else if (std::strcmp(Argv[I], "--threads") == 0 && I + 1 < Argc) {
       Config.Threads =
           static_cast<unsigned>(std::strtoul(Argv[++I], nullptr, 10));
+    } else if (std::strcmp(Argv[I], "--fleet") == 0 && I + 1 < Argc) {
+      Config.Fleet =
+          static_cast<unsigned>(std::strtoul(Argv[++I], nullptr, 10));
     } else if (std::strncmp(Argv[I], "--benchmark", 11) == 0) {
       // Tolerate google-benchmark style flags so "for b in bench/*" loops
       // can pass uniform arguments.
     } else {
       std::fprintf(stderr,
                    "usage: %s [--full] [--seed N] [--no-verify] "
-                   "[--affine] [--simd] [--threads N]\n",
+                   "[--affine] [--simd] [--threads N] [--fleet N]\n",
                    Argv[0]);
       std::exit(2);
     }

@@ -43,6 +43,10 @@ struct BenchConfig {
   /// appends a per-mapper scalar-vs-SIMD section with a byte-identity
   /// check; binaries without a SIMD mode accept and ignore the flag).
   bool Simd = false;
+  /// --fleet N: boot N daemons behind a consistent-hash shard router and
+  /// append a fleet-throughput section (bench_service_throughput; other
+  /// binaries accept and ignore the flag). 0 disables the fleet tier.
+  unsigned Fleet = 0;
   /// --threads N: BatchRunner workers (0 = hardware concurrency).
   /// Results are identical for every thread count, except where QMAP's
   /// wall-clock budget trips under load (see BatchRunner.h). Benches

@@ -63,6 +63,7 @@
 #include "route/Verify.h"
 #include "service/Client.h"
 #include "service/Server.h"
+#include "service/ShardRouter.h"
 #include "support/Json.h"
 #include "support/StringUtils.h"
 #include "support/Timer.h"
@@ -111,7 +112,7 @@ struct PassResult {
 
 /// Drives all requests through \p NumClients concurrent connections (one
 /// persistent connection per client, work-stealing over the request list).
-PassResult runPass(const std::string &SocketPath,
+PassResult runPass(const std::string &Address,
                    const std::vector<RequestSpec> &Requests,
                    unsigned NumClients, bool ExpectCacheHits) {
   PassResult Result;
@@ -123,7 +124,7 @@ PassResult runPass(const std::string &SocketPath,
   Timer Wall;
   auto ClientLoop = [&] {
     Client Conn;
-    if (!Conn.connect(SocketPath).ok()) {
+    if (!Conn.connect(Address).ok()) {
       ++Errors;
       return;
     }
@@ -248,7 +249,7 @@ int main(int Argc, char **Argv) {
   }
 
   ServerOptions Opts;
-  Opts.SocketPath =
+  Opts.Listen =
       formatString("/tmp/qlosured-bench-%d.sock", static_cast<int>(getpid()));
   Opts.Workers = Config.Threads;
   Server Daemon(Opts);
@@ -264,8 +265,8 @@ int main(int Argc, char **Argv) {
               Requests.size(), NumClients);
 
   PassResult Cold =
-      runPass(Opts.SocketPath, Requests, NumClients, false);
-  PassResult Warm = runPass(Opts.SocketPath, Requests, NumClients, true);
+      runPass(Daemon.boundAddress(), Requests, NumClients, false);
+  PassResult Warm = runPass(Daemon.boundAddress(), Requests, NumClients, true);
 
   // One `batch` op vs the same number of sequential `route` ops, on two
   // disjoint circuit sets of identical composition (fresh seeds — the
@@ -294,7 +295,7 @@ int main(int Argc, char **Argv) {
   std::vector<double> IndividualLatenciesMs;
   {
     Client Conn;
-    if (!Conn.connect(Opts.SocketPath).ok()) {
+    if (!Conn.connect(Daemon.boundAddress()).ok()) {
       BatchOk = false;
     } else {
       Timer Wall;
@@ -328,7 +329,7 @@ int main(int Argc, char **Argv) {
   size_t BatchItemFrames = 0;
   {
     Client Conn;
-    if (!Conn.connect(Opts.SocketPath).ok()) {
+    if (!Conn.connect(Daemon.boundAddress()).ok()) {
       BatchOk = false;
     } else {
       json::Value Req = json::Value::object();
@@ -383,6 +384,99 @@ int main(int Argc, char **Argv) {
   double BatchPerItemMs =
       NumBatchItems > 0 ? BatchSeconds * 1000.0 / NumBatchItems : 0;
   double BatchRatio = BatchSeconds > 0 ? IndividualSeconds / BatchSeconds : 0;
+
+  // --fleet N: the same request mix through a consistent-hash shard
+  // router fronting N fresh daemons, against the single warm daemon at
+  // equal client concurrency. Routed bytes must stay identical through
+  // the router; the >= 1.7x aggregate-throughput bar only applies where
+  // the host has cores for the daemons to actually run in parallel.
+  bool FleetRan = false, FleetOk = true, FleetAsserted = false;
+  bool FleetIdentical = true, FleetWarmHits = true;
+  unsigned FleetN = 0, FleetClients = 0;
+  double SingleRps = 0, FleetRps = 0, FleetSpeedup = 0;
+  if (Config.Fleet >= 2) {
+    FleetRan = true;
+    FleetN = std::min(Config.Fleet, 4u);
+    std::vector<std::unique_ptr<Server>> ShardDaemons;
+    RouterOptions RouterOpts;
+    RouterOpts.Listen = formatString("/tmp/qlosure-router-bench-%d.sock",
+                                     static_cast<int>(getpid()));
+    for (unsigned S = 0; S < FleetN; ++S) {
+      ServerOptions ShardOpts;
+      ShardOpts.Listen = formatString("/tmp/qlosured-bench-%d-s%u.sock",
+                                      static_cast<int>(getpid()), S);
+      ShardOpts.Workers = Config.Threads;
+      auto Shard = std::make_unique<Server>(ShardOpts);
+      if (Status St = Shard->start(); !St.ok()) {
+        std::fprintf(stderr, "error: cannot start fleet shard %u: %s\n", S,
+                     St.message().c_str());
+        FleetOk = false;
+        break;
+      }
+      RouterOpts.Shards.push_back(Shard->boundAddress());
+      ShardDaemons.push_back(std::move(Shard));
+    }
+    RouterServer Router(RouterOpts);
+    if (FleetOk) {
+      if (Status St = Router.start(); !St.ok()) {
+        std::fprintf(stderr, "error: cannot start fleet router: %s\n",
+                     St.message().c_str());
+        FleetOk = false;
+      }
+    }
+    if (FleetOk) {
+      FleetClients = std::max(NumClients, FleetN * 2);
+      // The single-daemon reference at the same concurrency; its caches
+      // are warm from the passes above.
+      PassResult Single =
+          runPass(Daemon.boundAddress(), Requests, FleetClients, true);
+      // Warm each shard's caches through the router (stickiness means
+      // one pass suffices), then measure the aggregate warm pass.
+      PassResult Warmup =
+          runPass(Router.boundAddress(), Requests, FleetClients, false);
+      PassResult FleetWarm =
+          runPass(Router.boundAddress(), Requests, FleetClients, true);
+
+      FleetIdentical = Warmup.AllIdentical && FleetWarm.AllIdentical &&
+                       Warmup.Errors == 0 && FleetWarm.Errors == 0;
+      FleetWarmHits = FleetWarm.AllCacheHits;
+      SingleRps =
+          Single.Seconds > 0 ? Requests.size() / Single.Seconds : 0;
+      FleetRps =
+          FleetWarm.Seconds > 0 ? Requests.size() / FleetWarm.Seconds : 0;
+      FleetSpeedup = SingleRps > 0 ? FleetRps / SingleRps : 0;
+      FleetOk = FleetIdentical && FleetWarmHits;
+
+      FleetAsserted =
+          std::thread::hardware_concurrency() >= FleetN + 2;
+      std::printf("\nfleet: %u daemons behind the router, %u clients\n",
+                  FleetN, FleetClients);
+      std::printf("  single warm: %8.1f req/s\n", SingleRps);
+      std::printf("  fleet  warm: %8.1f req/s  (%.2fx aggregate)\n",
+                  FleetRps, FleetSpeedup);
+      std::printf("  routed bytes identical through the router: %s\n",
+                  FleetIdentical ? "yes" : "NO (BUG)");
+      std::printf("  fleet warm pass all cache hits: %s\n",
+                  FleetWarmHits ? "yes" : "NO (BUG)");
+      if (FleetAsserted) {
+        if (FleetSpeedup < 1.7) {
+          std::fprintf(stderr,
+                       "error: fleet speedup %.2fx below the 1.7x "
+                       "acceptance bar\n",
+                       FleetSpeedup);
+          FleetOk = false;
+        }
+      } else {
+        std::printf("  (speedup bar not asserted: %u hardware threads < "
+                    "%u needed for %u daemons + router)\n",
+                    std::thread::hardware_concurrency(), FleetN + 2,
+                    FleetN);
+      }
+      Router.stop();
+    }
+    for (auto &Shard : ShardDaemons)
+      Shard->stop();
+  }
 
   CacheStats CtxStats = Daemon.contextCacheStats();
   CacheStats ResStats = Daemon.resultCacheStats();
@@ -440,6 +534,18 @@ int main(int Argc, char **Argv) {
     BatchObj.set("batch_per_item_ms", BatchPerItemMs);
     BatchObj.set("batch_over_individual", BatchRatio);
     Doc.set("batch", std::move(BatchObj));
+    if (FleetRan) {
+      json::Value FleetObj = json::Value::object();
+      FleetObj.set("daemons", FleetN);
+      FleetObj.set("clients", FleetClients);
+      FleetObj.set("single_warm_rps", SingleRps);
+      FleetObj.set("fleet_warm_rps", FleetRps);
+      FleetObj.set("speedup", FleetSpeedup);
+      FleetObj.set("all_identical", FleetIdentical);
+      FleetObj.set("all_warm_hits", FleetWarmHits);
+      FleetObj.set("speedup_asserted", FleetAsserted);
+      Doc.set("fleet", std::move(FleetObj));
+    }
     FILE *F = std::fopen("BENCH_service.json", "w");
     if (!F) {
       std::fprintf(stderr, "error: cannot write BENCH_service.json\n");
@@ -450,7 +556,8 @@ int main(int Argc, char **Argv) {
     std::printf("wrote BENCH_service.json\n");
   }
 
-  bool Pass = AllIdentical && Warm.AllCacheHits && Ratio >= 2.0 && BatchOk;
+  bool Pass = AllIdentical && Warm.AllCacheHits && Ratio >= 2.0 && BatchOk &&
+              (!FleetRan || FleetOk);
   if (!Pass)
     std::fprintf(stderr, "error: service throughput acceptance FAILED\n");
   return Pass ? 0 : 1;

@@ -7,6 +7,8 @@
 #include "service/Client.h"
 
 #include "service/SocketIO.h"
+#include "service/Transport.h"
+#include "support/Fingerprint.h"
 #include "support/Json.h"
 #include "support/StringUtils.h"
 
@@ -16,40 +18,49 @@
 #include <thread>
 
 #include <sys/socket.h>
-#include <sys/un.h>
+#include <sys/time.h>
 #include <unistd.h>
 
 using namespace qlosure;
 using namespace qlosure::service;
 
-Status Client::connect(const std::string &SocketPath, double RetrySeconds) {
+Status Client::connect(const std::string &Address, double RetrySeconds) {
   close();
-  sockaddr_un Addr;
-  std::memset(&Addr, 0, sizeof(Addr));
-  Addr.sun_family = AF_UNIX;
-  if (SocketPath.size() >= sizeof(Addr.sun_path))
-    return Status::error("socket path too long");
-  std::memcpy(Addr.sun_path, SocketPath.c_str(), SocketPath.size() + 1);
+  Endpoint Ep;
+  if (Status S = parseEndpoint(Address, Ep); !S.ok())
+    return S;
 
   auto Deadline = std::chrono::steady_clock::now() +
                   std::chrono::duration<double>(RetrySeconds);
+  BackoffPolicy Backoff;
+  // Jitter-scatter concurrent clients racing for the same fresh daemon.
+  uint64_t JitterSeed = hashCombine(fingerprintString(Address),
+                                    static_cast<uint64_t>(::getpid()));
+  unsigned Attempt = 0;
   while (true) {
-    Fd = ::socket(AF_UNIX, SOCK_STREAM, 0);
-    if (Fd < 0)
-      return Status::error(
-          formatString("socket(): %s", std::strerror(errno)));
-    if (::connect(Fd, reinterpret_cast<sockaddr *>(&Addr), sizeof(Addr)) ==
-        0)
-      return Status::success();
-    int Err = errno;
-    ::close(Fd);
-    Fd = -1;
+    Status S = connectEndpoint(Ep, Fd);
+    if (S.ok())
+      return S;
     if (RetrySeconds <= 0 || std::chrono::steady_clock::now() >= Deadline)
-      return Status::error(formatString("connect(%s): %s",
-                                        SocketPath.c_str(),
-                                        std::strerror(Err)));
-    std::this_thread::sleep_for(std::chrono::milliseconds(50));
+      return S;
+    std::this_thread::sleep_for(std::chrono::duration<double, std::milli>(
+        Backoff.delayMs(Attempt++, JitterSeed)));
   }
+}
+
+Status Client::setIoTimeout(double Seconds) {
+  if (Fd < 0)
+    return Status::error("not connected");
+  timeval Tv{};
+  if (Seconds > 0) {
+    Tv.tv_sec = static_cast<time_t>(Seconds);
+    Tv.tv_usec = static_cast<suseconds_t>((Seconds - Tv.tv_sec) * 1e6);
+  }
+  if (::setsockopt(Fd, SOL_SOCKET, SO_RCVTIMEO, &Tv, sizeof(Tv)) != 0 ||
+      ::setsockopt(Fd, SOL_SOCKET, SO_SNDTIMEO, &Tv, sizeof(Tv)) != 0)
+    return Status::error(
+        formatString("setsockopt(SO_RCVTIMEO): %s", std::strerror(errno)));
+  return Status::success();
 }
 
 void Client::close() {
@@ -74,9 +85,7 @@ Status Client::recvLine(std::string &Line) {
     return Status::error("not connected");
   char Buffer[65536];
   while (!popLine(Pending, Line)) {
-    ssize_t N = ::recv(Fd, Buffer, sizeof(Buffer), 0);
-    if (N < 0 && errno == EINTR)
-      continue;
+    ssize_t N = recvSome(Fd, Buffer, sizeof(Buffer));
     if (N < 0)
       return Status::error(
           formatString("recv(): %s", std::strerror(errno)));

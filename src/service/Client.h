@@ -5,7 +5,8 @@
 //===----------------------------------------------------------------------===//
 ///
 /// \file
-/// A minimal blocking client for the qlosured Unix-socket protocol v2,
+/// A minimal blocking client for the qlosured protocol v2 over either
+/// transport (unix-domain or TCP),
 /// shared by tools/qlosure-client, the service integration tests, and the
 /// bench_service_throughput load generator: connect (optionally retrying
 /// until the daemon is up), send request lines, read frames.
@@ -52,13 +53,21 @@ public:
     Other.Fd = -1;
   }
 
-  /// Connects to the daemon at \p SocketPath. When \p RetrySeconds > 0 a
-  /// refused/missing socket is retried (50 ms backoff) until the deadline
-  /// — the standard way to wait for a freshly exec'd daemon to bind.
-  Status connect(const std::string &SocketPath, double RetrySeconds = 0);
+  /// Connects to the daemon at \p Address — "unix:/path", "tcp:host:port",
+  /// or a bare socket path. When \p RetrySeconds > 0 a refused/missing
+  /// endpoint is retried with bounded exponential backoff + jitter
+  /// (BackoffPolicy defaults) until the deadline — the standard way to
+  /// wait for a freshly exec'd daemon to bind.
+  Status connect(const std::string &Address, double RetrySeconds = 0);
 
   bool connected() const { return Fd >= 0; }
   void close();
+
+  /// Bounds every subsequent blocking send/recv on this connection to
+  /// \p Seconds (SO_SNDTIMEO / SO_RCVTIMEO); a timed-out read surfaces
+  /// as a recv error. What the router's health pings and stats fetches
+  /// use so a wedged shard cannot pin them. <= 0 restores unbounded.
+  Status setIoTimeout(double Seconds);
 
   /// Sends \p Line (newline appended).
   Status sendLine(const std::string &Line);

@@ -1,0 +1,121 @@
+//===- service/Metrics.cpp - Prometheus text from stats JSON -------------------===//
+//
+// Part of the Qlosure project. Distributed under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "service/Metrics.h"
+
+#include "support/StringUtils.h"
+
+#include <cmath>
+
+using namespace qlosure;
+using namespace qlosure::service;
+
+namespace {
+
+void sanitizeComponent(const std::string &Name, std::string &Out) {
+  for (char C : Name) {
+    bool Ok = (C >= 'a' && C <= 'z') || (C >= 'A' && C <= 'Z') ||
+              (C >= '0' && C <= '9') || C == '_';
+    Out.push_back(Ok ? C : '_');
+  }
+}
+
+void appendSample(std::string &Out, const std::string &Name,
+                  const std::string &Labels, double V) {
+  Out += "# TYPE ";
+  Out += Name;
+  Out += " gauge\n";
+  Out += Name;
+  if (!Labels.empty()) {
+    Out += '{';
+    Out += Labels;
+    Out += '}';
+  }
+  Out += ' ';
+  // Match the JSON writer's discipline: exactly representable integers
+  // print without a decimal point, everything else as shortest double.
+  if (std::floor(V) == V && std::fabs(V) < 9007199254740992.0)
+    Out += formatString("%lld", static_cast<long long>(V));
+  else
+    Out += formatString("%.17g", V);
+  Out += '\n';
+}
+
+void walk(std::string &Out, const json::Value &V, const std::string &Name,
+          const std::string &Labels) {
+  switch (V.kind()) {
+  case json::Value::Kind::Number:
+    appendSample(Out, Name, Labels, V.asNumber());
+    return;
+  case json::Value::Kind::Bool:
+    appendSample(Out, Name, Labels, V.asBool() ? 1.0 : 0.0);
+    return;
+  case json::Value::Kind::Object:
+    for (const auto &Member : V.members()) {
+      std::string Child = Name;
+      Child.push_back('_');
+      sanitizeComponent(Member.first, Child);
+      walk(Out, Member.second, Child, Labels);
+    }
+    return;
+  case json::Value::Kind::Null:
+  case json::Value::Kind::String:
+  case json::Value::Kind::Array:
+    return; // Identification, not measurement; no sample.
+  }
+}
+
+} // namespace
+
+void service::appendPrometheusText(std::string &Out, const json::Value &Doc,
+                                   const std::string &Prefix,
+                                   const std::string &Labels) {
+  std::string Root;
+  sanitizeComponent(Prefix, Root);
+  walk(Out, Doc, Root, Labels);
+}
+
+json::Value service::mergeStatsDocs(const std::vector<json::Value> &Docs) {
+  json::Value Merged = json::Value::object();
+  for (const json::Value &Doc : Docs) {
+    if (!Doc.isObject())
+      continue;
+    for (const auto &Member : Doc.members()) {
+      const json::Value *Existing = Merged.get(Member.first);
+      if (!Existing) {
+        if (Member.second.isObject()) {
+          // Deep-copy through a single-document merge so nested numeric
+          // members of later documents can add into it.
+          Merged.set(Member.first, mergeStatsDocs({Member.second}));
+        } else if (Member.second.isBool()) {
+          Merged.set(Member.first, Member.second.asBool() ? 1.0 : 0.0);
+        } else {
+          Merged.set(Member.first, Member.second);
+        }
+        continue;
+      }
+      if (Existing->isObject() && Member.second.isObject()) {
+        Merged.set(Member.first,
+                   mergeStatsDocs({*Existing, Member.second}));
+      } else if (Existing->isNumber() &&
+                 (Member.second.isNumber() || Member.second.isBool())) {
+        double Add = Member.second.isBool()
+                         ? (Member.second.asBool() ? 1.0 : 0.0)
+                         : Member.second.asNumber();
+        Merged.set(Member.first, Existing->asNumber() + Add);
+      }
+      // Mixed kinds / strings / arrays: first one wins, nothing to sum.
+    }
+  }
+  return Merged;
+}
+
+std::string service::prometheusText(const json::Value &Doc,
+                                    const std::string &Prefix) {
+  std::string Out;
+  appendPrometheusText(Out, Doc, Prefix);
+  return Out;
+}

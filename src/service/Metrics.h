@@ -1,0 +1,61 @@
+//===- service/Metrics.h - Prometheus text from stats JSON -------*- C++ -*-===//
+//
+// Part of the Qlosure project. Distributed under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The /metrics surface: turns the `stats` JSON document — the daemon's
+/// single source of truth for counters — into Prometheus text
+/// exposition, and merges several daemons' documents into one fleet
+/// view. Deriving metrics from stats (instead of a parallel counter
+/// registry) is what guarantees "aggregates every daemon counter named
+/// in stats": a counter added to statsJson() shows up in /metrics with
+/// no further wiring.
+///
+/// Mapping: each numeric leaf of the document becomes one metric named
+/// `<prefix>_<path components joined by '_'>` (characters outside
+/// [a-zA-Z0-9_] become '_'), booleans count as 0/1, strings and arrays
+/// are skipped (they are labels' business, not samples'). Every sample
+/// is exposed as an untyped gauge — the scraper cannot distinguish our
+/// monotone counters from level gauges without a schema, and gauge is
+/// the conservative claim.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef QLOSURE_SERVICE_METRICS_H
+#define QLOSURE_SERVICE_METRICS_H
+
+#include "support/Json.h"
+
+#include <string>
+#include <vector>
+
+namespace qlosure {
+namespace service {
+
+/// Appends the Prometheus rendering of every numeric leaf of \p Doc to
+/// \p Out. \p Prefix heads each metric name (e.g. "qlosure");
+/// \p Labels, when non-empty, is emitted verbatim inside `{...}` after
+/// each name (e.g. "shard=\"0\"").
+void appendPrometheusText(std::string &Out, const json::Value &Doc,
+                          const std::string &Prefix,
+                          const std::string &Labels = std::string());
+
+/// Sums the numeric leaves of several stats documents member-by-member
+/// into one: numbers add (booleans as 0/1), objects merge recursively,
+/// strings/arrays keep the first document's value (they identify, not
+/// count). Members present in only some documents survive. The fleet
+/// aggregation the router's `stats` and `/metrics` serve.
+json::Value mergeStatsDocs(const std::vector<json::Value> &Docs);
+
+/// One complete text exposition of \p Doc: appendPrometheusText plus a
+/// trailing newline discipline scrapers expect. Convenience for the
+/// `metrics` op.
+std::string prometheusText(const json::Value &Doc,
+                           const std::string &Prefix);
+
+} // namespace service
+} // namespace qlosure
+
+#endif // QLOSURE_SERVICE_METRICS_H

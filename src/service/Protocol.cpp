@@ -92,6 +92,8 @@ RequestParse service::parseRequest(const std::string &Line) {
     Req.TheOp = Op::Cancel;
   else if (OpName == "batch")
     Req.TheOp = Op::Batch;
+  else if (OpName == "metrics")
+    Req.TheOp = Op::Metrics;
   else
     return fail(errc::BadRequest,
                 formatString("unknown op \"%s\"", OpName.c_str()));
@@ -278,6 +280,14 @@ std::string service::formatStatsResponse(const std::string &Id,
 std::string service::formatShutdownResponse(const std::string &Id) {
   json::Value Obj = responseHead("shutdown", Id, true);
   Obj.set("stopping", true);
+  return Obj.dump();
+}
+
+std::string service::formatMetricsResponse(const std::string &Id,
+                                           const std::string &Text) {
+  json::Value Obj = responseHead("metrics", Id, true);
+  Obj.set("content_type", "text/plain; version=0.0.4");
+  Obj.set("body", Text);
   return Obj.dump();
 }
 

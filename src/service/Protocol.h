@@ -69,6 +69,10 @@ inline constexpr const char *QueueFull = "queue_full";
 inline constexpr const char *DeadlineExceeded = "deadline_exceeded";
 inline constexpr const char *Cancelled = "cancelled";
 inline constexpr const char *ShuttingDown = "shutting_down";
+/// Fleet tier: the router could not reach any live shard for the
+/// request (all backends down, or the owning shard died mid-request
+/// with no live successor).
+inline constexpr const char *Unavailable = "unavailable";
 } // namespace errc
 
 /// The protocol revision reported by `ping` responses. v2 added
@@ -77,8 +81,11 @@ inline constexpr const char *ShuttingDown = "shutting_down";
 /// send it observe no difference).
 inline constexpr int ProtocolVersion = 2;
 
-/// Request operation.
-enum class Op : uint8_t { Ping, Stats, Shutdown, Route, Cancel, Batch };
+/// Request operation. `metrics` is an additive v2 extension: the same
+/// counters `stats` reports, rendered as Prometheus text exposition for
+/// scrapers (and served over plain HTTP by the router's /metrics
+/// endpoint).
+enum class Op : uint8_t { Ping, Stats, Shutdown, Route, Cancel, Batch, Metrics };
 
 /// A parsed `route` request.
 struct RouteRequest {
@@ -181,6 +188,10 @@ std::string formatRouteResponse(const std::string &Id,
 std::string formatStatsResponse(const std::string &Id,
                                 const json::Value &Body);
 std::string formatShutdownResponse(const std::string &Id);
+/// A `metrics` response: \p Text is the full Prometheus text exposition
+/// body (newlines and all), carried as one JSON string member.
+std::string formatMetricsResponse(const std::string &Id,
+                                  const std::string &Text);
 /// Ack of a `cancel` op: \p Delivered reports whether the cancellation
 /// reached a still-live job (queued or running). The target request's own
 /// final response (the `cancelled` error, or a success that won the race)

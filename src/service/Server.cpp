@@ -13,6 +13,7 @@
 #include "route/Fidelity.h"
 #include "route/InitialMapping.h"
 #include "route/Verify.h"
+#include "service/Metrics.h"
 #include "service/SocketIO.h"
 #include "support/StringUtils.h"
 #include "topology/Backends.h"
@@ -248,42 +249,14 @@ Server::~Server() {
 Status Server::start() {
   if (Started)
     return Status::error("server already started");
-  if (Options.SocketPath.empty())
-    return Status::error("socket path must not be empty");
+  if (Options.Listen.empty())
+    return Status::error("listen address must not be empty");
 
-  sockaddr_un Addr;
-  std::memset(&Addr, 0, sizeof(Addr));
-  Addr.sun_family = AF_UNIX;
-  if (Options.SocketPath.size() >= sizeof(Addr.sun_path))
-    return Status::error(
-        formatString("socket path too long (%zu bytes, limit %zu)",
-                     Options.SocketPath.size(), sizeof(Addr.sun_path) - 1));
-  std::memcpy(Addr.sun_path, Options.SocketPath.c_str(),
-              Options.SocketPath.size() + 1);
-
-  ListenFd = ::socket(AF_UNIX, SOCK_STREAM, 0);
-  if (ListenFd < 0)
-    return Status::error(formatString("socket(): %s", std::strerror(errno)));
-
-  // Replace a stale socket file from a previous run; a live daemon on the
-  // same path will have its clients stolen, which is the operator's call.
-  ::unlink(Options.SocketPath.c_str());
-  if (::bind(ListenFd, reinterpret_cast<sockaddr *>(&Addr), sizeof(Addr)) <
-      0) {
-    Status Failure = Status::error(formatString(
-        "bind(%s): %s", Options.SocketPath.c_str(), std::strerror(errno)));
-    ::close(ListenFd);
-    ListenFd = -1;
-    return Failure;
-  }
-  if (::listen(ListenFd, 64) < 0) {
-    Status Failure =
-        Status::error(formatString("listen(): %s", std::strerror(errno)));
-    ::close(ListenFd);
-    ListenFd = -1;
-    ::unlink(Options.SocketPath.c_str());
-    return Failure;
-  }
+  Endpoint Ep;
+  if (Status S = parseEndpoint(Options.Listen, Ep); !S.ok())
+    return S;
+  if (Status S = Acceptor.listen(Ep, 64); !S.ok())
+    return S;
 
   SchedulerOptions SchedOpts;
   SchedOpts.Workers = Options.Workers;
@@ -330,12 +303,9 @@ void Server::teardown() {
   TornDown = true;
   Stopping.store(true);
 
-  // Unblock accept(): closing the listen socket makes it fail immediately.
-  if (ListenFd >= 0) {
-    ::shutdown(ListenFd, SHUT_RDWR);
-    ::close(ListenFd);
-    ListenFd = -1;
-  }
+  // Unblock accept(): closing the listener makes it fail immediately
+  // (and unlinks a unix socket file).
+  Acceptor.close();
   if (AcceptThread.joinable())
     AcceptThread.join();
 
@@ -361,8 +331,6 @@ void Server::teardown() {
   for (std::thread &T : ToJoin)
     if (T.joinable())
       T.join();
-
-  ::unlink(Options.SocketPath.c_str());
 }
 
 //===----------------------------------------------------------------------===//
@@ -371,12 +339,9 @@ void Server::teardown() {
 
 void Server::acceptLoop() {
   while (!Stopping.load()) {
-    int Fd = ::accept(ListenFd, nullptr, nullptr);
-    if (Fd < 0) {
-      if (errno == EINTR)
-        continue;
+    int Fd = Acceptor.acceptConnection();
+    if (Fd < 0)
       return; // Listener closed (teardown) or fatal; either way, stop.
-    }
     if (Stopping.load()) {
       ::close(Fd);
       return;
@@ -426,9 +391,7 @@ void Server::connectionLoop(std::shared_ptr<Connection> Conn, size_t Slot) {
   char Buffer[65536];
   bool Alive = true;
   while (Alive) {
-    ssize_t N = ::recv(Conn->Fd, Buffer, sizeof(Buffer), 0);
-    if (N < 0 && errno == EINTR)
-      continue;
+    ssize_t N = recvSome(Conn->Fd, Buffer, sizeof(Buffer));
     if (N <= 0)
       break;
     Pending.append(Buffer, static_cast<size_t>(N));
@@ -519,6 +482,10 @@ void Server::handleLine(const std::shared_ptr<Connection> &Conn,
     return;
   case Op::Stats:
     Conn->send(formatStatsResponse(Req.Id, statsJson()));
+    return;
+  case Op::Metrics:
+    Conn->send(
+        formatMetricsResponse(Req.Id, prometheusText(statsJson(), "qlosure")));
     return;
   case Op::Shutdown:
     StopAfterSend = true;
@@ -1133,7 +1100,7 @@ json::Value Server::statsJson() const {
     ServerObj.set("affine_fallbacks", Counters.AffineFallbacks);
   }
   ServerObj.set("uptime_seconds", Uptime.elapsedSeconds());
-  ServerObj.set("socket", Options.SocketPath);
+  ServerObj.set("endpoint", boundAddress());
   ServerObj.set("protocol", ProtocolVersion);
   Doc.set("server", std::move(ServerObj));
 

@@ -5,7 +5,8 @@
 //===----------------------------------------------------------------------===//
 ///
 /// \file
-/// The long-lived mapping service: a Unix-domain-socket server speaking
+/// The long-lived mapping service: a stream-socket server — unix-domain
+/// or TCP, per the parsed listen address (service/Transport.h) — speaking
 /// the newline-delimited JSON protocol v2 (service/Protocol.h), backed by
 /// the sharded context/result caches (service/ContextCache.h) and the
 /// bounded worker-pool scheduler (service/Scheduler.h).
@@ -73,6 +74,7 @@
 #include "service/ContextCache.h"
 #include "service/Protocol.h"
 #include "service/Scheduler.h"
+#include "service/Transport.h"
 #include "support/Error.h"
 #include "support/Timer.h"
 #include "topology/CouplingGraph.h"
@@ -93,9 +95,10 @@ namespace service {
 
 /// Server configuration.
 struct ServerOptions {
-  /// Filesystem path of the Unix-domain socket (required; at most ~100
-  /// characters on Linux). An existing stale socket file is replaced.
-  std::string SocketPath;
+  /// Listen address (required): "unix:/path", "tcp:host:port", or a bare
+  /// filesystem path (unix). A stale unix socket file is replaced; a tcp
+  /// port of 0 binds ephemerally (boundAddress() reports the real port).
+  std::string Listen;
   /// Scheduler worker threads (0 = hardware concurrency).
   unsigned Workers = 0;
   /// Bounded scheduler queue; overflow answers `queue_full`.
@@ -160,7 +163,12 @@ public:
   /// connection handler (those must use the shutdown op instead).
   void stop();
 
-  const std::string &socketPath() const { return Options.SocketPath; }
+  const std::string &listenAddress() const { return Options.Listen; }
+
+  /// The canonical bound address ("unix:/path" / "tcp:host:port" with the
+  /// resolved port) — what clients should connect to. Valid after a
+  /// successful start().
+  std::string boundAddress() const { return Acceptor.endpoint().str(); }
 
   /// The full stats document served by the `stats` op.
   json::Value statsJson() const;
@@ -251,7 +259,7 @@ private:
   ResultCache Results;
   Timer Uptime;
 
-  int ListenFd = -1;
+  Listener Acceptor;
   std::thread AcceptThread;
 
   /// Connection bookkeeping: ConnThreads[I] handles Conns[I]. Finished

@@ -36,6 +36,15 @@ bool service::sendAll(int Fd, const std::string &Text, double MaxSeconds) {
   return true;
 }
 
+ssize_t service::recvSome(int Fd, char *Buf, size_t Cap) {
+  while (true) {
+    ssize_t N = ::recv(Fd, Buf, Cap, 0);
+    if (N < 0 && errno == EINTR)
+      continue;
+    return N;
+  }
+}
+
 bool service::popLine(std::string &Pending, std::string &Line) {
   size_t Nl = Pending.find('\n');
   if (Nl == std::string::npos)

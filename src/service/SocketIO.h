@@ -16,6 +16,8 @@
 
 #include <string>
 
+#include <sys/types.h>
+
 namespace qlosure {
 namespace service {
 
@@ -26,6 +28,12 @@ namespace service {
 /// window makes per-call timeouts useless, so slow overall progress also
 /// fails the send (the caller treats the peer as gone).
 bool sendAll(int Fd, const std::string &Text, double MaxSeconds = 0);
+
+/// Reads up to \p Cap bytes from \p Fd into \p Buf, retrying on EINTR so
+/// a signal during a blocking read never surfaces as a spurious
+/// connection error. Returns the byte count, 0 at orderly EOF, or -1 on
+/// a real socket error (errno preserved).
+ssize_t recvSome(int Fd, char *Buf, size_t Cap);
 
 /// Pops one complete line (newline removed, trailing '\r' stripped) off
 /// the front of \p Pending into \p Line. Returns false when \p Pending

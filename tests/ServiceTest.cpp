@@ -673,14 +673,19 @@ TEST(SchedulerTest, DeadlineFiresMidRunThroughTheToken) {
 
 namespace {
 
-/// Boots a server on a fresh socket; tears it down on scope exit.
+/// Boots a server on a fresh endpoint of the requested transport
+/// ("unix" = a fresh temp socket path, "tcp" = an ephemeral loopback
+/// port); tears it down on scope exit. Clients connect to the *bound*
+/// address, which for tcp carries the kernel-assigned port.
 struct ServerFixture {
   ServerOptions Opts;
   std::unique_ptr<Server> Daemon;
   std::thread Waiter;
 
-  explicit ServerFixture(unsigned Workers = 2) {
-    Opts.SocketPath = testSocketPath();
+  explicit ServerFixture(unsigned Workers = 2,
+                         const std::string &Transport = "unix") {
+    Opts.Listen =
+        Transport == "tcp" ? std::string("tcp:127.0.0.1:0") : testSocketPath();
     Opts.Workers = Workers;
     Opts.DefaultTimeoutSeconds = 30;
     Daemon = std::make_unique<Server>(Opts);
@@ -697,7 +702,7 @@ struct ServerFixture {
 
   Client connect() {
     Client Conn;
-    Status S = Conn.connect(Opts.SocketPath, 5.0);
+    Status S = Conn.connect(Daemon->boundAddress(), 5.0);
     EXPECT_TRUE(S.ok()) << S.message();
     return Conn;
   }
@@ -705,8 +710,18 @@ struct ServerFixture {
 
 } // namespace
 
-TEST(ServerTest, PingStatsAndRouteRoundTrip) {
-  ServerFixture Fixture;
+/// The full Server integration suite runs once per transport: protocol
+/// v2 behavior must be identical over unix: and tcp: endpoints.
+class ServerTransportTest : public ::testing::TestWithParam<const char *> {};
+
+INSTANTIATE_TEST_SUITE_P(Transports, ServerTransportTest,
+                         ::testing::Values("unix", "tcp"),
+                         [](const ::testing::TestParamInfo<const char *> &I) {
+                           return std::string(I.param);
+                         });
+
+TEST_P(ServerTransportTest, PingStatsAndRouteRoundTrip) {
+  ServerFixture Fixture(2, GetParam());
   Client Conn = Fixture.connect();
 
   std::string Response;
@@ -739,8 +754,8 @@ TEST(ServerTest, PingStatsAndRouteRoundTrip) {
   EXPECT_EQ(StatsDoc.get("server")->get("route_requests")->asNumber(), 1);
 }
 
-TEST(ServerTest, RepeatedRequestHitsCacheByteIdentically) {
-  ServerFixture Fixture;
+TEST_P(ServerTransportTest, RepeatedRequestHitsCacheByteIdentically) {
+  ServerFixture Fixture(2, GetParam());
   Client Conn = Fixture.connect();
 
   std::string First, Second;
@@ -769,7 +784,7 @@ TEST(ServerTest, RepeatedRequestHitsCacheByteIdentically) {
   EXPECT_TRUE(SabreDoc.get("context_cache_hit")->asBool());
 }
 
-TEST(ServerTest, ResponsesMatchDirectLibraryCalls) {
+TEST_P(ServerTransportTest, ResponsesMatchDirectLibraryCalls) {
   // The acceptance-critical identity: what the service returns is what
   // the library produces, byte for byte.
   CouplingGraph Gen = makeAspen16();
@@ -786,7 +801,7 @@ TEST(ServerTest, ResponsesMatchDirectLibraryCalls) {
   CouplingGraph Backend = makeBackendByName("aspen16");
   RoutingContext Ctx = RoutingContext::build(Logical, Backend);
 
-  ServerFixture Fixture;
+  ServerFixture Fixture(2, GetParam());
   Client Conn = Fixture.connect();
   for (const char *Mapper : {"qlosure", "sabre", "cirq", "tket"}) {
     auto Direct = makeRouterByName(Mapper)->routeWithIdentity(Ctx);
@@ -801,8 +816,8 @@ TEST(ServerTest, ResponsesMatchDirectLibraryCalls) {
   }
 }
 
-TEST(ServerTest, MalformedRequestsGetStructuredErrorsAndConnectionSurvives) {
-  ServerFixture Fixture;
+TEST_P(ServerTransportTest, MalformedRequestsGetStructuredErrorsAndConnectionSurvives) {
+  ServerFixture Fixture(2, GetParam());
   Client Conn = Fixture.connect();
 
   struct Case {
@@ -842,11 +857,11 @@ TEST(ServerTest, MalformedRequestsGetStructuredErrorsAndConnectionSurvives) {
   EXPECT_EQ(errorCode(parseResponse(Response)), errc::TooLarge);
 }
 
-TEST(ServerTest, AbsurdTimeoutIsClampedNotWrapped) {
+TEST_P(ServerTransportTest, AbsurdTimeoutIsClampedNotWrapped) {
   // Regression: a huge timeout_ms used to overflow the chrono deadline
   // arithmetic, wrapping it into the past and answering a *longer*
   // timeout with a spurious deadline_exceeded.
-  ServerFixture Fixture;
+  ServerFixture Fixture(2, GetParam());
   Client Conn = Fixture.connect();
   json::Value Req = routeRequest(sampleQasm());
   Req.set("timeout_ms", 1e300);
@@ -856,8 +871,8 @@ TEST(ServerTest, AbsurdTimeoutIsClampedNotWrapped) {
   EXPECT_TRUE(responseOk(Doc)) << Response;
 }
 
-TEST(ServerTest, ZeroDeadlineReportsDeadlineExceeded) {
-  ServerFixture Fixture(/*Workers=*/1);
+TEST_P(ServerTransportTest, ZeroDeadlineReportsDeadlineExceeded) {
+  ServerFixture Fixture(1, GetParam());
   Client Conn = Fixture.connect();
   json::Value Req = routeRequest(sampleQasm());
   // timeout_ms is interpreted relative to arrival; a microscopic budget
@@ -871,7 +886,7 @@ TEST(ServerTest, ZeroDeadlineReportsDeadlineExceeded) {
 
 TEST(ServerTest, ShutdownOpStopsDaemonAndUnlinksSocket) {
   ServerOptions Opts;
-  Opts.SocketPath = testSocketPath();
+  Opts.Listen = testSocketPath();
   Opts.Workers = 1;
   Server Daemon(Opts);
   ASSERT_TRUE(Daemon.start().ok());
@@ -883,7 +898,7 @@ TEST(ServerTest, ShutdownOpStopsDaemonAndUnlinksSocket) {
   std::string Response;
   {
     Client Conn;
-    Connected = Conn.connect(Opts.SocketPath, 5.0).ok();
+    Connected = Conn.connect(Opts.Listen, 5.0).ok();
     if (Connected)
       Requested = Conn.request("{\"op\":\"shutdown\"}", Response).ok();
   }
@@ -893,19 +908,19 @@ TEST(ServerTest, ShutdownOpStopsDaemonAndUnlinksSocket) {
   json::Value Doc = parseResponse(Response);
   EXPECT_TRUE(responseOk(Doc));
   EXPECT_TRUE(Doc.get("stopping")->asBool());
-  EXPECT_NE(::access(Opts.SocketPath.c_str(), F_OK), 0)
+  EXPECT_NE(::access(Opts.Listen.c_str(), F_OK), 0)
       << "socket file must be unlinked on shutdown";
 }
 
-TEST(ServerTest, ConcurrentClientsShareTheCaches) {
-  ServerFixture Fixture;
+TEST_P(ServerTransportTest, ConcurrentClientsShareTheCaches) {
+  ServerFixture Fixture(2, GetParam());
   const unsigned NumClients = 4;
   std::vector<std::string> FirstResponses(NumClients);
   std::vector<std::thread> Clients;
   for (unsigned I = 0; I < NumClients; ++I)
     Clients.emplace_back([&, I] {
       Client Conn;
-      if (!Conn.connect(Fixture.Opts.SocketPath, 5.0).ok())
+      if (!Conn.connect(Fixture.Daemon->boundAddress(), 5.0).ok())
         return;
       std::string Response;
       for (int R = 0; R < 3; ++R)
@@ -936,8 +951,8 @@ TEST(ServerTest, ConcurrentClientsShareTheCaches) {
 // Protocol v2: out-of-order responses, cancellation, progress
 //===----------------------------------------------------------------------===//
 
-TEST(ServerTest, PipelinedFastResponseOvertakesSlowRoute) {
-  ServerFixture Fixture;
+TEST_P(ServerTransportTest, PipelinedFastResponseOvertakesSlowRoute) {
+  ServerFixture Fixture(2, GetParam());
   Client Conn = Fixture.connect();
 
   // Prime the result cache so the "fast" request is served inline by the
@@ -978,11 +993,11 @@ TEST(ServerTest, PipelinedFastResponseOvertakesSlowRoute) {
       << "in-flight cancel must abort the route within one second";
 }
 
-TEST(ServerTest, CancelAbortsQueuedJobWithoutWaitingForTheWorker) {
+TEST_P(ServerTransportTest, CancelAbortsQueuedJobWithoutWaitingForTheWorker) {
   // One worker: the first slow route occupies it, the second stays
   // queued. Cancelling the queued one must answer immediately — from the
   // connection thread — while the worker is still busy.
-  ServerFixture Fixture(/*Workers=*/1);
+  ServerFixture Fixture(1, GetParam());
   Client Conn = Fixture.connect();
 
   ASSERT_TRUE(Conn.sendLine(slowRouteRequest("busy", 400, 3).dump()).ok());
@@ -1016,8 +1031,8 @@ TEST(ServerTest, CancelAbortsQueuedJobWithoutWaitingForTheWorker) {
   EXPECT_EQ(errorCode(parseResponse(Final)), errc::Cancelled) << Final;
 }
 
-TEST(ServerTest, DeadlineExpiresMidRouteNotJustAtPickup) {
-  ServerFixture Fixture(/*Workers=*/1);
+TEST_P(ServerTransportTest, DeadlineExpiresMidRouteNotJustAtPickup) {
+  ServerFixture Fixture(1, GetParam());
   Client Conn = Fixture.connect();
 
   // ~2.5 s of qmap routing with a 300 ms budget: the deadline fires while
@@ -1038,8 +1053,8 @@ TEST(ServerTest, DeadlineExpiresMidRouteNotJustAtPickup) {
          "the full route";
 }
 
-TEST(ServerTest, ProgressEventsStreamDuringRouting) {
-  ServerFixture Fixture(/*Workers=*/1);
+TEST_P(ServerTransportTest, ProgressEventsStreamDuringRouting) {
+  ServerFixture Fixture(1, GetParam());
   Client Conn = Fixture.connect();
 
   // A large circuit on the fast mapper: tens of thousands of gates, so
@@ -1086,7 +1101,7 @@ TEST(ServerTest, ShutdownStillAnswersPipelinedInFlightRoutes) {
   // a route in flight when the shutdown ack goes out is drained — and
   // its response delivered — before teardown severs the connection.
   ServerOptions Opts;
-  Opts.SocketPath = testSocketPath();
+  Opts.Listen = testSocketPath();
   Opts.Workers = 1;
   Server Daemon(Opts);
   ASSERT_TRUE(Daemon.start().ok());
@@ -1096,7 +1111,7 @@ TEST(ServerTest, ShutdownStillAnswersPipelinedInFlightRoutes) {
   std::string Final;
   {
     Client Conn;
-    if (Conn.connect(Opts.SocketPath, 5.0).ok()) {
+    if (Conn.connect(Opts.Listen, 5.0).ok()) {
       std::string Ack;
       GotAck = Conn.sendLine(slowRouteRequest("r1", 100).dump()).ok() &&
                Conn.sendLine("{\"op\":\"shutdown\",\"id\":\"s\"}").ok() &&
@@ -1115,10 +1130,10 @@ TEST(ServerTest, ShutdownStillAnswersPipelinedInFlightRoutes) {
   EXPECT_TRUE(RouteOk) << Final;
 }
 
-TEST(ServerTest, DisconnectCancelsOrphanedJobs) {
+TEST_P(ServerTransportTest, DisconnectCancelsOrphanedJobs) {
   // A dropped pipelined connection must not leave workers routing dead
   // circuits: its queued jobs are discarded and its running job aborted.
-  ServerFixture Fixture(/*Workers=*/1);
+  ServerFixture Fixture(1, GetParam());
   {
     Client Doomed = Fixture.connect();
     ASSERT_TRUE(Doomed.sendLine(slowRouteRequest("a", 400, 21).dump()).ok());
@@ -1146,8 +1161,8 @@ TEST(ServerTest, DisconnectCancelsOrphanedJobs) {
       << Response;
 }
 
-TEST(ServerTest, DuplicateInFlightIdIsRejected) {
-  ServerFixture Fixture(/*Workers=*/1);
+TEST_P(ServerTransportTest, DuplicateInFlightIdIsRejected) {
+  ServerFixture Fixture(1, GetParam());
   Client Conn = Fixture.connect();
 
   ASSERT_TRUE(Conn.sendLine(slowRouteRequest("dup").dump()).ok());
@@ -1201,8 +1216,8 @@ json::Value batchRequest(
 
 } // namespace
 
-TEST(ServerTest, BatchRoutesItemsAndSummaryArrivesLast) {
-  ServerFixture Fixture;
+TEST_P(ServerTransportTest, BatchRoutesItemsAndSummaryArrivesLast) {
+  ServerFixture Fixture(2, GetParam());
   Client Conn = Fixture.connect();
 
   // Two routable circuits plus one import failure: partial failure is
@@ -1287,12 +1302,12 @@ TEST(ServerTest, BatchRoutesItemsAndSummaryArrivesLast) {
   EXPECT_EQ(Stats.get("server")->get("batch_items")->asNumber(), 3);
 }
 
-TEST(ServerTest, BatchCancelAbortsAllItems) {
+TEST_P(ServerTransportTest, BatchCancelAbortsAllItems) {
   // One worker, three slow items: the first runs, the rest stay queued.
   // One cancel of the batch id must abort all of them — queued items
   // immediately from the connection thread, the running one through its
   // token — and the summary must still arrive last.
-  ServerFixture Fixture(/*Workers=*/1);
+  ServerFixture Fixture(1, GetParam());
   Client Conn = Fixture.connect();
 
   json::Value Req = batchRequest("b1",
@@ -1350,7 +1365,7 @@ TEST(ServerTest, BatchAdmissionIsAllOrNothing) {
   // enqueued contiguously, so it is rejected as a whole — one queue_full
   // response, zero item frames, nothing scheduled.
   ServerOptions Opts;
-  Opts.SocketPath = testSocketPath();
+  Opts.Listen = testSocketPath();
   Opts.Workers = 1;
   Opts.QueueCapacity = 2;
   Server Daemon(Opts);
@@ -1358,7 +1373,7 @@ TEST(ServerTest, BatchAdmissionIsAllOrNothing) {
   std::thread Waiter([&] { Daemon.wait(); });
   {
     Client Conn;
-    ASSERT_TRUE(Conn.connect(Opts.SocketPath, 5.0).ok());
+    ASSERT_TRUE(Conn.connect(Opts.Listen, 5.0).ok());
 
     // Four distinct backend-sized circuits, so every item genuinely
     // needs a queue slot (nothing is inline-disposed).
@@ -1410,10 +1425,10 @@ TEST(ServerTest, BatchAdmissionIsAllOrNothing) {
   Waiter.join();
 }
 
-TEST(ServerTest, BatchIdSharesNamespaceWithRoutes) {
+TEST_P(ServerTransportTest, BatchIdSharesNamespaceWithRoutes) {
   // A live batch id cannot be taken by a route, nor a live route id by a
   // batch — per-connection ids are one namespace.
-  ServerFixture Fixture(/*Workers=*/1);
+  ServerFixture Fixture(1, GetParam());
   Client Conn = Fixture.connect();
 
   ASSERT_TRUE(Conn.sendLine(slowRouteRequest("x", 300, 51).dump()).ok());

@@ -1,0 +1,131 @@
+#!/usr/bin/env bash
+# End-to-end smoke of the fleet tier with the real binaries: boot two
+# qlosured daemons (one unix-domain, one TCP on an ephemeral port) behind
+# qlosure-router, route a QUEKO circuit through the router, assert the
+# repeated request is served from the owning shard's cache (stickiness),
+# kill one daemon with SIGKILL and assert the fleet keeps serving, and
+# scrape the aggregated Prometheus /metrics surface both over the
+# protocol (`metrics` op) and over the router's plain-HTTP listener.
+# Run by ctest (fleet-smoke) and the CI fleet-smoke job.
+#
+# usage: fleet_smoke.sh BIN_DIR QUEKO_QASM
+set -euo pipefail
+
+BIN_DIR=${1:?usage: fleet_smoke.sh BIN_DIR QUEKO_QASM}
+QASM=${2:?usage: fleet_smoke.sh BIN_DIR QUEKO_QASM}
+SOCK1="/tmp/qlosured-fleet-$$-1.sock"
+ROUTER_SOCK="/tmp/qlosure-router-fleet-$$.sock"
+D2_LOG="/tmp/qlosured-fleet-$$-2.log"
+ROUTER_LOG="/tmp/qlosure-router-fleet-$$.log"
+RESP="/tmp/qlosure-fleet-$$.json"
+METRICS="/tmp/qlosure-fleet-$$.metrics"
+
+cleanup() {
+  [[ -n "${ROUTER_PID:-}" ]] && kill "$ROUTER_PID" 2>/dev/null || true
+  [[ -n "${DAEMON1_PID:-}" ]] && kill "$DAEMON1_PID" 2>/dev/null || true
+  [[ -n "${DAEMON2_PID:-}" ]] && kill "$DAEMON2_PID" 2>/dev/null || true
+  wait 2>/dev/null || true
+  rm -f "$SOCK1" "$ROUTER_SOCK" "$D2_LOG" "$ROUTER_LOG" "$RESP" "$METRICS"
+}
+trap cleanup EXIT
+
+# Waits until a logfile announces a bound address, then echoes it.
+bound_address() { # logfile daemon-name
+  local log=$1 name=$2 addr=""
+  for _ in $(seq 1 100); do
+    addr=$(sed -n "s/^$name: listening on \([^ ]*\).*/\1/p" "$log" | head -1)
+    [[ -n "$addr" ]] && { echo "$addr"; return 0; }
+    sleep 0.1
+  done
+  echo "fleet-smoke: $name never bound (log: $(cat "$log"))" >&2
+  return 1
+}
+
+# One unix-domain shard, one TCP shard on an ephemeral port: the fleet
+# must mix transports freely behind one router.
+"$BIN_DIR/qlosured" --listen "$SOCK1" --workers 2 &
+DAEMON1_PID=$!
+"$BIN_DIR/qlosured" --listen tcp:127.0.0.1:0 --workers 2 2> "$D2_LOG" &
+DAEMON2_PID=$!
+SHARD2=$(bound_address "$D2_LOG" qlosured)
+
+"$BIN_DIR/qlosure-router" --listen "$ROUTER_SOCK" \
+  --shard "$SOCK1" --shard "$SHARD2" \
+  --metrics tcp:127.0.0.1:0 --health-interval-ms 100 2> "$ROUTER_LOG" &
+ROUTER_PID=$!
+for _ in $(seq 1 100); do
+  grep -q 'metrics on' "$ROUTER_LOG" && break
+  sleep 0.1
+done
+METRICS_ADDR=$(sed -n 's/^qlosure-router: metrics on //p' "$ROUTER_LOG" | head -1)
+[[ -n "$METRICS_ADDR" ]]
+
+# Route through the router; the response must verify like a direct route.
+"$BIN_DIR/qlosure-client" --connect "$ROUTER_SOCK" --connect-timeout 10 \
+  route --backend aspen16 --stats-only "$QASM" > "$RESP"
+grep -q '"verified":true' "$RESP"
+grep -q '"cache_hit":false' "$RESP"
+echo "fleet-smoke: routed through the router (cold)"
+
+# Shard stickiness: the identical request must land on the same shard and
+# be served from its result cache.
+"$BIN_DIR/qlosure-client" --connect "$ROUTER_SOCK" \
+  route --backend aspen16 --stats-only --expect-cache-hit "$QASM" > "$RESP"
+grep -q '"verified":true' "$RESP"
+echo "fleet-smoke: repeated request hit the owning shard's cache"
+
+# The aggregated stats document must carry the router section with both
+# shards up, and an aggregate summing the shard counters.
+"$BIN_DIR/qlosure-client" --connect "$ROUTER_SOCK" stats > "$RESP" 2>/dev/null
+grep -q '"shards_total":2' "$RESP"
+grep -q '"shards_up":2' "$RESP"
+grep -q '"aggregate"' "$RESP"
+echo "fleet-smoke: stats aggregate covers both shards"
+
+# /metrics over the protocol: valid Prometheus text exposition with the
+# per-shard up gauges and aggregated counters.
+"$BIN_DIR/qlosure-client" --connect "$ROUTER_SOCK" metrics > "$METRICS" 2>/dev/null
+grep -q '^# TYPE qlosure_router_requests gauge' "$METRICS"
+grep -q '^qlosure_shard_up{shard="0"' "$METRICS"
+grep -q '^qlosure_shard_up{shard="1"' "$METRICS"
+grep -Eq '^qlosure_aggregate_server_route_requests [0-9]' "$METRICS"
+echo "fleet-smoke: protocol metrics op serves Prometheus text"
+
+# /metrics over plain HTTP (the scrape path): same exposition, reachable
+# with nothing but a TCP socket.
+HTTP_HOST=${METRICS_ADDR#tcp:}; HTTP_PORT=${HTTP_HOST##*:}; HTTP_HOST=${HTTP_HOST%:*}
+exec 9<>"/dev/tcp/$HTTP_HOST/$HTTP_PORT"
+printf 'GET /metrics HTTP/1.0\r\n\r\n' >&9
+cat <&9 > "$METRICS"
+exec 9<&- 9>&-
+grep -q '200 OK' "$METRICS"
+grep -q 'text/plain' "$METRICS"
+grep -q '^qlosure_shard_up{shard="0"' "$METRICS"
+echo "fleet-smoke: HTTP /metrics scrape succeeded"
+
+# Kill one daemon outright (no goodbye): after the health monitor notices,
+# every request must still be served by the surviving shard.
+kill -9 "$DAEMON2_PID"
+wait "$DAEMON2_PID" 2>/dev/null || true
+DAEMON2_PID=""
+for _ in $(seq 1 100); do
+  "$BIN_DIR/qlosure-client" --connect "$ROUTER_SOCK" stats > "$RESP" 2>/dev/null
+  grep -q '"shards_up":1' "$RESP" && break
+  sleep 0.1
+done
+grep -q '"shards_up":1' "$RESP"
+"$BIN_DIR/qlosure-client" --connect "$ROUTER_SOCK" \
+  route --backend aspen16 --stats-only "$QASM" > "$RESP"
+grep -q '"verified":true' "$RESP"
+echo "fleet-smoke: degraded fleet (1/2 shards) still serves"
+
+# Graceful protocol shutdown stops the router only; the surviving daemon
+# is not owned by it and answers a direct ping afterwards.
+"$BIN_DIR/qlosure-client" --connect "$ROUTER_SOCK" shutdown > /dev/null
+wait "$ROUTER_PID"
+ROUTER_PID=""
+"$BIN_DIR/qlosure-client" --connect "$SOCK1" ping > /dev/null
+"$BIN_DIR/qlosure-client" --connect "$SOCK1" shutdown > /dev/null
+wait "$DAEMON1_PID"
+DAEMON1_PID=""
+echo "fleet-smoke: router shut down cleanly; shards outlive it"

@@ -5,14 +5,19 @@
 //===----------------------------------------------------------------------===//
 ///
 /// \file
-/// Script-friendly client for the qlosured daemon (docs/PROTOCOL.md):
+/// Script-friendly client for the qlosured daemon or the fleet router
+/// (docs/PROTOCOL.md):
 ///
-///   qlosure-client [--socket PATH] [--connect-timeout SEC] COMMAND ...
+///   qlosure-client [--connect ADDR] [--connect-timeout SEC] COMMAND ...
+///     ADDR is unix:/path, tcp:host:port, or a bare socket path
+///     (--socket PATH remains as a backward-compatible alias)
 ///     ping                          liveness probe
 ///     stats                         print the server stats document
 ///                                   (raw JSON on stdout; a short human
 ///                                   summary incl. the affine replay
 ///                                   counters on stderr)
+///     metrics                       print the Prometheus text exposition
+///                                   (the same counters as stats)
 ///     shutdown                      ask the daemon to stop gracefully
 ///     batch [opts] DIR              route every *.qasm in DIR (sorted) as
 ///                                   one `batch` session: item results
@@ -81,9 +86,10 @@ namespace {
 int usage(const char *Argv0) {
   std::fprintf(
       stderr,
-      "usage: %s [--socket PATH] [--connect-timeout SEC] "
-      "(ping|stats|shutdown|route [route-options] [input.qasm]|"
-      "batch [route-options] DIR)\n",
+      "usage: %s [--connect ADDR] [--connect-timeout SEC] "
+      "(ping|stats|metrics|shutdown|route [route-options] [input.qasm]|"
+      "batch [route-options] DIR)\n"
+      "  ADDR is unix:/path, tcp:host:port, or a bare socket path\n",
       Argv0);
   return 2;
 }
@@ -96,7 +102,7 @@ int transportError(const Status &S) {
 } // namespace
 
 int main(int Argc, char **Argv) {
-  std::string SocketPath = "/tmp/qlosured.sock";
+  std::string Address = "/tmp/qlosured.sock";
   double ConnectTimeout = 0;
   std::string Command;
   std::string Mapper = "qlosure";
@@ -116,8 +122,10 @@ int main(int Argc, char **Argv) {
   std::string Id;
 
   for (int I = 1; I < Argc; ++I) {
-    if (!std::strcmp(Argv[I], "--socket") && I + 1 < Argc) {
-      SocketPath = Argv[++I];
+    if ((!std::strcmp(Argv[I], "--connect") ||
+         !std::strcmp(Argv[I], "--socket")) &&
+        I + 1 < Argc) {
+      Address = Argv[++I];
     } else if (!std::strcmp(Argv[I], "--connect-timeout") && I + 1 < Argc) {
       ConnectTimeout = std::strtod(Argv[++I], nullptr);
     } else if (!std::strcmp(Argv[I], "--mapper") && I + 1 < Argc) {
@@ -156,8 +164,8 @@ int main(int Argc, char **Argv) {
       InputPath = Argv[I];
     }
   }
-  if (Command != "ping" && Command != "stats" && Command != "shutdown" &&
-      Command != "route" && Command != "batch")
+  if (Command != "ping" && Command != "stats" && Command != "metrics" &&
+      Command != "shutdown" && Command != "route" && Command != "batch")
     return usage(Argv[0]);
 
   std::string RequestLine;
@@ -272,7 +280,7 @@ int main(int Argc, char **Argv) {
   }
 
   Client Conn;
-  if (Status S = Conn.connect(SocketPath, ConnectTimeout); !S.ok())
+  if (Status S = Conn.connect(Address, ConnectTimeout); !S.ok())
     return transportError(S);
 
   auto PrintEvent = [](const std::string &Line) {
@@ -329,7 +337,11 @@ int main(int Argc, char **Argv) {
     }
     Out << Qasm->asString();
   }
-  if (QasmOnly) {
+  const json::Value *MetricsBody = Response.get("body");
+  if (Command == "metrics" && Ok && MetricsBody && MetricsBody->isString()) {
+    // The exposition text itself, ready for `curl`-style consumption.
+    std::fputs(MetricsBody->asString().c_str(), stdout);
+  } else if (QasmOnly) {
     if (Ok && Qasm && Qasm->isString())
       std::fputs(Qasm->asString().c_str(), stdout);
     else

@@ -6,12 +6,14 @@
 ///
 /// \file
 /// The qlosured daemon: serves the newline-delimited JSON mapping protocol
-/// (docs/PROTOCOL.md) over a Unix-domain socket, amortizing per-(circuit,
-/// backend) precomputation and routed results across requests via the
-/// sharded service caches.
+/// (docs/PROTOCOL.md) over a Unix-domain or TCP socket, amortizing
+/// per-(circuit, backend) precomputation and routed results across
+/// requests via the sharded service caches.
 ///
-///   qlosured --socket PATH [options]
-///     --socket PATH        Unix socket path (required)
+///   qlosured --listen ADDR [options]
+///     --listen ADDR        unix:/path, tcp:host:port (port 0 = ephemeral),
+///                          or a bare socket path (required)
+///     --socket PATH        backward-compatible alias for --listen unix:PATH
 ///     --workers N          scheduler worker threads (default: cores)
 ///     --queue N            bounded queue capacity (default 256)
 ///     --cache-mb N         context cache byte budget in MiB (default 256)
@@ -20,10 +22,10 @@
 ///     --timeout SECONDS    default per-request deadline (default 60; 0
 ///                          disables)
 ///
-/// Prints "qlosured: listening on PATH" once ready. SIGINT/SIGTERM (or a
-/// client `shutdown` request) shut down gracefully: in-flight requests
-/// finish, every connection gets its response, the socket file is
-/// unlinked.
+/// Prints "qlosured: listening on ADDR" once ready (the resolved address —
+/// for tcp port 0, the kernel-assigned port). SIGINT/SIGTERM (or a client
+/// `shutdown` request) shut down gracefully: in-flight requests finish,
+/// every connection gets its response, a unix socket file is unlinked.
 ///
 //===----------------------------------------------------------------------===//
 
@@ -45,9 +47,11 @@ void onSignal(int) { SignalStop = 1; }
 
 int usage(const char *Argv0) {
   std::fprintf(stderr,
-               "usage: %s --socket PATH [--workers N] [--queue N] "
+               "usage: %s --listen ADDR [--workers N] [--queue N] "
                "[--cache-mb N] [--result-cache-mb N] [--shards N] "
-               "[--timeout SECONDS]\n",
+               "[--timeout SECONDS]\n"
+               "  ADDR is unix:/path, tcp:host:port, or a bare socket path\n"
+               "  (--socket PATH remains as an alias for --listen unix:PATH)\n",
                Argv0);
   return 2;
 }
@@ -57,8 +61,10 @@ int usage(const char *Argv0) {
 int main(int Argc, char **Argv) {
   ServerOptions Opts;
   for (int I = 1; I < Argc; ++I) {
-    if (!std::strcmp(Argv[I], "--socket") && I + 1 < Argc) {
-      Opts.SocketPath = Argv[++I];
+    if ((!std::strcmp(Argv[I], "--listen") ||
+         !std::strcmp(Argv[I], "--socket")) &&
+        I + 1 < Argc) {
+      Opts.Listen = Argv[++I];
     } else if (!std::strcmp(Argv[I], "--workers") && I + 1 < Argc) {
       Opts.Workers = static_cast<unsigned>(std::strtoul(Argv[++I], nullptr, 10));
     } else if (!std::strcmp(Argv[I], "--queue") && I + 1 < Argc) {
@@ -76,7 +82,7 @@ int main(int Argc, char **Argv) {
       return usage(Argv[0]);
     }
   }
-  if (Opts.SocketPath.empty())
+  if (Opts.Listen.empty())
     return usage(Argv[0]);
 
   std::signal(SIGINT, onSignal);
@@ -90,7 +96,7 @@ int main(int Argc, char **Argv) {
     return 1;
   }
   std::fprintf(stderr, "qlosured: listening on %s\n",
-               Opts.SocketPath.c_str());
+               Daemon.boundAddress().c_str());
   std::fflush(stderr);
 
   Daemon.wait([] { return SignalStop != 0; });
