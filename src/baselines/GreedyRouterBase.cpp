@@ -21,6 +21,7 @@
 #include "route/FrontLayer.h"
 #include "support/Random.h"
 #include "support/Timer.h"
+#include "support/Trace.h"
 
 #include <algorithm>
 #include <cassert>
@@ -79,6 +80,9 @@ RoutingResult GreedyRouterBase::route(const RoutingContext &Ctx,
     }
   };
 
+  // One coarse span for the whole greedy loop (never per-step); a null
+  // sink — the default — costs a single pointer test.
+  ScopedSpan LoopSpan(S.TraceSink, "greedy_loop");
   while (!Tracker.allExecuted()) {
     // One cancellation poll + progress report per front-layer step; a
     // null token never perturbs the decision sequence.

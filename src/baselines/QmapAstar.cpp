@@ -18,6 +18,7 @@
 #include "baselines/QmapAstar.h"
 
 #include "support/Timer.h"
+#include "support/Trace.h"
 
 #include <algorithm>
 #include <cassert>
@@ -324,6 +325,9 @@ RoutingResult QmapAstarRouter::route(const RoutingContext &Ctx,
     return true;
   };
 
+  // One span over the whole layered A* search (per-chunk spans would
+  // flood the pool on deep circuits and touch the hot path).
+  ScopedSpan SearchSpan(S.TraceSink, "qmap_astar");
   for (size_t LI = 0; LI + 1 < Bounds.size(); ++LI) {
     uint32_t Begin = Bounds[LI], End = Bounds[LI + 1];
     if (isCancelled()) {

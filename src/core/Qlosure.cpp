@@ -76,6 +76,7 @@ RoutingResult QlosureRouter::route(const RoutingContext &Ctx,
     if (const PeriodStructure *Period = Ctx.periodStructure()) {
       Driver.emplace(*Period, replayConfigSalt(Options),
                      Ctx.replayPlanCache());
+      Driver->setTraceSink(Scratch.TraceSink);
       Loop.setReplayDriver(&*Driver);
     }
   }

@@ -27,6 +27,7 @@
 #include "core/SimdScore.h"
 #include "route/ReplayPlan.h"
 #include "support/Timer.h"
+#include "support/Trace.h"
 
 #include <algorithm>
 #include <cassert>
@@ -60,6 +61,10 @@ RoutingLoop::RoutingLoop(const QlosureOptions &Options,
 
 RoutingResult RoutingLoop::run() {
   Timer Clock;
+  // One span around the whole front-layer loop (never per-step: tracing
+  // must stay off the hot path), recorded only when the serving layer
+  // installed a sink.
+  ScopedSpan LoopSpan(S.TraceSink, "front_layer_loop");
   while (!Tracker.allExecuted()) {
     // One cancellation poll + progress report per front-layer step: a
     // null token costs one branch and never perturbs the decisions.

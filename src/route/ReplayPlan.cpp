@@ -209,6 +209,8 @@ ReplayDriver::executeReplay(RoutingLoop &Loop, const ReplayPlan &Plan,
 }
 
 void ReplayDriver::startRecording(int64_t Base, AnchorKey Key) {
+  if (TraceSink)
+    RecordStart = Trace::Clock::now();
   Recording = true;
   RecordBase = Base;
   MaxReach = 0;
@@ -220,6 +222,8 @@ void ReplayDriver::startRecording(int64_t Base, AnchorKey Key) {
 void ReplayDriver::closeRecording() {
   if (!Recording)
     return;
+  if (TraceSink)
+    TraceSink->add("scalar_period", RecordStart, Trace::Clock::now());
   Recording = false;
   HavePendingDecision = false;
   ++Fallback; // The recorded period itself was routed by the scalar kernel.
@@ -270,7 +274,11 @@ bool ReplayDriver::maybeHandleBoundary(RoutingLoop &Loop) {
       // Count the period's gates directly against the advanced boundary
       // while the replay executes them.
       advancePeriod();
-      ReplayStatus St = executeReplay(Loop, *Plan, Base);
+      ReplayStatus St;
+      {
+        ScopedSpan Span(TraceSink, "replay_period");
+        St = executeReplay(Loop, *Plan, Base);
+      }
       DidWork = true;
       if (St == ReplayStatus::Completed) {
         ++Replayed;

@@ -50,6 +50,7 @@
 #define QLOSURE_ROUTE_REPLAYPLAN_H
 
 #include "affine/PeriodDetector.h"
+#include "support/Trace.h"
 
 #include <cstdint>
 #include <memory>
@@ -147,6 +148,11 @@ public:
   size_t replayedPeriods() const { return Replayed; }
   size_t fallbackPeriods() const { return Fallback; }
 
+  /// Optional request trace: replayed periods record "replay_period"
+  /// spans, recorded-then-published periods record "scalar_period" spans
+  /// covering the scalar routing of the recording window. Null = off.
+  void setTraceSink(Trace *T) { TraceSink = T; }
+
 private:
   enum class ReplayStatus { Completed, Stopped };
 
@@ -171,6 +177,9 @@ private:
   std::vector<int64_t> PreExec; ///< Executed gate ids >= NextBoundary.
   std::vector<int32_t> PermPow; ///< pi^PeriodIdx.
   bool Done = false;
+
+  Trace *TraceSink = nullptr;
+  Trace::Clock::time_point RecordStart{}; ///< Only set when tracing.
 
   // Recording state.
   bool Recording = false;

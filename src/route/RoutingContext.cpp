@@ -9,12 +9,13 @@
 #include "affine/PeriodDetector.h"
 #include "route/ReplayPlan.h"
 #include "support/StringUtils.h"
+#include "support/Trace.h"
 
 using namespace qlosure;
 
 RoutingContext RoutingContext::build(const Circuit &Logical,
                                      const CouplingGraph &Hw,
-                                     RoutingContextOptions Options) {
+                                     RoutingContextOptions Options, Trace *T) {
   RoutingContext Ctx;
   Ctx.Logical = &Logical;
   Ctx.Hw = &Hw;
@@ -59,6 +60,7 @@ RoutingContext RoutingContext::build(const Circuit &Logical,
   // copy. Either way no later route() call recomputes them.
   bool NeedWeighted = Options.RequireWeightedDistances && Hw.hasErrorModel();
   if (!Hw.hasDistances() || (NeedWeighted && !Hw.hasWeightedDistances())) {
+    ScopedSpan Span(T, "ctx_distances");
     Ctx.OwnedHw = std::make_unique<CouplingGraph>(Hw);
     Ctx.OwnedHw->computeDistances();
     if (NeedWeighted)
@@ -67,7 +69,10 @@ RoutingContext RoutingContext::build(const Circuit &Logical,
   }
 
   Ctx.MaxDegree = Ctx.Hw->maxDegree();
-  Ctx.Dag = std::make_unique<CircuitDag>(Logical);
+  {
+    ScopedSpan Span(T, "ctx_dag");
+    Ctx.Dag = std::make_unique<CircuitDag>(Logical);
+  }
   return Ctx;
 }
 

@@ -45,6 +45,7 @@ namespace qlosure {
 
 struct PeriodStructure;
 class ReplayPlanCache;
+class Trace;
 
 /// Knobs for context construction.
 struct RoutingContextOptions {
@@ -70,8 +71,13 @@ public:
   /// disconnected device, gates of arity > 2, barriers/measures) do not
   /// abort: the returned context carries an error status() and must not be
   /// routed with.
+  ///
+  /// When a request trace \p T is supplied, the expensive construction
+  /// phases record spans (ctx_distances — the O(V^2) APSP derivation when
+  /// the graph arrives without matrices — and ctx_dag).
   static RoutingContext build(const Circuit &Logical, const CouplingGraph &Hw,
-                              RoutingContextOptions Options = {});
+                              RoutingContextOptions Options = {},
+                              Trace *T = nullptr);
 
   RoutingContext(RoutingContext &&) = default;
   RoutingContext &operator=(RoutingContext &&) = default;

@@ -38,6 +38,8 @@
 
 namespace qlosure {
 
+class Trace;
+
 /// A lazily sized array whose entries are "cleared" in O(1) by bumping a
 /// generation counter: an entry is *fresh* (written this epoch) when its
 /// stamp matches the current epoch, otherwise it reads as value-initialized
@@ -199,6 +201,15 @@ public:
       TouchingGates[P].clear();
     TouchedPhys.clear();
   }
+
+  /// Request-scoped trace sink, or null when tracing is off (the default).
+  /// The scratch is the natural carrier: it already rides through the
+  /// virtual Router::route signature into every mapper, and it is strictly
+  /// per-thread so the single-threaded Trace is safe here. Mappers record
+  /// coarse phase spans only (loop boundaries, never per-step), so a null
+  /// check is the entire cost when tracing is off. Installed by the
+  /// serving layer around route(); never owned.
+  Trace *TraceSink = nullptr;
 
   //===--------------------------------------------------------------------===//
   // Front layer (owned state of FrontLayerTracker)

@@ -7,6 +7,7 @@
 #include "service/ContextCache.h"
 
 #include "circuit/Dag.h"
+#include "support/Trace.h"
 
 using namespace qlosure;
 using namespace qlosure::service;
@@ -38,16 +39,18 @@ size_t estimateBytes(const Circuit &Circ, const CouplingGraph &Hw,
 
 std::shared_ptr<const CachedContext>
 CachedContext::build(const Circuit &Circ, const CouplingGraph &Hw,
-                     const RoutingContextOptions &Options, bool WarmWeights) {
+                     const RoutingContextOptions &Options, bool WarmWeights,
+                     Trace *T) {
   // The bundle owns copies; the context is built against those copies'
   // stable heap addresses (shared_ptr control block pins them).
   auto Bundle = std::shared_ptr<CachedContext>(new CachedContext());
   Bundle->Circ = Circ;
   Bundle->Hw = Hw;
   Bundle->Ctx.emplace(
-      RoutingContext::build(Bundle->Circ, Bundle->Hw, Options));
+      RoutingContext::build(Bundle->Circ, Bundle->Hw, Options, T));
   bool Warmed = false;
   if (WarmWeights && Bundle->Ctx->valid()) {
+    ScopedSpan Span(T, "ctx_weights");
     Bundle->Ctx->dependenceWeights();
     Warmed = true;
   }

@@ -54,6 +54,9 @@
 #include <vector>
 
 namespace qlosure {
+
+class Trace;
+
 namespace service {
 
 /// Cache key: three content fingerprints (see support/Fingerprint.h).
@@ -238,9 +241,12 @@ public:
   /// omega weights are computed eagerly when \p WarmWeights is set and the
   /// context is valid — a cached context will be routed with, so first-use
   /// laziness only moves the cost into the first request's latency.
+  /// \p T, when non-null, receives the construction-phase spans
+  /// (ctx_distances, ctx_dag, ctx_weights) of a traced cold build.
   static std::shared_ptr<const CachedContext>
   build(const Circuit &Circ, const CouplingGraph &Hw,
-        const RoutingContextOptions &Options, bool WarmWeights = true);
+        const RoutingContextOptions &Options, bool WarmWeights = true,
+        Trace *T = nullptr);
 
   const RoutingContext &context() const { return *Ctx; }
   const Circuit &circuit() const { return Circ; }

@@ -1,0 +1,73 @@
+//===- service/Histogram.cpp - Log-scale latency histograms ---------------===//
+//
+// Part of the Qlosure project. Distributed under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "service/Histogram.h"
+
+namespace qlosure {
+
+json::Value LatencyHistogram::toJson() const {
+  json::Value Doc = json::Value::object();
+  Doc.set("type", json::Value(std::string("histogram")));
+  uint64_t Total = 0;
+  json::Value Counts = json::Value::array();
+  for (int I = 0; I <= NumBounds; ++I) {
+    uint64_t C = Buckets[I].load(std::memory_order_relaxed);
+    Total += C;
+    Counts.push(json::Value(static_cast<double>(C)));
+  }
+  Doc.set("count", json::Value(static_cast<double>(Total)));
+  Doc.set("sum_seconds",
+          json::Value(static_cast<double>(
+                          SumNs.load(std::memory_order_relaxed)) /
+                      1e9));
+  json::Value Bounds = json::Value::array();
+  for (int I = 0; I < NumBounds; ++I)
+    Bounds.push(json::Value(static_cast<double>(boundUs(I))));
+  Doc.set("le_us", std::move(Bounds));
+  Doc.set("bucket_counts", std::move(Counts));
+  return Doc;
+}
+
+bool isHistogramJson(const json::Value &V) {
+  if (!V.isObject())
+    return false;
+  const json::Value *Type = V.get("type");
+  if (!Type || !Type->isString() || Type->asString() != "histogram")
+    return false;
+  const json::Value *Bounds = V.get("le_us");
+  const json::Value *Counts = V.get("bucket_counts");
+  return Bounds && Bounds->isArray() && Counts && Counts->isArray();
+}
+
+static void addNumberMember(json::Value &Dst, const json::Value &Src,
+                            const char *Key) {
+  const json::Value *A = Dst.get(Key);
+  const json::Value *B = Src.get(Key);
+  if (A && B && A->isNumber() && B->isNumber())
+    Dst.set(Key, json::Value(A->asNumber() + B->asNumber()));
+}
+
+void mergeHistogramJson(json::Value &Dst, const json::Value &Src) {
+  addNumberMember(Dst, Src, "count");
+  addNumberMember(Dst, Src, "sum_seconds");
+  const json::Value *SrcCounts = Src.get("bucket_counts");
+  const json::Value *DstCounts = Dst.get("bucket_counts");
+  if (!SrcCounts || !DstCounts)
+    return;
+  const auto &A = DstCounts->items();
+  const auto &B = SrcCounts->items();
+  if (A.size() != B.size())
+    return; // incompatible layouts: keep Dst
+  json::Value Merged = json::Value::array();
+  for (size_t I = 0; I < A.size(); ++I) {
+    double X = A[I].isNumber() ? A[I].asNumber() : 0.0;
+    double Y = B[I].isNumber() ? B[I].asNumber() : 0.0;
+    Merged.push(json::Value(X + Y));
+  }
+  Dst.set("bucket_counts", std::move(Merged));
+}
+
+} // namespace qlosure

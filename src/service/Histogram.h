@@ -1,0 +1,95 @@
+//===- service/Histogram.h - Log-scale latency histograms ---------*- C++ -*-===//
+//
+// Part of the Qlosure project. Distributed under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Fixed-bucket, log-scale latency histograms for the serving tier.
+///
+/// Buckets are powers of two in microseconds: 1us, 2us, 4us, ... up to
+/// ~134s, plus an overflow bucket — the same 28-bound layout everywhere,
+/// so histograms from different daemons merge bucket-by-bucket with no
+/// negotiation. Recording is a relaxed atomic increment per bucket (the
+/// per-bucket counters are the lock stripes: concurrent recorders touch
+/// different cache lines for different latencies and never serialize),
+/// so a histogram can sit on the request path of every worker thread.
+///
+/// The JSON snapshot is a self-describing stats leaf tagged
+/// `"type":"histogram"`; `mergeStatsDocs` (service/Metrics.h) sums the
+/// bucket arrays element-wise across shards and the Prometheus walker
+/// renders the classic `_bucket`/`_sum`/`_count` series from it.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef QLOSURE_SERVICE_HISTOGRAM_H
+#define QLOSURE_SERVICE_HISTOGRAM_H
+
+#include "support/Json.h"
+
+#include <atomic>
+#include <cstdint>
+
+namespace qlosure {
+
+class LatencyHistogram {
+public:
+  /// Number of finite bucket bounds: 1us * 2^k for k in [0, NumBounds).
+  static constexpr int NumBounds = 28;
+
+  LatencyHistogram() = default;
+
+  /// Records one observation. Lock-free; safe from any thread.
+  void recordNs(int64_t Ns) {
+    if (Ns < 0)
+      Ns = 0;
+    Buckets[bucketFor(Ns)].fetch_add(1, std::memory_order_relaxed);
+    SumNs.fetch_add(Ns, std::memory_order_relaxed);
+  }
+  void recordSeconds(double Seconds) {
+    recordNs(static_cast<int64_t>(Seconds * 1e9));
+  }
+
+  uint64_t count() const {
+    uint64_t C = 0;
+    for (int I = 0; I <= NumBounds; ++I)
+      C += Buckets[I].load(std::memory_order_relaxed);
+    return C;
+  }
+
+  /// Upper bound of finite bucket \p I, in microseconds.
+  static int64_t boundUs(int I) { return int64_t(1) << I; }
+
+  /// Bucket index for an observation: the first bound it fits under, or
+  /// the overflow bucket (index NumBounds).
+  static int bucketFor(int64_t Ns) {
+    int64_t Us = (Ns + 999) / 1000; // ceil: 1ns..1us land in the 1us bucket
+    for (int I = 0; I < NumBounds; ++I)
+      if (Us <= boundUs(I))
+        return I;
+    return NumBounds;
+  }
+
+  /// Stats-document leaf:
+  ///   {"type":"histogram","count":N,"sum_seconds":S,
+  ///    "le_us":[1,2,...],"bucket_counts":[...,overflow]}
+  /// bucket_counts are per-bucket (not cumulative) so shard merging is a
+  /// plain element-wise sum; the Prometheus renderer accumulates.
+  json::Value toJson() const;
+
+private:
+  std::atomic<uint64_t> Buckets[NumBounds + 1] = {};
+  std::atomic<int64_t> SumNs{0};
+};
+
+/// Returns true when \p V looks like a LatencyHistogram::toJson leaf.
+bool isHistogramJson(const json::Value &V);
+
+/// Merges histogram leaf \p Src into \p Dst (both must satisfy
+/// isHistogramJson): counts and sums add, bucket arrays add element-wise
+/// where lengths match, bounds stay as Dst's.
+void mergeHistogramJson(json::Value &Dst, const json::Value &Src);
+
+} // namespace qlosure
+
+#endif // QLOSURE_SERVICE_HISTOGRAM_H

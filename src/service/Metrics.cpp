@@ -6,6 +6,7 @@
 
 #include "service/Metrics.h"
 
+#include "service/Histogram.h"
 #include "support/StringUtils.h"
 
 #include <cmath>
@@ -23,6 +24,15 @@ void sanitizeComponent(const std::string &Name, std::string &Out) {
   }
 }
 
+void appendNumber(std::string &Out, double V) {
+  // Match the JSON writer's discipline: exactly representable integers
+  // print without a decimal point, everything else as shortest double.
+  if (std::floor(V) == V && std::fabs(V) < 9007199254740992.0)
+    Out += formatString("%lld", static_cast<long long>(V));
+  else
+    Out += formatString("%.17g", V);
+}
+
 void appendSample(std::string &Out, const std::string &Name,
                   const std::string &Labels, double V) {
   Out += "# TYPE ";
@@ -35,12 +45,63 @@ void appendSample(std::string &Out, const std::string &Name,
     Out += '}';
   }
   Out += ' ';
-  // Match the JSON writer's discipline: exactly representable integers
-  // print without a decimal point, everything else as shortest double.
-  if (std::floor(V) == V && std::fabs(V) < 9007199254740992.0)
-    Out += formatString("%lld", static_cast<long long>(V));
-  else
-    Out += formatString("%.17g", V);
+  appendNumber(Out, V);
+  Out += '\n';
+}
+
+/// Renders one histogram leaf (service/Histogram.h's toJson layout) as a
+/// classic Prometheus histogram. The JSON carries per-bucket counts so
+/// shard merging stays element-wise; the exposition format wants
+/// cumulative buckets, so this accumulates while emitting. Bounds are
+/// exposed in seconds, the Prometheus convention for latency.
+void appendHistogram(std::string &Out, const std::string &Name,
+                     const std::string &Labels, const json::Value &H) {
+  const json::Value *Bounds = H.get("le_us");
+  const json::Value *Counts = H.get("bucket_counts");
+  const json::Value *Count = H.get("count");
+  const json::Value *Sum = H.get("sum_seconds");
+  Out += "# TYPE ";
+  Out += Name;
+  Out += " histogram\n";
+  double Cumulative = 0;
+  for (size_t I = 0; I < Counts->items().size(); ++I) {
+    const json::Value &C = Counts->items()[I];
+    if (C.isNumber())
+      Cumulative += C.asNumber();
+    Out += Name;
+    Out += "_bucket{";
+    if (!Labels.empty()) {
+      Out += Labels;
+      Out += ',';
+    }
+    if (I < Bounds->items().size() && Bounds->items()[I].isNumber())
+      Out += formatString("le=\"%.9g\"",
+                          Bounds->items()[I].asNumber() / 1e6);
+    else
+      Out += "le=\"+Inf\"";
+    Out += "} ";
+    appendNumber(Out, Cumulative);
+    Out += '\n';
+  }
+  Out += Name;
+  Out += "_sum";
+  if (!Labels.empty()) {
+    Out += '{';
+    Out += Labels;
+    Out += '}';
+  }
+  Out += ' ';
+  appendNumber(Out, Sum && Sum->isNumber() ? Sum->asNumber() : 0.0);
+  Out += '\n';
+  Out += Name;
+  Out += "_count";
+  if (!Labels.empty()) {
+    Out += '{';
+    Out += Labels;
+    Out += '}';
+  }
+  Out += ' ';
+  appendNumber(Out, Count && Count->isNumber() ? Count->asNumber() : 0.0);
   Out += '\n';
 }
 
@@ -54,6 +115,10 @@ void walk(std::string &Out, const json::Value &V, const std::string &Name,
     appendSample(Out, Name, Labels, V.asBool() ? 1.0 : 0.0);
     return;
   case json::Value::Kind::Object:
+    if (isHistogramJson(V)) {
+      appendHistogram(Out, Name, Labels, V);
+      return;
+    }
     for (const auto &Member : V.members()) {
       std::string Child = Name;
       Child.push_back('_');
@@ -86,7 +151,11 @@ json::Value service::mergeStatsDocs(const std::vector<json::Value> &Docs) {
     for (const auto &Member : Doc.members()) {
       const json::Value *Existing = Merged.get(Member.first);
       if (!Existing) {
-        if (Member.second.isObject()) {
+        if (isHistogramJson(Member.second)) {
+          // Histogram leaves copy verbatim (their arrays are data, not
+          // identification) and later documents add in bucket-wise.
+          Merged.set(Member.first, Member.second);
+        } else if (Member.second.isObject()) {
           // Deep-copy through a single-document merge so nested numeric
           // members of later documents can add into it.
           Merged.set(Member.first, mergeStatsDocs({Member.second}));
@@ -97,7 +166,11 @@ json::Value service::mergeStatsDocs(const std::vector<json::Value> &Docs) {
         }
         continue;
       }
-      if (Existing->isObject() && Member.second.isObject()) {
+      if (isHistogramJson(*Existing) && isHistogramJson(Member.second)) {
+        json::Value Combined = *Existing;
+        mergeHistogramJson(Combined, Member.second);
+        Merged.set(Member.first, std::move(Combined));
+      } else if (Existing->isObject() && Member.second.isObject()) {
         Merged.set(Member.first,
                    mergeStatsDocs({*Existing, Member.second}));
       } else if (Existing->isNumber() &&
@@ -111,6 +184,27 @@ json::Value service::mergeStatsDocs(const std::vector<json::Value> &Docs) {
     }
   }
   return Merged;
+}
+
+std::string service::prometheusLabelValue(const std::string &Raw) {
+  std::string Out;
+  Out.reserve(Raw.size());
+  for (char C : Raw) {
+    switch (C) {
+    case '\\':
+      Out += "\\\\";
+      break;
+    case '"':
+      Out += "\\\"";
+      break;
+    case '\n':
+      Out += "\\n";
+      break;
+    default:
+      Out.push_back(C);
+    }
+  }
+  return Out;
 }
 
 std::string service::prometheusText(const json::Value &Doc,

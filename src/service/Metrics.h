@@ -19,7 +19,10 @@
 /// are skipped (they are labels' business, not samples'). Every sample
 /// is exposed as an untyped gauge — the scraper cannot distinguish our
 /// monotone counters from level gauges without a schema, and gauge is
-/// the conservative claim.
+/// the conservative claim. The one typed exception: an object tagged
+/// `"type":"histogram"` (service/Histogram.h) renders as a classic
+/// Prometheus histogram — cumulative `_bucket{le="<seconds>"}` series,
+/// `_sum`, and `_count` — instead of being walked member-by-member.
 ///
 //===----------------------------------------------------------------------===//
 
@@ -43,11 +46,19 @@ void appendPrometheusText(std::string &Out, const json::Value &Doc,
                           const std::string &Labels = std::string());
 
 /// Sums the numeric leaves of several stats documents member-by-member
-/// into one: numbers add (booleans as 0/1), objects merge recursively,
+/// into one: numbers add (booleans as 0/1), objects merge recursively
+/// (histogram leaves merge bucket-wise via mergeHistogramJson),
 /// strings/arrays keep the first document's value (they identify, not
 /// count). Members present in only some documents survive. The fleet
 /// aggregation the router's `stats` and `/metrics` serve.
 json::Value mergeStatsDocs(const std::vector<json::Value> &Docs);
+
+/// Escapes \p Raw for use inside a double-quoted Prometheus label value:
+/// backslash, double quote, and newline become \\ \" \n per the text
+/// exposition format. (Deliberately NOT JSON escaping — the exposition
+/// format defines exactly these three escapes; other control characters
+/// pass through.)
+std::string prometheusLabelValue(const std::string &Raw);
 
 /// One complete text exposition of \p Doc: appendPrometheusText plus a
 /// trailing newline discipline scrapers expect. Convenience for the

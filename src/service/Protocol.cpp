@@ -143,6 +143,12 @@ RequestParse service::parseRequest(const std::string &Line) {
   if (!readMember(Obj, "progress", false, json::Value::Kind::Bool, Err,
                   [&](const json::Value &V) { Route.Progress = V.asBool(); }))
     return fail(Err.ErrorCode, Err.ErrorMessage);
+  if (!readMember(Obj, "trace", false, json::Value::Kind::Bool, Err,
+                  [&](const json::Value &V) { Route.Trace = V.asBool(); }))
+    return fail(Err.ErrorCode, Err.ErrorMessage);
+  if (!readMember(Obj, "trace_id", false, json::Value::Kind::String, Err,
+                  [&](const json::Value &V) { Route.TraceId = V.asString(); }))
+    return fail(Err.ErrorCode, Err.ErrorMessage);
   bool NumbersOk = true;
   if (!readMember(Obj, "calibration", false, json::Value::Kind::Number, Err,
                   [&](const json::Value &V) {
@@ -256,7 +262,8 @@ std::string service::formatErrorResponse(const char *Op,
 std::string service::formatRouteResponse(
     const std::string &Id, const std::string &Mapper,
     const std::string &Backend, const RouteStats &Stats, bool ContextCacheHit,
-    bool ResultCacheHit, const std::string &Qasm, bool IncludeQasm) {
+    bool ResultCacheHit, const std::string &Qasm, bool IncludeQasm,
+    const json::Value *TraceJson) {
   json::Value Obj = responseHead("route", Id, true);
   Obj.set("mapper", Mapper);
   Obj.set("backend", Backend);
@@ -264,6 +271,8 @@ std::string service::formatRouteResponse(
   Obj.set("cache_hit", ContextCacheHit || ResultCacheHit);
   Obj.set("context_cache_hit", ContextCacheHit);
   Obj.set("result_cache_hit", ResultCacheHit);
+  if (TraceJson)
+    Obj.set("trace", *TraceJson);
   if (IncludeQasm)
     Obj.set("qasm", Qasm);
   return Obj.dump();
@@ -330,7 +339,8 @@ std::string service::formatBatchItemResult(
     const std::string &Id, size_t Index, const std::string &Name,
     const std::string &Mapper, const std::string &Backend,
     const RouteStats &Stats, bool ContextCacheHit, bool ResultCacheHit,
-    const std::string &Qasm, bool IncludeQasm) {
+    const std::string &Qasm, bool IncludeQasm,
+    const json::Value *TraceJson) {
   json::Value Obj = batchItemHead(Id, Index, Name);
   Obj.set("mapper", Mapper);
   Obj.set("backend", Backend);
@@ -338,6 +348,8 @@ std::string service::formatBatchItemResult(
   Obj.set("cache_hit", ContextCacheHit || ResultCacheHit);
   Obj.set("context_cache_hit", ContextCacheHit);
   Obj.set("result_cache_hit", ResultCacheHit);
+  if (TraceJson)
+    Obj.set("trace", *TraceJson);
   if (IncludeQasm)
     Obj.set("qasm", Qasm);
   return Obj.dump();

@@ -108,6 +108,15 @@ struct RouteRequest {
   /// Stream `progress` events while this request routes (requires an
   /// `id`; ignored otherwise).
   bool Progress = false;
+  /// Opt into request tracing: the response carries a "trace" section
+  /// with per-phase spans (docs/PROTOCOL.md). Off by default — an
+  /// untraced request's routing path is byte-identical to pre-trace
+  /// builds.
+  bool Trace = false;
+  /// Client- or router-assigned correlation id echoed in the trace
+  /// section and in slow-request log lines. Generated server-side when
+  /// tracing is on and none was supplied.
+  std::string TraceId;
 };
 
 /// One circuit of a `batch` request.
@@ -178,12 +187,15 @@ std::string formatPingResponse(const std::string &Id);
 std::string formatErrorResponse(const char *Op, const std::string &Id,
                                 const std::string &Code,
                                 const std::string &Message);
+/// \p TraceJson, when non-null, is attached as the response's "trace"
+/// member (the Trace::toJson document of a traced request).
 std::string formatRouteResponse(const std::string &Id,
                                 const std::string &Mapper,
                                 const std::string &Backend,
                                 const RouteStats &Stats, bool ContextCacheHit,
                                 bool ResultCacheHit, const std::string &Qasm,
-                                bool IncludeQasm);
+                                bool IncludeQasm,
+                                const json::Value *TraceJson = nullptr);
 /// `stats` responses carry an arbitrary server-assembled object.
 std::string formatStatsResponse(const std::string &Id,
                                 const json::Value &Body);
@@ -210,7 +222,8 @@ std::string formatBatchItemResult(const std::string &Id, size_t Index,
                                   const std::string &Backend,
                                   const RouteStats &Stats,
                                   bool ContextCacheHit, bool ResultCacheHit,
-                                  const std::string &Qasm, bool IncludeQasm);
+                                  const std::string &Qasm, bool IncludeQasm,
+                                  const json::Value *TraceJson = nullptr);
 
 /// A `batch_item` event frame for an item that failed (or was cancelled /
 /// expired): carries an "error" object with the same stable codes as

@@ -15,6 +15,7 @@
 #include "route/Verify.h"
 #include "service/Metrics.h"
 #include "service/SocketIO.h"
+#include "support/Log.h"
 #include "support/StringUtils.h"
 #include "topology/Backends.h"
 
@@ -101,6 +102,35 @@ requestDeadline(double TimeoutMs, double DefaultTimeoutSeconds) {
                std::chrono::microseconds(
                    static_cast<int64_t>(EffectiveMs * 1000.0));
   return Deadline;
+}
+
+/// Nanoseconds between two trace-clock points.
+int64_t spanNs(Trace::Clock::time_point From, Trace::Clock::time_point To) {
+  return std::chrono::duration_cast<std::chrono::nanoseconds>(To - From)
+      .count();
+}
+
+/// One warn-level "slow_request" line for a request that crossed the
+/// configured threshold, carrying the per-phase trace when one was
+/// recorded.
+void logSlowRequest(const char *Op, const std::string &Id,
+                    const RouteRequest &Params, double TotalMs,
+                    double ThresholdMs, Trace *T,
+                    Trace::Clock::time_point Now) {
+  if (!log::enabled(log::Level::Warn))
+    return;
+  log::Event E(log::Level::Warn, "slow_request");
+  E.str("op", Op);
+  if (!Id.empty())
+    E.str("id", Id);
+  E.str("mapper", Params.Mapper);
+  E.str("backend", Params.Backend);
+  E.num("total_ms", TotalMs);
+  E.num("threshold_ms", ThresholdMs);
+  if (T) {
+    E.str("trace_id", T->traceId());
+    E.json("trace", T->toJson(Now));
+  }
 }
 
 } // namespace
@@ -594,6 +624,15 @@ Server::lookupBackend(const std::string &Name, bool ErrorAware,
 void Server::handleRoute(const std::shared_ptr<Connection> &Conn,
                          const Request &Req) {
   const RouteRequest &Route = Req.Route;
+  const auto ReqStart = Trace::Clock::now();
+  // A traced request carries one span recorder from arrival to its final
+  // frame; untraced requests never allocate one.
+  std::shared_ptr<Trace> T;
+  if (Route.Trace) {
+    T = std::make_shared<Trace>();
+    T->reset(Route.TraceId.empty() ? generateTraceId() : Route.TraceId,
+             ReqStart);
+  }
   {
     std::lock_guard<std::mutex> Lock(CounterMu);
     ++Counters.RouteRequests;
@@ -624,6 +663,7 @@ void Server::handleRoute(const std::shared_ptr<Connection> &Conn,
     return;
   }
 
+  int ImportSpan = T ? T->begin("import_qasm") : -1;
   qasm::ImportResult Imported = qasm::importQasm(Route.Qasm, "request");
   if (!Imported.succeeded()) {
     sendError(*Conn, "route", Req.Id, errc::BadQasm, Imported.Error);
@@ -631,6 +671,8 @@ void Server::handleRoute(const std::shared_ptr<Connection> &Conn,
   }
   auto Logical = std::make_shared<Circuit>(
       Imported.Circ->withoutNonUnitaries().decomposeThreeQubitGates());
+  if (T)
+    T->end(ImportSpan);
   if (Logical->numQubits() > Backend->Graph->numQubits()) {
     sendError(*Conn, "route", Req.Id, errc::TooLarge,
               formatString("circuit has %u qubits but %s only has %u",
@@ -657,11 +699,24 @@ void Server::handleRoute(const std::shared_ptr<Connection> &Conn,
     Stats.TimedOut = Cached->TimedOut;
     Stats.Verified = Cached->Verified;
     Stats.SuccessProbability = Cached->SuccessProbability;
-    Conn->send(formatRouteResponse(Req.Id, Route.Mapper, Route.Backend,
-                                   Stats,
-                                   /*ContextCacheHit=*/false,
-                                   /*ResultCacheHit=*/true,
-                                   Cached->RoutedQasm, Route.IncludeQasm));
+    const auto Now = Trace::Clock::now();
+    Histos.Route.recordNs(spanNs(ReqStart, Now));
+    if (T) {
+      T->addNs("result_cache_hit", T->sinceEpochNs(Now), 0);
+      json::Value TraceJson = T->toJson(Now);
+      Conn->send(formatRouteResponse(Req.Id, Route.Mapper, Route.Backend,
+                                     Stats,
+                                     /*ContextCacheHit=*/false,
+                                     /*ResultCacheHit=*/true,
+                                     Cached->RoutedQasm, Route.IncludeQasm,
+                                     &TraceJson));
+    } else {
+      Conn->send(formatRouteResponse(Req.Id, Route.Mapper, Route.Backend,
+                                     Stats,
+                                     /*ContextCacheHit=*/false,
+                                     /*ResultCacheHit=*/true,
+                                     Cached->RoutedQasm, Route.IncludeQasm));
+    }
     return;
   }
 
@@ -685,6 +740,10 @@ void Server::handleRoute(const std::shared_ptr<Connection> &Conn,
   Params.TimeoutMs = Route.TimeoutMs;
   Params.Progress = Route.Progress;
 
+  // Queue wait is measured from here (just before submission) to worker
+  // pickup.
+  const auto SubmitTime = Trace::Clock::now();
+
   SchedulerJob Job;
   Job.Deadline = Deadline;
   Job.OnExpired = [this, Conn, Id = Req.Id] {
@@ -693,8 +752,12 @@ void Server::handleRoute(const std::shared_ptr<Connection> &Conn,
               "deadline passed before a worker picked the request up");
   };
   Job.Run = [this, Conn, Logical, Backend, Route = std::move(Params),
-             Id = Req.Id, CircuitFp,
-             ResultKey](RoutingScratch &Scratch, CancellationToken &Cancel) {
+             Id = Req.Id, CircuitFp, ResultKey, T, ReqStart,
+             SubmitTime](RoutingScratch &Scratch, CancellationToken &Cancel) {
+    const auto Pickup = Trace::Clock::now();
+    Histos.QueueWait.recordNs(spanNs(SubmitTime, Pickup));
+    if (T)
+      T->add("queue_wait", SubmitTime, Pickup);
     std::function<void()> BeforeRoute;
     if (Route.Progress && !Id.empty()) {
       // Stream ~20 progress events per route, floored so small circuits
@@ -712,7 +775,14 @@ void Server::handleRoute(const std::shared_ptr<Connection> &Conn,
       };
     }
     RouteOutcome Out = executeRoute(Logical, Backend, Route, CircuitFp,
-                                    ResultKey, Scratch, Cancel, BeforeRoute);
+                                    ResultKey, Scratch, Cancel, BeforeRoute,
+                                    T.get());
+    const auto Done = Trace::Clock::now();
+    Histos.Route.recordNs(spanNs(ReqStart, Done));
+    double TotalMs = spanNs(ReqStart, Done) / 1e6;
+    if (Options.SlowRequestMs > 0 && TotalMs >= Options.SlowRequestMs)
+      logSlowRequest("route", Id, Route, TotalMs, Options.SlowRequestMs,
+                     T.get(), Done);
     if (Out.Cancelled) {
       auto [Code, Message] = cancellationError(Cancel);
       Conn->releaseJob(Id);
@@ -725,11 +795,20 @@ void Server::handleRoute(const std::shared_ptr<Connection> &Conn,
       return;
     }
     Conn->releaseJob(Id);
-    Conn->send(formatRouteResponse(Id, Route.Mapper, Route.Backend,
-                                   Out.Stats, Out.ContextHit,
-                                   /*ResultCacheHit=*/false,
-                                   Out.Cached->RoutedQasm,
-                                   Route.IncludeQasm));
+    if (T) {
+      json::Value TraceJson = T->toJson(Done);
+      Conn->send(formatRouteResponse(Id, Route.Mapper, Route.Backend,
+                                     Out.Stats, Out.ContextHit,
+                                     /*ResultCacheHit=*/false,
+                                     Out.Cached->RoutedQasm,
+                                     Route.IncludeQasm, &TraceJson));
+    } else {
+      Conn->send(formatRouteResponse(Id, Route.Mapper, Route.Backend,
+                                     Out.Stats, Out.ContextHit,
+                                     /*ResultCacheHit=*/false,
+                                     Out.Cached->RoutedQasm,
+                                     Route.IncludeQasm));
+    }
   };
 
   // Pre-register the ticket before submission so a completion racing this
@@ -757,7 +836,7 @@ Server::executeRoute(const std::shared_ptr<Circuit> &Logical,
                      const RouteRequest &Params, uint64_t CircuitFp,
                      const CacheKey &ResultKey, RoutingScratch &Scratch,
                      CancellationToken &Cancel,
-                     const std::function<void()> &BeforeRoute) {
+                     const std::function<void()> &BeforeRoute, Trace *T) {
   RouteOutcome Out;
   if (Cancel.cancelled()) {
     Out.Cancelled = true;
@@ -768,29 +847,49 @@ Server::executeRoute(const std::shared_ptr<Circuit> &Logical,
   RoutingContextOptions CtxOptions = Mapper->contextOptions();
   CacheKey ContextKey{CircuitFp, Backend->Fingerprint,
                       fingerprint(CtxOptions)};
+  const auto CtxStart = Trace::Clock::now();
+  int CtxSpan = T ? T->begin("context_build") : -1;
   auto Bundle = Contexts.getOrBuild(
       ContextKey,
       [&] {
-        return CachedContext::build(*Logical, *Backend->Graph, CtxOptions);
+        return CachedContext::build(*Logical, *Backend->Graph, CtxOptions,
+                                    /*WarmWeights=*/true, T);
       },
       &Out.ContextHit);
+  if (T)
+    T->end(CtxSpan);
+  Histos.ContextBuild.recordNs(spanNs(CtxStart, Trace::Clock::now()));
   const RoutingContext &Ctx = Bundle->context();
   if (!Ctx.valid()) {
     Out.ErrorCode = errc::InvalidCircuit;
     Out.ErrorMessage = Ctx.status().message();
     return Out;
   }
+  const auto InitStart = Trace::Clock::now();
+  int InitSpan = T ? T->begin("initial_mapping") : -1;
   QubitMapping Initial =
       Params.Bidirectional
           ? deriveBidirectionalMapping(*Mapper, Ctx, 1, &Scratch, &Cancel)
           : Ctx.identityMapping();
+  if (T)
+    T->end(InitSpan);
+  Histos.InitialMapping.recordNs(spanNs(InitStart, Trace::Clock::now()));
   if (Cancel.cancelled()) {
     Out.Cancelled = true;
     return Out;
   }
   if (BeforeRoute)
     BeforeRoute();
+  const auto RouteStart = Trace::Clock::now();
+  int RouteSpan = T ? T->begin("routing_loop") : -1;
+  // The sink rides the pooled scratch through the virtual route() call;
+  // restore it before the scratch returns to the pool.
+  Scratch.TraceSink = T;
   RoutingResult Result = Mapper->route(Ctx, Initial, Scratch, &Cancel);
+  Scratch.TraceSink = nullptr;
+  if (T)
+    T->end(RouteSpan);
+  Histos.RoutingLoop.recordNs(spanNs(RouteStart, Trace::Clock::now()));
   if (Result.Cancelled) {
     Out.Cancelled = true;
     return Out;
@@ -800,7 +899,12 @@ Server::executeRoute(const std::shared_ptr<Circuit> &Logical,
     Counters.AffineReplays += Result.AffineReplayedPeriods;
     Counters.AffineFallbacks += Result.AffineFallbackPeriods;
   }
+  const auto VerifyStart = Trace::Clock::now();
+  int VerifySpan = T ? T->begin("verify") : -1;
   VerifyResult Check = verifyRouting(Ctx.circuit(), Ctx.hardware(), Result);
+  if (T)
+    T->end(VerifySpan);
+  Histos.Verify.recordNs(spanNs(VerifyStart, Trace::Clock::now()));
   if (!Check.Ok) {
     Out.ErrorCode = errc::VerifyFailed;
     Out.ErrorMessage = formatString("routing failed verification: %s",
@@ -808,7 +912,10 @@ Server::executeRoute(const std::shared_ptr<Circuit> &Logical,
     return Out;
   }
   auto Cached = std::make_shared<CachedResult>();
-  Cached->RoutedQasm = qasm::printQasm(Result.Routed);
+  {
+    ScopedSpan PrintSpan(T, "print_qasm");
+    Cached->RoutedQasm = qasm::printQasm(Result.Routed);
+  }
   Cached->LogicalGates = Logical->size();
   Cached->RoutedGates = Result.Routed.size();
   Cached->Swaps = Result.NumSwaps;
@@ -939,6 +1046,12 @@ void Server::handleBatch(const std::shared_ptr<Connection> &Conn,
   Params.CalibrationSeed = Route.CalibrationSeed;
   Params.IncludeQasm = Route.IncludeQasm;
   Params.TimeoutMs = Route.TimeoutMs;
+  Params.Trace = Route.Trace;
+  Params.TraceId = Route.TraceId;
+
+  // Per-item queue wait (and each item trace's epoch) is anchored at
+  // batch arrival: items genuinely wait while earlier ones are triaged.
+  const auto BatchStart = Trace::Clock::now();
 
   // Triage every item before anything is enqueued or any frame is sent:
   // the submission below is all-or-nothing, and a rejected batch must
@@ -992,10 +1105,30 @@ void Server::handleBatch(const std::shared_ptr<Connection> &Conn,
       finishBatchItem(Batch, I, errc::DeadlineExceeded);
     };
     Job.Run = [this, Batch, I, Logical, Backend, Params, CircuitFp,
-               ResultKey](RoutingScratch &Scratch,
-                          CancellationToken &Cancel) {
-      RouteOutcome Out = executeRoute(Logical, Backend, Params, CircuitFp,
-                                      ResultKey, Scratch, Cancel, nullptr);
+               ResultKey, BatchStart](RoutingScratch &Scratch,
+                                      CancellationToken &Cancel) {
+      const auto Pickup = Trace::Clock::now();
+      Histos.QueueWait.recordNs(spanNs(BatchStart, Pickup));
+      std::unique_ptr<Trace> T;
+      if (Params.Trace) {
+        // Item traces correlate as "<trace id or batch id>-<index>".
+        std::string Base =
+            Params.TraceId.empty() ? Batch->Id : Params.TraceId;
+        T = std::make_unique<Trace>();
+        T->reset(Base.empty() ? generateTraceId()
+                              : formatString("%s-%zu", Base.c_str(), I),
+                 BatchStart);
+        T->add("queue_wait", BatchStart, Pickup);
+      }
+      RouteOutcome Out =
+          executeRoute(Logical, Backend, Params, CircuitFp, ResultKey,
+                       Scratch, Cancel, nullptr, T.get());
+      const auto Done = Trace::Clock::now();
+      Histos.BatchItem.recordNs(spanNs(Pickup, Done));
+      double TotalMs = spanNs(BatchStart, Done) / 1e6;
+      if (Options.SlowRequestMs > 0 && TotalMs >= Options.SlowRequestMs)
+        logSlowRequest("batch_item", Batch->Id, Params, TotalMs,
+                       Options.SlowRequestMs, T.get(), Done);
       if (Out.Cancelled) {
         auto [Code, Message] = cancellationError(Cancel);
         Batch->Conn->send(formatBatchItemError(Batch->Id, I,
@@ -1012,10 +1145,18 @@ void Server::handleBatch(const std::shared_ptr<Connection> &Conn,
         finishBatchItem(Batch, I, Out.ErrorCode);
         return;
       }
-      Batch->Conn->send(formatBatchItemResult(
-          Batch->Id, I, Batch->Names[I], Params.Mapper, Params.Backend,
-          Out.Stats, Out.ContextHit, /*ResultCacheHit=*/false,
-          Out.Cached->RoutedQasm, Params.IncludeQasm));
+      if (T) {
+        json::Value TraceJson = T->toJson(Done);
+        Batch->Conn->send(formatBatchItemResult(
+            Batch->Id, I, Batch->Names[I], Params.Mapper, Params.Backend,
+            Out.Stats, Out.ContextHit, /*ResultCacheHit=*/false,
+            Out.Cached->RoutedQasm, Params.IncludeQasm, &TraceJson));
+      } else {
+        Batch->Conn->send(formatBatchItemResult(
+            Batch->Id, I, Batch->Names[I], Params.Mapper, Params.Backend,
+            Out.Stats, Out.ContextHit, /*ResultCacheHit=*/false,
+            Out.Cached->RoutedQasm, Params.IncludeQasm));
+      }
       finishBatchItem(Batch, I, "ok");
     };
     Jobs.push_back(std::move(Job));
@@ -1122,7 +1263,20 @@ json::Value Server::statsJson() const {
           cacheStatsJson(Contexts.stats(), Options.ContextCacheBytes));
   Doc.set("result_cache",
           cacheStatsJson(Results.stats(), Options.ResultCacheBytes));
+  Doc.set("latency", Histos.toJson());
   return Doc;
+}
+
+json::Value ServiceHistograms::toJson() const {
+  json::Value Obj = json::Value::object();
+  Obj.set("route", Route.toJson());
+  Obj.set("batch_item", BatchItem.toJson());
+  Obj.set("queue_wait", QueueWait.toJson());
+  Obj.set("context_build", ContextBuild.toJson());
+  Obj.set("initial_mapping", InitialMapping.toJson());
+  Obj.set("routing_loop", RoutingLoop.toJson());
+  Obj.set("verify", Verify.toJson());
+  return Obj;
 }
 
 ServerCounters Server::counters() const {

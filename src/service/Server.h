@@ -72,11 +72,13 @@
 #define QLOSURE_SERVICE_SERVER_H
 
 #include "service/ContextCache.h"
+#include "service/Histogram.h"
 #include "service/Protocol.h"
 #include "service/Scheduler.h"
 #include "service/Transport.h"
 #include "support/Error.h"
 #include "support/Timer.h"
+#include "support/Trace.h"
 #include "topology/CouplingGraph.h"
 
 #include <atomic>
@@ -114,6 +116,29 @@ struct ServerOptions {
   /// error and the connection is closed (the stream cannot be trusted to
   /// resynchronize).
   size_t MaxRequestBytes = 64ull << 20;
+  /// Slow-request threshold in milliseconds for the structured log
+  /// (support/Log.h): a routed request whose total latency (queue wait
+  /// included) reaches it emits one warn-level "slow_request" line with
+  /// its per-phase trace. 0 disables the slow log entirely.
+  double SlowRequestMs = 0;
+};
+
+/// Always-on per-op and per-phase latency histograms, surfaced in the
+/// `stats` document under "latency" and rendered by service/Metrics.h as
+/// Prometheus `_bucket`/`_sum`/`_count` series. Recording costs a few
+/// steady-clock reads per *request* (never per routing step), so these
+/// stay on even when tracing is off.
+struct ServiceHistograms {
+  LatencyHistogram Route;          ///< route op, total (queue wait included).
+  LatencyHistogram BatchItem;      ///< one batch item, worker time.
+  LatencyHistogram QueueWait;      ///< submit -> worker pickup.
+  LatencyHistogram ContextBuild;   ///< context-cache getOrBuild.
+  LatencyHistogram InitialMapping; ///< identity / bidirectional derive.
+  LatencyHistogram RoutingLoop;    ///< the mapper's route() call.
+  LatencyHistogram Verify;         ///< gate-for-gate verification.
+
+  /// The stats subtree: {"route": {histogram...}, ...}.
+  json::Value toJson() const;
 };
 
 /// Top-level request counters (cache and scheduler counters live in their
@@ -221,12 +246,17 @@ private:
   /// they report the outcome. \p BeforeRoute, when set, runs right before
   /// the main routing pass (after the bidirectional derive) — the hook
   /// `route` uses to install its progress sink.
+  /// \p T, when non-null, receives the per-phase spans of this request
+  /// (context_build, initial_mapping, routing_loop, verify, print_qasm)
+  /// and is installed as the scratch's trace sink around the mapper call.
+  /// Phase latencies are recorded into Histos regardless of tracing.
   RouteOutcome executeRoute(const std::shared_ptr<Circuit> &Logical,
                             const std::shared_ptr<const PooledBackend> &Backend,
                             const RouteRequest &Params, uint64_t CircuitFp,
                             const CacheKey &ResultKey, RoutingScratch &Scratch,
                             CancellationToken &Cancel,
-                            const std::function<void()> &BeforeRoute);
+                            const std::function<void()> &BeforeRoute,
+                            Trace *T = nullptr);
 
   /// Records item \p Index's terse outcome and performs the batch's
   /// completion protocol: the thread whose decrement empties the batch
@@ -284,6 +314,9 @@ private:
 
   mutable std::mutex CounterMu;
   ServerCounters Counters;
+
+  /// Lock-free latency recording (see ServiceHistograms).
+  ServiceHistograms Histos;
 
   std::mutex StopMu;
   std::condition_variable StopCv;

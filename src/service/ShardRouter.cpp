@@ -10,7 +10,9 @@
 #include "service/Metrics.h"
 #include "service/SocketIO.h"
 #include "support/Fingerprint.h"
+#include "support/Log.h"
 #include "support/StringUtils.h"
+#include "support/Trace.h"
 
 #include <algorithm>
 #include <chrono>
@@ -92,6 +94,23 @@ bool isEventFrame(const std::string &Line) {
          Parsed.V.get("event") != nullptr;
 }
 
+int64_t nsBetween(std::chrono::steady_clock::time_point From,
+                  std::chrono::steady_clock::time_point To) {
+  return std::chrono::duration_cast<std::chrono::nanoseconds>(To - From)
+      .count();
+}
+
+/// One span record in the wire trace layout (support/Trace.h toJson).
+void pushSpan(json::Value &Spans, const char *Name, int64_t StartNs,
+              int64_t DurNs, int Depth) {
+  json::Value S = json::Value::object();
+  S.set("name", std::string(Name));
+  S.set("start_us", static_cast<double>(StartNs / 1000));
+  S.set("dur_us", static_cast<double>((DurNs < 0 ? 0 : DurNs) / 1000));
+  S.set("depth", static_cast<double>(Depth));
+  Spans.push(std::move(S));
+}
+
 } // namespace
 
 struct RouterServer::Connection {
@@ -160,6 +179,21 @@ struct RouterServer::Connection {
     std::string Line;
     uint64_t Key = 0;
     unsigned Attempts = 0;
+    /// Router-side trace state. TraceId non-empty marks a traced
+    /// request; Arrival anchors every router span and is set for all
+    /// tracked requests (it feeds the forward-latency histogram too).
+    std::string TraceId;
+    std::chrono::steady_clock::time_point Arrival{};
+    /// Last successful handoff to a shard: upstream_wait starts here.
+    std::chrono::steady_clock::time_point SentAt{};
+    /// When the request was parked for a queue_full backoff (zero when
+    /// not currently parked); total parked time accumulates in ParkedNs
+    /// across retries.
+    std::chrono::steady_clock::time_point ParkedAt{};
+    int64_t ParkedNs = 0;
+    /// Accumulated ring-lookup/registration/handoff time across every
+    /// dispatch attempt.
+    int64_t DispatchNs = 0;
   };
 
   std::mutex Mu; ///< Guards InFlight and the upstream Up/AnonOps state.
@@ -492,11 +526,11 @@ bool RouterServer::sendToShard(const std::shared_ptr<Connection> &Conn,
 void RouterServer::onShardFinal(const std::shared_ptr<Connection> &Conn,
                                 size_t Shard, const std::string &Line) {
   // Correlation needs the real members, not the prefix heuristic.
+  json::ParseResult Parsed = json::parse(Line);
   std::string Id, OpName;
   bool Ok = true;
   std::string ErrorCode;
-  if (json::ParseResult Parsed = json::parse(Line);
-      Parsed.Ok && Parsed.V.isObject()) {
+  if (Parsed.Ok && Parsed.V.isObject()) {
     if (const json::Value *IdV = Parsed.V.get("id"); IdV && IdV->isString())
       Id = IdV->asString();
     if (const json::Value *OpV = Parsed.V.get("op"); OpV && OpV->isString())
@@ -517,6 +551,8 @@ void RouterServer::onShardFinal(const std::shared_ptr<Connection> &Conn,
       Up.AnonOps.pop_front();
   } else {
     bool ScheduleRetry = false;
+    bool Finished = false;
+    Connection::Tracked Entry;
     uint64_t Key = 0;
     std::string ReqLine;
     unsigned Attempts = 0;
@@ -530,11 +566,14 @@ void RouterServer::onShardFinal(const std::shared_ptr<Connection> &Conn,
           // of bouncing the rejection to the client.
           It->second.Shard = Connection::ParkedShard;
           ++It->second.Attempts;
+          It->second.ParkedAt = std::chrono::steady_clock::now();
           ScheduleRetry = true;
           Key = It->second.Key;
           ReqLine = It->second.Line;
           Attempts = It->second.Attempts;
         } else {
+          Finished = true;
+          Entry = std::move(It->second);
           Conn->InFlight.erase(It);
         }
       }
@@ -565,6 +604,72 @@ void RouterServer::onShardFinal(const std::shared_ptr<Connection> &Conn,
       }
       RetryCv.notify_all();
       return; // Swallowed; the client never sees the queue_full.
+    }
+    if (Finished && Entry.Arrival.time_since_epoch().count()) {
+      const auto Now = std::chrono::steady_clock::now();
+      int64_t TotalNs = nsBetween(Entry.Arrival, Now);
+      ForwardLatency.recordNs(TotalNs);
+      json::Value MergedTrace;
+      bool HaveTrace = false;
+      if (!Entry.TraceId.empty() && Parsed.Ok && Parsed.V.isObject()) {
+        // Rebuild the client-visible trace: the router's own spans at
+        // depth 0, with the daemon's spans (offsets relative to *its*
+        // epoch, which begins when the shard read our forward) shifted
+        // to nest inside upstream_wait one level deeper. The clocks are
+        // the same host family but unsynchronized processes; anchoring
+        // the daemon's epoch at our handoff time keeps every offset
+        // consistent to within the socket handoff latency.
+        MergedTrace = json::Value::object();
+        MergedTrace.set("trace_id", Entry.TraceId);
+        json::Value Spans = json::Value::array();
+        pushSpan(Spans, "ring_lookup", 0, Entry.DispatchNs, 0);
+        if (Entry.ParkedNs > 0)
+          pushSpan(Spans, "parked_retry", Entry.DispatchNs, Entry.ParkedNs,
+                   0);
+        int64_t WaitStart =
+            Entry.SentAt.time_since_epoch().count()
+                ? nsBetween(Entry.Arrival, Entry.SentAt)
+                : 0;
+        pushSpan(Spans, "upstream_wait", WaitStart,
+                 TotalNs - WaitStart, 0);
+        if (const json::Value *ShardTrace = Parsed.V.get("trace"))
+          if (const json::Value *ShardSpans = ShardTrace->get("spans");
+              ShardSpans && ShardSpans->isArray())
+            for (const json::Value &S : ShardSpans->items()) {
+              if (!S.isObject())
+                continue;
+              json::Value Shifted = S;
+              if (const json::Value *StartV = S.get("start_us");
+                  StartV && StartV->isNumber())
+                Shifted.set("start_us",
+                            StartV->asNumber() + WaitStart / 1000);
+              if (const json::Value *DepthV = S.get("depth");
+                  DepthV && DepthV->isNumber())
+                Shifted.set("depth", DepthV->asNumber() + 1);
+              Spans.push(std::move(Shifted));
+            }
+        MergedTrace.set("spans", std::move(Spans));
+        HaveTrace = true;
+      }
+      if (Options.SlowRequestMs > 0 &&
+          TotalNs / 1e6 >= Options.SlowRequestMs &&
+          log::enabled(log::Level::Warn)) {
+        log::Event E(log::Level::Warn, "slow_request");
+        E.str("op", OpName);
+        E.str("id", Id);
+        E.num("total_ms", TotalNs / 1e6);
+        E.num("threshold_ms", Options.SlowRequestMs);
+        E.num("shard", static_cast<double>(Shard));
+        if (HaveTrace) {
+          E.str("trace_id", Entry.TraceId);
+          E.json("trace", MergedTrace);
+        }
+      }
+      if (HaveTrace) {
+        Parsed.V.set("trace", std::move(MergedTrace));
+        Conn->send(Parsed.V.dump());
+        return;
+      }
     }
   }
   Conn->send(Line);
@@ -622,6 +727,31 @@ void RouterServer::dispatch(const std::shared_ptr<Connection> &Conn,
                             unsigned Attempts) {
   if (Conn->TearingDown.load() || !Conn->alive())
     return; // The client left; don't touch shard health on its behalf.
+  const auto DispatchStart = std::chrono::steady_clock::now();
+  // Trace/latency state survives spills (the entry is erased and
+  // re-registered per attempt) and re-dispatches (the entry carries it
+  // from the previous attempt): read it once up front. A parked request
+  // being re-dispatched banks its park time here.
+  std::string TraceId;
+  std::chrono::steady_clock::time_point Arrival = DispatchStart;
+  int64_t ParkedNs = 0;
+  int64_t DispatchNs = 0;
+  if (!Id.empty()) {
+    std::lock_guard<std::mutex> Lock(Conn->Mu);
+    auto It = Conn->InFlight.find(Id);
+    if (It != Conn->InFlight.end()) {
+      TraceId = It->second.TraceId;
+      if (It->second.Arrival.time_since_epoch().count())
+        Arrival = It->second.Arrival;
+      ParkedNs = It->second.ParkedNs;
+      DispatchNs = It->second.DispatchNs;
+      if (It->second.ParkedAt.time_since_epoch().count()) {
+        ParkedNs += nsBetween(It->second.ParkedAt, DispatchStart);
+        It->second.ParkedAt = {};
+        It->second.ParkedNs = ParkedNs;
+      }
+    }
+  }
   std::vector<char> Health = shardHealth();
   for (size_t Spill = 0; Spill <= Options.Shards.size(); ++Spill) {
     int Picked = Ring.pick(Key, Health);
@@ -638,11 +768,24 @@ void RouterServer::dispatch(const std::shared_ptr<Connection> &Conn,
       Entry.Line = Line;
       Entry.Key = Key;
       Entry.Attempts = Attempts;
+      Entry.TraceId = TraceId;
+      Entry.Arrival = Arrival;
+      Entry.ParkedNs = ParkedNs;
+      Entry.DispatchNs = DispatchNs;
     }
     if (sendToShard(Conn, Shard, Line)) {
       if (Id.empty()) {
         std::lock_guard<std::mutex> Lock(Conn->Mu);
         Conn->Upstreams[Shard].AnonOps.push_back(OpName);
+      } else {
+        const auto Sent = std::chrono::steady_clock::now();
+        std::lock_guard<std::mutex> Lock(Conn->Mu);
+        auto It = Conn->InFlight.find(Id);
+        if (It != Conn->InFlight.end() && It->second.Shard == Shard) {
+          It->second.SentAt = Sent;
+          It->second.DispatchNs =
+              DispatchNs + nsBetween(DispatchStart, Sent);
+        }
       }
       std::lock_guard<std::mutex> Lock(CounterMu);
       ++Counters.Forwarded;
@@ -658,6 +801,12 @@ void RouterServer::dispatch(const std::shared_ptr<Connection> &Conn,
     }
     markShardDown(Shard);
     Health[Shard] = 0;
+  }
+  // The unavailable frame is this request's final: make sure no stale
+  // entry outlives it (handleLine pre-registers traced requests).
+  if (!Id.empty()) {
+    std::lock_guard<std::mutex> Lock(Conn->Mu);
+    Conn->InFlight.erase(Id);
   }
   {
     std::lock_guard<std::mutex> Lock(CounterMu);
@@ -779,7 +928,30 @@ void RouterServer::handleLine(const std::shared_ptr<Connection> &Conn,
       return;
     }
   }
-  dispatch(Conn, shardKeyForRequest(Req), Parsed.OpName, Req.Id, Line,
+
+  // A traced forward needs a trace id the shard will echo back: adopt
+  // the client's, or mint one and inject it into the forwarded line (a
+  // parse/set/dump round-trip preserves unknown members, so the shard
+  // sees an otherwise-identical request). The InFlight entry is
+  // pre-registered here — before dispatch — to pin Arrival at true
+  // request arrival; dispatch preserves it across spill re-registration.
+  std::string SendLine = Line;
+  if (Req.Route.Trace && !Req.Id.empty()) {
+    std::string TraceId = Req.Route.TraceId;
+    if (TraceId.empty()) {
+      TraceId = generateTraceId();
+      if (json::ParseResult Raw = json::parse(Line);
+          Raw.Ok && Raw.V.isObject()) {
+        Raw.V.set("trace_id", TraceId);
+        SendLine = Raw.V.dump();
+      }
+    }
+    std::lock_guard<std::mutex> Lock(Conn->Mu);
+    Connection::Tracked &Entry = Conn->InFlight[Req.Id];
+    Entry.TraceId = TraceId;
+    Entry.Arrival = std::chrono::steady_clock::now();
+  }
+  dispatch(Conn, shardKeyForRequest(Req), Parsed.OpName, Req.Id, SendLine,
            /*Attempts=*/0);
 }
 
@@ -925,6 +1097,9 @@ json::Value RouterServer::statsJson() {
     RouterObj.set("unavailable", Counters.Unavailable);
     RouterObj.set("errors", Counters.Errors);
   }
+  json::Value Latency = json::Value::object();
+  Latency.set("forward", ForwardLatency.toJson());
+  RouterObj.set("latency", std::move(Latency));
   size_t UpCount = 0;
   for (char A : Health)
     UpCount += A ? 1 : 0;
@@ -977,8 +1152,7 @@ std::string RouterServer::metricsText() {
       const json::Value *UpV = Entry.get("up");
       if (!Index || !Address || !UpV)
         continue;
-      std::string EscapedAddr;
-      json::escapeString(Address->asString(), EscapedAddr);
+      std::string EscapedAddr = prometheusLabelValue(Address->asString());
       appendPrometheusText(
           Out, json::Value(UpV->asBool()), "qlosure_shard_up",
           formatString("shard=\"%lld\",address=\"%s\"",

@@ -49,6 +49,7 @@
 #ifndef QLOSURE_SERVICE_SHARDROUTER_H
 #define QLOSURE_SERVICE_SHARDROUTER_H
 
+#include "service/Histogram.h"
 #include "service/Protocol.h"
 #include "service/Transport.h"
 #include "support/Error.h"
@@ -104,6 +105,11 @@ struct RouterOptions {
   unsigned MaxRetries = 8;
   /// Per-shard fetch/ping I/O bound (connect + response) in seconds.
   double ShardTimeoutSeconds = 5.0;
+  /// Slow-request threshold in milliseconds for the structured log
+  /// (support/Log.h): an id-tracked forward whose arrival-to-final
+  /// latency reaches it emits one warn-level "slow_request" line (with
+  /// the merged trace when the request was traced). 0 disables it.
+  double SlowRequestMs = 0;
 };
 
 /// Router counters, surfaced in the "router" stats section.
@@ -224,6 +230,11 @@ private:
 
   mutable std::mutex CounterMu;
   RouterCounters Counters;
+
+  /// Arrival-to-final latency of id-tracked forwards (retries and
+  /// re-dispatches included), surfaced under router.latency.forward and
+  /// always on (recording is lock-free).
+  LatencyHistogram ForwardLatency;
 
   std::mutex StopMu;
   std::condition_variable StopCv;

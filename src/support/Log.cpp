@@ -1,0 +1,147 @@
+//===- support/Log.cpp - Leveled structured JSON logging ------------------===//
+//
+// Part of the Qlosure project. Distributed under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "support/Log.h"
+
+#include <atomic>
+#include <chrono>
+#include <cstdio>
+#include <mutex>
+
+namespace qlosure {
+namespace log {
+
+namespace {
+
+struct Sink {
+  std::mutex Mu;
+  std::FILE *File = nullptr; ///< nullptr means stderr.
+
+  ~Sink() {
+    if (File)
+      std::fclose(File);
+  }
+};
+
+Sink &sink() {
+  static Sink S;
+  return S;
+}
+
+std::atomic<int> CurrentLevel{static_cast<int>(Level::Off)};
+
+} // namespace
+
+bool configure(Level Threshold, const std::string &FilePath) {
+  Sink &S = sink();
+  std::lock_guard<std::mutex> Lock(S.Mu);
+  if (!FilePath.empty()) {
+    std::FILE *F = std::fopen(FilePath.c_str(), "a");
+    if (!F)
+      return false;
+    if (S.File)
+      std::fclose(S.File);
+    S.File = F;
+  } else if (S.File) {
+    std::fclose(S.File);
+    S.File = nullptr;
+  }
+  CurrentLevel.store(static_cast<int>(Threshold), std::memory_order_relaxed);
+  return true;
+}
+
+Level threshold() {
+  return static_cast<Level>(CurrentLevel.load(std::memory_order_relaxed));
+}
+
+bool parseLevel(const std::string &Text, Level &Out) {
+  if (Text == "debug")
+    Out = Level::Debug;
+  else if (Text == "info")
+    Out = Level::Info;
+  else if (Text == "warn")
+    Out = Level::Warn;
+  else if (Text == "error")
+    Out = Level::Error;
+  else if (Text == "off")
+    Out = Level::Off;
+  else
+    return false;
+  return true;
+}
+
+const char *levelName(Level L) {
+  switch (L) {
+  case Level::Debug:
+    return "debug";
+  case Level::Info:
+    return "info";
+  case Level::Warn:
+    return "warn";
+  case Level::Error:
+    return "error";
+  case Level::Off:
+    return "off";
+  }
+  return "off";
+}
+
+void flush() {
+  Sink &S = sink();
+  std::lock_guard<std::mutex> Lock(S.Mu);
+  std::fflush(S.File ? S.File : stderr);
+}
+
+Event::Event(Level L, const char *Msg) : Active(enabled(L)) {
+  if (!Active)
+    return;
+  Doc = json::Value::object();
+  double Ts = std::chrono::duration_cast<std::chrono::duration<double>>(
+                  std::chrono::system_clock::now().time_since_epoch())
+                  .count();
+  Doc.set("ts", json::Value(Ts));
+  Doc.set("level", json::Value(std::string(levelName(L))));
+  Doc.set("msg", json::Value(std::string(Msg)));
+}
+
+Event::~Event() {
+  if (!Active)
+    return;
+  std::string Line = Doc.dump();
+  Line.push_back('\n');
+  Sink &S = sink();
+  std::lock_guard<std::mutex> Lock(S.Mu);
+  std::FILE *F = S.File ? S.File : stderr;
+  std::fwrite(Line.data(), 1, Line.size(), F);
+  std::fflush(F);
+}
+
+Event &Event::str(const char *Key, const std::string &V) {
+  if (Active)
+    Doc.set(Key, json::Value(V));
+  return *this;
+}
+
+Event &Event::num(const char *Key, double V) {
+  if (Active)
+    Doc.set(Key, json::Value(V));
+  return *this;
+}
+
+Event &Event::boolean(const char *Key, bool V) {
+  if (Active)
+    Doc.set(Key, json::Value(V));
+  return *this;
+}
+
+Event &Event::json(const char *Key, json::Value V) {
+  if (Active)
+    Doc.set(Key, std::move(V));
+  return *this;
+}
+
+} // namespace log
+} // namespace qlosure

@@ -1,0 +1,83 @@
+//===- support/Log.h - Leveled structured JSON logging ------------*- C++ -*-===//
+//
+// Part of the Qlosure project. Distributed under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Process-wide structured logging: one JSON object per line, leveled,
+/// mutex-serialized, written to stderr or a file. Built on support/Json so
+/// every value is correctly escaped and every emitted line is parseable.
+///
+///   log::configure(log::Level::Info, "/var/log/qlosured.jsonl");
+///   if (log::enabled(log::Level::Warn))
+///     log::Event(log::Level::Warn, "queue_full")
+///         .str("endpoint", Addr).num("depth", Depth);
+///
+/// An Event gathers fields builder-style and emits itself on destruction
+/// (a single write under the sink mutex, so concurrent lines never
+/// interleave). Events below the configured level cost one atomic load
+/// and build nothing. The default level is Off: a process that never
+/// calls configure() logs nothing, so library code can log
+/// unconditionally.
+///
+/// Line schema: {"ts":<unix seconds>,"level":"info","msg":"...",<fields>}
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef QLOSURE_SUPPORT_LOG_H
+#define QLOSURE_SUPPORT_LOG_H
+
+#include "support/Json.h"
+
+#include <string>
+
+namespace qlosure {
+namespace log {
+
+enum class Level : int { Debug = 0, Info = 1, Warn = 2, Error = 3, Off = 4 };
+
+/// Installs the process-wide sink. \p FilePath empty means stderr; a
+/// nonempty path is opened in append mode. Returns false (and leaves the
+/// previous sink in place) when the file cannot be opened.
+bool configure(Level Threshold, const std::string &FilePath = "");
+
+/// Current threshold; Events below it are discarded at construction.
+Level threshold();
+inline bool enabled(Level L) {
+  return static_cast<int>(L) >= static_cast<int>(threshold()) &&
+         threshold() != Level::Off;
+}
+
+/// Parses "debug"/"info"/"warn"/"error"/"off". Returns false on anything
+/// else and leaves \p Out untouched.
+bool parseLevel(const std::string &Text, Level &Out);
+const char *levelName(Level L);
+
+/// Flushes the sink (used by tests reading the log file back).
+void flush();
+
+/// One structured log line. Fields are appended in call order after the
+/// fixed ts/level/msg prefix; the line is emitted on destruction.
+class Event {
+public:
+  Event(Level L, const char *Msg);
+  ~Event();
+  Event(const Event &) = delete;
+  Event &operator=(const Event &) = delete;
+
+  Event &str(const char *Key, const std::string &V);
+  Event &num(const char *Key, double V);
+  Event &boolean(const char *Key, bool V);
+  /// Attaches a pre-built JSON subtree (e.g. a request trace).
+  Event &json(const char *Key, json::Value V);
+
+private:
+  bool Active;
+  json::Value Doc;
+};
+
+} // namespace log
+} // namespace qlosure
+
+#endif // QLOSURE_SUPPORT_LOG_H

@@ -1,0 +1,55 @@
+//===- support/Trace.cpp - Request-scoped span recorder -------------------===//
+//
+// Part of the Qlosure project. Distributed under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "support/Trace.h"
+
+#include <atomic>
+#include <cstdio>
+
+namespace qlosure {
+
+json::Value Trace::toJson(Clock::time_point Now) const {
+  json::Value Doc = json::Value::object();
+  Doc.set("trace_id", json::Value(Id));
+  int64_t NowNs = sinceEpochNs(Now);
+  json::Value Arr = json::Value::array();
+  for (const Span &S : Spans) {
+    json::Value J = json::Value::object();
+    J.set("name", json::Value(std::string(S.Name)));
+    J.set("start_us", json::Value(static_cast<double>(S.StartNs / 1000)));
+    int64_t Dur = S.DurNs >= 0 ? S.DurNs : NowNs - S.StartNs;
+    if (Dur < 0)
+      Dur = 0;
+    J.set("dur_us", json::Value(static_cast<double>(Dur / 1000)));
+    J.set("depth", json::Value(static_cast<double>(S.Depth)));
+    Arr.push(std::move(J));
+  }
+  Doc.set("spans", std::move(Arr));
+  if (Dropped > 0)
+    Doc.set("dropped_spans", json::Value(static_cast<double>(Dropped)));
+  return Doc;
+}
+
+std::string generateTraceId() {
+  static std::atomic<uint64_t> Counter{0};
+  uint64_t C = Counter.fetch_add(1, std::memory_order_relaxed);
+  uint64_t T = static_cast<uint64_t>(
+      std::chrono::steady_clock::now().time_since_epoch().count());
+  // splitmix64 over the combined word: well-distributed ids without
+  // carrying RNG state (and without touching any routing RNG).
+  uint64_t X = T + 0x9e3779b97f4a7c15ull * (C + 1);
+  X ^= X >> 30;
+  X *= 0xbf58476d1ce4e5b9ull;
+  X ^= X >> 27;
+  X *= 0x94d049bb133111ebull;
+  X ^= X >> 31;
+  char Buf[17];
+  std::snprintf(Buf, sizeof(Buf), "%016llx",
+                static_cast<unsigned long long>(X));
+  return std::string(Buf, 16);
+}
+
+} // namespace qlosure

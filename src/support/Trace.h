@@ -1,0 +1,184 @@
+//===- support/Trace.h - Request-scoped span recorder -------------*- C++ -*-===//
+//
+// Part of the Qlosure project. Distributed under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A lightweight, request-scoped span recorder for end-to-end tracing.
+///
+/// One Trace instance belongs to one request; it is not thread-safe and is
+/// threaded by pointer through the layers a request visits (server handler,
+/// scheduler worker, routing kernel). A null Trace* everywhere means
+/// "tracing off": every instrumentation site is a single pointer test, the
+/// hot loop allocates nothing, and routed output is byte-identical.
+///
+/// Spans are stored in one flat pooled vector of (name, start, duration,
+/// depth) records relative to a per-request epoch. Names must be string
+/// literals (the recorder stores the pointer, never copies). Nesting is
+/// tracked with an explicit open-span stack so the depth of each span is
+/// known without building a tree; consumers reconstruct the hierarchy from
+/// (start, duration, depth). Spans whose clock reads happened elsewhere
+/// (e.g. queue wait measured between submit and worker pickup) are added
+/// after the fact with explicit offsets.
+///
+/// The span pool is capped; once full, further begins are counted as
+/// dropped instead of recorded, so a pathological caller cannot balloon a
+/// response.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef QLOSURE_SUPPORT_TRACE_H
+#define QLOSURE_SUPPORT_TRACE_H
+
+#include "support/Json.h"
+
+#include <chrono>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace qlosure {
+
+class Trace {
+public:
+  using Clock = std::chrono::steady_clock;
+
+  struct Span {
+    const char *Name = "";
+    int64_t StartNs = 0;
+    int64_t DurNs = -1; ///< -1 while open.
+    int Depth = 0;
+  };
+
+  /// Hard cap on recorded spans per request.
+  static constexpr size_t MaxSpans = 4096;
+
+  Trace() { Spans.reserve(64); }
+
+  /// Rearms the recorder for a new request. \p TraceId is the request's
+  /// wire-visible correlation id; \p Epoch anchors all offsets.
+  void reset(std::string TraceId, Clock::time_point Epoch = Clock::now()) {
+    Id = std::move(TraceId);
+    Base = Epoch;
+    Spans.clear();
+    OpenStack.clear();
+    Dropped = 0;
+  }
+
+  Clock::time_point epoch() const { return Base; }
+  const std::string &traceId() const { return Id; }
+
+  /// Opens a nested span. \p Name must be a string literal (the pointer is
+  /// stored). Returns the span index to pass to end(), or -1 if the pool
+  /// is full (end(-1) is a no-op).
+  int begin(const char *Name) {
+    if (Spans.size() >= MaxSpans) {
+      ++Dropped;
+      return -1;
+    }
+    Span S;
+    S.Name = Name;
+    S.StartNs = sinceEpochNs(Clock::now());
+    S.Depth = static_cast<int>(OpenStack.size());
+    int Idx = static_cast<int>(Spans.size());
+    Spans.push_back(S);
+    OpenStack.push_back(Idx);
+    return Idx;
+  }
+
+  /// Closes the span returned by begin(). Out-of-order ends close every
+  /// span opened after it as well (they share the end timestamp), so a
+  /// missed end() deeper in the stack cannot corrupt later nesting.
+  void end(int Idx) {
+    if (Idx < 0)
+      return;
+    int64_t Now = sinceEpochNs(Clock::now());
+    while (!OpenStack.empty()) {
+      int Open = OpenStack.back();
+      OpenStack.pop_back();
+      if (Spans[Open].DurNs < 0)
+        Spans[Open].DurNs = Now - Spans[Open].StartNs;
+      if (Open == Idx)
+        break;
+    }
+  }
+
+  /// Records a span whose endpoints were measured elsewhere. Nested under
+  /// the currently open span, if any.
+  void add(const char *Name, Clock::time_point Start, Clock::time_point End) {
+    addNs(Name, sinceEpochNs(Start), sinceEpochNs(End) - sinceEpochNs(Start));
+  }
+
+  /// Same, with raw epoch-relative offsets (used when merging a remote
+  /// trace whose clock is not ours).
+  void addNs(const char *Name, int64_t StartNs, int64_t DurNs) {
+    if (Spans.size() >= MaxSpans) {
+      ++Dropped;
+      return;
+    }
+    Span S;
+    S.Name = Name;
+    S.StartNs = StartNs;
+    S.DurNs = DurNs < 0 ? 0 : DurNs;
+    S.Depth = static_cast<int>(OpenStack.size());
+    Spans.push_back(S);
+  }
+
+  const std::vector<Span> &spans() const { return Spans; }
+  size_t dropped() const { return Dropped; }
+
+  int64_t sinceEpochNs(Clock::time_point T) const {
+    return std::chrono::duration_cast<std::chrono::nanoseconds>(T - Base)
+        .count();
+  }
+
+  /// Serializes the trace for the wire:
+  ///   {"trace_id":"...","spans":[{"name","start_us","dur_us","depth"},...]}
+  /// Open spans are closed at \p Now first so a trace snapshot taken
+  /// mid-request is still well-formed.
+  json::Value toJson(Clock::time_point Now = Clock::now()) const;
+
+private:
+  std::string Id;
+  Clock::time_point Base{};
+  std::vector<Span> Spans;
+  std::vector<int> OpenStack;
+  size_t Dropped = 0;
+};
+
+/// RAII span. Null-safe: a null Trace* makes construction and destruction
+/// a pointer test each.
+class ScopedSpan {
+public:
+  ScopedSpan(Trace *T, const char *Name) : T(T) {
+    if (T)
+      Idx = T->begin(Name);
+  }
+  ~ScopedSpan() {
+    if (T)
+      T->end(Idx);
+  }
+  ScopedSpan(const ScopedSpan &) = delete;
+  ScopedSpan &operator=(const ScopedSpan &) = delete;
+
+  /// Ends the span early (idempotent).
+  void done() {
+    if (T)
+      T->end(Idx);
+    T = nullptr;
+  }
+
+private:
+  Trace *T = nullptr;
+  int Idx = -1;
+};
+
+/// Generates a 16-hex-digit request trace id from a process-wide counter
+/// mixed with the clock; unique enough for log correlation, not
+/// cryptographic.
+std::string generateTraceId();
+
+} // namespace qlosure
+
+#endif // QLOSURE_SUPPORT_TRACE_H

@@ -32,9 +32,11 @@
 
 #include <atomic>
 #include <cctype>
+#include <chrono>
 #include <functional>
 #include <map>
 #include <memory>
+#include <set>
 #include <string>
 #include <thread>
 #include <vector>
@@ -448,6 +450,16 @@ TEST(ShardRouterTest, StatsAggregateAndMetricsCoverEveryCounter) {
 
   std::function<void(const json::Value &, const std::string &)> CheckLeaves =
       [&](const json::Value &Node, const std::string &Path) {
+        if (isHistogramJson(Node)) {
+          // Histogram leaves render as one typed family, not as walked
+          // members: _bucket / _sum / _count carry the data.
+          std::string Name = "qlosure_aggregate_" + Path;
+          EXPECT_NE(Text.find(Name + "_bucket{"), std::string::npos)
+              << "histogram missing from /metrics: " << Name;
+          EXPECT_NE(Text.find(Name + "_sum"), std::string::npos) << Name;
+          EXPECT_NE(Text.find(Name + "_count"), std::string::npos) << Name;
+          return;
+        }
         if (Node.isObject()) {
           for (const auto &Member : Node.members())
             CheckLeaves(Member.second,
@@ -465,6 +477,80 @@ TEST(ShardRouterTest, StatsAggregateAndMetricsCoverEveryCounter) {
             << "aggregate counter missing from /metrics: " << Name;
       };
   CheckLeaves(*Aggregate, "");
+
+  // The router's own forward-latency histogram is always on.
+  const json::Value *Forward =
+      RouterSec->get("latency") ? RouterSec->get("latency")->get("forward")
+                                : nullptr;
+  ASSERT_NE(Forward, nullptr) << Response;
+  ASSERT_TRUE(isHistogramJson(*Forward));
+}
+
+TEST(ShardRouterTest, TracedRouteMergesRouterAndDaemonSpans) {
+  FleetFixture Fleet(2);
+  Client Conn = Fleet.connect();
+
+  json::Value Req = routeRequest(sampleQasm());
+  Req.set("id", "r1");
+  Req.set("trace", true);
+  const auto Before = std::chrono::steady_clock::now();
+  std::string Response;
+  ASSERT_TRUE(Conn.request(Req.dump(), Response).ok());
+  const double WallUs = std::chrono::duration<double, std::micro>(
+                            std::chrono::steady_clock::now() - Before)
+                            .count();
+  json::Value Doc = parseResponse(Response);
+  ASSERT_TRUE(responseOk(Doc)) << Response;
+
+  const json::Value *TraceObj = Doc.get("trace");
+  ASSERT_NE(TraceObj, nullptr) << Response;
+  // No trace_id was supplied: the router minted one and it survived the
+  // round trip through the shard.
+  const std::string TraceId = TraceObj->get("trace_id")->asString();
+  EXPECT_EQ(TraceId.size(), 16u) << Response;
+
+  const json::Value *Spans = TraceObj->get("spans");
+  ASSERT_NE(Spans, nullptr);
+  std::set<std::string> DepthZero;
+  double DepthZeroSumUs = 0;
+  double UpstreamStartUs = -1, UpstreamDurUs = -1;
+  bool SawNestedDaemonSpan = false;
+  for (const json::Value &S : Spans->items()) {
+    const std::string Name = S.get("name")->asString();
+    const double Depth = S.get("depth")->asNumber();
+    if (Depth == 0) {
+      DepthZero.insert(Name);
+      DepthZeroSumUs += S.get("dur_us")->asNumber();
+    }
+    if (Name == "upstream_wait") {
+      UpstreamStartUs = S.get("start_us")->asNumber();
+      UpstreamDurUs = S.get("dur_us")->asNumber();
+    }
+    // The daemon's phase spans nest one level below the router's.
+    if (Name == "routing_loop" || Name == "context_build") {
+      EXPECT_GE(Depth, 1) << Response;
+      SawNestedDaemonSpan = true;
+      EXPECT_GE(S.get("start_us")->asNumber(), UpstreamStartUs) << Response;
+    }
+  }
+  EXPECT_TRUE(DepthZero.count("ring_lookup")) << Response;
+  ASSERT_TRUE(DepthZero.count("upstream_wait")) << Response;
+  EXPECT_TRUE(SawNestedDaemonSpan) << Response;
+  EXPECT_GT(UpstreamDurUs, 0) << Response;
+  // Router depth-0 spans are sequential: they cannot exceed the
+  // client-observed wall clock.
+  EXPECT_LE(DepthZeroSumUs, WallUs) << Response;
+
+  // A client-supplied trace_id passes through both tiers untouched.
+  json::Value Custom = routeRequest(sampleQasm(1));
+  Custom.set("id", "r2");
+  Custom.set("trace", true);
+  Custom.set("trace_id", "client-chose-this");
+  ASSERT_TRUE(Conn.request(Custom.dump(), Response).ok());
+  json::Value Doc2 = parseResponse(Response);
+  ASSERT_TRUE(responseOk(Doc2)) << Response;
+  EXPECT_EQ(Doc2.get("trace")->get("trace_id")->asString(),
+            "client-chose-this");
 }
 
 TEST(ShardRouterTest, QueueFullRetriesBehindTheScenes) {

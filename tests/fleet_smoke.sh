@@ -74,6 +74,34 @@ echo "fleet-smoke: routed through the router (cold)"
 grep -q '"verified":true' "$RESP"
 echo "fleet-smoke: repeated request hit the owning shard's cache"
 
+# A traced route through the router must return the merged span tree:
+# the router's own spans (ring_lookup, upstream_wait) plus the daemon's
+# nested phases, and the depth-0 spans — sequential phases of one
+# request — must sum to no more than the client-observed wall clock.
+# A different mapper keeps this request out of the result cache, so the
+# routing_loop phase actually runs.
+START_NS=$(date +%s%N)
+"$BIN_DIR/qlosure-client" --connect "$ROUTER_SOCK" \
+  route --mapper sabre --backend aspen16 --stats-only --trace "$QASM" \
+  > "$RESP" 2>/dev/null
+WALL_US=$(( ($(date +%s%N) - START_NS) / 1000 ))
+grep -q '"trace_id":"' "$RESP"
+grep -q '"name":"ring_lookup"' "$RESP"
+grep -q '"name":"upstream_wait"' "$RESP"
+grep -q '"name":"routing_loop"' "$RESP"
+DEPTH0_US=0
+DEPTH0_SEEN=0
+for DUR in $(tr '{' '\n' < "$RESP" |
+             sed -n 's/.*"dur_us":\([0-9]*\),"depth":0.*/\1/p'); do
+  DEPTH0_US=$((DEPTH0_US + DUR))
+  DEPTH0_SEEN=1
+done
+[[ "$DEPTH0_SEEN" -eq 1 && "$DEPTH0_US" -le "$WALL_US" ]] || {
+  echo "fleet-smoke: depth-0 span total ${DEPTH0_US}us exceeds wall clock ${WALL_US}us" >&2
+  exit 1
+}
+echo "fleet-smoke: traced route returned merged spans (depth-0 ${DEPTH0_US}us <= wall ${WALL_US}us)"
+
 # The aggregated stats document must carry the router section with both
 # shards up, and an aggregate summing the shard counters.
 "$BIN_DIR/qlosure-client" --connect "$ROUTER_SOCK" stats > "$RESP" 2>/dev/null
@@ -89,7 +117,12 @@ grep -q '^# TYPE qlosure_router_requests gauge' "$METRICS"
 grep -q '^qlosure_shard_up{shard="0"' "$METRICS"
 grep -q '^qlosure_shard_up{shard="1"' "$METRICS"
 grep -Eq '^qlosure_aggregate_server_route_requests [0-9]' "$METRICS"
-echo "fleet-smoke: protocol metrics op serves Prometheus text"
+# The per-op latency histograms aggregate across shards into classic
+# Prometheus histogram series.
+grep -q '^# TYPE qlosure_aggregate_latency_route histogram' "$METRICS"
+grep -Eq '^qlosure_aggregate_latency_route_bucket\{le="[^"]*"\} [0-9]' "$METRICS"
+grep -Eq '^qlosure_aggregate_latency_route_count [0-9]' "$METRICS"
+echo "fleet-smoke: protocol metrics op serves Prometheus text (incl. histograms)"
 
 # /metrics over plain HTTP (the scrape path): same exposition, reachable
 # with nothing but a TCP socket.

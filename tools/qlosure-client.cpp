@@ -16,6 +16,12 @@
 ///                                   (raw JSON on stdout; a short human
 ///                                   summary incl. the affine replay
 ///                                   counters on stderr)
+///       --watch N                   re-poll every N seconds forever,
+///                                   printing one delta line per interval
+///                                   to stderr (requests/s and the result
+///                                   cache hit rate over the interval);
+///                                   stdout still carries each raw
+///                                   document, one JSON line per poll
 ///     metrics                       print the Prometheus text exposition
 ///                                   (the same counters as stats)
 ///     shutdown                      ask the daemon to stop gracefully
@@ -46,6 +52,10 @@
 ///       --id STR                    correlation id (default "r1" when a
 ///                                   v2 feature below needs one)
 ///       --progress                  stream progress events to stderr
+///       --trace                     request per-phase tracing; the final
+///                                   response carries a "trace" section
+///                                   and an indented span tree prints to
+///                                   stderr
 ///       --cancel-after-ms N         send a `cancel` for this route N ms
 ///                                   after submitting it (client-side
 ///                                   abort; the printed final response is
@@ -99,6 +109,70 @@ int transportError(const Status &S) {
   return 3;
 }
 
+/// Renders the response's "trace" section as an indented span tree on
+/// stderr (depth → indent; offsets and durations in milliseconds).
+void printTrace(const json::Value &Response) {
+  const json::Value *TraceObj = Response.get("trace");
+  if (!TraceObj || !TraceObj->isObject())
+    return;
+  const json::Value *TraceId = TraceObj->get("trace_id");
+  std::fprintf(stderr, "trace %s:\n",
+               TraceId && TraceId->isString() ? TraceId->asString().c_str()
+                                              : "?");
+  const json::Value *Spans = TraceObj->get("spans");
+  if (!Spans || !Spans->isArray())
+    return;
+  for (const json::Value &Span : Spans->items()) {
+    if (!Span.isObject())
+      continue;
+    const json::Value *Name = Span.get("name");
+    const json::Value *Start = Span.get("start_us");
+    const json::Value *Dur = Span.get("dur_us");
+    const json::Value *Depth = Span.get("depth");
+    int Indent = Depth && Depth->isNumber()
+                     ? static_cast<int>(Depth->asNumber())
+                     : 0;
+    std::fprintf(stderr, "  %*s%-20s +%.3fms %.3fms\n", Indent * 2, "",
+                 Name && Name->isString() ? Name->asString().c_str() : "?",
+                 Start && Start->isNumber() ? Start->asNumber() / 1000.0
+                                            : 0.0,
+                 Dur && Dur->isNumber() ? Dur->asNumber() / 1000.0 : 0.0);
+  }
+  if (const json::Value *Dropped = TraceObj->get("dropped_spans");
+      Dropped && Dropped->isNumber())
+    std::fprintf(stderr, "  (%lld spans dropped)\n",
+                 static_cast<long long>(Dropped->asNumber()));
+}
+
+/// The "server" section of a stats document, whether it came from a
+/// daemon (top-level) or the router (under "aggregate").
+const json::Value *statsServerSection(const json::Value &Doc) {
+  if (const json::Value *Srv = Doc.get("server"); Srv && Srv->isObject())
+    return Srv;
+  if (const json::Value *Agg = Doc.get("aggregate"); Agg && Agg->isObject())
+    if (const json::Value *Srv = Agg->get("server"); Srv && Srv->isObject())
+      return Srv;
+  return nullptr;
+}
+
+/// Likewise for the "result_cache" section.
+const json::Value *statsResultCacheSection(const json::Value &Doc) {
+  if (const json::Value *RC = Doc.get("result_cache"); RC && RC->isObject())
+    return RC;
+  if (const json::Value *Agg = Doc.get("aggregate"); Agg && Agg->isObject())
+    if (const json::Value *RC = Agg->get("result_cache");
+        RC && RC->isObject())
+      return RC;
+  return nullptr;
+}
+
+double numberMember(const json::Value *Obj, const char *Name) {
+  if (!Obj)
+    return 0;
+  const json::Value *V = Obj->get(Name);
+  return V && V->isNumber() ? V->asNumber() : 0;
+}
+
 } // namespace
 
 int main(int Argc, char **Argv) {
@@ -120,6 +194,8 @@ int main(int Argc, char **Argv) {
   double CancelAfterMs = -1;
   uint64_t CalibrationSeed = 1;
   std::string Id;
+  bool TraceRequest = false;
+  double WatchSeconds = 0;
 
   for (int I = 1; I < Argc; ++I) {
     if ((!std::strcmp(Argv[I], "--connect") ||
@@ -142,6 +218,10 @@ int main(int Argc, char **Argv) {
       Id = Argv[++I];
     } else if (!std::strcmp(Argv[I], "--progress")) {
       Progress = true;
+    } else if (!std::strcmp(Argv[I], "--trace")) {
+      TraceRequest = true;
+    } else if (!std::strcmp(Argv[I], "--watch") && I + 1 < Argc) {
+      WatchSeconds = std::strtod(Argv[++I], nullptr);
     } else if (!std::strcmp(Argv[I], "--output") && I + 1 < Argc) {
       OutputPath = Argv[++I];
     } else if (!std::strcmp(Argv[I], "--bidirectional")) {
@@ -226,6 +306,8 @@ int main(int Argc, char **Argv) {
       Req.set("affine", true);
     if (TimeoutMs > 0)
       Req.set("timeout_ms", TimeoutMs);
+    if (TraceRequest)
+      Req.set("trace", true);
     if (StatsOnly)
       Req.set("include_qasm", false);
     Req.set("items", std::move(Items));
@@ -246,8 +328,10 @@ int main(int Argc, char **Argv) {
       Source.assign(std::istreambuf_iterator<char>(In),
                     std::istreambuf_iterator<char>());
     }
-    // The v2 features (cancel, progress events) need a correlation id.
-    if (Id.empty() && (CancelAfterMs >= 0 || Progress))
+    // The v2 features (cancel, progress events) need a correlation id;
+    // a traced route gets one too so the router can merge its spans in
+    // (the daemon alone would trace an id-less request just fine).
+    if (Id.empty() && (CancelAfterMs >= 0 || Progress || TraceRequest))
       Id = "r1";
     json::Value Req = json::Value::object();
     Req.set("op", "route");
@@ -268,6 +352,8 @@ int main(int Argc, char **Argv) {
       Req.set("timeout_ms", TimeoutMs);
     if (Progress)
       Req.set("progress", true);
+    if (TraceRequest)
+      Req.set("trace", true);
     if (StatsOnly)
       Req.set("include_qasm", false);
     RequestLine = Req.dump();
@@ -351,6 +437,8 @@ int main(int Argc, char **Argv) {
     std::fputc('\n', stdout);
   }
 
+  if (Ok && Command == "route")
+    printTrace(Response);
   if (Ok && Command == "stats") {
     // Short human summary on stderr; stdout keeps the raw JSON document
     // so scripted consumers stay unaffected.
@@ -367,6 +455,55 @@ int main(int Argc, char **Argv) {
                    Count("requests"), Count("route_requests"),
                    Count("errors"), Count("affine_replays"),
                    Count("affine_fallbacks"));
+    }
+    if (WatchSeconds > 0) {
+      // --watch: keep the connection and re-poll, turning the absolute
+      // counters into per-interval deltas. Runs until interrupted or the
+      // transport drops.
+      const json::Value *Srv = statsServerSection(Response);
+      const json::Value *Cache = statsResultCacheSection(Response);
+      double PrevRequests = numberMember(Srv, "requests");
+      double PrevHits = numberMember(Cache, "hits");
+      double PrevMisses = numberMember(Cache, "misses");
+      auto PrevAt = std::chrono::steady_clock::now();
+      for (;;) {
+        std::this_thread::sleep_for(
+            std::chrono::duration<double>(WatchSeconds));
+        if (Status S = Conn.sendLine(RequestLine); !S.ok())
+          return transportError(S);
+        std::string PollLine;
+        if (Status S = Conn.recvResponseFor(Id, PollLine, PrintEvent);
+            !S.ok())
+          return transportError(S);
+        json::ParseResult Poll = json::parse(PollLine);
+        if (!Poll.Ok || !Poll.V.isObject())
+          continue;
+        std::fputs(PollLine.c_str(), stdout);
+        std::fputc('\n', stdout);
+        std::fflush(stdout);
+        const auto Now = std::chrono::steady_clock::now();
+        double Interval =
+            std::chrono::duration<double>(Now - PrevAt).count();
+        PrevAt = Now;
+        Srv = statsServerSection(Poll.V);
+        Cache = statsResultCacheSection(Poll.V);
+        double Requests = numberMember(Srv, "requests");
+        double Hits = numberMember(Cache, "hits");
+        double Misses = numberMember(Cache, "misses");
+        double DeltaReq = Requests - PrevRequests;
+        double DeltaLookups = (Hits - PrevHits) + (Misses - PrevMisses);
+        double HitRate =
+            DeltaLookups > 0 ? (Hits - PrevHits) / DeltaLookups * 100.0
+                             : 0.0;
+        std::fprintf(stderr,
+                     "watch: %+.0f requests (%.1f/s), result-cache hit "
+                     "rate %.1f%% over %.1fs\n",
+                     DeltaReq, Interval > 0 ? DeltaReq / Interval : 0.0,
+                     HitRate, Interval);
+        PrevRequests = Requests;
+        PrevHits = Hits;
+        PrevMisses = Misses;
+      }
     }
   }
   if (!Ok)

@@ -21,6 +21,12 @@
 ///     --virtual-nodes N        ring points per shard (default 64)
 ///     --health-interval-ms N   live-shard ping cadence (default 500)
 ///     --retries N              queue_full retries per request (default 8)
+///     --log-level LEVEL        structured JSON logging threshold: debug,
+///                              info, warn, error, off (default off)
+///     --log-file PATH          log sink (appended); default stderr
+///     --slow-ms N              warn-level "slow_request" line for any
+///                              id-tracked forward at or over N ms of
+///                              arrival-to-final latency; 0 disables
 ///
 /// Prints "qlosure-router: listening on ADDR" (and the metrics address
 /// when enabled) once ready. SIGINT/SIGTERM or a client `shutdown` stop
@@ -29,6 +35,7 @@
 //===----------------------------------------------------------------------===//
 
 #include "service/ShardRouter.h"
+#include "support/Log.h"
 
 #include <csignal>
 #include <cstdio>
@@ -49,6 +56,7 @@ int usage(const char *Argv0) {
                "usage: %s --listen ADDR --shard ADDR [--shard ADDR ...]\n"
                "          [--metrics ADDR] [--virtual-nodes N]\n"
                "          [--health-interval-ms N] [--retries N]\n"
+               "          [--log-level LEVEL] [--log-file PATH] [--slow-ms N]\n"
                "  every ADDR is unix:/path, tcp:host:port, or a bare path\n",
                Argv0);
   return 2;
@@ -58,6 +66,8 @@ int usage(const char *Argv0) {
 
 int main(int Argc, char **Argv) {
   RouterOptions Opts;
+  log::Level LogLevel = log::Level::Off;
+  std::string LogFile;
   for (int I = 1; I < Argc; ++I) {
     if (!std::strcmp(Argv[I], "--listen") && I + 1 < Argc) {
       Opts.Listen = Argv[++I];
@@ -74,12 +84,27 @@ int main(int Argc, char **Argv) {
     } else if (!std::strcmp(Argv[I], "--retries") && I + 1 < Argc) {
       Opts.MaxRetries =
           static_cast<unsigned>(std::strtoul(Argv[++I], nullptr, 10));
+    } else if (!std::strcmp(Argv[I], "--log-level") && I + 1 < Argc) {
+      if (!log::parseLevel(Argv[++I], LogLevel)) {
+        std::fprintf(stderr, "qlosure-router: unknown log level \"%s\"\n",
+                     Argv[I]);
+        return usage(Argv[0]);
+      }
+    } else if (!std::strcmp(Argv[I], "--log-file") && I + 1 < Argc) {
+      LogFile = Argv[++I];
+    } else if (!std::strcmp(Argv[I], "--slow-ms") && I + 1 < Argc) {
+      Opts.SlowRequestMs = std::strtod(Argv[++I], nullptr);
     } else {
       return usage(Argv[0]);
     }
   }
   if (Opts.Listen.empty() || Opts.Shards.empty())
     return usage(Argv[0]);
+  if (!log::configure(LogLevel, LogFile)) {
+    std::fprintf(stderr, "qlosure-router: cannot open log file %s\n",
+                 LogFile.c_str());
+    return 1;
+  }
 
   std::signal(SIGINT, onSignal);
   std::signal(SIGTERM, onSignal);

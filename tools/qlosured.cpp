@@ -21,6 +21,13 @@
 ///     --shards N           cache shard count (default 8)
 ///     --timeout SECONDS    default per-request deadline (default 60; 0
 ///                          disables)
+///     --log-level LEVEL    structured JSON logging threshold: debug,
+///                          info, warn, error, off (default off)
+///     --log-file PATH      log sink (appended); default stderr
+///     --slow-ms N          warn-level "slow_request" log line for any
+///                          request at or over N milliseconds (includes
+///                          the trace when the request opted in); 0
+///                          disables (default)
 ///
 /// Prints "qlosured: listening on ADDR" once ready (the resolved address —
 /// for tcp port 0, the kernel-assigned port). SIGINT/SIGTERM (or a client
@@ -30,6 +37,7 @@
 //===----------------------------------------------------------------------===//
 
 #include "service/Server.h"
+#include "support/Log.h"
 
 #include <csignal>
 #include <cstdio>
@@ -49,7 +57,8 @@ int usage(const char *Argv0) {
   std::fprintf(stderr,
                "usage: %s --listen ADDR [--workers N] [--queue N] "
                "[--cache-mb N] [--result-cache-mb N] [--shards N] "
-               "[--timeout SECONDS]\n"
+               "[--timeout SECONDS] [--log-level LEVEL] [--log-file PATH] "
+               "[--slow-ms N]\n"
                "  ADDR is unix:/path, tcp:host:port, or a bare socket path\n"
                "  (--socket PATH remains as an alias for --listen unix:PATH)\n",
                Argv0);
@@ -60,6 +69,8 @@ int usage(const char *Argv0) {
 
 int main(int Argc, char **Argv) {
   ServerOptions Opts;
+  log::Level LogLevel = log::Level::Off;
+  std::string LogFile;
   for (int I = 1; I < Argc; ++I) {
     if ((!std::strcmp(Argv[I], "--listen") ||
          !std::strcmp(Argv[I], "--socket")) &&
@@ -78,12 +89,26 @@ int main(int Argc, char **Argv) {
       Opts.CacheShards = std::strtoull(Argv[++I], nullptr, 10);
     } else if (!std::strcmp(Argv[I], "--timeout") && I + 1 < Argc) {
       Opts.DefaultTimeoutSeconds = std::strtod(Argv[++I], nullptr);
+    } else if (!std::strcmp(Argv[I], "--log-level") && I + 1 < Argc) {
+      if (!log::parseLevel(Argv[++I], LogLevel)) {
+        std::fprintf(stderr, "qlosured: unknown log level \"%s\"\n", Argv[I]);
+        return usage(Argv[0]);
+      }
+    } else if (!std::strcmp(Argv[I], "--log-file") && I + 1 < Argc) {
+      LogFile = Argv[++I];
+    } else if (!std::strcmp(Argv[I], "--slow-ms") && I + 1 < Argc) {
+      Opts.SlowRequestMs = std::strtod(Argv[++I], nullptr);
     } else {
       return usage(Argv[0]);
     }
   }
   if (Opts.Listen.empty())
     return usage(Argv[0]);
+  if (!log::configure(LogLevel, LogFile)) {
+    std::fprintf(stderr, "qlosured: cannot open log file %s\n",
+                 LogFile.c_str());
+    return 1;
+  }
 
   std::signal(SIGINT, onSignal);
   std::signal(SIGTERM, onSignal);
