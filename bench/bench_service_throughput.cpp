@@ -44,6 +44,13 @@
 ///       "all_identical": <bool>,         // traced bytes == direct calls
 ///       "trace_section_ok": <bool>       // trace present iff requested
 ///     },
+///     "dedupe": {                        // in-flight coalescing
+///       "clients": <int>,                // concurrent identical requests
+///       "submitted": <int>,              // scheduler jobs — must be 1
+///       "coalesced": <int>,              // followers attached in flight
+///       "all_identical": <bool>,         // every payload byte-identical
+///       "seconds": <float>
+///     },
 ///     "batch": {                         // one batch op vs N route ops
 ///       "items": <int>,                  // circuits per side (disjoint,
 ///                                        //   equal-composition sets)
@@ -551,6 +558,100 @@ int main(int Argc, char **Argv) {
       Shard->stop();
   }
 
+  // Dedupe: K concurrent identical requests for one uncached deep
+  // circuit against a fresh daemon. Single-flight coalescing must
+  // collapse them onto one scheduler job (submitted == 1 — latecomers
+  // that miss the flight hit the result cache instead, which is the
+  // same dedupe guarantee), and every response must carry the same
+  // routed bytes and stats.
+  const unsigned DedupeClients = Config.Full ? 8 : 6;
+  bool DedupeOk = true, DedupeIdentical = true;
+  uint64_t DedupeSubmitted = 0, DedupeCoalesced = 0;
+  double DedupeSeconds = 0;
+  {
+    ServerOptions DedupeOpts;
+    DedupeOpts.Listen = formatString("/tmp/qlosured-bench-%d-dedupe.sock",
+                                     static_cast<int>(getpid()));
+    DedupeOpts.Workers = Config.Threads;
+    Server DedupeDaemon(DedupeOpts);
+    if (Status S = DedupeDaemon.start(); !S.ok()) {
+      std::fprintf(stderr, "error: cannot start dedupe daemon: %s\n",
+                   S.message().c_str());
+      DedupeOk = false;
+    } else {
+      QuekoSpec Spec;
+      Spec.Depth = Config.Full ? 300 : 200;
+      Spec.Seed = Config.Seed + 3000;
+      QuekoInstance Inst = generateQueko(Gen, Spec);
+      json::Value Req = json::Value::object();
+      Req.set("op", "route");
+      Req.set("qasm", qasm::printQasm(Inst.Circ));
+      Req.set("mapper", "qlosure");
+      Req.set("backend", BackendName);
+      const std::string ReqLine = Req.dump();
+
+      std::vector<std::string> Payloads(DedupeClients);
+      std::atomic<uint64_t> DedupeErrors{0};
+      Timer Wall;
+      std::vector<std::thread> Racers;
+      for (unsigned C = 0; C < DedupeClients; ++C) {
+        Racers.emplace_back([&, C] {
+          Client Conn;
+          json::ParseResult Mine = json::parse(ReqLine);
+          Mine.V.set("id", formatString("dedupe-%u", C));
+          std::string Resp;
+          if (!Conn.connect(DedupeDaemon.boundAddress()).ok() ||
+              !Conn.request(Mine.V.dump(), Resp).ok()) {
+            ++DedupeErrors;
+            return;
+          }
+          json::ParseResult Parsed = json::parse(Resp);
+          const json::Value *Ok = Parsed.Ok ? Parsed.V.get("ok") : nullptr;
+          const json::Value *Qasm = Parsed.Ok ? Parsed.V.get("qasm") : nullptr;
+          const json::Value *St = Parsed.Ok ? Parsed.V.get("stats") : nullptr;
+          if (!Ok || !Ok->asBool() || !Qasm || !St) {
+            ++DedupeErrors;
+            return;
+          }
+          Payloads[C] = St->dump() + "\n" + Qasm->asString();
+        });
+      }
+      for (std::thread &T : Racers)
+        T.join();
+      DedupeSeconds = Wall.elapsedSeconds();
+      for (unsigned C = 1; C < DedupeClients; ++C)
+        DedupeIdentical = DedupeIdentical && Payloads[C] == Payloads[0];
+
+      Client StatsConn;
+      std::string StatsResp;
+      if (StatsConn.connect(DedupeDaemon.boundAddress()).ok() &&
+          StatsConn.request("{\"op\":\"stats\"}", StatsResp).ok()) {
+        json::ParseResult Parsed = json::parse(StatsResp);
+        const json::Value *Sched =
+            Parsed.Ok ? Parsed.V.get("scheduler") : nullptr;
+        const json::Value *Sub = Sched ? Sched->get("submitted") : nullptr;
+        const json::Value *Srv = Parsed.Ok ? Parsed.V.get("server") : nullptr;
+        const json::Value *Coal = Srv ? Srv->get("coalesced") : nullptr;
+        DedupeSubmitted =
+            Sub ? static_cast<uint64_t>(Sub->asNumber()) : ~0ull;
+        DedupeCoalesced = Coal ? static_cast<uint64_t>(Coal->asNumber()) : 0;
+      } else {
+        ++DedupeErrors;
+      }
+      DedupeDaemon.stop();
+      DedupeOk = DedupeErrors.load() == 0 && DedupeIdentical &&
+                 DedupeSubmitted == 1;
+      if (!DedupeOk)
+        std::fprintf(stderr,
+                     "error: dedupe acceptance FAILED (errors=%llu, "
+                     "identical=%d, submitted=%llu, coalesced=%llu)\n",
+                     static_cast<unsigned long long>(DedupeErrors.load()),
+                     DedupeIdentical,
+                     static_cast<unsigned long long>(DedupeSubmitted),
+                     static_cast<unsigned long long>(DedupeCoalesced));
+    }
+  }
+
   CacheStats CtxStats = Daemon.contextCacheStats();
   CacheStats ResStats = Daemon.resultCacheStats();
   Daemon.stop();
@@ -574,6 +675,13 @@ int main(int Argc, char **Argv) {
               NumBatchItems, BatchSeconds, BatchPerItemMs, NumBatchItems,
               IndividualSeconds, IndividualP50, BatchRatio,
               BatchOk ? "yes" : "NO (BUG)");
+  std::printf("\ndedupe: %u concurrent identical cold requests -> %llu "
+              "scheduler job(s), %llu coalesced, identical payloads: %s "
+              "(%.3fs)\n",
+              DedupeClients,
+              static_cast<unsigned long long>(DedupeSubmitted),
+              static_cast<unsigned long long>(DedupeCoalesced),
+              DedupeIdentical ? "yes" : "NO (BUG)", DedupeSeconds);
   std::printf("\ntracing overhead (warm, best of %u): untraced %8.1f req/s, "
               "traced %8.1f req/s -> %+.2f%% (bound: <= 10%%, design "
               "target < 1%%)\n",
@@ -622,6 +730,13 @@ int main(int Argc, char **Argv) {
     BatchObj.set("batch_per_item_ms", BatchPerItemMs);
     BatchObj.set("batch_over_individual", BatchRatio);
     Doc.set("batch", std::move(BatchObj));
+    json::Value DedupeObj = json::Value::object();
+    DedupeObj.set("clients", DedupeClients);
+    DedupeObj.set("submitted", DedupeSubmitted);
+    DedupeObj.set("coalesced", DedupeCoalesced);
+    DedupeObj.set("all_identical", DedupeIdentical);
+    DedupeObj.set("seconds", DedupeSeconds);
+    Doc.set("dedupe", std::move(DedupeObj));
     if (FleetRan) {
       json::Value FleetObj = json::Value::object();
       FleetObj.set("daemons", FleetN);
@@ -652,7 +767,7 @@ int main(int Argc, char **Argv) {
                  "section=%d, overhead %.2f%% vs 10%% bound)\n",
                  TraceIdentical, TraceSectionOk, TracingOverheadPct);
   bool Pass = AllIdentical && Warm.AllCacheHits && Ratio >= 2.0 && BatchOk &&
-              TracingOk && (!FleetRan || FleetOk);
+              TracingOk && DedupeOk && (!FleetRan || FleetOk);
   if (!Pass)
     std::fprintf(stderr, "error: service throughput acceptance FAILED\n");
   return Pass ? 0 : 1;

@@ -263,7 +263,7 @@ std::string service::formatRouteResponse(
     const std::string &Id, const std::string &Mapper,
     const std::string &Backend, const RouteStats &Stats, bool ContextCacheHit,
     bool ResultCacheHit, const std::string &Qasm, bool IncludeQasm,
-    const json::Value *TraceJson) {
+    const json::Value *TraceJson, bool Coalesced) {
   json::Value Obj = responseHead("route", Id, true);
   Obj.set("mapper", Mapper);
   Obj.set("backend", Backend);
@@ -271,6 +271,8 @@ std::string service::formatRouteResponse(
   Obj.set("cache_hit", ContextCacheHit || ResultCacheHit);
   Obj.set("context_cache_hit", ContextCacheHit);
   Obj.set("result_cache_hit", ResultCacheHit);
+  if (Coalesced)
+    Obj.set("coalesced", true);
   if (TraceJson)
     Obj.set("trace", *TraceJson);
   if (IncludeQasm)
@@ -340,7 +342,7 @@ std::string service::formatBatchItemResult(
     const std::string &Mapper, const std::string &Backend,
     const RouteStats &Stats, bool ContextCacheHit, bool ResultCacheHit,
     const std::string &Qasm, bool IncludeQasm,
-    const json::Value *TraceJson) {
+    const json::Value *TraceJson, bool Coalesced) {
   json::Value Obj = batchItemHead(Id, Index, Name);
   Obj.set("mapper", Mapper);
   Obj.set("backend", Backend);
@@ -348,6 +350,8 @@ std::string service::formatBatchItemResult(
   Obj.set("cache_hit", ContextCacheHit || ResultCacheHit);
   Obj.set("context_cache_hit", ContextCacheHit);
   Obj.set("result_cache_hit", ResultCacheHit);
+  if (Coalesced)
+    Obj.set("coalesced", true);
   if (TraceJson)
     Obj.set("trace", *TraceJson);
   if (IncludeQasm)

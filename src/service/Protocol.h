@@ -188,14 +188,17 @@ std::string formatErrorResponse(const char *Op, const std::string &Id,
                                 const std::string &Code,
                                 const std::string &Message);
 /// \p TraceJson, when non-null, is attached as the response's "trace"
-/// member (the Trace::toJson document of a traced request).
+/// member (the Trace::toJson document of a traced request). \p Coalesced
+/// marks a response answered from another identical request's in-flight
+/// route (the response then carries "coalesced":true; absent otherwise).
 std::string formatRouteResponse(const std::string &Id,
                                 const std::string &Mapper,
                                 const std::string &Backend,
                                 const RouteStats &Stats, bool ContextCacheHit,
                                 bool ResultCacheHit, const std::string &Qasm,
                                 bool IncludeQasm,
-                                const json::Value *TraceJson = nullptr);
+                                const json::Value *TraceJson = nullptr,
+                                bool Coalesced = false);
 /// `stats` responses carry an arbitrary server-assembled object.
 std::string formatStatsResponse(const std::string &Id,
                                 const json::Value &Body);
@@ -223,7 +226,8 @@ std::string formatBatchItemResult(const std::string &Id, size_t Index,
                                   const RouteStats &Stats,
                                   bool ContextCacheHit, bool ResultCacheHit,
                                   const std::string &Qasm, bool IncludeQasm,
-                                  const json::Value *TraceJson = nullptr);
+                                  const json::Value *TraceJson = nullptr,
+                                  bool Coalesced = false);
 
 /// A `batch_item` event frame for an item that failed (or was cancelled /
 /// expired): carries an "error" object with the same stable codes as

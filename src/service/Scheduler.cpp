@@ -44,16 +44,17 @@ Scheduler::trySubmit(SchedulerJob Job, std::shared_ptr<JobTicket> Ticket) {
 }
 
 std::vector<std::shared_ptr<JobTicket>>
-Scheduler::trySubmitBatch(std::vector<SchedulerJob> Jobs) {
-  std::vector<std::shared_ptr<JobTicket>> Tickets;
+Scheduler::trySubmitBatch(std::vector<SchedulerJob> Jobs,
+                          std::vector<std::shared_ptr<JobTicket>> Tickets) {
   if (Jobs.empty())
-    return Tickets;
-  Tickets.reserve(Jobs.size());
-  for (SchedulerJob &Job : Jobs) {
-    auto Ticket = std::make_shared<JobTicket>();
-    Ticket->Token.setDeadline(Job.Deadline);
-    Tickets.push_back(std::move(Ticket));
+    return {};
+  if (Tickets.empty()) {
+    Tickets.reserve(Jobs.size());
+    for (size_t I = 0; I < Jobs.size(); ++I)
+      Tickets.push_back(std::make_shared<JobTicket>());
   }
+  for (size_t I = 0; I < Jobs.size(); ++I)
+    Tickets[I]->Token.setDeadline(Jobs[I].Deadline);
   {
     std::lock_guard<std::mutex> Lock(Mu);
     if (ShuttingDown || Queue.size() + Jobs.size() > Capacity) {

@@ -160,9 +160,13 @@ public:
   /// capacity for the whole batch, or shutdown began). On success the
   /// returned tickets parallel \p Jobs; each job's deadline is armed on
   /// its own ticket. A batch larger than the whole queue capacity can
-  /// never be accepted.
+  /// never be accepted. \p Tickets, when non-empty, must parallel
+  /// \p Jobs with fresh (never submitted) tickets — the same
+  /// register-the-handle-first contract as trySubmit's Ticket parameter;
+  /// by default new tickets are created.
   std::vector<std::shared_ptr<JobTicket>>
-  trySubmitBatch(std::vector<SchedulerJob> Jobs);
+  trySubmitBatch(std::vector<SchedulerJob> Jobs,
+                 std::vector<std::shared_ptr<JobTicket>> Tickets = {});
 
   /// Cancels \p Ticket's job: JobTicket::cancel() plus, when the job was
   /// still queued, removal of its entry from the queue — so a cancelled

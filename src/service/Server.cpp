@@ -77,6 +77,33 @@ json::Value cacheStatsJson(const CacheStats &S, size_t ByteBudget) {
   return Obj;
 }
 
+/// The RouteStats block a cached (memory or store) result replays.
+RouteStats statsFromCached(const CachedResult &Cached) {
+  RouteStats Stats;
+  Stats.LogicalGates = Cached.LogicalGates;
+  Stats.RoutedGates = Cached.RoutedGates;
+  Stats.Swaps = Cached.Swaps;
+  Stats.DepthBefore = Cached.DepthBefore;
+  Stats.DepthAfter = Cached.DepthAfter;
+  Stats.MappingSeconds = Cached.MappingSeconds;
+  Stats.TimedOut = Cached.TimedOut;
+  Stats.Verified = Cached.Verified;
+  Stats.SuccessProbability = Cached.SuccessProbability;
+  return Stats;
+}
+
+/// A leader-failure outcome for the followers coalesced onto it: the
+/// leader's own error code, with the message marking that the failure
+/// was inherited (docs/PROTOCOL.md documents the semantics).
+InflightTable::Outcome coalescedFailure(const char *Code,
+                                        const std::string &Message) {
+  InflightTable::Outcome O;
+  O.ErrorCode = Code;
+  O.ErrorMessage = formatString("coalesced leader failed: %s",
+                                Message.c_str());
+  return O;
+}
+
 /// Maps a fired token to its protocol error (code, message).
 std::pair<const char *, const char *>
 cancellationError(const CancellationToken &Token) {
@@ -282,12 +309,26 @@ Status Server::start() {
   if (Options.Listen.empty())
     return Status::error("listen address must not be empty");
 
+  if (!Options.StorePath.empty()) {
+    ResultStoreOptions StoreOpts;
+    StoreOpts.Path = Options.StorePath;
+    StoreOpts.ReadOnly = Options.StoreReadOnly;
+    StoreOpts.FsyncBytes = Options.StoreFsyncBytes;
+    Status StoreErr;
+    Store = ResultStore::open(StoreOpts, StoreErr);
+    if (!Store)
+      return StoreErr;
+  } else if (Options.StoreReadOnly) {
+    return Status::error("--store-read-only requires a store path");
+  }
+
   Endpoint Ep;
   if (Status S = parseEndpoint(Options.Listen, Ep); !S.ok())
     return S;
   if (Status S = Acceptor.listen(Ep, 64); !S.ok())
     return S;
 
+  Inflight = std::make_unique<InflightTable>();
   SchedulerOptions SchedOpts;
   SchedOpts.Workers = Options.Workers;
   SchedOpts.QueueCapacity = Options.QueueCapacity;
@@ -347,6 +388,18 @@ void Server::teardown() {
   // the connections to unblock their readers.
   if (Workers)
     Workers->shutdown();
+  // Every leader has now completed (drained jobs complete their flights
+  // on the way out), so the coalescing table is normally empty; drain
+  // the stragglers with a structured error while the writers still work
+  // — no follower is ever left without its final response.
+  if (Inflight) {
+    InflightTable::Outcome Shutdown;
+    Shutdown.ErrorCode = errc::ShuttingDown;
+    Shutdown.ErrorMessage = "server is shutting down";
+    Inflight->drain(Shutdown);
+  }
+  if (Store)
+    Store->flush();
   {
     std::lock_guard<std::mutex> Lock(ConnMu);
     for (const std::shared_ptr<Connection> &Conn : Conns)
@@ -459,8 +512,15 @@ void Server::connectionLoop(std::shared_ptr<Connection> Conn, size_t Slot) {
     for (const auto &Entry : Conn->InFlightBatches)
       OrphanBatches.push_back(Entry.second);
   }
-  for (const std::shared_ptr<JobTicket> &Ticket : Orphans)
-    Workers->cancel(Ticket);
+  for (const std::shared_ptr<JobTicket> &Ticket : Orphans) {
+    if (Workers->cancel(Ticket) == JobTicket::State::Queued) {
+      // Claimed unrun. If it led a flight, followers on *other*
+      // connections must still get their final response.
+      Inflight->completeByLeader(
+          Ticket, coalescedFailure(errc::Cancelled,
+                                   "leader connection dropped"));
+    }
+  }
   // Batch items are aborted through the same helper the cancel op uses;
   // its frames degrade to no-ops on the latched-closed writer.
   for (const std::shared_ptr<BatchState> &Batch : OrphanBatches)
@@ -565,7 +625,13 @@ void Server::handleCancel(const std::shared_ptr<Connection> &Conn,
   }
   switch (Workers->cancel(Ticket)) {
   case JobTicket::State::Queued: {
-    // Unqueued before it ever ran: this thread owns reporting.
+    // Unqueued before it ever ran: this thread owns reporting. When the
+    // ticket led a coalescing flight, the flight dies with it (its
+    // followers inherit the cancellation as a structured error); a
+    // cancelled *follower* leads nothing, so this is a no-op for it.
+    Inflight->completeByLeader(
+        Ticket,
+        coalescedFailure(errc::Cancelled, "request cancelled while queued"));
     Conn->releaseJob(Req.Id);
     Conn->send(formatCancelResponse(Req.Id, true));
     sendError(*Conn, "route", Req.Id, errc::Cancelled,
@@ -582,6 +648,20 @@ void Server::handleCancel(const std::shared_ptr<Connection> &Conn,
     Conn->send(formatCancelResponse(Req.Id, false));
     return;
   }
+}
+
+std::shared_ptr<const CachedResult>
+Server::lookupResult(const CacheKey &Key) {
+  if (auto Cached = Results.lookup(Key))
+    return Cached;
+  if (!Store)
+    return nullptr;
+  auto FromStore = Store->get(Key);
+  if (!FromStore)
+    return nullptr;
+  // Promote the durable record into the memory cache so the next hit
+  // skips the disk read (insertValue keeps a racing incumbent).
+  return Results.insertValue(Key, std::move(FromStore));
 }
 
 std::shared_ptr<const Server::PooledBackend>
@@ -688,17 +768,8 @@ void Server::handleRoute(const std::shared_ptr<Connection> &Conn,
           (Route.ErrorAware ? 1u : 0u));
   CacheKey ResultKey{CircuitFp, Backend->Fingerprint, MapperConfigFp};
 
-  if (auto Cached = Results.lookup(ResultKey)) {
-    RouteStats Stats;
-    Stats.LogicalGates = Cached->LogicalGates;
-    Stats.RoutedGates = Cached->RoutedGates;
-    Stats.Swaps = Cached->Swaps;
-    Stats.DepthBefore = Cached->DepthBefore;
-    Stats.DepthAfter = Cached->DepthAfter;
-    Stats.MappingSeconds = Cached->MappingSeconds;
-    Stats.TimedOut = Cached->TimedOut;
-    Stats.Verified = Cached->Verified;
-    Stats.SuccessProbability = Cached->SuccessProbability;
+  if (auto Cached = lookupResult(ResultKey)) {
+    RouteStats Stats = statsFromCached(*Cached);
     const auto Now = Trace::Clock::now();
     Histos.Route.recordNs(spanNs(ReqStart, Now));
     if (T) {
@@ -723,6 +794,51 @@ void Server::handleRoute(const std::shared_ptr<Connection> &Conn,
   auto Deadline =
       requestDeadline(Route.TimeoutMs, Options.DefaultTimeoutSeconds);
 
+  // Pre-register the ticket before the coalescing decision and before
+  // submission, so a completion (or a follower delivery) racing this
+  // thread can only ever erase an entry that exists; the connection
+  // thread is the sole inserter, so no other request can slip in
+  // between.
+  auto Ticket = std::make_shared<JobTicket>();
+  if (!Req.Id.empty()) {
+    std::lock_guard<std::mutex> Lock(Conn->JobsMu);
+    Conn->InFlight[Req.Id] = Ticket;
+  }
+
+  // Coalesce: when an identical request (same result key) is already
+  // routing, follow its flight instead of routing again. The follower's
+  // ticket doubles as its claim token — its cancel and deadline work
+  // through the same paths as a queued job's, without touching the
+  // leader.
+  InflightTable::Follower F;
+  F.Ticket = Ticket;
+  F.Deadline = Deadline;
+  F.Deliver = [this, Conn, Id = Req.Id, Mapper = Route.Mapper,
+               BackendName = Route.Backend,
+               IncludeQasm = Route.IncludeQasm,
+               ReqStart](const InflightTable::Outcome &O) {
+    Histos.Route.recordNs(spanNs(ReqStart, Trace::Clock::now()));
+    Conn->releaseJob(Id);
+    if (!O.Ok) {
+      sendError(*Conn, "route", Id, O.ErrorCode, O.ErrorMessage);
+      return;
+    }
+    Conn->send(formatRouteResponse(Id, Mapper, BackendName, O.Stats,
+                                   O.ContextHit, /*ResultCacheHit=*/false,
+                                   O.Cached->RoutedQasm, IncludeQasm,
+                                   /*TraceJson=*/nullptr,
+                                   /*Coalesced=*/true));
+  };
+  if (!Inflight->leadOrFollow(ResultKey, Ticket, std::move(F))) {
+    std::lock_guard<std::mutex> Lock(CounterMu);
+    ++Counters.Coalesced;
+    return;
+  }
+
+  // This request leads: it owns the scheduler job, and every completion
+  // path below also completes the flight (delivering any followers that
+  // coalesced onto it meanwhile).
+
   // Everything the worker needs, captured by value / shared ownership:
   // the parsed circuit, the pooled backend, the connection writer, and
   // the request parameters — minus the raw QASM source, which only the
@@ -746,7 +862,12 @@ void Server::handleRoute(const std::shared_ptr<Connection> &Conn,
 
   SchedulerJob Job;
   Job.Deadline = Deadline;
-  Job.OnExpired = [this, Conn, Id = Req.Id] {
+  Job.OnExpired = [this, Conn, Id = Req.Id, ResultKey] {
+    Inflight->complete(
+        ResultKey,
+        coalescedFailure(errc::DeadlineExceeded,
+                         "deadline passed before a worker picked the "
+                         "request up"));
     Conn->releaseJob(Id);
     sendError(*Conn, "route", Id, errc::DeadlineExceeded,
               "deadline passed before a worker picked the request up");
@@ -785,14 +906,27 @@ void Server::handleRoute(const std::shared_ptr<Connection> &Conn,
                      T.get(), Done);
     if (Out.Cancelled) {
       auto [Code, Message] = cancellationError(Cancel);
+      // Followers are delivered first: the leader's possibly-slow writer
+      // must not delay their (other connections') responses.
+      Inflight->complete(ResultKey, coalescedFailure(Code, Message));
       Conn->releaseJob(Id);
       sendError(*Conn, "route", Id, Code, Message);
       return;
     }
     if (Out.ErrorCode) {
+      Inflight->complete(ResultKey,
+                         coalescedFailure(Out.ErrorCode, Out.ErrorMessage));
       Conn->releaseJob(Id);
       sendError(*Conn, "route", Id, Out.ErrorCode, Out.ErrorMessage);
       return;
+    }
+    {
+      InflightTable::Outcome FlightOut;
+      FlightOut.Ok = true;
+      FlightOut.ContextHit = Out.ContextHit;
+      FlightOut.Stats = Out.Stats;
+      FlightOut.Cached = Out.Cached;
+      Inflight->complete(ResultKey, FlightOut);
     }
     Conn->releaseJob(Id);
     if (T) {
@@ -811,22 +945,14 @@ void Server::handleRoute(const std::shared_ptr<Connection> &Conn,
     }
   };
 
-  // Pre-register the ticket before submission so a completion racing this
-  // thread can only ever erase an entry that exists; the connection
-  // thread is the sole inserter, so no other request can slip in between.
-  auto Ticket = std::make_shared<JobTicket>();
-  if (!Req.Id.empty()) {
-    std::lock_guard<std::mutex> Lock(Conn->JobsMu);
-    Conn->InFlight[Req.Id] = Ticket;
-  }
   if (!Workers->trySubmit(std::move(Job), Ticket)) {
+    const char *Code = Stopping.load() ? errc::ShuttingDown : errc::QueueFull;
+    const char *Message = Stopping.load()
+                              ? "server is shutting down"
+                              : "scheduler queue is full, retry later";
+    Inflight->complete(ResultKey, coalescedFailure(Code, Message));
     Conn->releaseJob(Req.Id);
-    if (Stopping.load())
-      sendError(*Conn, "route", Req.Id, errc::ShuttingDown,
-                "server is shutting down");
-    else
-      sendError(*Conn, "route", Req.Id, errc::QueueFull,
-                "scheduler queue is full, retry later");
+    sendError(*Conn, "route", Req.Id, Code, Message);
   }
 }
 
@@ -938,6 +1064,11 @@ Server::executeRoute(const std::shared_ptr<Circuit> &Logical,
   Out.Stats.Verified = true;
   Out.Stats.SuccessProbability = Cached->SuccessProbability;
   Out.Cached = Results.insertValue(ResultKey, std::move(Cached));
+  // Persist the routed result. Failures are counted in the store's own
+  // stats and never fail the request — durability is an optimization,
+  // not a correctness requirement.
+  if (Store)
+    Store->put(ResultKey, *Out.Cached);
   return Out;
 }
 
@@ -966,6 +1097,12 @@ bool Server::cancelBatch(const std::shared_ptr<BatchState> &Batch) {
     switch (Workers->cancel(Ticket)) {
     case JobTicket::State::Queued:
       // Claimed away from the workers unrun: this thread owns reporting.
+      // An item leading a coalescing flight takes its followers' answers
+      // with it (as a structured error); a cancelled follower item leads
+      // nothing, so the call is a no-op for it.
+      Inflight->completeByLeader(
+          Ticket,
+          coalescedFailure(errc::Cancelled, "item cancelled while queued"));
       AnyLive = true;
       Batch->Conn->send(formatBatchItemError(Batch->Id, Index,
                                              Batch->Names[Index],
@@ -1065,40 +1202,39 @@ void Server::handleBatch(const std::shared_ptr<Connection> &Conn,
     size_t Index;
     std::shared_ptr<const CachedResult> Cached;
   };
+  // An item whose key matches a flight already in the air (a foreign
+  // request's route, or an earlier identical item of this same batch).
+  // It must not route again — but it also must not attach yet: a foreign
+  // flight could complete (and deliver this item's frame) before the
+  // all-or-nothing submission decision below, and a rejected batch emits
+  // no item frames. Candidates are resolved only after submission.
+  struct CoalesceCandidate {
+    size_t Index;
+    std::shared_ptr<Circuit> Logical;
+    uint64_t CircuitFp;
+    CacheKey ResultKey;
+    std::shared_ptr<JobTicket> Ticket;
+  };
   std::vector<InlineFailure> Failures;
   std::vector<InlineHit> Hits;
+  std::vector<CoalesceCandidate> Candidates;
   std::vector<SchedulerJob> Jobs;
   std::vector<size_t> JobIndex; // Jobs[J] routes item JobIndex[J].
-  for (size_t I = 0; I < Total; ++I) {
-    qasm::ImportResult Imported =
-        qasm::importQasm(Req.Items[I].Qasm, "request");
-    if (!Imported.succeeded()) {
-      Failures.push_back({I, errc::BadQasm, Imported.Error});
-      continue;
-    }
-    auto Logical = std::make_shared<Circuit>(
-        Imported.Circ->withoutNonUnitaries().decomposeThreeQubitGates());
-    if (Logical->numQubits() > Backend->Graph->numQubits()) {
-      Failures.push_back(
-          {I, errc::TooLarge,
-           formatString("circuit has %u qubits but %s only has %u",
-                        Logical->numQubits(), Route.Backend.c_str(),
-                        Backend->Graph->numQubits())});
-      continue;
-    }
-    uint64_t CircuitFp = fingerprint(*Logical);
-    uint64_t MapperConfigFp = hashCombine(
-        fingerprintString(Route.Mapper),
-        (Route.Affine ? 4u : 0u) | (Route.Bidirectional ? 2u : 0u) |
-            (Route.ErrorAware ? 1u : 0u));
-    CacheKey ResultKey{CircuitFp, Backend->Fingerprint, MapperConfigFp};
-    if (auto Cached = Results.lookup(ResultKey)) {
-      Hits.push_back({I, std::move(Cached)});
-      continue;
-    }
+  std::vector<std::shared_ptr<JobTicket>> LeaderTickets; // Parallels Jobs.
+
+  // Builds the scheduler job for an item that leads its flight. Every
+  // terminal path completes the flight (delivering any followers) before
+  // reporting through this batch's own frames.
+  auto MakeLeaderJob = [&](size_t I, std::shared_ptr<Circuit> Logical,
+                           uint64_t CircuitFp, CacheKey ResultKey) {
     SchedulerJob Job;
     Job.Deadline = Deadline;
-    Job.OnExpired = [this, Batch, I] {
+    Job.OnExpired = [this, Batch, I, ResultKey] {
+      Inflight->complete(
+          ResultKey,
+          coalescedFailure(errc::DeadlineExceeded,
+                           "deadline passed before a worker picked the item "
+                           "up"));
       Batch->Conn->send(formatBatchItemError(
           Batch->Id, I, Batch->Names[I], errc::DeadlineExceeded,
           "deadline passed before a worker picked the item up"));
@@ -1131,6 +1267,9 @@ void Server::handleBatch(const std::shared_ptr<Connection> &Conn,
                        Options.SlowRequestMs, T.get(), Done);
       if (Out.Cancelled) {
         auto [Code, Message] = cancellationError(Cancel);
+        // Followers are delivered first: the leader's possibly-slow
+        // writer must not delay their (other connections') responses.
+        Inflight->complete(ResultKey, coalescedFailure(Code, Message));
         Batch->Conn->send(formatBatchItemError(Batch->Id, I,
                                                Batch->Names[I], Code,
                                                Message));
@@ -1138,12 +1277,22 @@ void Server::handleBatch(const std::shared_ptr<Connection> &Conn,
         return;
       }
       if (Out.ErrorCode) {
+        Inflight->complete(ResultKey, coalescedFailure(Out.ErrorCode,
+                                                       Out.ErrorMessage));
         Batch->Conn->send(formatBatchItemError(Batch->Id, I,
                                                Batch->Names[I],
                                                Out.ErrorCode,
                                                Out.ErrorMessage));
         finishBatchItem(Batch, I, Out.ErrorCode);
         return;
+      }
+      {
+        InflightTable::Outcome FlightOut;
+        FlightOut.Ok = true;
+        FlightOut.ContextHit = Out.ContextHit;
+        FlightOut.Stats = Out.Stats;
+        FlightOut.Cached = Out.Cached;
+        Inflight->complete(ResultKey, FlightOut);
       }
       if (T) {
         json::Value TraceJson = T->toJson(Done);
@@ -1159,8 +1308,49 @@ void Server::handleBatch(const std::shared_ptr<Connection> &Conn,
       }
       finishBatchItem(Batch, I, "ok");
     };
-    Jobs.push_back(std::move(Job));
-    JobIndex.push_back(I);
+    return Job;
+  };
+
+  for (size_t I = 0; I < Total; ++I) {
+    qasm::ImportResult Imported =
+        qasm::importQasm(Req.Items[I].Qasm, "request");
+    if (!Imported.succeeded()) {
+      Failures.push_back({I, errc::BadQasm, Imported.Error});
+      continue;
+    }
+    auto Logical = std::make_shared<Circuit>(
+        Imported.Circ->withoutNonUnitaries().decomposeThreeQubitGates());
+    if (Logical->numQubits() > Backend->Graph->numQubits()) {
+      Failures.push_back(
+          {I, errc::TooLarge,
+           formatString("circuit has %u qubits but %s only has %u",
+                        Logical->numQubits(), Route.Backend.c_str(),
+                        Backend->Graph->numQubits())});
+      continue;
+    }
+    uint64_t CircuitFp = fingerprint(*Logical);
+    uint64_t MapperConfigFp = hashCombine(
+        fingerprintString(Route.Mapper),
+        (Route.Affine ? 4u : 0u) | (Route.Bidirectional ? 2u : 0u) |
+            (Route.ErrorAware ? 1u : 0u));
+    CacheKey ResultKey{CircuitFp, Backend->Fingerprint, MapperConfigFp};
+    if (auto Cached = lookupResult(ResultKey)) {
+      Hits.push_back({I, std::move(Cached)});
+      continue;
+    }
+    // Leading is claimed *now*, with a fresh pre-made ticket, so that a
+    // within-batch duplicate triaged later sees the flight and coalesces
+    // instead of routing twice. The flights are unwound (completeByLeader)
+    // if the submission below is rejected.
+    auto Ticket = std::make_shared<JobTicket>();
+    if (Inflight->lead(ResultKey, Ticket)) {
+      Jobs.push_back(MakeLeaderJob(I, Logical, CircuitFp, ResultKey));
+      JobIndex.push_back(I);
+      LeaderTickets.push_back(std::move(Ticket));
+    } else {
+      Candidates.push_back(
+          {I, std::move(Logical), CircuitFp, ResultKey, std::move(Ticket)});
+    }
   }
 
   // Register before submission so a completing worker's releaseBatch()
@@ -1172,23 +1362,97 @@ void Server::handleBatch(const std::shared_ptr<Connection> &Conn,
   }
   if (!Jobs.empty()) {
     std::vector<std::shared_ptr<JobTicket>> Tickets =
-        Workers->trySubmitBatch(std::move(Jobs));
+        Workers->trySubmitBatch(std::move(Jobs), LeaderTickets);
     if (Tickets.empty()) {
       // All-or-nothing rejection: nothing ran, nothing was sent — one
-      // error response covers the whole batch.
+      // error response covers the whole batch. The flights claimed at
+      // triage die with it: any *foreign* follower that coalesced onto
+      // them meanwhile gets the rejection as a structured error (this
+      // batch's own candidates have not attached yet, so no item frame
+      // escapes).
+      const char *Code =
+          Stopping.load() ? errc::ShuttingDown : errc::QueueFull;
+      std::string Message =
+          Stopping.load()
+              ? "server is shutting down"
+              : formatString("scheduler queue lacks capacity for %zu "
+                             "batch items, retry later",
+                             JobIndex.size());
+      for (const std::shared_ptr<JobTicket> &Ticket : LeaderTickets)
+        Inflight->completeByLeader(Ticket, coalescedFailure(Code, Message));
       Conn->releaseBatch(Req.Id);
-      if (Stopping.load())
-        sendError(*Conn, "batch", Req.Id, errc::ShuttingDown,
-                  "server is shutting down");
-      else
-        sendError(*Conn, "batch", Req.Id, errc::QueueFull,
-                  formatString("scheduler queue lacks capacity for %zu "
-                               "batch items, retry later",
-                               JobIndex.size()));
+      sendError(*Conn, "batch", Req.Id, Code, Message);
       return;
     }
     for (size_t J = 0; J < Tickets.size(); ++J)
       Batch->Tickets.emplace_back(std::move(Tickets[J]), JobIndex[J]);
+  }
+
+  // The batch is committed: coalesce candidates may attach now. A
+  // candidate whose flight resolved in the window since triage is served
+  // from the result cache, or — when the flight failed and left no
+  // result — routed individually after all.
+  for (CoalesceCandidate &C : Candidates) {
+    for (;;) {
+      InflightTable::Follower F;
+      F.Ticket = C.Ticket;
+      F.Deadline = Deadline;
+      F.Deliver = [this, Batch, I = C.Index, Mapper = Route.Mapper,
+                   BackendName = Route.Backend,
+                   IncludeQasm =
+                       Route.IncludeQasm](const InflightTable::Outcome &O) {
+        if (!O.Ok) {
+          Batch->Conn->send(formatBatchItemError(
+              Batch->Id, I, Batch->Names[I], O.ErrorCode, O.ErrorMessage));
+          finishBatchItem(Batch, I, O.ErrorCode);
+          return;
+        }
+        Batch->Conn->send(formatBatchItemResult(
+            Batch->Id, I, Batch->Names[I], Mapper, BackendName, O.Stats,
+            O.ContextHit, /*ResultCacheHit=*/false, O.Cached->RoutedQasm,
+            IncludeQasm, /*TraceJson=*/nullptr, /*Coalesced=*/true));
+        finishBatchItem(Batch, I, "ok");
+      };
+      if (Inflight->tryAttach(C.ResultKey, std::move(F))) {
+        {
+          std::lock_guard<std::mutex> Lock(CounterMu);
+          ++Counters.Coalesced;
+        }
+        Batch->Tickets.emplace_back(C.Ticket, C.Index);
+        break;
+      }
+      if (auto Cached = lookupResult(C.ResultKey)) {
+        RouteStats Stats = statsFromCached(*Cached);
+        Conn->send(formatBatchItemResult(
+            Req.Id, C.Index, Batch->Names[C.Index], Route.Mapper,
+            Route.Backend, Stats, /*ContextCacheHit=*/false,
+            /*ResultCacheHit=*/true, Cached->RoutedQasm, Route.IncludeQasm));
+        finishBatchItem(Batch, C.Index, "ok");
+        break;
+      }
+      if (Inflight->lead(C.ResultKey, C.Ticket)) {
+        if (!Workers->trySubmit(
+                MakeLeaderJob(C.Index, C.Logical, C.CircuitFp, C.ResultKey),
+                C.Ticket)) {
+          const char *Code =
+              Stopping.load() ? errc::ShuttingDown : errc::QueueFull;
+          const char *Message = Stopping.load()
+                                    ? "server is shutting down"
+                                    : "scheduler queue is full, retry later";
+          Inflight->completeByLeader(C.Ticket,
+                                     coalescedFailure(Code, Message));
+          Conn->send(formatBatchItemError(Req.Id, C.Index,
+                                          Batch->Names[C.Index], Code,
+                                          Message));
+          finishBatchItem(Batch, C.Index, Code);
+        } else {
+          Batch->Tickets.emplace_back(C.Ticket, C.Index);
+        }
+        break;
+      }
+      // Another identical request took the lead in the window between
+      // the failed attach and the failed lead; retry the attach.
+    }
   }
 
   // Inline outcomes go out only now, after the all-or-nothing decision.
@@ -1239,6 +1503,7 @@ json::Value Server::statsJson() const {
     ServerObj.set("errors", Counters.Errors);
     ServerObj.set("affine_replays", Counters.AffineReplays);
     ServerObj.set("affine_fallbacks", Counters.AffineFallbacks);
+    ServerObj.set("coalesced", Counters.Coalesced);
   }
   ServerObj.set("uptime_seconds", Uptime.elapsedSeconds());
   ServerObj.set("endpoint", boundAddress());
@@ -1263,6 +1528,22 @@ json::Value Server::statsJson() const {
           cacheStatsJson(Contexts.stats(), Options.ContextCacheBytes));
   Doc.set("result_cache",
           cacheStatsJson(Results.stats(), Options.ResultCacheBytes));
+  if (Store) {
+    StoreStats SS = Store->stats();
+    json::Value St = json::Value::object();
+    St.set("read_only", Store->readOnly());
+    St.set("records", SS.Records);
+    St.set("appended_records", SS.AppendedRecords);
+    St.set("bytes", SS.Bytes);
+    St.set("live_bytes", SS.LiveBytes);
+    St.set("hits", SS.Hits);
+    St.set("misses", SS.Misses);
+    St.set("corrupt_skipped", SS.CorruptSkipped);
+    St.set("truncated_bytes", SS.TruncatedBytes);
+    St.set("compactions", SS.Compactions);
+    St.set("write_errors", SS.WriteErrors);
+    Doc.set("store", std::move(St));
+  }
   Doc.set("latency", Histos.toJson());
   return Doc;
 }

@@ -73,7 +73,9 @@
 
 #include "service/ContextCache.h"
 #include "service/Histogram.h"
+#include "service/InflightTable.h"
 #include "service/Protocol.h"
+#include "service/ResultStore.h"
 #include "service/Scheduler.h"
 #include "service/Transport.h"
 #include "support/Error.h"
@@ -121,6 +123,17 @@ struct ServerOptions {
   /// included) reaches it emits one warn-level "slow_request" line with
   /// its per-phase trace. 0 disables the slow log entirely.
   double SlowRequestMs = 0;
+  /// Durable result store path (service/ResultStore.h); empty disables
+  /// the durable tier entirely. When set, result-cache misses consult
+  /// the store before routing and routed results are appended to it, so
+  /// warm results survive restarts. start() fails when the file cannot
+  /// be opened or is not a result store.
+  std::string StorePath;
+  /// Open the store read-only: serve from it (following another
+  /// daemon's appends) but never write. Requires StorePath.
+  bool StoreReadOnly = false;
+  /// Store fsync batching threshold in bytes (0 = sync every record).
+  size_t StoreFsyncBytes = 1 << 20;
 };
 
 /// Always-on per-op and per-phase latency histograms, surfaced in the
@@ -154,6 +167,9 @@ struct ServerCounters {
   uint64_t BatchRequests = 0;
   uint64_t BatchItems = 0;
   uint64_t Errors = 0;
+  /// Requests answered by attaching to another identical request's
+  /// in-flight route instead of routing again (service/InflightTable.h).
+  uint64_t Coalesced = 0;
   /// Affine fast-path outcomes, summed over every completed route: loop
   /// periods covered by replaying a recorded swap schedule vs. periods
   /// routed gate-by-gate (recording or post-divergence fallback).
@@ -283,10 +299,19 @@ private:
   lookupBackend(const std::string &Name, bool ErrorAware,
                 uint64_t CalibrationSeed);
 
+  /// Serves \p Key from the in-memory result cache, falling back to the
+  /// durable store (a store hit is promoted into the memory cache).
+  /// Returns nullptr on a full miss.
+  std::shared_ptr<const CachedResult> lookupResult(const CacheKey &Key);
+
   ServerOptions Options;
   std::unique_ptr<Scheduler> Workers;
   ContextCache Contexts;
   ResultCache Results;
+  /// The durable tier behind Results (nullptr when StorePath is empty).
+  std::unique_ptr<ResultStore> Store;
+  /// Single-flight coalescing of identical routed requests.
+  std::unique_ptr<InflightTable> Inflight;
   Timer Uptime;
 
   Listener Acceptor;

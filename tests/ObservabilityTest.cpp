@@ -596,7 +596,9 @@ TEST(TracedServiceTest, BatchItemsCarryPerItemTraces) {
   for (int I = 0; I < 2; ++I) {
     json::Value Item = json::Value::object();
     Item.set("name", formatString("c%d", I));
-    Item.set("qasm", sampleQasm());
+    // Distinct circuits per item: identical items would coalesce into
+    // one flight, and a coalesced follower frame carries no trace.
+    Item.set("qasm", sampleQasm() + formatString("h q[%d];\n", I));
     Items.push(std::move(Item));
   }
   Req.set("items", std::move(Items));

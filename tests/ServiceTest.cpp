@@ -33,6 +33,7 @@
 #include <gtest/gtest.h>
 
 #include <atomic>
+#include <cstdio>
 #include <chrono>
 #include <condition_variable>
 #include <mutex>
@@ -1444,4 +1445,268 @@ TEST_P(ServerTransportTest, BatchIdSharesNamespaceWithRoutes) {
   ASSERT_TRUE(Conn.sendLine(cancelRequest("x").dump()).ok());
   ASSERT_TRUE(Conn.recvResponseFor("x", Final, {}, "route").ok());
   EXPECT_EQ(errorCode(parseResponse(Final)), errc::Cancelled) << Final;
+}
+
+//===----------------------------------------------------------------------===//
+// In-flight request coalescing + durable result store
+//===----------------------------------------------------------------------===//
+
+namespace {
+
+/// Sends a progress-enabled slow route as \p Id and blocks until its
+/// first progress event: the point where the leader is provably
+/// mid-route, so an identical request sent from now on must coalesce
+/// onto its flight rather than route again.
+void startLeaderMidRoute(Client &Leader, const std::string &Id,
+                         const std::string &Qasm) {
+  json::Value Req = routeRequest(Qasm, "qmap", "sherbrooke2x");
+  Req.set("id", Id);
+  Req.set("progress", true);
+  ASSERT_TRUE(Leader.sendLine(Req.dump()).ok());
+  std::string Frame;
+  ASSERT_TRUE(Leader.recvLine(Frame).ok());
+  EXPECT_EQ(parseResponse(Frame).get("event")->asString(), "progress")
+      << Frame;
+}
+
+/// Polls `stats` until the server-wide coalesced counter reaches
+/// \p Want (the follower-attached handshake of the cancellation tests).
+void awaitCoalescedCount(Client &Control, uint64_t Want) {
+  for (int I = 0; I < 400; ++I) {
+    std::string Line;
+    ASSERT_TRUE(Control.request("{\"op\":\"stats\"}", Line).ok());
+    if (parseResponse(Line).get("server")->get("coalesced")->asNumber() >=
+        static_cast<double>(Want))
+      return;
+    std::this_thread::sleep_for(std::chrono::milliseconds(5));
+  }
+  FAIL() << "follower never attached to the leader's flight";
+}
+
+} // namespace
+
+TEST(CoalescingTest, ConcurrentIdenticalRoutesShareOneJob) {
+  ServerFixture Fixture(2);
+  const std::string Qasm = deepQuekoQasm(300, 61);
+
+  Client Leader = Fixture.connect();
+  startLeaderMidRoute(Leader, "lead", Qasm);
+
+  const unsigned NFollowers = 3;
+  std::vector<Client> Followers;
+  for (unsigned I = 0; I < NFollowers; ++I) {
+    Followers.push_back(Fixture.connect());
+    json::Value Req = routeRequest(Qasm, "qmap", "sherbrooke2x");
+    Req.set("id", formatString("f%u", I));
+    ASSERT_TRUE(Followers.back().sendLine(Req.dump()).ok());
+  }
+
+  // Followers are delivered before the leader's own response write, in
+  // *attach* order — which across distinct connections is not the send
+  // order. Drain them concurrently so no unread multi-hundred-KB
+  // response can block the delivering worker on a full socket buffer.
+  std::vector<std::string> FollowerResps(NFollowers);
+  {
+    std::vector<std::thread> Readers;
+    for (unsigned I = 0; I < NFollowers; ++I)
+      Readers.emplace_back([&, I] {
+        Followers[I].recvResponseFor(formatString("f%u", I),
+                                     FollowerResps[I], {}, "route");
+      });
+    for (std::thread &R : Readers)
+      R.join();
+  }
+  std::vector<json::Value> FollowerDocs;
+  for (unsigned I = 0; I < NFollowers; ++I) {
+    json::Value Doc = parseResponse(FollowerResps[I]);
+    ASSERT_TRUE(responseOk(Doc)) << FollowerResps[I];
+    const json::Value *Coalesced = Doc.get("coalesced");
+    ASSERT_NE(Coalesced, nullptr) << FollowerResps[I];
+    EXPECT_TRUE(Coalesced->asBool());
+    FollowerDocs.push_back(std::move(Doc));
+  }
+
+  std::string LeadResp;
+  ASSERT_TRUE(Leader.recvResponseFor("lead", LeadResp, {}, "route").ok());
+  json::Value LeadDoc = parseResponse(LeadResp);
+  ASSERT_TRUE(responseOk(LeadDoc)) << LeadResp;
+  EXPECT_EQ(LeadDoc.get("coalesced"), nullptr)
+      << "the leader routed; only followers are coalesced";
+
+  // Every follower carries the leader's payload byte for byte: same
+  // routed program, same stats.
+  for (const json::Value &Doc : FollowerDocs) {
+    EXPECT_EQ(Doc.get("qasm")->asString(), LeadDoc.get("qasm")->asString());
+    EXPECT_EQ(Doc.get("stats")->dump(), LeadDoc.get("stats")->dump());
+  }
+
+  Client Control = Fixture.connect();
+  std::string StatsLine;
+  ASSERT_TRUE(Control.request("{\"op\":\"stats\"}", StatsLine).ok());
+  json::Value Stats = parseResponse(StatsLine);
+  EXPECT_EQ(Stats.get("scheduler")->get("submitted")->asNumber(), 1)
+      << "N identical concurrent routes must execute exactly one job";
+  EXPECT_EQ(Stats.get("server")->get("coalesced")->asNumber(), NFollowers);
+}
+
+TEST(CoalescingTest, FollowerCancelLeavesLeaderRunning) {
+  ServerFixture Fixture(2);
+  const std::string Qasm = deepQuekoQasm(300, 62);
+
+  Client Leader = Fixture.connect();
+  startLeaderMidRoute(Leader, "lead", Qasm);
+
+  Client Follower = Fixture.connect();
+  json::Value Req = routeRequest(Qasm, "qmap", "sherbrooke2x");
+  Req.set("id", "f");
+  ASSERT_TRUE(Follower.sendLine(Req.dump()).ok());
+  Client Control = Fixture.connect();
+  awaitCoalescedCount(Control, 1);
+
+  // Cancelling the follower answers it immediately — and only it.
+  ASSERT_TRUE(Follower.sendLine(cancelRequest("f").dump()).ok());
+  std::string Ack, Final;
+  ASSERT_TRUE(Follower.recvResponseFor("f", Ack, {}, "cancel").ok());
+  ASSERT_TRUE(Follower.recvResponseFor("f", Final, {}, "route").ok());
+  EXPECT_EQ(errorCode(parseResponse(Final)), errc::Cancelled) << Final;
+
+  // The leader is untouched: its route completes normally.
+  std::string LeadResp;
+  ASSERT_TRUE(Leader.recvResponseFor("lead", LeadResp, {}, "route").ok());
+  EXPECT_TRUE(responseOk(parseResponse(LeadResp))) << LeadResp;
+}
+
+TEST(CoalescingTest, LeaderFailurePropagatesStructuredErrorToFollowers) {
+  ServerFixture Fixture(2);
+  const std::string Qasm = deepQuekoQasm(300, 63);
+
+  Client Leader = Fixture.connect();
+  startLeaderMidRoute(Leader, "lead", Qasm);
+
+  Client Follower = Fixture.connect();
+  json::Value Req = routeRequest(Qasm, "qmap", "sherbrooke2x");
+  Req.set("id", "f");
+  ASSERT_TRUE(Follower.sendLine(Req.dump()).ok());
+  Client Control = Fixture.connect();
+  awaitCoalescedCount(Control, 1);
+
+  // Killing the leader mid-route fails the flight: the follower gets the
+  // leader's error as a structured response, not a hang or a crash.
+  ASSERT_TRUE(Leader.sendLine(cancelRequest("lead").dump()).ok());
+  std::string Ack, LeadFinal;
+  ASSERT_TRUE(Leader.recvResponseFor("lead", Ack, {}, "cancel").ok());
+  ASSERT_TRUE(Leader.recvResponseFor("lead", LeadFinal, {}, "route").ok());
+  EXPECT_EQ(errorCode(parseResponse(LeadFinal)), errc::Cancelled)
+      << LeadFinal;
+
+  std::string Final;
+  ASSERT_TRUE(Follower.recvResponseFor("f", Final, {}, "route").ok());
+  json::Value Doc = parseResponse(Final);
+  EXPECT_EQ(errorCode(Doc), errc::Cancelled) << Final;
+  const json::Value *Error = Doc.get("error");
+  ASSERT_NE(Error, nullptr);
+  EXPECT_NE(Error->get("message")->asString().find("coalesced leader"),
+            std::string::npos)
+      << Final;
+}
+
+TEST(CoalescingTest, DuplicateBatchItemsCoalesce) {
+  ServerFixture Fixture(2);
+  Client Conn = Fixture.connect();
+  const std::string Slow = deepQuekoQasm(200, 64);
+  json::Value Req =
+      batchRequest("b", {{"a", Slow}, {"b", Slow}}, "qmap", "sherbrooke2x");
+
+  std::vector<std::string> Frames;
+  std::string Summary;
+  ASSERT_TRUE(Conn.sendLine(Req.dump()).ok());
+  ASSERT_TRUE(Conn.recvResponseFor(
+                      "b", Summary,
+                      [&](const std::string &L) { Frames.push_back(L); },
+                      "batch")
+                  .ok());
+  ASSERT_TRUE(responseOk(parseResponse(Summary))) << Summary;
+  ASSERT_EQ(Frames.size(), 2u);
+
+  unsigned Deduped = 0;
+  std::vector<std::string> Qasms;
+  for (const std::string &Frame : Frames) {
+    json::Value Item = parseResponse(Frame);
+    ASSERT_EQ(Item.get("error"), nullptr) << Frame;
+    Qasms.push_back(Item.get("qasm")->asString());
+    const json::Value *Coalesced = Item.get("coalesced");
+    const json::Value *CacheHit = Item.get("result_cache_hit");
+    if ((Coalesced && Coalesced->asBool()) ||
+        (CacheHit && CacheHit->asBool()))
+      ++Deduped;
+  }
+  ASSERT_EQ(Qasms.size(), 2u);
+  EXPECT_EQ(Qasms[0], Qasms[1]) << "identical items, identical programs";
+  // One item routed; the duplicate coalesced onto its flight (or, if the
+  // route outran the attach, was served from the result cache). Either
+  // way exactly one job executed.
+  EXPECT_EQ(Deduped, 1u);
+  std::string StatsLine;
+  ASSERT_TRUE(Conn.request("{\"op\":\"stats\"}", StatsLine).ok());
+  json::Value Stats = parseResponse(StatsLine);
+  EXPECT_EQ(Stats.get("scheduler")->get("submitted")->asNumber(), 1)
+      << "a duplicate batch item must not route twice";
+}
+
+TEST(ResultStoreServiceTest, WarmResultsSurviveRestart) {
+  std::string StorePath = formatString("/tmp/qls-store-%d-%u.qstore",
+                                       static_cast<int>(getpid()), 0u);
+  std::remove(StorePath.c_str());
+  ServerOptions Opts;
+  Opts.Workers = 2;
+  Opts.DefaultTimeoutSeconds = 30;
+  Opts.StorePath = StorePath;
+
+  std::string FirstQasm;
+  {
+    Opts.Listen = testSocketPath();
+    Server Daemon(Opts);
+    Status Started = Daemon.start();
+    ASSERT_TRUE(Started.ok()) << Started.message();
+    std::thread Waiter([&] { Daemon.wait(); });
+    Client Conn;
+    ASSERT_TRUE(Conn.connect(Daemon.boundAddress(), 5.0).ok());
+    std::string Resp;
+    ASSERT_TRUE(Conn.request(routeRequest(sampleQasm()).dump(), Resp).ok());
+    json::Value Doc = parseResponse(Resp);
+    ASSERT_TRUE(responseOk(Doc)) << Resp;
+    EXPECT_FALSE(Doc.get("result_cache_hit")->asBool());
+    FirstQasm = Doc.get("qasm")->asString();
+    Daemon.requestStop();
+    Waiter.join();
+  }
+
+  // A fresh daemon on the same store serves the routed result as a warm
+  // hit — byte-identical to the pre-restart response.
+  {
+    Opts.Listen = testSocketPath();
+    Server Daemon(Opts);
+    Status Started = Daemon.start();
+    ASSERT_TRUE(Started.ok()) << Started.message();
+    std::thread Waiter([&] { Daemon.wait(); });
+    Client Conn;
+    ASSERT_TRUE(Conn.connect(Daemon.boundAddress(), 5.0).ok());
+    std::string Resp;
+    ASSERT_TRUE(Conn.request(routeRequest(sampleQasm()).dump(), Resp).ok());
+    json::Value Doc = parseResponse(Resp);
+    ASSERT_TRUE(responseOk(Doc)) << Resp;
+    EXPECT_TRUE(Doc.get("result_cache_hit")->asBool())
+        << "a stored result must survive the restart";
+    EXPECT_EQ(Doc.get("qasm")->asString(), FirstQasm);
+
+    std::string StatsLine;
+    ASSERT_TRUE(Conn.request("{\"op\":\"stats\"}", StatsLine).ok());
+    const json::Value *Store = parseResponse(StatsLine).get("store");
+    ASSERT_NE(Store, nullptr) << StatsLine;
+    EXPECT_GE(Store->get("records")->asNumber(), 1);
+    EXPECT_GE(Store->get("hits")->asNumber(), 1);
+    Daemon.requestStop();
+    Waiter.join();
+  }
+  std::remove(StorePath.c_str());
 }

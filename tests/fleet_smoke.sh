@@ -19,13 +19,16 @@ D2_LOG="/tmp/qlosured-fleet-$$-2.log"
 ROUTER_LOG="/tmp/qlosure-router-fleet-$$.log"
 RESP="/tmp/qlosure-fleet-$$.json"
 METRICS="/tmp/qlosure-fleet-$$.metrics"
+STORE1="/tmp/qlosure-fleet-$$-1.qstore"
+STORE2="/tmp/qlosure-fleet-$$-2.qstore"
 
 cleanup() {
   [[ -n "${ROUTER_PID:-}" ]] && kill "$ROUTER_PID" 2>/dev/null || true
   [[ -n "${DAEMON1_PID:-}" ]] && kill "$DAEMON1_PID" 2>/dev/null || true
   [[ -n "${DAEMON2_PID:-}" ]] && kill "$DAEMON2_PID" 2>/dev/null || true
   wait 2>/dev/null || true
-  rm -f "$SOCK1" "$ROUTER_SOCK" "$D2_LOG" "$ROUTER_LOG" "$RESP" "$METRICS"
+  rm -f "$SOCK1" "$ROUTER_SOCK" "$D2_LOG" "$ROUTER_LOG" "$RESP" "$METRICS" \
+    "$STORE1" "$STORE1.compact" "$STORE2" "$STORE2.compact"
 }
 trap cleanup EXIT
 
@@ -42,10 +45,12 @@ bound_address() { # logfile daemon-name
 }
 
 # One unix-domain shard, one TCP shard on an ephemeral port: the fleet
-# must mix transports freely behind one router.
-"$BIN_DIR/qlosured" --listen "$SOCK1" --workers 2 &
+# must mix transports freely behind one router. Sticky sharding means
+# each shard owns its keys, so the durable stores are per daemon.
+"$BIN_DIR/qlosured" --listen "$SOCK1" --store "$STORE1" --workers 2 &
 DAEMON1_PID=$!
-"$BIN_DIR/qlosured" --listen tcp:127.0.0.1:0 --workers 2 2> "$D2_LOG" &
+"$BIN_DIR/qlosured" --listen tcp:127.0.0.1:0 --store "$STORE2" \
+  --workers 2 2> "$D2_LOG" &
 DAEMON2_PID=$!
 SHARD2=$(bound_address "$D2_LOG" qlosured)
 
@@ -162,3 +167,16 @@ ROUTER_PID=""
 wait "$DAEMON1_PID"
 DAEMON1_PID=""
 echo "fleet-smoke: router shut down cleanly; shards outlive it"
+
+# Durable store in the fleet: the degraded-fleet route above was served
+# by daemon 1 and appended to its per-shard store, so a fresh daemon
+# restarted on that store must answer the same circuit warm.
+"$BIN_DIR/qlosured" --listen "$SOCK1" --store "$STORE1" --workers 2 &
+DAEMON1_PID=$!
+"$BIN_DIR/qlosure-client" --connect "$SOCK1" --connect-timeout 10 \
+  route --backend aspen16 --stats-only --expect-cache-hit "$QASM" > "$RESP"
+grep -q '"result_cache_hit":true' "$RESP"
+"$BIN_DIR/qlosure-client" --connect "$SOCK1" shutdown > /dev/null
+wait "$DAEMON1_PID"
+DAEMON1_PID=""
+echo "fleet-smoke: shard's durable store served the circuit warm after restart"

@@ -16,10 +16,12 @@ RESP="/tmp/qlosured-smoke-$$.json"
 DEEP="/tmp/qlosured-smoke-$$-deep.qasm"
 LOOP="/tmp/qlosured-smoke-$$-loop.qasm"
 STATS_ERR="/tmp/qlosured-smoke-$$-stats.err"
+STORE="/tmp/qlosured-smoke-$$.qstore"
 
 cleanup() {
   [[ -n "${DAEMON_PID:-}" ]] && kill "$DAEMON_PID" 2>/dev/null || true
-  rm -f "$RESP" "$SOCK" "$DEEP" "$LOOP" "$STATS_ERR"
+  rm -f "$RESP" "$SOCK" "$DEEP" "$LOOP" "$STATS_ERR" "$STORE" \
+    "$STORE.compact"
 }
 trap cleanup EXIT
 
@@ -92,3 +94,27 @@ wait "$DAEMON_PID"
 DAEMON_PID=""
 [[ ! -e "$SOCK" ]]
 echo "service-smoke: daemon shut down cleanly"
+
+# Durable result store: routed results written under --store must be
+# served as cache hits by a fresh daemon restarted on the same file
+# (tests/store_crash.sh covers the crash/corruption legs).
+"$BIN_DIR/qlosured" --socket "$SOCK" --store "$STORE" --workers 2 &
+DAEMON_PID=$!
+"$BIN_DIR/qlosure-client" --socket "$SOCK" --connect-timeout 10 \
+  route --backend aspen16 --stats-only "$QASM" > "$RESP"
+grep -q '"result_cache_hit":false' "$RESP"
+"$BIN_DIR/qlosure-client" --socket "$SOCK" shutdown > /dev/null
+wait "$DAEMON_PID"
+DAEMON_PID=""
+"$BIN_DIR/qlosured" --socket "$SOCK" --store "$STORE" --workers 2 &
+DAEMON_PID=$!
+"$BIN_DIR/qlosure-client" --socket "$SOCK" --connect-timeout 10 \
+  route --backend aspen16 --stats-only --expect-cache-hit "$QASM" > "$RESP"
+grep -q '"result_cache_hit":true' "$RESP"
+"$BIN_DIR/qlosure-client" --socket "$SOCK" stats > "$RESP"
+grep -Eq '"store":\{' "$RESP"
+grep -Eq '"records":[1-9]' "$RESP"
+"$BIN_DIR/qlosure-client" --socket "$SOCK" shutdown > /dev/null
+wait "$DAEMON_PID"
+DAEMON_PID=""
+echo "service-smoke: warm result survived a daemon restart via --store"

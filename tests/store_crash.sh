@@ -1,0 +1,108 @@
+#!/usr/bin/env bash
+# Crash/corruption harness for the durable result store: boot qlosured
+# with --store, route a circuit, SIGKILL the daemon mid-route of a deep
+# circuit, restart on the same store file and demand a byte-identical
+# warm hit for the first circuit; then corrupt the store with dd and
+# demand the daemon recovers (skips the bad record, counts it in
+# store.corrupt_skipped, re-routes successfully) — never a crash. Run by
+# ctest (store-crash) and the CI store-crash job.
+#
+# usage: store_crash.sh BIN_DIR QUEKO_QASM
+set -euo pipefail
+
+BIN_DIR=${1:?usage: store_crash.sh BIN_DIR QUEKO_QASM}
+QASM=${2:?usage: store_crash.sh BIN_DIR QUEKO_QASM}
+SOCK="/tmp/qlosured-store-$$.sock"
+STORE="/tmp/qlosured-store-$$.qstore"
+COLD="/tmp/qlosured-store-$$-cold.json"
+WARM="/tmp/qlosured-store-$$-warm.json"
+NORM="/tmp/qlosured-store-$$-norm.json"
+STATS="/tmp/qlosured-store-$$-stats.json"
+DEEP="/tmp/qlosured-store-$$-deep.qasm"
+
+cleanup() {
+  [[ -n "${DAEMON_PID:-}" ]] && kill -9 "$DAEMON_PID" 2>/dev/null || true
+  rm -f "$SOCK" "$STORE" "$STORE.compact" "$COLD" "$WARM" "$NORM" \
+    "$STATS" "$DEEP"
+}
+trap cleanup EXIT
+
+boot() {
+  "$BIN_DIR/qlosured" --socket "$SOCK" --store "$STORE" --workers 2 &
+  DAEMON_PID=$!
+}
+
+boot
+
+# Cold route with the full response (stats + routed QASM) so the warm
+# replay after the crash can be compared byte for byte.
+"$BIN_DIR/qlosure-client" --socket "$SOCK" --connect-timeout 10 \
+  --id store-probe route --backend aspen16 "$QASM" > "$COLD"
+grep -q '"verified":true' "$COLD"
+grep -q '"result_cache_hit":false' "$COLD"
+echo "store-crash: cold route served and appended to the store"
+
+# SIGKILL the daemon while a deep route is in flight: the store append
+# for the cold route above is already in the page cache (a single
+# write(2) per record), so it must survive even though the batched
+# fsync may not have happened yet. The in-flight route simply dies with
+# its process — the recovery scan must treat any torn tail as absent.
+"$BIN_DIR/qlosure-queko" --device kings9x9 --depth 1200 --seed 7 \
+  --output "$DEEP" 2> /dev/null
+"$BIN_DIR/qlosure-client" --socket "$SOCK" route --mapper qmap \
+  --backend sherbrooke2x --stats-only "$DEEP" > /dev/null 2>&1 &
+CLIENT_PID=$!
+sleep 1
+kill -9 "$DAEMON_PID"
+wait "$DAEMON_PID" 2>/dev/null || true
+DAEMON_PID=""
+wait "$CLIENT_PID" 2>/dev/null || true
+rm -f "$SOCK"
+echo "store-crash: daemon SIGKILLed mid-route"
+
+# Restart on the same store: the first circuit must be a warm hit
+# (exit 4 from --expect-cache-hit otherwise) and, apart from the three
+# cache-hit flags flipping to true, the response must be byte-identical
+# to the cold one — the stats travel with the stored record.
+boot
+"$BIN_DIR/qlosure-client" --socket "$SOCK" --connect-timeout 10 \
+  --id store-probe --expect-cache-hit route --backend aspen16 "$QASM" \
+  > "$WARM"
+grep -q '"result_cache_hit":true' "$WARM"
+sed -e 's/"cache_hit":false/"cache_hit":true/' \
+    -e 's/"result_cache_hit":false/"result_cache_hit":true/' \
+    "$COLD" > "$NORM"
+diff "$NORM" "$WARM"
+"$BIN_DIR/qlosure-client" --socket "$SOCK" stats > "$STATS"
+grep -Eq '"records":[1-9]' "$STATS"
+grep -q '"corrupt_skipped":0' "$STATS"
+echo "store-crash: warm hit after crash is byte-identical to the cold route"
+
+# Corruption: clean shutdown, overwrite a run of bytes inside the first
+# record's payload, restart. The daemon must come up, count the skipped
+# record, and serve the circuit again by re-routing it (a miss now).
+"$BIN_DIR/qlosure-client" --socket "$SOCK" shutdown > /dev/null
+wait "$DAEMON_PID"
+DAEMON_PID=""
+dd if=/dev/zero of="$STORE" bs=1 seek=64 count=200 conv=notrunc 2> /dev/null
+boot
+"$BIN_DIR/qlosure-client" --socket "$SOCK" --connect-timeout 10 \
+  --id store-probe route --backend aspen16 --stats-only "$QASM" > "$WARM"
+grep -q '"verified":true' "$WARM"
+grep -q '"result_cache_hit":false' "$WARM"
+"$BIN_DIR/qlosure-client" --socket "$SOCK" stats > "$STATS"
+grep -Eq '"corrupt_skipped":[1-9]' "$STATS"
+echo "store-crash: corrupt record skipped and counted; circuit re-routed"
+
+# And the re-route must have healed the store: one more restart, warm.
+"$BIN_DIR/qlosure-client" --socket "$SOCK" shutdown > /dev/null
+wait "$DAEMON_PID"
+DAEMON_PID=""
+boot
+"$BIN_DIR/qlosure-client" --socket "$SOCK" --connect-timeout 10 \
+  --id store-probe --expect-cache-hit route --backend aspen16 --stats-only \
+  "$QASM" > /dev/null
+"$BIN_DIR/qlosure-client" --socket "$SOCK" shutdown > /dev/null
+wait "$DAEMON_PID"
+DAEMON_PID=""
+echo "store-crash: re-route healed the store; warm again after restart"

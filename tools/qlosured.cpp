@@ -28,6 +28,14 @@
 ///                          request at or over N milliseconds (includes
 ///                          the trace when the request opted in); 0
 ///                          disables (default)
+///     --store PATH         durable result store: append-only log of
+///                          routed results backing the in-memory result
+///                          cache; recovered (torn tails truncated,
+///                          corrupt records skipped) on startup
+///     --store-read-only    open the store read-only (share another
+///                          daemon's store; never writes or compacts)
+///     --store-fsync-kb N   fsync after N KiB of appended records
+///                          (default 1024; 0 = fsync every append)
 ///
 /// Prints "qlosured: listening on ADDR" once ready (the resolved address —
 /// for tcp port 0, the kernel-assigned port). SIGINT/SIGTERM (or a client
@@ -58,7 +66,8 @@ int usage(const char *Argv0) {
                "usage: %s --listen ADDR [--workers N] [--queue N] "
                "[--cache-mb N] [--result-cache-mb N] [--shards N] "
                "[--timeout SECONDS] [--log-level LEVEL] [--log-file PATH] "
-               "[--slow-ms N]\n"
+               "[--slow-ms N] [--store PATH] [--store-read-only] "
+               "[--store-fsync-kb N]\n"
                "  ADDR is unix:/path, tcp:host:port, or a bare socket path\n"
                "  (--socket PATH remains as an alias for --listen unix:PATH)\n",
                Argv0);
@@ -98,6 +107,12 @@ int main(int Argc, char **Argv) {
       LogFile = Argv[++I];
     } else if (!std::strcmp(Argv[I], "--slow-ms") && I + 1 < Argc) {
       Opts.SlowRequestMs = std::strtod(Argv[++I], nullptr);
+    } else if (!std::strcmp(Argv[I], "--store") && I + 1 < Argc) {
+      Opts.StorePath = Argv[++I];
+    } else if (!std::strcmp(Argv[I], "--store-read-only")) {
+      Opts.StoreReadOnly = true;
+    } else if (!std::strcmp(Argv[I], "--store-fsync-kb") && I + 1 < Argc) {
+      Opts.StoreFsyncBytes = std::strtoull(Argv[++I], nullptr, 10) << 10;
     } else {
       return usage(Argv[0]);
     }
